@@ -1,0 +1,119 @@
+// Figure 10 (Section 5.1.4): end-to-end runtime on the two real-world
+// dataset shapes — Reptile (factorised training, drill-down caching) vs the
+// Matlab/LAPACK-style baseline (fully materialised matrix, dense EM, no
+// caching).
+//
+// Absentee shape: 179K rows, 4 single-attribute hierarchies (county 100,
+// party 6, week 53, gender 3), 4 invocations drilling county, party, week,
+// gender. COMPAS shape: 60,843 rows, time (year/month/day, 704 days) + age +
+// race + charge degree, 6 invocations. Complaint: overall COUNT too high;
+// 20 EM iterations. Paper shape: Reptile > 6x faster end to end.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "datagen/shapes_gen.h"
+#include "datagen/synthetic.h"
+
+namespace reptile {
+namespace {
+
+struct RunResult {
+  std::vector<double> invocation_seconds;
+  std::vector<double> train_seconds;
+  double total = 0.0;
+  double train_total = 0.0;
+};
+
+RunResult RunSession(const Dataset& dataset, const std::vector<int>& drill_sequence,
+                     TrainBackend backend, DrillDownState::Mode mode) {
+  EngineOptions options;
+  options.backend = backend;
+  options.drill_mode = mode;
+  options.top_k = 1;
+  Engine engine(&dataset, options);
+  Complaint complaint = Complaint::TooHigh(AggFn::kCount, -1, RowFilter());
+  RunResult result;
+  for (int hierarchy : drill_sequence) {
+    Timer timer;
+    Recommendation rec = engine.RecommendDrillDown(complaint);
+    double seconds = timer.Seconds();
+    double train = 0.0;
+    for (const HierarchyRecommendation& cand : rec.candidates) train += cand.train_seconds;
+    result.invocation_seconds.push_back(seconds);
+    result.train_seconds.push_back(train);
+    result.total += seconds;
+    result.train_total += train;
+    engine.CommitDrillDown(hierarchy);
+  }
+  return result;
+}
+
+void Report(const char* name, const Dataset& dataset, const std::vector<int>& sequence) {
+  std::printf("%s (%zu rows)\n", name, dataset.table().num_rows());
+  RunResult reptile =
+      RunSession(dataset, sequence, TrainBackend::kFactorized, DrillDownState::Mode::kCacheDynamic);
+  RunResult matlab =
+      RunSession(dataset, sequence, TrainBackend::kDense, DrillDownState::Mode::kStatic);
+  std::printf("  %-26s", "invocation:");
+  for (size_t i = 0; i < sequence.size(); ++i) std::printf(" %10zu", i + 1);
+  std::printf(" %12s\n", "total");
+  std::printf("  %-26s", "Reptile (s):");
+  for (double s : reptile.invocation_seconds) std::printf(" %10.3f", s);
+  std::printf(" %12.3f\n", reptile.total);
+  std::printf("  %-26s", "  of which training:");
+  for (double s : reptile.train_seconds) std::printf(" %10.3f", s);
+  std::printf(" %12.3f\n", reptile.train_total);
+  std::printf("  %-26s", "Matlab-style (s):");
+  for (double s : matlab.invocation_seconds) std::printf(" %10.3f", s);
+  std::printf(" %12.3f\n", matlab.total);
+  std::printf("  %-26s", "  of which training:");
+  for (double s : matlab.train_seconds) std::printf(" %10.3f", s);
+  std::printf(" %12.3f\n", matlab.train_total);
+  std::printf("  %-26s %12.2fx end-to-end, %.2fx on model training\n\n",
+              "speedup:", matlab.total / reptile.total,
+              matlab.train_total / reptile.train_total);
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main() {
+  std::printf("Figure 10: end-to-end runtime, Reptile vs Matlab/LAPACK-style baseline\n");
+  std::printf("(COUNT complaint, 20 EM iterations, paper expectation: >6x speedup)\n\n");
+  {
+    reptile::Dataset absentee = reptile::MakeAbsenteeShaped();
+    // Hierarchies: 0=county, 1=party, 2=week, 3=gender.
+    reptile::Report("Absentee-shaped", absentee, {0, 1, 2, 3});
+  }
+  {
+    reptile::Dataset compas = reptile::MakeCompasShaped();
+    // Hierarchies: 0=time (year, month, day), 1=age, 2=race, 3=degree.
+    reptile::Report("COMPAS-shaped", compas, {0, 0, 0, 1, 2, 3});
+  }
+  {
+    // Cross-product stress: 4 hierarchies whose parallel groups multiply to
+    // w^4 rows — the regime where avoiding materialisation is structural
+    // (the paper's §5.1.4 discussion: y is an aggregate that varies per
+    // group, so the parallel groups include every — possibly empty — group).
+    reptile::SyntheticOptions options;
+    options.num_hierarchies = 4;
+    options.attrs_per_hierarchy = 1;
+    options.cardinality = reptile::EnvInt("REPTILE_FIG10_STRESS_W", 40);
+    reptile::Dataset stress = reptile::MakeChainDataset(options, 50000);
+    reptile::Report("Cross-product stress", stress, {0, 1, 2, 3});
+  }
+  std::printf(
+      "Substitution note: the paper's >6x baseline is Matlab driving LAPACK, i.e.\n"
+      "an interpreted pipeline; both of our paths share the same optimized C++\n"
+      "substrate, so the end-to-end gap shrinks while its direction and growth\n"
+      "with drill depth are preserved. The stress shape isolates the paper's\n"
+      "mechanism (exponential parallel groups): the factorised gap widens with\n"
+      "the cross-product size, bounded by the EM loop's O(n) vector work that\n"
+      "both backends share.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 18 (Appendix N): the Vote case study on a Georgia-like swing
+// state. The complaint is that the statewide vote percentage is too low;
+// Reptile ranks counties by the margin gained if their statistics are
+// repaired to the model's expectation. Model 1 uses default features only
+// (it mainly surfaces outliers); model 2 adds the 2016 share auxiliary
+// feature. A third run injects missing vote records into a few counties
+// (Figure 18h/i): with frepair also restoring COUNT (the distributive set
+// of Appendix N), the missing-record counties surface.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/vote_gen.h"
+
+namespace reptile {
+namespace {
+
+struct Run {
+  std::string title;
+  const Dataset* dataset;
+  bool use_aux;
+  bool repair_count;
+};
+
+void Report(const Run& run, const Table& aux2016, const std::vector<std::string>& missing) {
+  EngineOptions options;
+  options.top_k = 10;
+  if (run.repair_count) options.extra_repair_stats = {AggFn::kCount};
+  Engine engine(run.dataset, options);
+  if (run.use_aux) {
+    AuxiliarySpec spec;
+    spec.name = "share2016";
+    spec.table = &aux2016;
+    spec.join_attrs = {"county"};
+    spec.measure = "share2016";
+    engine.RegisterAuxiliary(std::move(spec));
+    AuxiliarySpec votes;
+    votes.name = "votes2016";
+    votes.table = &aux2016;
+    votes.join_attrs = {"county"};
+    votes.measure = "votes2016";
+    engine.RegisterAuxiliary(std::move(votes));
+  }
+  const Table& table = run.dataset->table();
+  Complaint complaint =
+      Complaint::TooLow(AggFn::kMean, table.ColumnIndex("trump_share"), RowFilter());
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  const HierarchyRecommendation& best = rec.best();
+
+  // Statewide observed share for the margin-gain baseline.
+  Moments statewide;
+  for (double v : table.measure(table.ColumnIndex("trump_share"))) statewide.Observe(v);
+  double observed = statewide.Mean();
+
+  std::printf("%s\n", run.title.c_str());
+  std::printf("  statewide share: %.4f — top-10 counties by margin gain after repair\n",
+              observed);
+  for (const GroupRecommendation& g : best.top_groups) {
+    bool injected = false;
+    for (const std::string& county : missing) {
+      if (g.description.find("county=" + county + ",") != std::string::npos ||
+          g.description == "county=" + county) {
+        injected = true;
+      }
+    }
+    std::printf("    %-22s margin gain %+0.4f  (obs share %.3f -> pred %.3f, votes %5.0f)%s\n",
+                g.description.c_str(), g.repaired_complaint_value - observed,
+                g.observed.Mean(), g.predicted.at(AggFn::kMean), g.observed.count,
+                injected ? "  [missing-records county]" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main() {
+  using namespace reptile;
+  std::printf("Figure 18: Vote case study (Georgia-like, 159 counties)\n\n");
+  GeorgiaPanel georgia = MakeGeorgia();
+  Report({"Model 1 (default features): margin gain mainly reflects outliers",
+          &georgia.dataset, /*use_aux=*/false, /*repair_count=*/false},
+         georgia.aux2016, {});
+  Report({"Model 2 (+2016 share): margin gain reflects 2016-adjusted anomalies",
+          &georgia.dataset, /*use_aux=*/true, /*repair_count=*/false},
+         georgia.aux2016, {});
+  Report({"Model 2 on data with injected missing records (repairing COUNT and MEAN)",
+          &georgia.dataset_missing, /*use_aux=*/true, /*repair_count=*/true},
+         georgia.aux2016, georgia.missing_counties);
+  std::printf("Injected missing-record counties:");
+  for (const std::string& county : georgia.missing_counties) std::printf(" %s", county.c_str());
+  std::printf("\n\nExpected shape (paper): model 1 highlights share outliers; model 2's gains\n"
+              "track the 2016-adjusted change; with missing records injected, those\n"
+              "counties' margin gains grow because Reptile also repairs total votes.\n");
+  return 0;
+}

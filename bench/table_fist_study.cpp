@@ -1,0 +1,87 @@
+// FIST expert study (Section 5.4, Appendix M): 22 scripted complaints over
+// simulated Ethiopian drought-survey data with injected errors of the
+// classes the paper reports. A complaint counts as resolved when the
+// top-ranked drill-down group is the corrupted one AND repairing it recovers
+// most of the anomaly (the study's experts verified recommendations by
+// examining the records).
+//
+// Paper outcome to reproduce: 20 of 22 complaints resolved; one failure is
+// inherently ambiguous (error below reporting noise) and one is the
+// two-district standard-deviation case where no single-group repair can
+// reduce the STD (Appendix M's parabola argument).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datagen/fist_gen.h"
+
+namespace reptile {
+namespace {
+
+double ComplaintValue(const Table& table, const Complaint& c, int fallback_measure) {
+  Moments observed;
+  const std::vector<double>& values =
+      table.measure(c.measure_column >= 0 ? c.measure_column : fallback_measure);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (table.Matches(c.filter, row)) observed.Observe(values[row]);
+  }
+  return observed.Value(c.agg);
+}
+
+bool RunCase(const FistStudy& study, const Table& clean_table, const FistComplaintCase& c) {
+  Engine engine(&study.dataset);
+  AuxiliarySpec spec;
+  spec.name = "rainfall";
+  spec.table = &study.rainfall;
+  spec.join_attrs = {"village", "year"};
+  spec.measure = "rainfall";
+  engine.RegisterAuxiliary(std::move(spec));
+
+  // Session state for this complaint: time drilled to years, geography to
+  // the level above the expected explanation.
+  engine.CommitDrillDown(1);
+  for (int depth = 0; depth < c.geo_commit_depth; ++depth) engine.CommitDrillDown(0);
+
+  Recommendation rec = engine.RecommendDrillDown(c.complaint);
+  if (rec.best_index < 0 || rec.best().top_groups.empty()) return false;
+  const GroupRecommendation& top = rec.best().top_groups[0];
+  if (top.description.find(c.expected_substr) == std::string::npos) return false;
+
+  // Anomaly-recovery check: the clean panel shares the generator seed, so
+  // the complaint's ground-truth value is computable. The repair must
+  // recover at least half of the anomaly — in the two-district STD case it
+  // recovers almost none of it (Appendix M), so the expert rejects it.
+  int severity = study.dataset.table().ColumnIndex("severity");
+  double observed = ComplaintValue(study.dataset.table(), c.complaint, severity);
+  double clean = ComplaintValue(clean_table, c.complaint, severity);
+  double repaired = top.repaired_complaint_value;
+  double anomaly = std::fabs(observed - clean);
+  if (anomaly <= 0.0) return false;
+  double recovered = (anomaly - std::fabs(repaired - clean)) / anomaly;
+  return recovered > 0.5;
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main() {
+  using namespace reptile;
+  std::printf("FIST expert study: 22 complaints over simulated drought-survey data\n\n");
+  FistStudy study = MakeFistStudy();
+  FistStudy clean = MakeCleanFist();  // same seed: identical noise draws
+  int resolved = 0;
+  int agree_with_paper = 0;
+  for (const FistComplaintCase& c : study.cases) {
+    bool hit = RunCase(study, clean.dataset.table(), c);
+    resolved += hit;
+    agree_with_paper += hit == c.expect_success;
+    std::printf("  %-46s [%s] %s  expected: %s\n", c.name.c_str(),
+                c.complaint.Describe().c_str(), hit ? "resolved" : "FAILED",
+                c.expect_success ? "resolved" : "failure");
+  }
+  std::printf("\nResolved %d / %zu complaints (paper: 20/22); outcome matches the paper's "
+              "per-case expectation for %d/%zu cases.\n",
+              resolved, study.cases.size(), agree_with_paper, study.cases.size());
+  return 0;
+}

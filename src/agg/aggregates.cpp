@@ -1,0 +1,91 @@
+#include "agg/aggregates.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace reptile {
+
+std::string AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kMean:
+      return "MEAN";
+    case AggFn::kStd:
+      return "STD";
+    case AggFn::kVar:
+      return "VAR";
+  }
+  return "UNKNOWN";
+}
+
+double Moments::SampleVar() const {
+  if (count < 2.0) return 0.0;
+  double mean = Mean();
+  // sum of squared deviations = sumsq - n * mean^2; clamp tiny negatives from
+  // floating-point cancellation.
+  double ss = sumsq - count * mean * mean;
+  if (ss < 0.0) ss = 0.0;
+  return ss / (count - 1.0);
+}
+
+double Moments::SampleStd() const { return std::sqrt(SampleVar()); }
+
+double Moments::Value(AggFn fn) const {
+  switch (fn) {
+    case AggFn::kCount:
+      return count;
+    case AggFn::kSum:
+      return sum;
+    case AggFn::kMean:
+      return Mean();
+    case AggFn::kStd:
+      return SampleStd();
+    case AggFn::kVar:
+      return SampleVar();
+  }
+  return 0.0;
+}
+
+Moments Moments::FromStats(double count, double mean, double std) {
+  Moments m;
+  m.count = count;
+  m.sum = mean * count;
+  // sumsq = (n-1) * s^2 + n * mean^2 inverts SampleVar().
+  double var_part = count > 1.0 ? (count - 1.0) * std * std : 0.0;
+  m.sumsq = var_part + count * mean * mean;
+  return m;
+}
+
+AggTriple MergeTriples(const std::vector<AggTriple>& parts) {
+  // Appendix A:
+  //   G_count = sum_j c_j
+  //   G_mean  = sum_j c_j m_j / G_count
+  //   G_std   = sqrt( (sum_j (c_j - 1) s_j^2 + sum_j c_j (G_mean - m_j)^2)
+  //                   / (G_count - 1) )
+  AggTriple out;
+  double weighted_sum = 0.0;
+  for (const AggTriple& p : parts) {
+    if (p.count <= 0.0) continue;
+    out.count += p.count;
+    weighted_sum += p.count * p.mean;
+  }
+  if (out.count <= 0.0) return out;
+  out.mean = weighted_sum / out.count;
+  if (out.count <= 1.0) return out;
+  double ss = 0.0;
+  for (const AggTriple& p : parts) {
+    if (p.count <= 0.0) continue;
+    if (p.count > 1.0) ss += (p.count - 1.0) * p.std * p.std;
+    double d = out.mean - p.mean;
+    ss += p.count * d * d;
+  }
+  if (ss < 0.0) ss = 0.0;
+  out.std = std::sqrt(ss / (out.count - 1.0));
+  return out;
+}
+
+}  // namespace reptile

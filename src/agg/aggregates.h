@@ -1,0 +1,89 @@
+// Distributive aggregate algebra (paper Section 3.1 and Appendix A).
+//
+// Reptile supports complaints over distributive sets of aggregation
+// functions: given a partition of R into subsets, there is a merge function G
+// recombining per-subset results into the global result. Two equivalent
+// representations are provided:
+//
+//  * Moments — count / sum / sum-of-squares sketches, closed under addition;
+//    every supported statistic (COUNT, SUM, MEAN, STD, VAR) derives from them.
+//  * AggTriple + MergeTriples — the paper's Appendix A formulation, merging
+//    (mean, count, std) triples directly with the G_mean / G_count / G_std
+//    formulas. Tests verify both representations agree.
+
+#ifndef REPTILE_AGG_AGGREGATES_H_
+#define REPTILE_AGG_AGGREGATES_H_
+
+#include <string>
+#include <vector>
+
+namespace reptile {
+
+/// Aggregate statistics Reptile can compute, complain about, and repair.
+enum class AggFn {
+  kCount,
+  kSum,
+  kMean,
+  kStd,  // sample standard deviation (n-1 denominator)
+  kVar,  // sample variance
+};
+
+/// Human-readable name ("COUNT", "MEAN", ...).
+std::string AggFnName(AggFn fn);
+
+/// Distributive moment sketch: closed under Add / Subtract, so a group can be
+/// removed from or re-inserted into a parent aggregate in O(1) — the
+/// `G(V' \ {t} ∪ {frepair(t)})` recombination of Problem 1.
+struct Moments {
+  double count = 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+
+  void Observe(double value) {
+    count += 1.0;
+    sum += value;
+    sumsq += value * value;
+  }
+
+  void Add(const Moments& other) {
+    count += other.count;
+    sum += other.sum;
+    sumsq += other.sumsq;
+  }
+
+  void Subtract(const Moments& other) {
+    count -= other.count;
+    sum -= other.sum;
+    sumsq -= other.sumsq;
+  }
+
+  double Mean() const { return count > 0.0 ? sum / count : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double SampleVar() const;
+
+  /// Sample standard deviation; 0 when count < 2.
+  double SampleStd() const;
+
+  /// Value of the requested statistic.
+  double Value(AggFn fn) const;
+
+  /// Builds a sketch equivalent to `count` observations with the given mean
+  /// and sample standard deviation (inverse of Mean()/SampleStd()).
+  static Moments FromStats(double count, double mean, double std);
+};
+
+/// The Appendix A representation: per-subset (mean, count, std).
+struct AggTriple {
+  double mean = 0.0;
+  double count = 0.0;
+  double std = 0.0;
+};
+
+/// Merges per-subset triples with the Appendix A formulas
+/// (G_mean, G_count, G_std). Subsets with count 0 are ignored.
+AggTriple MergeTriples(const std::vector<AggTriple>& parts);
+
+}  // namespace reptile
+
+#endif  // REPTILE_AGG_AGGREGATES_H_

@@ -1,0 +1,110 @@
+#include "baselines/lmfao_style.h"
+
+#include "common/check.h"
+
+namespace reptile {
+namespace {
+
+// Subtree leaf counts of one level, recomputed from the chain relations
+// (parent arrays) with a fresh bottom-up pass — no reuse across queries.
+std::vector<int64_t> SubtreeCounts(const FTree& tree, int level) {
+  std::vector<int64_t> counts(tree.num_nodes(tree.depth() - 1), 1);
+  for (int l = tree.depth() - 1; l > level; --l) {
+    std::vector<int64_t> up(tree.num_nodes(l - 1), 0);
+    const std::vector<int64_t>& parents = tree.level(l).parent;
+    for (size_t node = 0; node < parents.size(); ++node) {
+      up[static_cast<size_t>(parents[node])] += counts[node];
+    }
+    counts = std::move(up);
+  }
+  return counts;
+}
+
+}  // namespace
+
+LmfaoStyleResult LmfaoStyleComputeAggregates(const FactorizedMatrix& fm) {
+  LmfaoStyleResult result;
+  int m = fm.num_cols();
+  result.gram = Matrix(static_cast<size_t>(m), static_cast<size_t>(m));
+  double n = static_cast<double>(fm.num_rows());
+
+  // --- COUNT per attribute: one independent query each. ---
+  for (int flat = 0; flat < fm.num_attrs(); ++flat) {
+    AttrId attr = fm.FlatAttr(flat);
+    const FTree& tree = fm.tree(attr.hierarchy);
+    std::vector<int64_t> local = SubtreeCounts(tree, attr.level);
+    int64_t suffix = fm.SuffixLeaves(attr.hierarchy);
+    for (int64_t& c : local) c *= suffix;
+    result.counts.push_back(std::move(local));
+  }
+
+  // --- Gram matrix: one independent query per cell. ---
+  for (int i = 0; i < m; ++i) {
+    const FeatureColumn& a = fm.column(i);
+    REPTILE_CHECK(!a.is_multi) << "LMFAO baseline covers single-attribute features";
+    for (int j = i; j < m; ++j) {
+      const FeatureColumn& b = fm.column(j);
+      double cell = 0.0;
+      if (a.attr.hierarchy == b.attr.hierarchy) {
+        const FTree& tree = fm.tree(a.attr.hierarchy);
+        int la = a.attr.level;
+        int lb = b.attr.level;
+        const FeatureColumn* upper = &a;
+        const FeatureColumn* lower = &b;
+        if (la > lb) {
+          std::swap(la, lb);
+          std::swap(upper, lower);
+        }
+        // Per-query subtree counts (recomputed) and per-node ancestor walks
+        // (no shared COF tables).
+        std::vector<int64_t> counts = SubtreeCounts(tree, lb);
+        double multiplier = n / static_cast<double>(tree.num_leaves());
+        const FTree::Level& deep = tree.level(lb);
+        double sum = 0.0;
+        for (int64_t node = 0; node < deep.size(); ++node) {
+          int64_t anc = tree.AncestorAt(lb, node, la);  // walks the chain
+          sum += static_cast<double>(counts[static_cast<size_t>(node)]) *
+                 upper->ValueForCode(tree.level(la).value[anc]) *
+                 lower->ValueForCode(deep.value[node]);
+        }
+        cell = multiplier * sum;
+      } else {
+        // Cross-hierarchy: materialise the COF pair table (the cartesian
+        // product Reptile never builds), then aggregate over it.
+        const FTree& ta = fm.tree(a.attr.hierarchy);
+        const FTree& tb = fm.tree(b.attr.hierarchy);
+        std::vector<int64_t> ca = SubtreeCounts(ta, a.attr.level);
+        std::vector<int64_t> cb = SubtreeCounts(tb, b.attr.level);
+        int64_t na = ta.num_nodes(a.attr.level);
+        int64_t nb = tb.num_nodes(b.attr.level);
+        std::vector<double> cof(static_cast<size_t>(na * nb));
+        double scale = n / (static_cast<double>(ta.num_leaves()) *
+                            static_cast<double>(tb.num_leaves()));
+        for (int64_t x = 0; x < na; ++x) {
+          for (int64_t y = 0; y < nb; ++y) {
+            cof[static_cast<size_t>(x * nb + y)] =
+                scale * static_cast<double>(ca[static_cast<size_t>(x)]) *
+                static_cast<double>(cb[static_cast<size_t>(y)]);
+          }
+        }
+        result.materialized_cof_cells += na * nb;
+        const FTree::Level& level_a = ta.level(a.attr.level);
+        const FTree::Level& level_b = tb.level(b.attr.level);
+        double sum = 0.0;
+        for (int64_t x = 0; x < na; ++x) {
+          double fa = a.ValueForCode(level_a.value[x]);
+          for (int64_t y = 0; y < nb; ++y) {
+            sum += cof[static_cast<size_t>(x * nb + y)] * fa *
+                   b.ValueForCode(level_b.value[y]);
+          }
+        }
+        cell = sum;
+      }
+      result.gram(static_cast<size_t>(i), static_cast<size_t>(j)) = cell;
+      result.gram(static_cast<size_t>(j), static_cast<size_t>(i)) = cell;
+    }
+  }
+  return result;
+}
+
+}  // namespace reptile

@@ -1,0 +1,28 @@
+#include "baselines/naive_trainer.h"
+
+#include "common/check.h"
+#include "fmatrix/cluster_ops.h"
+#include "fmatrix/materialize.h"
+
+namespace reptile {
+
+std::vector<int64_t> ClusterBeginsOf(const FactorizedMatrix& fm) {
+  std::vector<int64_t> begins;
+  ClusterIterator it(fm);
+  for (bool ok = it.Start(); ok; ok = it.Next()) {
+    begins.push_back(it.row_begin());
+  }
+  begins.push_back(fm.num_rows());
+  return begins;
+}
+
+MultiLevelModel TrainMultiLevelDense(const FactorizedMatrix& fm, const std::vector<double>& y,
+                                     const std::vector<int>& z_cols,
+                                     const MultiLevelOptions& options, Matrix* x_storage) {
+  REPTILE_CHECK(x_storage != nullptr);
+  *x_storage = MaterializeMatrix(fm);
+  DenseEmBackend backend(x_storage, ClusterBeginsOf(fm), z_cols);
+  return TrainMultiLevel(&backend, y, options);
+}
+
+}  // namespace reptile

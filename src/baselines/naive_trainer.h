@@ -1,0 +1,29 @@
+// The Matlab/LAPACK-style baseline trainer (paper Section 5.1.4): fully
+// materialises the feature matrix and runs the same EM over dense kernels.
+// Reptile's factorised trainer produces identical estimates without ever
+// materialising X.
+
+#ifndef REPTILE_BASELINES_NAIVE_TRAINER_H_
+#define REPTILE_BASELINES_NAIVE_TRAINER_H_
+
+#include <vector>
+
+#include "factor/frep.h"
+#include "model/multilevel.h"
+
+namespace reptile {
+
+/// Cluster boundaries of the factorised matrix in row order (first row of
+/// each cluster plus the sentinel n) — the input DenseEmBackend expects.
+std::vector<int64_t> ClusterBeginsOf(const FactorizedMatrix& fm);
+
+/// Materialises X from `fm` and fits the multi-level model densely.
+/// `x_storage` receives the materialised matrix (kept alive for the backend)
+/// so callers can reuse it for predictions.
+MultiLevelModel TrainMultiLevelDense(const FactorizedMatrix& fm, const std::vector<double>& y,
+                                     const std::vector<int>& z_cols,
+                                     const MultiLevelOptions& options, Matrix* x_storage);
+
+}  // namespace reptile
+
+#endif  // REPTILE_BASELINES_NAIVE_TRAINER_H_

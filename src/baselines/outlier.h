@@ -1,0 +1,25 @@
+// Outlier baseline (paper Section 5.2.3): uses the same model predictions as
+// Reptile but ignores the complaint — it returns the group whose statistic
+// most deviates from the model's expectation, regardless of direction. The
+// ablation of Figure 12 shows why the complaint matters.
+
+#ifndef REPTILE_BASELINES_OUTLIER_H_
+#define REPTILE_BASELINES_OUTLIER_H_
+
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "core/ranker.h"
+#include "data/group_by.h"
+
+namespace reptile {
+
+/// Ranks sibling groups by descending |observed - predicted| of the given
+/// statistic. `predictions` is aligned with the sibling groups (as produced
+/// by the engine's repair models).
+std::vector<ScoredGroup> OutlierRank(const GroupByResult& siblings,
+                                     const GroupPredictions& predictions, AggFn agg);
+
+}  // namespace reptile
+
+#endif  // REPTILE_BASELINES_OUTLIER_H_

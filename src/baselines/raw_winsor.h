@@ -1,0 +1,33 @@
+// Raw baseline (paper Section 5.2.1): record-level bottom-up repair based on
+// Winsorization [Lien & Balakrishnan 2005]. Each row's measure is clipped to
+// the plausibility band [MEAN - STD, MEAN + STD] derived from the drill-down
+// groups' statistics, i.e., the repair "drifts the group's values back"
+// toward the cross-group norm (the paper's own phrasing); groups are then
+// ranked by how well their clipping-based repair resolves the complaint.
+//
+// Because the repair only changes values, Raw cannot capture missing or
+// duplicated records (Figure 11), and because the repair's impact scales
+// with the group's row count, it confuses Missing+Decrease errors (the
+// paper's explanation of Raw's failure there).
+
+#ifndef REPTILE_BASELINES_RAW_WINSOR_H_
+#define REPTILE_BASELINES_RAW_WINSOR_H_
+
+#include <vector>
+
+#include "core/complaint.h"
+#include "core/ranker.h"
+#include "data/group_by.h"
+#include "data/table.h"
+
+namespace reptile {
+
+/// Ranks the groups of `table` (restricted to the complaint filter, grouped
+/// by `key_columns`) by the complaint value after the group's rows are
+/// winsorized to the cross-group band.
+std::vector<ScoredGroup> RawWinsorRank(const Table& table, const std::vector<int>& key_columns,
+                                       const Complaint& complaint);
+
+}  // namespace reptile
+
+#endif  // REPTILE_BASELINES_RAW_WINSOR_H_

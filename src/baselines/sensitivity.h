@@ -1,0 +1,23 @@
+// Sensitivity baseline (paper Section 5.2.1): Scorpion-style interventional
+// deletion [Wu & Madden 2013]. Recommends the group which, after deleting all
+// of its rows, best resolves the complaint. No auxiliary data, no model.
+
+#ifndef REPTILE_BASELINES_SENSITIVITY_H_
+#define REPTILE_BASELINES_SENSITIVITY_H_
+
+#include <vector>
+
+#include "core/complaint.h"
+#include "core/ranker.h"
+#include "data/group_by.h"
+
+namespace reptile {
+
+/// Ranks sibling groups by fcomp(G(V' \ {t})) — the complaint value after
+/// deleting the group (ascending).
+std::vector<ScoredGroup> SensitivityRank(const GroupByResult& siblings,
+                                         const Complaint& complaint);
+
+}  // namespace reptile
+
+#endif  // REPTILE_BASELINES_SENSITIVITY_H_

@@ -1,0 +1,24 @@
+// Support baseline (paper Section 5.2.1): density-based ranking — the
+// fraction of rows in a drill-down group, commonly used as a pruning
+// criterion in explanation systems. Recommends the group with the largest
+// COUNT; ignores the complaint and any auxiliary data.
+
+#ifndef REPTILE_BASELINES_SUPPORT_H_
+#define REPTILE_BASELINES_SUPPORT_H_
+
+#include <vector>
+
+#include "core/complaint.h"
+#include "core/ranker.h"
+#include "data/group_by.h"
+
+namespace reptile {
+
+/// Ranks sibling groups by descending support (row count). The reported
+/// score is the negated support so that lower = better, matching the shared
+/// ScoredGroup convention.
+std::vector<ScoredGroup> SupportRank(const GroupByResult& siblings);
+
+}  // namespace reptile
+
+#endif  // REPTILE_BASELINES_SUPPORT_H_

@@ -1,0 +1,65 @@
+// Invariant-checking macros.
+//
+// The project follows the Google C++ style guide and does not use exceptions;
+// programmer errors and violated invariants abort the process with a message.
+// REPTILE_CHECK is always on; REPTILE_DCHECK compiles out in release builds.
+
+#ifndef REPTILE_COMMON_CHECK_H_
+#define REPTILE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace reptile {
+namespace internal {
+
+// Accumulates a failure message and aborts when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": CHECK failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace reptile
+
+#define REPTILE_CHECK(condition)                                         \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::reptile::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define REPTILE_CHECK_EQ(a, b) REPTILE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REPTILE_CHECK_NE(a, b) REPTILE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REPTILE_CHECK_LT(a, b) REPTILE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REPTILE_CHECK_LE(a, b) REPTILE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REPTILE_CHECK_GT(a, b) REPTILE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define REPTILE_CHECK_GE(a, b) REPTILE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define REPTILE_DCHECK(condition) \
+  if (true) {                     \
+  } else                          \
+    ::reptile::internal::CheckFailure(__FILE__, __LINE__, #condition)
+#else
+#define REPTILE_DCHECK(condition) REPTILE_CHECK(condition)
+#endif
+
+#endif  // REPTILE_COMMON_CHECK_H_

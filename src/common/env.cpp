@@ -1,0 +1,25 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace reptile {
+
+int64_t EnvInt(const std::string& name, int64_t def) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const std::string& name, double def) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value) return def;
+  return parsed;
+}
+
+}  // namespace reptile

@@ -1,0 +1,21 @@
+// Environment-variable overrides for benchmark scale factors, so the
+// experiment harness can be dialed up to the paper's full configuration or
+// down for quick smoke runs without recompiling.
+
+#ifndef REPTILE_COMMON_ENV_H_
+#define REPTILE_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace reptile {
+
+/// Integer environment variable with default; parse failures return `def`.
+int64_t EnvInt(const std::string& name, int64_t def);
+
+/// Double environment variable with default; parse failures return `def`.
+double EnvDouble(const std::string& name, double def);
+
+}  // namespace reptile
+
+#endif  // REPTILE_COMMON_ENV_H_

@@ -1,0 +1,26 @@
+// Hash helpers shared by group-by keys, multi-attribute feature maps, and
+// f-tree path lookup.
+
+#ifndef REPTILE_COMMON_HASHING_H_
+#define REPTILE_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace reptile {
+
+/// FNV-1a style hash over a tuple of int32 codes.
+struct CodeTupleHash {
+  size_t operator()(const std::vector<int32_t>& key) const {
+    size_t h = 1469598103934665603ull;
+    for (int32_t v : key) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_COMMON_HASHING_H_

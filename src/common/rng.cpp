@@ -1,0 +1,29 @@
+#include "common/rng.h"
+
+namespace reptile {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+int64_t Rng::Poisson(double mean) {
+  return std::poisson_distribution<int64_t>(mean)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+}  // namespace reptile

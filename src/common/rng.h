@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation for data generators and
+// experiments. All generators in the repository draw from this class so that
+// every experiment is reproducible from a single seed.
+
+#ifndef REPTILE_COMMON_RNG_H_
+#define REPTILE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace reptile {
+
+/// Seedable random number generator wrapping std::mt19937_64 with the
+/// distributions the generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Normal draw with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Poisson draw with the given mean.
+  int64_t Poisson(double mean);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Underlying engine, for use with std:: distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_COMMON_RNG_H_

@@ -1,0 +1,110 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace reptile {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleStd(const std::vector<double>& values) {
+  size_t n = values.size();
+  if (n < 2) return 0.0;
+  double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double PopulationVariance(const std::vector<double>& values) {
+  size_t n = values.size();
+  if (n == 0) return 0.0;
+  double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return ss / static_cast<double>(n);
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  REPTILE_CHECK_EQ(a.size(), b.size());
+  size_t n = a.size();
+  if (n < 2) return 0.0;
+  double ma = Mean(a);
+  double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = a[i] - ma;
+    double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<size_t> Ranks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t i, size_t j) { return values[i] < values[j]; });
+  std::vector<size_t> ranks(values.size());
+  for (size_t r = 0; r < order.size(); ++r) ranks[order[r]] = r;
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  std::vector<size_t> ra = Ranks(a);
+  std::vector<size_t> rb = Ranks(b);
+  std::vector<double> da(ra.begin(), ra.end());
+  std::vector<double> db(rb.begin(), rb.end());
+  return PearsonCorrelation(da, db);
+}
+
+std::vector<double> InduceRankCorrelation(const std::vector<double>& reference, double rho,
+                                          double mean, double stddev, Rng* rng) {
+  REPTILE_CHECK(rng != nullptr);
+  size_t n = reference.size();
+  std::vector<double> draws(n);
+  for (size_t i = 0; i < n; ++i) draws[i] = rng->Normal(mean, stddev);
+  if (n < 2) return draws;
+
+  // Iman-Conover: build a score vector whose ranks define the target ordering
+  // (rho * standardized reference + sqrt(1 - rho^2) * independent noise), then
+  // assign the sorted draws according to those ranks. The marginal of the
+  // output stays exactly N(mean, stddev); only the ordering changes.
+  double ref_mean = Mean(reference);
+  double ref_std = SampleStd(reference);
+  if (ref_std <= 0.0) ref_std = 1.0;
+  double noise_scale = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    double z = (reference[i] - ref_mean) / ref_std;
+    scores[i] = rho * z + noise_scale * rng->Normal(0.0, 1.0);
+  }
+  std::vector<size_t> score_ranks = Ranks(scores);
+  std::vector<double> sorted = draws;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> result(n);
+  for (size_t i = 0; i < n; ++i) result[i] = sorted[score_ranks[i]];
+  return result;
+}
+
+}  // namespace reptile

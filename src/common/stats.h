@@ -1,0 +1,47 @@
+// Order statistics and correlation utilities shared by the featurizer,
+// the baselines, and the synthetic-data generators.
+//
+// InduceRankCorrelation implements the Iman-Conover (1982) distribution-free
+// procedure the paper uses (Section 5.2.1) to generate auxiliary measures
+// with a target rank correlation to a group statistic.
+
+#ifndef REPTILE_COMMON_STATS_H_
+#define REPTILE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace reptile {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 values.
+double SampleStd(const std::vector<double>& values);
+
+/// Population variance (n denominator); 0 for an empty vector.
+double PopulationVariance(const std::vector<double>& values);
+
+/// Median; 0 for an empty vector. Copies and partially sorts the input.
+double Median(std::vector<double> values);
+
+/// Pearson correlation of two equal-length vectors; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Spearman rank correlation of two equal-length vectors; 0 if degenerate.
+double SpearmanCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Ranks of `values` (0 = smallest). Ties broken by index for determinism.
+std::vector<size_t> Ranks(const std::vector<double>& values);
+
+/// Returns a vector of `reference.size()` normal draws rearranged so that its
+/// rank correlation with `reference` is approximately `rho` (Iman-Conover).
+/// The marginal distribution of the result is N(mean, stddev).
+std::vector<double> InduceRankCorrelation(const std::vector<double>& reference, double rho,
+                                          double mean, double stddev, Rng* rng);
+
+}  // namespace reptile
+
+#endif  // REPTILE_COMMON_STATS_H_

@@ -1,0 +1,34 @@
+// Wall-clock timer used by the benchmark harness and the engine's
+// per-invocation accounting.
+
+#ifndef REPTILE_COMMON_TIMER_H_
+#define REPTILE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace reptile {
+
+/// Simple monotonic wall-clock timer. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_COMMON_TIMER_H_

@@ -1,0 +1,59 @@
+#include "core/complaint.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace reptile {
+
+double Complaint::Score(double value) const {
+  switch (direction) {
+    case ComplaintDirection::kTooHigh:
+      return value;
+    case ComplaintDirection::kTooLow:
+      return -value;
+    case ComplaintDirection::kEquals:
+      return std::fabs(value - target);
+  }
+  return 0.0;
+}
+
+std::string Complaint::Describe() const {
+  std::ostringstream os;
+  os << AggFnName(agg);
+  switch (direction) {
+    case ComplaintDirection::kTooHigh:
+      os << " is too high";
+      break;
+    case ComplaintDirection::kTooLow:
+      os << " is too low";
+      break;
+    case ComplaintDirection::kEquals:
+      os << " should be " << target;
+      break;
+  }
+  return os.str();
+}
+
+Complaint Complaint::TooHigh(AggFn agg, int measure_column, RowFilter filter) {
+  Complaint c;
+  c.agg = agg;
+  c.measure_column = measure_column;
+  c.filter = std::move(filter);
+  c.direction = ComplaintDirection::kTooHigh;
+  return c;
+}
+
+Complaint Complaint::TooLow(AggFn agg, int measure_column, RowFilter filter) {
+  Complaint c = TooHigh(agg, measure_column, std::move(filter));
+  c.direction = ComplaintDirection::kTooLow;
+  return c;
+}
+
+Complaint Complaint::Equals(AggFn agg, int measure_column, RowFilter filter, double target) {
+  Complaint c = TooHigh(agg, measure_column, std::move(filter));
+  c.direction = ComplaintDirection::kEquals;
+  c.target = target;
+  return c;
+}
+
+}  // namespace reptile

@@ -1,0 +1,57 @@
+// User complaints (paper Section 3.1).
+//
+// A complaint is a function fcomp over the complained tuple's aggregate value
+// that the user wants minimised: "too high" (minimise the value), "too low"
+// (maximise it, i.e. minimise its negation), or "should equal v" (minimise
+// |value - v|). The complaint tuple tc is identified by a conjunctive filter
+// over already-drilled attributes.
+
+#ifndef REPTILE_CORE_COMPLAINT_H_
+#define REPTILE_CORE_COMPLAINT_H_
+
+#include <string>
+
+#include "agg/aggregates.h"
+#include "data/table.h"
+
+namespace reptile {
+
+/// Direction of the complaint.
+enum class ComplaintDirection {
+  kTooHigh,  // the aggregate should be lower
+  kTooLow,   // the aggregate should be higher
+  kEquals,   // the aggregate should equal `target`
+};
+
+/// A complaint about one tuple of the current aggregate view.
+struct Complaint {
+  /// The complained statistic (COUNT, SUM, MEAN, STD).
+  AggFn agg = AggFn::kCount;
+
+  /// Table measure column the statistic is over (-1 for pure COUNT).
+  int measure_column = -1;
+
+  /// Coordinates of the complaint tuple tc: equality predicates over
+  /// dimension columns (the drill-down path plus the tuple's own key).
+  RowFilter filter;
+
+  ComplaintDirection direction = ComplaintDirection::kTooHigh;
+
+  /// Expected value for kEquals.
+  double target = 0.0;
+
+  /// fcomp: the value the system minimises.
+  double Score(double value) const;
+
+  /// Human-readable description for logs and example output.
+  std::string Describe() const;
+
+  // Convenience constructors.
+  static Complaint TooHigh(AggFn agg, int measure_column, RowFilter filter);
+  static Complaint TooLow(AggFn agg, int measure_column, RowFilter filter);
+  static Complaint Equals(AggFn agg, int measure_column, RowFilter filter, double target);
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_CORE_COMPLAINT_H_

@@ -1,0 +1,390 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/repair.h"
+#include "core/view.h"
+#include "factor/frep.h"
+#include "fmatrix/materialize.h"
+#include "fmatrix/right_mult.h"
+#include "model/linear.h"
+
+namespace reptile {
+namespace {
+
+// The intercept tree and its (trivial) aggregates, shared by every candidate
+// evaluation. Allocated once and never destroyed (static storage must be
+// trivially destructible).
+const FTree& InterceptTree() {
+  static const FTree& tree = *new FTree(FTree::Singleton());
+  return tree;
+}
+
+const LocalAggregates& InterceptLocals() {
+  static const LocalAggregates& locals = *new LocalAggregates(&InterceptTree());
+  return locals;
+}
+
+// Context assembled once per candidate evaluation.
+struct CandidateContext {
+  std::vector<const FTree*> trees;                 // intercept first, candidate last
+  std::vector<const LocalAggregates*> locals;      // aligned with trees
+  std::vector<std::vector<int>> tree_columns;      // table columns per tree
+  std::vector<int> key_columns;                    // flattened (no intercept)
+};
+
+// Attribute id of a table column among the drilled attributes, or nullopt.
+std::optional<AttrId> FindDrilledAttr(const CandidateContext& ctx, int table_column) {
+  for (size_t k = 1; k < ctx.tree_columns.size(); ++k) {
+    for (size_t l = 0; l < ctx.tree_columns[k].size(); ++l) {
+      if (ctx.tree_columns[k][l] == table_column) {
+        return AttrId{static_cast<int>(k), static_cast<int>(l)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const HierarchyRecommendation& Recommendation::best() const {
+  REPTILE_CHECK(best_index >= 0 && best_index < static_cast<int>(candidates.size()))
+      << "no drill-down candidate available";
+  return candidates[static_cast<size_t>(best_index)];
+}
+
+Engine::Engine(const Dataset* dataset, EngineOptions options)
+    : dataset_(dataset), options_(options), drill_state_(dataset, options.drill_mode) {
+  REPTILE_CHECK(dataset != nullptr);
+}
+
+void Engine::RegisterAuxiliary(AuxiliarySpec spec) {
+  REPTILE_CHECK(spec.table != nullptr);
+  REPTILE_CHECK(!spec.join_attrs.empty());
+  (void)spec.table->ColumnIndex(spec.measure);  // validate eagerly
+  for (const std::string& attr : spec.join_attrs) {
+    (void)dataset_->ResolveAttr(attr);
+    (void)spec.table->ColumnIndex(attr);
+  }
+  auxiliaries_.push_back(std::move(spec));
+}
+
+void Engine::RegisterCustomFeature(CustomFeatureSpec spec) {
+  (void)dataset_->ResolveAttr(spec.attr);
+  REPTILE_CHECK(spec.fn != nullptr);
+  custom_features_.push_back(std::move(spec));
+}
+
+void Engine::ExcludeFromRandomEffects(const std::string& feature_name) {
+  z_exclusions_.push_back(feature_name);
+}
+
+Recommendation Engine::RecommendDrillDown(const Complaint& complaint) {
+  drill_state_.BeginInvocation();
+  Recommendation rec;
+  double best = std::numeric_limits<double>::infinity();
+  for (int h = 0; h < dataset_->num_hierarchies(); ++h) {
+    if (!drill_state_.CanDrill(h)) continue;
+    rec.candidates.push_back(EvaluateCandidate(h, complaint));
+    const HierarchyRecommendation& cand = rec.candidates.back();
+    if (!cand.top_groups.empty() && cand.best_score < best) {
+      best = cand.best_score;
+      rec.best_index = static_cast<int>(rec.candidates.size()) - 1;
+    }
+  }
+  return rec;
+}
+
+void Engine::CommitDrillDown(int hierarchy) { drill_state_.Commit(hierarchy); }
+
+HierarchyRecommendation Engine::EvaluateCandidate(int h, const Complaint& complaint) {
+  Timer total_timer;
+  const Table& table = dataset_->table();
+  HierarchyRecommendation rec;
+  rec.hierarchy = h;
+  int new_depth = drill_state_.depth(h) + 1;
+  rec.attribute = dataset_->hierarchy(h).attributes[static_cast<size_t>(new_depth) - 1];
+
+  // --- 1. Assemble the trees: intercept, committed hierarchies, candidate
+  // last (the attribute-order requirement of Section 3.4). Tree/aggregate
+  // construction goes through the drill-down cache (Section 4.4).
+  CandidateContext ctx;
+  ctx.trees.push_back(&InterceptTree());
+  ctx.locals.push_back(&InterceptLocals());
+  ctx.tree_columns.push_back({});
+  for (int k = 0; k < dataset_->num_hierarchies(); ++k) {
+    if (k == h || drill_state_.depth(k) == 0) continue;
+    const HierarchyAggregates& agg = drill_state_.Get(k, drill_state_.depth(k));
+    ctx.trees.push_back(agg.tree.get());
+    ctx.locals.push_back(agg.locals.get());
+    ctx.tree_columns.push_back(dataset_->HierarchyColumns(k, drill_state_.depth(k)));
+  }
+  const HierarchyAggregates& cand_agg = drill_state_.Get(h, new_depth);
+  ctx.trees.push_back(cand_agg.tree.get());
+  ctx.locals.push_back(cand_agg.locals.get());
+  ctx.tree_columns.push_back(dataset_->HierarchyColumns(h, new_depth));
+  for (size_t k = 1; k < ctx.tree_columns.size(); ++k) {
+    ctx.key_columns.insert(ctx.key_columns.end(), ctx.tree_columns[k].begin(),
+                           ctx.tree_columns[k].end());
+  }
+
+  // Reference matrix for layout queries (per-primitive matrices share it).
+  FactorizedMatrix layout;
+  for (const FTree* t : ctx.trees) layout.AddTree(t);
+  rec.model_rows = layout.num_rows();
+  rec.model_clusters = layout.num_clusters();
+
+  // --- 2. Group statistics: y moments over all parallel groups (empty
+  // groups included — the worst case of Section 5.1.4), the non-empty groups
+  // for featurization, and the complaint tuple's siblings for ranking.
+  std::vector<Moments> y_moments =
+      BuildGroupMoments(layout, table, ctx.tree_columns, complaint.measure_column);
+  GroupByResult groups = GroupBy(table, ctx.key_columns, complaint.measure_column);
+  GroupByResult siblings =
+      GroupBy(table, ctx.key_columns, complaint.measure_column, complaint.filter);
+
+  // Matrix row of each sibling group.
+  std::vector<int64_t> sibling_rows(siblings.num_groups());
+  {
+    std::vector<int64_t> leaves(ctx.trees.size(), 0);
+    for (size_t g = 0; g < siblings.num_groups(); ++g) {
+      const std::vector<int32_t>& key = siblings.key_tuple(g);
+      size_t offset = 0;
+      for (size_t k = 1; k < ctx.trees.size(); ++k) {
+        int depth = ctx.trees[k]->depth();
+        int64_t leaf = ctx.trees[k]->LeafIndex(key.data() + offset, depth);
+        REPTILE_CHECK_GE(leaf, 0) << "sibling group missing from f-tree";
+        leaves[k] = leaf;
+        offset += static_cast<size_t>(depth);
+      }
+      sibling_rows[g] = layout.RowOfLeaves(leaves);
+    }
+  }
+
+  // --- 3/4. Per primitive statistic: build features, fit, predict. The
+  // primitives are the complaint's decomposition plus any extra statistics
+  // the user asked frepair to restore (Appendix N).
+  std::vector<AggFn> primitives = RequiredPrimitives(complaint.agg);
+  for (AggFn extra : options_.extra_repair_stats) {
+    for (AggFn required : RequiredPrimitives(extra)) {
+      if (std::find(primitives.begin(), primitives.end(), required) == primitives.end()) {
+        primitives.push_back(required);
+      }
+    }
+  }
+  GroupPredictions predictions(siblings.num_groups());
+  for (AggFn primitive : primitives) {
+    FactorizedMatrix fm;
+    for (const FTree* t : ctx.trees) fm.AddTree(t);
+
+    // Intercept.
+    std::vector<std::string> column_names;
+    {
+      FeatureColumn intercept;
+      intercept.name = "intercept";
+      intercept.attr = AttrId{0, 0};
+      intercept.value_map = {1.0};
+      fm.AddColumn(std::move(intercept));
+      column_names.push_back("intercept");
+    }
+    // Default main-effect features for every drilled attribute (§3.3.1).
+    // An attribute whose every value identifies at most one group would make
+    // the median-of-Y feature the target itself (pure leakage: the model
+    // would interpolate the corrupted group and the repair would be a
+    // no-op), so such attributes are skipped and the model relies on the
+    // other attributes and the auxiliary signals.
+    for (size_t k = 1; k < ctx.tree_columns.size(); ++k) {
+      for (size_t l = 0; l < ctx.tree_columns[k].size(); ++l) {
+        int column = ctx.tree_columns[k][l];
+        int flat = fm.FlatAttrIndex(AttrId{static_cast<int>(k), static_cast<int>(l)});
+        size_t key_pos = static_cast<size_t>(flat) - 1;
+        {
+          std::vector<int32_t> groups_per_code(
+              static_cast<size_t>(table.dict(column).size()), 0);
+          bool repeated = false;
+          for (size_t g = 0; g < groups.num_groups() && !repeated; ++g) {
+            int32_t code = groups.key(g, key_pos);
+            if (++groups_per_code[static_cast<size_t>(code)] >= 2) repeated = true;
+          }
+          if (!repeated) continue;
+        }
+        FeatureColumn fc;
+        fc.name = table.column_name(column);
+        fc.attr = AttrId{static_cast<int>(k), static_cast<int>(l)};
+        fc.value_map = MainEffectMap(groups, key_pos, primitive, table.dict(column).size());
+        column_names.push_back(fc.name);
+        fm.AddColumn(std::move(fc));
+      }
+    }
+    // Auxiliary datasets (§3.3.2, Appendix H): applicable once every join
+    // attribute has been drilled.
+    for (const AuxiliarySpec& aux : auxiliaries_) {
+      std::vector<AttrId> attrs;
+      std::vector<int> base_columns;
+      bool applicable = true;
+      for (const std::string& join_attr : aux.join_attrs) {
+        int base_column = table.ColumnIndex(join_attr);
+        std::optional<AttrId> attr = FindDrilledAttr(ctx, base_column);
+        if (!attr.has_value()) {
+          applicable = false;
+          break;
+        }
+        attrs.push_back(*attr);
+        base_columns.push_back(base_column);
+      }
+      if (!applicable) continue;
+      int measure = aux.table->ColumnIndex(aux.measure);
+      FeatureColumn fc;
+      fc.name = aux.name;
+      if (attrs.size() == 1) {
+        int aux_join = aux.table->ColumnIndex(aux.join_attrs[0]);
+        std::vector<int32_t> translated = TranslateCodes(
+            aux.table->dict(aux_join), table.dict(base_columns[0]), aux.table->dim_codes(aux_join));
+        fc.attr = attrs[0];
+        fc.value_map = AuxiliaryMapFromCodes(translated, aux.table->measure(measure),
+                                             table.dict(base_columns[0]).size(), aux.normalize);
+      } else {
+        fc.is_multi = true;
+        fc.attrs = attrs;
+        std::vector<std::vector<int32_t>> translated(attrs.size());
+        std::vector<const std::vector<int32_t>*> code_ptrs;
+        for (size_t j = 0; j < attrs.size(); ++j) {
+          int aux_join = aux.table->ColumnIndex(aux.join_attrs[j]);
+          translated[j] = TranslateCodes(aux.table->dict(aux_join), table.dict(base_columns[j]),
+                                         aux.table->dim_codes(aux_join));
+          code_ptrs.push_back(&translated[j]);
+        }
+        fc.multi_map =
+            MultiAuxiliaryMapFromCodes(code_ptrs, aux.table->measure(measure), aux.normalize);
+        fc.missing_value = 0.0;
+      }
+      fm.AddColumn(std::move(fc));
+      column_names.push_back(aux.name);
+    }
+    // Custom features (§3.3.3).
+    for (const CustomFeatureSpec& custom : custom_features_) {
+      int base_column = table.ColumnIndex(custom.attr);
+      std::optional<AttrId> attr = FindDrilledAttr(ctx, base_column);
+      if (!attr.has_value()) continue;
+      int flat = fm.FlatAttrIndex(*attr);
+      size_t key_pos = static_cast<size_t>(flat) - 1;
+      int32_t card = table.dict(base_column).size();
+      AttrValueStats stats = CollectAttrValueStats(groups, key_pos, primitive, card);
+      FeatureColumn fc;
+      fc.name = custom.name;
+      fc.attr = *attr;
+      fc.value_map = custom.fn(stats);
+      REPTILE_CHECK_EQ(static_cast<int32_t>(fc.value_map.size()), card)
+          << "custom feature " << custom.name << " returned wrong cardinality";
+      fm.AddColumn(std::move(fc));
+      column_names.push_back(custom.name);
+    }
+
+    // Random-effect columns (§3.3.4): intercept-only by default, or every
+    // non-excluded feature under RandomEffects::kAllFeatures.
+    std::vector<int> z_cols;
+    if (options_.random_effects == RandomEffects::kInterceptOnly) {
+      z_cols.push_back(0);
+    } else {
+      for (int c = 0; c < fm.num_cols(); ++c) {
+        bool excluded = false;
+        for (const std::string& name : z_exclusions_) {
+          if (column_names[static_cast<size_t>(c)] == name) excluded = true;
+        }
+        if (!excluded) z_cols.push_back(c);
+      }
+    }
+
+    // y vector for this primitive.
+    std::vector<double> y(y_moments.size());
+    for (size_t i = 0; i < y_moments.size(); ++i) y[i] = y_moments[i].Value(primitive);
+
+    // Backend selection and training.
+    bool use_factorized;
+    switch (options_.backend) {
+      case TrainBackend::kFactorized:
+        REPTILE_CHECK(fm.AllSingleAttribute())
+            << "factorised backend requires single-attribute features";
+        use_factorized = true;
+        break;
+      case TrainBackend::kDense:
+        use_factorized = false;
+        break;
+      case TrainBackend::kAuto:
+      default:
+        use_factorized = fm.AllSingleAttribute();
+        break;
+    }
+
+    Timer train_timer;
+    std::vector<double> fitted;
+    DecomposedAggregates agg(&fm, ctx.locals);
+    if (options_.model == ModelKind::kMultiLevel) {
+      if (use_factorized) {
+        FactorizedEmBackend backend(&fm, &agg, z_cols);
+        MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
+        fitted = std::move(model.fitted);
+      } else {
+        Matrix x = MaterializeMatrix(fm);
+        std::vector<int64_t> begins;
+        {
+          // Cluster boundaries in row order.
+          begins.push_back(0);
+          for (int64_t row = 1; row < fm.num_rows(); ++row) {
+            if (fm.ClusterOfRow(row) != fm.ClusterOfRow(row - 1)) begins.push_back(row);
+          }
+          begins.push_back(fm.num_rows());
+        }
+        DenseEmBackend backend(&x, begins, z_cols);
+        MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
+        fitted = std::move(model.fitted);
+      }
+    } else {
+      if (use_factorized) {
+        LinearModel model = TrainLinearFactorized(fm, agg, y);
+        fitted = FactorizedVecRightMultiply(fm, model.beta);
+      } else {
+        Matrix x = MaterializeMatrix(fm);
+        LinearModel model = TrainLinearDense(x, y);
+        fitted.assign(static_cast<size_t>(fm.num_rows()), 0.0);
+        for (size_t r = 0; r < x.rows(); ++r) {
+          double acc = 0.0;
+          for (size_t c = 0; c < x.cols(); ++c) acc += x(r, c) * model.beta[c];
+          fitted[r] = acc;
+        }
+      }
+    }
+    rec.train_seconds += train_timer.Seconds();
+
+    for (size_t g = 0; g < siblings.num_groups(); ++g) {
+      predictions[g][primitive] = fitted[static_cast<size_t>(sibling_rows[g])];
+    }
+  }
+
+  // --- 5. Repair each sibling and rank by the repaired complaint value. ---
+  std::vector<ScoredGroup> ranked = RankGroups(siblings, predictions, complaint);
+  rec.best_score =
+      ranked.empty() ? std::numeric_limits<double>::infinity() : ranked.front().score;
+  int top_k = std::min<int>(options_.top_k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < top_k; ++i) {
+    const ScoredGroup& sg = ranked[static_cast<size_t>(i)];
+    GroupRecommendation gr;
+    gr.description = FormatGroupKey(table, ctx.key_columns, sg.key);
+    gr.key = sg.key;
+    gr.observed = sg.observed;
+    gr.repaired = sg.repaired;
+    gr.repaired_complaint_value = sg.repaired_complaint_value;
+    gr.score = sg.score;
+    std::optional<size_t> sibling = siblings.Find(sg.key);
+    REPTILE_CHECK(sibling.has_value());
+    gr.predicted = predictions[*sibling];
+    rec.top_groups.push_back(std::move(gr));
+  }
+  rec.total_seconds = total_timer.Seconds();
+  return rec;
+}
+
+}  // namespace reptile

@@ -1,0 +1,163 @@
+// The Reptile engine (paper Sections 2.1, 3 and 4.5).
+//
+// An Engine is a per-session object owning the dataset, the feature registry
+// (auxiliary datasets, custom and multi-attribute features), and the
+// drill-down aggregate caches. Each RecommendDrillDown(complaint) call runs
+// the full pipeline of Section 4.5 for every candidate hierarchy:
+//
+//   1. extend the factorised feature matrix with the candidate's next
+//      attribute (candidate hierarchy last in the attribute order),
+//   2. recompute that hierarchy's local decomposed aggregates (multi-query
+//      plan) and update the others in O(1) via the drill-down cache,
+//   3. build the y vector over all parallel groups (empty groups included)
+//      and the feature columns for every primitive statistic the complaint
+//      decomposes into,
+//   4. fit one multi-level model per primitive via EM (factorised backend
+//      when all features are single-attribute, dense otherwise),
+//   5. repair every group under the complaint tuple with the model's
+//      expectations and rank by the repaired complaint value.
+//
+// The best hierarchy and its top-K groups are returned; CommitDrillDown
+// advances the session state.
+
+#ifndef REPTILE_CORE_ENGINE_H_
+#define REPTILE_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/complaint.h"
+#include "core/ranker.h"
+#include "data/dataset.h"
+#include "factor/drilldown.h"
+#include "model/features.h"
+#include "model/multilevel.h"
+
+namespace reptile {
+
+/// A registered auxiliary dataset (Section 3.3.2 / Appendix H): joined on one
+/// or more hierarchy attributes, exposing one measure as a feature. The
+/// engine aligns the auxiliary table's dictionaries with the base table's.
+struct AuxiliarySpec {
+  std::string name;
+  const Table* table = nullptr;          // borrowed; must outlive the engine
+  std::vector<std::string> join_attrs;   // hierarchy attribute names
+  std::string measure;                   // measure column in the aux table
+  bool normalize = true;
+};
+
+/// A registered custom feature (Section 3.3.3): q(A, Y) mapping per-value
+/// group statistics to feature values.
+struct CustomFeatureSpec {
+  std::string name;
+  std::string attr;  // hierarchy attribute name
+  CustomFeatureFn fn;
+};
+
+/// Model family used for frepair.
+enum class ModelKind { kMultiLevel, kLinear };
+
+/// Training backend selection.
+enum class TrainBackend {
+  kAuto,        // factorised when every feature is single-attribute
+  kFactorized,  // force factorised (aborts if multi-attribute features exist)
+  kDense,       // force materialisation (the Matlab-style path)
+};
+
+/// Random-effect matrix policy (Section 3.3.4). The paper sets Z = X by
+/// default but notes Z "may be tuned to only keep attributes relevant within
+/// clusters": with Z = X and small clusters the per-cluster regression can
+/// interpolate a corrupted group (high leverage), defeating the repair. The
+/// engine therefore defaults to random intercepts — the standard multilevel
+/// default (lme / statsmodels) — and offers Z = X as an option; individual
+/// features can further be excluded by name.
+enum class RandomEffects { kInterceptOnly, kAllFeatures };
+
+struct EngineOptions {
+  int top_k = 5;
+  ModelKind model = ModelKind::kMultiLevel;
+  TrainBackend backend = TrainBackend::kAuto;
+  MultiLevelOptions em;  // em_iters = 20, the paper's default
+  RandomEffects random_effects = RandomEffects::kInterceptOnly;
+  DrillDownState::Mode drill_mode = DrillDownState::Mode::kCacheDynamic;
+  // Additional statistics frepair restores besides the complaint's own
+  // primitives (Appendix N: a distributive *set* of aggregation functions,
+  // e.g., repairing total votes alongside the vote percentage).
+  std::vector<AggFn> extra_repair_stats;
+};
+
+/// One recommended drill-down group.
+struct GroupRecommendation {
+  std::string description;          // "year=1986, village=Zata"
+  std::vector<int32_t> key;         // codes over the drill key columns
+  Moments observed;
+  Moments repaired;
+  std::map<AggFn, double> predicted;  // per primitive statistic
+  double repaired_complaint_value = 0.0;
+  double score = 0.0;
+};
+
+/// Result of evaluating one candidate hierarchy.
+struct HierarchyRecommendation {
+  int hierarchy = -1;
+  std::string attribute;  // the newly added (drilled) attribute
+  std::vector<GroupRecommendation> top_groups;
+  double best_score = 0.0;
+  int64_t model_rows = 0;      // parallel groups (incl. empty)
+  int64_t model_clusters = 0;  // multi-level clusters
+  double train_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The full recommendation: all candidates plus the arg-min hierarchy.
+struct Recommendation {
+  std::vector<HierarchyRecommendation> candidates;
+  int best_index = -1;
+
+  const HierarchyRecommendation& best() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Dataset* dataset, EngineOptions options = EngineOptions());
+
+  /// Registers an auxiliary dataset; its features apply automatically once
+  /// every join attribute is part of the drill-down (Section 3.3.2).
+  void RegisterAuxiliary(AuxiliarySpec spec);
+
+  /// Registers a custom featurizer for one attribute.
+  void RegisterCustomFeature(CustomFeatureSpec spec);
+
+  /// Excludes a feature (by name) from the random-effect matrix Z
+  /// (Section 3.3.4). Attribute main-effect features carry their attribute's
+  /// name; auxiliary/custom features carry their spec name.
+  void ExcludeFromRandomEffects(const std::string& feature_name);
+
+  /// Evaluates every drillable hierarchy and returns the ranked groups.
+  Recommendation RecommendDrillDown(const Complaint& complaint);
+
+  /// Commits the drill-down on `hierarchy` (advances the session state).
+  void CommitDrillDown(int hierarchy);
+
+  int drill_depth(int hierarchy) const { return drill_state_.depth(hierarchy); }
+  bool CanDrill(int hierarchy) const { return drill_state_.CanDrill(hierarchy); }
+  const Dataset& dataset() const { return *dataset_; }
+  DrillDownState& drill_state() { return drill_state_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  HierarchyRecommendation EvaluateCandidate(int hierarchy, const Complaint& complaint);
+
+  const Dataset* dataset_;
+  EngineOptions options_;
+  DrillDownState drill_state_;
+  std::vector<AuxiliarySpec> auxiliaries_;
+  std::vector<CustomFeatureSpec> custom_features_;
+  std::vector<std::string> z_exclusions_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_CORE_ENGINE_H_

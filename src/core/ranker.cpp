@@ -1,0 +1,38 @@
+#include "core/ranker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/repair.h"
+
+namespace reptile {
+
+std::vector<ScoredGroup> RankGroups(const GroupByResult& siblings,
+                                    const GroupPredictions& predictions,
+                                    const Complaint& complaint) {
+  REPTILE_CHECK_EQ(siblings.num_groups(), predictions.size());
+  Moments total;
+  for (size_t g = 0; g < siblings.num_groups(); ++g) total.Add(siblings.stats(g));
+
+  std::vector<ScoredGroup> scored;
+  scored.reserve(siblings.num_groups());
+  for (size_t g = 0; g < siblings.num_groups(); ++g) {
+    ScoredGroup sg;
+    sg.key = siblings.key_tuple(g);
+    sg.observed = siblings.stats(g);
+    sg.repaired = ApplyRepair(sg.observed, predictions[g]);
+    // t'_c = G(V' \ {t} u {frepair(t)}): subtract the observed sketch, add
+    // the repaired one.
+    Moments repaired_total = total;
+    repaired_total.Subtract(sg.observed);
+    repaired_total.Add(sg.repaired);
+    sg.repaired_complaint_value = repaired_total.Value(complaint.agg);
+    sg.score = complaint.Score(sg.repaired_complaint_value);
+    scored.push_back(std::move(sg));
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ScoredGroup& a, const ScoredGroup& b) { return a.score < b.score; });
+  return scored;
+}
+
+}  // namespace reptile

@@ -1,0 +1,41 @@
+// Group ranking (paper Sections 2.1 and 3.1, Problem 1).
+//
+// Given the sibling groups of a candidate drill-down (the provenance of the
+// complaint tuple grouped one level deeper), each group is scored by the
+// extent that repairing its statistics to their expected values resolves the
+// complaint: score = fcomp( G( V' \ {t} u {frepair(t)} ) ), computed in O(1)
+// per group through the distributive moment algebra.
+
+#ifndef REPTILE_CORE_RANKER_H_
+#define REPTILE_CORE_RANKER_H_
+
+#include <map>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "core/complaint.h"
+#include "data/group_by.h"
+
+namespace reptile {
+
+/// One scored drill-down group.
+struct ScoredGroup {
+  std::vector<int32_t> key;  // group-by key codes
+  Moments observed;
+  Moments repaired;
+  double repaired_complaint_value = 0.0;  // t'_c's aggregate after the repair
+  double score = 0.0;                     // fcomp(t'_c); lower is better
+};
+
+/// Per-group predicted primitive statistics (from the repair models), aligned
+/// with the groups of the sibling GroupByResult.
+using GroupPredictions = std::vector<std::map<AggFn, double>>;
+
+/// Scores and ranks all sibling groups (ascending score).
+std::vector<ScoredGroup> RankGroups(const GroupByResult& siblings,
+                                    const GroupPredictions& predictions,
+                                    const Complaint& complaint);
+
+}  // namespace reptile
+
+#endif  // REPTILE_CORE_RANKER_H_

@@ -1,0 +1,26 @@
+#include "core/view.h"
+
+#include <sstream>
+
+namespace reptile {
+
+ViewResult ComputeView(const Table& table, const ViewSpec& spec) {
+  ViewResult result;
+  result.groups = GroupBy(table, spec.key_columns, spec.measure_column, spec.filter);
+  for (size_t g = 0; g < result.groups.num_groups(); ++g) {
+    result.total.Add(result.groups.stats(g));
+  }
+  return result;
+}
+
+std::string FormatGroupKey(const Table& table, const std::vector<int>& key_columns,
+                           const std::vector<int32_t>& key) {
+  std::ostringstream os;
+  for (size_t k = 0; k < key_columns.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << table.column_name(key_columns[k]) << "=" << table.dict(key_columns[k]).name(key[k]);
+  }
+  return os.str();
+}
+
+}  // namespace reptile

@@ -1,0 +1,44 @@
+// Aggregate views and the drill-down operator (paper Section 3.1).
+//
+// A view V = gamma_{Agb, f(Aagg)}(R) is a group-by over the (filtered) base
+// relation; drilldown(V, t, H) appends the next attribute of hierarchy H to
+// the group-by and restricts R to the provenance of t. Views are the
+// user-facing objects of the exploration loop and the substrate of the
+// ranker (the sibling groups that recombine into the repaired complaint
+// tuple).
+
+#ifndef REPTILE_CORE_VIEW_H_
+#define REPTILE_CORE_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "data/group_by.h"
+#include "data/table.h"
+
+namespace reptile {
+
+/// Specification of an aggregate view.
+struct ViewSpec {
+  std::vector<int> key_columns;  // group-by dimension columns
+  int measure_column = -1;       // -1: COUNT only
+  RowFilter filter;              // provenance restriction
+};
+
+/// A computed view: per-group moment sketches plus their merge.
+struct ViewResult {
+  GroupByResult groups;
+  Moments total;
+};
+
+/// Computes a view over the table.
+ViewResult ComputeView(const Table& table, const ViewSpec& spec);
+
+/// Renders a group key as "attr=value, ..." using the table dictionaries.
+std::string FormatGroupKey(const Table& table, const std::vector<int>& key_columns,
+                           const std::vector<int32_t>& key);
+
+}  // namespace reptile
+
+#endif  // REPTILE_CORE_VIEW_H_

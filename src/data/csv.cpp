@@ -1,0 +1,98 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace reptile {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char separator) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, separator)) fields.push_back(field);
+  if (!line.empty() && line.back() == separator) fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+std::optional<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> header = SplitLine(line, spec.separator);
+
+  // Map CSV field index -> (table column, is_dimension); -1 = skip.
+  Table table;
+  std::vector<int> field_to_column(header.size(), -1);
+  std::vector<bool> field_is_dim(header.size(), false);
+  for (size_t f = 0; f < header.size(); ++f) {
+    for (const std::string& name : spec.dimension_columns) {
+      if (header[f] == name) {
+        field_to_column[f] = table.AddDimensionColumn(name);
+        field_is_dim[f] = true;
+      }
+    }
+    for (const std::string& name : spec.measure_columns) {
+      if (header[f] == name) {
+        field_to_column[f] = table.AddMeasureColumn(name);
+        field_is_dim[f] = false;
+      }
+    }
+  }
+  size_t wanted = spec.dimension_columns.size() + spec.measure_columns.size();
+  size_t found = 0;
+  for (int c : field_to_column) {
+    if (c >= 0) ++found;
+  }
+  if (found != wanted) return std::nullopt;
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line, spec.separator);
+    if (fields.size() != header.size()) return std::nullopt;
+    for (size_t f = 0; f < fields.size(); ++f) {
+      int column = field_to_column[f];
+      if (column < 0) continue;
+      if (field_is_dim[f]) {
+        table.SetDim(column, fields[f]);
+      } else {
+        char* end = nullptr;
+        double value = std::strtod(fields[f].c_str(), &end);
+        if (end == fields[f].c_str()) return std::nullopt;
+        table.SetMeasure(column, value);
+      }
+    }
+    table.CommitRow();
+  }
+  return table;
+}
+
+bool SaveCsv(const Table& table, const std::string& path, char separator) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << separator;
+    out << table.column_name(c);
+  }
+  out << '\n';
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << separator;
+      if (table.is_dimension(c)) {
+        out << table.dict(c).name(table.dim_codes(c)[row]);
+      } else {
+        out << table.measure(c)[row];
+      }
+    }
+    out << '\n';
+  }
+  return out.good();
+}
+
+}  // namespace reptile

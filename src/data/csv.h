@@ -1,0 +1,34 @@
+// Minimal CSV I/O for Tables, used by the examples to persist generated
+// datasets and by users loading their own data. Dimension/measure typing is
+// declared by the caller; no quoting or embedded-separator support (values
+// must not contain the separator).
+
+#ifndef REPTILE_DATA_CSV_H_
+#define REPTILE_DATA_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace reptile {
+
+/// Column typing for CSV loading.
+struct CsvSpec {
+  std::vector<std::string> dimension_columns;
+  std::vector<std::string> measure_columns;
+  char separator = ',';
+};
+
+/// Loads a CSV file with a header row. Columns named in `spec` are loaded (in
+/// header order); other columns are ignored. Returns std::nullopt on I/O or
+/// parse failure.
+std::optional<Table> LoadCsv(const std::string& path, const CsvSpec& spec);
+
+/// Writes all columns of `table` to `path`. Returns false on I/O failure.
+bool SaveCsv(const Table& table, const std::string& path, char separator = ',');
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATA_CSV_H_

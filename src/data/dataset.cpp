@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace reptile {
+
+Dataset::Dataset(Table table, std::vector<HierarchySchema> hierarchies)
+    : table_(std::move(table)), hierarchies_(std::move(hierarchies)) {
+  attr_columns_.resize(hierarchies_.size());
+  for (size_t h = 0; h < hierarchies_.size(); ++h) {
+    for (const std::string& attr : hierarchies_[h].attributes) {
+      attr_columns_[h].push_back(table_.ColumnIndex(attr));
+    }
+  }
+  Validate();
+}
+
+int Dataset::AttrColumn(AttrId attr) const {
+  REPTILE_CHECK(attr.hierarchy >= 0 && attr.hierarchy < num_hierarchies());
+  const auto& columns = attr_columns_[attr.hierarchy];
+  REPTILE_CHECK(attr.level >= 0 && attr.level < static_cast<int>(columns.size()));
+  return columns[attr.level];
+}
+
+std::vector<int> Dataset::HierarchyColumns(int hierarchy, int depth) const {
+  REPTILE_CHECK(hierarchy >= 0 && hierarchy < num_hierarchies());
+  REPTILE_CHECK_LE(depth, hierarchies_[hierarchy].depth());
+  const auto& columns = attr_columns_[hierarchy];
+  return std::vector<int>(columns.begin(), columns.begin() + depth);
+}
+
+const std::string& Dataset::AttrName(AttrId attr) const {
+  return hierarchies_[attr.hierarchy].attributes[attr.level];
+}
+
+AttrId Dataset::ResolveAttr(const std::string& name) const {
+  for (int h = 0; h < num_hierarchies(); ++h) {
+    for (int l = 0; l < hierarchies_[h].depth(); ++l) {
+      if (hierarchies_[h].attributes[l] == name) return AttrId{h, l};
+    }
+  }
+  REPTILE_CHECK(false) << "attribute " << name << " is not in any hierarchy";
+  return AttrId{};
+}
+
+void Dataset::Validate() const {
+  for (const HierarchySchema& h : hierarchies_) {
+    REPTILE_CHECK(!h.attributes.empty()) << "hierarchy " << h.name << " has no attributes";
+    for (const std::string& attr : h.attributes) {
+      int column = table_.ColumnIndex(attr);
+      REPTILE_CHECK(table_.is_dimension(column))
+          << "hierarchy attribute " << attr << " must be a dimension column";
+    }
+  }
+}
+
+}  // namespace reptile

@@ -1,0 +1,54 @@
+// Dataset = base relation (Table) + hierarchy metadata + measure columns.
+// This is what Reptile is initialized with ("Reptile is initialized with the
+// database as well as metadata about the attribute hierarchies", Section 2.1).
+
+#ifndef REPTILE_DATA_DATASET_H_
+#define REPTILE_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/hierarchy.h"
+#include "data/table.h"
+
+namespace reptile {
+
+/// A base relation with its hierarchy structure. All hierarchy attribute
+/// names must resolve to dimension columns in the table.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Table table, std::vector<HierarchySchema> hierarchies);
+
+  const Table& table() const { return table_; }
+  Table& mutable_table() { return table_; }
+
+  int num_hierarchies() const { return static_cast<int>(hierarchies_.size()); }
+  const HierarchySchema& hierarchy(int h) const { return hierarchies_[h]; }
+
+  /// Table column index of the attribute at (hierarchy, level).
+  int AttrColumn(AttrId attr) const;
+
+  /// Column indices of a hierarchy's attributes for levels [0, depth).
+  std::vector<int> HierarchyColumns(int hierarchy, int depth) const;
+
+  /// Attribute name at (hierarchy, level).
+  const std::string& AttrName(AttrId attr) const;
+
+  /// Resolves an attribute name to its AttrId; aborts when the name does not
+  /// belong to any hierarchy.
+  AttrId ResolveAttr(const std::string& name) const;
+
+  /// Verifies that every hierarchy attribute exists as a dimension column;
+  /// called by the constructor.
+  void Validate() const;
+
+ private:
+  Table table_;
+  std::vector<HierarchySchema> hierarchies_;
+  std::vector<std::vector<int>> attr_columns_;  // [hierarchy][level] -> column
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATA_DATASET_H_

@@ -1,0 +1,42 @@
+#include "data/group_by.h"
+
+#include "common/check.h"
+
+namespace reptile {
+
+std::optional<size_t> GroupByResult::Find(const std::vector<int32_t>& key_tuple) const {
+  auto it = index_.find(key_tuple);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t GroupByResult::GetOrAddGroup(const std::vector<int32_t>& key_tuple) {
+  auto [it, inserted] = index_.emplace(key_tuple, keys_.size());
+  if (inserted) {
+    keys_.push_back(key_tuple);
+    stats_.emplace_back();
+  }
+  return it->second;
+}
+
+GroupByResult GroupBy(const Table& table, const std::vector<int>& key_columns,
+                      int measure_column, const RowFilter& filter) {
+  GroupByResult result;
+  std::vector<const std::vector<int32_t>*> key_codes;
+  key_codes.reserve(key_columns.size());
+  for (int column : key_columns) key_codes.push_back(&table.dim_codes(column));
+  const std::vector<double>* measures =
+      measure_column >= 0 ? &table.measure(measure_column) : nullptr;
+
+  std::vector<int32_t> key(key_columns.size());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (!filter.empty() && !table.Matches(filter, row)) continue;
+    for (size_t k = 0; k < key_codes.size(); ++k) key[k] = (*key_codes[k])[row];
+    size_t group = result.GetOrAddGroup(key);
+    double value = measures != nullptr ? (*measures)[row] : 0.0;
+    result.mutable_stats(group).Observe(value);
+  }
+  return result;
+}
+
+}  // namespace reptile

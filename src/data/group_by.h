@@ -1,0 +1,63 @@
+// Hash group-by over a Table producing distributive aggregate sketches
+// (count / sum / sum-of-squares) per group. This is the substrate behind
+// aggregate views, featurization, the y-vector builder, and the baselines.
+
+#ifndef REPTILE_DATA_GROUP_BY_H_
+#define REPTILE_DATA_GROUP_BY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "data/table.h"
+
+namespace reptile {
+
+/// Result of a group-by: one entry per distinct key combination, in first-seen
+/// order, with per-group moment sketches over one measure column (or counts
+/// only when no measure was given).
+class GroupByResult {
+ public:
+  size_t num_groups() const { return stats_.size(); }
+
+  /// Key code of group `g` for the k-th key column.
+  int32_t key(size_t g, size_t k) const { return keys_[g][k]; }
+  const std::vector<int32_t>& key_tuple(size_t g) const { return keys_[g]; }
+
+  const Moments& stats(size_t g) const { return stats_[g]; }
+  Moments& mutable_stats(size_t g) { return stats_[g]; }
+
+  /// Index of the group with the given key tuple, or std::nullopt.
+  std::optional<size_t> Find(const std::vector<int32_t>& key_tuple) const;
+
+  /// Internal: appends or finds a group for the key tuple.
+  size_t GetOrAddGroup(const std::vector<int32_t>& key_tuple);
+
+ private:
+  struct TupleHash {
+    size_t operator()(const std::vector<int32_t>& key) const {
+      size_t h = 1469598103934665603ull;
+      for (int32_t v : key) {
+        h ^= static_cast<size_t>(static_cast<uint32_t>(v));
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  std::vector<std::vector<int32_t>> keys_;
+  std::vector<Moments> stats_;
+  std::unordered_map<std::vector<int32_t>, size_t, TupleHash> index_;
+};
+
+/// Groups the rows of `table` matching `filter` by the given dimension
+/// columns, aggregating `measure_column` (pass -1 to aggregate counts only;
+/// sum/sumsq then accumulate the constant 0).
+GroupByResult GroupBy(const Table& table, const std::vector<int>& key_columns,
+                      int measure_column, const RowFilter& filter = RowFilter());
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATA_GROUP_BY_H_

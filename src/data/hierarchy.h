@@ -1,0 +1,34 @@
+// Hierarchy metadata (paper Section 3.1).
+//
+// A dimension's hierarchy H = [A1, ..., Ak] is an ordered list of attributes,
+// least specific first, with the functional dependency An -> Am for m < n
+// (e.g., Village -> District). A hierarchy may contain a single attribute.
+
+#ifndef REPTILE_DATA_HIERARCHY_H_
+#define REPTILE_DATA_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+namespace reptile {
+
+/// Identifies an attribute by its hierarchy index and level within the
+/// hierarchy (level 0 = least specific).
+struct AttrId {
+  int hierarchy = 0;
+  int level = 0;
+
+  bool operator==(const AttrId& other) const = default;
+};
+
+/// A named hierarchy: ordered attribute (column) names, least specific first.
+struct HierarchySchema {
+  std::string name;
+  std::vector<std::string> attributes;
+
+  int depth() const { return static_cast<int>(attributes.size()); }
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATA_HIERARCHY_H_

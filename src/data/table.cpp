@@ -1,0 +1,124 @@
+#include "data/table.h"
+
+#include "common/check.h"
+
+namespace reptile {
+
+int Table::AddDimensionColumn(const std::string& name) {
+  REPTILE_CHECK_EQ(num_rows_, 0u) << "add columns before rows";
+  int column = num_columns();
+  names_.push_back(name);
+  is_dimension_.push_back(true);
+  storage_index_.push_back(static_cast<int>(dims_.size()));
+  dims_.emplace_back();
+  row_set_.push_back(false);
+  return column;
+}
+
+int Table::AddMeasureColumn(const std::string& name) {
+  REPTILE_CHECK_EQ(num_rows_, 0u) << "add columns before rows";
+  int column = num_columns();
+  names_.push_back(name);
+  is_dimension_.push_back(false);
+  storage_index_.push_back(static_cast<int>(measures_.size()));
+  measures_.emplace_back();
+  row_set_.push_back(false);
+  return column;
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  std::optional<int> column = FindColumn(name);
+  REPTILE_CHECK(column.has_value()) << "no column named " << name;
+  return *column;
+}
+
+std::optional<int> Table::FindColumn(const std::string& name) const {
+  for (int c = 0; c < num_columns(); ++c) {
+    if (names_[c] == name) return c;
+  }
+  return std::nullopt;
+}
+
+const ValueDict& Table::dict(int column) const {
+  REPTILE_CHECK(is_dimension_[column]) << names_[column] << " is not a dimension";
+  return dims_[storage_index_[column]].dict;
+}
+
+ValueDict& Table::mutable_dict(int column) {
+  REPTILE_CHECK(is_dimension_[column]) << names_[column] << " is not a dimension";
+  return dims_[storage_index_[column]].dict;
+}
+
+const std::vector<int32_t>& Table::dim_codes(int column) const {
+  REPTILE_CHECK(is_dimension_[column]) << names_[column] << " is not a dimension";
+  return dims_[storage_index_[column]].codes;
+}
+
+const std::vector<double>& Table::measure(int column) const {
+  REPTILE_CHECK(!is_dimension_[column]) << names_[column] << " is not a measure";
+  return measures_[storage_index_[column]];
+}
+
+std::vector<double>& Table::mutable_measure(int column) {
+  REPTILE_CHECK(!is_dimension_[column]) << names_[column] << " is not a measure";
+  return measures_[storage_index_[column]];
+}
+
+void Table::SetDim(int column, const std::string& value) {
+  SetDimCode(column, mutable_dict(column).GetOrAdd(value));
+}
+
+void Table::SetDimCode(int column, int32_t code) {
+  DimColumn& dim = dims_[storage_index_[column]];
+  REPTILE_CHECK(is_dimension_[column]);
+  REPTILE_CHECK(!row_set_[column]) << "column " << names_[column] << " set twice";
+  dim.codes.push_back(code);
+  row_set_[column] = true;
+}
+
+void Table::SetMeasure(int column, double value) {
+  REPTILE_CHECK(!is_dimension_[column]);
+  REPTILE_CHECK(!row_set_[column]) << "column " << names_[column] << " set twice";
+  measures_[storage_index_[column]].push_back(value);
+  row_set_[column] = true;
+}
+
+void Table::CommitRow() {
+  for (int c = 0; c < num_columns(); ++c) {
+    REPTILE_CHECK(row_set_[c]) << "column " << names_[c] << " not set in row " << num_rows_;
+    row_set_[c] = false;
+  }
+  ++num_rows_;
+}
+
+bool Table::Matches(const RowFilter& filter, size_t row) const {
+  for (const auto& [column, code] : filter.equals) {
+    if (dim_codes(column)[row] != code) return false;
+  }
+  return true;
+}
+
+Table Table::FilteredCopy(const std::vector<bool>& keep) const {
+  REPTILE_CHECK_EQ(keep.size(), num_rows_);
+  Table out;
+  out.names_ = names_;
+  out.is_dimension_ = is_dimension_;
+  out.storage_index_ = storage_index_;
+  out.row_set_.assign(names_.size(), false);
+  out.dims_.resize(dims_.size());
+  out.measures_.resize(measures_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) out.dims_[d].dict = dims_[d].dict;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    if (!keep[row]) continue;
+    for (size_t d = 0; d < dims_.size(); ++d) {
+      out.dims_[d].codes.push_back(dims_[d].codes[row]);
+    }
+    for (size_t m = 0; m < measures_.size(); ++m) {
+      out.measures_[m].push_back(measures_[m][row]);
+    }
+    ++out.num_rows_;
+  }
+  return out;
+}
+
+}  // namespace reptile

@@ -1,0 +1,27 @@
+#include "data/value_dict.h"
+
+#include "common/check.h"
+
+namespace reptile {
+
+int32_t ValueDict::GetOrAdd(const std::string& value) {
+  auto it = codes_.find(value);
+  if (it != codes_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(names_.size());
+  codes_.emplace(value, code);
+  names_.push_back(value);
+  return code;
+}
+
+std::optional<int32_t> ValueDict::Find(const std::string& value) const {
+  auto it = codes_.find(value);
+  if (it == codes_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ValueDict::name(int32_t code) const {
+  REPTILE_CHECK(code >= 0 && code < size()) << "bad dictionary code " << code;
+  return names_[static_cast<size_t>(code)];
+}
+
+}  // namespace reptile

@@ -1,0 +1,40 @@
+// Dictionary encoding for categorical (dimension) attribute values.
+// Every dimension column in a Table owns a ValueDict mapping strings to dense
+// int32 codes; all downstream structures (f-trees, feature maps) operate on
+// codes only.
+
+#ifndef REPTILE_DATA_VALUE_DICT_H_
+#define REPTILE_DATA_VALUE_DICT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace reptile {
+
+/// Bidirectional string <-> dense code dictionary. Codes are assigned in
+/// insertion order starting at 0.
+class ValueDict {
+ public:
+  /// Returns the code for `value`, inserting it if absent.
+  int32_t GetOrAdd(const std::string& value);
+
+  /// Returns the code for `value` or std::nullopt when absent.
+  std::optional<int32_t> Find(const std::string& value) const;
+
+  /// The string for a code; the code must be valid.
+  const std::string& name(int32_t code) const;
+
+  /// Number of distinct values.
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int32_t> codes_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATA_VALUE_DICT_H_

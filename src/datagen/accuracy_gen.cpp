@@ -1,0 +1,214 @@
+#include "datagen/accuracy_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace reptile {
+namespace {
+
+std::string GroupName(int g) { return "g" + std::to_string(g); }
+
+// Clean per-group raw values.
+struct CleanData {
+  std::vector<std::vector<double>> values;  // per group
+  std::vector<double> counts, means, stds;
+};
+
+CleanData MakeCleanData(const AccuracyOptions& options, Rng* rng) {
+  CleanData data;
+  data.values.resize(static_cast<size_t>(options.num_groups));
+  for (int g = 0; g < options.num_groups; ++g) {
+    int rows = std::max<int>(4, static_cast<int>(std::lround(
+                                    rng->Normal(options.rows_mean, options.rows_sd))));
+    std::vector<double>& vs = data.values[static_cast<size_t>(g)];
+    vs.resize(static_cast<size_t>(rows));
+    for (double& v : vs) v = rng->Normal(options.measure_mean, options.measure_sd);
+    data.counts.push_back(static_cast<double>(rows));
+    data.means.push_back(Mean(vs));
+    data.stds.push_back(SampleStd(vs));
+  }
+  return data;
+}
+
+// Auxiliary table with the given rank correlation to `reference`, using the
+// same group names as the base table (so dictionary translation aligns).
+Table MakeAuxTable(const std::vector<double>& reference, double rho, Rng* rng) {
+  Table aux;
+  int group = aux.AddDimensionColumn("group");
+  int measure = aux.AddMeasureColumn("aux");
+  std::vector<double> values = InduceRankCorrelation(reference, rho, 0.0, 1.0, rng);
+  for (size_t g = 0; g < reference.size(); ++g) {
+    aux.SetDim(group, GroupName(static_cast<int>(g)));
+    aux.SetMeasure(measure, values[g]);
+    aux.CommitRow();
+  }
+  return aux;
+}
+
+void ApplyMissing(std::vector<double>* values) {
+  values->resize(values->size() - values->size() / 2);
+}
+
+void ApplyDup(std::vector<double>* values) {
+  size_t half = values->size() / 2;
+  values->insert(values->end(), values->begin(),
+                 values->begin() + static_cast<ptrdiff_t>(half));
+}
+
+void ApplyDrift(std::vector<double>* values, double delta) {
+  for (double& v : *values) v += delta;
+}
+
+// Assembles the instance from (possibly corrupted) per-group values.
+AccuracyInstance Assemble(const AccuracyOptions& options, const CleanData& clean,
+                          std::vector<std::vector<double>> corrupted, double rho, Rng* rng) {
+  AccuracyInstance inst;
+  Table table;
+  int group = table.AddDimensionColumn("group");
+  int measure = table.AddMeasureColumn("m");
+  // Register group names in order so codes equal group indices even if a
+  // group lost all of its rows.
+  for (int g = 0; g < options.num_groups; ++g) table.mutable_dict(group).GetOrAdd(GroupName(g));
+  for (int g = 0; g < options.num_groups; ++g) {
+    for (double v : corrupted[static_cast<size_t>(g)]) {
+      table.SetDimCode(group, g);
+      table.SetMeasure(measure, v);
+      table.CommitRow();
+    }
+  }
+  inst.dataset = Dataset(std::move(table), {{"dim", {"group"}}});
+  inst.aux_count = MakeAuxTable(clean.counts, rho, rng);
+  inst.aux_mean = MakeAuxTable(clean.means, rho, rng);
+  inst.aux_std = MakeAuxTable(clean.stds, rho, rng);
+  for (int g = 0; g < options.num_groups; ++g) {
+    for (double v : clean.values[static_cast<size_t>(g)]) inst.clean_total.Observe(v);
+  }
+  return inst;
+}
+
+}  // namespace
+
+std::string ErrorTypeName(ErrorType type) {
+  switch (type) {
+    case ErrorType::kMissing:
+      return "Missing(COUNT)";
+    case ErrorType::kDup:
+      return "Dup(COUNT)";
+    case ErrorType::kIncrease:
+      return "Increase(MEAN)";
+    case ErrorType::kDecrease:
+      return "Decrease(MEAN)";
+    case ErrorType::kMissingDecrease:
+      return "Missing+Decrease(SUM)";
+    case ErrorType::kDupIncrease:
+      return "Dup+Increase(SUM)";
+  }
+  return "?";
+}
+
+std::string AblationConditionName(AblationCondition condition) {
+  switch (condition) {
+    case AblationCondition::kMissingPlusDup:
+      return "Missing+Duplication(COUNT low)";
+    case AblationCondition::kDecreasePlusIncrease:
+      return "Decrease+Increase(MEAN low)";
+    case AblationCondition::kAll:
+      return "All(SUM low)";
+  }
+  return "?";
+}
+
+AccuracyInstance MakeAccuracyInstance(const AccuracyOptions& options, ErrorType type,
+                                      double rho, Rng* rng) {
+  CleanData clean = MakeCleanData(options, rng);
+  std::vector<std::vector<double>> corrupted = clean.values;
+  int target = static_cast<int>(rng->UniformInt(0, options.num_groups - 1));
+  std::vector<double>* tv = &corrupted[static_cast<size_t>(target)];
+  AggFn agg = AggFn::kCount;
+  switch (type) {
+    case ErrorType::kMissing:
+      ApplyMissing(tv);
+      agg = AggFn::kCount;
+      break;
+    case ErrorType::kDup:
+      ApplyDup(tv);
+      agg = AggFn::kCount;
+      break;
+    case ErrorType::kIncrease:
+      ApplyDrift(tv, options.drift);
+      agg = AggFn::kMean;
+      break;
+    case ErrorType::kDecrease:
+      ApplyDrift(tv, -options.drift);
+      agg = AggFn::kMean;
+      break;
+    case ErrorType::kMissingDecrease:
+      ApplyMissing(tv);
+      ApplyDrift(tv, -options.drift);
+      agg = AggFn::kSum;
+      break;
+    case ErrorType::kDupIncrease:
+      ApplyDup(tv);
+      ApplyDrift(tv, options.drift);
+      agg = AggFn::kSum;
+      break;
+  }
+  AccuracyInstance inst = Assemble(options, clean, std::move(corrupted), rho, rng);
+  inst.true_errors = {target};
+  // The complaint states the clean value of the statistic (fcomp(t) =
+  // |t[agg] - v|, Section 3.1).
+  int measure_column = agg == AggFn::kCount ? -1 : inst.dataset.table().ColumnIndex("m");
+  inst.complaint = Complaint::Equals(agg, measure_column, RowFilter(),
+                                     inst.clean_total.Value(agg));
+  return inst;
+}
+
+AccuracyInstance MakeAblationInstance(const AccuracyOptions& options,
+                                      AblationCondition condition, double rho, Rng* rng) {
+  CleanData clean = MakeCleanData(options, rng);
+  std::vector<std::vector<double>> corrupted = clean.values;
+  // Three distinct groups: two true errors, one false positive.
+  std::vector<int> picks;
+  while (picks.size() < 3) {
+    int g = static_cast<int>(rng->UniformInt(0, options.num_groups - 1));
+    if (std::find(picks.begin(), picks.end(), g) == picks.end()) picks.push_back(g);
+  }
+  auto group_values = [&](int i) { return &corrupted[static_cast<size_t>(picks[static_cast<size_t>(i)])]; };
+  AggFn agg = AggFn::kCount;
+  switch (condition) {
+    case AblationCondition::kMissingPlusDup:
+      ApplyMissing(group_values(0));
+      ApplyMissing(group_values(1));
+      ApplyDup(group_values(2));
+      agg = AggFn::kCount;
+      break;
+    case AblationCondition::kDecreasePlusIncrease:
+      ApplyDrift(group_values(0), -options.drift);
+      ApplyDrift(group_values(1), -options.drift);
+      ApplyDrift(group_values(2), options.drift);
+      agg = AggFn::kMean;
+      break;
+    case AblationCondition::kAll:
+      ApplyMissing(group_values(0));
+      ApplyDrift(group_values(0), -options.drift);
+      ApplyMissing(group_values(1));
+      ApplyDrift(group_values(1), -options.drift);
+      ApplyDup(group_values(2));
+      ApplyDrift(group_values(2), options.drift);
+      agg = AggFn::kSum;
+      break;
+  }
+  AccuracyInstance inst = Assemble(options, clean, std::move(corrupted), rho, rng);
+  inst.true_errors = {picks[0], picks[1]};
+  inst.false_positives = {picks[2]};
+  // Directional complaint ("COUNT is low", Section 5.2.3) — the direction is
+  // what lets Reptile reject the false positive.
+  int measure_column = agg == AggFn::kCount ? -1 : inst.dataset.table().ColumnIndex("m");
+  inst.complaint = Complaint::TooLow(agg, measure_column, RowFilter());
+  return inst;
+}
+
+}  // namespace reptile

@@ -1,0 +1,78 @@
+// Synthetic accuracy workloads (paper Section 5.2).
+//
+// One dimension attribute with `num_groups` values; rows per group drawn
+// from N(rows_mean, rows_sd); measure values from N(measure_mean,
+// measure_sd). One auxiliary table per aggregate statistic (COUNT, MEAN,
+// STD) whose measure has a chosen rank correlation (Iman-Conover) with the
+// *clean* statistic. Errors: missing/duplicated records (half the group's
+// rows) and +-drift of all measure values, individually and in combination
+// (Section 5.2.1); the ablation conditions corrupt two groups consistently
+// with the complaint and one against it (Section 5.2.3).
+
+#ifndef REPTILE_DATAGEN_ACCURACY_GEN_H_
+#define REPTILE_DATAGEN_ACCURACY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/complaint.h"
+#include "data/dataset.h"
+
+namespace reptile {
+
+/// Error classes of Figure 11 (Dup = duplication, arrows = value drift).
+enum class ErrorType {
+  kMissing,
+  kDup,
+  kIncrease,
+  kDecrease,
+  kMissingDecrease,
+  kDupIncrease,
+};
+
+std::string ErrorTypeName(ErrorType type);
+
+/// Multi-error conditions of Figure 12.
+enum class AblationCondition {
+  kMissingPlusDup,        // complaint: COUNT too low
+  kDecreasePlusIncrease,  // complaint: MEAN too low
+  kAll,                   // complaint: SUM too low
+};
+
+std::string AblationConditionName(AblationCondition condition);
+
+struct AccuracyOptions {
+  int num_groups = 100;
+  double rows_mean = 100.0;
+  double rows_sd = 20.0;
+  double measure_mean = 100.0;
+  double measure_sd = 20.0;
+  double drift = 5.0;
+};
+
+/// One generated dataset instance with ground truth.
+struct AccuracyInstance {
+  Dataset dataset;  // hierarchy "dim" = [group]; measure "m"
+  Table aux_count;  // group -> measure correlated with clean COUNT
+  Table aux_mean;   // ... with clean MEAN
+  Table aux_std;    // ... with clean STD
+  std::vector<int32_t> true_errors;      // group codes the complaint points at
+  std::vector<int32_t> false_positives;  // corrupted against the complaint
+  Moments clean_total;
+  Complaint complaint;
+};
+
+/// Figure 11 instance: a single corrupted group; the complaint targets the
+/// clean total of the statistic matching the error class.
+AccuracyInstance MakeAccuracyInstance(const AccuracyOptions& options, ErrorType type,
+                                      double rho, Rng* rng);
+
+/// Figure 12 instance: two true errors plus one false positive; directional
+/// complaint.
+AccuracyInstance MakeAblationInstance(const AccuracyOptions& options,
+                                      AblationCondition condition, double rho, Rng* rng);
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATAGEN_ACCURACY_GEN_H_

@@ -1,0 +1,421 @@
+#include "datagen/covid_gen.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/group_by.h"
+
+namespace reptile {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Location {
+  std::string name;
+  double scale;    // relative epidemic size
+  int sub_units;   // counties / provinces
+};
+
+// US states: the issue states plus fillers; California is deliberately the
+// county-richest state so the Support baseline has a fixed (wrong) favourite.
+std::vector<Location> UsLocations() {
+  return {
+      {"California", 12.0, 9}, {"Texas", 9.0, 6},        {"NewYork", 8.0, 6},
+      {"Washington", 4.0, 4},  {"Arizona", 3.5, 4},      {"Utah", 2.0, 4},
+      {"Montana", 0.8, 3},     {"NorthDakota", 0.7, 3},  {"Iowa", 1.5, 4},
+      {"Nevada", 1.8, 5},      {"Massachusetts", 3.0, 4}, {"Ohio", 4.5, 5},
+      {"Florida", 7.0, 6},     {"Georgia", 4.0, 4},      {"Illinois", 5.0, 5},
+      {"Michigan", 3.5, 4},    {"Virginia", 2.8, 4},     {"Colorado", 2.2, 4},
+      {"Oregon", 1.6, 3},      {"Kansas", 1.0, 3},       {"Maine", 0.5, 3},
+      {"Idaho", 0.6, 3},       {"Wyoming", 0.3, 3},      {"Vermont", 0.25, 3},
+      {"Alaska", 0.12, 3},     {"SouthDakota", 0.15, 3}, {"Delaware", 0.1, 3},
+      {"RhodeIsland", 0.08, 3},
+  };
+}
+
+// Countries: Turkey is deliberately the province-richest country (Support's
+// fixed favourite) and India/USA the largest by scale.
+std::vector<Location> GlobalLocations() {
+  return {
+      {"India", 15.0, 6},    {"USA", 14.0, 6},      {"Brazil", 10.0, 5},
+      {"Turkey", 5.0, 9},    {"Germany", 6.0, 5},   {"France", 6.5, 5},
+      {"UK", 6.0, 5},        {"Mexico", 5.5, 5},    {"Canada", 4.0, 6},
+      {"Sweden", 1.5, 3},    {"Thailand", 1.0, 3},  {"Kazakhstan", 1.2, 3},
+      {"Afghanistan", 0.9, 3}, {"Spain", 5.0, 4},   {"Italy", 5.5, 4},
+      {"Poland", 3.0, 4},    {"Ukraine", 2.5, 4},   {"Peru", 2.0, 3},
+      {"Chile", 1.8, 3},     {"Japan", 2.2, 4},     {"Iceland", 0.1, 3},
+      {"Malta", 0.07, 3},    {"Cyprus", 0.09, 3},   {"Fiji", 0.05, 3},
+  };
+}
+
+std::string DayName(int day) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "d%03d", day);
+  return buffer;
+}
+
+// Clean per-(location, sub-unit, day) confirmed cases.
+double CleanCases(const Location& loc, int sub, int day, Rng* rng) {
+  double wave = 40.0 + 30.0 * std::sin(2.0 * kPi * (day + 11.0 * (loc.scale)) / 90.0);
+  double weekly = 1.0 + 0.25 * std::sin(2.0 * kPi * day / 7.0);
+  double share = 1.0 / (1.0 + sub);  // larger sub-units report more
+  double noise = std::max(0.2, rng->Normal(1.0, 0.025));
+  return loc.scale * wave * weekly * share * noise + 1.0;
+}
+
+}  // namespace
+
+std::string CovidLocationAttr(bool global) { return global ? "country" : "state"; }
+
+Dataset MakeCovidPanel(const CovidPanelConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Location> locations = config.global ? GlobalLocations() : UsLocations();
+  Table table;
+  int loc_col = table.AddDimensionColumn(CovidLocationAttr(config.global));
+  int sub_col = table.AddDimensionColumn(config.global ? "province" : "county");
+  int day_col = table.AddDimensionColumn("day");
+  int confirmed = table.AddMeasureColumn("confirmed");
+  int deaths = table.AddMeasureColumn("deaths");
+  int recovered = config.global ? table.AddMeasureColumn("recovered") : -1;
+
+  for (int day = 0; day < config.days; ++day) {
+    for (const Location& loc : locations) {
+      for (int sub = 0; sub < loc.sub_units; ++sub) {
+        std::string sub_name = loc.name + "_" + std::to_string(sub);
+        // Nevada's county 0 is "Eureka" and New York's county 0 is "Albany"
+        // so the corresponding issues target nameable sub-units.
+        if (!config.global && loc.name == "Nevada" && sub == 0) sub_name = "Eureka";
+        if (!config.global && loc.name == "NewYork" && sub == 0) sub_name = "Albany";
+        double cases = CleanCases(loc, sub, day, &rng);
+        table.SetDim(loc_col, loc.name);
+        table.SetDim(sub_col, sub_name);
+        table.SetDim(day_col, DayName(day));
+        table.SetMeasure(confirmed, cases);
+        table.SetMeasure(deaths, cases * std::max(0.0, rng.Normal(0.02, 0.0015)));
+        if (recovered >= 0) {
+          table.SetMeasure(recovered, cases * std::max(0.0, rng.Normal(0.85, 0.02)));
+        }
+        table.CommitRow();
+      }
+    }
+  }
+  std::string loc_attr = CovidLocationAttr(config.global);
+  std::string sub_attr = config.global ? "province" : "county";
+  return Dataset(std::move(table),
+                 {{"geo", {loc_attr, sub_attr}}, {"time", {"day"}}});
+}
+
+Dataset MakeCorruptedPanel(const CovidPanelConfig& config, const CovidIssueSpec& issue) {
+  Dataset panel = MakeCovidPanel(config);
+  Table& table = panel.mutable_table();
+  int loc_col = table.ColumnIndex(CovidLocationAttr(config.global));
+  int sub_col = table.ColumnIndex(config.global ? "province" : "county");
+  int day_col = table.ColumnIndex("day");
+  int measure = table.ColumnIndex(issue.measure);
+  std::optional<int32_t> loc_code = table.dict(loc_col).Find(issue.location);
+  REPTILE_CHECK(loc_code.has_value()) << "unknown location " << issue.location;
+  std::vector<double>& values = table.mutable_measure(measure);
+  const std::vector<int32_t>& locs = table.dim_codes(loc_col);
+  const std::vector<int32_t>& subs = table.dim_codes(sub_col);
+  const std::vector<int32_t>& days = table.dim_codes(day_col);
+  auto day_code = [&](int day) {
+    std::optional<int32_t> code = table.dict(day_col).Find(DayName(day));
+    REPTILE_CHECK(code.has_value());
+    return *code;
+  };
+
+  switch (issue.kind) {
+    case CovidIssueKind::kMissingReports: {
+      int32_t d = day_code(issue.day);
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) values[r] *= 0.35;
+      }
+      break;
+    }
+    case CovidIssueKind::kBacklog: {
+      // Three withheld days released as one spike.
+      double withheld = 0.0;
+      std::vector<int32_t> prior = {day_code(issue.day - 3), day_code(issue.day - 2),
+                                    day_code(issue.day - 1)};
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] != *loc_code) continue;
+        for (int32_t d : prior) {
+          if (days[r] == d) {
+            withheld += values[r] * 0.75;
+            values[r] *= 0.25;
+          }
+        }
+      }
+      int32_t d = day_code(issue.day);
+      int64_t spike_rows = 0;
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) ++spike_rows;
+      }
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) {
+          values[r] += withheld / static_cast<double>(spike_rows);
+        }
+      }
+      break;
+    }
+    case CovidIssueKind::kHugeBacklog: {
+      // Definition change dumping a retroactive correction of ~10 days'
+      // volume onto one day (Turkey, issue 3471): large enough that the
+      // location tops every other location's daily total.
+      int32_t d = day_code(issue.day);
+      double recent = 0.0;
+      int32_t recent_days = 0;
+      for (int day = issue.day - 7; day < issue.day; ++day) {
+        int32_t code = day_code(day);
+        for (size_t r = 0; r < values.size(); ++r) {
+          if (locs[r] == *loc_code && days[r] == code) recent += values[r];
+        }
+        ++recent_days;
+      }
+      double per_day = recent / recent_days;
+      int64_t spike_rows = 0;
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) ++spike_rows;
+      }
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) {
+          values[r] += 10.0 * per_day / static_cast<double>(spike_rows);
+        }
+      }
+      break;
+    }
+    case CovidIssueKind::kOverReport: {
+      int32_t d = day_code(issue.day);
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) values[r] *= 1.7;
+      }
+      break;
+    }
+    case CovidIssueKind::kMethodologyChange: {
+      // Guidance change: a step applied from the issue day onward; the jump
+      // at the issue day is what users notice.
+      for (int day = issue.day; day < config.days; ++day) {
+        int32_t d = day_code(day);
+        for (size_t r = 0; r < values.size(); ++r) {
+          if (locs[r] == *loc_code && days[r] == d) values[r] *= 1.6;
+        }
+      }
+      break;
+    }
+    case CovidIssueKind::kTypo: {
+      // One sub-unit gains ~1.5% of the location's daily total: below the
+      // day-to-day noise, as in issue 3402.
+      int32_t d = day_code(issue.day);
+      double total = 0.0;
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) total += values[r];
+      }
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d && subs[r] >= 0) {
+          values[r] += total * 0.015;
+          break;
+        }
+      }
+      break;
+    }
+    case CovidIssueKind::kMissingSource: {
+      // Prevalent error: the whole series is slightly under-reported.
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code) values[r] *= 0.92;
+      }
+      break;
+    }
+    case CovidIssueKind::kWrongReportSubtle: {
+      // ~1% error in the direction of the complaint: well below the day-to-
+      // day noise (issues 3423, 3424).
+      int32_t d = day_code(issue.day);
+      double factor = issue.direction == ComplaintDirection::kTooHigh ? 1.01 : 0.99;
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) values[r] *= factor;
+      }
+      break;
+    }
+    case CovidIssueKind::kDayShift: {
+      // One sub-unit's day moved to the next day: the location total at the
+      // complaint day changes by only that sub-unit's share.
+      int32_t d = day_code(issue.day);
+      int32_t next = day_code(issue.day + 1);
+      // Pick the last (smallest-share) sub-unit and shift 60% of its day.
+      int32_t target_sub = -1;
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) target_sub = subs[r];
+      }
+      double moved = 0.0;
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d && subs[r] == target_sub) {
+          moved += values[r] * 0.3;
+          values[r] *= 0.7;
+        }
+      }
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == next && subs[r] == target_sub) {
+          values[r] += moved;
+          break;
+        }
+      }
+      break;
+    }
+    case CovidIssueKind::kNullified: {
+      int32_t d = day_code(issue.day);
+      for (size_t r = 0; r < values.size(); ++r) {
+        if (locs[r] == *loc_code && days[r] == d) values[r] = 0.0;
+      }
+      break;
+    }
+  }
+  return panel;
+}
+
+Table MakeCovidLagTable(const Dataset& panel, const std::string& measure, int lag) {
+  const Table& table = panel.table();
+  bool global = table.FindColumn("country").has_value();
+  int loc_col = table.ColumnIndex(CovidLocationAttr(global));
+  int day_col = table.ColumnIndex("day");
+  GroupByResult groups =
+      GroupBy(table, {loc_col, day_col}, table.ColumnIndex(measure));
+
+  // Day codes are assigned in chronological order by the generator, so the
+  // lag is a code shift.
+  Table out;
+  int out_loc = out.AddDimensionColumn(CovidLocationAttr(global));
+  int out_day = out.AddDimensionColumn("day");
+  int out_measure = out.AddMeasureColumn("lag" + std::to_string(lag));
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    int32_t loc = groups.key(g, 0);
+    int32_t day = groups.key(g, 1);
+    std::optional<size_t> lagged = groups.Find({loc, day - lag});
+    if (!lagged.has_value()) continue;
+    out.SetDim(out_loc, table.dict(loc_col).name(loc));
+    out.SetDim(out_day, table.dict(day_col).name(day));
+    out.SetMeasure(out_measure, groups.stats(*lagged).Mean());
+    out.CommitRow();
+  }
+  return out;
+}
+
+std::vector<CovidIssueSpec> UsIssueList() {
+  auto issue = [](int id, const std::string& name, const std::string& location,
+                  const std::string& measure, CovidIssueKind kind, ComplaintDirection dir,
+                  bool prevalent, bool rp, bool st, bool sp) {
+    CovidIssueSpec spec;
+    spec.id = id;
+    spec.name = name;
+    spec.location = location;
+    spec.measure = measure;
+    spec.kind = kind;
+    spec.direction = dir;
+    spec.prevalent = prevalent;
+    spec.paper_reptile_detects = rp;
+    spec.paper_sensitivity_detects = st;
+    spec.paper_support_detects = sp;
+    return spec;
+  };
+  int next_day = 58;
+  auto at_day = [&next_day](CovidIssueSpec spec) {
+    spec.day = next_day;
+    next_day += 3;
+    return spec;
+  };
+  using K = CovidIssueKind;
+  using D = ComplaintDirection;
+  return {
+      at_day(issue(3572, "Texas confirmed missing reports", "Texas", "confirmed",
+            K::kMissingReports, D::kTooLow, false, true, false, false)),
+      at_day(issue(3521, "Arizona death methodology altered", "Arizona", "deaths",
+            K::kMethodologyChange, D::kTooHigh, false, true, false, false)),
+      at_day(issue(3482, "Washington missing reports", "Washington", "confirmed",
+            K::kMissingReports, D::kTooLow, false, true, false, false)),
+      at_day(issue(3476, "Utah missing source", "Utah", "confirmed", K::kMissingSource,
+            D::kTooLow, true, false, false, false)),
+      at_day(issue(3468, "New York death missing reports", "NewYork", "deaths",
+            K::kMissingReports, D::kTooLow, false, true, false, false)),
+      at_day(issue(3466, "Montana missing reports", "Montana", "confirmed", K::kMissingReports,
+            D::kTooLow, false, true, false, false)),
+      at_day(issue(3456, "North Dakota confirmed backlog", "NorthDakota", "confirmed", K::kBacklog,
+            D::kTooHigh, false, true, false, false)),
+      at_day(issue(3451, "Iowa death missing reports", "Iowa", "deaths", K::kMissingReports,
+            D::kTooLow, false, true, false, false)),
+      at_day(issue(3449, "Arizona test over reported", "Arizona", "confirmed", K::kOverReport,
+            D::kTooHigh, false, true, false, false)),
+      at_day(issue(3448, "Washington death wrongly reported", "Washington", "deaths",
+            K::kOverReport, D::kTooHigh, false, true, false, false)),
+      at_day(issue(3441, "Albany confirmed day shift", "NewYork", "confirmed", K::kDayShift,
+            D::kTooLow, true, false, false, false)),
+      at_day(issue(3438, "Ohio confirmed backlog", "Ohio", "confirmed", K::kBacklog, D::kTooHigh,
+            false, true, false, false)),
+      at_day(issue(3424, "Massachusetts confirmed backlog", "Massachusetts", "confirmed",
+            K::kWrongReportSubtle, D::kTooHigh, false, false, false, false)),
+      at_day(issue(3416, "Nevada death over reported", "Nevada", "deaths", K::kOverReport,
+            D::kTooHigh, false, true, false, false)),
+      at_day(issue(3414, "Eureka death over reported", "Nevada", "deaths", K::kOverReport,
+            D::kTooHigh, false, true, false, false)),
+      at_day(issue(3402, "Washington confirmed typo", "Washington", "confirmed", K::kTypo,
+            D::kTooHigh, false, false, false, false)),
+  };
+}
+
+std::vector<CovidIssueSpec> GlobalIssueList() {
+  auto issue = [](int id, const std::string& name, const std::string& location,
+                  const std::string& measure, CovidIssueKind kind, ComplaintDirection dir,
+                  bool prevalent, bool rp, bool st, bool sp) {
+    CovidIssueSpec spec;
+    spec.id = id;
+    spec.name = name;
+    spec.location = location;
+    spec.measure = measure;
+    spec.kind = kind;
+    spec.direction = dir;
+    spec.prevalent = prevalent;
+    spec.paper_reptile_detects = rp;
+    spec.paper_sensitivity_detects = st;
+    spec.paper_support_detects = sp;
+    return spec;
+  };
+  int next_day = 61;
+  auto at_day = [&next_day](CovidIssueSpec spec) {
+    spec.day = next_day;
+    next_day += 4;
+    return spec;
+  };
+  using K = CovidIssueKind;
+  using D = ComplaintDirection;
+  return {
+      at_day(issue(3623, "Germany recovered over reported", "Germany", "recovered", K::kOverReport,
+            D::kTooHigh, false, true, false, false)),
+      at_day(issue(3618, "Quebec death missing source", "Canada", "deaths", K::kMissingSource,
+            D::kTooLow, true, false, false, false)),
+      at_day(issue(3578, "US recovery nullified", "USA", "recovered", K::kNullified, D::kTooLow,
+            false, true, true, false)),
+      at_day(issue(3567, "India confirmed missing reports", "India", "confirmed",
+            K::kMissingReports, D::kTooLow, false, true, false, false)),
+      at_day(issue(3546, "Thailand confirmed missing source", "Thailand", "confirmed",
+            K::kMissingSource, D::kTooLow, true, false, false, false)),
+      at_day(issue(35381, "Mexico confirmed definition altered", "Mexico", "confirmed",
+            K::kMethodologyChange, D::kTooHigh, false, true, false, false)),
+      at_day(issue(35382, "Mexico confirmed missing reports", "Mexico", "confirmed",
+            K::kMissingReports, D::kTooLow, false, true, false, false)),
+      at_day(issue(3518, "Sweden death missing source", "Sweden", "deaths", K::kMissingSource,
+            D::kTooLow, true, false, false, false)),
+      at_day(issue(3498, "Alberta missing source", "Canada", "confirmed", K::kMissingSource,
+            D::kTooLow, true, false, false, false)),
+      at_day(issue(3494, "UK death missing reports", "UK", "deaths", K::kMissingReports,
+            D::kTooLow, false, true, false, false)),
+      at_day(issue(3471, "Turkey confirmed definition altered", "Turkey", "confirmed",
+            K::kHugeBacklog, D::kTooHigh, false, true, true, true)),
+      at_day(issue(3423, "Afghanistan confirmed wrongly reported", "Afghanistan", "confirmed",
+            K::kWrongReportSubtle, D::kTooLow, false, false, false, false)),
+      at_day(issue(3413, "France missing reports", "France", "confirmed", K::kMissingReports,
+            D::kTooLow, false, true, false, false)),
+      at_day(issue(3408, "Kazakhstan confirmed over reported", "Kazakhstan", "confirmed",
+            K::kOverReport, D::kTooHigh, false, true, false, false)),
+  };
+}
+
+}  // namespace reptile

@@ -1,0 +1,86 @@
+// Simulated JHU CSSE COVID-19 datasets and the 30 resolved data issues of
+// paper Tables 1-2 (Section 5.3, Appendix L).
+//
+// The real study corrupts the JHU repository according to issues confirmed
+// on GitHub; we reproduce each issue class by construction on simulated
+// daily panels with the same ground-truth labelling (which location, which
+// day, direction), preserving the code path and the failure modes: prevalent
+// errors (an entire mis-scaled series) and sub-noise errors remain
+// undetectable by design.
+//
+//  * US panel: geography [state, county] x time [day]; measures confirmed
+//    and deaths. 16 issues.
+//  * Global panel: geography [country, province] x time [day]; measures
+//    confirmed, deaths and recovered. 14 issues.
+
+#ifndef REPTILE_DATAGEN_COVID_GEN_H_
+#define REPTILE_DATAGEN_COVID_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/complaint.h"
+#include "data/dataset.h"
+
+namespace reptile {
+
+/// Issue classes appearing in Tables 1-2.
+enum class CovidIssueKind {
+  kMissingReports,     // a day's reports mostly missing
+  kBacklog,            // withheld days totalled into one spike
+  kHugeBacklog,        // definition change: months of cases dumped on one day
+  kOverReport,         // one day scaled up
+  kMethodologyChange,  // step change from the issue day onward
+  kTypo,               // tiny one-county error (sub-noise)
+  kMissingSource,      // prevalent: whole series mis-scaled
+  kWrongReportSubtle,  // tiny one-day error (sub-noise)
+  kDayShift,           // one county's day moved to the next day
+  kNullified,          // a day zeroed out entirely
+};
+
+/// One reproduced GitHub issue.
+struct CovidIssueSpec {
+  int id = 0;                 // the paper's issue id
+  std::string name;           // e.g. "Texas confirmed missing reports"
+  std::string location;       // ground-truth state / country
+  std::string measure;        // "confirmed", "deaths" or "recovered"
+  CovidIssueKind kind = CovidIssueKind::kMissingReports;
+  int day = 90;               // complaint day index
+  ComplaintDirection direction = ComplaintDirection::kTooLow;
+  bool prevalent = false;     // marked with a star in the paper's tables
+  bool paper_reptile_detects = false;  // the checkmark in Tables 1-2
+  bool paper_sensitivity_detects = false;
+  bool paper_support_detects = false;
+};
+
+/// The 16 US issues of Table 1.
+std::vector<CovidIssueSpec> UsIssueList();
+
+/// The 14 global issues of Table 2.
+std::vector<CovidIssueSpec> GlobalIssueList();
+
+struct CovidPanelConfig {
+  bool global = false;
+  int days = 120;
+  uint64_t seed = 42;
+};
+
+/// Clean simulated panel.
+Dataset MakeCovidPanel(const CovidPanelConfig& config);
+
+/// Panel with one issue injected.
+Dataset MakeCorruptedPanel(const CovidPanelConfig& config, const CovidIssueSpec& issue);
+
+/// Location-level lag feature table: (location, day) -> the location's
+/// per-county mean of `measure` `lag` days earlier. Registered with the
+/// engine as a multi-attribute auxiliary dataset (paper Section 5.3 uses
+/// 1-day and 7-day lags).
+Table MakeCovidLagTable(const Dataset& panel, const std::string& measure, int lag);
+
+/// The top-level geography attribute name of a panel ("state" or "country").
+std::string CovidLocationAttr(bool global);
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATAGEN_COVID_GEN_H_

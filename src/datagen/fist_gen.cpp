@@ -1,0 +1,301 @@
+#include "datagen/fist_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace reptile {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr int kYears = 36;
+constexpr int kVillagesPerDistrict = 9;
+constexpr int kReportsPerVillageYear = 8;
+
+// Region 1 (mid rainfall: severities away from both clamps) has exactly 3
+// districts so the two-district STD case reproduces the 2-of-3 invariance of
+// Appendix M (fixing one of two equally shifted districts out of three
+// leaves the variance essentially unchanged).
+const int kDistrictsPerRegion[] = {7, 3, 8};
+
+std::string RegionName(int r) { return "R" + std::to_string(r); }
+std::string DistrictName(int r, int d) { return RegionName(r) + "_D" + std::to_string(d); }
+std::string VillageName(int r, int d, int v) {
+  return DistrictName(r, d) + "_V" + std::to_string(v);
+}
+std::string YearName(int y) { return "Y" + std::to_string(1984 + y); }
+
+// Latent rainfall in mm for a village-year.
+double LatentRainfall(int region, int district, int village, int year, Rng* rng) {
+  double region_base = 80.0 + 60.0 * region;  // region 0 arid .. region 2 wet
+  double cycle = 35.0 * std::sin(2.0 * kPi * (year + 3.0 * district) / 11.0);
+  double village_effect = 8.0 * std::sin(0.7 * village + 0.3 * district);
+  return std::max(5.0, region_base + cycle + village_effect + rng->Normal(0.0, 10.0));
+}
+
+double SeverityFromRainfall(double rainfall, Rng* rng) {
+  double raw = 11.0 - rainfall / 22.0 + rng->Normal(0.0, 0.7);
+  return std::clamp(raw, 1.0, 10.0);
+}
+
+struct RawStudy {
+  // Per (village key string, year): report values.
+  Table table;
+  Table rainfall;
+  int region_col, district_col, village_col, year_col, severity_col;
+};
+
+RawStudy GenerateClean(Rng* rng) {
+  RawStudy raw;
+  raw.region_col = raw.table.AddDimensionColumn("region");
+  raw.district_col = raw.table.AddDimensionColumn("district");
+  raw.village_col = raw.table.AddDimensionColumn("village");
+  raw.year_col = raw.table.AddDimensionColumn("year");
+  raw.severity_col = raw.table.AddMeasureColumn("severity");
+
+  int rain_village = raw.rainfall.AddDimensionColumn("village");
+  int rain_year = raw.rainfall.AddDimensionColumn("year");
+  int rain_measure = raw.rainfall.AddMeasureColumn("rainfall");
+
+  for (int r = 0; r < 3; ++r) {
+    for (int d = 0; d < kDistrictsPerRegion[r]; ++d) {
+      for (int v = 0; v < kVillagesPerDistrict; ++v) {
+        for (int y = 0; y < kYears; ++y) {
+          double rainfall = LatentRainfall(r, d, v, y, rng);
+          // Satellite estimate: the latent field plus sensing noise.
+          raw.rainfall.SetDim(rain_village, VillageName(r, d, v));
+          raw.rainfall.SetDim(rain_year, YearName(y));
+          raw.rainfall.SetMeasure(rain_measure, rainfall + rng->Normal(0.0, 12.0));
+          raw.rainfall.CommitRow();
+          for (int i = 0; i < kReportsPerVillageYear; ++i) {
+            raw.table.SetDim(raw.region_col, RegionName(r));
+            raw.table.SetDim(raw.district_col, DistrictName(r, d));
+            raw.table.SetDim(raw.village_col, VillageName(r, d, v));
+            raw.table.SetDim(raw.year_col, YearName(y));
+            raw.table.SetMeasure(raw.severity_col, SeverityFromRainfall(rainfall, rng));
+            raw.table.CommitRow();
+          }
+        }
+      }
+    }
+  }
+  return raw;
+}
+
+// Corruption helpers operating on the flat report table.
+struct Corruptor {
+  Table* table;
+  int village_col, year_col, severity_col;
+
+  // Applies `fn(row)` to rows of (village, year); returns matched rows.
+  std::vector<size_t> Rows(const std::string& village, const std::string& year) const {
+    std::vector<size_t> rows;
+    std::optional<int32_t> vc = table->dict(village_col).Find(village);
+    std::optional<int32_t> yc = table->dict(year_col).Find(year);
+    REPTILE_CHECK(vc.has_value() && yc.has_value());
+    for (size_t row = 0; row < table->num_rows(); ++row) {
+      if (table->dim_codes(village_col)[row] == *vc &&
+          table->dim_codes(year_col)[row] == *yc) {
+        rows.push_back(row);
+      }
+    }
+    return rows;
+  }
+
+  void Drift(const std::string& village, const std::string& year, double delta) const {
+    for (size_t row : Rows(village, year)) {
+      double& v = table->mutable_measure(severity_col)[row];
+      v = std::clamp(v + delta, 1.0, 10.0);
+    }
+  }
+
+  void InflateStd(const std::string& village, const std::string& year, double delta) const {
+    bool up = true;
+    for (size_t row : Rows(village, year)) {
+      double& v = table->mutable_measure(severity_col)[row];
+      v = std::clamp(v + (up ? delta : -delta), 1.0, 10.0);
+      up = !up;
+    }
+  }
+};
+
+}  // namespace
+
+FistStudy MakeCleanFist(uint64_t seed) {
+  Rng rng(seed);
+  RawStudy raw = GenerateClean(&rng);
+  FistStudy study;
+  study.rainfall = std::move(raw.rainfall);
+  study.dataset = Dataset(std::move(raw.table), {{"geo", {"region", "district", "village"}},
+                                                 {"time", {"year"}}});
+  return study;
+}
+
+FistStudy MakeFistStudy(uint64_t seed) {
+  Rng rng(seed);
+  RawStudy raw = GenerateClean(&rng);
+  Table& table = raw.table;
+  Corruptor corrupt{&table, raw.village_col, raw.year_col, raw.severity_col};
+
+  FistStudy study;
+  std::vector<bool> delete_row(table.num_rows(), false);
+  std::vector<std::pair<std::vector<std::string>, double>> duplicate_requests;
+
+  auto filter_for = [&](const std::string& region, const std::string& district,
+                        const std::string& year) {
+    RowFilter filter;
+    filter.Add(raw.region_col, *table.dict(raw.region_col).Find(region));
+    if (!district.empty()) {
+      filter.Add(raw.district_col, *table.dict(raw.district_col).Find(district));
+    }
+    filter.Add(raw.year_col, *table.dict(raw.year_col).Find(year));
+    return filter;
+  };
+
+  int severity = raw.severity_col;
+  int case_id = 0;
+  auto add_case = [&](const std::string& kind, const Complaint& complaint, int geo_depth,
+                      const std::string& expected, bool success) {
+    FistComplaintCase c;
+    c.name = "P" + std::to_string(1 + case_id % 3) + " #" + std::to_string(++case_id) + " " +
+             kind;
+    c.complaint = complaint;
+    c.geo_commit_depth = geo_depth;
+    c.expected_substr = expected;
+    c.expect_success = success;
+    study.cases.push_back(std::move(c));
+  };
+
+  // --- 20 detectable complaints across error classes. Targets spread over
+  // regions/districts/villages/years deterministically. ---
+  struct Target {
+    int r, d, v, y;
+  };
+  std::vector<Target> targets;
+  for (int i = 0; i < 20; ++i) {
+    int r = i % 3;
+    // Downward drifts need headroom above the severity floor: the wet
+    // region's severities already sit near 1, so assign those cases to the
+    // arid regions.
+    if (i % 5 == 1) r = i % 2;
+    int d = (i * 2 + 1) % kDistrictsPerRegion[r];
+    int v = (i * 5 + 2) % kVillagesPerDistrict;
+    int y = (i * 7 + 3) % kYears;
+    targets.push_back(Target{r, d, v, y});
+  }
+
+  for (int i = 0; i < 20; ++i) {
+    Target t = targets[static_cast<size_t>(i)];
+    std::string region = RegionName(t.r);
+    std::string district = DistrictName(t.r, t.d);
+    std::string village = VillageName(t.r, t.d, t.v);
+    std::string year = YearName(t.y);
+    RowFilter filter = filter_for(region, district, year);
+    switch (i % 5) {
+      case 0: {  // non-drought year reported highly severe
+        corrupt.Drift(village, year, +3.5);
+        add_case("reported severe (MEAN high)",
+                 Complaint::TooHigh(AggFn::kMean, severity, filter), 2,
+                 "village=" + village, true);
+        break;
+      }
+      case 1: {  // drought year under-reported
+        corrupt.Drift(village, year, -3.5);
+        add_case("under-reported (MEAN low)",
+                 Complaint::TooLow(AggFn::kMean, severity, filter), 2,
+                 "village=" + village, true);
+        break;
+      }
+      case 2: {  // missing reports
+        std::vector<size_t> rows = corrupt.Rows(village, year);
+        for (size_t k = 0; k < rows.size() - 2; ++k) delete_row[rows[k]] = true;
+        add_case("missing reports (COUNT low)",
+                 Complaint::TooLow(AggFn::kCount, -1, filter), 2, "village=" + village,
+                 true);
+        break;
+      }
+      case 3: {  // duplicated reports (entered twice)
+        duplicate_requests.push_back({{region, district, village, year}, 1.0});
+        add_case("duplicated reports (COUNT high)",
+                 Complaint::TooHigh(AggFn::kCount, -1, filter), 2, "village=" + village,
+                 true);
+        break;
+      }
+      default: {  // misremembered events: inflated spread
+        corrupt.InflateStd(village, year, 3.0);
+        add_case("misremembered (STD high)",
+                 Complaint::TooHigh(AggFn::kStd, severity, filter), 2,
+                 "village=" + village, true);
+        break;
+      }
+    }
+  }
+
+  // --- Failure 1: inherently ambiguous — a drift well below reporting
+  // noise; team members disagreed about the cause (Appendix M). ---
+  {
+    std::string village = VillageName(0, 0, 0);
+    std::string year = YearName(20);
+    corrupt.Drift(village, year, +0.4);
+    add_case("ambiguous (MEAN high, sub-noise)",
+             Complaint::TooHigh(AggFn::kMean, severity,
+                                filter_for(RegionName(0), DistrictName(0, 0), year)),
+             2, "village=" + village, false);
+  }
+
+  // --- Failure 2: two of region R1's three districts shifted equally; the
+  // STD complaint cannot be resolved by repairing a single district
+  // (Appendix M). ---
+  {
+    // Year 5 is used by no other region-1 case, so the corruptions do not
+    // overlap.
+    std::string year = YearName(5);
+    for (int d : {0, 1}) {
+      for (int v = 0; v < kVillagesPerDistrict; ++v) {
+        corrupt.Drift(VillageName(1, d, v), year, +3.0);
+      }
+    }
+    add_case("two-district STD (Appendix M)",
+             Complaint::TooHigh(AggFn::kStd, severity, filter_for(RegionName(1), "", year)),
+             1, "district=" + DistrictName(1, 0), false);
+  }
+
+  // Apply deletions and duplications in one pass.
+  {
+    std::vector<bool> keep(table.num_rows());
+    for (size_t row = 0; row < table.num_rows(); ++row) keep[row] = !delete_row[row];
+    Table filtered = table.FilteredCopy(keep);
+    // Duplications: append copies of every row of the requested groups.
+    for (const auto& [names, fraction] : duplicate_requests) {
+      (void)fraction;
+      int32_t rc = *filtered.dict(raw.region_col).Find(names[0]);
+      int32_t dc = *filtered.dict(raw.district_col).Find(names[1]);
+      int32_t vc = *filtered.dict(raw.village_col).Find(names[2]);
+      int32_t yc = *filtered.dict(raw.year_col).Find(names[3]);
+      size_t original_rows = filtered.num_rows();
+      for (size_t row = 0; row < original_rows; ++row) {
+        if (filtered.dim_codes(raw.village_col)[row] == vc &&
+            filtered.dim_codes(raw.year_col)[row] == yc) {
+          filtered.SetDimCode(raw.region_col, rc);
+          filtered.SetDimCode(raw.district_col, dc);
+          filtered.SetDimCode(raw.village_col, vc);
+          filtered.SetDimCode(raw.year_col, yc);
+          filtered.SetMeasure(raw.severity_col,
+                              filtered.measure(raw.severity_col)[row]);
+          filtered.CommitRow();
+        }
+      }
+    }
+    table = std::move(filtered);
+  }
+
+  study.rainfall = std::move(raw.rainfall);
+  study.dataset = Dataset(std::move(table), {{"geo", {"region", "district", "village"}},
+                                             {"time", {"year"}}});
+  return study;
+}
+
+}  // namespace reptile

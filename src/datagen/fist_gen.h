@@ -1,0 +1,51 @@
+// Simulated FIST drought-survey data and the 22-complaint expert study
+// (paper Sections 2.1, 5.4, Appendices K and M).
+//
+// Farmer-reported drought severity (1-10) per (region, district, village,
+// year), driven by a latent rainfall field; a noisy satellite rainfall
+// estimate per (village, year) is available as an auxiliary dataset. The
+// expert study is reproduced with 22 scripted complaints over injected
+// errors of the classes the paper reports (year confusion, misremembered
+// severity, non-drought years reported severe, missing/duplicate reports),
+// including the two documented failures: an inherently ambiguous complaint
+// (error below noise) and the two-district standard-deviation case whose
+// single-group repair cannot reduce the STD (Appendix M's parabola
+// argument).
+
+#ifndef REPTILE_DATAGEN_FIST_GEN_H_
+#define REPTILE_DATAGEN_FIST_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/complaint.h"
+#include "data/dataset.h"
+
+namespace reptile {
+
+/// One scripted complaint of the expert study.
+struct FistComplaintCase {
+  std::string name;
+  Complaint complaint;
+  int geo_commit_depth = 2;  // committed geo depth before the complaint
+                             // (2 = district level -> drill villages)
+  std::string expected_substr;  // substring the top group must contain
+  bool expect_success = true;   // the paper's 20/22 split
+};
+
+struct FistStudy {
+  Dataset dataset;  // hierarchies geo [region, district, village], time [year]
+  Table rainfall;   // auxiliary: (village, year) -> satellite estimate
+  std::vector<FistComplaintCase> cases;
+};
+
+/// Builds the corrupted survey panel plus the 22 complaints.
+FistStudy MakeFistStudy(uint64_t seed = 42);
+
+/// Clean panel only (used by the Figure 16 model-quality evaluation).
+FistStudy MakeCleanFist(uint64_t seed = 42);
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATAGEN_FIST_GEN_H_

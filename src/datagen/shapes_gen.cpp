@@ -1,0 +1,71 @@
+#include "datagen/shapes_gen.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace reptile {
+
+Dataset MakeAbsenteeShaped(uint64_t seed) {
+  Rng rng(seed);
+  Table table;
+  int county = table.AddDimensionColumn("county");
+  int party = table.AddDimensionColumn("party");
+  int week = table.AddDimensionColumn("week");
+  int gender = table.AddDimensionColumn("gender");
+  int value = table.AddMeasureColumn("value");
+  // Skewed county sizes and party shares, mirroring real voting data.
+  std::vector<double> county_weight(100);
+  for (double& w : county_weight) w = rng.Uniform(0.2, 3.0);
+  for (int64_t row = 0; row < 179000; ++row) {
+    // Weighted county pick via rejection (weights bounded by 3).
+    int c;
+    for (;;) {
+      c = static_cast<int>(rng.UniformInt(0, 99));
+      if (rng.Uniform(0.0, 3.0) < county_weight[static_cast<size_t>(c)]) break;
+    }
+    table.SetDim(county, "county" + std::to_string(c));
+    table.SetDim(party, "party" + std::to_string(rng.UniformInt(0, 5)));
+    table.SetDim(week, "week" + std::to_string(rng.UniformInt(0, 52)));
+    table.SetDim(gender, "gender" + std::to_string(rng.UniformInt(0, 2)));
+    table.SetMeasure(value, rng.Normal(50.0, 10.0));
+    table.CommitRow();
+  }
+  return Dataset(std::move(table), {{"county", {"county"}},
+                                    {"party", {"party"}},
+                                    {"week", {"week"}},
+                                    {"gender", {"gender"}}});
+}
+
+Dataset MakeCompasShaped(uint64_t seed) {
+  Rng rng(seed);
+  Table table;
+  int year = table.AddDimensionColumn("year");
+  int month = table.AddDimensionColumn("month");
+  int day = table.AddDimensionColumn("day");
+  int age = table.AddDimensionColumn("age_range");
+  int race = table.AddDimensionColumn("race");
+  int degree = table.AddDimensionColumn("charge_degree");
+  int score = table.AddMeasureColumn("score");
+  // 704 distinct days spanning ~23 months of two years.
+  const int kDays = 704;
+  for (int64_t row = 0; row < 60843; ++row) {
+    int d = static_cast<int>(rng.UniformInt(0, kDays - 1));
+    int m = d / 30;            // ~24 months
+    int y = m / 12;            // 2 years
+    table.SetDim(year, "y" + std::to_string(2013 + y));
+    table.SetDim(month, "y" + std::to_string(2013 + y) + "-m" + std::to_string(m % 12));
+    table.SetDim(day, "d" + std::to_string(d));
+    table.SetDim(age, "age" + std::to_string(rng.UniformInt(0, 2)));
+    table.SetDim(race, "race" + std::to_string(rng.UniformInt(0, 5)));
+    table.SetDim(degree, "degree" + std::to_string(rng.UniformInt(0, 2)));
+    table.SetMeasure(score, rng.Uniform(1.0, 10.0));
+    table.CommitRow();
+  }
+  return Dataset(std::move(table), {{"time", {"year", "month", "day"}},
+                                    {"age", {"age_range"}},
+                                    {"race", {"race"}},
+                                    {"degree", {"charge_degree"}}});
+}
+
+}  // namespace reptile

@@ -1,0 +1,29 @@
+// Shape-matched clones of the paper's end-to-end datasets (Section 5.1.4).
+// Figure 10 measures runtime only ("we arbitrarily pick a sequence of
+// drill-down attributes"), so only row counts, hierarchy structure and
+// attribute cardinalities matter:
+//
+//  * Absentee: 179K rows of North Carolina absentee voting; hierarchies
+//    county (100), party (6), week (53), gender (3), one attribute each.
+//  * COMPAS: 60,843 rows of recidivism scores; time hierarchy
+//    year -> month -> day (704 distinct days), plus age range (3), race (6),
+//    charge degree (3).
+
+#ifndef REPTILE_DATAGEN_SHAPES_GEN_H_
+#define REPTILE_DATAGEN_SHAPES_GEN_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace reptile {
+
+/// Absentee-shaped dataset; drill order county, party, week, gender.
+Dataset MakeAbsenteeShaped(uint64_t seed = 42);
+
+/// COMPAS-shaped dataset; drill order year, month, day, age, race, degree.
+Dataset MakeCompasShaped(uint64_t seed = 42);
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATAGEN_SHAPES_GEN_H_

@@ -1,0 +1,96 @@
+#include "datagen/synthetic.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace reptile {
+
+SyntheticMatrix MakeSyntheticMatrix(const SyntheticOptions& options) {
+  Rng rng(options.seed);
+  SyntheticMatrix out;
+  out.trees.push_back(std::make_unique<FTree>(FTree::Singleton()));
+  for (int h = 0; h < options.num_hierarchies; ++h) {
+    std::vector<std::vector<int32_t>> paths;
+    paths.reserve(static_cast<size_t>(options.cardinality));
+    for (int64_t chain = 0; chain < options.cardinality; ++chain) {
+      std::vector<int32_t> path(static_cast<size_t>(options.attrs_per_hierarchy));
+      for (int l = 0; l < options.attrs_per_hierarchy; ++l) {
+        if (options.fan_leaves && l + 1 < options.attrs_per_hierarchy) {
+          path[static_cast<size_t>(l)] = 0;  // single shared root path
+        } else if (options.random_branching && l + 1 < options.attrs_per_hierarchy) {
+          path[static_cast<size_t>(l)] =
+              static_cast<int32_t>(rng.UniformInt(0, options.cardinality - 1));
+        } else {
+          path[static_cast<size_t>(l)] = static_cast<int32_t>(chain);
+        }
+      }
+      paths.push_back(std::move(path));
+    }
+    out.trees.push_back(
+        std::make_unique<FTree>(FTree::FromPaths(std::move(paths), options.attrs_per_hierarchy)));
+  }
+  for (const auto& tree : out.trees) {
+    out.locals.push_back(std::make_unique<LocalAggregates>(tree.get()));
+  }
+  for (const auto& tree : out.trees) out.fm.AddTree(tree.get());
+
+  // Intercept column plus one random-valued column per attribute.
+  FeatureColumn intercept;
+  intercept.name = "intercept";
+  intercept.attr = AttrId{0, 0};
+  intercept.value_map = {1.0};
+  out.fm.AddColumn(std::move(intercept));
+  for (int k = 1; k < out.fm.num_trees(); ++k) {
+    for (int l = 0; l < out.fm.tree(k).depth(); ++l) {
+      FeatureColumn col;
+      col.name = "f" + std::to_string(k) + "_" + std::to_string(l);
+      col.attr = AttrId{k, l};
+      col.value_map.resize(static_cast<size_t>(options.cardinality));
+      for (double& v : col.value_map) v = rng.Normal(0.0, 1.0);
+      out.fm.AddColumn(std::move(col));
+    }
+  }
+  return out;
+}
+
+Dataset MakeChainDataset(const SyntheticOptions& options, int64_t rows) {
+  Rng rng(options.seed + 1);
+  Table table;
+  std::vector<HierarchySchema> hierarchies;
+  std::vector<std::vector<int>> columns(static_cast<size_t>(options.num_hierarchies));
+  for (int h = 0; h < options.num_hierarchies; ++h) {
+    HierarchySchema schema;
+    schema.name = "H" + std::to_string(h);
+    for (int l = 0; l < options.attrs_per_hierarchy; ++l) {
+      std::string name = "h" + std::to_string(h) + "_a" + std::to_string(l);
+      schema.attributes.push_back(name);
+      columns[static_cast<size_t>(h)].push_back(table.AddDimensionColumn(name));
+    }
+    hierarchies.push_back(std::move(schema));
+  }
+  int measure = table.AddMeasureColumn("m");
+
+  // Pre-register value names so codes equal chain indices.
+  for (int h = 0; h < options.num_hierarchies; ++h) {
+    for (int l = 0; l < options.attrs_per_hierarchy; ++l) {
+      ValueDict& dict = table.mutable_dict(columns[static_cast<size_t>(h)][static_cast<size_t>(l)]);
+      for (int64_t v = 0; v < options.cardinality; ++v) {
+        dict.GetOrAdd("v" + std::to_string(v));
+      }
+    }
+  }
+  for (int64_t row = 0; row < rows; ++row) {
+    for (int h = 0; h < options.num_hierarchies; ++h) {
+      int32_t chain = static_cast<int32_t>(rng.UniformInt(0, options.cardinality - 1));
+      for (int l = 0; l < options.attrs_per_hierarchy; ++l) {
+        table.SetDimCode(columns[static_cast<size_t>(h)][static_cast<size_t>(l)], chain);
+      }
+    }
+    table.SetMeasure(measure, rng.Normal(100.0, 20.0));
+    table.CommitRow();
+  }
+  return Dataset(std::move(table), std::move(hierarchies));
+}
+
+}  // namespace reptile

@@ -1,0 +1,57 @@
+// Synthetic performance workloads (paper Section 5.1 default setup): d
+// hierarchies of t attributes each, every attribute with w unique values,
+// data in BCNF — i.e., each hierarchy is a set of w root-to-leaf chains, and
+// the virtual feature matrix is their cross product (w^d rows).
+
+#ifndef REPTILE_DATAGEN_SYNTHETIC_H_
+#define REPTILE_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "factor/decomposed.h"
+#include "factor/frep.h"
+#include "factor/ftree.h"
+
+namespace reptile {
+
+struct SyntheticOptions {
+  int num_hierarchies = 3;
+  int attrs_per_hierarchy = 3;
+  int64_t cardinality = 1000000;  // w: unique values per attribute
+  bool random_branching = false;  // true: random parent assignment per level
+  // Fan shape (Appendix F setup): one root path per hierarchy with
+  // `cardinality` children at the deepest level, so the per-cluster
+  // operators see clusters of size w instead of 1.
+  bool fan_leaves = false;
+  uint64_t seed = 42;
+};
+
+/// Owns the trees, local aggregates and the factorised matrix with one
+/// random feature column per attribute (plus the intercept).
+struct SyntheticMatrix {
+  std::vector<std::unique_ptr<FTree>> trees;  // intercept first
+  std::vector<std::unique_ptr<LocalAggregates>> locals;
+  FactorizedMatrix fm;
+
+  std::vector<const LocalAggregates*> LocalPtrs() const {
+    std::vector<const LocalAggregates*> out;
+    for (const auto& l : locals) out.push_back(l.get());
+    return out;
+  }
+};
+
+/// Builds the matrix of the Section 5.1 setup.
+SyntheticMatrix MakeSyntheticMatrix(const SyntheticOptions& options);
+
+/// Fact-table form of the chain hierarchies for drill-down experiments
+/// (Section 5.1.3): `rows` base rows, each picking one chain per hierarchy
+/// uniformly at random; one measure column "m".
+Dataset MakeChainDataset(const SyntheticOptions& options, int64_t rows);
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATAGEN_SYNTHETIC_H_

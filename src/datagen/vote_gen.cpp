@@ -1,0 +1,124 @@
+#include "datagen/vote_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace reptile {
+namespace {
+
+std::string CountyName(const std::string& state, int c) {
+  return state + "_c" + std::to_string(c);
+}
+
+}  // namespace
+
+VoteCountry MakeVoteCountry(uint64_t seed) {
+  Rng rng(seed);
+  VoteCountry out;
+  Table table;
+  int state_col = table.AddDimensionColumn("state");
+  int county_col = table.AddDimensionColumn("county");
+  int share_col = table.AddMeasureColumn("share2020");
+  int aux_county = out.aux2016.AddDimensionColumn("county");
+  int aux_share = out.aux2016.AddMeasureColumn("share2016");
+
+  const int kStates = 50;
+  int counties_total = 0;
+  for (int s = 0; s < kStates; ++s) {
+    std::string state = "state" + std::to_string(s);
+    double state_lean = rng.Normal(0.5, 0.12);
+    double state_swing = rng.Normal(-0.02, 0.02);
+    // 3,147 counties in total: most states get 63, the first ones get extra.
+    int counties = 62 + (s < 47 ? 1 : 0);
+    for (int c = 0; c < counties; ++c) {
+      ++counties_total;
+      std::string county = CountyName(state, c);
+      double rural = rng.Uniform(-0.15, 0.2);
+      double share2016 = std::clamp(state_lean + rural + rng.Normal(0.0, 0.03), 0.03, 0.97);
+      double share2020 =
+          std::clamp(share2016 + state_swing + rng.Normal(0.0, 0.02), 0.03, 0.97);
+      out.aux2016.SetDim(aux_county, county);
+      out.aux2016.SetMeasure(aux_share, share2016);
+      out.aux2016.CommitRow();
+      // A handful of rows per county so the MEAN statistic is the share.
+      for (int i = 0; i < 4; ++i) {
+        table.SetDim(state_col, state);
+        table.SetDim(county_col, county);
+        table.SetMeasure(share_col, std::clamp(share2020 + rng.Normal(0.0, 0.005), 0.0, 1.0));
+        table.CommitRow();
+      }
+    }
+  }
+  (void)counties_total;  // 47*63 + 3*62 = 3147
+  out.dataset = Dataset(std::move(table), {{"geo", {"state", "county"}}});
+  return out;
+}
+
+GeorgiaPanel MakeGeorgia(uint64_t seed) {
+  Rng rng(seed);
+  GeorgiaPanel out;
+  Table table;
+  int county_col = table.AddDimensionColumn("county");
+  int share_col = table.AddMeasureColumn("trump_share");
+  int aux_county = out.aux2016.AddDimensionColumn("county");
+  int aux_share = out.aux2016.AddMeasureColumn("share2016");
+  int aux_votes = out.aux2016.AddMeasureColumn("votes2016");
+
+  const int kCounties = 159;
+  std::vector<int> rows_per_county(kCounties);
+  std::vector<double> shares(kCounties);
+  for (int c = 0; c < kCounties; ++c) {
+    std::string county = "county" + std::to_string(c);
+    // Heavy-tailed county sizes: a few metro counties dominate.
+    double size = std::exp(rng.Normal(2.2, 1.0));
+    int rows = std::max(3, static_cast<int>(size));
+    // Small rural counties lean Trump; metros lean Democratic; 2020 swings
+    // slightly against Trump in metros.
+    double share2016 = std::clamp(0.78 - 0.08 * std::log(size) + rng.Normal(0.0, 0.05),
+                                  0.05, 0.95);
+    double swing = -0.01 - 0.01 * std::log(size) / 4.0 + rng.Normal(0.0, 0.015);
+    double share2020 = std::clamp(share2016 + swing, 0.05, 0.95);
+    rows_per_county[static_cast<size_t>(c)] = rows;
+    shares[static_cast<size_t>(c)] = share2020;
+    out.aux2016.SetDim(aux_county, county);
+    out.aux2016.SetMeasure(aux_share, share2016);
+    // 2016 turnout in vote blocks: close to 2020 (the count model's size
+    // signal, per Appendix N's "total votes compared to 2016").
+    out.aux2016.SetMeasure(aux_votes,
+                           static_cast<double>(rows) * rng.Uniform(0.92, 1.02));
+    out.aux2016.CommitRow();
+    for (int i = 0; i < rows; ++i) {
+      table.SetDim(county_col, county);
+      table.SetMeasure(share_col, share2020);
+      table.CommitRow();
+    }
+  }
+
+  // Missing-records variant (Figure 18h): a few mid-size counties lose half
+  // of their vote blocks.
+  for (int c = 10; c < kCounties; c += 23) {
+    out.missing_counties.push_back("county" + std::to_string(c));
+  }
+  Table missing = table;  // copy, then drop half the rows of the victims
+  {
+    std::vector<bool> keep(missing.num_rows(), true);
+    for (const std::string& county : out.missing_counties) {
+      int32_t code = *missing.dict(county_col).Find(county);
+      int64_t seen = 0;
+      for (size_t row = 0; row < missing.num_rows(); ++row) {
+        if (missing.dim_codes(county_col)[row] == code && (seen++ % 2 == 0)) {
+          keep[row] = false;
+        }
+      }
+    }
+    missing = missing.FilteredCopy(keep);
+  }
+
+  out.dataset = Dataset(std::move(table), {{"geo", {"county"}}});
+  out.dataset_missing = Dataset(std::move(missing), {{"geo", {"county"}}});
+  return out;
+}
+
+}  // namespace reptile

@@ -1,0 +1,45 @@
+// Simulated US presidential county-level vote data (paper Appendices K
+// and N).
+//
+//  * Country-wide panel: 50 states x ~63 counties (3,147 total, as in the
+//    paper); each county's 2020 share strongly correlates with its 2016
+//    share — the auxiliary feature that makes Linear-f / Multi-level-f win
+//    the Figure 16 AIC comparison.
+//  * Georgia panel: 159 counties of a swing state with heavy-tailed county
+//    sizes; rows are vote blocks so that the state-level MEAN of the measure
+//    is the turnout-weighted vote share, making repairs size-aware
+//    (Figure 18). A variant injects missing records (halved rows) into a
+//    few counties to reproduce Figure 18h/i.
+
+#ifndef REPTILE_DATAGEN_VOTE_GEN_H_
+#define REPTILE_DATAGEN_VOTE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace reptile {
+
+struct VoteCountry {
+  Dataset dataset;  // hierarchy geo [state, county]; measure "share2020"
+  Table aux2016;    // county -> share2016
+};
+
+/// Country-wide panel for the model-quality (AIC) evaluation.
+VoteCountry MakeVoteCountry(uint64_t seed = 42);
+
+struct GeorgiaPanel {
+  Dataset dataset;          // hierarchy geo [county]; measure "trump_share"
+  Dataset dataset_missing;  // same, with missing records injected
+  Table aux2016;            // county -> share2016
+  std::vector<std::string> missing_counties;  // ground truth of the injection
+};
+
+/// Georgia-like swing-state panel for the Figure 18 case study.
+GeorgiaPanel MakeGeorgia(uint64_t seed = 42);
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATAGEN_VOTE_GEN_H_

@@ -1,0 +1,68 @@
+#include "factor/decomposed.h"
+
+#include "common/check.h"
+
+namespace reptile {
+
+LocalAggregates::LocalAggregates(const FTree* tree) : tree_(tree) {
+  REPTILE_CHECK(tree != nullptr);
+  int depth = tree->depth();
+  ancestor_.resize(depth);
+  // Topological order (Algorithm 10): for each anchor level a, the (a, a+1)
+  // table is the parent array; each deeper table composes the previous table
+  // with one parent step, so every table costs O(nodes at b) instead of
+  // O(nodes at b * (b - a)).
+  for (int a = 0; a < depth; ++a) {
+    for (int b = a + 1; b < depth; ++b) {
+      const std::vector<int64_t>& parents = tree->level(b).parent;
+      std::vector<int64_t> table(parents.size());
+      if (b == a + 1) {
+        table = parents;
+      } else {
+        const std::vector<int64_t>& prev = ancestor_[a][b - a - 2];
+        for (size_t node = 0; node < parents.size(); ++node) {
+          table[node] = prev[parents[node]];
+        }
+      }
+      ancestor_[a].push_back(std::move(table));
+    }
+  }
+}
+
+int64_t LocalAggregates::Ancestor(int a, int b, int64_t node_at_b) const {
+  return AncestorTable(a, b)[node_at_b];
+}
+
+const std::vector<int64_t>& LocalAggregates::AncestorTable(int a, int b) const {
+  REPTILE_CHECK(a >= 0 && a < b && b < tree_->depth());
+  return ancestor_[a][b - a - 1];
+}
+
+int64_t LocalAggregates::num_cof_tables() const {
+  int64_t d = tree_->depth();
+  return d * (d - 1) / 2;
+}
+
+DecomposedAggregates::DecomposedAggregates(const FactorizedMatrix* fm,
+                                           std::vector<const LocalAggregates*> locals)
+    : fm_(fm), locals_(std::move(locals)) {
+  REPTILE_CHECK_EQ(static_cast<int>(locals_.size()), fm_->num_trees());
+  for (int k = 0; k < fm_->num_trees(); ++k) {
+    REPTILE_CHECK(&locals_[k]->tree() == &fm_->tree(k)) << "local aggregates / tree mismatch";
+  }
+}
+
+int64_t DecomposedAggregates::Total(AttrId attr) const {
+  return fm_->tree(attr.hierarchy).num_leaves() * fm_->SuffixLeaves(attr.hierarchy);
+}
+
+int64_t DecomposedAggregates::Count(AttrId attr, int64_t node) const {
+  const FTree& tree = fm_->tree(attr.hierarchy);
+  return tree.level(attr.level).leaf_count[node] * fm_->SuffixLeaves(attr.hierarchy);
+}
+
+int64_t DecomposedAggregates::PrefixMultiplicity(AttrId attr) const {
+  return fm_->PrefixLeaves(attr.hierarchy);
+}
+
+}  // namespace reptile

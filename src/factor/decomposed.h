@@ -1,0 +1,94 @@
+// Decomposed count aggregates TOTAL / COUNT / COF (paper Section 4.2.1) and
+// the multi-query plan that computes them with shared work (Section 4.3,
+// Appendix I, Algorithm 10).
+//
+// Aggregates are stored per hierarchy ("local"): COUNT of a node is its
+// subtree leaf count, TOTAL of a level is the hierarchy's leaf count, and COF
+// between two levels of the same hierarchy is the ancestor mapping. Global
+// values over the full attribute order are local values times the leaf-count
+// products of the other hierarchies — the scalars Algorithm 11 updates in
+// O(1) after a drill-down. COF between attributes of different hierarchies is
+// never materialised (the cartesian-product optimization of Section 4.2.2).
+
+#ifndef REPTILE_FACTOR_DECOMPOSED_H_
+#define REPTILE_FACTOR_DECOMPOSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/hierarchy.h"
+#include "factor/frep.h"
+#include "factor/ftree.h"
+
+namespace reptile {
+
+/// Within-hierarchy decomposed aggregates for one FTree.
+///
+/// COUNT_{A_l}[node]  == tree->level(l).leaf_count[node]      (local form)
+/// TOTAL_{A_l}        == tree->num_leaves()                   (local form)
+/// COF_{A_a, A_b}     == pairs (Ancestor(a, node_b), node_b) with count
+///                       leaf_count[node_b]                   (local form)
+///
+/// The ancestor tables are materialised here in topological order, reusing
+/// each (a, b-1) table to build (a, b) — the work-sharing of Algorithm 10.
+class LocalAggregates {
+ public:
+  LocalAggregates() : tree_(nullptr) {}
+
+  /// Computes all levels' aggregates for `tree` with the shared plan.
+  explicit LocalAggregates(const FTree* tree);
+
+  const FTree& tree() const { return *tree_; }
+  int64_t total() const { return tree_->num_leaves(); }
+
+  /// Ancestor node at level `a` of `node` at level `b` (a < b), via the
+  /// materialised COF table (O(1), no parent-chain walk).
+  int64_t Ancestor(int a, int b, int64_t node_at_b) const;
+
+  /// The full ancestor table for a (a, b) level pair.
+  const std::vector<int64_t>& AncestorTable(int a, int b) const;
+
+  /// Number of materialised COF tables (= depth*(depth-1)/2) — the quantity
+  /// that grows quadratically with drill-down depth (Section 5.1.3).
+  int64_t num_cof_tables() const;
+
+ private:
+  const FTree* tree_;
+  // ancestor_[a][b - a - 1][node_at_b]
+  std::vector<std::vector<std::vector<int64_t>>> ancestor_;
+};
+
+/// Global view of the decomposed aggregates for a FactorizedMatrix: combines
+/// each tree's local aggregates with the cross-hierarchy scalars.
+class DecomposedAggregates {
+ public:
+  /// `locals[k]` must describe fm.tree(k). Locals are borrowed.
+  DecomposedAggregates(const FactorizedMatrix* fm, std::vector<const LocalAggregates*> locals);
+
+  /// Total row count n of the virtual matrix.
+  int64_t n() const { return fm_->num_rows(); }
+
+  /// TOTAL_A: number of distinct suffix combinations from A onward
+  /// (Figure 4) = leaves(tree of A) * suffix leaf product.
+  int64_t Total(AttrId attr) const;
+
+  /// COUNT_A[node]: suffix combinations per node of A = subtree leaf count *
+  /// suffix leaf product.
+  int64_t Count(AttrId attr, int64_t node) const;
+
+  /// Multiplicity of each distinct suffix combination: n / TOTAL_A — how many
+  /// times the block of attribute A repeats in the matrix (the
+  /// "duplicated twice" factor of Figure 5).
+  int64_t PrefixMultiplicity(AttrId attr) const;
+
+  const LocalAggregates& local(int tree) const { return *locals_[tree]; }
+  const FactorizedMatrix& fm() const { return *fm_; }
+
+ private:
+  const FactorizedMatrix* fm_;
+  std::vector<const LocalAggregates*> locals_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_FACTOR_DECOMPOSED_H_

@@ -1,0 +1,81 @@
+#include "factor/drilldown.h"
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace reptile {
+
+DrillDownState::DrillDownState(const Dataset* dataset, Mode mode)
+    : dataset_(dataset), mode_(mode) {
+  REPTILE_CHECK(dataset != nullptr);
+  committed_depth_.assign(dataset->num_hierarchies(), 0);
+  invocation_build_seconds_.assign(dataset->num_hierarchies(), 0.0);
+}
+
+int DrillDownState::max_depth(int hierarchy) const {
+  return dataset_->hierarchy(hierarchy).depth();
+}
+
+bool DrillDownState::CanDrill(int hierarchy) const {
+  return committed_depth_[hierarchy] < max_depth(hierarchy);
+}
+
+void DrillDownState::BeginInvocation() {
+  std::fill(invocation_build_seconds_.begin(), invocation_build_seconds_.end(), 0.0);
+  switch (mode_) {
+    case Mode::kStatic:
+      cache_.clear();
+      break;
+    case Mode::kDynamic: {
+      // Keep only committed depths (hierarchy independence lets their global
+      // aggregates be reused with O(1) scalar updates); candidate depths are
+      // rebuilt on demand.
+      for (auto it = cache_.begin(); it != cache_.end();) {
+        auto [hierarchy, depth] = it->first;
+        if (depth != committed_depth_[hierarchy]) {
+          it = cache_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    case Mode::kCacheDynamic:
+      break;  // keep everything
+  }
+}
+
+const HierarchyAggregates& DrillDownState::Get(int hierarchy, int depth) {
+  REPTILE_CHECK(depth >= 1 && depth <= max_depth(hierarchy));
+  auto key = std::make_pair(hierarchy, depth);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    Timer timer;
+    HierarchyAggregates built = Build(hierarchy, depth);
+    invocation_build_seconds_[hierarchy] += timer.Seconds();
+    ++total_builds_;
+    it = cache_.emplace(key, std::move(built)).first;
+  }
+  return it->second;
+}
+
+void DrillDownState::Commit(int hierarchy) {
+  REPTILE_CHECK(CanDrill(hierarchy)) << "hierarchy " << hierarchy << " fully drilled";
+  ++committed_depth_[hierarchy];
+}
+
+double DrillDownState::InvocationBuildSeconds(int hierarchy) const {
+  return invocation_build_seconds_[hierarchy];
+}
+
+void DrillDownState::ResetStats() { total_builds_ = 0; }
+
+HierarchyAggregates DrillDownState::Build(int hierarchy, int depth) {
+  HierarchyAggregates out;
+  std::vector<int> columns = dataset_->HierarchyColumns(hierarchy, depth);
+  out.tree = std::make_unique<FTree>(FTree::FromTable(dataset_->table(), columns));
+  out.locals = std::make_unique<LocalAggregates>(out.tree.get());
+  return out;
+}
+
+}  // namespace reptile

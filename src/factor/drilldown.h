@@ -1,0 +1,84 @@
+// Drill-down state management (paper Section 4.4, Appendix J, Algorithm 11).
+//
+// Each Reptile invocation evaluates every hierarchy as a drill-down
+// candidate, which needs that hierarchy's f-tree and local decomposed
+// aggregates one level deeper, plus every other hierarchy's aggregates at
+// their committed depth. Because global aggregates are local aggregates times
+// cross-hierarchy leaf products (scalars), the non-drilled hierarchies update
+// in O(1); the only real work is (re)building per-hierarchy trees and local
+// aggregate tables. This class implements the paper's three policies:
+//
+//   kStatic       — recompute everything touched, every invocation.
+//   kDynamic      — keep committed-depth aggregates across invocations
+//                   (hierarchy independence); recompute candidate depths.
+//   kCacheDynamic — additionally cache candidate-depth aggregates from
+//                   previous invocations (Section 4.4: hierarchies evaluated
+//                   but not picked are free next time).
+
+#ifndef REPTILE_FACTOR_DRILLDOWN_H_
+#define REPTILE_FACTOR_DRILLDOWN_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "factor/decomposed.h"
+#include "factor/ftree.h"
+
+namespace reptile {
+
+/// A hierarchy's f-tree and local aggregates at one depth.
+struct HierarchyAggregates {
+  std::unique_ptr<FTree> tree;
+  std::unique_ptr<LocalAggregates> locals;
+};
+
+/// Per-session drill-down cache.
+class DrillDownState {
+ public:
+  enum class Mode { kStatic, kDynamic, kCacheDynamic };
+
+  DrillDownState(const Dataset* dataset, Mode mode);
+
+  /// Committed drill depth of a hierarchy (0 = not drilled yet).
+  int depth(int hierarchy) const { return committed_depth_[hierarchy]; }
+
+  /// Maximum depth (number of attributes) of a hierarchy.
+  int max_depth(int hierarchy) const;
+
+  /// True when the hierarchy has at least one undrilled attribute left.
+  bool CanDrill(int hierarchy) const;
+
+  /// Marks the start of a Reptile invocation, applying the eviction policy.
+  void BeginInvocation();
+
+  /// Trees + local aggregates for `hierarchy` at `depth` levels (1-based
+  /// count of attributes), building them if the policy requires.
+  const HierarchyAggregates& Get(int hierarchy, int depth);
+
+  /// Commits a drill-down on `hierarchy` (advances its depth by one).
+  void Commit(int hierarchy);
+
+  /// Seconds spent building aggregates for `hierarchy` since the last
+  /// BeginInvocation — the per-area quantity of Figure 9.
+  double InvocationBuildSeconds(int hierarchy) const;
+
+  /// Number of aggregate builds since construction or ResetStats.
+  int64_t total_builds() const { return total_builds_; }
+  void ResetStats();
+
+ private:
+  const Dataset* dataset_;
+  Mode mode_;
+  std::vector<int> committed_depth_;
+  std::map<std::pair<int, int>, HierarchyAggregates> cache_;  // (hierarchy, depth)
+  std::vector<double> invocation_build_seconds_;
+  int64_t total_builds_ = 0;
+
+  HierarchyAggregates Build(int hierarchy, int depth);
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_FACTOR_DRILLDOWN_H_

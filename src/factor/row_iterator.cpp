@@ -1,0 +1,67 @@
+#include "factor/row_iterator.h"
+
+#include "common/check.h"
+
+namespace reptile {
+
+RowIterator::RowIterator(const FactorizedMatrix& fm) : fm_(&fm) {
+  int flat = 0;
+  for (int k = 0; k < fm.num_trees(); ++k) {
+    cursors_.emplace_back(&fm.tree(k), fm.tree(k).depth() - 1);
+    attr_offset_.push_back(flat);
+    flat += fm.tree(k).depth();
+  }
+}
+
+bool RowIterator::Start(std::vector<AttrChange>* changed) {
+  changed->clear();
+  if (fm_->num_rows() == 0) return false;
+  for (auto& cursor : cursors_) cursor.Reset();
+  row_ = 0;
+  for (int k = 0; k < fm_->num_trees(); ++k) AppendTreeChanges(k, 0, changed);
+  return true;
+}
+
+bool RowIterator::Next(std::vector<AttrChange>* changed) {
+  changed->clear();
+  if (row_ + 1 >= fm_->num_rows()) {
+    row_ = fm_->num_rows();
+    return false;
+  }
+  ++row_;
+  // Mixed-radix advance: bump the last tree; on wrap, carry into the
+  // previous tree. A wrapped cursor resets to its first node, so all of its
+  // levels are reported as changed.
+  for (int k = fm_->num_trees() - 1; k >= 0; --k) {
+    int top_changed = cursors_[k].Advance();
+    if (top_changed >= 0) {
+      AppendTreeChanges(k, top_changed, changed);
+      return true;
+    }
+    AppendTreeChanges(k, 0, changed);  // wrapped back to the first node
+  }
+  REPTILE_CHECK(false) << "row count and cursor wrap disagree";
+  return false;
+}
+
+void RowIterator::AppendTreeChanges(int tree, int from_level,
+                                    std::vector<AttrChange>* changed) const {
+  const FTree& t = fm_->tree(tree);
+  const FTree::Cursor& cursor = cursors_[tree];
+  for (int l = from_level; l < t.depth(); ++l) {
+    changed->push_back(AttrChange{attr_offset_[tree] + l, t.level(l).value[cursor.node(l)]});
+  }
+}
+
+int32_t RowIterator::code(int flat_attr) const {
+  AttrId attr = fm_->FlatAttr(flat_attr);
+  const FTree& t = fm_->tree(attr.hierarchy);
+  return t.level(attr.level).value[cursors_[attr.hierarchy].node(attr.level)];
+}
+
+int64_t RowIterator::node(int flat_attr) const {
+  AttrId attr = fm_->FlatAttr(flat_attr);
+  return cursors_[attr.hierarchy].node(attr.level);
+}
+
+}  // namespace reptile

@@ -1,0 +1,422 @@
+#include "fmatrix/cluster_ops.h"
+
+#include "common/check.h"
+
+namespace reptile {
+
+ClusterIterator::ClusterIterator(const FactorizedMatrix& fm) : fm_(&fm) {
+  REPTILE_CHECK_GT(fm.num_trees(), 0);
+  int flat = 0;
+  for (int k = 0; k < fm.num_trees(); ++k) {
+    attr_offset_.push_back(flat);
+    flat += fm.tree(k).depth();
+  }
+  for (int k = 0; k + 1 < fm.num_trees(); ++k) {
+    prefix_cursors_.emplace_back(&fm.tree(k), fm.tree(k).depth() - 1);
+  }
+  const FTree& last = fm.tree(fm.num_trees() - 1);
+  if (last.depth() >= 2) {
+    parent_cursor_ = std::make_unique<FTree::Cursor>(&last, last.depth() - 2);
+  }
+  codes_.assign(fm.num_attrs(), 0);
+}
+
+void ClusterIterator::RefreshTreeCodes(int tree, int from_level) {
+  const FTree& t = fm_->tree(tree);
+  bool is_last = tree == fm_->num_trees() - 1;
+  const FTree::Cursor* cursor =
+      is_last ? parent_cursor_.get() : &prefix_cursors_[static_cast<size_t>(tree)];
+  if (cursor == nullptr) return;  // last tree with depth 1: no inter levels
+  int top = is_last ? t.depth() - 2 : t.depth() - 1;
+  for (int l = from_level; l <= top; ++l) {
+    codes_[attr_offset_[tree] + l] = t.level(l).value[cursor->node(l)];
+    changed_attrs_.push_back(attr_offset_[tree] + l);
+  }
+}
+
+void ClusterIterator::RefreshChildRange() {
+  const FTree& last = fm_->tree(fm_->num_trees() - 1);
+  if (parent_cursor_ != nullptr) {
+    const FTree::Level& parent_level = last.level(last.depth() - 2);
+    int64_t parent = parent_cursor_->position();
+    child_begin_ = parent_level.first_child[parent];
+    num_children_ = parent_level.num_children[parent];
+  } else {
+    child_begin_ = 0;
+    num_children_ = last.num_nodes(0);
+  }
+}
+
+bool ClusterIterator::Start() {
+  if (fm_->num_rows() == 0) return false;
+  for (auto& cursor : prefix_cursors_) cursor.Reset();
+  if (parent_cursor_ != nullptr) parent_cursor_->Reset();
+  cluster_ = 0;
+  row_begin_ = 0;
+  changed_attrs_.clear();
+  for (int k = 0; k < fm_->num_trees(); ++k) RefreshTreeCodes(k, 0);
+  RefreshChildRange();
+  return true;
+}
+
+bool ClusterIterator::Next() {
+  row_begin_ += num_children_;
+  changed_attrs_.clear();
+  int last = fm_->num_trees() - 1;
+  if (parent_cursor_ != nullptr) {
+    int top = parent_cursor_->Advance();
+    if (top >= 0) {
+      RefreshTreeCodes(last, top);
+      RefreshChildRange();
+      ++cluster_;
+      return true;
+    }
+    RefreshTreeCodes(last, 0);  // wrapped back to the first parent
+  }
+  for (int k = last - 1; k >= 0; --k) {
+    int top = prefix_cursors_[static_cast<size_t>(k)].Advance();
+    if (top >= 0) {
+      RefreshTreeCodes(k, top);
+      RefreshChildRange();
+      ++cluster_;
+      return true;
+    }
+    RefreshTreeCodes(k, 0);
+  }
+  return false;
+}
+
+namespace {
+
+// Column classification and lookup tables shared by the per-cluster
+// operators, hoisted out of the cluster loop.
+struct ClusterColumns {
+  // Positions (into `cols`) of columns constant within a cluster, and of
+  // columns varying with the intra attribute.
+  std::vector<int> inter;
+  std::vector<int> intra;
+  int intra_flat = -1;  // flat index of the intra attribute
+
+  // Per position: column index, flat attr (single-attribute columns only,
+  // -1 for multi), and whether the column is multi-attribute.
+  std::vector<int> column_of;
+  std::vector<int> flat_of;
+  std::vector<char> is_multi;
+  // flat attr -> inter positions of single columns on it.
+  std::vector<std::vector<int>> inter_on_flat;
+  // inter positions of multi columns touched by each flat attr.
+  std::vector<std::vector<int>> multi_on_flat;
+};
+
+ClusterColumns ClassifyColumns(const FactorizedMatrix& fm, const std::vector<int>& cols) {
+  ClusterColumns out;
+  AttrId intra = fm.IntraAttr();
+  out.intra_flat = fm.FlatAttrIndex(intra);
+  out.inter_on_flat.assign(static_cast<size_t>(fm.num_attrs()), {});
+  out.multi_on_flat.assign(static_cast<size_t>(fm.num_attrs()), {});
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const FeatureColumn& column = fm.column(cols[i]);
+    bool varies = false;
+    if (column.is_multi) {
+      for (AttrId attr : column.attrs) {
+        if (attr == intra) varies = true;
+      }
+    } else {
+      varies = column.attr == intra;
+    }
+    out.column_of.push_back(cols[i]);
+    out.is_multi.push_back(column.is_multi ? 1 : 0);
+    out.flat_of.push_back(column.is_multi ? -1 : fm.FlatAttrIndex(column.attr));
+    int pos = static_cast<int>(i);
+    if (varies) {
+      out.intra.push_back(pos);
+    } else {
+      out.inter.push_back(pos);
+      if (column.is_multi) {
+        for (AttrId attr : column.attrs) {
+          out.multi_on_flat[static_cast<size_t>(fm.FlatAttrIndex(attr))].push_back(pos);
+        }
+      } else {
+        out.inter_on_flat[static_cast<size_t>(out.flat_of.back())].push_back(pos);
+      }
+    }
+  }
+  return out;
+}
+
+// Value of column `cols[pos]` in the current cluster context; for intra
+// columns `child_code` supplies the intra attribute's value.
+double ColumnValueInCluster(const FactorizedMatrix& fm, int column_index,
+                            const std::vector<int32_t>& codes, int intra_flat,
+                            int32_t child_code, std::vector<int32_t>* key_scratch) {
+  const FeatureColumn& column = fm.column(column_index);
+  if (!column.is_multi) {
+    int flat = fm.FlatAttrIndex(column.attr);
+    int32_t code = flat == intra_flat ? child_code : codes[flat];
+    return column.ValueForCode(code);
+  }
+  key_scratch->resize(column.attrs.size());
+  for (size_t i = 0; i < column.attrs.size(); ++i) {
+    int flat = fm.FlatAttrIndex(column.attrs[i]);
+    (*key_scratch)[i] = flat == intra_flat ? child_code : codes[flat];
+  }
+  return column.ValueForTuple(*key_scratch);
+}
+
+}  // namespace
+
+void ForEachClusterGram(const FactorizedMatrix& fm, const std::vector<int>& cols,
+                        const std::vector<double>* r,
+                        const std::function<void(const ClusterData&)>& emit) {
+  size_t q = cols.size();
+  ClusterColumns cc = ClassifyColumns(fm, cols);
+  const FTree& last_tree = fm.tree(fm.num_trees() - 1);
+  const FTree::Level& child_level = last_tree.level(last_tree.depth() - 1);
+
+  std::vector<double> r_prefix;
+  if (r != nullptr) {
+    REPTILE_CHECK_EQ(static_cast<int64_t>(r->size()), fm.num_rows());
+    r_prefix.resize(r->size() + 1, 0.0);
+    for (size_t i = 0; i < r->size(); ++i) r_prefix[i + 1] = r_prefix[i] + (*r)[i];
+  }
+
+  Matrix gram(q, q);
+  std::vector<double> ztr(q, 0.0);
+  std::vector<double> values(q, 0.0);  // inter values for this cluster
+  std::vector<double> child_values(cc.intra.size(), 0.0);
+  std::vector<double> s1(cc.intra.size(), 0.0);
+  Matrix s2(cc.intra.size(), cc.intra.size());
+  std::vector<double> rx(cc.intra.size(), 0.0);
+  std::vector<int32_t> key_scratch;
+  std::vector<int> changed_positions;
+  std::vector<char> changed_flag(q, 0);
+  double n_prev = 0.0;
+  bool first = true;
+
+  ClusterIterator it(fm);
+  for (bool ok = it.Start(); ok; ok = it.Next()) {
+    int64_t n_c = it.num_children();
+    double n_c_d = static_cast<double>(n_c);
+
+    // --- Changed inter columns (Algorithm 5: adjacent clusters differ in
+    // few attributes; only the touched rows/columns of the gram are
+    // recomputed, the rest is rescaled by the size ratio). ---
+    changed_positions.clear();
+    if (first) {
+      changed_positions = cc.inter;
+    } else {
+      for (int flat : it.changed_attrs()) {
+        for (int pos : cc.inter_on_flat[static_cast<size_t>(flat)]) {
+          changed_positions.push_back(pos);
+        }
+        for (int pos : cc.multi_on_flat[static_cast<size_t>(flat)]) {
+          changed_positions.push_back(pos);
+        }
+      }
+    }
+    for (int pos : changed_positions) {
+      values[static_cast<size_t>(pos)] = ColumnValueInCluster(
+          fm, cc.column_of[static_cast<size_t>(pos)], it.codes(), cc.intra_flat, 0,
+          &key_scratch);
+      changed_flag[static_cast<size_t>(pos)] = 1;
+    }
+
+    // --- Intra column sums over the children (always recomputed: the child
+    // set is new in every cluster). ---
+    std::fill(s1.begin(), s1.end(), 0.0);
+    std::fill(s2.mutable_data().begin(), s2.mutable_data().end(), 0.0);
+    std::fill(rx.begin(), rx.end(), 0.0);
+    for (int64_t child = 0; child < n_c; ++child) {
+      int32_t child_code = child_level.value[it.child_node_begin() + child];
+      for (size_t i = 0; i < cc.intra.size(); ++i) {
+        child_values[i] =
+            ColumnValueInCluster(fm, cc.column_of[static_cast<size_t>(cc.intra[i])],
+                                 it.codes(), cc.intra_flat, child_code, &key_scratch);
+      }
+      for (size_t i = 0; i < cc.intra.size(); ++i) {
+        s1[i] += child_values[i];
+        for (size_t j = i; j < cc.intra.size(); ++j) {
+          s2(i, j) += child_values[i] * child_values[j];
+        }
+      }
+      if (r != nullptr) {
+        double rv = (*r)[static_cast<size_t>(it.row_begin() + child)];
+        for (size_t i = 0; i < cc.intra.size(); ++i) rx[i] += child_values[i] * rv;
+      }
+    }
+
+    // --- Gram update. ---
+    bool size_changed = first || n_c_d != n_prev;
+    double ratio = first || n_prev == 0.0 ? 0.0 : n_c_d / n_prev;
+    if (first || !changed_positions.empty() || size_changed) {
+      for (size_t a = 0; a < cc.inter.size(); ++a) {
+        int i = cc.inter[a];
+        bool i_changed = first || changed_flag[static_cast<size_t>(i)];
+        double vi = values[static_cast<size_t>(i)];
+        for (size_t b = a; b < cc.inter.size(); ++b) {
+          int j = cc.inter[b];
+          double cell;
+          if (i_changed || changed_flag[static_cast<size_t>(j)] || first) {
+            cell = vi * values[static_cast<size_t>(j)] * n_c_d;
+          } else if (size_changed) {
+            cell = gram(static_cast<size_t>(i), static_cast<size_t>(j)) * ratio;
+          } else {
+            continue;  // untouched pair, same size: cell is already correct
+          }
+          gram(static_cast<size_t>(i), static_cast<size_t>(j)) = cell;
+          gram(static_cast<size_t>(j), static_cast<size_t>(i)) = cell;
+        }
+      }
+    }
+    // Inter x intra and intra x intra involve the (new) child sums.
+    for (size_t a = 0; a < cc.inter.size(); ++a) {
+      int i = cc.inter[a];
+      double vi = values[static_cast<size_t>(i)];
+      for (size_t b = 0; b < cc.intra.size(); ++b) {
+        int j = cc.intra[b];
+        double cell = vi * s1[b];
+        gram(static_cast<size_t>(i), static_cast<size_t>(j)) = cell;
+        gram(static_cast<size_t>(j), static_cast<size_t>(i)) = cell;
+      }
+    }
+    for (size_t a = 0; a < cc.intra.size(); ++a) {
+      for (size_t b = a; b < cc.intra.size(); ++b) {
+        gram(static_cast<size_t>(cc.intra[a]), static_cast<size_t>(cc.intra[b])) = s2(a, b);
+        gram(static_cast<size_t>(cc.intra[b]), static_cast<size_t>(cc.intra[a])) = s2(a, b);
+      }
+    }
+    for (int pos : changed_positions) changed_flag[static_cast<size_t>(pos)] = 0;
+
+    ClusterData data;
+    data.cluster = it.cluster();
+    data.row_begin = it.row_begin();
+    data.size = n_c;
+    data.gram = &gram;
+    if (r != nullptr) {
+      double r_sum = r_prefix[static_cast<size_t>(it.row_begin() + n_c)] -
+                     r_prefix[static_cast<size_t>(it.row_begin())];
+      for (int pos : cc.inter) ztr[pos] = values[static_cast<size_t>(pos)] * r_sum;
+      for (size_t i = 0; i < cc.intra.size(); ++i) ztr[cc.intra[i]] = rx[i];
+      data.ztr = &ztr;
+    }
+    emit(data);
+    n_prev = n_c_d;
+    first = false;
+  }
+}
+
+void ForEachClusterLeft(const FactorizedMatrix& fm, const std::vector<int>& cols,
+                        const std::vector<double>& r,
+                        const std::function<void(const ClusterData&)>& emit) {
+  REPTILE_CHECK_EQ(static_cast<int64_t>(r.size()), fm.num_rows());
+  ClusterColumns cc = ClassifyColumns(fm, cols);
+  const FTree& last_tree = fm.tree(fm.num_trees() - 1);
+  const FTree::Level& child_level = last_tree.level(last_tree.depth() - 1);
+  std::vector<double> r_prefix(r.size() + 1, 0.0);
+  for (size_t i = 0; i < r.size(); ++i) r_prefix[i + 1] = r_prefix[i] + r[i];
+
+  std::vector<double> values(cols.size(), 0.0);
+  std::vector<double> ztr(cols.size(), 0.0);
+  std::vector<int32_t> key_scratch;
+  bool first = true;
+
+  ClusterIterator it(fm);
+  for (bool ok = it.Start(); ok; ok = it.Next()) {
+    if (first) {
+      for (int pos : cc.inter) {
+        values[static_cast<size_t>(pos)] = ColumnValueInCluster(
+            fm, cc.column_of[static_cast<size_t>(pos)], it.codes(), cc.intra_flat, 0,
+            &key_scratch);
+      }
+      first = false;
+    } else {
+      for (int flat : it.changed_attrs()) {
+        for (int pos : cc.inter_on_flat[static_cast<size_t>(flat)]) {
+          values[static_cast<size_t>(pos)] = ColumnValueInCluster(
+              fm, cc.column_of[static_cast<size_t>(pos)], it.codes(), cc.intra_flat, 0,
+              &key_scratch);
+        }
+        for (int pos : cc.multi_on_flat[static_cast<size_t>(flat)]) {
+          values[static_cast<size_t>(pos)] = ColumnValueInCluster(
+              fm, cc.column_of[static_cast<size_t>(pos)], it.codes(), cc.intra_flat, 0,
+              &key_scratch);
+        }
+      }
+    }
+    int64_t n_c = it.num_children();
+    double r_sum = r_prefix[static_cast<size_t>(it.row_begin() + n_c)] -
+                   r_prefix[static_cast<size_t>(it.row_begin())];
+    for (int pos : cc.inter) ztr[pos] = values[static_cast<size_t>(pos)] * r_sum;
+    for (int pos : cc.intra) ztr[pos] = 0.0;
+    for (int64_t child = 0; child < n_c; ++child) {
+      int32_t child_code = child_level.value[it.child_node_begin() + child];
+      double rv = r[static_cast<size_t>(it.row_begin() + child)];
+      for (int pos : cc.intra) {
+        ztr[pos] += ColumnValueInCluster(fm, cc.column_of[static_cast<size_t>(pos)],
+                                         it.codes(), cc.intra_flat, child_code,
+                                         &key_scratch) *
+                    rv;
+      }
+    }
+    ClusterData data;
+    data.cluster = it.cluster();
+    data.row_begin = it.row_begin();
+    data.size = n_c;
+    data.ztr = &ztr;
+    emit(data);
+  }
+}
+
+void ClusterRightMultiply(const FactorizedMatrix& fm, const std::vector<int>& cols,
+                          const Matrix& b, std::vector<double>* out) {
+  REPTILE_CHECK_EQ(static_cast<int64_t>(b.rows()), fm.num_clusters());
+  REPTILE_CHECK_EQ(b.cols(), cols.size());
+  REPTILE_CHECK_EQ(static_cast<int64_t>(out->size()), fm.num_rows());
+  ClusterColumns cc = ClassifyColumns(fm, cols);
+  const FTree& last_tree = fm.tree(fm.num_trees() - 1);
+  const FTree::Level& child_level = last_tree.level(last_tree.depth() - 1);
+  std::vector<int32_t> key_scratch;
+  std::vector<double> values(cols.size(), 0.0);
+  bool first = true;
+
+  ClusterIterator it(fm);
+  for (bool ok = it.Start(); ok; ok = it.Next()) {
+    // Inter values: refresh only what changed between adjacent clusters.
+    if (first) {
+      for (int pos : cc.inter) {
+        values[static_cast<size_t>(pos)] = ColumnValueInCluster(
+            fm, cc.column_of[static_cast<size_t>(pos)], it.codes(), cc.intra_flat, 0,
+            &key_scratch);
+      }
+      first = false;
+    } else {
+      for (int flat : it.changed_attrs()) {
+        for (int pos : cc.inter_on_flat[static_cast<size_t>(flat)]) {
+          values[static_cast<size_t>(pos)] = ColumnValueInCluster(
+              fm, cc.column_of[static_cast<size_t>(pos)], it.codes(), cc.intra_flat, 0,
+              &key_scratch);
+        }
+        for (int pos : cc.multi_on_flat[static_cast<size_t>(flat)]) {
+          values[static_cast<size_t>(pos)] = ColumnValueInCluster(
+              fm, cc.column_of[static_cast<size_t>(pos)], it.codes(), cc.intra_flat, 0,
+              &key_scratch);
+        }
+      }
+    }
+    const double* b_row = b.RowPtr(static_cast<size_t>(it.cluster()));
+    double base = 0.0;
+    for (int pos : cc.inter) base += values[static_cast<size_t>(pos)] * b_row[pos];
+    for (int64_t child = 0; child < it.num_children(); ++child) {
+      int32_t child_code = child_level.value[it.child_node_begin() + child];
+      double value = base;
+      for (int pos : cc.intra) {
+        value += ColumnValueInCluster(fm, cols[static_cast<size_t>(pos)], it.codes(),
+                                      cc.intra_flat, child_code, &key_scratch) *
+                 b_row[pos];
+      }
+      (*out)[static_cast<size_t>(it.row_begin() + child)] = value;
+    }
+  }
+}
+
+}  // namespace reptile

@@ -1,0 +1,132 @@
+#include "fmatrix/gram.h"
+
+#include "common/check.h"
+#include "factor/row_iterator.h"
+
+namespace reptile {
+
+double WeightedColumnSum(const FactorizedMatrix& fm, int column) {
+  const FeatureColumn& col = fm.column(column);
+  REPTILE_CHECK(!col.is_multi);
+  const FTree& tree = fm.tree(col.attr.hierarchy);
+  const FTree::Level& level = tree.level(col.attr.level);
+  double sum = 0.0;
+  for (int64_t node = 0; node < level.size(); ++node) {
+    sum += static_cast<double>(level.leaf_count[node]) * col.ValueForCode(level.value[node]);
+  }
+  return sum;
+}
+
+namespace {
+
+// Gram cell for two single-attribute columns, using the decomposed
+// aggregates. `ci` must not come after `cj` in attribute order.
+double SingleAttrCell(const FactorizedMatrix& fm, const DecomposedAggregates& agg, int ci,
+                      int cj) {
+  const FeatureColumn& a = fm.column(ci);
+  const FeatureColumn& b = fm.column(cj);
+  double n = static_cast<double>(fm.num_rows());
+  if (a.attr.hierarchy != b.attr.hierarchy) {
+    // Cross-hierarchy: cartesian product; the COF factorises into the two
+    // leaf-weighted sums.
+    double la = static_cast<double>(fm.tree(a.attr.hierarchy).num_leaves());
+    double lb = static_cast<double>(fm.tree(b.attr.hierarchy).num_leaves());
+    return n / (la * lb) * WeightedColumnSum(fm, ci) * WeightedColumnSum(fm, cj);
+  }
+  const FTree& tree = fm.tree(a.attr.hierarchy);
+  double lk = static_cast<double>(tree.num_leaves());
+  double multiplier = n / lk;
+  int la_level = a.attr.level;
+  int lb_level = b.attr.level;
+  const FeatureColumn* upper = &a;  // column on the less specific level
+  const FeatureColumn* lower = &b;
+  if (la_level > lb_level) {
+    std::swap(la_level, lb_level);
+    std::swap(upper, lower);
+  }
+  const FTree::Level& deep = tree.level(lb_level);
+  double sum = 0.0;
+  if (la_level == lb_level) {
+    for (int64_t node = 0; node < deep.size(); ++node) {
+      sum += static_cast<double>(deep.leaf_count[node]) *
+             upper->ValueForCode(deep.value[node]) * lower->ValueForCode(deep.value[node]);
+    }
+  } else {
+    const std::vector<int64_t>& anc =
+        agg.local(a.attr.hierarchy).AncestorTable(la_level, lb_level);
+    const FTree::Level& shallow = tree.level(la_level);
+    for (int64_t node = 0; node < deep.size(); ++node) {
+      sum += static_cast<double>(deep.leaf_count[node]) *
+             upper->ValueForCode(shallow.value[anc[node]]) *
+             lower->ValueForCode(deep.value[node]);
+    }
+  }
+  return multiplier * sum;
+}
+
+}  // namespace
+
+Matrix FactorizedGram(const FactorizedMatrix& fm, const DecomposedAggregates& agg) {
+  int m = fm.num_cols();
+  Matrix gram(m, m);
+  for (int i = 0; i < m; ++i) {
+    if (fm.column(i).is_multi) continue;
+    for (int j = i; j < m; ++j) {
+      if (fm.column(j).is_multi) continue;
+      double cell = SingleAttrCell(fm, agg, i, j);
+      gram(i, j) = cell;
+      gram(j, i) = cell;
+    }
+  }
+
+  // Hybrid path for multi-attribute columns: one incremental row pass
+  // accumulating every cell that involves at least one multi column.
+  if (!fm.MultiColumns().empty()) {
+    RowIterator it(fm);
+    std::vector<AttrChange> changed;
+    std::vector<double> current(m, 0.0);
+    std::vector<int32_t> codes(fm.num_attrs(), 0);
+    std::vector<std::vector<int>> multi_on_attr(fm.num_attrs());
+    for (int mc : fm.MultiColumns()) {
+      for (AttrId attr : fm.column(mc).attrs) {
+        multi_on_attr[fm.FlatAttrIndex(attr)].push_back(mc);
+      }
+    }
+    std::vector<int32_t> key;
+    std::vector<char> dirty(m, 0);
+    for (bool ok = it.Start(&changed); ok; ok = it.Next(&changed)) {
+      for (const AttrChange& change : changed) {
+        codes[change.flat_attr] = change.code;
+        for (int c : fm.ColumnsOnAttr(fm.FlatAttr(change.flat_attr))) {
+          current[c] = fm.column(c).ValueForCode(change.code);
+        }
+        for (int mc : multi_on_attr[change.flat_attr]) dirty[mc] = 1;
+      }
+      for (int mc : fm.MultiColumns()) {
+        if (!dirty[mc]) continue;
+        dirty[mc] = 0;
+        const FeatureColumn& column = fm.column(mc);
+        key.resize(column.attrs.size());
+        for (size_t i = 0; i < column.attrs.size(); ++i) {
+          key[i] = codes[fm.FlatAttrIndex(column.attrs[i])];
+        }
+        current[mc] = column.ValueForTuple(key);
+      }
+      for (int mc : fm.MultiColumns()) {
+        double v = current[mc];
+        for (int j = 0; j < m; ++j) {
+          if (fm.column(j).is_multi && j < mc) continue;  // count each pair once
+          gram(mc, j) += v * current[j];
+        }
+      }
+    }
+    for (int mc : fm.MultiColumns()) {
+      for (int j = 0; j < m; ++j) {
+        if (j != mc) gram(j, mc) = gram(mc, j);
+      }
+    }
+  }
+  return gram;
+}
+
+}  // namespace reptile

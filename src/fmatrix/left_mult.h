@@ -1,0 +1,30 @@
+// Factorised left multiplication A · X (paper Section 4.2.2, Algorithm 3).
+//
+// A is a dense q x n matrix (n = virtual rows of X). Each column of X is a
+// block-repetitive pattern fully described by the decomposed aggregates:
+// within one repetition, each node value occupies lc(node) * suffix
+// consecutive rows. Prefix sums over each row of A turn every block into an
+// O(1) range sum, giving total cost O(q * n) — optimal, since the input A is
+// itself q x n.
+
+#ifndef REPTILE_FMATRIX_LEFT_MULT_H_
+#define REPTILE_FMATRIX_LEFT_MULT_H_
+
+#include <vector>
+
+#include "factor/frep.h"
+#include "linalg/matrix.h"
+
+namespace reptile {
+
+/// Computes A · X, returning a dense q x m matrix.
+Matrix FactorizedLeftMultiply(const FactorizedMatrix& fm, const Matrix& a);
+
+/// Computes X^T r for a length-n vector r (one row of the general case),
+/// returning an m-vector. This is the EM inner-loop form.
+std::vector<double> FactorizedVecLeftMultiply(const FactorizedMatrix& fm,
+                                              const std::vector<double>& r);
+
+}  // namespace reptile
+
+#endif  // REPTILE_FMATRIX_LEFT_MULT_H_

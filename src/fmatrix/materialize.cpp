@@ -1,0 +1,51 @@
+#include "fmatrix/materialize.h"
+
+#include "common/check.h"
+#include "factor/row_iterator.h"
+
+namespace reptile {
+
+Matrix MaterializeMatrix(const FactorizedMatrix& fm, int64_t max_rows) {
+  REPTILE_CHECK_LE(fm.num_rows(), max_rows) << "materialisation too large";
+  int64_t n = fm.num_rows();
+  int m = fm.num_cols();
+  Matrix x(static_cast<size_t>(n), static_cast<size_t>(m));
+
+  // Incremental fill: only columns whose attribute changed are recomputed.
+  RowIterator it(fm);
+  std::vector<AttrChange> changed;
+  std::vector<double> current(m, 0.0);
+  std::vector<int32_t> codes(fm.num_attrs(), 0);
+  // Multi-attribute columns touched by each flat attribute.
+  std::vector<std::vector<int>> multi_on_attr(fm.num_attrs());
+  for (int mc : fm.MultiColumns()) {
+    for (AttrId a : fm.column(mc).attrs) multi_on_attr[fm.FlatAttrIndex(a)].push_back(mc);
+  }
+  std::vector<int32_t> key;
+  std::vector<char> multi_dirty(fm.num_cols(), 0);
+
+  for (bool ok = it.Start(&changed); ok; ok = it.Next(&changed)) {
+    for (const AttrChange& change : changed) {
+      codes[change.flat_attr] = change.code;
+      for (int c : fm.ColumnsOnAttr(fm.FlatAttr(change.flat_attr))) {
+        current[c] = fm.column(c).ValueForCode(change.code);
+      }
+      for (int mc : multi_on_attr[change.flat_attr]) multi_dirty[mc] = 1;
+    }
+    for (int mc : fm.MultiColumns()) {
+      if (!multi_dirty[mc]) continue;
+      multi_dirty[mc] = 0;
+      const FeatureColumn& column = fm.column(mc);
+      key.resize(column.attrs.size());
+      for (size_t i = 0; i < column.attrs.size(); ++i) {
+        key[i] = codes[fm.FlatAttrIndex(column.attrs[i])];
+      }
+      current[mc] = column.ValueForTuple(key);
+    }
+    double* row = x.RowPtr(static_cast<size_t>(it.row()));
+    for (int c = 0; c < m; ++c) row[c] = current[c];
+  }
+  return x;
+}
+
+}  // namespace reptile

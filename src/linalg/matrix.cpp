@@ -1,0 +1,143 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace reptile {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    REPTILE_CHECK_EQ(row.size(), cols_);
+    for (double v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  for (size_t i = 0; i < values.size(); ++i) m(0, i) = values[i];
+  return m;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  REPTILE_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // ikj loop order keeps the inner loop contiguous in both inputs.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  REPTILE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  REPTILE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= factor;
+  return out;
+}
+
+double Matrix::Trace() const {
+  size_t n = rows_ < cols_ ? rows_ : cols_;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += (*this)(i, i);
+  return sum;
+}
+
+double Matrix::FrobeniusDistance(const Matrix& other) const {
+  REPTILE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double ss = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = data_[i] - other.data_[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss);
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  REPTILE_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, c);
+  return out;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  REPTILE_CHECK_LT(r, rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (size_t i = 0; i < rows_; ++i) {
+    if (i > 0) os << "; ";
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j > 0) os << ", ";
+      os << (*this)(i, j);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  REPTILE_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace reptile

@@ -1,0 +1,107 @@
+// Dense row-major matrix substrate. This is the repository's stand-in for
+// LAPACK: the naive ("Matlab-style") baselines materialize the full feature
+// matrix and run these kernels, while Reptile's factorised operators produce
+// the same outputs without materialization.
+
+#ifndef REPTILE_LINALG_MATRIX_H_
+#define REPTILE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace reptile {
+
+/// Dense row-major matrix of doubles.
+///
+/// Small by design: the model-training code only needs construction,
+/// element access, multiplication, transpose and a handful of reductions.
+/// Factorised code paths avoid this class entirely for anything
+/// proportional to the number of rows of the feature matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Column vector from `values`.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  /// Row vector from `values`.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t r, size_t c) {
+    REPTILE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    REPTILE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row pointer (row-major layout).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Matrix product this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// this + other (shapes must match).
+  Matrix Add(const Matrix& other) const;
+
+  /// this - other (shapes must match).
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Element-wise scale.
+  Matrix Scale(double factor) const;
+
+  /// Sum of the main diagonal.
+  double Trace() const;
+
+  /// Frobenius norm of this - other.
+  double FrobeniusDistance(const Matrix& other) const;
+
+  /// Copies column c into a vector.
+  std::vector<double> Column(size_t c) const;
+
+  /// Copies row r into a vector.
+  std::vector<double> Row(size_t r) const;
+
+  /// True when shapes match and all entries are within `tol`.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  /// Human-readable rendering for debugging and test failure messages.
+  std::string DebugString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product of two equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace reptile
+
+#endif  // REPTILE_LINALG_MATRIX_H_

@@ -1,0 +1,131 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace reptile {
+namespace {
+
+// LU decomposition with partial pivoting, in place over a copy.
+// Returns false when a pivot underflows (singular matrix).
+bool LuDecompose(Matrix* a, std::vector<size_t>* perm, int* sign) {
+  size_t n = a->rows();
+  perm->resize(n);
+  for (size_t i = 0; i < n; ++i) (*perm)[i] = i;
+  *sign = 1;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs((*a)(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs((*a)(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap((*a)(pivot, c), (*a)(col, c));
+      std::swap((*perm)[pivot], (*perm)[col]);
+      *sign = -*sign;
+    }
+    double inv_pivot = 1.0 / (*a)(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = (*a)(r, col) * inv_pivot;
+      (*a)(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = col + 1; c < n; ++c) {
+        (*a)(r, c) -= factor * (*a)(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b) {
+  REPTILE_CHECK_EQ(a.rows(), a.cols());
+  REPTILE_CHECK_EQ(a.rows(), b.rows());
+  size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  int sign = 0;
+  if (!LuDecompose(&lu, &perm, &sign)) return std::nullopt;
+
+  Matrix x(n, b.cols());
+  for (size_t col = 0; col < b.cols(); ++col) {
+    // Forward substitution with the permuted right-hand side.
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      double sum = b(perm[i], col);
+      for (size_t j = 0; j < i; ++j) sum -= lu(i, j) * y[j];
+      y[i] = sum;
+    }
+    // Back substitution.
+    for (size_t ii = n; ii > 0; --ii) {
+      size_t i = ii - 1;
+      double sum = y[i];
+      for (size_t j = i + 1; j < n; ++j) sum -= lu(i, j) * x(j, col);
+      x(i, col) = sum / lu(i, i);
+    }
+  }
+  return x;
+}
+
+std::optional<Matrix> Inverse(const Matrix& a) {
+  return SolveLinearSystem(a, Matrix::Identity(a.rows()));
+}
+
+Matrix InverseSymmetricRidge(const Matrix& a, double initial_ridge) {
+  REPTILE_CHECK_EQ(a.rows(), a.cols());
+  std::optional<Matrix> inv = Inverse(a);
+  double ridge = initial_ridge;
+  Matrix regularized = a;
+  while (!inv.has_value()) {
+    for (size_t i = 0; i < a.rows(); ++i) regularized(i, i) = a(i, i) + ridge;
+    inv = Inverse(regularized);
+    ridge *= 10.0;
+    REPTILE_CHECK_LT(ridge, 1e30) << "InverseSymmetricRidge: non-finite input?";
+  }
+  return *inv;
+}
+
+std::optional<Matrix> Cholesky(const Matrix& a) {
+  REPTILE_CHECK_EQ(a.rows(), a.cols());
+  size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return std::nullopt;
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::optional<double> LogDetSpd(const Matrix& a) {
+  std::optional<Matrix> l = Cholesky(a);
+  if (!l.has_value()) return std::nullopt;
+  double log_det = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) log_det += std::log((*l)(i, i));
+  return 2.0 * log_det;
+}
+
+std::optional<double> LogAbsDet(const Matrix& a) {
+  REPTILE_CHECK_EQ(a.rows(), a.cols());
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  int sign = 0;
+  if (!LuDecompose(&lu, &perm, &sign)) return std::nullopt;
+  double log_det = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) log_det += std::log(std::fabs(lu(i, i)));
+  return log_det;
+}
+
+}  // namespace reptile

@@ -1,0 +1,34 @@
+// Model-quality evaluation (paper Appendix K): marginal Gaussian
+// log-likelihoods and the Akaike information criterion used to compare
+// Linear / Linear-f / Multi-level / Multi-level-f on the FIST and Vote
+// datasets (Figure 16).
+
+#ifndef REPTILE_MODEL_MODEL_EVAL_H_
+#define REPTILE_MODEL_MODEL_EVAL_H_
+
+#include <vector>
+
+#include "model/linear.h"
+#include "model/multilevel.h"
+
+namespace reptile {
+
+/// Gaussian log-likelihood of a fitted linear model (MLE variance).
+double LinearLogLikelihood(const LinearModel& model, int64_t n);
+
+/// AIC of a linear model: k = m + 1 (coefficients + variance).
+double LinearAic(const LinearModel& model, int64_t n);
+
+/// Marginal log-likelihood of a multi-level model: per cluster,
+/// y_i ~ N(X_i beta, sigma2 I + Z_i Sigma Z_i^T), evaluated with q x q
+/// Woodbury / determinant-lemma identities so no n_i x n_i matrix is formed.
+double MultiLevelLogLikelihood(EmBackend* backend, const MultiLevelModel& model,
+                               const std::vector<double>& y);
+
+/// AIC of a multi-level model: k = m + q(q+1)/2 + 1.
+double MultiLevelAic(EmBackend* backend, const MultiLevelModel& model,
+                     const std::vector<double>& y);
+
+}  // namespace reptile
+
+#endif  // REPTILE_MODEL_MODEL_EVAL_H_

@@ -1,0 +1,225 @@
+#include "model/multilevel.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "fmatrix/cluster_ops.h"
+#include "fmatrix/gram.h"
+#include "fmatrix/left_mult.h"
+#include "fmatrix/right_mult.h"
+#include "linalg/solve.h"
+
+namespace reptile {
+
+// ---------- Factorised backend ----------
+
+FactorizedEmBackend::FactorizedEmBackend(const FactorizedMatrix* fm,
+                                         const DecomposedAggregates* agg,
+                                         std::vector<int> z_cols)
+    : fm_(fm), agg_(agg), z_cols_(std::move(z_cols)) {
+  REPTILE_CHECK(fm != nullptr && agg != nullptr);
+  if (z_cols_.empty()) {
+    for (int c = 0; c < fm_->num_cols(); ++c) z_cols_.push_back(c);
+  }
+}
+
+Matrix FactorizedEmBackend::Gram() { return FactorizedGram(*fm_, *agg_); }
+
+std::vector<double> FactorizedEmBackend::XtV(const std::vector<double>& v) {
+  return FactorizedVecLeftMultiply(*fm_, v);
+}
+
+std::vector<double> FactorizedEmBackend::XTimes(const std::vector<double>& beta) {
+  return FactorizedVecRightMultiply(*fm_, beta);
+}
+
+void FactorizedEmBackend::ForEachCluster(
+    const std::vector<double>& r,
+    const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
+        emit) {
+  ForEachClusterGram(*fm_, z_cols_, &r, [&](const ClusterData& data) {
+    emit(data.cluster, data.size, *data.gram, *data.ztr);
+  });
+}
+
+void FactorizedEmBackend::ZTimesB(const Matrix& b, std::vector<double>* out) {
+  ClusterRightMultiply(*fm_, z_cols_, b, out);
+}
+
+// ---------- Dense backend ----------
+
+DenseEmBackend::DenseEmBackend(const Matrix* x, std::vector<int64_t> cluster_begin,
+                               std::vector<int> z_cols)
+    : x_(x), cluster_begin_(std::move(cluster_begin)), z_cols_(std::move(z_cols)) {
+  REPTILE_CHECK(x != nullptr);
+  REPTILE_CHECK_GE(cluster_begin_.size(), 2u);
+  REPTILE_CHECK_EQ(cluster_begin_.front(), 0);
+  REPTILE_CHECK_EQ(cluster_begin_.back(), static_cast<int64_t>(x->rows()));
+  if (z_cols_.empty()) {
+    for (size_t c = 0; c < x->cols(); ++c) z_cols_.push_back(static_cast<int>(c));
+  }
+}
+
+Matrix DenseEmBackend::Gram() { return x_->Transposed().Multiply(*x_); }
+
+std::vector<double> DenseEmBackend::XtV(const std::vector<double>& v) {
+  REPTILE_CHECK_EQ(v.size(), x_->rows());
+  std::vector<double> out(x_->cols(), 0.0);
+  for (size_t r = 0; r < x_->rows(); ++r) {
+    const double* row = x_->RowPtr(r);
+    double vr = v[r];
+    for (size_t c = 0; c < x_->cols(); ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+std::vector<double> DenseEmBackend::XTimes(const std::vector<double>& beta) {
+  REPTILE_CHECK_EQ(beta.size(), x_->cols());
+  std::vector<double> out(x_->rows(), 0.0);
+  for (size_t r = 0; r < x_->rows(); ++r) {
+    const double* row = x_->RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < x_->cols(); ++c) acc += row[c] * beta[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+void DenseEmBackend::ForEachCluster(
+    const std::vector<double>& r,
+    const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
+        emit) {
+  size_t q = z_cols_.size();
+  Matrix ztz(q, q);
+  std::vector<double> ztr(q, 0.0);
+  for (int64_t g = 0; g + 1 < static_cast<int64_t>(cluster_begin_.size()); ++g) {
+    int64_t begin = cluster_begin_[g];
+    int64_t end = cluster_begin_[g + 1];
+    std::fill(ztz.mutable_data().begin(), ztz.mutable_data().end(), 0.0);
+    std::fill(ztr.begin(), ztr.end(), 0.0);
+    for (int64_t row = begin; row < end; ++row) {
+      const double* xr = x_->RowPtr(static_cast<size_t>(row));
+      for (size_t i = 0; i < q; ++i) {
+        double zi = xr[z_cols_[i]];
+        ztr[i] += zi * r[static_cast<size_t>(row)];
+        for (size_t j = i; j < q; ++j) {
+          ztz(i, j) += zi * xr[z_cols_[j]];
+        }
+      }
+    }
+    for (size_t i = 0; i < q; ++i) {
+      for (size_t j = 0; j < i; ++j) ztz(i, j) = ztz(j, i);
+    }
+    emit(g, end - begin, ztz, ztr);
+  }
+}
+
+void DenseEmBackend::ZTimesB(const Matrix& b, std::vector<double>* out) {
+  REPTILE_CHECK_EQ(static_cast<int64_t>(out->size()), n());
+  size_t q = z_cols_.size();
+  for (int64_t g = 0; g + 1 < static_cast<int64_t>(cluster_begin_.size()); ++g) {
+    const double* bg = b.RowPtr(static_cast<size_t>(g));
+    for (int64_t row = cluster_begin_[g]; row < cluster_begin_[g + 1]; ++row) {
+      const double* xr = x_->RowPtr(static_cast<size_t>(row));
+      double acc = 0.0;
+      for (size_t i = 0; i < q; ++i) acc += xr[z_cols_[i]] * bg[i];
+      (*out)[static_cast<size_t>(row)] = acc;
+    }
+  }
+}
+
+// ---------- EM (Appendix D) ----------
+
+MultiLevelModel TrainMultiLevel(EmBackend* backend, const std::vector<double>& y,
+                                const MultiLevelOptions& options) {
+  REPTILE_CHECK(backend != nullptr);
+  int64_t n = backend->n();
+  REPTILE_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  int m = backend->m();
+  size_t q = backend->z_cols().size();
+  int64_t num_clusters = backend->num_clusters();
+
+  MultiLevelModel model;
+  model.z_cols = backend->z_cols();
+
+  // Precompute X^T X (and its inverse) and X^T y — both reused every
+  // iteration (Appendix D "we can precompute X^T X and X_i^T X_i").
+  Matrix gram = backend->Gram();
+  Matrix gram_ridged = gram;
+  for (int i = 0; i < m; ++i) gram_ridged(i, i) += options.ridge;
+  Matrix gram_inv = InverseSymmetricRidge(gram_ridged);
+  std::vector<double> xty = backend->XtV(y);
+
+  // Initialise with OLS.
+  model.beta = gram_inv.Multiply(Matrix::ColumnVector(xty)).Column(0);
+  std::vector<double> fitted = backend->XTimes(model.beta);
+  std::vector<double> r(y.size());
+  double rss = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    r[i] = y[i] - fitted[i];
+    rss += r[i] * r[i];
+  }
+  model.sigma2 = std::max(options.min_sigma2, rss / static_cast<double>(std::max<int64_t>(n, 1)));
+  model.sigma_b = Matrix::Identity(q).Scale(model.sigma2);
+  model.b = Matrix(static_cast<size_t>(num_clusters), q);
+
+  std::vector<double> zb(y.size(), 0.0);
+  for (int iter = 0; iter < options.em_iters; ++iter) {
+    // --- E-step (equations 8-11): per-cluster posterior of b_i. ---
+    Matrix sigma_inv = InverseSymmetricRidge(model.sigma_b, 1e-8);
+    Matrix sum_bbt(q, q);
+    double trace_term = 0.0;
+    backend->ForEachCluster(r, [&](int64_t g, int64_t size, const Matrix& ztz,
+                                   const std::vector<double>& ztr) {
+      (void)size;
+      Matrix vi_inv = ztz.Scale(1.0 / model.sigma2).Add(sigma_inv);
+      Matrix vi = InverseSymmetricRidge(vi_inv, 1e-10);
+      // mu_i = V_i Z_i^T r_i / sigma2
+      std::vector<double> mu(q, 0.0);
+      for (size_t i = 0; i < q; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < q; ++j) acc += vi(i, j) * ztr[j];
+        mu[i] = acc / model.sigma2;
+      }
+      double* bg = model.b.RowPtr(static_cast<size_t>(g));
+      for (size_t i = 0; i < q; ++i) bg[i] = mu[i];
+      // E[b b^T] = V_i + mu mu^T; accumulate Sigma and the sigma2 trace term
+      // Tr(Z_i^T Z_i E[b b^T]).
+      for (size_t i = 0; i < q; ++i) {
+        for (size_t j = 0; j < q; ++j) {
+          double ebbt = vi(i, j) + mu[i] * mu[j];
+          sum_bbt(i, j) += ebbt;
+          trace_term += ztz(i, j) * ebbt;
+        }
+      }
+    });
+
+    // --- M-step (equations 12-14). ---
+    backend->ZTimesB(model.b, &zb);
+    std::vector<double> xtzb = backend->XtV(zb);
+    std::vector<double> rhs(static_cast<size_t>(m));
+    for (int c = 0; c < m; ++c) rhs[static_cast<size_t>(c)] = xty[static_cast<size_t>(c)] - xtzb[static_cast<size_t>(c)];
+    model.beta = gram_inv.Multiply(Matrix::ColumnVector(rhs)).Column(0);
+
+    model.sigma_b = sum_bbt.Scale(1.0 / static_cast<double>(std::max<int64_t>(num_clusters, 1)));
+
+    fitted = backend->XTimes(model.beta);
+    rss = 0.0;
+    double rzb = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+      r[i] = y[i] - fitted[i];
+      rss += r[i] * r[i];
+      rzb += r[i] * zb[i];
+    }
+    model.sigma2 = (rss + trace_term - 2.0 * rzb) / static_cast<double>(std::max<int64_t>(n, 1));
+    if (!(model.sigma2 > options.min_sigma2)) model.sigma2 = options.min_sigma2;
+  }
+
+  // Final fitted values: X beta + Z b.
+  backend->ZTimesB(model.b, &zb);
+  model.fitted.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) model.fitted[i] = fitted[i] + zb[i];
+  return model;
+}
+
+}  // namespace reptile

@@ -1,0 +1,134 @@
+// Multi-level (mixed-effects) linear model trained by EM (paper Section 3.2
+// and Appendix D):
+//
+//   y_i = X_i beta + Z_i b_i + eps_i,   b_i ~ N(0, Sigma),  eps_i ~ N(0, s2 I)
+//
+// for clusters i = 1..G (the drill-down parent groups). Z_i is X_i restricted
+// to the random-effect columns (all columns by default, Section 3.3.4).
+//
+// The EM loop is written once against an EmBackend interface; the factorised
+// backend routes every operation through the factorised operators (the
+// paper's contribution), and the dense backend runs the same algebra over a
+// materialised matrix (the Matlab/LAPACK-style baseline of Section 5.1.4).
+
+#ifndef REPTILE_MODEL_MULTILEVEL_H_
+#define REPTILE_MODEL_MULTILEVEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "factor/decomposed.h"
+#include "factor/frep.h"
+#include "linalg/matrix.h"
+
+namespace reptile {
+
+/// Abstract matrix-operation provider for the EM loop. All six bottleneck
+/// operations of Appendix D appear here.
+class EmBackend {
+ public:
+  virtual ~EmBackend() = default;
+
+  virtual int64_t n() const = 0;
+  virtual int m() const = 0;
+  virtual int64_t num_clusters() const = 0;
+  virtual const std::vector<int>& z_cols() const = 0;
+
+  /// X^T X (precomputed once per fit).
+  virtual Matrix Gram() = 0;
+
+  /// X^T v for an n-vector v (left multiplication).
+  virtual std::vector<double> XtV(const std::vector<double>& v) = 0;
+
+  /// X beta for an m-vector beta (right multiplication).
+  virtual std::vector<double> XTimes(const std::vector<double>& beta) = 0;
+
+  /// Per-cluster Z_i^T Z_i and Z_i^T r_i, streamed in cluster order.
+  virtual void ForEachCluster(
+      const std::vector<double>& r,
+      const std::function<void(int64_t cluster, int64_t size, const Matrix& ztz,
+                               const std::vector<double>& ztr)>& emit) = 0;
+
+  /// Z b: per-cluster right multiplication with cluster coefficients
+  /// (b is G x q); out must have length n.
+  virtual void ZTimesB(const Matrix& b, std::vector<double>* out) = 0;
+};
+
+/// Factorised backend over a FactorizedMatrix (+ decomposed aggregates).
+class FactorizedEmBackend : public EmBackend {
+ public:
+  FactorizedEmBackend(const FactorizedMatrix* fm, const DecomposedAggregates* agg,
+                      std::vector<int> z_cols);
+
+  int64_t n() const override { return fm_->num_rows(); }
+  int m() const override { return fm_->num_cols(); }
+  int64_t num_clusters() const override { return fm_->num_clusters(); }
+  const std::vector<int>& z_cols() const override { return z_cols_; }
+  Matrix Gram() override;
+  std::vector<double> XtV(const std::vector<double>& v) override;
+  std::vector<double> XTimes(const std::vector<double>& beta) override;
+  void ForEachCluster(
+      const std::vector<double>& r,
+      const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
+          emit) override;
+  void ZTimesB(const Matrix& b, std::vector<double>* out) override;
+
+ private:
+  const FactorizedMatrix* fm_;
+  const DecomposedAggregates* agg_;
+  std::vector<int> z_cols_;
+};
+
+/// Dense backend over a materialised matrix with contiguous cluster ranges.
+class DenseEmBackend : public EmBackend {
+ public:
+  /// `cluster_begin` holds the first row of each cluster plus a final
+  /// sentinel equal to n (so cluster i spans [begin[i], begin[i+1])).
+  DenseEmBackend(const Matrix* x, std::vector<int64_t> cluster_begin, std::vector<int> z_cols);
+
+  int64_t n() const override { return static_cast<int64_t>(x_->rows()); }
+  int m() const override { return static_cast<int>(x_->cols()); }
+  int64_t num_clusters() const override {
+    return static_cast<int64_t>(cluster_begin_.size()) - 1;
+  }
+  const std::vector<int>& z_cols() const override { return z_cols_; }
+  Matrix Gram() override;
+  std::vector<double> XtV(const std::vector<double>& v) override;
+  std::vector<double> XTimes(const std::vector<double>& beta) override;
+  void ForEachCluster(
+      const std::vector<double>& r,
+      const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
+          emit) override;
+  void ZTimesB(const Matrix& b, std::vector<double>* out) override;
+
+ private:
+  const Matrix* x_;
+  std::vector<int64_t> cluster_begin_;
+  std::vector<int> z_cols_;
+};
+
+/// Training options. em_iters = 20 matches the paper's experiments.
+struct MultiLevelOptions {
+  int em_iters = 20;
+  double min_sigma2 = 1e-9;
+  double ridge = 1e-9;
+};
+
+/// Fitted multi-level model.
+struct MultiLevelModel {
+  std::vector<double> beta;    // fixed effects (m)
+  Matrix sigma_b;              // random-effect covariance (q x q)
+  double sigma2 = 0.0;         // residual variance
+  Matrix b;                    // posterior cluster effects (G x q)
+  std::vector<int> z_cols;     // columns of X forming Z
+  std::vector<double> fitted;  // X beta + Z b per row (n)
+};
+
+/// Runs EM (Appendix D) for `options.em_iters` iterations.
+MultiLevelModel TrainMultiLevel(EmBackend* backend, const std::vector<double>& y,
+                                const MultiLevelOptions& options = MultiLevelOptions());
+
+}  // namespace reptile
+
+#endif  // REPTILE_MODEL_MULTILEVEL_H_

@@ -1,0 +1,114 @@
+// Tests for agg/: moment sketches and the Appendix A distributive merge laws.
+
+#include <cmath>
+
+#include "agg/aggregates.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+TEST(Moments, ObserveAndDerive) {
+  Moments m;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Observe(v);
+  EXPECT_DOUBLE_EQ(m.Value(AggFn::kCount), 8.0);
+  EXPECT_DOUBLE_EQ(m.Value(AggFn::kSum), 40.0);
+  EXPECT_DOUBLE_EQ(m.Value(AggFn::kMean), 5.0);
+  EXPECT_NEAR(m.Value(AggFn::kStd), 2.13809, 1e-4);
+  EXPECT_NEAR(m.Value(AggFn::kVar), 4.571428, 1e-4);
+}
+
+TEST(Moments, AddSubtractInverse) {
+  Moments a, b;
+  for (double v : {1.0, 2.0, 3.0}) a.Observe(v);
+  for (double v : {10.0, 20.0}) b.Observe(v);
+  Moments merged = a;
+  merged.Add(b);
+  EXPECT_DOUBLE_EQ(merged.count, 5.0);
+  EXPECT_DOUBLE_EQ(merged.sum, 36.0);
+  merged.Subtract(b);
+  EXPECT_DOUBLE_EQ(merged.count, a.count);
+  EXPECT_DOUBLE_EQ(merged.sum, a.sum);
+  EXPECT_DOUBLE_EQ(merged.sumsq, a.sumsq);
+}
+
+TEST(Moments, EmptyGroupStatistics) {
+  Moments m;
+  EXPECT_DOUBLE_EQ(m.Value(AggFn::kMean), 0.0);
+  EXPECT_DOUBLE_EQ(m.Value(AggFn::kStd), 0.0);
+  Moments one;
+  one.Observe(5.0);
+  EXPECT_DOUBLE_EQ(one.Value(AggFn::kStd), 0.0);  // n<2
+}
+
+TEST(Moments, FromStatsRoundTrip) {
+  Moments m;
+  for (double v : {3.0, 7.0, 8.0, 1.0, 4.0}) m.Observe(v);
+  Moments rebuilt = Moments::FromStats(m.count, m.Mean(), m.SampleStd());
+  EXPECT_NEAR(rebuilt.sum, m.sum, 1e-9);
+  EXPECT_NEAR(rebuilt.sumsq, m.sumsq, 1e-9);
+  EXPECT_NEAR(rebuilt.SampleStd(), m.SampleStd(), 1e-9);
+}
+
+TEST(AggFnName, Names) {
+  EXPECT_EQ(AggFnName(AggFn::kCount), "COUNT");
+  EXPECT_EQ(AggFnName(AggFn::kStd), "STD");
+}
+
+// Property: merging per-subset (mean, count, std) triples with the Appendix A
+// formulas reproduces the statistics of the concatenated data, for random
+// partitions.
+class MergeTriplesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeTriplesTest, MatchesDirectComputation) {
+  Rng rng(GetParam());
+  int num_subsets = static_cast<int>(rng.UniformInt(1, 6));
+  std::vector<AggTriple> triples;
+  std::vector<double> all;
+  for (int s = 0; s < num_subsets; ++s) {
+    int n = static_cast<int>(rng.UniformInt(1, 40));
+    std::vector<double> subset(n);
+    for (double& v : subset) v = rng.Normal(rng.Uniform(-5, 5), 2.0);
+    all.insert(all.end(), subset.begin(), subset.end());
+    triples.push_back(AggTriple{Mean(subset), static_cast<double>(n), SampleStd(subset)});
+  }
+  AggTriple merged = MergeTriples(triples);
+  EXPECT_NEAR(merged.count, static_cast<double>(all.size()), 1e-9);
+  EXPECT_NEAR(merged.mean, Mean(all), 1e-9);
+  EXPECT_NEAR(merged.std, SampleStd(all), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeTriplesTest, ::testing::Range(0, 25));
+
+TEST(MergeTriples, IgnoresEmptySubsets) {
+  AggTriple a{5.0, 3.0, 1.0};
+  AggTriple empty{0.0, 0.0, 0.0};
+  AggTriple merged = MergeTriples({a, empty});
+  EXPECT_DOUBLE_EQ(merged.count, 3.0);
+  EXPECT_DOUBLE_EQ(merged.mean, 5.0);
+  EXPECT_NEAR(merged.std, 1.0, 1e-12);
+}
+
+// Property: the Moments sketch and the Appendix A triple algebra agree.
+TEST(MergeTriples, AgreesWithMoments) {
+  Rng rng(99);
+  std::vector<AggTriple> triples;
+  Moments total;
+  for (int s = 0; s < 4; ++s) {
+    Moments part;
+    for (int i = 0; i < 20; ++i) {
+      double v = rng.Normal(0, 3);
+      part.Observe(v);
+      total.Observe(v);
+    }
+    triples.push_back(AggTriple{part.Mean(), part.count, part.SampleStd()});
+  }
+  AggTriple merged = MergeTriples(triples);
+  EXPECT_NEAR(merged.mean, total.Mean(), 1e-9);
+  EXPECT_NEAR(merged.std, total.SampleStd(), 1e-9);
+}
+
+}  // namespace
+}  // namespace reptile

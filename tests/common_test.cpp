@@ -1,0 +1,127 @@
+// Tests for common/: stats, rank-correlation induction, rng, env.
+
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+TEST(Stats, MeanAndStd) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(SampleStd(v), 2.13809, 1e-4);
+  EXPECT_NEAR(PopulationVariance(v), 4.0, 1e-12);
+}
+
+TEST(Stats, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStd({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStd({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+}
+
+TEST(Stats, PearsonPerfect) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  std::vector<double> c = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  std::vector<double> a = {1, 1, 1};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(Stats, RanksAreAPermutation) {
+  std::vector<double> v = {0.3, -1.0, 2.5, 0.0};
+  std::vector<size_t> r = Ranks(v);
+  EXPECT_EQ(r, (std::vector<size_t>{2, 0, 3, 1}));
+}
+
+TEST(Stats, SpearmanMonotone) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  std::vector<double> b = {1, 8, 27, 64, 125, 216};  // monotone, nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+class ImanConoverTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImanConoverTest, AchievesTargetCorrelation) {
+  double rho = GetParam();
+  Rng rng(7);
+  std::vector<double> reference(2000);
+  for (double& v : reference) v = rng.Normal(100.0, 20.0);
+  std::vector<double> induced = InduceRankCorrelation(reference, rho, 0.0, 1.0, &rng);
+  double achieved = SpearmanCorrelation(reference, induced);
+  EXPECT_NEAR(achieved, rho, 0.05) << "target rho " << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(CorrelationSweep, ImanConoverTest,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.8, 0.9, 1.0, -0.7));
+
+TEST(ImanConover, PreservesMarginal) {
+  Rng rng(11);
+  std::vector<double> reference(500);
+  for (double& v : reference) v = rng.Normal(0.0, 1.0);
+  std::vector<double> induced = InduceRankCorrelation(reference, 0.8, 50.0, 5.0, &rng);
+  EXPECT_NEAR(Mean(induced), 50.0, 1.0);
+  EXPECT_NEAR(SampleStd(induced), 5.0, 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  std::vector<double> draws(20000);
+  for (double& v : draws) v = rng.Normal(10.0, 3.0);
+  EXPECT_NEAR(Mean(draws), 10.0, 0.1);
+  EXPECT_NEAR(SampleStd(draws), 3.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(1);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Env, DefaultsAndOverrides) {
+  EXPECT_EQ(EnvInt("REPTILE_TEST_UNSET_VAR", 42), 42);
+  ::setenv("REPTILE_TEST_SET_VAR", "17", 1);
+  EXPECT_EQ(EnvInt("REPTILE_TEST_SET_VAR", 42), 17);
+  ::setenv("REPTILE_TEST_BAD_VAR", "abc", 1);
+  EXPECT_EQ(EnvInt("REPTILE_TEST_BAD_VAR", 42), 42);
+  ::setenv("REPTILE_TEST_DOUBLE_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("REPTILE_TEST_DOUBLE_VAR", 1.0), 2.5);
+}
+
+}  // namespace
+}  // namespace reptile

@@ -1,0 +1,47 @@
+// Tests for core/complaint: fcomp semantics in all three directions.
+
+#include "core/complaint.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+TEST(Complaint, TooHighMinimisesValue) {
+  Complaint c = Complaint::TooHigh(AggFn::kStd, 0, RowFilter());
+  EXPECT_LT(c.Score(1.0), c.Score(2.0));
+  EXPECT_EQ(c.agg, AggFn::kStd);
+  EXPECT_EQ(c.direction, ComplaintDirection::kTooHigh);
+}
+
+TEST(Complaint, TooLowMinimisesNegatedValue) {
+  Complaint c = Complaint::TooLow(AggFn::kCount, -1, RowFilter());
+  EXPECT_LT(c.Score(10.0), c.Score(5.0));
+}
+
+TEST(Complaint, EqualsMinimisesDistanceToTarget) {
+  Complaint c = Complaint::Equals(AggFn::kCount, -1, RowFilter(), 70.0);
+  // Example 8 of the paper: repairing Darube to count 67 gives fcomp 3;
+  // repairing Zata to 72 gives fcomp 2, which is preferable.
+  EXPECT_DOUBLE_EQ(c.Score(67.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.Score(72.0), 2.0);
+  EXPECT_LT(c.Score(72.0), c.Score(67.0));
+}
+
+TEST(Complaint, Describe) {
+  EXPECT_EQ(Complaint::TooHigh(AggFn::kStd, 0, RowFilter()).Describe(), "STD is too high");
+  EXPECT_EQ(Complaint::TooLow(AggFn::kMean, 0, RowFilter()).Describe(), "MEAN is too low");
+  EXPECT_EQ(Complaint::Equals(AggFn::kCount, -1, RowFilter(), 70.0).Describe(),
+            "COUNT should be 70");
+}
+
+TEST(Complaint, FilterCarriesCoordinates) {
+  RowFilter filter;
+  filter.Add(2, 7);
+  Complaint c = Complaint::TooHigh(AggFn::kMean, 1, filter);
+  ASSERT_EQ(c.filter.equals.size(), 1u);
+  EXPECT_EQ(c.filter.equals[0].first, 2);
+  EXPECT_EQ(c.filter.equals[0].second, 7);
+}
+
+}  // namespace
+}  // namespace reptile

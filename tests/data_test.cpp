@@ -1,0 +1,152 @@
+// Tests for data/: dictionaries, tables, datasets, group-by, CSV round trips.
+
+#include <cstdio>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/group_by.h"
+#include "data/table.h"
+#include "data/value_dict.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+TEST(ValueDict, RoundTrip) {
+  ValueDict dict;
+  int32_t a = dict.GetOrAdd("alpha");
+  int32_t b = dict.GetOrAdd("beta");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(dict.GetOrAdd("alpha"), a);
+  EXPECT_EQ(dict.name(a), "alpha");
+  EXPECT_EQ(dict.size(), 2);
+  EXPECT_EQ(dict.Find("beta"), b);
+  EXPECT_FALSE(dict.Find("gamma").has_value());
+}
+
+Table MakeVillageTable() {
+  Table t;
+  int district = t.AddDimensionColumn("district");
+  int village = t.AddDimensionColumn("village");
+  int severity = t.AddMeasureColumn("severity");
+  auto add = [&](const std::string& d, const std::string& v, double s) {
+    t.SetDim(district, d);
+    t.SetDim(village, v);
+    t.SetMeasure(severity, s);
+    t.CommitRow();
+  };
+  add("Ofla", "Adishim", 8.0);
+  add("Ofla", "Adishim", 9.0);
+  add("Ofla", "Zata", 2.0);
+  add("Raya", "Kukufto", 5.0);
+  add("Raya", "Kukufto", 7.0);
+  add("Raya", "Genete", 6.0);
+  return t;
+}
+
+TEST(Table, BasicShape) {
+  Table t = MakeVillageTable();
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_TRUE(t.is_dimension(0));
+  EXPECT_FALSE(t.is_dimension(2));
+  EXPECT_EQ(t.ColumnIndex("village"), 1);
+  EXPECT_FALSE(t.FindColumn("missing").has_value());
+  EXPECT_EQ(t.dict(0).size(), 2);
+  EXPECT_EQ(t.dim_codes(1).size(), 6u);
+  EXPECT_DOUBLE_EQ(t.measure(2)[2], 2.0);
+}
+
+TEST(Table, FilterMatches) {
+  Table t = MakeVillageTable();
+  RowFilter filter;
+  filter.Add(0, *t.dict(0).Find("Ofla"));
+  EXPECT_TRUE(t.Matches(filter, 0));
+  EXPECT_FALSE(t.Matches(filter, 3));
+}
+
+TEST(Table, FilteredCopy) {
+  Table t = MakeVillageTable();
+  std::vector<bool> keep = {true, false, true, false, false, true};
+  Table copy = t.FilteredCopy(keep);
+  EXPECT_EQ(copy.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(copy.measure(2)[1], 2.0);
+  // Dictionary is shared, so codes still resolve.
+  EXPECT_EQ(copy.dict(1).name(copy.dim_codes(1)[1]), "Zata");
+}
+
+TEST(GroupBy, CountsAndMoments) {
+  Table t = MakeVillageTable();
+  GroupByResult result = GroupBy(t, {0}, 2);
+  ASSERT_EQ(result.num_groups(), 2u);
+  size_t ofla = *result.Find({*t.dict(0).Find("Ofla")});
+  EXPECT_DOUBLE_EQ(result.stats(ofla).count, 3.0);
+  EXPECT_DOUBLE_EQ(result.stats(ofla).sum, 19.0);
+  size_t raya = *result.Find({*t.dict(0).Find("Raya")});
+  EXPECT_DOUBLE_EQ(result.stats(raya).Mean(), 6.0);
+}
+
+TEST(GroupBy, MultiKeyAndFilter) {
+  Table t = MakeVillageTable();
+  RowFilter filter;
+  filter.Add(0, *t.dict(0).Find("Raya"));
+  GroupByResult result = GroupBy(t, {0, 1}, 2, filter);
+  EXPECT_EQ(result.num_groups(), 2u);
+  auto idx = result.Find({*t.dict(0).Find("Raya"), *t.dict(1).Find("Genete")});
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_DOUBLE_EQ(result.stats(*idx).count, 1.0);
+  EXPECT_FALSE(result.Find({*t.dict(0).Find("Ofla"), 0}).has_value());
+}
+
+TEST(GroupBy, NoMeasureCountsOnly) {
+  Table t = MakeVillageTable();
+  GroupByResult result = GroupBy(t, {0}, -1);
+  size_t ofla = *result.Find({*t.dict(0).Find("Ofla")});
+  EXPECT_DOUBLE_EQ(result.stats(ofla).count, 3.0);
+  EXPECT_DOUBLE_EQ(result.stats(ofla).sum, 0.0);
+}
+
+TEST(Dataset, ResolvesHierarchies) {
+  Dataset ds(MakeVillageTable(), {{"geo", {"district", "village"}}});
+  EXPECT_EQ(ds.num_hierarchies(), 1);
+  EXPECT_EQ(ds.AttrColumn(AttrId{0, 0}), 0);
+  EXPECT_EQ(ds.AttrColumn(AttrId{0, 1}), 1);
+  EXPECT_EQ(ds.HierarchyColumns(0, 2), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ds.AttrName(AttrId{0, 1}), "village");
+  AttrId resolved = ds.ResolveAttr("village");
+  EXPECT_EQ(resolved, (AttrId{0, 1}));
+}
+
+TEST(Csv, SaveLoadRoundTrip) {
+  Table t = MakeVillageTable();
+  std::string path = ::testing::TempDir() + "/reptile_csv_test.csv";
+  ASSERT_TRUE(SaveCsv(t, path));
+  CsvSpec spec;
+  spec.dimension_columns = {"district", "village"};
+  spec.measure_columns = {"severity"};
+  auto loaded = LoadCsv(path, spec);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_rows(), t.num_rows());
+  EXPECT_DOUBLE_EQ(loaded->measure(loaded->ColumnIndex("severity"))[2], 2.0);
+  EXPECT_EQ(loaded->dict(loaded->ColumnIndex("village")).name(0), "Adishim");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingColumnFails) {
+  Table t = MakeVillageTable();
+  std::string path = ::testing::TempDir() + "/reptile_csv_test2.csv";
+  ASSERT_TRUE(SaveCsv(t, path));
+  CsvSpec spec;
+  spec.dimension_columns = {"district", "nonexistent"};
+  EXPECT_FALSE(LoadCsv(path, spec).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadMissingFileFails) {
+  CsvSpec spec;
+  EXPECT_FALSE(LoadCsv("/nonexistent/path.csv", spec).has_value());
+}
+
+}  // namespace
+}  // namespace reptile

@@ -1,0 +1,267 @@
+// Tests for datagen/: shape and ground-truth invariants of every generator.
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/group_by.h"
+#include "datagen/accuracy_gen.h"
+#include "datagen/covid_gen.h"
+#include "datagen/fist_gen.h"
+#include "datagen/shapes_gen.h"
+#include "datagen/synthetic.h"
+#include "datagen/vote_gen.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+TEST(Synthetic, ChainMatrixShape) {
+  SyntheticOptions options;
+  options.num_hierarchies = 3;
+  options.attrs_per_hierarchy = 2;
+  options.cardinality = 10;
+  SyntheticMatrix sm = MakeSyntheticMatrix(options);
+  EXPECT_EQ(sm.fm.num_trees(), 4);  // intercept + 3
+  EXPECT_EQ(sm.fm.num_rows(), 1000);  // 10^3
+  EXPECT_EQ(sm.fm.num_cols(), 1 + 3 * 2);
+  // Chains: every leaf count is 1, every level has w nodes.
+  for (int k = 1; k < sm.fm.num_trees(); ++k) {
+    EXPECT_EQ(sm.fm.tree(k).num_leaves(), 10);
+    EXPECT_EQ(sm.fm.tree(k).num_nodes(0), 10);
+  }
+}
+
+TEST(Synthetic, RandomBranchingKeepsLeafCount) {
+  SyntheticOptions options;
+  options.cardinality = 20;
+  options.attrs_per_hierarchy = 3;
+  options.num_hierarchies = 1;
+  options.random_branching = true;
+  SyntheticMatrix sm = MakeSyntheticMatrix(options);
+  EXPECT_EQ(sm.fm.tree(1).num_leaves(), 20);
+  EXPECT_LE(sm.fm.tree(1).num_nodes(0), 20);
+}
+
+TEST(Synthetic, ChainDataset) {
+  SyntheticOptions options;
+  options.num_hierarchies = 2;
+  options.attrs_per_hierarchy = 2;
+  options.cardinality = 5;
+  Dataset ds = MakeChainDataset(options, 200);
+  EXPECT_EQ(ds.table().num_rows(), 200u);
+  EXPECT_EQ(ds.num_hierarchies(), 2);
+  // All attribute values of a hierarchy's levels agree (chains).
+  const auto& l0 = ds.table().dim_codes(ds.AttrColumn(AttrId{0, 0}));
+  const auto& l1 = ds.table().dim_codes(ds.AttrColumn(AttrId{0, 1}));
+  for (size_t row = 0; row < 200; ++row) EXPECT_EQ(l0[row], l1[row]);
+}
+
+TEST(Shapes, AbsenteeShape) {
+  Dataset ds = MakeAbsenteeShaped(1);
+  EXPECT_EQ(ds.table().num_rows(), 179000u);
+  EXPECT_EQ(ds.num_hierarchies(), 4);
+  EXPECT_EQ(ds.table().dict(ds.table().ColumnIndex("county")).size(), 100);
+  EXPECT_EQ(ds.table().dict(ds.table().ColumnIndex("party")).size(), 6);
+  EXPECT_EQ(ds.table().dict(ds.table().ColumnIndex("week")).size(), 53);
+  EXPECT_EQ(ds.table().dict(ds.table().ColumnIndex("gender")).size(), 3);
+}
+
+TEST(Shapes, CompasShape) {
+  Dataset ds = MakeCompasShaped(1);
+  EXPECT_EQ(ds.table().num_rows(), 60843u);
+  EXPECT_EQ(ds.hierarchy(0).depth(), 3);
+  EXPECT_EQ(ds.table().dict(ds.table().ColumnIndex("day")).size(), 704);
+  EXPECT_EQ(ds.table().dict(ds.table().ColumnIndex("race")).size(), 6);
+}
+
+TEST(Accuracy, MissingInstanceGroundTruth) {
+  Rng rng(3);
+  AccuracyOptions options;
+  AccuracyInstance inst = MakeAccuracyInstance(options, ErrorType::kMissing, 0.8, &rng);
+  ASSERT_EQ(inst.true_errors.size(), 1u);
+  // The corrupted group's count is about half its clean value; totals drop.
+  GroupByResult groups = GroupBy(inst.dataset.table(), {0}, 1);
+  Moments total;
+  for (size_t g = 0; g < groups.num_groups(); ++g) total.Add(groups.stats(g));
+  EXPECT_LT(total.count, inst.clean_total.count);
+  EXPECT_EQ(inst.complaint.agg, AggFn::kCount);
+  EXPECT_EQ(inst.complaint.direction, ComplaintDirection::kEquals);
+  EXPECT_DOUBLE_EQ(inst.complaint.target, inst.clean_total.count);
+}
+
+TEST(Accuracy, AuxTablesCorrelateWithCleanStats) {
+  Rng rng(5);
+  AccuracyOptions options;
+  AccuracyInstance inst = MakeAccuracyInstance(options, ErrorType::kIncrease, 0.9, &rng);
+  // Reconstruct clean-ish stats: all groups except the corrupted one are
+  // clean; correlation should be high.
+  GroupByResult groups = GroupBy(inst.dataset.table(), {0}, 1);
+  std::vector<double> means(100), aux(100);
+  for (int32_t g = 0; g < 100; ++g) {
+    auto idx = groups.Find({g});
+    ASSERT_TRUE(idx.has_value());
+    means[static_cast<size_t>(g)] = groups.stats(*idx).Mean();
+    aux[static_cast<size_t>(g)] = inst.aux_mean.measure(1)[static_cast<size_t>(g)];
+  }
+  EXPECT_GT(SpearmanCorrelation(means, aux), 0.7);
+}
+
+TEST(Accuracy, AblationHasThreeCorruptedGroups) {
+  Rng rng(7);
+  AccuracyOptions options;
+  AccuracyInstance inst =
+      MakeAblationInstance(options, AblationCondition::kMissingPlusDup, 0.8, &rng);
+  EXPECT_EQ(inst.true_errors.size(), 2u);
+  EXPECT_EQ(inst.false_positives.size(), 1u);
+  EXPECT_EQ(inst.complaint.direction, ComplaintDirection::kTooLow);
+  // The false positive has more rows than clean (duplication), the true
+  // errors fewer.
+  GroupByResult groups = GroupBy(inst.dataset.table(), {0}, 1);
+  double fp_count = groups.stats(*groups.Find({inst.false_positives[0]})).count;
+  double te_count = groups.stats(*groups.Find({inst.true_errors[0]})).count;
+  EXPECT_GT(fp_count, te_count);
+}
+
+TEST(Covid, PanelShapeAndIssueLists) {
+  CovidPanelConfig config;
+  config.days = 30;
+  Dataset us = MakeCovidPanel(config);
+  EXPECT_EQ(us.num_hierarchies(), 2);
+  EXPECT_EQ(us.table().dict(us.table().ColumnIndex("day")).size(), 30);
+  EXPECT_EQ(UsIssueList().size(), 16u);
+  EXPECT_EQ(GlobalIssueList().size(), 14u);
+  // Paper totals: 21/30 detected by Reptile, 2 by Sensitivity, 1 by Support.
+  int rp = 0, st = 0, sp = 0;
+  for (const auto& issue : UsIssueList()) {
+    rp += issue.paper_reptile_detects;
+    st += issue.paper_sensitivity_detects;
+    sp += issue.paper_support_detects;
+  }
+  for (const auto& issue : GlobalIssueList()) {
+    rp += issue.paper_reptile_detects;
+    st += issue.paper_sensitivity_detects;
+    sp += issue.paper_support_detects;
+  }
+  EXPECT_EQ(rp, 21);
+  EXPECT_EQ(st, 2);
+  EXPECT_EQ(sp, 1);
+}
+
+TEST(Covid, MissingReportsCorruptionLowersIssueDay) {
+  CovidPanelConfig config;
+  config.days = 100;
+  CovidIssueSpec issue = UsIssueList()[0];  // Texas missing reports
+  ASSERT_EQ(issue.location, "Texas");
+  Dataset clean = MakeCovidPanel(config);
+  Dataset corrupted = MakeCorruptedPanel(config, issue);
+  const Table& ct = clean.table();
+  const Table& xt = corrupted.table();
+  int loc = ct.ColumnIndex("state");
+  int day = ct.ColumnIndex("day");
+  int confirmed = ct.ColumnIndex("confirmed");
+  char day_name[16];
+  std::snprintf(day_name, sizeof(day_name), "d%03d", issue.day);
+  RowFilter filter;
+  filter.Add(loc, *ct.dict(loc).Find("Texas"));
+  filter.Add(day, *ct.dict(day).Find(day_name));
+  double clean_sum = 0.0, corrupted_sum = 0.0;
+  for (size_t row = 0; row < ct.num_rows(); ++row) {
+    if (ct.Matches(filter, row)) clean_sum += ct.measure(confirmed)[row];
+    if (xt.Matches(filter, row)) corrupted_sum += xt.measure(confirmed)[row];
+  }
+  EXPECT_LT(corrupted_sum, 0.5 * clean_sum);
+  EXPECT_GT(corrupted_sum, 0.2 * clean_sum);  // partial loss: not the unique minimum
+}
+
+TEST(Covid, LagTableShiftsByLag) {
+  CovidPanelConfig config;
+  config.days = 20;
+  Dataset panel = MakeCovidPanel(config);
+  Table lag = MakeCovidLagTable(panel, "confirmed", 7);
+  // One entry per (location, day >= 7); day codes are chronological.
+  size_t locations = static_cast<size_t>(panel.table().dict(0).size());
+  EXPECT_EQ(lag.num_rows(), locations * (20 - 7));
+  int day_col = lag.ColumnIndex("day");
+  const auto& days = lag.dim_codes(day_col);
+  for (size_t row = 0; row < lag.num_rows(); ++row) {
+    // Day names are "dNNN": entries exist only for days >= lag.
+    int day = std::stoi(lag.dict(day_col).name(days[row]).substr(1));
+    EXPECT_GE(day, 7);
+  }
+}
+
+TEST(Fist, StudyShapeAndCases) {
+  FistStudy study = MakeFistStudy(3);
+  EXPECT_EQ(study.cases.size(), 22u);
+  int expected_success = 0;
+  for (const auto& c : study.cases) expected_success += c.expect_success;
+  EXPECT_EQ(expected_success, 20);
+  EXPECT_EQ(study.dataset.num_hierarchies(), 2);
+  // 7+8+3 districts, 9 villages each = 162 villages.
+  EXPECT_EQ(study.dataset.table().dict(study.dataset.table().ColumnIndex("village")).size(),
+            162);
+  EXPECT_EQ(study.dataset.table().dict(study.dataset.table().ColumnIndex("year")).size(), 36);
+}
+
+TEST(Fist, RainfallPredictsSeverity) {
+  FistStudy study = MakeCleanFist(9);
+  // Village-year severity means should anti-correlate with rainfall.
+  const Table& t = study.dataset.table();
+  GroupByResult groups =
+      GroupBy(t, {t.ColumnIndex("village"), t.ColumnIndex("year")}, t.ColumnIndex("severity"));
+  GroupByResult rain = GroupBy(study.rainfall,
+                               {study.rainfall.ColumnIndex("village"),
+                                study.rainfall.ColumnIndex("year")},
+                               study.rainfall.ColumnIndex("rainfall"));
+  std::vector<double> sev, rf;
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    // Dictionaries align because both tables were filled in the same order.
+    auto r = rain.Find(groups.key_tuple(g));
+    if (!r.has_value()) continue;
+    sev.push_back(groups.stats(g).Mean());
+    rf.push_back(rain.stats(*r).Mean());
+  }
+  ASSERT_GT(sev.size(), 1000u);
+  EXPECT_LT(PearsonCorrelation(sev, rf), -0.6);
+}
+
+TEST(Vote, CountryShape) {
+  VoteCountry country = MakeVoteCountry(2);
+  EXPECT_EQ(country.dataset.table().dict(country.dataset.table().ColumnIndex("county")).size(),
+            3147);
+  EXPECT_EQ(country.aux2016.num_rows(), 3147u);
+}
+
+TEST(Vote, Share2016Predicts2020) {
+  VoteCountry country = MakeVoteCountry(4);
+  const Table& t = country.dataset.table();
+  GroupByResult groups = GroupBy(t, {t.ColumnIndex("county")}, t.ColumnIndex("share2020"));
+  std::vector<double> s2020, s2016;
+  for (size_t g = 0; g < groups.num_groups(); ++g) {
+    s2020.push_back(groups.stats(g).Mean());
+    s2016.push_back(country.aux2016.measure(1)[static_cast<size_t>(groups.key(g, 0))]);
+  }
+  EXPECT_GT(PearsonCorrelation(s2020, s2016), 0.9);
+}
+
+TEST(Vote, GeorgiaMissingVariant) {
+  GeorgiaPanel georgia = MakeGeorgia(5);
+  EXPECT_EQ(georgia.dataset.table().dict(0).size(), 159);
+  ASSERT_FALSE(georgia.missing_counties.empty());
+  // The missing variant has strictly fewer rows, concentrated in the listed
+  // counties.
+  EXPECT_LT(georgia.dataset_missing.table().num_rows(), georgia.dataset.table().num_rows());
+  const Table& full = georgia.dataset.table();
+  const Table& missing = georgia.dataset_missing.table();
+  int32_t code = *full.dict(0).Find(georgia.missing_counties[0]);
+  auto count_rows = [&](const Table& t) {
+    int64_t n = 0;
+    for (size_t row = 0; row < t.num_rows(); ++row) {
+      if (t.dim_codes(0)[row] == code) ++n;
+    }
+    return n;
+  };
+  EXPECT_LE(count_rows(missing), count_rows(full) / 2 + 1);
+}
+
+}  // namespace
+}  // namespace reptile

@@ -1,0 +1,361 @@
+// End-to-end tests for core/engine on a Figure-1-style drought dataset with
+// injected group-wise errors.
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+// 4 districts x 5 villages x 6 years; severity = district + year effects +
+// noise. Optionally injects errors before building the dataset.
+struct DroughtData {
+  Table table;
+  int district_col, village_col, year_col, severity_col;
+
+  explicit DroughtData(Rng* rng,
+                       const std::function<double(int d, int v, int y, double base)>& severity_fn,
+                       const std::function<int(int d, int v, int y)>& rows_fn) {
+    district_col = table.AddDimensionColumn("district");
+    village_col = table.AddDimensionColumn("village");
+    year_col = table.AddDimensionColumn("year");
+    severity_col = table.AddMeasureColumn("severity");
+    for (int d = 0; d < 4; ++d) {
+      for (int v = 0; v < 5; ++v) {
+        std::string district = "d" + std::to_string(d);
+        std::string village = district + "_v" + std::to_string(v);
+        for (int y = 0; y < 6; ++y) {
+          std::string year = "y" + std::to_string(y);
+          int rows = rows_fn(d, v, y);
+          for (int r = 0; r < rows; ++r) {
+            double base = 5.0 + 0.5 * d + 0.3 * y + rng->Normal(0.0, 0.2);
+            table.SetDim(district_col, district);
+            table.SetDim(village_col, village);
+            table.SetDim(year_col, year);
+            table.SetMeasure(severity_col, severity_fn(d, v, y, base));
+            table.CommitRow();
+          }
+        }
+      }
+    }
+  }
+
+  Dataset MakeDataset() {
+    return Dataset(std::move(table),
+                   {{"geo", {"district", "village"}}, {"time", {"year"}}});
+  }
+};
+
+// Severity drift error: village (0, 0) in year 3 reports +5.
+DroughtData MakeDriftData(Rng* rng) {
+  return DroughtData(
+      rng,
+      [](int d, int v, int y, double base) {
+        return (d == 0 && v == 0 && y == 3) ? base + 5.0 : base;
+      },
+      [](int, int, int) { return 8; });
+}
+
+TEST(Engine, FindsDriftedDistrictThenVillage) {
+  Rng rng(7);
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+  Engine engine(&ds);
+  // Session state: the user has already drilled time to years.
+  engine.CommitDrillDown(1);
+
+  RowFilter filter;
+  filter.Add(ds.table().ColumnIndex("year"), *ds.table().dict(2).Find("y3"));
+  Complaint complaint =
+      Complaint::TooHigh(AggFn::kMean, ds.table().ColumnIndex("severity"), filter);
+
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  ASSERT_EQ(rec.candidates.size(), 1u);  // only geo can still drill
+  const HierarchyRecommendation& best = rec.best();
+  EXPECT_EQ(best.hierarchy, 0);
+  EXPECT_EQ(best.attribute, "district");
+  ASSERT_FALSE(best.top_groups.empty());
+  // The drifted village lives in district d0.
+  EXPECT_NE(best.top_groups[0].description.find("district=d0"), std::string::npos)
+      << best.top_groups[0].description;
+
+  // Drill to district, then villages: the drifted village tops the list.
+  engine.CommitDrillDown(0);
+  RowFilter filter2 = filter;
+  filter2.Add(ds.table().ColumnIndex("district"), *ds.table().dict(0).Find("d0"));
+  Complaint complaint2 =
+      Complaint::TooHigh(AggFn::kMean, ds.table().ColumnIndex("severity"), filter2);
+  Recommendation rec2 = engine.RecommendDrillDown(complaint2);
+  const HierarchyRecommendation& best2 = rec2.best();
+  EXPECT_EQ(best2.attribute, "village");
+  ASSERT_FALSE(best2.top_groups.empty());
+  EXPECT_NE(best2.top_groups[0].description.find("village=d0_v0"), std::string::npos)
+      << best2.top_groups[0].description;
+  // The repair lowers the group's mean toward its expectation.
+  EXPECT_LT(best2.top_groups[0].predicted.at(AggFn::kMean),
+            best2.top_groups[0].observed.Mean() - 2.0);
+}
+
+TEST(Engine, FindsMissingRowsWithCountComplaint) {
+  Rng rng(11);
+  // Missing-records error: village (1, 2) in year 2 lost 6 of its 8 rows.
+  DroughtData data(
+      &rng, [](int, int, int, double base) { return base; },
+      [](int d, int v, int y) { return (d == 1 && v == 2 && y == 2) ? 2 : 8; });
+  Dataset ds = data.MakeDataset();
+  Engine engine(&ds);
+  engine.CommitDrillDown(1);
+
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y2"));
+  Complaint complaint = Complaint::TooLow(AggFn::kCount, -1, filter);
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  const HierarchyRecommendation& best = rec.best();
+  ASSERT_FALSE(best.top_groups.empty());
+  EXPECT_NE(best.top_groups[0].description.find("district=d1"), std::string::npos);
+  // Predicted count is near the healthy 5 villages * 8 rows = 40.
+  EXPECT_GT(best.top_groups[0].predicted.at(AggFn::kCount), 34.0);
+}
+
+TEST(Engine, DenseBackendAgreesWithFactorized) {
+  Rng rng(13);
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y3"));
+  Complaint complaint = Complaint::TooHigh(AggFn::kMean, 3, filter);
+
+  EngineOptions fopts;
+  fopts.backend = TrainBackend::kFactorized;
+  Engine fengine(&ds, fopts);
+  fengine.CommitDrillDown(1);
+  Recommendation frec = fengine.RecommendDrillDown(complaint);
+
+  EngineOptions dopts;
+  dopts.backend = TrainBackend::kDense;
+  Engine dengine(&ds, dopts);
+  dengine.CommitDrillDown(1);
+  Recommendation drec = dengine.RecommendDrillDown(complaint);
+
+  ASSERT_EQ(frec.candidates.size(), drec.candidates.size());
+  const auto& fg = frec.best().top_groups;
+  const auto& dg = drec.best().top_groups;
+  ASSERT_EQ(fg.size(), dg.size());
+  for (size_t i = 0; i < fg.size(); ++i) {
+    EXPECT_EQ(fg[i].description, dg[i].description);
+    EXPECT_NEAR(fg[i].score, dg[i].score, 1e-6);
+  }
+}
+
+TEST(Engine, LinearModelRuns) {
+  Rng rng(17);
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+  EngineOptions opts;
+  opts.model = ModelKind::kLinear;
+  Engine engine(&ds, opts);
+  engine.CommitDrillDown(1);
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y3"));
+  Complaint complaint = Complaint::TooHigh(AggFn::kMean, 3, filter);
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  ASSERT_FALSE(rec.best().top_groups.empty());
+  EXPECT_NE(rec.best().top_groups[0].description.find("d0"), std::string::npos);
+}
+
+TEST(Engine, AuxiliaryDataImprovesRepairs) {
+  Rng rng(23);
+  // Severity is driven by a per-(village, year) latent rainfall; villages
+  // with low rainfall report high severity. One village-year has a genuine
+  // reporting error unrelated to rainfall.
+  Table aux;
+  int av = aux.AddDimensionColumn("village");
+  int ar = aux.AddMeasureColumn("rainfall");
+  std::vector<double> rainfall(20);
+  for (int i = 0; i < 20; ++i) rainfall[static_cast<size_t>(i)] = rng.Uniform(50.0, 400.0);
+
+  DroughtData data(
+      &rng,
+      [&](int d, int v, int y, double base) {
+        double rain_effect = -rainfall[static_cast<size_t>(d * 5 + v)] / 100.0;
+        double error = (d == 2 && v == 1 && y == 4) ? 4.0 : 0.0;
+        return base + rain_effect + error + static_cast<double>(y) * 0.0;
+      },
+      [](int, int, int) { return 6; });
+  Dataset ds = data.MakeDataset();
+  for (int d = 0; d < 4; ++d) {
+    for (int v = 0; v < 5; ++v) {
+      aux.SetDim(av, "d" + std::to_string(d) + "_v" + std::to_string(v));
+      aux.SetMeasure(ar, rainfall[static_cast<size_t>(d * 5 + v)]);
+      aux.CommitRow();
+    }
+  }
+
+  Engine engine(&ds);
+  AuxiliarySpec spec;
+  spec.name = "rainfall";
+  spec.table = &aux;
+  spec.join_attrs = {"village"};
+  spec.measure = "rainfall";
+  engine.RegisterAuxiliary(std::move(spec));
+
+  engine.CommitDrillDown(1);  // years
+  engine.CommitDrillDown(0);  // districts
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y4"));
+  filter.Add(0, *ds.table().dict(0).Find("d2"));
+  Complaint complaint = Complaint::TooHigh(AggFn::kMean, 3, filter);
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  const HierarchyRecommendation& best = rec.best();
+  EXPECT_EQ(best.attribute, "village");
+  ASSERT_FALSE(best.top_groups.empty());
+  EXPECT_NE(best.top_groups[0].description.find("village=d2_v1"), std::string::npos)
+      << best.top_groups[0].description;
+}
+
+TEST(Engine, CustomFeatureParticipates) {
+  Rng rng(41);
+  // Severity follows a per-village baseline the model can only learn through
+  // a custom feature: the trimmed mean of the village's own group statistics
+  // (a robust location estimate, like the paper's "previous year's severity
+  // may be predictive" example).
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+  Engine engine(&ds);
+  CustomFeatureSpec spec;
+  spec.name = "village_trimmed_mean";
+  spec.attr = "village";
+  spec.fn = [](const AttrValueStats& stats) {
+    std::vector<double> map(stats.y_per_code.size(), 0.0);
+    for (size_t code = 0; code < stats.y_per_code.size(); ++code) {
+      std::vector<double> ys = stats.y_per_code[code];
+      if (ys.size() >= 3) {
+        std::sort(ys.begin(), ys.end());
+        ys.erase(ys.end() - 1);
+        ys.erase(ys.begin());
+      }
+      double sum = 0.0;
+      for (double y : ys) sum += y;
+      map[code] = ys.empty() ? 0.0 : sum / static_cast<double>(ys.size());
+    }
+    return map;
+  };
+  engine.RegisterCustomFeature(std::move(spec));
+
+  engine.CommitDrillDown(1);
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y3"));
+  Complaint complaint = Complaint::TooHigh(AggFn::kMean, 3, filter);
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  ASSERT_FALSE(rec.best().top_groups.empty());
+  EXPECT_NE(rec.best().top_groups[0].description.find("district=d0"), std::string::npos);
+
+  engine.CommitDrillDown(0);
+  RowFilter filter2 = filter;
+  filter2.Add(0, *ds.table().dict(0).Find("d0"));
+  Recommendation rec2 =
+      engine.RecommendDrillDown(Complaint::TooHigh(AggFn::kMean, 3, filter2));
+  ASSERT_FALSE(rec2.best().top_groups.empty());
+  EXPECT_NE(rec2.best().top_groups[0].description.find("village=d0_v0"), std::string::npos);
+}
+
+TEST(Engine, EqualsComplaintPicksClosestRepair) {
+  Rng rng(43);
+  // Missing-rows error; the complaint states the expected exact count
+  // (Example 8's fcomp(t) = |t[agg] - v| form).
+  DroughtData data(
+      &rng, [](int, int, int, double base) { return base; },
+      [](int d, int v, int y) { return (d == 2 && v == 3 && y == 1) ? 2 : 8; });
+  Dataset ds = data.MakeDataset();
+  Engine engine(&ds);
+  engine.CommitDrillDown(1);
+  engine.CommitDrillDown(0);
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y1"));
+  filter.Add(0, *ds.table().dict(0).Find("d2"));
+  // Clean district-year count would be 5 villages * 8 rows = 40.
+  Complaint complaint = Complaint::Equals(AggFn::kCount, -1, filter, 40.0);
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  ASSERT_FALSE(rec.best().top_groups.empty());
+  const GroupRecommendation& top = rec.best().top_groups[0];
+  EXPECT_NE(top.description.find("village=d2_v3"), std::string::npos);
+  // The repair should bring the count close to the stated 40.
+  EXPECT_NEAR(top.repaired_complaint_value, 40.0, 3.0);
+}
+
+TEST(Engine, NoDrillableHierarchyYieldsNoCandidates) {
+  Rng rng(47);
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+  Engine engine(&ds);
+  engine.CommitDrillDown(0);
+  engine.CommitDrillDown(0);
+  engine.CommitDrillDown(1);
+  EXPECT_FALSE(engine.CanDrill(0));
+  EXPECT_FALSE(engine.CanDrill(1));
+  Recommendation rec =
+      engine.RecommendDrillDown(Complaint::TooHigh(AggFn::kMean, 3, RowFilter()));
+  EXPECT_TRUE(rec.candidates.empty());
+  EXPECT_EQ(rec.best_index, -1);
+}
+
+TEST(Engine, TopKClampedToGroupCount) {
+  Rng rng(53);
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+  EngineOptions opts;
+  opts.top_k = 10000;
+  Engine engine(&ds, opts);
+  engine.CommitDrillDown(1);
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y3"));
+  Recommendation rec =
+      engine.RecommendDrillDown(Complaint::TooHigh(AggFn::kMean, 3, filter));
+  // Groups = 4 districts within y3.
+  EXPECT_EQ(rec.best().top_groups.size(), 4u);
+}
+
+TEST(Engine, ExtraRepairStatsAddPredictions) {
+  Rng rng(59);
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+  EngineOptions opts;
+  opts.extra_repair_stats = {AggFn::kCount};
+  Engine engine(&ds, opts);
+  engine.CommitDrillDown(1);
+  RowFilter filter;
+  filter.Add(2, *ds.table().dict(2).Find("y3"));
+  Recommendation rec =
+      engine.RecommendDrillDown(Complaint::TooHigh(AggFn::kMean, 3, filter));
+  ASSERT_FALSE(rec.best().top_groups.empty());
+  const auto& predicted = rec.best().top_groups[0].predicted;
+  EXPECT_TRUE(predicted.count(AggFn::kMean));
+  EXPECT_TRUE(predicted.count(AggFn::kCount));
+}
+
+TEST(Engine, RecommendationBookkeeping) {
+  Rng rng(29);
+  DroughtData data = MakeDriftData(&rng);
+  Dataset ds = data.MakeDataset();
+  Engine engine(&ds);
+  EXPECT_EQ(engine.drill_depth(0), 0);
+  EXPECT_TRUE(engine.CanDrill(0));
+
+  // First invocation with no committed drill: both hierarchies are
+  // candidates and groups are single-attribute.
+  Complaint complaint = Complaint::TooHigh(AggFn::kMean, 3, RowFilter());
+  Recommendation rec = engine.RecommendDrillDown(complaint);
+  EXPECT_EQ(rec.candidates.size(), 2u);
+  for (const auto& cand : rec.candidates) {
+    EXPECT_GT(cand.model_rows, 0);
+    EXPECT_GE(cand.total_seconds, cand.train_seconds);
+  }
+  EXPECT_GE(rec.best_index, 0);
+}
+
+}  // namespace
+}  // namespace reptile

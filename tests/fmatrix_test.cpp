@@ -1,0 +1,140 @@
+// Equivalence tests for fmatrix/: materialisation, gram, left and right
+// multiplication against dense references, across random forests with and
+// without multi-attribute columns.
+
+#include "common/rng.h"
+#include "fmatrix/gram.h"
+#include "fmatrix/left_mult.h"
+#include "fmatrix/materialize.h"
+#include "fmatrix/right_mult.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace reptile {
+namespace {
+
+TEST(Materialize, MatchesFeatureRows) {
+  Rng rng(2);
+  testutil::RandomMatrix rm = testutil::MakeRandomMatrix(&rng, 2, 3, 4, /*num_multi=*/1);
+  Matrix x = MaterializeMatrix(rm.fm);
+  ASSERT_EQ(static_cast<int64_t>(x.rows()), rm.fm.num_rows());
+  std::vector<double> row;
+  for (int64_t r = 0; r < rm.fm.num_rows(); ++r) {
+    rm.fm.FeatureRow(r, &row);
+    for (int c = 0; c < rm.fm.num_cols(); ++c) {
+      EXPECT_DOUBLE_EQ(x(static_cast<size_t>(r), static_cast<size_t>(c)), row[c])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+struct OpsParam {
+  int seed;
+  int hierarchies;
+  int num_multi;
+};
+
+class FmatrixOpsTest : public ::testing::TestWithParam<OpsParam> {};
+
+TEST_P(FmatrixOpsTest, GramMatchesDense) {
+  OpsParam p = GetParam();
+  Rng rng(p.seed);
+  testutil::RandomMatrix rm =
+      testutil::MakeRandomMatrix(&rng, p.hierarchies, 3, 4, p.num_multi);
+  DecomposedAggregates agg(&rm.fm, rm.LocalPtrs());
+  Matrix x = MaterializeMatrix(rm.fm);
+  Matrix expected = x.Transposed().Multiply(x);
+  Matrix actual = FactorizedGram(rm.fm, agg);
+  EXPECT_TRUE(actual.ApproxEquals(expected, 1e-8))
+      << "factorized:\n" << actual.DebugString() << "\ndense:\n" << expected.DebugString();
+}
+
+TEST_P(FmatrixOpsTest, LeftMultiplyMatchesDense) {
+  OpsParam p = GetParam();
+  Rng rng(p.seed + 1000);
+  testutil::RandomMatrix rm =
+      testutil::MakeRandomMatrix(&rng, p.hierarchies, 3, 4, p.num_multi);
+  Matrix x = MaterializeMatrix(rm.fm);
+  Matrix a(2, static_cast<size_t>(rm.fm.num_rows()));
+  for (size_t i = 0; i < a.size(); ++i) a.mutable_data()[i] = rng.Normal(0, 1);
+  Matrix expected = a.Multiply(x);
+  Matrix actual = FactorizedLeftMultiply(rm.fm, a);
+  EXPECT_TRUE(actual.ApproxEquals(expected, 1e-8));
+
+  // Vector form agrees with the matrix form.
+  std::vector<double> r = a.Row(0);
+  std::vector<double> xtr = FactorizedVecLeftMultiply(rm.fm, r);
+  for (int c = 0; c < rm.fm.num_cols(); ++c) {
+    EXPECT_NEAR(xtr[c], expected(0, static_cast<size_t>(c)), 1e-8);
+  }
+}
+
+TEST_P(FmatrixOpsTest, RightMultiplyMatchesDense) {
+  OpsParam p = GetParam();
+  Rng rng(p.seed + 2000);
+  testutil::RandomMatrix rm =
+      testutil::MakeRandomMatrix(&rng, p.hierarchies, 3, 4, p.num_multi);
+  Matrix x = MaterializeMatrix(rm.fm);
+  Matrix b(static_cast<size_t>(rm.fm.num_cols()), 2);
+  for (size_t i = 0; i < b.size(); ++i) b.mutable_data()[i] = rng.Normal(0, 1);
+  Matrix expected = x.Multiply(b);
+  Matrix actual = FactorizedRightMultiply(rm.fm, b);
+  EXPECT_TRUE(actual.ApproxEquals(expected, 1e-8));
+
+  std::vector<double> beta = b.Column(0);
+  std::vector<double> xb = FactorizedVecRightMultiply(rm.fm, beta);
+  for (int64_t r = 0; r < rm.fm.num_rows(); ++r) {
+    EXPECT_NEAR(xb[static_cast<size_t>(r)], expected(static_cast<size_t>(r), 0), 1e-8);
+  }
+}
+
+std::vector<OpsParam> MakeParams() {
+  std::vector<OpsParam> params;
+  for (int seed = 0; seed < 8; ++seed) {
+    for (int h : {1, 2, 3}) {
+      params.push_back(OpsParam{seed, h, 0});
+    }
+  }
+  // Multi-attribute (hybrid) coverage.
+  for (int seed = 100; seed < 104; ++seed) {
+    params.push_back(OpsParam{seed, 2, 1});
+    params.push_back(OpsParam{seed, 2, 2});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FmatrixOpsTest, ::testing::ValuesIn(MakeParams()));
+
+TEST(WeightedColumnSum, MatchesDefinition) {
+  FTree intercept = FTree::Singleton();
+  FTree geo = FTree::FromPaths({{0, 0}, {0, 1}, {1, 2}}, 2);
+  FactorizedMatrix fm;
+  fm.AddTree(&intercept);
+  fm.AddTree(&geo);
+  FeatureColumn col;
+  col.attr = AttrId{1, 0};  // district
+  col.value_map = {2.0, 5.0};
+  int c = fm.AddColumn(col);
+  // d0 has 2 leaves, d1 has 1: WS = 2*2.0 + 1*5.0 = 9.
+  EXPECT_DOUBLE_EQ(WeightedColumnSum(fm, c), 9.0);
+}
+
+TEST(Gram, InterceptCellCountsRows) {
+  Rng rng(42);
+  testutil::RandomMatrix rm = testutil::MakeRandomMatrix(&rng, 2);
+  // Make column 0 (on the intercept attr) a true all-ones column.
+  // MakeRandomMatrix randomises it, so rebuild a fresh matrix here.
+  FactorizedMatrix fm;
+  for (const auto& t : rm.trees) fm.AddTree(t.get());
+  FeatureColumn ones;
+  ones.attr = AttrId{0, 0};
+  ones.value_map = {1.0};
+  int c = fm.AddColumn(ones);
+  DecomposedAggregates agg(&fm, rm.LocalPtrs());
+  Matrix gram = FactorizedGram(fm, agg);
+  EXPECT_DOUBLE_EQ(gram(static_cast<size_t>(c), static_cast<size_t>(c)),
+                   static_cast<double>(fm.num_rows()));
+}
+
+}  // namespace
+}  // namespace reptile

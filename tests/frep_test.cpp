@@ -1,0 +1,158 @@
+// Tests for factor/frep: layout, row encoding/decoding, cluster structure,
+// table-row mapping and the y-vector builder.
+
+#include "factor/frep.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+// Intercept tree + time tree (2 leaves) + geo tree (3 leaves under 2
+// districts): the running example of Figure 3.
+struct Fixture {
+  FTree intercept = FTree::Singleton();
+  FTree time = FTree::FromPaths({{0}, {1}}, 1);
+  FTree geo = FTree::FromPaths({{0, 0}, {0, 1}, {1, 2}}, 2);
+  FactorizedMatrix fm;
+
+  Fixture() {
+    fm.AddTree(&intercept);
+    fm.AddTree(&time);
+    fm.AddTree(&geo);
+  }
+};
+
+FeatureColumn InterceptColumn() {
+  FeatureColumn col;
+  col.name = "intercept";
+  col.attr = AttrId{0, 0};
+  col.value_map = {1.0};
+  return col;
+}
+
+TEST(FactorizedMatrix, LayoutAndRowCount) {
+  Fixture f;
+  EXPECT_EQ(f.fm.num_trees(), 3);
+  EXPECT_EQ(f.fm.num_rows(), 6);  // 1 * 2 * 3
+  EXPECT_EQ(f.fm.num_attrs(), 4);  // intercept + time + district + village
+  EXPECT_EQ(f.fm.FlatAttrIndex(AttrId{1, 0}), 1);
+  EXPECT_EQ(f.fm.FlatAttrIndex(AttrId{2, 1}), 3);
+  EXPECT_EQ(f.fm.PrefixLeaves(2), 2);
+  EXPECT_EQ(f.fm.SuffixLeaves(0), 6);
+  EXPECT_EQ(f.fm.SuffixLeaves(2), 1);
+}
+
+TEST(FactorizedMatrix, RowRoundTrip) {
+  Fixture f;
+  std::vector<int64_t> leaves;
+  for (int64_t row = 0; row < f.fm.num_rows(); ++row) {
+    f.fm.DecodeRowToLeaves(row, &leaves);
+    EXPECT_EQ(f.fm.RowOfLeaves(leaves), row);
+  }
+}
+
+TEST(FactorizedMatrix, DecodeRowToCodes) {
+  Fixture f;
+  std::vector<int32_t> codes;
+  // Row 4 = time leaf 1, geo leaf 1 (village 1 under district 0).
+  f.fm.DecodeRowToCodes(4, &codes);
+  EXPECT_EQ(codes, (std::vector<int32_t>{0, 1, 0, 1}));
+  // Row 5 = time leaf 1, geo leaf 2 (village 2 under district 1).
+  f.fm.DecodeRowToCodes(5, &codes);
+  EXPECT_EQ(codes, (std::vector<int32_t>{0, 1, 1, 2}));
+}
+
+TEST(FactorizedMatrix, ClusterStructure) {
+  Fixture f;
+  // Intra attribute = village; clusters = time x district = 4.
+  EXPECT_EQ(f.fm.IntraAttr(), (AttrId{2, 1}));
+  EXPECT_EQ(f.fm.num_clusters(), 4);
+  // Rows 0,1 (t0,d0) -> cluster 0; row 2 (t0,d1) -> 1; rows 3,4 -> 2; row 5 -> 3.
+  EXPECT_EQ(f.fm.ClusterOfRow(0), 0);
+  EXPECT_EQ(f.fm.ClusterOfRow(1), 0);
+  EXPECT_EQ(f.fm.ClusterOfRow(2), 1);
+  EXPECT_EQ(f.fm.ClusterOfRow(3), 2);
+  EXPECT_EQ(f.fm.ClusterOfRow(4), 2);
+  EXPECT_EQ(f.fm.ClusterOfRow(5), 3);
+}
+
+TEST(FactorizedMatrix, ClusterWhenLastTreeDepthOne) {
+  FTree intercept = FTree::Singleton();
+  FTree flat = FTree::FromPaths({{0}, {1}, {2}}, 1);
+  FactorizedMatrix fm;
+  fm.AddTree(&intercept);
+  fm.AddTree(&flat);
+  EXPECT_EQ(fm.num_clusters(), 1);
+  EXPECT_EQ(fm.ClusterOfRow(2), 0);
+}
+
+TEST(FactorizedMatrix, ColumnsAndValues) {
+  Fixture f;
+  f.fm.AddColumn(InterceptColumn());
+  FeatureColumn village;
+  village.name = "village_effect";
+  village.attr = AttrId{2, 1};
+  village.value_map = {10.0, 20.0, 30.0};
+  f.fm.AddColumn(village);
+  EXPECT_TRUE(f.fm.AllSingleAttribute());
+  EXPECT_EQ(f.fm.ColumnsOnAttr(AttrId{2, 1}), (std::vector<int>{1}));
+  std::vector<double> features;
+  f.fm.FeatureRow(5, &features);
+  EXPECT_EQ(features, (std::vector<double>{1.0, 30.0}));
+}
+
+TEST(FactorizedMatrix, MultiAttrColumn) {
+  Fixture f;
+  FeatureColumn lag;
+  lag.name = "lag";
+  lag.is_multi = true;
+  lag.attrs = {AttrId{1, 0}, AttrId{2, 1}};  // (time, village)
+  lag.multi_map[{1, 2}] = 7.0;
+  lag.missing_value = -1.0;
+  f.fm.AddColumn(lag);
+  EXPECT_FALSE(f.fm.AllSingleAttribute());
+  std::vector<double> features;
+  f.fm.FeatureRow(5, &features);  // time 1, village 2
+  EXPECT_EQ(features[0], 7.0);
+  f.fm.FeatureRow(0, &features);
+  EXPECT_EQ(features[0], -1.0);
+}
+
+TEST(MapTableRows, MapsAndAggregates) {
+  Fixture f;
+  Table t;
+  int time_col = t.AddDimensionColumn("t");
+  int d_col = t.AddDimensionColumn("d");
+  int v_col = t.AddDimensionColumn("v");
+  int m_col = t.AddMeasureColumn("m");
+  auto add = [&](int32_t tv, int32_t dv, int32_t vv, double m) {
+    // Preload dictionaries with matching codes.
+    while (t.dict(time_col).size() <= tv) t.mutable_dict(time_col).GetOrAdd(
+        "t" + std::to_string(t.dict(time_col).size()));
+    while (t.dict(d_col).size() <= dv)
+      t.mutable_dict(d_col).GetOrAdd("d" + std::to_string(t.dict(d_col).size()));
+    while (t.dict(v_col).size() <= vv)
+      t.mutable_dict(v_col).GetOrAdd("v" + std::to_string(t.dict(v_col).size()));
+    t.SetDimCode(time_col, tv);
+    t.SetDimCode(d_col, dv);
+    t.SetDimCode(v_col, vv);
+    t.SetMeasure(m_col, m);
+    t.CommitRow();
+  };
+  add(0, 0, 0, 1.0);
+  add(0, 0, 0, 2.0);
+  add(1, 1, 2, 5.0);
+  std::vector<std::vector<int>> tree_columns = {{}, {time_col}, {d_col, v_col}};
+  std::vector<int64_t> rows = MapTableRowsToMatrixRows(f.fm, t, tree_columns);
+  EXPECT_EQ(rows, (std::vector<int64_t>{0, 0, 5}));
+
+  std::vector<Moments> y = BuildGroupMoments(f.fm, t, tree_columns, m_col);
+  ASSERT_EQ(y.size(), 6u);
+  EXPECT_DOUBLE_EQ(y[0].count, 2.0);
+  EXPECT_DOUBLE_EQ(y[0].sum, 3.0);
+  EXPECT_DOUBLE_EQ(y[5].sum, 5.0);
+  EXPECT_DOUBLE_EQ(y[1].count, 0.0);  // empty parallel group retained
+}
+
+}  // namespace
+}  // namespace reptile

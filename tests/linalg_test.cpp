@@ -1,0 +1,124 @@
+// Tests for linalg/: dense matrix kernels and solvers.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace reptile {
+namespace {
+
+TEST(Matrix, ConstructAndAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  m(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(2, 1), 7.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  Matrix b = {{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = a.Multiply(b);
+  Matrix expected = {{58, 64}, {139, 154}};
+  EXPECT_TRUE(c.ApproxEquals(expected, 1e-12)) << c.DebugString();
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix a = {{1, 2}, {3, 4}};
+  EXPECT_TRUE(a.Multiply(Matrix::Identity(2)).ApproxEquals(a, 1e-12));
+  EXPECT_TRUE(Matrix::Identity(2).Multiply(a).ApproxEquals(a, 1e-12));
+}
+
+TEST(Matrix, TransposeAddSubtractScaleTrace) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix at = a.Transposed();
+  EXPECT_DOUBLE_EQ(at(0, 1), 3.0);
+  Matrix sum = a.Add(at);
+  EXPECT_DOUBLE_EQ(sum(0, 1), 5.0);
+  Matrix diff = a.Subtract(a);
+  EXPECT_DOUBLE_EQ(diff.FrobeniusDistance(Matrix(2, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(a.Scale(2.0)(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(a.Trace(), 5.0);
+}
+
+TEST(Matrix, RowColumnVectors) {
+  Matrix col = Matrix::ColumnVector({1, 2, 3});
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+  Matrix row = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.Row(0), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(col.Column(0), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(Dot, Basic) { EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0); }
+
+TEST(Solve, KnownSystem) {
+  Matrix a = {{2, 1}, {1, 3}};
+  Matrix b = Matrix::ColumnVector({3, 5});
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)(0, 0), 0.8, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 1.4, 1e-12);
+}
+
+TEST(Solve, SingularReturnsNullopt) {
+  Matrix a = {{1, 2}, {2, 4}};
+  EXPECT_FALSE(SolveLinearSystem(a, Matrix::ColumnVector({1, 1})).has_value());
+  EXPECT_FALSE(Inverse(a).has_value());
+}
+
+TEST(Solve, NeedsPivoting) {
+  // Zero on the first diagonal position requires a row swap.
+  Matrix a = {{0, 1}, {1, 0}};
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(inv->Multiply(a).ApproxEquals(Matrix::Identity(2), 1e-12));
+}
+
+TEST(Solve, RandomInverseRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(1, 8));
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a(i, j) = rng.Normal(0, 1);
+      a(i, i) += 3.0;  // keep well-conditioned
+    }
+    auto inv = Inverse(a);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(a.Multiply(*inv).ApproxEquals(Matrix::Identity(n), 1e-8));
+  }
+}
+
+TEST(Solve, InverseSymmetricRidgeHandlesSingular) {
+  Matrix a = {{1, 1}, {1, 1}};  // singular
+  Matrix inv = InverseSymmetricRidge(a, 1e-8);
+  // With ridge the result is finite and symmetric-ish.
+  EXPECT_TRUE(std::isfinite(inv(0, 0)));
+  EXPECT_TRUE(std::isfinite(inv(1, 1)));
+}
+
+TEST(Cholesky, FactorAndLogDet) {
+  Matrix a = {{4, 2}, {2, 3}};
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  Matrix reconstructed = l->Multiply(l->Transposed());
+  EXPECT_TRUE(reconstructed.ApproxEquals(a, 1e-12));
+  auto log_det = LogDetSpd(a);
+  ASSERT_TRUE(log_det.has_value());
+  EXPECT_NEAR(*log_det, std::log(8.0), 1e-12);  // det = 4*3 - 2*2 = 8
+}
+
+TEST(Cholesky, RejectsNonPd) {
+  Matrix a = {{1, 2}, {2, 1}};  // indefinite
+  EXPECT_FALSE(Cholesky(a).has_value());
+  EXPECT_FALSE(LogDetSpd(a).has_value());
+}
+
+}  // namespace
+}  // namespace reptile

@@ -1,0 +1,106 @@
+// Tests for core/ranker: repaired-complaint scoring and ordering, including
+// the paper's Example 8 (Darube vs Zata).
+
+#include "core/ranker.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+// Builds a sibling set replaying Example 8: the Ofla 1986 count is 62, the
+// complaint says it should be 70. Candidate repairs: Darube's count to 15
+// (from 10) -> total 67, or Zata's count to 19 (from 9) -> total 72.
+struct Example8 {
+  Table table;
+  GroupByResult siblings;
+  Complaint complaint;
+
+  Example8() {
+    int v = table.AddDimensionColumn("village");
+    auto add_rows = [&](const std::string& name, int count) {
+      for (int i = 0; i < count; ++i) {
+        table.SetDim(v, name);
+        table.CommitRow();
+      }
+    };
+    add_rows("Adishim", 5);
+    add_rows("Darube", 10);
+    add_rows("Dinka", 6);
+    add_rows("Fala", 11);
+    add_rows("Zata", 9);
+    add_rows("Other", 21);  // fill to 62 total
+    siblings = GroupBy(table, {v}, -1);
+    complaint = Complaint::Equals(AggFn::kCount, -1, RowFilter(), 70.0);
+  }
+};
+
+TEST(Ranker, Example8PrefersZata) {
+  Example8 ex;
+  GroupPredictions predictions(ex.siblings.num_groups());
+  // Model expectations: Darube should have 15 rows, Zata 19; everyone else
+  // is as observed.
+  for (size_t g = 0; g < ex.siblings.num_groups(); ++g) {
+    predictions[g][AggFn::kCount] = ex.siblings.stats(g).count;
+  }
+  int32_t darube = *ex.table.dict(0).Find("Darube");
+  int32_t zata = *ex.table.dict(0).Find("Zata");
+  predictions[*ex.siblings.Find({darube})][AggFn::kCount] = 15.0;
+  predictions[*ex.siblings.Find({zata})][AggFn::kCount] = 19.0;
+
+  std::vector<ScoredGroup> ranked = RankGroups(ex.siblings, predictions, ex.complaint);
+  ASSERT_FALSE(ranked.empty());
+  // Zata's repair reaches 72 (fcomp = 2), Darube's 67 (fcomp = 3).
+  EXPECT_EQ(ranked[0].key[0], zata);
+  EXPECT_DOUBLE_EQ(ranked[0].repaired_complaint_value, 72.0);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 2.0);
+  EXPECT_EQ(ranked[1].key[0], darube);
+  EXPECT_DOUBLE_EQ(ranked[1].score, 3.0);
+  // Groups repaired to their observed value leave the total at 62: fcomp 8.
+  EXPECT_DOUBLE_EQ(ranked.back().score, 8.0);
+}
+
+TEST(Ranker, MeanComplaintRecombination) {
+  Table t;
+  int g = t.AddDimensionColumn("g");
+  int m = t.AddMeasureColumn("m");
+  auto add = [&](const std::string& name, double v) {
+    t.SetDim(g, name);
+    t.SetMeasure(m, v);
+    t.CommitRow();
+  };
+  // Group a: values {10, 10}; group b: values {1}.
+  add("a", 10.0);
+  add("a", 10.0);
+  add("b", 1.0);
+  GroupByResult siblings = GroupBy(t, {0}, 1);
+  Complaint complaint = Complaint::TooLow(AggFn::kMean, 1, RowFilter());
+  GroupPredictions predictions(siblings.num_groups());
+  // Model says b's mean should be 10 (missing drought signal).
+  predictions[*siblings.Find({*t.dict(0).Find("a")})][AggFn::kMean] = 10.0;
+  predictions[*siblings.Find({*t.dict(0).Find("b")})][AggFn::kMean] = 10.0;
+  std::vector<ScoredGroup> ranked = RankGroups(siblings, predictions, complaint);
+  // Repairing b lifts the overall mean from 7 to 10; repairing a leaves 7.
+  EXPECT_EQ(ranked[0].key[0], *t.dict(0).Find("b"));
+  EXPECT_NEAR(ranked[0].repaired_complaint_value, 10.0, 1e-9);
+}
+
+TEST(Ranker, StableOrderOnTies) {
+  Table t;
+  int g = t.AddDimensionColumn("g");
+  t.SetDim(g, "x");
+  t.CommitRow();
+  t.SetDim(g, "y");
+  t.CommitRow();
+  GroupByResult siblings = GroupBy(t, {0}, -1);
+  GroupPredictions predictions(2);
+  predictions[0][AggFn::kCount] = 1.0;
+  predictions[1][AggFn::kCount] = 1.0;
+  Complaint complaint = Complaint::Equals(AggFn::kCount, -1, RowFilter(), 2.0);
+  std::vector<ScoredGroup> ranked = RankGroups(siblings, predictions, complaint);
+  // Equal scores: first-seen order preserved.
+  EXPECT_EQ(ranked[0].key[0], 0);
+  EXPECT_EQ(ranked[1].key[0], 1);
+}
+
+}  // namespace
+}  // namespace reptile

@@ -1,0 +1,107 @@
+// Tests for core/view and core/repair.
+
+#include "core/repair.h"
+#include "core/view.h"
+#include "gtest/gtest.h"
+
+namespace reptile {
+namespace {
+
+Table MakeTable() {
+  Table t;
+  int d = t.AddDimensionColumn("district");
+  int v = t.AddDimensionColumn("village");
+  int m = t.AddMeasureColumn("severity");
+  auto add = [&](const std::string& dv, const std::string& vv, double s) {
+    t.SetDim(d, dv);
+    t.SetDim(v, vv);
+    t.SetMeasure(m, s);
+    t.CommitRow();
+  };
+  add("Ofla", "Adishim", 8.0);
+  add("Ofla", "Adishim", 9.0);
+  add("Ofla", "Zata", 2.0);
+  add("Raya", "Kukufto", 5.0);
+  return t;
+}
+
+TEST(View, ComputesGroupsAndTotal) {
+  Table t = MakeTable();
+  ViewSpec spec;
+  spec.key_columns = {0};
+  spec.measure_column = 2;
+  ViewResult view = ComputeView(t, spec);
+  EXPECT_EQ(view.groups.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(view.total.count, 4.0);
+  EXPECT_DOUBLE_EQ(view.total.sum, 24.0);
+}
+
+TEST(View, DrilldownViaFilter) {
+  Table t = MakeTable();
+  ViewSpec spec;
+  spec.key_columns = {0, 1};
+  spec.measure_column = 2;
+  spec.filter.Add(0, *t.dict(0).Find("Ofla"));
+  ViewResult view = ComputeView(t, spec);
+  EXPECT_EQ(view.groups.num_groups(), 2u);  // Adishim, Zata
+  EXPECT_DOUBLE_EQ(view.total.count, 3.0);
+}
+
+TEST(View, FormatGroupKey) {
+  Table t = MakeTable();
+  std::string s = FormatGroupKey(t, {0, 1}, {0, 1});
+  EXPECT_EQ(s, "district=Ofla, village=Zata");
+}
+
+TEST(Repair, RequiredPrimitives) {
+  EXPECT_EQ(RequiredPrimitives(AggFn::kCount), (std::vector<AggFn>{AggFn::kCount}));
+  EXPECT_EQ(RequiredPrimitives(AggFn::kMean), (std::vector<AggFn>{AggFn::kMean}));
+  EXPECT_EQ(RequiredPrimitives(AggFn::kSum),
+            (std::vector<AggFn>{AggFn::kCount, AggFn::kMean}));
+  EXPECT_EQ(RequiredPrimitives(AggFn::kStd),
+            (std::vector<AggFn>{AggFn::kCount, AggFn::kMean, AggFn::kStd}));
+}
+
+TEST(Repair, CountRepairKeepsMeanAndStd) {
+  Moments observed;
+  for (double v : {4.0, 6.0, 8.0}) observed.Observe(v);
+  Moments repaired = ApplyRepair(observed, {{AggFn::kCount, 6.0}});
+  EXPECT_DOUBLE_EQ(repaired.count, 6.0);
+  EXPECT_DOUBLE_EQ(repaired.Mean(), observed.Mean());
+  EXPECT_NEAR(repaired.SampleStd(), observed.SampleStd(), 1e-9);
+}
+
+TEST(Repair, MeanRepairKeepsCount) {
+  Moments observed;
+  for (double v : {4.0, 6.0, 8.0}) observed.Observe(v);
+  Moments repaired = ApplyRepair(observed, {{AggFn::kMean, 10.0}});
+  EXPECT_DOUBLE_EQ(repaired.count, 3.0);
+  EXPECT_DOUBLE_EQ(repaired.Mean(), 10.0);
+}
+
+TEST(Repair, SumRepairUsesCountAndMean) {
+  Moments observed;
+  for (double v : {4.0, 6.0}) observed.Observe(v);
+  Moments repaired = ApplyRepair(observed, {{AggFn::kCount, 4.0}, {AggFn::kMean, 5.0}});
+  EXPECT_DOUBLE_EQ(repaired.Value(AggFn::kSum), 20.0);
+}
+
+TEST(Repair, NegativePredictionsClamped) {
+  Moments observed;
+  observed.Observe(1.0);
+  Moments repaired = ApplyRepair(observed, {{AggFn::kCount, -3.0}});
+  EXPECT_DOUBLE_EQ(repaired.count, 0.0);
+  repaired = ApplyRepair(observed, {{AggFn::kStd, -1.0}});
+  EXPECT_DOUBLE_EQ(repaired.SampleStd(), 0.0);
+}
+
+TEST(Repair, StdRepair) {
+  Moments observed;
+  for (double v : {4.0, 6.0, 8.0}) observed.Observe(v);
+  Moments repaired = ApplyRepair(observed, {{AggFn::kStd, 1.0}});
+  EXPECT_NEAR(repaired.SampleStd(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(repaired.Mean(), observed.Mean());
+}
+
+}  // namespace
+}  // namespace reptile
