@@ -1,46 +1,82 @@
-// FIST drought-survey exploration (paper Sections 2.1 and 5.4): simulated
-// Ethiopian farmer-reported drought severity with injected reporting errors
-// and a satellite rainfall auxiliary dataset. Replays two complaints from
-// the expert study end to end: a village reporting a non-drought year as
-// severe (MEAN too high) and a village with missing reports (COUNT too
-// low).
+// FIST drought-survey exploration (paper Sections 2.1 and 5.4) on the public
+// Session facade: simulated Ethiopian farmer-reported drought severity with
+// injected reporting errors and a satellite rainfall auxiliary dataset.
+// Replays two complaints from the expert study end to end: a village
+// reporting a non-drought year as severe (MEAN too high) and a village with
+// missing reports (COUNT too low).
 //
 // Demonstrates: three-level geography + time hierarchies, auxiliary joins
 // on (village, year), and complaints over different statistics.
 
 #include <cstdio>
+#include <cstdlib>
 
-#include "core/engine.h"
 #include "datagen/fist_gen.h"
+#include "example_util.h"
+#include "reptile/reptile.h"
 
 using namespace reptile;
 
 namespace {
 
-void Replay(const FistStudy& study, const FistComplaintCase& c) {
-  std::printf("Complaint: %s — %s\n", c.name.c_str(), c.complaint.Describe().c_str());
-  Engine engine(&study.dataset);
-  AuxiliarySpec spec;
-  spec.name = "rainfall";
-  spec.table = &study.rainfall;
-  spec.join_attrs = {"village", "year"};
-  spec.measure = "rainfall";
-  engine.RegisterAuxiliary(std::move(spec));
-  engine.CommitDrillDown(1);  // years
-  for (int depth = 0; depth < c.geo_commit_depth; ++depth) engine.CommitDrillDown(0);
+// The study generator scripts its complaints as internal Complaint objects;
+// a client of the facade speaks names, so translate through the table
+// metadata (this is exactly the information a user would type).
+ComplaintSpec SpecFromCase(const Table& table, const Complaint& complaint) {
+  std::string aggregate = AggFnName(complaint.agg);
+  std::string measure =
+      complaint.measure_column >= 0 ? table.column_name(complaint.measure_column) : "";
+  ComplaintSpec spec;
+  switch (complaint.direction) {
+    case ComplaintDirection::kTooHigh:
+      spec = ComplaintSpec::TooHigh(aggregate, measure);
+      break;
+    case ComplaintDirection::kTooLow:
+      spec = ComplaintSpec::TooLow(aggregate, measure);
+      break;
+    case ComplaintDirection::kEquals:
+      spec = ComplaintSpec::Equals(aggregate, measure, complaint.target);
+      break;
+  }
+  for (const auto& [column, code] : complaint.filter.equals) {
+    spec.Where(table.column_name(column), table.dict(column).name(code));
+  }
+  return spec;
+}
 
-  Recommendation rec = engine.RecommendDrillDown(c.complaint);
-  const HierarchyRecommendation& best = rec.best();
+void Replay(const FistStudy& study, const FistComplaintCase& c) {
+  ComplaintSpec spec = SpecFromCase(study.dataset.table(), c.complaint);
+  std::printf("Complaint: %s — %s\n", c.name.c_str(), spec.Describe().c_str());
+
+  // Each replay is its own session over a copy of the study dataset.
+  Result<Session> session = Session::Create(study.dataset);
+  ExitOnError(session.status());
+  AuxiliaryRequest aux;
+  aux.name = "rainfall";
+  aux.table = study.rainfall;
+  aux.join_attributes = {"village", "year"};
+  aux.measure = "rainfall";
+  ExitOnError(session->RegisterAuxiliary(std::move(aux)));
+  ExitOnError(session->Commit("time"));  // years
+  for (int depth = 0; depth < c.geo_commit_depth; ++depth) ExitOnError(session->Commit("geo"));
+
+  Result<ExploreResponse> response = session->Recommend(spec);
+  ExitOnError(response.status());
+  const HierarchyResponse* best = response->best();
+  if (best == nullptr) {
+    std::printf("  no drill-down recommendation available\n\n");
+    return;
+  }
   std::printf("  drill down to: %s (model over %lld parallel groups, %lld clusters)\n",
-              best.attribute.c_str(), static_cast<long long>(best.model_rows),
-              static_cast<long long>(best.model_clusters));
-  for (size_t i = 0; i < best.top_groups.size() && i < 3; ++i) {
-    const GroupRecommendation& g = best.top_groups[i];
+              best->attribute.c_str(), static_cast<long long>(best->model_rows),
+              static_cast<long long>(best->model_clusters));
+  for (size_t i = 0; i < best->groups.size() && i < 3; ++i) {
+    const GroupResponse& g = best->groups[i];
     std::printf("  #%zu %-58s mean %5.2f count %4.0f score %9.4f\n", i + 1,
-                g.description.c_str(), g.observed.Mean(), g.observed.count, g.score);
+                g.description.c_str(), g.observed.at("mean"), g.observed.at("count"), g.score);
   }
   std::printf("  expected culprit: %s — %s\n\n", c.expected_substr.c_str(),
-              best.top_groups[0].description.find(c.expected_substr) != std::string::npos
+              best->groups[0].description.find(c.expected_substr) != std::string::npos
                   ? "found"
                   : "NOT FOUND");
 }

@@ -1,24 +1,25 @@
-// Election case study (paper Appendix N): county-level vote shares in a
-// Georgia-like swing state. The complaint is that the statewide percentage
-// is too low; Reptile ranks counties by the margin gained when their
-// statistics are repaired to the model's expectation. Registering the 2016
-// share as an auxiliary dataset turns the ranking from "share outliers"
-// into "2016-adjusted anomalies"; repairing COUNT alongside MEAN makes the
-// ranking sensitive to missing vote records.
+// Election case study (paper Appendix N) on the public Session facade:
+// county-level vote shares in a Georgia-like swing state. The complaint is
+// that the statewide percentage is too low; Reptile ranks counties by the
+// margin gained when their statistics are repaired to the model's
+// expectation. Registering the 2016 share as an auxiliary dataset turns the
+// ranking from "share outliers" into "2016-adjusted anomalies"; repairing
+// COUNT alongside MEAN makes the ranking sensitive to missing vote records.
 //
 // Demonstrates: distributive sets of statistics (share = weighted mean,
 // total votes = count), extra repair statistics, auxiliary features.
 
 #include <cstdio>
+#include <cstdlib>
 
-#include "core/engine.h"
 #include "datagen/vote_gen.h"
+#include "example_util.h"
+#include "reptile/reptile.h"
 
 using namespace reptile;
 
 int main() {
   GeorgiaPanel georgia = MakeGeorgia();
-  const Table& table = georgia.dataset_missing.table();
 
   std::printf("Georgia-like panel: 159 counties; missing vote records injected into:");
   for (const std::string& county : georgia.missing_counties) {
@@ -26,42 +27,47 @@ int main() {
   }
   std::printf("\n\n");
 
-  EngineOptions options;
-  options.top_k = 8;
-  options.extra_repair_stats = {AggFn::kCount};  // repair total votes too
-  Engine engine(&georgia.dataset_missing, options);
-  AuxiliarySpec aux;
-  aux.name = "share2016";
-  aux.table = &georgia.aux2016;
-  aux.join_attrs = {"county"};
-  aux.measure = "share2016";
-  engine.RegisterAuxiliary(std::move(aux));
-  AuxiliarySpec votes;
+  Result<Session> session = Session::Create(
+      std::move(georgia.dataset_missing),
+      ExploreRequest().TopK(8).RepairAlso("count"));  // repair total votes too
+  ExitOnError(session.status());
+  AuxiliaryRequest share;
+  share.name = "share2016";
+  share.table = georgia.aux2016;
+  share.join_attributes = {"county"};
+  share.measure = "share2016";
+  ExitOnError(session->RegisterAuxiliary(std::move(share)));
+  AuxiliaryRequest votes;
   votes.name = "votes2016";
-  votes.table = &georgia.aux2016;
-  votes.join_attrs = {"county"};
+  votes.table = georgia.aux2016;
+  votes.join_attributes = {"county"};
   votes.measure = "votes2016";
-  engine.RegisterAuxiliary(std::move(votes));
+  ExitOnError(session->RegisterAuxiliary(std::move(votes)));
 
-  Complaint complaint =
-      Complaint::TooLow(AggFn::kMean, table.ColumnIndex("trump_share"), RowFilter());
+  ComplaintSpec complaint = ComplaintSpec::TooLow("mean", "trump_share");
   std::printf("Complaint: statewide vote percentage is too low.\n\n");
-  Recommendation rec = engine.RecommendDrillDown(complaint);
-  const HierarchyRecommendation& best = rec.best();
+  Result<ExploreResponse> response = session->Recommend(complaint);
+  ExitOnError(response.status());
+  const HierarchyResponse* best = response->best();
+  if (best == nullptr) {
+    std::printf("No drill-down recommendation available.\n");
+    return 1;
+  }
 
+  const Table& table = session->dataset().table();
   Moments statewide;
   for (double v : table.measure(table.ColumnIndex("trump_share"))) statewide.Observe(v);
   std::printf("Observed statewide share: %.4f\n", statewide.Mean());
   std::printf("Top counties by margin gain after repairing (votes, share):\n");
-  for (const GroupRecommendation& g : best.top_groups) {
+  for (const GroupResponse& g : best->groups) {
     bool injected = false;
     for (const std::string& county : georgia.missing_counties) {
       if (g.description == "county=" + county) injected = true;
     }
     std::printf("  %-22s gain %+0.4f  share %.3f -> %.3f, votes %4.0f -> %6.1f%s\n",
                 g.description.c_str(), g.repaired_complaint_value - statewide.Mean(),
-                g.observed.Mean(), g.predicted.at(AggFn::kMean), g.observed.count,
-                g.predicted.at(AggFn::kCount), injected ? "  [missing records]" : "");
+                g.observed.at("mean"), g.predicted.at("mean"), g.observed.at("count"),
+                g.predicted.at("count"), injected ? "  [missing records]" : "");
   }
   std::printf("\nCounties with missing vote records gain margin when their totals are\n"
               "restored — the Appendix N behaviour of repairing a distributive *set*\n"

@@ -1,0 +1,23 @@
+// Shared helpers for the example binaries.
+
+#ifndef REPTILE_EXAMPLES_EXAMPLE_UTIL_H_
+#define REPTILE_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/status.h"
+
+namespace reptile {
+
+// Exit immediately when an API call failed; every failure path in the
+// examples is a bug in the example, not in user input.
+inline void ExitOnError(const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace reptile
+
+#endif  // REPTILE_EXAMPLES_EXAMPLE_UTIL_H_

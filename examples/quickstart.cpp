@@ -1,4 +1,5 @@
-// Quickstart: the paper's running example (Figure 1 / Examples 1-8).
+// Quickstart: the paper's running example (Figure 1 / Examples 1-8), on the
+// public reptile::Session facade.
 //
 // FIST researchers collect farmer-reported drought severity per village and
 // year. The researcher looks at annual statistics for the Ofla district,
@@ -8,41 +9,53 @@
 // reporting error — Reptile recommends drilling down to villages and ranks
 // Zata first.
 //
+// Everything below goes through the api/ layer only: name-based requests,
+// Status-based error handling, serializable responses.
+//
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
-#include "common/rng.h"
-#include "core/engine.h"
-#include "core/view.h"
+#include "example_util.h"
+#include "reptile/reptile.h"
 
 using namespace reptile;
 
 namespace {
 
 struct Example {
-  Dataset dataset;
+  Table reports;
   Table rainfall;
 };
 
 // Severity is driven by rainfall: dry villages report high severity.
-double SeverityFromRainfall(double rainfall, Rng* rng) {
-  return std::clamp(11.0 - rainfall / 60.0 + rng->Normal(0.0, 0.6), 1.0, 10.0);
-}
+// (A tiny deterministic LCG keeps this example dependency-free.)
+struct TinyRng {
+  uint64_t state;
+  double Uniform(double lo, double hi) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    double unit = static_cast<double>(state >> 11) / 9007199254740992.0;
+    return lo + unit * (hi - lo);
+  }
+  double Noise() { return Uniform(-1.2, 1.2); }
+};
 
 Example MakeExample() {
-  Rng rng(1986);
-  Table t;
-  int district = t.AddDimensionColumn("district");
-  int village = t.AddDimensionColumn("village");
-  int year = t.AddDimensionColumn("year");
-  int severity = t.AddMeasureColumn("severity");
+  TinyRng rng{1986};
+  Example ex;
+  int district = ex.reports.AddDimensionColumn("district");
+  int village = ex.reports.AddDimensionColumn("village");
+  int year = ex.reports.AddDimensionColumn("year");
+  int severity = ex.reports.AddMeasureColumn("severity");
 
-  Table rain;
-  int rain_village = rain.AddDimensionColumn("village");
-  int rain_year = rain.AddDimensionColumn("year");
-  int rain_mm = rain.AddMeasureColumn("rainfall");
+  int rain_village = ex.rainfall.AddDimensionColumn("village");
+  int rain_year = ex.rainfall.AddDimensionColumn("year");
+  int rain_mm = ex.rainfall.AddMeasureColumn("rainfall");
 
   // Ofla's villages (Figure 1) plus two parallel districts that give the
   // model its training signal.
@@ -63,27 +76,24 @@ Example MakeExample() {
       double rainfall = y == 1986 ? rng.Uniform(140.0, 230.0) : rng.Uniform(320.0, 520.0);
       bool darube_1986 = std::string(v.name) == "Darube" && y == 1986;
       if (darube_1986) rainfall = 603.2;  // Figure 1c
-      rain.SetDim(rain_village, v.name);
-      rain.SetDim(rain_year, std::to_string(y));
-      rain.SetMeasure(rain_mm, rainfall);
-      rain.CommitRow();
-      int reports = 10 + static_cast<int>(rng.UniformInt(0, 3));
+      ex.rainfall.SetDim(rain_village, v.name);
+      ex.rainfall.SetDim(rain_year, std::to_string(y));
+      ex.rainfall.SetMeasure(rain_mm, rainfall);
+      ex.rainfall.CommitRow();
+      int reports = 10 + static_cast<int>(rng.Uniform(0.0, 3.0));
       for (int i = 0; i < reports; ++i) {
-        double s = SeverityFromRainfall(rainfall, &rng);
+        double s = std::clamp(11.0 - rainfall / 60.0 + rng.Noise() * 0.5, 1.0, 10.0);
         // The data error: Zata's 1986 reports are far too low (the farmers'
         // reports were mis-keyed), despite the drought.
         if (std::string(v.name) == "Zata" && y == 1986) s = rng.Uniform(1.5, 2.8);
-        t.SetDim(district, v.district);
-        t.SetDim(village, v.name);
-        t.SetDim(year, std::to_string(y));
-        t.SetMeasure(severity, s);
-        t.CommitRow();
+        ex.reports.SetDim(district, v.district);
+        ex.reports.SetDim(village, v.name);
+        ex.reports.SetDim(year, std::to_string(y));
+        ex.reports.SetMeasure(severity, s);
+        ex.reports.CommitRow();
       }
     }
   }
-  Example ex;
-  ex.dataset = Dataset(std::move(t), {{"geo", {"district", "village"}}, {"time", {"year"}}});
-  ex.rainfall = std::move(rain);
   return ex;
 }
 
@@ -91,52 +101,63 @@ Example MakeExample() {
 
 int main() {
   Example ex = MakeExample();
-  const Table& t = ex.dataset.table();
 
-  // --- The researcher's view: severity statistics per year in Ofla. ---
-  ViewSpec spec;
-  spec.key_columns = {t.ColumnIndex("year")};
-  spec.measure_column = t.ColumnIndex("severity");
-  spec.filter.Add(t.ColumnIndex("district"), *t.dict(t.ColumnIndex("district")).Find("Ofla"));
-  ViewResult view = ComputeView(t, spec);
+  // --- Open the session: dataset + hierarchy metadata, all by name. ---
+  Result<Session> session = Session::Create(
+      std::move(ex.reports), {{"geo", {"district", "village"}}, {"time", {"year"}}});
+  ExitOnError(session.status());
+
+  // Register the satellite rainfall auxiliary data (paper §3.3.2).
+  AuxiliaryRequest aux;
+  aux.name = "rainfall";
+  aux.table = std::move(ex.rainfall);
+  aux.join_attributes = {"village", "year"};
+  aux.measure = "rainfall";
+  ExitOnError(session->RegisterAuxiliary(std::move(aux)));
+
+  // The view the researcher is looking at: severity per year in Ofla.
+  ExitOnError(session->Commit("geo"));   // the view is at district level
+  ExitOnError(session->Commit("time"));  // ... and at year level
+  Result<ViewResponse> view = session->View(
+      ViewRequest().GroupBy("year").Measure("severity").Where("district", "Ofla"));
+  ExitOnError(view.status());
   std::printf("District: Ofla — annual severity statistics\n");
   std::printf("  %-6s %8s %8s %8s\n", "year", "mean", "count", "std");
-  for (size_t g = 0; g < view.groups.num_groups(); ++g) {
-    const Moments& m = view.groups.stats(g);
-    std::printf("  %-6s %8.1f %8.0f %8.2f\n",
-                t.dict(spec.key_columns[0]).name(view.groups.key(g, 0)).c_str(), m.Mean(),
-                m.count, m.SampleStd());
+  for (const ViewRow& row : view->rows) {
+    std::printf("  %-6s %8.1f %8.0f %8.2f\n", row.key[0].second.c_str(),
+                row.stats.at("mean"), row.stats.at("count"), row.stats.at("std"));
   }
 
   // --- The complaint: 1986's standard deviation is too high. ---
-  RowFilter filter = spec.filter;
-  filter.Add(t.ColumnIndex("year"), *t.dict(t.ColumnIndex("year")).Find("1986"));
-  Complaint complaint = Complaint::TooHigh(AggFn::kStd, t.ColumnIndex("severity"), filter);
-  std::printf("\nComplaint: in Ofla 1986, %s\n", complaint.Describe().c_str());
+  ComplaintSpec complaint = ComplaintSpec::TooHigh("std", "severity")
+                                .Where("district", "Ofla")
+                                .Where("year", "1986");
+  std::printf("\nComplaint: %s\n", complaint.Describe().c_str());
 
-  // --- Reptile session: register the satellite rainfall auxiliary data and
-  // ask for a drill-down recommendation. ---
-  Engine engine(&ex.dataset);
-  AuxiliarySpec aux;
-  aux.name = "rainfall";
-  aux.table = &ex.rainfall;
-  aux.join_attrs = {"village", "year"};
-  aux.measure = "rainfall";
-  engine.RegisterAuxiliary(std::move(aux));
-  engine.CommitDrillDown(0);  // the view is already at district level
-  engine.CommitDrillDown(1);  // ... and at year level
-
-  Recommendation rec = engine.RecommendDrillDown(complaint);
-  const HierarchyRecommendation& best = rec.best();
-  std::printf("\nReptile recommends drilling down to: %s\n", best.attribute.c_str());
-  std::printf("  %-52s %7s %8s %9s %9s\n", "group", "mean", "obs_std", "pred_std", "score");
-  for (const GroupRecommendation& g : best.top_groups) {
-    std::printf("  %-52s %7.2f %8.2f %9.2f %9.4f\n", g.description.c_str(), g.observed.Mean(),
-                g.observed.SampleStd(), g.predicted.at(AggFn::kStd), g.score);
+  Result<ExploreResponse> response = session->Recommend(complaint);
+  ExitOnError(response.status());
+  const HierarchyResponse* best = response->best();
+  if (best == nullptr) {
+    std::printf("No drill-down recommendation available.\n");
+    return 1;
   }
-  std::printf("\nTop group: %s\n", best.top_groups[0].description.c_str());
+  std::printf("\nReptile recommends drilling down to: %s\n", best->attribute.c_str());
+  std::printf("  %-52s %7s %8s %9s %9s\n", "group", "mean", "obs_std", "pred_std", "score");
+  for (const GroupResponse& g : best->groups) {
+    std::printf("  %-52s %7.2f %8.2f %9.2f %9.4f\n", g.description.c_str(),
+                g.observed.at("mean"), g.observed.at("std"), g.predicted.at("std"), g.score);
+  }
+  std::printf("\nTop group: %s\n", best->groups[0].description.c_str());
   std::printf("Zata's low 1986 severity is unexplained by rainfall, so repairing it best\n"
               "resolves the STD complaint; Darube's low severity is explained away by its\n"
               "high rainfall (603.2mm) in the auxiliary sensing data, as in Figure 1.\n");
+
+  // Responses serialise themselves — this is what a server would return.
+  std::printf("\nResponse as JSON (truncated): %.120s...\n", response->ToJson().c_str());
+
+  // Invalid input returns Status instead of aborting:
+  Result<ExploreResponse> bad =
+      session->Recommend(ComplaintSpec::TooHigh("std", "serverity"));
+  std::printf("Misspelled measure -> %s\n", bad.status().ToString().c_str());
   return 0;
 }

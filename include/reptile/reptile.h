@@ -1,0 +1,19 @@
+// Umbrella header of the public Reptile API.
+//
+//   #include <reptile/reptile.h>
+//
+// pulls in the whole facade: reptile::Session (the interactive exploration
+// loop), the Status/Result error model, the name-based request builders, and
+// the serializable response types. Clients should depend on this header (or
+// the individual src/api/ headers) only — everything under core/, factor/,
+// fmatrix/ and model/ is internal and free to change.
+
+#ifndef REPTILE_REPTILE_H_
+#define REPTILE_REPTILE_H_
+
+#include "api/request.h"
+#include "api/response.h"
+#include "api/session.h"
+#include "api/status.h"
+
+#endif  // REPTILE_REPTILE_H_

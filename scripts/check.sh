@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify with warnings-as-errors: configure + build with
+# -Wall -Wextra -Werror (the REPTILE_WERROR preset), run ctest.
+# Future PRs must keep this green.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . -DREPTILE_WERROR=ON "$@"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

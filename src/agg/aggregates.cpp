@@ -1,5 +1,6 @@
 #include "agg/aggregates.h"
 
+#include <cctype>
 #include <cmath>
 
 #include "common/check.h"
@@ -20,6 +21,18 @@ std::string AggFnName(AggFn fn) {
       return "VAR";
   }
   return "UNKNOWN";
+}
+
+std::optional<AggFn> ParseAggFn(const std::string& name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  if (upper == "COUNT") return AggFn::kCount;
+  if (upper == "SUM") return AggFn::kSum;
+  if (upper == "MEAN" || upper == "AVG") return AggFn::kMean;
+  if (upper == "STD" || upper == "STDDEV") return AggFn::kStd;
+  if (upper == "VAR" || upper == "VARIANCE") return AggFn::kVar;
+  return std::nullopt;
 }
 
 double Moments::SampleVar() const {

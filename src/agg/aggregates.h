@@ -14,6 +14,7 @@
 #ifndef REPTILE_AGG_AGGREGATES_H_
 #define REPTILE_AGG_AGGREGATES_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,10 @@ enum class AggFn {
 
 /// Human-readable name ("COUNT", "MEAN", ...).
 std::string AggFnName(AggFn fn);
+
+/// Parses an aggregate name, case-insensitively ("count", "MEAN", ...);
+/// std::nullopt when the name matches no statistic. Inverse of AggFnName.
+std::optional<AggFn> ParseAggFn(const std::string& name);
 
 /// Distributive moment sketch: closed under Add / Subtract, so a group can be
 /// removed from or re-inserted into a parent aggregate in O(1) — the

@@ -1,0 +1,99 @@
+// Declarative, name-based request model of the public API.
+//
+// Clients describe what they want — a complaint over column *names*, a view,
+// an auxiliary dataset, session-level exploration options — with fluent
+// builders; the session validates every name and value and resolves the
+// request to the internal Complaint / EngineOptions types. Nothing here
+// aborts: all invalid input comes back as a non-OK Status.
+
+#ifndef REPTILE_API_REQUEST_H_
+#define REPTILE_API_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "core/complaint.h"
+#include "data/table.h"
+
+namespace reptile {
+
+struct EngineOptions;  // core/engine.h; resolved type, completed in request.cpp
+
+/// A complaint built from names: "the MEAN of severity where district=Ofla
+/// and year=1986 is too high". Resolved and validated against the session's
+/// dataset by Resolve().
+struct ComplaintSpec {
+  std::string aggregate;               // "count" | "sum" | "mean" | "std" | "var"
+  std::string measure;                 // measure column name; empty for pure COUNT
+  std::vector<NamedPredicate> where;   // complaint tuple coordinates, by name
+  std::string direction = "too_high";  // "too_high" | "too_low" | "equals"
+  double target = 0.0;                 // expected value, for "equals"
+
+  static ComplaintSpec TooHigh(std::string aggregate, std::string measure = std::string());
+  static ComplaintSpec TooLow(std::string aggregate, std::string measure = std::string());
+  static ComplaintSpec Equals(std::string aggregate, std::string measure, double target);
+
+  /// Adds an equality predicate; returns *this for chaining.
+  ComplaintSpec& Where(std::string column, std::string value);
+
+  /// Validates every name/value against the dataset and resolves to the
+  /// internal complaint. Unknown columns or values, mistyped columns, an
+  /// unknown aggregate or direction, and a non-finite EQUALS target all
+  /// return a non-OK Status.
+  Result<Complaint> Resolve(const Dataset& dataset) const;
+
+  /// One-line human-readable description, e.g.
+  /// "MEAN(severity) where district=Ofla, year=1986 is too high".
+  std::string Describe() const;
+};
+
+/// An aggregate view request: group-by columns, an optional measure, and a
+/// conjunctive filter, all by name.
+struct ViewRequest {
+  std::vector<std::string> group_by;
+  std::string measure;                // empty = COUNT only
+  std::vector<NamedPredicate> where;
+
+  ViewRequest& GroupBy(std::string column);
+  ViewRequest& Measure(std::string column);
+  ViewRequest& Where(std::string column, std::string value);
+};
+
+/// Registration of an auxiliary dataset (paper §3.3.2): the session copies
+/// the table in and keeps it alive, exposing `measure` as a feature once
+/// every join attribute is part of the drill-down.
+struct AuxiliaryRequest {
+  std::string name;
+  Table table;
+  std::vector<std::string> join_attributes;  // hierarchy attribute names
+  std::string measure;                       // measure column in `table`
+  bool normalize = true;
+};
+
+/// Session-level exploration options, by name; resolved to the internal
+/// EngineOptions when the session is created.
+struct ExploreRequest {
+  int top_k = 5;
+  std::string model = "multilevel";           // "multilevel" | "linear"
+  std::string backend = "auto";               // "auto" | "factorized" | "dense"
+  std::string random_effects = "intercepts";  // "intercepts" | "all"
+  std::string drill_cache = "cache_dynamic";  // "static" | "dynamic" | "cache_dynamic"
+  int em_iterations = 20;
+  std::vector<std::string> extra_repair_stats;  // e.g. {"count"} (Appendix N)
+
+  ExploreRequest& TopK(int k);
+  ExploreRequest& Model(std::string name);
+  ExploreRequest& Backend(std::string name);
+  ExploreRequest& RandomEffects(std::string name);
+  ExploreRequest& DrillCache(std::string name);
+  ExploreRequest& EmIterations(int iters);
+  ExploreRequest& RepairAlso(std::string aggregate);
+
+  /// Validates every knob and resolves to the internal engine options.
+  Result<EngineOptions> Resolve() const;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_API_REQUEST_H_

@@ -1,0 +1,173 @@
+#include "api/response.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace reptile {
+namespace {
+
+// Minimal JSON writer: enough for the flat response structures here.
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void AppendJsonNumber(std::ostringstream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";  // JSON has no Infinity/NaN
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  os << buf;
+}
+
+void AppendStatMap(std::ostringstream& os, const std::map<std::string, double>& stats) {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, value] : stats) {
+    if (!first) os << ',';
+    first = false;
+    AppendJsonString(os, name);
+    os << ':';
+    AppendJsonNumber(os, value);
+  }
+  os << '}';
+}
+
+void AppendKeyPairs(std::ostringstream& os,
+                    const std::vector<std::pair<std::string, std::string>>& key) {
+  os << '{';
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendJsonString(os, key[i].first);
+    os << ':';
+    AppendJsonString(os, key[i].second);
+  }
+  os << '}';
+}
+
+void AppendGroup(std::ostringstream& os, const GroupResponse& group) {
+  os << "{\"description\":";
+  AppendJsonString(os, group.description);
+  os << ",\"key\":";
+  AppendKeyPairs(os, group.key);
+  os << ",\"observed\":";
+  AppendStatMap(os, group.observed);
+  os << ",\"predicted\":";
+  AppendStatMap(os, group.predicted);
+  os << ",\"repaired\":";
+  AppendStatMap(os, group.repaired);
+  os << ",\"repaired_complaint_value\":";
+  AppendJsonNumber(os, group.repaired_complaint_value);
+  os << ",\"score\":";
+  AppendJsonNumber(os, group.score);
+  os << '}';
+}
+
+void AppendHierarchy(std::ostringstream& os, const HierarchyResponse& candidate) {
+  os << "{\"hierarchy\":";
+  AppendJsonString(os, candidate.hierarchy);
+  os << ",\"attribute\":";
+  AppendJsonString(os, candidate.attribute);
+  os << ",\"best_score\":";
+  AppendJsonNumber(os, candidate.best_score);
+  os << ",\"model_rows\":" << candidate.model_rows
+     << ",\"model_clusters\":" << candidate.model_clusters << ",\"train_seconds\":";
+  AppendJsonNumber(os, candidate.train_seconds);
+  os << ",\"total_seconds\":";
+  AppendJsonNumber(os, candidate.total_seconds);
+  os << ",\"groups\":[";
+  for (size_t i = 0; i < candidate.groups.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendGroup(os, candidate.groups[i]);
+  }
+  os << "]}";
+}
+
+void AppendExplore(std::ostringstream& os, const ExploreResponse& response) {
+  os << "{\"complaint\":";
+  AppendJsonString(os, response.complaint);
+  os << ",\"best_index\":" << response.best_index << ",\"candidates\":[";
+  for (size_t i = 0; i < response.candidates.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendHierarchy(os, response.candidates[i]);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+const HierarchyResponse* ExploreResponse::best() const {
+  if (best_index < 0 || best_index >= static_cast<int>(candidates.size())) return nullptr;
+  return &candidates[static_cast<size_t>(best_index)];
+}
+
+std::string ExploreResponse::ToJson() const {
+  std::ostringstream os;
+  AppendExplore(os, *this);
+  return os.str();
+}
+
+std::string BatchExploreResponse::ToJson() const {
+  std::ostringstream os;
+  os << "{\"models_trained\":" << models_trained << ",\"responses\":[";
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendExplore(os, responses[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ViewResponse::ToJson() const {
+  std::ostringstream os;
+  os << "{\"group_by\":[";
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendJsonString(os, group_by[i]);
+  }
+  os << "],\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"key\":";
+    AppendKeyPairs(os, rows[i].key);
+    os << ",\"stats\":";
+    AppendStatMap(os, rows[i].stats);
+    os << '}';
+  }
+  os << "],\"total\":";
+  AppendStatMap(os, total);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace reptile

@@ -1,0 +1,86 @@
+// Serializable response model of the public API.
+//
+// Responses are plain data — strings, doubles, name-keyed maps — fully
+// decoupled from engine internals (no Moments, no AggFn, no column indices),
+// so clients and a future server layer can consume them directly; every
+// response serialises itself with ToJson().
+
+#ifndef REPTILE_API_RESPONSE_H_
+#define REPTILE_API_RESPONSE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reptile {
+
+/// One recommended drill-down group. Statistic maps are keyed by lowercase
+/// statistic names ("count", "sum", "mean", "std"); `predicted` holds one
+/// entry per primitive model the repair used.
+struct GroupResponse {
+  std::string description;                              // "year=1986, village=Zata"
+  std::vector<std::pair<std::string, std::string>> key;  // (column, value) pairs
+  std::map<std::string, double> observed;
+  std::map<std::string, double> predicted;
+  std::map<std::string, double> repaired;
+  double repaired_complaint_value = 0.0;
+  double score = 0.0;  // lower is better
+};
+
+/// Result of evaluating one candidate hierarchy.
+struct HierarchyResponse {
+  std::string hierarchy;  // hierarchy schema name ("geo")
+  std::string attribute;  // the newly added (drilled) attribute ("village")
+  std::vector<GroupResponse> groups;
+  double best_score = 0.0;
+  int64_t model_rows = 0;
+  int64_t model_clusters = 0;
+  double train_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The full answer to one complaint: all candidate hierarchies plus the
+/// arg-min recommendation.
+struct ExploreResponse {
+  std::string complaint;  // description of the complaint this answers
+  std::vector<HierarchyResponse> candidates;
+  int best_index = -1;
+
+  bool has_recommendation() const { return best_index >= 0; }
+
+  /// The recommended hierarchy, or nullptr when no candidate produced groups.
+  const HierarchyResponse* best() const;
+
+  std::string ToJson() const;
+};
+
+/// Answer to a batched RecommendAll call: one response per complaint, in
+/// request order, plus how many primitive models the batch actually trained
+/// (shared hierarchy extensions train each model once).
+struct BatchExploreResponse {
+  std::vector<ExploreResponse> responses;
+  int64_t models_trained = 0;
+
+  std::string ToJson() const;
+};
+
+/// One row of an aggregate view.
+struct ViewRow {
+  std::vector<std::pair<std::string, std::string>> key;  // (column, value) pairs
+  std::map<std::string, double> stats;                   // count / sum / mean / std
+};
+
+/// A computed aggregate view plus the merged total.
+struct ViewResponse {
+  std::vector<std::string> group_by;
+  std::vector<ViewRow> rows;
+  std::map<std::string, double> total;
+
+  std::string ToJson() const;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_API_RESPONSE_H_

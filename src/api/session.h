@@ -1,0 +1,107 @@
+// reptile::Session — the public facade over the engine (paper Section 2.1's
+// interactive loop): load a hierarchical dataset, file complaints by column
+// name, receive ranked drill-down recommendations, commit one, repeat.
+//
+// Contract:
+//  * All user-input failure paths return Status / Result<T>; the session
+//    never aborts on bad input (internal invariants still REPTILE_CHECK).
+//  * Requests are name-based (api/request.h) and responses are plain
+//    serializable data (api/response.h); engine internals never cross the
+//    boundary.
+//  * RecommendAll batches many complaints over one pass of the drill-down
+//    caches: complaints sharing a hierarchy extension reuse the extended
+//    feature matrix and each trained primitive model. Results are identical
+//    to issuing the complaints one at a time.
+
+#ifndef REPTILE_API_SESSION_H_
+#define REPTILE_API_SESSION_H_
+
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "api/response.h"
+#include "api/status.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+
+namespace reptile {
+
+/// How to load a session dataset straight from a CSV file.
+struct CsvDatasetRequest {
+  std::string path;
+  CsvSpec csv;                              // column typing
+  std::vector<HierarchySchema> hierarchies;  // hierarchy metadata
+};
+
+class Session {
+ public:
+  /// Creates a session over an already-constructed dataset.
+  static Result<Session> Create(Dataset dataset, const ExploreRequest& options = {});
+
+  /// Validates the hierarchy metadata against the table, then creates the
+  /// session. All metadata errors come back as Status.
+  static Result<Session> Create(Table table, std::vector<HierarchySchema> hierarchies,
+                                const ExploreRequest& options = {});
+
+  /// Loads the base relation from CSV (precise parse errors, see
+  /// data/csv.h), then creates the session.
+  static Result<Session> FromCsv(const CsvDatasetRequest& request,
+                                 const ExploreRequest& options = {});
+
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&& other) noexcept;
+  ~Session();
+
+  /// Registers an auxiliary dataset (the session copies and owns the table).
+  Status RegisterAuxiliary(AuxiliaryRequest request);
+
+  /// Excludes a feature (attribute or auxiliary name) from the random-effect
+  /// matrix Z (paper §3.3.4); only meaningful with random_effects = "all".
+  Status ExcludeFromRandomEffects(const std::string& feature_name);
+
+  /// Computes an aggregate view — the object the user inspects before
+  /// complaining (paper §3.1).
+  Result<ViewResponse> View(const ViewRequest& request) const;
+
+  /// Evaluates one complaint against every drillable hierarchy and returns
+  /// the ranked drill-down groups. FailedPrecondition when every hierarchy
+  /// is exhausted.
+  Result<ExploreResponse> Recommend(const ComplaintSpec& complaint);
+
+  /// Batched entry point: plans all complaints over one pass of the
+  /// drill-down caches, training each shared (hierarchy, measure, primitive)
+  /// model at most once. responses[i] answers complaints[i] exactly as a
+  /// sequential Recommend(complaints[i]) would.
+  Result<BatchExploreResponse> RecommendAll(std::span<const ComplaintSpec> complaints);
+  Result<BatchExploreResponse> RecommendAll(std::initializer_list<ComplaintSpec> complaints);
+
+  /// Commits a drill-down on the named hierarchy (schema name, e.g. "geo",
+  /// or any of its attribute names, e.g. "village"). NotFound for unknown
+  /// names, FailedPrecondition when the hierarchy is already fully drilled.
+  Status Commit(const std::string& hierarchy);
+
+  /// Current drill depth of the named hierarchy.
+  Result<int> DrillDepth(const std::string& hierarchy) const;
+
+  /// True when the named hierarchy has at least one undrilled attribute.
+  Result<bool> CanDrill(const std::string& hierarchy) const;
+
+  const Dataset& dataset() const;
+
+  /// Total primitive-model fits performed so far (for tests and benchmarks
+  /// of the batched path).
+  int64_t models_trained() const;
+
+ private:
+  Session();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_API_SESSION_H_

@@ -1,0 +1,131 @@
+// Status-based error model for the public API (no exceptions, no aborts).
+//
+// Every user-input failure path of the facade — CSV parse errors, unknown
+// column or attribute names, invalid complaints, drilling an exhausted
+// hierarchy — is reported through Status / Result<T>. REPTILE_CHECK remains
+// reserved for internal invariants that indicate programmer error.
+//
+// This header is a dependency leaf: it may be included from any layer
+// (data/, core/, api/) without creating cycles.
+
+#ifndef REPTILE_API_STATUS_H_
+#define REPTILE_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace reptile {
+
+/// Canonical error space of the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // request is malformed (bad aggregate, bad target, ...)
+  kNotFound,            // a named column / value / hierarchy does not exist
+  kFailedPrecondition,  // valid request, wrong session state (e.g. exhausted drill)
+  kIoError,             // file could not be opened / written
+  kParseError,          // file opened but its contents are malformed
+  kInternal,            // invariant violation surfaced as an error
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// An error code plus a human-readable message; default-constructed is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-OK Status. Implicitly constructible from both so
+/// functions can `return Status::NotFound(...)` or `return value` directly.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from an OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The value; must only be called when ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace reptile
+
+/// Propagates a non-OK Status from an expression of type Status.
+#define REPTILE_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::reptile::Status reptile_status_ = (expr);        \
+    if (!reptile_status_.ok()) return reptile_status_; \
+  } while (false)
+
+#endif  // REPTILE_API_STATUS_H_

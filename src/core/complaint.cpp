@@ -56,4 +56,88 @@ Complaint Complaint::Equals(AggFn agg, int measure_column, RowFilter filter, dou
   return c;
 }
 
+Status ValidateComplaint(const Table& table, const Complaint& complaint) {
+  if (complaint.measure_column == -1) {
+    if (complaint.agg != AggFn::kCount) {
+      return Status::InvalidArgument("aggregate " + AggFnName(complaint.agg) +
+                                     " requires a measure column (only COUNT may omit it)");
+    }
+  } else {
+    if (complaint.measure_column < 0 || complaint.measure_column >= table.num_columns()) {
+      return Status::InvalidArgument("measure column index " +
+                                     std::to_string(complaint.measure_column) +
+                                     " is out of range");
+    }
+    if (table.is_dimension(complaint.measure_column)) {
+      return Status::InvalidArgument("column '" + table.column_name(complaint.measure_column) +
+                                     "' is a dimension column, not a measure");
+    }
+  }
+  if (complaint.direction == ComplaintDirection::kEquals && !std::isfinite(complaint.target)) {
+    return Status::InvalidArgument("EQUALS complaint target must be finite");
+  }
+  for (const auto& [column, code] : complaint.filter.equals) {
+    if (column < 0 || column >= table.num_columns()) {
+      return Status::InvalidArgument("filter column index " + std::to_string(column) +
+                                     " is out of range");
+    }
+    if (!table.is_dimension(column)) {
+      return Status::InvalidArgument("filter column '" + table.column_name(column) +
+                                     "' is a measure column; filters apply to dimensions");
+    }
+    if (code < 0 || code >= table.dict(column).size()) {
+      return Status::NotFound("filter code " + std::to_string(code) +
+                              " does not occur in column '" + table.column_name(column) + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Complaint> ResolveComplaint(const Dataset& dataset, const std::string& aggregate,
+                                   const std::string& measure,
+                                   const std::vector<NamedPredicate>& where,
+                                   ComplaintDirection direction, double target) {
+  const Table& table = dataset.table();
+  std::optional<AggFn> agg = ParseAggFn(aggregate);
+  if (!agg.has_value()) {
+    return Status::InvalidArgument("unknown aggregate '" + aggregate +
+                                   "' (expected one of count, sum, mean, std, var)");
+  }
+
+  Complaint c;
+  c.agg = *agg;
+  c.direction = direction;
+  c.target = target;
+
+  if (measure.empty()) {
+    c.measure_column = -1;
+  } else {
+    std::optional<int> column = table.FindColumn(measure);
+    if (!column.has_value()) {
+      return Status::NotFound("measure column '" + measure + "' does not exist");
+    }
+    c.measure_column = *column;
+  }
+
+  for (const NamedPredicate& pred : where) {
+    std::optional<int> column = table.FindColumn(pred.column);
+    if (!column.has_value()) {
+      return Status::NotFound("filter column '" + pred.column + "' does not exist");
+    }
+    if (!table.is_dimension(*column)) {
+      return Status::InvalidArgument("filter column '" + pred.column +
+                                     "' is a measure column; filters apply to dimensions");
+    }
+    std::optional<int32_t> code = table.dict(*column).Find(pred.value);
+    if (!code.has_value()) {
+      return Status::NotFound("value '" + pred.value + "' does not occur in column '" +
+                              pred.column + "'");
+    }
+    c.filter.Add(*column, *code);
+  }
+
+  REPTILE_RETURN_IF_ERROR(ValidateComplaint(table, c));
+  return c;
+}
+
 }  // namespace reptile

@@ -10,8 +10,11 @@
 #define REPTILE_CORE_COMPLAINT_H_
 
 #include <string>
+#include <vector>
 
 #include "agg/aggregates.h"
+#include "api/status.h"
+#include "data/dataset.h"
 #include "data/table.h"
 
 namespace reptile {
@@ -51,6 +54,30 @@ struct Complaint {
   static Complaint TooLow(AggFn agg, int measure_column, RowFilter filter);
   static Complaint Equals(AggFn agg, int measure_column, RowFilter filter, double target);
 };
+
+/// One equality predicate over a dimension column, by name. The name-based
+/// counterpart of a RowFilter entry.
+struct NamedPredicate {
+  std::string column;
+  std::string value;
+};
+
+/// Validates a resolved complaint against the table: the measure column must
+/// be a measure (or -1, allowed for COUNT only), filter columns must be
+/// in-range dimension columns with in-range codes, and an EQUALS target must
+/// be finite. The single source of truth for complaint validation — used by
+/// ResolveComplaint after name resolution and by the engine's validate stage
+/// for pre-built complaints.
+Status ValidateComplaint(const Table& table, const Complaint& complaint);
+
+/// Builds a Complaint from names: the aggregate name must parse, the measure
+/// and predicate columns/values must exist (NotFound otherwise), and the
+/// result must pass ValidateComplaint. All failures come back as a non-OK
+/// Status; nothing aborts.
+Result<Complaint> ResolveComplaint(const Dataset& dataset, const std::string& aggregate,
+                                   const std::string& measure,
+                                   const std::vector<NamedPredicate>& where,
+                                   ComplaintDirection direction, double target);
 
 }  // namespace reptile
 

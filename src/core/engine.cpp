@@ -1,12 +1,15 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/repair.h"
 #include "core/view.h"
+#include "data/group_by.h"
 #include "factor/frep.h"
 #include "fmatrix/materialize.h"
 #include "fmatrix/right_mult.h"
@@ -48,7 +51,45 @@ std::optional<AttrId> FindDrilledAttr(const CandidateContext& ctx, int table_col
   return std::nullopt;
 }
 
+// Primitive statistics one complaint needs: its own decomposition plus any
+// extra statistics frepair should restore (Appendix N).
+std::vector<AggFn> ComplaintPrimitives(const Complaint& complaint,
+                                       const EngineOptions& options) {
+  std::vector<AggFn> primitives = RequiredPrimitives(complaint.agg);
+  for (AggFn extra : options.extra_repair_stats) {
+    for (AggFn required : RequiredPrimitives(extra)) {
+      if (std::find(primitives.begin(), primitives.end(), required) == primitives.end()) {
+        primitives.push_back(required);
+      }
+    }
+  }
+  return primitives;
+}
+
 }  // namespace
+
+// Plan-stage product: everything about drilling one hierarchy a level deeper
+// that is independent of the individual complaint, so a batch of complaints
+// sharing this hierarchy extension shares it too. Group statistics and
+// trained primitive models are keyed by the complaint's measure column and
+// filled lazily by the execute stage.
+struct Engine::CandidatePlan {
+  int hierarchy = -1;
+  std::string attribute;  // the newly added (drilled) attribute
+  CandidateContext ctx;
+  FactorizedMatrix layout;  // reference matrix for layout queries
+  double build_seconds = 0.0;
+  bool build_charged = false;  // build time reported once, by the first complaint
+
+  // Per measure column (-1 = COUNT only): y moments over all parallel groups
+  // and the non-empty groups for featurization.
+  std::map<int, std::vector<Moments>> y_moments;
+  std::map<int, GroupByResult> groups;
+
+  // Trained models: (measure column, primitive) -> fitted values per row.
+  std::map<std::pair<int, AggFn>, std::vector<double>> fitted;
+  double train_seconds_total = 0.0;
+};
 
 const HierarchyRecommendation& Recommendation::best() const {
   REPTILE_CHECK(best_index >= 0 && best_index < static_cast<int>(candidates.size()))
@@ -60,6 +101,8 @@ Engine::Engine(const Dataset* dataset, EngineOptions options)
     : dataset_(dataset), options_(options), drill_state_(dataset, options.drill_mode) {
   REPTILE_CHECK(dataset != nullptr);
 }
+
+Engine::~Engine() = default;
 
 void Engine::RegisterAuxiliary(AuxiliarySpec spec) {
   REPTILE_CHECK(spec.table != nullptr);
@@ -82,36 +125,61 @@ void Engine::ExcludeFromRandomEffects(const std::string& feature_name) {
   z_exclusions_.push_back(feature_name);
 }
 
+Status Engine::ValidateComplaint(const Complaint& complaint) const {
+  return ::reptile::ValidateComplaint(dataset_->table(), complaint);
+}
+
 Recommendation Engine::RecommendDrillDown(const Complaint& complaint) {
+  std::vector<Recommendation> batch = RecommendBatch(std::span<const Complaint>(&complaint, 1));
+  return std::move(batch.front());
+}
+
+std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> complaints) {
+  if (complaints.empty()) return {};  // nothing to plan — skip the cache pass
   drill_state_.BeginInvocation();
-  Recommendation rec;
-  double best = std::numeric_limits<double>::infinity();
+
+  // --- Plan stage: one shared plan per drillable hierarchy. ---
+  std::vector<std::unique_ptr<CandidatePlan>> plans;
   for (int h = 0; h < dataset_->num_hierarchies(); ++h) {
     if (!drill_state_.CanDrill(h)) continue;
-    rec.candidates.push_back(EvaluateCandidate(h, complaint));
-    const HierarchyRecommendation& cand = rec.candidates.back();
-    if (!cand.top_groups.empty() && cand.best_score < best) {
-      best = cand.best_score;
-      rec.best_index = static_cast<int>(rec.candidates.size()) - 1;
-    }
+    plans.push_back(BuildCandidatePlan(h));
   }
-  return rec;
+
+  // --- Execute stage: every complaint against every plan. Model training is
+  // cached inside the plans, so complaints sharing a hierarchy extension
+  // train each (measure, primitive) model at most once. ---
+  std::vector<Recommendation> out;
+  out.reserve(complaints.size());
+  for (const Complaint& complaint : complaints) {
+    ++stats_.complaints_evaluated;
+    Recommendation rec;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::unique_ptr<CandidatePlan>& plan : plans) {
+      rec.candidates.push_back(ExecuteComplaint(plan.get(), complaint));
+      const HierarchyRecommendation& cand = rec.candidates.back();
+      if (!cand.top_groups.empty() && cand.best_score < best) {
+        best = cand.best_score;
+        rec.best_index = static_cast<int>(rec.candidates.size()) - 1;
+      }
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
 }
 
 void Engine::CommitDrillDown(int hierarchy) { drill_state_.Commit(hierarchy); }
 
-HierarchyRecommendation Engine::EvaluateCandidate(int h, const Complaint& complaint) {
-  Timer total_timer;
-  const Table& table = dataset_->table();
-  HierarchyRecommendation rec;
-  rec.hierarchy = h;
+std::unique_ptr<Engine::CandidatePlan> Engine::BuildCandidatePlan(int h) {
+  Timer build_timer;
+  auto plan = std::make_unique<CandidatePlan>();
+  plan->hierarchy = h;
   int new_depth = drill_state_.depth(h) + 1;
-  rec.attribute = dataset_->hierarchy(h).attributes[static_cast<size_t>(new_depth) - 1];
+  plan->attribute = dataset_->hierarchy(h).attributes[static_cast<size_t>(new_depth) - 1];
 
-  // --- 1. Assemble the trees: intercept, committed hierarchies, candidate
-  // last (the attribute-order requirement of Section 3.4). Tree/aggregate
-  // construction goes through the drill-down cache (Section 4.4).
-  CandidateContext ctx;
+  // Assemble the trees: intercept, committed hierarchies, candidate last (the
+  // attribute-order requirement of Section 3.4). Tree/aggregate construction
+  // goes through the drill-down cache (Section 4.4).
+  CandidateContext& ctx = plan->ctx;
   ctx.trees.push_back(&InterceptTree());
   ctx.locals.push_back(&InterceptLocals());
   ctx.tree_columns.push_back({});
@@ -132,17 +200,243 @@ HierarchyRecommendation Engine::EvaluateCandidate(int h, const Complaint& compla
   }
 
   // Reference matrix for layout queries (per-primitive matrices share it).
-  FactorizedMatrix layout;
-  for (const FTree* t : ctx.trees) layout.AddTree(t);
-  rec.model_rows = layout.num_rows();
-  rec.model_clusters = layout.num_clusters();
+  for (const FTree* t : ctx.trees) plan->layout.AddTree(t);
 
-  // --- 2. Group statistics: y moments over all parallel groups (empty
-  // groups included — the worst case of Section 5.1.4), the non-empty groups
-  // for featurization, and the complaint tuple's siblings for ranking.
-  std::vector<Moments> y_moments =
-      BuildGroupMoments(layout, table, ctx.tree_columns, complaint.measure_column);
-  GroupByResult groups = GroupBy(table, ctx.key_columns, complaint.measure_column);
+  ++stats_.plans_built;
+  plan->build_seconds = build_timer.Seconds();
+  return plan;
+}
+
+const std::vector<double>& Engine::TrainPrimitive(CandidatePlan* plan, int measure_column,
+                                                  AggFn primitive) {
+  auto key = std::make_pair(measure_column, primitive);
+  auto it = plan->fitted.find(key);
+  if (it != plan->fitted.end()) return it->second;
+
+  const Table& table = dataset_->table();
+  const CandidateContext& ctx = plan->ctx;
+
+  // Group statistics for this measure: y moments over all parallel groups
+  // (empty groups included — the worst case of Section 5.1.4) and the
+  // non-empty groups for featurization. Shared across primitives.
+  auto moments_it = plan->y_moments.find(measure_column);
+  if (moments_it == plan->y_moments.end()) {
+    moments_it = plan->y_moments
+                     .emplace(measure_column, BuildGroupMoments(plan->layout, table,
+                                                                ctx.tree_columns, measure_column))
+                     .first;
+  }
+  const std::vector<Moments>& y_moments = moments_it->second;
+  auto groups_it = plan->groups.find(measure_column);
+  if (groups_it == plan->groups.end()) {
+    groups_it =
+        plan->groups.emplace(measure_column, GroupBy(table, ctx.key_columns, measure_column))
+            .first;
+  }
+  const GroupByResult& groups = groups_it->second;
+
+  FactorizedMatrix fm;
+  for (const FTree* t : ctx.trees) fm.AddTree(t);
+
+  // Intercept.
+  std::vector<std::string> column_names;
+  {
+    FeatureColumn intercept;
+    intercept.name = "intercept";
+    intercept.attr = AttrId{0, 0};
+    intercept.value_map = {1.0};
+    fm.AddColumn(std::move(intercept));
+    column_names.push_back("intercept");
+  }
+  // Default main-effect features for every drilled attribute (§3.3.1).
+  // An attribute whose every value identifies at most one group would make
+  // the median-of-Y feature the target itself (pure leakage: the model
+  // would interpolate the corrupted group and the repair would be a
+  // no-op), so such attributes are skipped and the model relies on the
+  // other attributes and the auxiliary signals.
+  for (size_t k = 1; k < ctx.tree_columns.size(); ++k) {
+    for (size_t l = 0; l < ctx.tree_columns[k].size(); ++l) {
+      int column = ctx.tree_columns[k][l];
+      int flat = fm.FlatAttrIndex(AttrId{static_cast<int>(k), static_cast<int>(l)});
+      size_t key_pos = static_cast<size_t>(flat) - 1;
+      {
+        std::vector<int32_t> groups_per_code(
+            static_cast<size_t>(table.dict(column).size()), 0);
+        bool repeated = false;
+        for (size_t g = 0; g < groups.num_groups() && !repeated; ++g) {
+          int32_t code = groups.key(g, key_pos);
+          if (++groups_per_code[static_cast<size_t>(code)] >= 2) repeated = true;
+        }
+        if (!repeated) continue;
+      }
+      FeatureColumn fc;
+      fc.name = table.column_name(column);
+      fc.attr = AttrId{static_cast<int>(k), static_cast<int>(l)};
+      fc.value_map = MainEffectMap(groups, key_pos, primitive, table.dict(column).size());
+      column_names.push_back(fc.name);
+      fm.AddColumn(std::move(fc));
+    }
+  }
+  // Auxiliary datasets (§3.3.2, Appendix H): applicable once every join
+  // attribute has been drilled.
+  for (const AuxiliarySpec& aux : auxiliaries_) {
+    std::vector<AttrId> attrs;
+    std::vector<int> base_columns;
+    bool applicable = true;
+    for (const std::string& join_attr : aux.join_attrs) {
+      int base_column = table.ColumnIndex(join_attr);
+      std::optional<AttrId> attr = FindDrilledAttr(ctx, base_column);
+      if (!attr.has_value()) {
+        applicable = false;
+        break;
+      }
+      attrs.push_back(*attr);
+      base_columns.push_back(base_column);
+    }
+    if (!applicable) continue;
+    int measure = aux.table->ColumnIndex(aux.measure);
+    FeatureColumn fc;
+    fc.name = aux.name;
+    if (attrs.size() == 1) {
+      int aux_join = aux.table->ColumnIndex(aux.join_attrs[0]);
+      std::vector<int32_t> translated = TranslateCodes(
+          aux.table->dict(aux_join), table.dict(base_columns[0]), aux.table->dim_codes(aux_join));
+      fc.attr = attrs[0];
+      fc.value_map = AuxiliaryMapFromCodes(translated, aux.table->measure(measure),
+                                           table.dict(base_columns[0]).size(), aux.normalize);
+    } else {
+      fc.is_multi = true;
+      fc.attrs = attrs;
+      std::vector<std::vector<int32_t>> translated(attrs.size());
+      std::vector<const std::vector<int32_t>*> code_ptrs;
+      for (size_t j = 0; j < attrs.size(); ++j) {
+        int aux_join = aux.table->ColumnIndex(aux.join_attrs[j]);
+        translated[j] = TranslateCodes(aux.table->dict(aux_join), table.dict(base_columns[j]),
+                                       aux.table->dim_codes(aux_join));
+        code_ptrs.push_back(&translated[j]);
+      }
+      fc.multi_map =
+          MultiAuxiliaryMapFromCodes(code_ptrs, aux.table->measure(measure), aux.normalize);
+      fc.missing_value = 0.0;
+    }
+    fm.AddColumn(std::move(fc));
+    column_names.push_back(aux.name);
+  }
+  // Custom features (§3.3.3).
+  for (const CustomFeatureSpec& custom : custom_features_) {
+    int base_column = table.ColumnIndex(custom.attr);
+    std::optional<AttrId> attr = FindDrilledAttr(ctx, base_column);
+    if (!attr.has_value()) continue;
+    int flat = fm.FlatAttrIndex(*attr);
+    size_t key_pos = static_cast<size_t>(flat) - 1;
+    int32_t card = table.dict(base_column).size();
+    AttrValueStats stats = CollectAttrValueStats(groups, key_pos, primitive, card);
+    FeatureColumn fc;
+    fc.name = custom.name;
+    fc.attr = *attr;
+    fc.value_map = custom.fn(stats);
+    REPTILE_CHECK_EQ(static_cast<int32_t>(fc.value_map.size()), card)
+        << "custom feature " << custom.name << " returned wrong cardinality";
+    fm.AddColumn(std::move(fc));
+    column_names.push_back(custom.name);
+  }
+
+  // Random-effect columns (§3.3.4): intercept-only by default, or every
+  // non-excluded feature under RandomEffects::kAllFeatures.
+  std::vector<int> z_cols;
+  if (options_.random_effects == RandomEffects::kInterceptOnly) {
+    z_cols.push_back(0);
+  } else {
+    for (int c = 0; c < fm.num_cols(); ++c) {
+      bool excluded = false;
+      for (const std::string& name : z_exclusions_) {
+        if (column_names[static_cast<size_t>(c)] == name) excluded = true;
+      }
+      if (!excluded) z_cols.push_back(c);
+    }
+  }
+
+  // y vector for this primitive.
+  std::vector<double> y(y_moments.size());
+  for (size_t i = 0; i < y_moments.size(); ++i) y[i] = y_moments[i].Value(primitive);
+
+  // Backend selection and training. The timer covers the model fit only
+  // (matching the pre-batching train_seconds semantics); group statistics
+  // and feature-matrix assembly above count toward total_seconds.
+  Timer train_timer;
+  bool use_factorized;
+  switch (options_.backend) {
+    case TrainBackend::kFactorized:
+      REPTILE_CHECK(fm.AllSingleAttribute())
+          << "factorised backend requires single-attribute features";
+      use_factorized = true;
+      break;
+    case TrainBackend::kDense:
+      use_factorized = false;
+      break;
+    case TrainBackend::kAuto:
+    default:
+      use_factorized = fm.AllSingleAttribute();
+      break;
+  }
+
+  std::vector<double> fitted;
+  DecomposedAggregates agg(&fm, ctx.locals);
+  if (options_.model == ModelKind::kMultiLevel) {
+    if (use_factorized) {
+      FactorizedEmBackend backend(&fm, &agg, z_cols);
+      MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
+      fitted = std::move(model.fitted);
+    } else {
+      Matrix x = MaterializeMatrix(fm);
+      std::vector<int64_t> begins;
+      {
+        // Cluster boundaries in row order.
+        begins.push_back(0);
+        for (int64_t row = 1; row < fm.num_rows(); ++row) {
+          if (fm.ClusterOfRow(row) != fm.ClusterOfRow(row - 1)) begins.push_back(row);
+        }
+        begins.push_back(fm.num_rows());
+      }
+      DenseEmBackend backend(&x, begins, z_cols);
+      MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
+      fitted = std::move(model.fitted);
+    }
+  } else {
+    if (use_factorized) {
+      LinearModel model = TrainLinearFactorized(fm, agg, y);
+      fitted = FactorizedVecRightMultiply(fm, model.beta);
+    } else {
+      Matrix x = MaterializeMatrix(fm);
+      LinearModel model = TrainLinearDense(x, y);
+      fitted.assign(static_cast<size_t>(fm.num_rows()), 0.0);
+      for (size_t r = 0; r < x.rows(); ++r) {
+        double acc = 0.0;
+        for (size_t c = 0; c < x.cols(); ++c) acc += x(r, c) * model.beta[c];
+        fitted[r] = acc;
+      }
+    }
+  }
+
+  ++stats_.models_trained;
+  plan->train_seconds_total += train_timer.Seconds();
+  it = plan->fitted.emplace(key, std::move(fitted)).first;
+  return it->second;
+}
+
+HierarchyRecommendation Engine::ExecuteComplaint(CandidatePlan* plan,
+                                                 const Complaint& complaint) {
+  Timer total_timer;
+  const Table& table = dataset_->table();
+  const CandidateContext& ctx = plan->ctx;
+  HierarchyRecommendation rec;
+  rec.hierarchy = plan->hierarchy;
+  rec.attribute = plan->attribute;
+  rec.key_columns = ctx.key_columns;
+  rec.model_rows = plan->layout.num_rows();
+  rec.model_clusters = plan->layout.num_clusters();
+
+  // The complaint tuple's siblings for ranking.
   GroupByResult siblings =
       GroupBy(table, ctx.key_columns, complaint.measure_column, complaint.filter);
 
@@ -160,211 +454,24 @@ HierarchyRecommendation Engine::EvaluateCandidate(int h, const Complaint& compla
         leaves[k] = leaf;
         offset += static_cast<size_t>(depth);
       }
-      sibling_rows[g] = layout.RowOfLeaves(leaves);
+      sibling_rows[g] = plan->layout.RowOfLeaves(leaves);
     }
   }
 
-  // --- 3/4. Per primitive statistic: build features, fit, predict. The
-  // primitives are the complaint's decomposition plus any extra statistics
-  // the user asked frepair to restore (Appendix N).
-  std::vector<AggFn> primitives = RequiredPrimitives(complaint.agg);
-  for (AggFn extra : options_.extra_repair_stats) {
-    for (AggFn required : RequiredPrimitives(extra)) {
-      if (std::find(primitives.begin(), primitives.end(), required) == primitives.end()) {
-        primitives.push_back(required);
-      }
-    }
-  }
+  // Per primitive statistic: fitted model values (trained on first use,
+  // reused by every complaint sharing this plan and measure).
+  double train_before = plan->train_seconds_total;
   GroupPredictions predictions(siblings.num_groups());
-  for (AggFn primitive : primitives) {
-    FactorizedMatrix fm;
-    for (const FTree* t : ctx.trees) fm.AddTree(t);
-
-    // Intercept.
-    std::vector<std::string> column_names;
-    {
-      FeatureColumn intercept;
-      intercept.name = "intercept";
-      intercept.attr = AttrId{0, 0};
-      intercept.value_map = {1.0};
-      fm.AddColumn(std::move(intercept));
-      column_names.push_back("intercept");
-    }
-    // Default main-effect features for every drilled attribute (§3.3.1).
-    // An attribute whose every value identifies at most one group would make
-    // the median-of-Y feature the target itself (pure leakage: the model
-    // would interpolate the corrupted group and the repair would be a
-    // no-op), so such attributes are skipped and the model relies on the
-    // other attributes and the auxiliary signals.
-    for (size_t k = 1; k < ctx.tree_columns.size(); ++k) {
-      for (size_t l = 0; l < ctx.tree_columns[k].size(); ++l) {
-        int column = ctx.tree_columns[k][l];
-        int flat = fm.FlatAttrIndex(AttrId{static_cast<int>(k), static_cast<int>(l)});
-        size_t key_pos = static_cast<size_t>(flat) - 1;
-        {
-          std::vector<int32_t> groups_per_code(
-              static_cast<size_t>(table.dict(column).size()), 0);
-          bool repeated = false;
-          for (size_t g = 0; g < groups.num_groups() && !repeated; ++g) {
-            int32_t code = groups.key(g, key_pos);
-            if (++groups_per_code[static_cast<size_t>(code)] >= 2) repeated = true;
-          }
-          if (!repeated) continue;
-        }
-        FeatureColumn fc;
-        fc.name = table.column_name(column);
-        fc.attr = AttrId{static_cast<int>(k), static_cast<int>(l)};
-        fc.value_map = MainEffectMap(groups, key_pos, primitive, table.dict(column).size());
-        column_names.push_back(fc.name);
-        fm.AddColumn(std::move(fc));
-      }
-    }
-    // Auxiliary datasets (§3.3.2, Appendix H): applicable once every join
-    // attribute has been drilled.
-    for (const AuxiliarySpec& aux : auxiliaries_) {
-      std::vector<AttrId> attrs;
-      std::vector<int> base_columns;
-      bool applicable = true;
-      for (const std::string& join_attr : aux.join_attrs) {
-        int base_column = table.ColumnIndex(join_attr);
-        std::optional<AttrId> attr = FindDrilledAttr(ctx, base_column);
-        if (!attr.has_value()) {
-          applicable = false;
-          break;
-        }
-        attrs.push_back(*attr);
-        base_columns.push_back(base_column);
-      }
-      if (!applicable) continue;
-      int measure = aux.table->ColumnIndex(aux.measure);
-      FeatureColumn fc;
-      fc.name = aux.name;
-      if (attrs.size() == 1) {
-        int aux_join = aux.table->ColumnIndex(aux.join_attrs[0]);
-        std::vector<int32_t> translated = TranslateCodes(
-            aux.table->dict(aux_join), table.dict(base_columns[0]), aux.table->dim_codes(aux_join));
-        fc.attr = attrs[0];
-        fc.value_map = AuxiliaryMapFromCodes(translated, aux.table->measure(measure),
-                                             table.dict(base_columns[0]).size(), aux.normalize);
-      } else {
-        fc.is_multi = true;
-        fc.attrs = attrs;
-        std::vector<std::vector<int32_t>> translated(attrs.size());
-        std::vector<const std::vector<int32_t>*> code_ptrs;
-        for (size_t j = 0; j < attrs.size(); ++j) {
-          int aux_join = aux.table->ColumnIndex(aux.join_attrs[j]);
-          translated[j] = TranslateCodes(aux.table->dict(aux_join), table.dict(base_columns[j]),
-                                         aux.table->dim_codes(aux_join));
-          code_ptrs.push_back(&translated[j]);
-        }
-        fc.multi_map =
-            MultiAuxiliaryMapFromCodes(code_ptrs, aux.table->measure(measure), aux.normalize);
-        fc.missing_value = 0.0;
-      }
-      fm.AddColumn(std::move(fc));
-      column_names.push_back(aux.name);
-    }
-    // Custom features (§3.3.3).
-    for (const CustomFeatureSpec& custom : custom_features_) {
-      int base_column = table.ColumnIndex(custom.attr);
-      std::optional<AttrId> attr = FindDrilledAttr(ctx, base_column);
-      if (!attr.has_value()) continue;
-      int flat = fm.FlatAttrIndex(*attr);
-      size_t key_pos = static_cast<size_t>(flat) - 1;
-      int32_t card = table.dict(base_column).size();
-      AttrValueStats stats = CollectAttrValueStats(groups, key_pos, primitive, card);
-      FeatureColumn fc;
-      fc.name = custom.name;
-      fc.attr = *attr;
-      fc.value_map = custom.fn(stats);
-      REPTILE_CHECK_EQ(static_cast<int32_t>(fc.value_map.size()), card)
-          << "custom feature " << custom.name << " returned wrong cardinality";
-      fm.AddColumn(std::move(fc));
-      column_names.push_back(custom.name);
-    }
-
-    // Random-effect columns (§3.3.4): intercept-only by default, or every
-    // non-excluded feature under RandomEffects::kAllFeatures.
-    std::vector<int> z_cols;
-    if (options_.random_effects == RandomEffects::kInterceptOnly) {
-      z_cols.push_back(0);
-    } else {
-      for (int c = 0; c < fm.num_cols(); ++c) {
-        bool excluded = false;
-        for (const std::string& name : z_exclusions_) {
-          if (column_names[static_cast<size_t>(c)] == name) excluded = true;
-        }
-        if (!excluded) z_cols.push_back(c);
-      }
-    }
-
-    // y vector for this primitive.
-    std::vector<double> y(y_moments.size());
-    for (size_t i = 0; i < y_moments.size(); ++i) y[i] = y_moments[i].Value(primitive);
-
-    // Backend selection and training.
-    bool use_factorized;
-    switch (options_.backend) {
-      case TrainBackend::kFactorized:
-        REPTILE_CHECK(fm.AllSingleAttribute())
-            << "factorised backend requires single-attribute features";
-        use_factorized = true;
-        break;
-      case TrainBackend::kDense:
-        use_factorized = false;
-        break;
-      case TrainBackend::kAuto:
-      default:
-        use_factorized = fm.AllSingleAttribute();
-        break;
-    }
-
-    Timer train_timer;
-    std::vector<double> fitted;
-    DecomposedAggregates agg(&fm, ctx.locals);
-    if (options_.model == ModelKind::kMultiLevel) {
-      if (use_factorized) {
-        FactorizedEmBackend backend(&fm, &agg, z_cols);
-        MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
-        fitted = std::move(model.fitted);
-      } else {
-        Matrix x = MaterializeMatrix(fm);
-        std::vector<int64_t> begins;
-        {
-          // Cluster boundaries in row order.
-          begins.push_back(0);
-          for (int64_t row = 1; row < fm.num_rows(); ++row) {
-            if (fm.ClusterOfRow(row) != fm.ClusterOfRow(row - 1)) begins.push_back(row);
-          }
-          begins.push_back(fm.num_rows());
-        }
-        DenseEmBackend backend(&x, begins, z_cols);
-        MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
-        fitted = std::move(model.fitted);
-      }
-    } else {
-      if (use_factorized) {
-        LinearModel model = TrainLinearFactorized(fm, agg, y);
-        fitted = FactorizedVecRightMultiply(fm, model.beta);
-      } else {
-        Matrix x = MaterializeMatrix(fm);
-        LinearModel model = TrainLinearDense(x, y);
-        fitted.assign(static_cast<size_t>(fm.num_rows()), 0.0);
-        for (size_t r = 0; r < x.rows(); ++r) {
-          double acc = 0.0;
-          for (size_t c = 0; c < x.cols(); ++c) acc += x(r, c) * model.beta[c];
-          fitted[r] = acc;
-        }
-      }
-    }
-    rec.train_seconds += train_timer.Seconds();
-
+  for (AggFn primitive : ComplaintPrimitives(complaint, options_)) {
+    const std::vector<double>& fitted =
+        TrainPrimitive(plan, complaint.measure_column, primitive);
     for (size_t g = 0; g < siblings.num_groups(); ++g) {
       predictions[g][primitive] = fitted[static_cast<size_t>(sibling_rows[g])];
     }
   }
+  rec.train_seconds = plan->train_seconds_total - train_before;
 
-  // --- 5. Repair each sibling and rank by the repaired complaint value. ---
+  // Repair each sibling and rank by the repaired complaint value.
   std::vector<ScoredGroup> ranked = RankGroups(siblings, predictions, complaint);
   rec.best_score =
       ranked.empty() ? std::numeric_limits<double>::infinity() : ranked.front().score;
@@ -384,6 +491,10 @@ HierarchyRecommendation Engine::EvaluateCandidate(int h, const Complaint& compla
     rec.top_groups.push_back(std::move(gr));
   }
   rec.total_seconds = total_timer.Seconds();
+  if (!plan->build_charged) {
+    rec.total_seconds += plan->build_seconds;
+    plan->build_charged = true;
+  }
   return rec;
 }
 

@@ -25,9 +25,11 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "core/complaint.h"
 #include "core/ranker.h"
 #include "data/dataset.h"
@@ -102,11 +104,15 @@ struct GroupRecommendation {
 /// Result of evaluating one candidate hierarchy.
 struct HierarchyRecommendation {
   int hierarchy = -1;
-  std::string attribute;  // the newly added (drilled) attribute
+  std::string attribute;          // the newly added (drilled) attribute
+  std::vector<int> key_columns;   // table columns the group keys range over
   std::vector<GroupRecommendation> top_groups;
   double best_score = 0.0;
   int64_t model_rows = 0;      // parallel groups (incl. empty)
   int64_t model_clusters = 0;  // multi-level clusters
+  // Work actually performed while answering this complaint: model fits that
+  // were served from the batch's model cache contribute 0 to train_seconds
+  // (recommendations are batch/sequential-identical; timings are not).
   double train_seconds = 0.0;
   double total_seconds = 0.0;
 };
@@ -119,9 +125,29 @@ struct Recommendation {
   const HierarchyRecommendation& best() const;
 };
 
+/// Work counters for one engine, reset on demand. `models_trained` counts
+/// actual primitive-model fits; a batched invocation trains each shared
+/// (hierarchy, measure, primitive) model at most once, so batching N
+/// complaints over one hierarchy extension fits far fewer than N times the
+/// single-complaint count.
+struct EngineStats {
+  int64_t models_trained = 0;
+  int64_t plans_built = 0;
+  int64_t complaints_evaluated = 0;
+};
+
+/// The engine pipeline is staged so the batched entry point can enter
+/// mid-way (Section 4.5 / the LMFAO-style multi-query planning of §5.1.2):
+///
+///   validate — ValidateComplaint: user-input checks as Status (no aborts);
+///   plan     — per candidate hierarchy, assemble trees / drill-down caches /
+///              the factorised layout once, shared by every complaint;
+///   execute  — per (measure, primitive) train one model (cached within the
+///              invocation), then per complaint rank its sibling groups.
 class Engine {
  public:
   explicit Engine(const Dataset* dataset, EngineOptions options = EngineOptions());
+  ~Engine();
 
   /// Registers an auxiliary dataset; its features apply automatically once
   /// every join attribute is part of the drill-down (Section 3.3.2).
@@ -135,8 +161,20 @@ class Engine {
   /// name; auxiliary/custom features carry their spec name.
   void ExcludeFromRandomEffects(const std::string& feature_name);
 
+  /// Validate stage: checks a pre-built complaint's column indices and codes
+  /// against the dataset (delegates to core/complaint's ValidateComplaint —
+  /// name-based construction via ResolveComplaint validates implicitly).
+  Status ValidateComplaint(const Complaint& complaint) const;
+
   /// Evaluates every drillable hierarchy and returns the ranked groups.
   Recommendation RecommendDrillDown(const Complaint& complaint);
+
+  /// Batched entry point: plans all complaints over one pass of the
+  /// drill-down caches. Complaints that share a hierarchy extension reuse the
+  /// feature-matrix extension and the trained primitive models; the
+  /// recommendations are element-wise identical to N sequential
+  /// RecommendDrillDown calls (timing fields reflect the shared work).
+  std::vector<Recommendation> RecommendBatch(std::span<const Complaint> complaints);
 
   /// Commits the drill-down on `hierarchy` (advances the session state).
   void CommitDrillDown(int hierarchy);
@@ -146,9 +184,24 @@ class Engine {
   const Dataset& dataset() const { return *dataset_; }
   DrillDownState& drill_state() { return drill_state_; }
   const EngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EngineStats(); }
 
  private:
-  HierarchyRecommendation EvaluateCandidate(int hierarchy, const Complaint& complaint);
+  struct CandidatePlan;  // defined in engine.cpp
+
+  /// Plan stage: assembles the shared per-hierarchy context (trees, caches,
+  /// factorised layout) for drilling `hierarchy` one level deeper.
+  std::unique_ptr<CandidatePlan> BuildCandidatePlan(int hierarchy);
+
+  /// Execute stage, model half: the fitted values for one primitive statistic
+  /// over one measure column, trained on first use and cached in the plan.
+  const std::vector<double>& TrainPrimitive(CandidatePlan* plan, int measure_column,
+                                            AggFn primitive);
+
+  /// Execute stage, ranking half: scores one complaint's sibling groups
+  /// against the plan's trained models.
+  HierarchyRecommendation ExecuteComplaint(CandidatePlan* plan, const Complaint& complaint);
 
   const Dataset* dataset_;
   EngineOptions options_;
@@ -156,6 +209,7 @@ class Engine {
   std::vector<AuxiliarySpec> auxiliaries_;
   std::vector<CustomFeatureSpec> custom_features_;
   std::vector<std::string> z_exclusions_;
+  EngineStats stats_;
 };
 
 }  // namespace reptile

@@ -18,44 +18,68 @@ std::vector<std::string> SplitLine(const std::string& line, char separator) {
 
 }  // namespace
 
-std::optional<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
+Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
   std::ifstream in(path);
-  if (!in.is_open()) return std::nullopt;
+  if (!in.is_open()) return Status::IoError("cannot open '" + path + "' for reading");
   std::string line;
-  if (!std::getline(in, line)) return std::nullopt;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("'" + path + "' is empty (expected a header row)");
+  }
   if (!line.empty() && line.back() == '\r') line.pop_back();
   std::vector<std::string> header = SplitLine(line, spec.separator);
 
-  // Map CSV field index -> (table column, is_dimension); -1 = skip.
+  // Map CSV field index -> (table column, is_dimension); -1 = skip. Columns
+  // are added in header order (the documented contract); spec names that
+  // match no header field or more than one are reported precisely.
   Table table;
   std::vector<int> field_to_column(header.size(), -1);
   std::vector<bool> field_is_dim(header.size(), false);
+  std::vector<int> dim_matches(spec.dimension_columns.size(), 0);
+  std::vector<int> measure_matches(spec.measure_columns.size(), 0);
   for (size_t f = 0; f < header.size(); ++f) {
-    for (const std::string& name : spec.dimension_columns) {
-      if (header[f] == name) {
-        field_to_column[f] = table.AddDimensionColumn(name);
-        field_is_dim[f] = true;
+    for (size_t n = 0; n < spec.dimension_columns.size(); ++n) {
+      if (header[f] != spec.dimension_columns[n]) continue;
+      if (++dim_matches[n] > 1 || field_to_column[f] >= 0) {
+        return Status::ParseError("'" + path + "': header names column '" + header[f] +
+                                  "' more than once or in both dimension and measure specs");
       }
+      field_to_column[f] = table.AddDimensionColumn(header[f]);
+      field_is_dim[f] = true;
     }
-    for (const std::string& name : spec.measure_columns) {
-      if (header[f] == name) {
-        field_to_column[f] = table.AddMeasureColumn(name);
-        field_is_dim[f] = false;
+    for (size_t n = 0; n < spec.measure_columns.size(); ++n) {
+      if (header[f] != spec.measure_columns[n]) continue;
+      if (++measure_matches[n] > 1 || field_to_column[f] >= 0) {
+        return Status::ParseError("'" + path + "': header names column '" + header[f] +
+                                  "' more than once or in both dimension and measure specs");
       }
+      field_to_column[f] = table.AddMeasureColumn(header[f]);
+      field_is_dim[f] = false;
     }
   }
-  size_t wanted = spec.dimension_columns.size() + spec.measure_columns.size();
-  size_t found = 0;
-  for (int c : field_to_column) {
-    if (c >= 0) ++found;
+  for (size_t n = 0; n < spec.dimension_columns.size(); ++n) {
+    if (dim_matches[n] == 0) {
+      return Status::NotFound("'" + path + "': dimension column '" +
+                              spec.dimension_columns[n] + "' is missing from the header");
+    }
   }
-  if (found != wanted) return std::nullopt;
+  for (size_t n = 0; n < spec.measure_columns.size(); ++n) {
+    if (measure_matches[n] == 0) {
+      return Status::NotFound("'" + path + "': measure column '" + spec.measure_columns[n] +
+                              "' is missing from the header");
+    }
+  }
 
+  size_t row_number = 0;  // 1-based data row (header excluded)
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    ++row_number;
     std::vector<std::string> fields = SplitLine(line, spec.separator);
-    if (fields.size() != header.size()) return std::nullopt;
+    if (fields.size() != header.size()) {
+      return Status::ParseError("'" + path + "' row " + std::to_string(row_number) +
+                                ": expected " + std::to_string(header.size()) +
+                                " fields, got " + std::to_string(fields.size()));
+    }
     for (size_t f = 0; f < fields.size(); ++f) {
       int column = field_to_column[f];
       if (column < 0) continue;
@@ -64,7 +88,12 @@ std::optional<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
       } else {
         char* end = nullptr;
         double value = std::strtod(fields[f].c_str(), &end);
-        if (end == fields[f].c_str()) return std::nullopt;
+        while (*end == ' ' || *end == '\t') ++end;  // permit trailing padding
+        if (end == fields[f].c_str() || *end != '\0') {
+          return Status::ParseError("'" + path + "' row " + std::to_string(row_number) +
+                                    ", column '" + header[f] + "': cannot parse '" +
+                                    fields[f] + "' as a number");
+        }
         table.SetMeasure(column, value);
       }
     }
@@ -73,9 +102,9 @@ std::optional<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
   return table;
 }
 
-bool SaveCsv(const Table& table, const std::string& path, char separator) {
+Status SaveCsv(const Table& table, const std::string& path, char separator) {
   std::ofstream out(path);
-  if (!out.is_open()) return false;
+  if (!out.is_open()) return Status::IoError("cannot open '" + path + "' for writing");
   for (int c = 0; c < table.num_columns(); ++c) {
     if (c > 0) out << separator;
     out << table.column_name(c);
@@ -92,7 +121,8 @@ bool SaveCsv(const Table& table, const std::string& path, char separator) {
     }
     out << '\n';
   }
-  return out.good();
+  if (!out.good()) return Status::IoError("error while writing '" + path + "'");
+  return Status::Ok();
 }
 
 }  // namespace reptile

@@ -6,10 +6,10 @@
 #ifndef REPTILE_DATA_CSV_H_
 #define REPTILE_DATA_CSV_H_
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "data/table.h"
 
 namespace reptile {
@@ -22,12 +22,15 @@ struct CsvSpec {
 };
 
 /// Loads a CSV file with a header row. Columns named in `spec` are loaded (in
-/// header order); other columns are ignored. Returns std::nullopt on I/O or
-/// parse failure.
-std::optional<Table> LoadCsv(const std::string& path, const CsvSpec& spec);
+/// header order); other columns are ignored. Failures are reported precisely:
+/// kIoError when the file cannot be opened, kParseError with the 1-based data
+/// row number and offending column for malformed rows (wrong field count,
+/// non-numeric measure), kNotFound when a spec column is missing from the
+/// header.
+Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec);
 
-/// Writes all columns of `table` to `path`. Returns false on I/O failure.
-bool SaveCsv(const Table& table, const std::string& path, char separator = ',');
+/// Writes all columns of `table` to `path`; kIoError on failure.
+Status SaveCsv(const Table& table, const std::string& path, char separator = ',');
 
 }  // namespace reptile
 

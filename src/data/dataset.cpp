@@ -15,6 +15,55 @@ Dataset::Dataset(Table table, std::vector<HierarchySchema> hierarchies)
   Validate();
 }
 
+namespace {
+
+// Shared schema checks behind Dataset::Make (Status) and Dataset::Validate
+// (aborting): one rule set, two reporting modes.
+Status ValidateSchema(const Table& table, const std::vector<HierarchySchema>& hierarchies) {
+  std::vector<std::string> seen_attrs;
+  std::vector<std::string> seen_names;
+  for (const HierarchySchema& h : hierarchies) {
+    if (h.attributes.empty()) {
+      return Status::InvalidArgument("hierarchy '" + h.name + "' has no attributes");
+    }
+    for (const std::string& name : seen_names) {
+      if (name == h.name) {
+        return Status::InvalidArgument("hierarchy '" + h.name + "' is declared twice");
+      }
+    }
+    seen_names.push_back(h.name);
+    for (const std::string& attr : h.attributes) {
+      std::optional<int> column = table.FindColumn(attr);
+      if (!column.has_value()) {
+        return Status::NotFound("hierarchy '" + h.name + "' attribute '" + attr +
+                                "' does not exist in the table");
+      }
+      if (!table.is_dimension(*column)) {
+        return Status::InvalidArgument("hierarchy '" + h.name + "' attribute '" + attr +
+                                       "' must be a dimension column, not a measure");
+      }
+      for (const std::string& seen : seen_attrs) {
+        if (seen == attr) {
+          return Status::InvalidArgument("attribute '" + attr +
+                                         "' appears in more than one hierarchy position");
+        }
+      }
+      seen_attrs.push_back(attr);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Dataset> Dataset::Make(Table table, std::vector<HierarchySchema> hierarchies) {
+  if (hierarchies.empty()) {
+    return Status::InvalidArgument("a dataset needs at least one hierarchy");
+  }
+  REPTILE_RETURN_IF_ERROR(ValidateSchema(table, hierarchies));
+  return Dataset(std::move(table), std::move(hierarchies));
+}
+
 int Dataset::AttrColumn(AttrId attr) const {
   REPTILE_CHECK(attr.hierarchy >= 0 && attr.hierarchy < num_hierarchies());
   const auto& columns = attr_columns_[attr.hierarchy];
@@ -34,24 +83,30 @@ const std::string& Dataset::AttrName(AttrId attr) const {
 }
 
 AttrId Dataset::ResolveAttr(const std::string& name) const {
+  std::optional<AttrId> attr = FindAttr(name);
+  REPTILE_CHECK(attr.has_value()) << "attribute " << name << " is not in any hierarchy";
+  return *attr;
+}
+
+std::optional<AttrId> Dataset::FindAttr(const std::string& name) const {
   for (int h = 0; h < num_hierarchies(); ++h) {
     for (int l = 0; l < hierarchies_[h].depth(); ++l) {
       if (hierarchies_[h].attributes[l] == name) return AttrId{h, l};
     }
   }
-  REPTILE_CHECK(false) << "attribute " << name << " is not in any hierarchy";
-  return AttrId{};
+  return std::nullopt;
+}
+
+std::optional<int> Dataset::FindHierarchy(const std::string& name) const {
+  for (int h = 0; h < num_hierarchies(); ++h) {
+    if (hierarchies_[h].name == name) return h;
+  }
+  return std::nullopt;
 }
 
 void Dataset::Validate() const {
-  for (const HierarchySchema& h : hierarchies_) {
-    REPTILE_CHECK(!h.attributes.empty()) << "hierarchy " << h.name << " has no attributes";
-    for (const std::string& attr : h.attributes) {
-      int column = table_.ColumnIndex(attr);
-      REPTILE_CHECK(table_.is_dimension(column))
-          << "hierarchy attribute " << attr << " must be a dimension column";
-    }
-  }
+  Status status = ValidateSchema(table_, hierarchies_);
+  REPTILE_CHECK(status.ok()) << status.message();
 }
 
 }  // namespace reptile

@@ -5,9 +5,11 @@
 #ifndef REPTILE_DATA_DATASET_H_
 #define REPTILE_DATA_DATASET_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "data/hierarchy.h"
 #include "data/table.h"
 
@@ -19,6 +21,11 @@ class Dataset {
  public:
   Dataset() = default;
   Dataset(Table table, std::vector<HierarchySchema> hierarchies);
+
+  /// Non-aborting factory: validates the hierarchy metadata against the table
+  /// (every attribute must name an existing dimension column, hierarchies and
+  /// attributes must not repeat) and returns a Status instead of aborting.
+  static Result<Dataset> Make(Table table, std::vector<HierarchySchema> hierarchies);
 
   const Table& table() const { return table_; }
   Table& mutable_table() { return table_; }
@@ -38,6 +45,13 @@ class Dataset {
   /// Resolves an attribute name to its AttrId; aborts when the name does not
   /// belong to any hierarchy.
   AttrId ResolveAttr(const std::string& name) const;
+
+  /// Resolves an attribute name to its AttrId, or std::nullopt (non-aborting
+  /// counterpart of ResolveAttr, for user-input paths).
+  std::optional<AttrId> FindAttr(const std::string& name) const;
+
+  /// Index of the hierarchy with the given schema name, or std::nullopt.
+  std::optional<int> FindHierarchy(const std::string& name) const;
 
   /// Verifies that every hierarchy attribute exists as a dimension column;
   /// called by the constructor.

@@ -160,8 +160,9 @@ FistStudy MakeFistStudy(uint64_t seed) {
   auto add_case = [&](const std::string& kind, const Complaint& complaint, int geo_depth,
                       const std::string& expected, bool success) {
     FistComplaintCase c;
-    c.name = "P" + std::to_string(1 + case_id % 3) + " #" + std::to_string(++case_id) + " " +
+    c.name = "P" + std::to_string(1 + case_id % 3) + " #" + std::to_string(case_id + 1) + " " +
              kind;
+    ++case_id;
     c.complaint = complaint;
     c.geo_commit_depth = geo_depth;
     c.expected_substr = expected;

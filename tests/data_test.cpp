@@ -1,6 +1,7 @@
 // Tests for data/: dictionaries, tables, datasets, group-by, CSV round trips.
 
 #include <cstdio>
+#include <fstream>
 
 #include "data/csv.h"
 #include "data/dataset.h"
@@ -121,12 +122,12 @@ TEST(Dataset, ResolvesHierarchies) {
 TEST(Csv, SaveLoadRoundTrip) {
   Table t = MakeVillageTable();
   std::string path = ::testing::TempDir() + "/reptile_csv_test.csv";
-  ASSERT_TRUE(SaveCsv(t, path));
+  ASSERT_TRUE(SaveCsv(t, path).ok());
   CsvSpec spec;
   spec.dimension_columns = {"district", "village"};
   spec.measure_columns = {"severity"};
   auto loaded = LoadCsv(path, spec);
-  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->num_rows(), t.num_rows());
   EXPECT_DOUBLE_EQ(loaded->measure(loaded->ColumnIndex("severity"))[2], 2.0);
   EXPECT_EQ(loaded->dict(loaded->ColumnIndex("village")).name(0), "Adishim");
@@ -136,16 +137,54 @@ TEST(Csv, SaveLoadRoundTrip) {
 TEST(Csv, MissingColumnFails) {
   Table t = MakeVillageTable();
   std::string path = ::testing::TempDir() + "/reptile_csv_test2.csv";
-  ASSERT_TRUE(SaveCsv(t, path));
+  ASSERT_TRUE(SaveCsv(t, path).ok());
   CsvSpec spec;
   spec.dimension_columns = {"district", "nonexistent"};
-  EXPECT_FALSE(LoadCsv(path, spec).has_value());
+  EXPECT_FALSE(LoadCsv(path, spec).ok());
   std::remove(path.c_str());
 }
 
 TEST(Csv, LoadMissingFileFails) {
   CsvSpec spec;
-  EXPECT_FALSE(LoadCsv("/nonexistent/path.csv", spec).has_value());
+  EXPECT_FALSE(LoadCsv("/nonexistent/path.csv", spec).ok());
+}
+
+TEST(Csv, DuplicateHeaderColumnFails) {
+  std::string path = ::testing::TempDir() + "/reptile_csv_dup.csv";
+  {
+    std::ofstream out(path);
+    out << "district,district,severity\nOfla,Ofla,3.5\n";
+  }
+  CsvSpec spec;
+  spec.dimension_columns = {"district"};
+  spec.measure_columns = {"severity"};
+  Result<Table> loaded = LoadCsv(path, spec);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("more than once"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, TrailingWhitespaceInMeasureIsAccepted) {
+  std::string path = ::testing::TempDir() + "/reptile_csv_ws.csv";
+  {
+    std::ofstream out(path);
+    out << "district,severity\nOfla, 3.5 \nRaya,oops\n";
+  }
+  CsvSpec spec;
+  spec.dimension_columns = {"district"};
+  spec.measure_columns = {"severity"};
+  Result<Table> bad = LoadCsv(path, spec);
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);  // 'oops' on row 2
+  EXPECT_NE(bad.status().message().find("row 2"), std::string::npos);
+  {
+    std::ofstream out(path);
+    out << "district,severity\nOfla, 3.5 \n";
+  }
+  Result<Table> ok = LoadCsv(path, spec);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_DOUBLE_EQ(ok->measure(ok->ColumnIndex("severity"))[0], 3.5);
+  std::remove(path.c_str());
 }
 
 }  // namespace
