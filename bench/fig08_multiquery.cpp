@@ -12,11 +12,18 @@
 // sequential grows linearly (3 models per complaint); the models_trained
 // counters report exactly that sharing.
 //
+// The Parallel sweep fixes the batch at the maximum size and sweeps the
+// per-call worker count over {1, 2, 4, 8} (REPTILE_FIG8_MAX_THREADS caps
+// it): model fits and per-complaint rankings fan out, so wall time drops
+// while models_trained (fits per batch) stays constant. Recommendations are
+// verified byte-identical across thread counts before the benchmarks run.
+//
 // Exercises only the public api/ surface (no core/engine.h include);
 // common/env.h is shared benchmark-harness plumbing, not engine internals.
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -97,13 +104,59 @@ std::vector<ComplaintSpec> MakeComplaints(int64_t n) {
   return complaints;
 }
 
+// Serialisation of a batch with the (legitimately scheduling-dependent)
+// timing fields zeroed, so results can be compared byte-for-byte.
+std::string TimelessJson(BatchExploreResponse batch) {
+  batch.train_seconds = 0.0;
+  batch.wall_seconds = 0.0;
+  for (ExploreResponse& response : batch.responses) {
+    for (HierarchyResponse& candidate : response.candidates) {
+      candidate.train_seconds = 0.0;
+      candidate.total_seconds = 0.0;
+    }
+  }
+  return batch.ToJson();
+}
+
+// Aborts unless the batch produces byte-identical recommendations at every
+// swept thread count (the Section 5.1.2 requirement: parallelism changes the
+// schedule, never the answer).
+void VerifyIdenticalAcrossThreads(int64_t batch_size, int max_threads) {
+  Session& session = SharedSession();
+  std::vector<ComplaintSpec> complaints = MakeComplaints(batch_size);
+  Result<BatchExploreResponse> reference =
+      session.RecommendAll(std::span<const ComplaintSpec>(complaints), BatchOptions().Threads(1));
+  if (!reference.ok()) {
+    std::fprintf(stderr, "verify failed: %s\n", reference.status().ToString().c_str());
+    std::abort();
+  }
+  std::string expected = TimelessJson(*reference);
+  for (int threads = 2; threads <= max_threads; threads *= 2) {
+    Result<BatchExploreResponse> batch = session.RecommendAll(
+        std::span<const ComplaintSpec>(complaints), BatchOptions().Threads(threads));
+    if (!batch.ok()) {
+      std::fprintf(stderr, "verify failed at %d threads: %s\n", threads,
+                   batch.status().ToString().c_str());
+      std::abort();
+    }
+    if (TimelessJson(*batch) != expected) {
+      std::fprintf(stderr,
+                   "verify failed: recommendations at %d threads differ from sequential\n",
+                   threads);
+      std::abort();
+    }
+  }
+  std::fprintf(stderr, "fig08 verify: batch of %lld byte-identical at 1..%d threads\n",
+               static_cast<long long>(batch_size), max_threads);
+}
+
 void BM_MultiQuery_Batched(benchmark::State& state) {
   Session& session = SharedSession();
   std::vector<ComplaintSpec> complaints = MakeComplaints(state.range(0));
   int64_t models = 0;
   for (auto _ : state) {
-    Result<BatchExploreResponse> batch =
-        session.RecommendAll(std::span<const ComplaintSpec>(complaints));
+    Result<BatchExploreResponse> batch = session.RecommendAll(
+        std::span<const ComplaintSpec>(complaints), BatchOptions().Threads(1));
     if (!batch.ok()) {
       state.SkipWithError(batch.status().ToString().c_str());
       return;
@@ -121,7 +174,7 @@ void BM_MultiQuery_Sequential(benchmark::State& state) {
   for (auto _ : state) {
     int64_t before = session.models_trained();
     for (const ComplaintSpec& complaint : complaints) {
-      Result<ExploreResponse> response = session.Recommend(complaint);
+      Result<ExploreResponse> response = session.Recommend(complaint, BatchOptions().Threads(1));
       if (!response.ok()) {
         state.SkipWithError(response.status().ToString().c_str());
         return;
@@ -133,9 +186,62 @@ void BM_MultiQuery_Sequential(benchmark::State& state) {
   state.counters["models_trained"] = static_cast<double>(models);
 }
 
+// Fixed batch, swept per-call worker count: the tentpole measurement. The
+// "speedup" counter is this run's wall time relative to the 1-thread run of
+// the same batch size (measured once up front, outside the timed loop).
+double SequentialBaselineSeconds(int64_t batch_size) {
+  Session& session = SharedSession();
+  std::vector<ComplaintSpec> complaints = MakeComplaints(batch_size);
+  // Warm the drill-down caches, then take the best of three.
+  double best = 0.0;
+  for (int rep = 0; rep < 4; ++rep) {
+    Result<BatchExploreResponse> batch = session.RecommendAll(
+        std::span<const ComplaintSpec>(complaints), BatchOptions().Threads(1));
+    if (!batch.ok()) return 0.0;
+    if (rep == 0) continue;
+    if (best == 0.0 || batch->wall_seconds < best) best = batch->wall_seconds;
+  }
+  return best;
+}
+
+void BM_MultiQuery_Parallel(benchmark::State& state) {
+  static std::map<int64_t, double> baseline;  // batch size -> 1-thread seconds
+  Session& session = SharedSession();
+  int64_t batch_size = state.range(0);
+  int threads = static_cast<int>(state.range(1));
+  if (baseline.find(batch_size) == baseline.end()) {
+    baseline[batch_size] = SequentialBaselineSeconds(batch_size);
+  }
+  std::vector<ComplaintSpec> complaints = MakeComplaints(batch_size);
+  int64_t models = 0;
+  double wall = 0.0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    Result<BatchExploreResponse> batch = session.RecommendAll(
+        std::span<const ComplaintSpec>(complaints), BatchOptions().Threads(threads));
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      return;
+    }
+    models = batch->models_trained;
+    wall += batch->wall_seconds;
+    ++iters;
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["threads"] = threads;
+  state.counters["models_trained"] = static_cast<double>(models);  // fits per batch
+  if (iters > 0 && wall > 0.0 && baseline[batch_size] > 0.0) {
+    state.counters["speedup"] =
+        baseline[batch_size] / (wall / static_cast<double>(iters));
+  }
+}
+
 void RegisterAll() {
   int64_t max_batch = EnvInt("REPTILE_FIG8_MAX_BATCH", 16);
   if (max_batch <= 0) max_batch = 16;
+  int64_t max_threads = EnvInt("REPTILE_FIG8_MAX_THREADS", 8);
+  if (max_threads <= 0) max_threads = 8;
+  VerifyIdenticalAcrossThreads(max_batch, static_cast<int>(max_threads));
   for (auto fn : {std::make_pair("Fig8/MultiQuery/Batched", BM_MultiQuery_Batched),
                   std::make_pair("Fig8/MultiQuery/Sequential", BM_MultiQuery_Sequential)}) {
     auto* bench = benchmark::RegisterBenchmark(fn.first, fn.second)
@@ -143,6 +249,10 @@ void RegisterAll() {
                       ->MinTime(0.05);
     for (int64_t n = 1; n <= max_batch; n *= 2) bench->Arg(n);
   }
+  auto* parallel = benchmark::RegisterBenchmark("Fig8/MultiQuery/Parallel", BM_MultiQuery_Parallel)
+                       ->Unit(benchmark::kMillisecond)
+                       ->MinTime(0.05);
+  for (int64_t t = 1; t <= max_threads; t *= 2) parallel->Args({max_batch, t});
 }
 
 }  // namespace

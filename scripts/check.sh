@@ -1,12 +1,27 @@
 #!/usr/bin/env bash
 # Tier-1 verify with warnings-as-errors: configure + build with
-# -Wall -Wextra -Werror (the REPTILE_WERROR preset), run ctest.
-# Future PRs must keep this green.
+# -Wall -Wextra -Werror (the REPTILE_WERROR preset), run ctest — then build
+# the library and tests again under ThreadSanitizer and re-run the suite, so
+# every PR exercises the parallel engine paths under race detection.
+# Future PRs must keep both green. Set REPTILE_SKIP_TSAN=1 to skip the TSan
+# pass (e.g. on toolchains without libtsan).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-check}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DREPTILE_WERROR=ON "$@"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${REPTILE_SKIP_TSAN:-0}" != "1" ]]; then
+  # Benchmarks and examples add nothing to race coverage; skip them for speed.
+  cmake -B "$TSAN_BUILD_DIR" -S . -DREPTILE_TSAN=ON \
+    -DREPTILE_BUILD_BENCHMARKS=OFF -DREPTILE_BUILD_EXAMPLES=OFF "$@"
+  cmake --build "$TSAN_BUILD_DIR" -j
+  # halt_on_error surfaces the first race as a test failure instead of a log
+  # line; second_deadlock_stack improves lock-order reports.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

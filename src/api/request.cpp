@@ -129,6 +129,21 @@ ExploreRequest& ExploreRequest::RepairAlso(std::string aggregate) {
   return *this;
 }
 
+ExploreRequest& ExploreRequest::Threads(int n) {
+  num_threads = n;
+  return *this;
+}
+
+BatchOptions& BatchOptions::Threads(int n) {
+  num_threads = n;
+  return *this;
+}
+
+BatchOptions& BatchOptions::TopK(int k) {
+  top_k = k;
+  return *this;
+}
+
 Result<EngineOptions> ExploreRequest::Resolve() const {
   EngineOptions options;
   if (top_k <= 0) {
@@ -186,6 +201,12 @@ Result<EngineOptions> ExploreRequest::Resolve() const {
     }
     options.extra_repair_stats.push_back(*fn);
   }
+
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = hardware concurrency), got " +
+                                   std::to_string(num_threads));
+  }
+  options.num_threads = num_threads;
   return options;
 }
 

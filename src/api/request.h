@@ -81,6 +81,10 @@ struct ExploreRequest {
   std::string drill_cache = "cache_dynamic";  // "static" | "dynamic" | "cache_dynamic"
   int em_iterations = 20;
   std::vector<std::string> extra_repair_stats;  // e.g. {"count"} (Appendix N)
+  // Worker threads for each Recommend/RecommendAll call: 0 = hardware
+  // concurrency, 1 = sequential. Recommendations are identical at every
+  // setting; only timings change.
+  int num_threads = 0;
 
   ExploreRequest& TopK(int k);
   ExploreRequest& Model(std::string name);
@@ -89,9 +93,22 @@ struct ExploreRequest {
   ExploreRequest& DrillCache(std::string name);
   ExploreRequest& EmIterations(int iters);
   ExploreRequest& RepairAlso(std::string aggregate);
+  ExploreRequest& Threads(int n);
 
   /// Validates every knob and resolves to the internal engine options.
   Result<EngineOptions> Resolve() const;
+};
+
+/// Per-call overrides for one Recommend/RecommendAll invocation, distinct
+/// from the session-construction ExploreRequest: zero-valued fields inherit
+/// the session's options. Overrides apply to that call only and never alter
+/// the session state.
+struct BatchOptions {
+  int num_threads = 0;  // 0 = session option; 1 = force sequential
+  int top_k = 0;        // 0 = session option
+
+  BatchOptions& Threads(int n);
+  BatchOptions& TopK(int k);
 };
 
 }  // namespace reptile

@@ -139,7 +139,11 @@ std::string ExploreResponse::ToJson() const {
 
 std::string BatchExploreResponse::ToJson() const {
   std::ostringstream os;
-  os << "{\"models_trained\":" << models_trained << ",\"responses\":[";
+  os << "{\"models_trained\":" << models_trained << ",\"train_seconds\":";
+  AppendJsonNumber(os, train_seconds);
+  os << ",\"wall_seconds\":";
+  AppendJsonNumber(os, wall_seconds);
+  os << ",\"responses\":[";
   for (size_t i = 0; i < responses.size(); ++i) {
     if (i > 0) os << ',';
     AppendExplore(os, responses[i]);

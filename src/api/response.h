@@ -59,9 +59,17 @@ struct ExploreResponse {
 /// Answer to a batched RecommendAll call: one response per complaint, in
 /// request order, plus how many primitive models the batch actually trained
 /// (shared hierarchy extensions train each model once).
+///
+/// Timing is reported two ways because the batch may run on several worker
+/// threads: `train_seconds` sums each model fit's own duration (total CPU
+/// work, stable under concurrency), while `wall_seconds` is the end-to-end
+/// elapsed time of the call (what a client waited; less than train_seconds
+/// when fits overlapped).
 struct BatchExploreResponse {
   std::vector<ExploreResponse> responses;
   int64_t models_trained = 0;
+  double train_seconds = 0.0;
+  double wall_seconds = 0.0;
 
   std::string ToJson() const;
 };

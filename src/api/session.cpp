@@ -202,18 +202,30 @@ Result<ViewResponse> Session::View(const ViewRequest& request) const {
   return response;
 }
 
-Result<ExploreResponse> Session::Recommend(const ComplaintSpec& complaint) {
-  Result<BatchExploreResponse> batch = RecommendAll(std::span<const ComplaintSpec>(&complaint, 1));
+Result<ExploreResponse> Session::Recommend(const ComplaintSpec& complaint,
+                                           const BatchOptions& options) {
+  Result<BatchExploreResponse> batch =
+      RecommendAll(std::span<const ComplaintSpec>(&complaint, 1), options);
   if (!batch.ok()) return batch.status();
   return std::move(batch->responses.front());
 }
 
 Result<BatchExploreResponse> Session::RecommendAll(
-    std::initializer_list<ComplaintSpec> complaints) {
-  return RecommendAll(std::span<const ComplaintSpec>(complaints.begin(), complaints.size()));
+    std::initializer_list<ComplaintSpec> complaints, const BatchOptions& options) {
+  return RecommendAll(std::span<const ComplaintSpec>(complaints.begin(), complaints.size()),
+                      options);
 }
 
-Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec> complaints) {
+Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec> complaints,
+                                                   const BatchOptions& options) {
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("per-call num_threads must be >= 0 (0 = session option), got " +
+                                   std::to_string(options.num_threads));
+  }
+  if (options.top_k < 0) {
+    return Status::InvalidArgument("per-call top_k must be >= 0 (0 = session option), got " +
+                                   std::to_string(options.top_k));
+  }
   const Dataset& dataset = impl_->dataset;
   Engine& engine = *impl_->engine;
 
@@ -242,11 +254,17 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   }
 
   int64_t trained_before = engine.stats().models_trained;
-  std::vector<Recommendation> recommendations =
-      engine.RecommendBatch(std::span<const Complaint>(resolved.data(), resolved.size()));
+  BatchOverrides overrides;
+  overrides.num_threads = options.num_threads;
+  overrides.top_k = options.top_k;
+  BatchTiming timing;
+  std::vector<Recommendation> recommendations = engine.RecommendBatch(
+      std::span<const Complaint>(resolved.data(), resolved.size()), overrides, &timing);
 
   BatchExploreResponse batch;
   batch.models_trained = engine.stats().models_trained - trained_before;
+  batch.train_seconds = timing.train_seconds;
+  batch.wall_seconds = timing.wall_seconds;
   batch.responses.reserve(recommendations.size());
   const Table& table = dataset.table();
   for (size_t i = 0; i < recommendations.size(); ++i) {

@@ -69,15 +69,25 @@ class Session {
 
   /// Evaluates one complaint against every drillable hierarchy and returns
   /// the ranked drill-down groups. FailedPrecondition when every hierarchy
-  /// is exhausted.
-  Result<ExploreResponse> Recommend(const ComplaintSpec& complaint);
+  /// is exhausted. `options` holds per-call overrides (thread count, top-k)
+  /// that apply to this invocation only.
+  Result<ExploreResponse> Recommend(const ComplaintSpec& complaint,
+                                    const BatchOptions& options = {});
 
   /// Batched entry point: plans all complaints over one pass of the
   /// drill-down caches, training each shared (hierarchy, measure, primitive)
-  /// model at most once. responses[i] answers complaints[i] exactly as a
-  /// sequential Recommend(complaints[i]) would.
-  Result<BatchExploreResponse> RecommendAll(std::span<const ComplaintSpec> complaints);
-  Result<BatchExploreResponse> RecommendAll(std::initializer_list<ComplaintSpec> complaints);
+  /// model at most once, with plan assembly, model fits, and per-complaint
+  /// ranking fanned out across the session's worker threads
+  /// (ExploreRequest::Threads at construction, BatchOptions::Threads per
+  /// call). responses[i] answers complaints[i] exactly as a sequential
+  /// Recommend(complaints[i]) would, at any thread count.
+  ///
+  /// Sessions are not thread-safe: issue one call at a time per session;
+  /// parallelism happens inside the call.
+  Result<BatchExploreResponse> RecommendAll(std::span<const ComplaintSpec> complaints,
+                                            const BatchOptions& options = {});
+  Result<BatchExploreResponse> RecommendAll(std::initializer_list<ComplaintSpec> complaints,
+                                            const BatchOptions& options = {});
 
   /// Commits a drill-down on the named hierarchy (schema name, e.g. "geo",
   /// or any of its attribute names, e.g. "village"). NotFound for unknown

@@ -1,28 +1,68 @@
 #include "common/rng.h"
 
+#include "common/check.h"
+
 namespace reptile {
+namespace {
+
+// splitmix64 finalizer (Steele et al.) — decorrelates nearby inputs, so
+// (seed, stream) and (seed, stream + 1) produce unrelated mt19937_64 states.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t Rng::MixSeed(uint64_t seed, uint64_t stream) {
+  // Stream 0 keeps the raw seed so Rng(seed) draws exactly what it always
+  // has (reproducibility of every pre-existing experiment).
+  if (stream == 0) return seed;
+  return SplitMix64(seed ^ SplitMix64(stream));
+}
+
+void Rng::AssertSingleThreadUse() {
+#ifndef NDEBUG
+  std::thread::id self = std::this_thread::get_id();
+  if (bound_thread_ == std::thread::id()) {
+    bound_thread_ = self;  // bind on first draw
+    return;
+  }
+  REPTILE_CHECK(bound_thread_ == self)
+      << "Rng instance drawn from two threads; derive a per-task sub-stream "
+         "with Stream(stream_id) instead of sharing one instance";
+#endif
+}
 
 double Rng::Uniform() {
+  AssertSingleThreadUse();
   return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
 }
 
 double Rng::Uniform(double lo, double hi) {
+  AssertSingleThreadUse();
   return std::uniform_real_distribution<double>(lo, hi)(engine_);
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  AssertSingleThreadUse();
   return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
 }
 
 double Rng::Normal(double mean, double stddev) {
+  AssertSingleThreadUse();
   return std::normal_distribution<double>(mean, stddev)(engine_);
 }
 
 int64_t Rng::Poisson(double mean) {
+  AssertSingleThreadUse();
   return std::poisson_distribution<int64_t>(mean)(engine_);
 }
 
 bool Rng::Bernoulli(double p) {
+  AssertSingleThreadUse();
   return std::bernoulli_distribution(p)(engine_);
 }
 

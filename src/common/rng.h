@@ -1,12 +1,22 @@
 // Deterministic pseudo-random number generation for data generators and
 // experiments. All generators in the repository draw from this class so that
 // every experiment is reproducible from a single seed.
+//
+// Threading model: one Rng instance is NOT thread-safe — the engine state
+// behind Uniform()/Normal()/... mutates on every draw, and concurrent draws
+// would both race and destroy reproducibility (draw order would depend on
+// scheduling). Parallel code instead derives one sub-stream per task with
+// Stream(stream_id): sub-streams are seeded from (root seed, stream id) so
+// the draw sequence of every task is a pure function of the root seed and the
+// task's id, independent of which thread runs it. Debug builds additionally
+// assert that a single instance is only ever drawn from on one thread.
 
 #ifndef REPTILE_COMMON_RNG_H_
 #define REPTILE_COMMON_RNG_H_
 
 #include <cstdint>
 #include <random>
+#include <thread>
 #include <vector>
 
 namespace reptile {
@@ -15,7 +25,21 @@ namespace reptile {
 /// distributions the generators need.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+  explicit Rng(uint64_t seed = 42) : Rng(seed, /*stream=*/0) {}
+
+  /// Sub-stream `stream` of `seed`: deterministic in (seed, stream) and
+  /// decorrelated across streams (the engine is seeded with a splitmix64 mix
+  /// of both, so stream 1 is unrelated to stream 0 drawn once).
+  Rng(uint64_t seed, uint64_t stream)
+      : engine_(MixSeed(seed, stream)), seed_(seed), stream_(stream) {}
+
+  /// A fresh sub-stream of this generator's root seed, for handing to one
+  /// parallel task each. Independent of this instance's draw position:
+  /// Stream(k) yields the same sequence no matter how many draws happened.
+  Rng Stream(uint64_t stream_id) const { return Rng(seed_, stream_id); }
+
+  uint64_t seed() const { return seed_; }
+  uint64_t stream() const { return stream_; }
 
   /// Uniform double in [0, 1).
   double Uniform();
@@ -45,10 +69,26 @@ class Rng {
   }
 
   /// Underlying engine, for use with std:: distributions not wrapped here.
-  std::mt19937_64& engine() { return engine_; }
+  std::mt19937_64& engine() {
+    AssertSingleThreadUse();
+    return engine_;
+  }
 
  private:
+  static uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
+  // Debug guard against sharing one instance across threads (use Stream()
+  // instead). Binds to the first drawing thread; compiled to nothing when
+  // NDEBUG is set.
+  void AssertSingleThreadUse();
+
   std::mt19937_64 engine_;
+  uint64_t seed_;
+  uint64_t stream_;
+  // Always present so the class layout does not depend on NDEBUG (rng.h is
+  // included by clients that may compile with different settings than the
+  // library); only the *check* in AssertSingleThreadUse compiles out.
+  std::thread::id bound_thread_{};  // default id = not bound yet
 };
 
 }  // namespace reptile

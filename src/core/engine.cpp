@@ -14,22 +14,10 @@
 #include "fmatrix/materialize.h"
 #include "fmatrix/right_mult.h"
 #include "model/linear.h"
+#include "parallel/thread_pool.h"
 
 namespace reptile {
 namespace {
-
-// The intercept tree and its (trivial) aggregates, shared by every candidate
-// evaluation. Allocated once and never destroyed (static storage must be
-// trivially destructible).
-const FTree& InterceptTree() {
-  static const FTree& tree = *new FTree(FTree::Singleton());
-  return tree;
-}
-
-const LocalAggregates& InterceptLocals() {
-  static const LocalAggregates& locals = *new LocalAggregates(&InterceptTree());
-  return locals;
-}
 
 // Context assembled once per candidate evaluation.
 struct CandidateContext {
@@ -68,27 +56,37 @@ std::vector<AggFn> ComplaintPrimitives(const Complaint& complaint,
 
 }  // namespace
 
+/// One trained primitive model: fitted values per matrix row plus the fit's
+/// own duration (summed per-task, not wall-clocked around concurrent work).
+struct Engine::PrimitiveFit {
+  std::vector<double> fitted;
+  double seconds = 0.0;
+};
+
 // Plan-stage product: everything about drilling one hierarchy a level deeper
 // that is independent of the individual complaint, so a batch of complaints
-// sharing this hierarchy extension shares it too. Group statistics and
-// trained primitive models are keyed by the complaint's measure column and
-// filled lazily by the execute stage.
+// sharing this hierarchy extension shares it too. The intercept tree and its
+// aggregates are per-plan copies (they are a few bytes): no two plans — and
+// no two concurrent batches of different engines — share mutable or lazily
+// initialised state. Group statistics and trained primitive models are keyed
+// by the complaint's measure column; RecommendBatch fills them in dedicated
+// parallel stages before any complaint ranking reads them.
 struct Engine::CandidatePlan {
   int hierarchy = -1;
   std::string attribute;  // the newly added (drilled) attribute
+  FTree intercept_tree;
+  LocalAggregates intercept_locals;
   CandidateContext ctx;
   FactorizedMatrix layout;  // reference matrix for layout queries
   double build_seconds = 0.0;
-  bool build_charged = false;  // build time reported once, by the first complaint
 
   // Per measure column (-1 = COUNT only): y moments over all parallel groups
   // and the non-empty groups for featurization.
   std::map<int, std::vector<Moments>> y_moments;
   std::map<int, GroupByResult> groups;
 
-  // Trained models: (measure column, primitive) -> fitted values per row.
-  std::map<std::pair<int, AggFn>, std::vector<double>> fitted;
-  double train_seconds_total = 0.0;
+  // Trained models: (measure column, primitive) -> fit.
+  std::map<std::pair<int, AggFn>, PrimitiveFit> fits;
 };
 
 const HierarchyRecommendation& Recommendation::best() const {
@@ -100,6 +98,7 @@ const HierarchyRecommendation& Recommendation::best() const {
 Engine::Engine(const Dataset* dataset, EngineOptions options)
     : dataset_(dataset), options_(options), drill_state_(dataset, options.drill_mode) {
   REPTILE_CHECK(dataset != nullptr);
+  REPTILE_CHECK_GE(options_.num_threads, 0);
 }
 
 Engine::~Engine() = default;
@@ -134,28 +133,168 @@ Recommendation Engine::RecommendDrillDown(const Complaint& complaint) {
   return std::move(batch.front());
 }
 
-std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> complaints) {
+ThreadPool* Engine::PoolFor(int num_threads) {
+  if (num_threads <= 1) return nullptr;
+  // One pool per requested width, kept for the engine's lifetime: a caller
+  // alternating per-call widths (say 4 and 8) must not tear down and respawn
+  // workers on every batch. Idle pools cost a few parked threads; the set of
+  // widths a caller actually uses is small.
+  std::unique_ptr<ThreadPool>& pool = pools_[num_threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
+  return pool.get();
+}
+
+std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> complaints,
+                                                   const BatchOverrides& overrides,
+                                                   BatchTiming* timing) {
+  if (timing != nullptr) *timing = BatchTiming();
   if (complaints.empty()) return {};  // nothing to plan — skip the cache pass
+  Timer wall_timer;
+
+  REPTILE_CHECK_GE(overrides.num_threads, 0);
+  REPTILE_CHECK_GE(overrides.top_k, 0);
+  int num_threads = overrides.num_threads > 0 ? overrides.num_threads : options_.num_threads;
+  if (num_threads == 0) num_threads = ThreadPool::DefaultThreads();
+  const int top_k = overrides.top_k > 0 ? overrides.top_k : options_.top_k;
+  ThreadPool* pool = PoolFor(num_threads);
+
   drill_state_.BeginInvocation();
 
-  // --- Plan stage: one shared plan per drillable hierarchy. ---
-  std::vector<std::unique_ptr<CandidatePlan>> plans;
+  // --- Plan stage: one shared plan per drillable hierarchy. The drill-down
+  // aggregates every plan will read are prefetched first (builds fan out;
+  // cache bookkeeping stays on this thread), after which plan assembly only
+  // reads the cache and the plans themselves assemble concurrently. ---
+  std::vector<int> drillable;
   for (int h = 0; h < dataset_->num_hierarchies(); ++h) {
-    if (!drill_state_.CanDrill(h)) continue;
-    plans.push_back(BuildCandidatePlan(h));
+    if (drill_state_.CanDrill(h)) drillable.push_back(h);
+  }
+  std::vector<std::pair<int, int>> aggregate_keys;
+  for (int h : drillable) aggregate_keys.emplace_back(h, drill_state_.depth(h) + 1);
+  for (int k = 0; k < dataset_->num_hierarchies(); ++k) {
+    if (drill_state_.depth(k) == 0) continue;
+    // A committed-depth entry is read only by the plans of *other*
+    // hierarchies (BuildCandidatePlan skips k == h), so don't build entries
+    // nothing will read — it matches exactly what the lazy sequential path
+    // built, which matters under kStatic where every build is from scratch.
+    bool read_by_some_plan =
+        drillable.size() > 1 || (drillable.size() == 1 && drillable[0] != k);
+    if (read_by_some_plan) aggregate_keys.emplace_back(k, drill_state_.depth(k));
+  }
+  std::map<std::pair<int, int>, double> aggregate_build_seconds =
+      drill_state_.Prefetch(aggregate_keys, pool);
+
+  std::vector<std::unique_ptr<CandidatePlan>> plans =
+      ParallelMap<std::unique_ptr<CandidatePlan>>(
+          pool, static_cast<int64_t>(drillable.size()),
+          [&](int64_t i) { return BuildCandidatePlan(drillable[static_cast<size_t>(i)]); });
+  for (std::unique_ptr<CandidatePlan>& plan : plans) {
+    // A plan's build cost includes its candidate-depth aggregate build (the
+    // committed-depth entries are shared across plans and invocations and
+    // charged to none in particular — under kCacheDynamic they are usually
+    // cache hits anyway).
+    auto it = aggregate_build_seconds.find(
+        std::make_pair(plan->hierarchy, drill_state_.depth(plan->hierarchy) + 1));
+    if (it != aggregate_build_seconds.end()) plan->build_seconds += it->second;
+  }
+  stats_.plans_built += static_cast<int64_t>(plans.size());
+
+  // --- Execute stage (a): group statistics, one task per (plan, measure,
+  // moments-or-groups). Map slots are inserted sequentially here; the tasks
+  // only assign into their own pre-inserted slot. ---
+  struct StatTask {
+    CandidatePlan* plan;
+    int measure_column;
+    bool moments;  // true: y moments over all rows; false: non-empty group-by
+  };
+  std::vector<StatTask> stat_tasks;
+  for (std::unique_ptr<CandidatePlan>& plan : plans) {
+    for (const Complaint& complaint : complaints) {
+      int measure = complaint.measure_column;
+      if (plan->y_moments.find(measure) != plan->y_moments.end()) continue;
+      plan->y_moments.emplace(measure, std::vector<Moments>());
+      plan->groups.emplace(measure, GroupByResult());
+      stat_tasks.push_back(StatTask{plan.get(), measure, true});
+      stat_tasks.push_back(StatTask{plan.get(), measure, false});
+    }
+  }
+  ParallelFor(pool, static_cast<int64_t>(stat_tasks.size()), [&](int64_t i) {
+    const StatTask& task = stat_tasks[static_cast<size_t>(i)];
+    if (task.moments) {
+      task.plan->y_moments.find(task.measure_column)->second =
+          BuildGroupMoments(task.plan->layout, dataset_->table(), task.plan->ctx.tree_columns,
+                            task.measure_column);
+    } else {
+      task.plan->groups.find(task.measure_column)->second =
+          GroupBy(dataset_->table(), task.plan->ctx.key_columns, task.measure_column);
+    }
+  });
+
+  // --- Execute stage (b): model fits, one task per distinct (plan, measure,
+  // primitive) triple. The work list is assembled in complaint order, so the
+  // "owner" of each fit — the first complaint to require it, which its
+  // train_seconds are charged to — matches what lazy sequential training
+  // charged. Slots are pre-inserted; tasks assign into their own slot. ---
+  struct FitTask {
+    CandidatePlan* plan;
+    size_t plan_index;
+    int measure_column;
+    AggFn primitive;
+    size_t owner_complaint;
+  };
+  std::vector<FitTask> fit_tasks;
+  for (size_t c = 0; c < complaints.size(); ++c) {
+    std::vector<AggFn> primitives = ComplaintPrimitives(complaints[c], options_);
+    for (size_t p = 0; p < plans.size(); ++p) {
+      for (AggFn primitive : primitives) {
+        auto key = std::make_pair(complaints[c].measure_column, primitive);
+        if (plans[p]->fits.find(key) != plans[p]->fits.end()) continue;
+        plans[p]->fits.emplace(key, PrimitiveFit());
+        fit_tasks.push_back(
+            FitTask{plans[p].get(), p, complaints[c].measure_column, primitive, c});
+      }
+    }
+  }
+  ParallelFor(pool, static_cast<int64_t>(fit_tasks.size()), [&](int64_t i) {
+    const FitTask& task = fit_tasks[static_cast<size_t>(i)];
+    auto key = std::make_pair(task.measure_column, task.primitive);
+    task.plan->fits.find(key)->second =
+        FitPrimitive(*task.plan, task.measure_column, task.primitive);
+  });
+  stats_.models_trained += static_cast<int64_t>(fit_tasks.size());
+
+  // Deterministic cost attribution: each fit's duration is charged to the
+  // (owner complaint, plan) cell that first required it.
+  std::vector<double> charged_train(complaints.size() * plans.size(), 0.0);
+  double train_seconds_sum = 0.0;
+  for (const FitTask& task : fit_tasks) {
+    double seconds =
+        task.plan->fits.find(std::make_pair(task.measure_column, task.primitive))
+            ->second.seconds;
+    charged_train[task.owner_complaint * plans.size() + task.plan_index] += seconds;
+    train_seconds_sum += seconds;
   }
 
-  // --- Execute stage: every complaint against every plan. Model training is
-  // cached inside the plans, so complaints sharing a hierarchy extension
-  // train each (measure, primitive) model at most once. ---
+  // --- Execute stage (c): ranking, one task per (complaint, plan) pair.
+  // Every task reads the now-immutable plans; results land by index and are
+  // merged in complaint order, so output order is scheduling-independent. ---
+  std::vector<HierarchyRecommendation> cells =
+      ParallelMap<HierarchyRecommendation>(
+          pool, static_cast<int64_t>(complaints.size() * plans.size()), [&](int64_t i) {
+            size_t c = static_cast<size_t>(i) / plans.size();
+            size_t p = static_cast<size_t>(i) % plans.size();
+            return ExecuteComplaint(*plans[p], complaints[c], top_k,
+                                    charged_train[static_cast<size_t>(i)],
+                                    /*charge_build=*/c == 0);
+          });
+  stats_.complaints_evaluated += static_cast<int64_t>(complaints.size());
+
   std::vector<Recommendation> out;
   out.reserve(complaints.size());
-  for (const Complaint& complaint : complaints) {
-    ++stats_.complaints_evaluated;
+  for (size_t c = 0; c < complaints.size(); ++c) {
     Recommendation rec;
     double best = std::numeric_limits<double>::infinity();
-    for (std::unique_ptr<CandidatePlan>& plan : plans) {
-      rec.candidates.push_back(ExecuteComplaint(plan.get(), complaint));
+    for (size_t p = 0; p < plans.size(); ++p) {
+      rec.candidates.push_back(std::move(cells[c * plans.size() + p]));
       const HierarchyRecommendation& cand = rec.candidates.back();
       if (!cand.top_groups.empty() && cand.best_score < best) {
         best = cand.best_score;
@@ -164,33 +303,43 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
     }
     out.push_back(std::move(rec));
   }
+  if (timing != nullptr) {
+    timing->train_seconds = train_seconds_sum;
+    timing->wall_seconds = wall_timer.Seconds();
+  }
   return out;
 }
 
 void Engine::CommitDrillDown(int hierarchy) { drill_state_.Commit(hierarchy); }
 
-std::unique_ptr<Engine::CandidatePlan> Engine::BuildCandidatePlan(int h) {
+std::unique_ptr<Engine::CandidatePlan> Engine::BuildCandidatePlan(int h) const {
   Timer build_timer;
   auto plan = std::make_unique<CandidatePlan>();
   plan->hierarchy = h;
   int new_depth = drill_state_.depth(h) + 1;
   plan->attribute = dataset_->hierarchy(h).attributes[static_cast<size_t>(new_depth) - 1];
 
+  // The intercept tree and its (trivial) aggregates are owned by the plan:
+  // immutable after this point and never shared across plans or engines.
+  plan->intercept_tree = FTree::Singleton();
+  plan->intercept_locals = LocalAggregates(&plan->intercept_tree);
+
   // Assemble the trees: intercept, committed hierarchies, candidate last (the
   // attribute-order requirement of Section 3.4). Tree/aggregate construction
-  // goes through the drill-down cache (Section 4.4).
+  // went through the drill-down cache prefetch (Section 4.4); Peek is a pure
+  // read here.
   CandidateContext& ctx = plan->ctx;
-  ctx.trees.push_back(&InterceptTree());
-  ctx.locals.push_back(&InterceptLocals());
+  ctx.trees.push_back(&plan->intercept_tree);
+  ctx.locals.push_back(&plan->intercept_locals);
   ctx.tree_columns.push_back({});
   for (int k = 0; k < dataset_->num_hierarchies(); ++k) {
     if (k == h || drill_state_.depth(k) == 0) continue;
-    const HierarchyAggregates& agg = drill_state_.Get(k, drill_state_.depth(k));
+    const HierarchyAggregates& agg = drill_state_.Peek(k, drill_state_.depth(k));
     ctx.trees.push_back(agg.tree.get());
     ctx.locals.push_back(agg.locals.get());
     ctx.tree_columns.push_back(dataset_->HierarchyColumns(k, drill_state_.depth(k)));
   }
-  const HierarchyAggregates& cand_agg = drill_state_.Get(h, new_depth);
+  const HierarchyAggregates& cand_agg = drill_state_.Peek(h, new_depth);
   ctx.trees.push_back(cand_agg.tree.get());
   ctx.locals.push_back(cand_agg.locals.get());
   ctx.tree_columns.push_back(dataset_->HierarchyColumns(h, new_depth));
@@ -202,37 +351,24 @@ std::unique_ptr<Engine::CandidatePlan> Engine::BuildCandidatePlan(int h) {
   // Reference matrix for layout queries (per-primitive matrices share it).
   for (const FTree* t : ctx.trees) plan->layout.AddTree(t);
 
-  ++stats_.plans_built;
   plan->build_seconds = build_timer.Seconds();
   return plan;
 }
 
-const std::vector<double>& Engine::TrainPrimitive(CandidatePlan* plan, int measure_column,
-                                                  AggFn primitive) {
-  auto key = std::make_pair(measure_column, primitive);
-  auto it = plan->fitted.find(key);
-  if (it != plan->fitted.end()) return it->second;
-
+Engine::PrimitiveFit Engine::FitPrimitive(const CandidatePlan& plan, int measure_column,
+                                          AggFn primitive) const {
   const Table& table = dataset_->table();
-  const CandidateContext& ctx = plan->ctx;
+  const CandidateContext& ctx = plan.ctx;
 
-  // Group statistics for this measure: y moments over all parallel groups
-  // (empty groups included — the worst case of Section 5.1.4) and the
-  // non-empty groups for featurization. Shared across primitives.
-  auto moments_it = plan->y_moments.find(measure_column);
-  if (moments_it == plan->y_moments.end()) {
-    moments_it = plan->y_moments
-                     .emplace(measure_column, BuildGroupMoments(plan->layout, table,
-                                                                ctx.tree_columns, measure_column))
-                     .first;
-  }
+  // Group statistics for this measure, computed by the batch's statistics
+  // stage: y moments over all parallel groups (empty groups included — the
+  // worst case of Section 5.1.4) and the non-empty groups for featurization.
+  // Shared, read-only, across every primitive and concurrent fit.
+  auto moments_it = plan.y_moments.find(measure_column);
+  REPTILE_CHECK(moments_it != plan.y_moments.end());
   const std::vector<Moments>& y_moments = moments_it->second;
-  auto groups_it = plan->groups.find(measure_column);
-  if (groups_it == plan->groups.end()) {
-    groups_it =
-        plan->groups.emplace(measure_column, GroupBy(table, ctx.key_columns, measure_column))
-            .first;
-  }
+  auto groups_it = plan.groups.find(measure_column);
+  REPTILE_CHECK(groups_it != plan.groups.end());
   const GroupByResult& groups = groups_it->second;
 
   FactorizedMatrix fm;
@@ -380,13 +516,13 @@ const std::vector<double>& Engine::TrainPrimitive(CandidatePlan* plan, int measu
       break;
   }
 
-  std::vector<double> fitted;
+  PrimitiveFit fit;
   DecomposedAggregates agg(&fm, ctx.locals);
   if (options_.model == ModelKind::kMultiLevel) {
     if (use_factorized) {
       FactorizedEmBackend backend(&fm, &agg, z_cols);
       MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
-      fitted = std::move(model.fitted);
+      fit.fitted = std::move(model.fitted);
     } else {
       Matrix x = MaterializeMatrix(fm);
       std::vector<int64_t> begins;
@@ -400,41 +536,42 @@ const std::vector<double>& Engine::TrainPrimitive(CandidatePlan* plan, int measu
       }
       DenseEmBackend backend(&x, begins, z_cols);
       MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
-      fitted = std::move(model.fitted);
+      fit.fitted = std::move(model.fitted);
     }
   } else {
     if (use_factorized) {
       LinearModel model = TrainLinearFactorized(fm, agg, y);
-      fitted = FactorizedVecRightMultiply(fm, model.beta);
+      fit.fitted = FactorizedVecRightMultiply(fm, model.beta);
     } else {
       Matrix x = MaterializeMatrix(fm);
       LinearModel model = TrainLinearDense(x, y);
-      fitted.assign(static_cast<size_t>(fm.num_rows()), 0.0);
+      fit.fitted.assign(static_cast<size_t>(fm.num_rows()), 0.0);
       for (size_t r = 0; r < x.rows(); ++r) {
         double acc = 0.0;
         for (size_t c = 0; c < x.cols(); ++c) acc += x(r, c) * model.beta[c];
-        fitted[r] = acc;
+        fit.fitted[r] = acc;
       }
     }
   }
 
-  ++stats_.models_trained;
-  plan->train_seconds_total += train_timer.Seconds();
-  it = plan->fitted.emplace(key, std::move(fitted)).first;
-  return it->second;
+  fit.seconds = train_timer.Seconds();
+  return fit;
 }
 
-HierarchyRecommendation Engine::ExecuteComplaint(CandidatePlan* plan,
-                                                 const Complaint& complaint) {
-  Timer total_timer;
+HierarchyRecommendation Engine::ExecuteComplaint(const CandidatePlan& plan,
+                                                 const Complaint& complaint, int top_k,
+                                                 double charged_train_seconds,
+                                                 bool charge_build) const {
+  Timer rank_timer;
   const Table& table = dataset_->table();
-  const CandidateContext& ctx = plan->ctx;
+  const CandidateContext& ctx = plan.ctx;
   HierarchyRecommendation rec;
-  rec.hierarchy = plan->hierarchy;
-  rec.attribute = plan->attribute;
+  rec.hierarchy = plan.hierarchy;
+  rec.attribute = plan.attribute;
   rec.key_columns = ctx.key_columns;
-  rec.model_rows = plan->layout.num_rows();
-  rec.model_clusters = plan->layout.num_clusters();
+  rec.model_rows = plan.layout.num_rows();
+  rec.model_clusters = plan.layout.num_clusters();
+  rec.train_seconds = charged_train_seconds;
 
   // The complaint tuple's siblings for ranking.
   GroupByResult siblings =
@@ -454,29 +591,28 @@ HierarchyRecommendation Engine::ExecuteComplaint(CandidatePlan* plan,
         leaves[k] = leaf;
         offset += static_cast<size_t>(depth);
       }
-      sibling_rows[g] = plan->layout.RowOfLeaves(leaves);
+      sibling_rows[g] = plan.layout.RowOfLeaves(leaves);
     }
   }
 
-  // Per primitive statistic: fitted model values (trained on first use,
-  // reused by every complaint sharing this plan and measure).
-  double train_before = plan->train_seconds_total;
+  // Per primitive statistic: fitted model values, trained by the batch's fit
+  // stage and shared read-only by every complaint on this plan.
   GroupPredictions predictions(siblings.num_groups());
   for (AggFn primitive : ComplaintPrimitives(complaint, options_)) {
-    const std::vector<double>& fitted =
-        TrainPrimitive(plan, complaint.measure_column, primitive);
+    auto fit_it = plan.fits.find(std::make_pair(complaint.measure_column, primitive));
+    REPTILE_CHECK(fit_it != plan.fits.end()) << "primitive model missing from batch fit stage";
+    const std::vector<double>& fitted = fit_it->second.fitted;
     for (size_t g = 0; g < siblings.num_groups(); ++g) {
       predictions[g][primitive] = fitted[static_cast<size_t>(sibling_rows[g])];
     }
   }
-  rec.train_seconds = plan->train_seconds_total - train_before;
 
   // Repair each sibling and rank by the repaired complaint value.
   std::vector<ScoredGroup> ranked = RankGroups(siblings, predictions, complaint);
   rec.best_score =
       ranked.empty() ? std::numeric_limits<double>::infinity() : ranked.front().score;
-  int top_k = std::min<int>(options_.top_k, static_cast<int>(ranked.size()));
-  for (int i = 0; i < top_k; ++i) {
+  int keep = std::min<int>(top_k, static_cast<int>(ranked.size()));
+  for (int i = 0; i < keep; ++i) {
     const ScoredGroup& sg = ranked[static_cast<size_t>(i)];
     GroupRecommendation gr;
     gr.description = FormatGroupKey(table, ctx.key_columns, sg.key);
@@ -490,11 +626,12 @@ HierarchyRecommendation Engine::ExecuteComplaint(CandidatePlan* plan,
     gr.predicted = predictions[*sibling];
     rec.top_groups.push_back(std::move(gr));
   }
-  rec.total_seconds = total_timer.Seconds();
-  if (!plan->build_charged) {
-    rec.total_seconds += plan->build_seconds;
-    plan->build_charged = true;
-  }
+  // total_seconds = this complaint's own ranking work plus its deterministic
+  // share of the shared costs (fits it was first to require; the plan build,
+  // charged to the batch's first complaint). All three are per-task sums, so
+  // the value is meaningful under concurrency.
+  rec.total_seconds = rank_timer.Seconds() + charged_train_seconds;
+  if (charge_build) rec.total_seconds += plan.build_seconds;
   return rec;
 }
 

@@ -39,6 +39,8 @@
 
 namespace reptile {
 
+class ThreadPool;  // parallel/thread_pool.h
+
 /// A registered auxiliary dataset (Section 3.3.2 / Appendix H): joined on one
 /// or more hierarchy attributes, exposing one measure as a feature. The
 /// engine aligns the auxiliary table's dictionaries with the base table's.
@@ -88,6 +90,26 @@ struct EngineOptions {
   // primitives (Appendix N: a distributive *set* of aggregation functions,
   // e.g., repairing total votes alongside the vote percentage).
   std::vector<AggFn> extra_repair_stats;
+  // Worker threads for the plan/execute fan-out: 0 = hardware concurrency,
+  // 1 = fully sequential (inline, no pool). Recommendations are element-wise
+  // identical at every setting; only the timing fields differ.
+  int num_threads = 0;
+};
+
+/// Per-invocation overrides for one RecommendBatch call, distinct from the
+/// engine-construction options. Zero-valued fields inherit EngineOptions.
+struct BatchOverrides {
+  int num_threads = 0;  // 0 = engine option; 1 = force sequential
+  int top_k = 0;        // 0 = engine option
+};
+
+/// Batch-level timing: the summed per-task fit durations (what the work
+/// cost) next to the end-to-end wall clock (what the caller waited). Under
+/// concurrency train_seconds can exceed wall_seconds; summing candidates'
+/// wall clocks instead would double-count overlapping tasks.
+struct BatchTiming {
+  double wall_seconds = 0.0;
+  double train_seconds = 0.0;
 };
 
 /// One recommended drill-down group.
@@ -110,9 +132,13 @@ struct HierarchyRecommendation {
   double best_score = 0.0;
   int64_t model_rows = 0;      // parallel groups (incl. empty)
   int64_t model_clusters = 0;  // multi-level clusters
-  // Work actually performed while answering this complaint: model fits that
-  // were served from the batch's model cache contribute 0 to train_seconds
-  // (recommendations are batch/sequential-identical; timings are not).
+  // Work actually performed while answering this complaint: the summed
+  // durations of the individual model fits this complaint was the first (in
+  // batch order) to require; fits served from the batch's model cache
+  // contribute 0. Summing per-fit durations keeps the number meaningful when
+  // fits run concurrently — it is CPU work, not elapsed time (see
+  // BatchTiming for the wall clock). Recommendations are batch/sequential-
+  // and thread-count-identical; timings are not.
   double train_seconds = 0.0;
   double total_seconds = 0.0;
 };
@@ -144,6 +170,14 @@ struct EngineStats {
 ///              the factorised layout once, shared by every complaint;
 ///   execute  — per (measure, primitive) train one model (cached within the
 ///              invocation), then per complaint rank its sibling groups.
+///
+/// Within one RecommendBatch call, plan assembly, model fits, and complaint
+/// rankings are independent tasks dispatched over a fixed-size worker pool
+/// (EngineOptions::num_threads / BatchOverrides::num_threads); every task is
+/// single-threaded internally and all inputs it shares (dataset, f-trees,
+/// local aggregates, the plan's group statistics) are immutable by the time
+/// it runs, so output is deterministic and element-wise identical to the
+/// sequential path.
 class Engine {
  public:
   explicit Engine(const Dataset* dataset, EngineOptions options = EngineOptions());
@@ -171,10 +205,17 @@ class Engine {
 
   /// Batched entry point: plans all complaints over one pass of the
   /// drill-down caches. Complaints that share a hierarchy extension reuse the
-  /// feature-matrix extension and the trained primitive models; the
-  /// recommendations are element-wise identical to N sequential
-  /// RecommendDrillDown calls (timing fields reflect the shared work).
-  std::vector<Recommendation> RecommendBatch(std::span<const Complaint> complaints);
+  /// feature-matrix extension and the trained primitive models. Per-hierarchy
+  /// plan assembly, per-(hierarchy, measure, primitive) model fits, and
+  /// per-complaint ranking fan out across a fixed-size worker pool (the
+  /// num_threads knob; each individual fit stays single-threaded) and results
+  /// are merged in complaint order, so the recommendations are element-wise
+  /// identical to N sequential RecommendDrillDown calls at any thread count
+  /// (timing fields reflect the shared work). The engine itself is not
+  /// thread-safe: callers issue one batch at a time; concurrency is internal.
+  std::vector<Recommendation> RecommendBatch(std::span<const Complaint> complaints,
+                                             const BatchOverrides& overrides = {},
+                                             BatchTiming* timing = nullptr);
 
   /// Commits the drill-down on `hierarchy` (advances the session state).
   void CommitDrillDown(int hierarchy);
@@ -189,19 +230,33 @@ class Engine {
 
  private:
   struct CandidatePlan;  // defined in engine.cpp
+  struct PrimitiveFit;   // fitted values + fit duration, defined in engine.cpp
 
   /// Plan stage: assembles the shared per-hierarchy context (trees, caches,
-  /// factorised layout) for drilling `hierarchy` one level deeper.
-  std::unique_ptr<CandidatePlan> BuildCandidatePlan(int hierarchy);
+  /// factorised layout) for drilling `hierarchy` one level deeper. Reads the
+  /// drill-down cache only (entries are prefetched by RecommendBatch), so
+  /// plans for different hierarchies assemble concurrently.
+  std::unique_ptr<CandidatePlan> BuildCandidatePlan(int hierarchy) const;
 
-  /// Execute stage, model half: the fitted values for one primitive statistic
-  /// over one measure column, trained on first use and cached in the plan.
-  const std::vector<double>& TrainPrimitive(CandidatePlan* plan, int measure_column,
-                                            AggFn primitive);
+  /// Execute stage, model half: fits one primitive statistic over one
+  /// measure column against the plan's shared context. Const — reads the
+  /// plan's group statistics, returns the fit; the caller owns caching.
+  PrimitiveFit FitPrimitive(const CandidatePlan& plan, int measure_column,
+                            AggFn primitive) const;
 
   /// Execute stage, ranking half: scores one complaint's sibling groups
-  /// against the plan's trained models.
-  HierarchyRecommendation ExecuteComplaint(CandidatePlan* plan, const Complaint& complaint);
+  /// against the plan's trained models (all fits are already in the plan).
+  /// `charged_train_seconds` / `charge_build` carry the deterministic cost
+  /// attribution computed by RecommendBatch.
+  HierarchyRecommendation ExecuteComplaint(const CandidatePlan& plan,
+                                           const Complaint& complaint, int top_k,
+                                           double charged_train_seconds,
+                                           bool charge_build) const;
+
+  /// The worker pool for one batch: nullptr when num_threads resolves to 1;
+  /// otherwise a pool of that width, created once and reused by every later
+  /// batch requesting the same width (no churn when per-call widths vary).
+  ThreadPool* PoolFor(int num_threads);
 
   const Dataset* dataset_;
   EngineOptions options_;
@@ -210,6 +265,7 @@ class Engine {
   std::vector<CustomFeatureSpec> custom_features_;
   std::vector<std::string> z_exclusions_;
   EngineStats stats_;
+  std::map<int, std::unique_ptr<ThreadPool>> pools_;  // by width; see PoolFor
 };
 
 }  // namespace reptile

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -27,6 +28,8 @@
 #include "factor/ftree.h"
 
 namespace reptile {
+
+class ThreadPool;  // parallel/thread_pool.h
 
 /// A hierarchy's f-tree and local aggregates at one depth.
 struct HierarchyAggregates {
@@ -56,6 +59,20 @@ class DrillDownState {
   /// Trees + local aggregates for `hierarchy` at `depth` levels (1-based
   /// count of attributes), building them if the policy requires.
   const HierarchyAggregates& Get(int hierarchy, int depth);
+
+  /// Builds every (hierarchy, depth) entry of `keys` missing from the cache,
+  /// fanning the builds out across `pool` (nullptr = build inline). The
+  /// builds themselves run concurrently; all cache bookkeeping happens on
+  /// the calling thread, so after Prefetch returns, Get() for these keys is
+  /// a pure read and safe to call from many threads at once. Returns the
+  /// build seconds per key actually built (cache hits are absent).
+  std::map<std::pair<int, int>, double> Prefetch(
+      const std::vector<std::pair<int, int>>& keys, ThreadPool* pool);
+
+  /// Pure read of a cached entry (aborts when absent). Unlike Get() this is
+  /// const and never builds, so — after a Prefetch covering the key — it is
+  /// safe to call concurrently from many worker threads.
+  const HierarchyAggregates& Peek(int hierarchy, int depth) const;
 
   /// Commits a drill-down on `hierarchy` (advances its depth by one).
   void Commit(int hierarchy);

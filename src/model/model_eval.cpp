@@ -22,7 +22,7 @@ double LinearAic(const LinearModel& model, int64_t n) {
   return 2.0 * k - 2.0 * LinearLogLikelihood(model, n);
 }
 
-double MultiLevelLogLikelihood(EmBackend* backend, const MultiLevelModel& model,
+double MultiLevelLogLikelihood(const EmBackend* backend, const MultiLevelModel& model,
                                const std::vector<double>& y) {
   REPTILE_CHECK(backend != nullptr);
   size_t q = model.z_cols.size();
@@ -67,7 +67,7 @@ double MultiLevelLogLikelihood(EmBackend* backend, const MultiLevelModel& model,
   return log_lik;
 }
 
-double MultiLevelAic(EmBackend* backend, const MultiLevelModel& model,
+double MultiLevelAic(const EmBackend* backend, const MultiLevelModel& model,
                      const std::vector<double>& y) {
   double q = static_cast<double>(model.z_cols.size());
   double k = static_cast<double>(model.beta.size()) + q * (q + 1.0) / 2.0 + 1.0;

@@ -22,11 +22,11 @@ double LinearAic(const LinearModel& model, int64_t n);
 /// Marginal log-likelihood of a multi-level model: per cluster,
 /// y_i ~ N(X_i beta, sigma2 I + Z_i Sigma Z_i^T), evaluated with q x q
 /// Woodbury / determinant-lemma identities so no n_i x n_i matrix is formed.
-double MultiLevelLogLikelihood(EmBackend* backend, const MultiLevelModel& model,
+double MultiLevelLogLikelihood(const EmBackend* backend, const MultiLevelModel& model,
                                const std::vector<double>& y);
 
 /// AIC of a multi-level model: k = m + q(q+1)/2 + 1.
-double MultiLevelAic(EmBackend* backend, const MultiLevelModel& model,
+double MultiLevelAic(const EmBackend* backend, const MultiLevelModel& model,
                      const std::vector<double>& y);
 
 }  // namespace reptile

@@ -23,26 +23,26 @@ FactorizedEmBackend::FactorizedEmBackend(const FactorizedMatrix* fm,
   }
 }
 
-Matrix FactorizedEmBackend::Gram() { return FactorizedGram(*fm_, *agg_); }
+Matrix FactorizedEmBackend::Gram() const { return FactorizedGram(*fm_, *agg_); }
 
-std::vector<double> FactorizedEmBackend::XtV(const std::vector<double>& v) {
+std::vector<double> FactorizedEmBackend::XtV(const std::vector<double>& v) const {
   return FactorizedVecLeftMultiply(*fm_, v);
 }
 
-std::vector<double> FactorizedEmBackend::XTimes(const std::vector<double>& beta) {
+std::vector<double> FactorizedEmBackend::XTimes(const std::vector<double>& beta) const {
   return FactorizedVecRightMultiply(*fm_, beta);
 }
 
 void FactorizedEmBackend::ForEachCluster(
     const std::vector<double>& r,
     const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
-        emit) {
+        emit) const {
   ForEachClusterGram(*fm_, z_cols_, &r, [&](const ClusterData& data) {
     emit(data.cluster, data.size, *data.gram, *data.ztr);
   });
 }
 
-void FactorizedEmBackend::ZTimesB(const Matrix& b, std::vector<double>* out) {
+void FactorizedEmBackend::ZTimesB(const Matrix& b, std::vector<double>* out) const {
   ClusterRightMultiply(*fm_, z_cols_, b, out);
 }
 
@@ -60,9 +60,9 @@ DenseEmBackend::DenseEmBackend(const Matrix* x, std::vector<int64_t> cluster_beg
   }
 }
 
-Matrix DenseEmBackend::Gram() { return x_->Transposed().Multiply(*x_); }
+Matrix DenseEmBackend::Gram() const { return x_->Transposed().Multiply(*x_); }
 
-std::vector<double> DenseEmBackend::XtV(const std::vector<double>& v) {
+std::vector<double> DenseEmBackend::XtV(const std::vector<double>& v) const {
   REPTILE_CHECK_EQ(v.size(), x_->rows());
   std::vector<double> out(x_->cols(), 0.0);
   for (size_t r = 0; r < x_->rows(); ++r) {
@@ -73,7 +73,7 @@ std::vector<double> DenseEmBackend::XtV(const std::vector<double>& v) {
   return out;
 }
 
-std::vector<double> DenseEmBackend::XTimes(const std::vector<double>& beta) {
+std::vector<double> DenseEmBackend::XTimes(const std::vector<double>& beta) const {
   REPTILE_CHECK_EQ(beta.size(), x_->cols());
   std::vector<double> out(x_->rows(), 0.0);
   for (size_t r = 0; r < x_->rows(); ++r) {
@@ -88,7 +88,7 @@ std::vector<double> DenseEmBackend::XTimes(const std::vector<double>& beta) {
 void DenseEmBackend::ForEachCluster(
     const std::vector<double>& r,
     const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
-        emit) {
+        emit) const {
   size_t q = z_cols_.size();
   Matrix ztz(q, q);
   std::vector<double> ztr(q, 0.0);
@@ -114,7 +114,7 @@ void DenseEmBackend::ForEachCluster(
   }
 }
 
-void DenseEmBackend::ZTimesB(const Matrix& b, std::vector<double>* out) {
+void DenseEmBackend::ZTimesB(const Matrix& b, std::vector<double>* out) const {
   REPTILE_CHECK_EQ(static_cast<int64_t>(out->size()), n());
   size_t q = z_cols_.size();
   for (int64_t g = 0; g + 1 < static_cast<int64_t>(cluster_begin_.size()); ++g) {
@@ -130,7 +130,7 @@ void DenseEmBackend::ZTimesB(const Matrix& b, std::vector<double>* out) {
 
 // ---------- EM (Appendix D) ----------
 
-MultiLevelModel TrainMultiLevel(EmBackend* backend, const std::vector<double>& y,
+MultiLevelModel TrainMultiLevel(const EmBackend* backend, const std::vector<double>& y,
                                 const MultiLevelOptions& options) {
   REPTILE_CHECK(backend != nullptr);
   int64_t n = backend->n();

@@ -35,24 +35,29 @@ class EmBackend {
   virtual int64_t num_clusters() const = 0;
   virtual const std::vector<int>& z_cols() const = 0;
 
+  // All operations are const: a backend borrows immutable inputs (the
+  // factorised matrix and aggregates, or the materialised matrix) and holds
+  // no per-fit scratch state, so one backend — and the read-only structures
+  // under it — can serve fits on several worker threads at once.
+
   /// X^T X (precomputed once per fit).
-  virtual Matrix Gram() = 0;
+  virtual Matrix Gram() const = 0;
 
   /// X^T v for an n-vector v (left multiplication).
-  virtual std::vector<double> XtV(const std::vector<double>& v) = 0;
+  virtual std::vector<double> XtV(const std::vector<double>& v) const = 0;
 
   /// X beta for an m-vector beta (right multiplication).
-  virtual std::vector<double> XTimes(const std::vector<double>& beta) = 0;
+  virtual std::vector<double> XTimes(const std::vector<double>& beta) const = 0;
 
   /// Per-cluster Z_i^T Z_i and Z_i^T r_i, streamed in cluster order.
   virtual void ForEachCluster(
       const std::vector<double>& r,
       const std::function<void(int64_t cluster, int64_t size, const Matrix& ztz,
-                               const std::vector<double>& ztr)>& emit) = 0;
+                               const std::vector<double>& ztr)>& emit) const = 0;
 
   /// Z b: per-cluster right multiplication with cluster coefficients
   /// (b is G x q); out must have length n.
-  virtual void ZTimesB(const Matrix& b, std::vector<double>* out) = 0;
+  virtual void ZTimesB(const Matrix& b, std::vector<double>* out) const = 0;
 };
 
 /// Factorised backend over a FactorizedMatrix (+ decomposed aggregates).
@@ -65,14 +70,14 @@ class FactorizedEmBackend : public EmBackend {
   int m() const override { return fm_->num_cols(); }
   int64_t num_clusters() const override { return fm_->num_clusters(); }
   const std::vector<int>& z_cols() const override { return z_cols_; }
-  Matrix Gram() override;
-  std::vector<double> XtV(const std::vector<double>& v) override;
-  std::vector<double> XTimes(const std::vector<double>& beta) override;
+  Matrix Gram() const override;
+  std::vector<double> XtV(const std::vector<double>& v) const override;
+  std::vector<double> XTimes(const std::vector<double>& beta) const override;
   void ForEachCluster(
       const std::vector<double>& r,
       const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
-          emit) override;
-  void ZTimesB(const Matrix& b, std::vector<double>* out) override;
+          emit) const override;
+  void ZTimesB(const Matrix& b, std::vector<double>* out) const override;
 
  private:
   const FactorizedMatrix* fm_;
@@ -93,14 +98,14 @@ class DenseEmBackend : public EmBackend {
     return static_cast<int64_t>(cluster_begin_.size()) - 1;
   }
   const std::vector<int>& z_cols() const override { return z_cols_; }
-  Matrix Gram() override;
-  std::vector<double> XtV(const std::vector<double>& v) override;
-  std::vector<double> XTimes(const std::vector<double>& beta) override;
+  Matrix Gram() const override;
+  std::vector<double> XtV(const std::vector<double>& v) const override;
+  std::vector<double> XTimes(const std::vector<double>& beta) const override;
   void ForEachCluster(
       const std::vector<double>& r,
       const std::function<void(int64_t, int64_t, const Matrix&, const std::vector<double>&)>&
-          emit) override;
-  void ZTimesB(const Matrix& b, std::vector<double>* out) override;
+          emit) const override;
+  void ZTimesB(const Matrix& b, std::vector<double>* out) const override;
 
  private:
   const Matrix* x_;
@@ -125,8 +130,9 @@ struct MultiLevelModel {
   std::vector<double> fitted;  // X beta + Z b per row (n)
 };
 
-/// Runs EM (Appendix D) for `options.em_iters` iterations.
-MultiLevelModel TrainMultiLevel(EmBackend* backend, const std::vector<double>& y,
+/// Runs EM (Appendix D) for `options.em_iters` iterations. The backend is
+/// read-only throughout the fit.
+MultiLevelModel TrainMultiLevel(const EmBackend* backend, const std::vector<double>& y,
                                 const MultiLevelOptions& options = MultiLevelOptions());
 
 }  // namespace reptile
