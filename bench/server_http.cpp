@@ -1,0 +1,178 @@
+// HTTP front-end overhead: the same recommend workload measured as a direct
+// Session call vs over loopback HTTP (parse request JSON -> engine -> write
+// response JSON -> socket round trip), plus /healthz as the pure
+// framing-floor measurement and the strict JSON parser on a realistic
+// recommend_batch response body.
+//
+// The interesting number is the Direct vs Http gap: everything in between
+// — request parsing, routing, per-session locking, response framing — is
+// the server subsystem's cost. Exercises only public surfaces (api/ and
+// server/).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "datagen/panel_gen.h"
+#include "reptile/reptile.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/json.h"
+#include "server/service.h"
+
+namespace reptile {
+namespace {
+
+constexpr int kDistricts = 8;
+constexpr int kVillages = 6;
+constexpr int kYears = 8;
+constexpr int kRowsPerGroup = 4;
+
+Dataset MakePanel() {
+  PanelSpec spec;
+  spec.districts = kDistricts;
+  spec.villages_per_district = kVillages;
+  spec.years = kYears;
+  spec.rows_per_group = kRowsPerGroup;
+  return MakeSeverityPanel(spec);
+}
+
+Session MakePanelSession() {
+  Result<Session> session = Session::Create(MakePanel());
+  if (!session.ok() || !session->Commit("time").ok()) {
+    std::fprintf(stderr, "session setup failed\n");
+    std::abort();
+  }
+  return std::move(session).value();
+}
+
+// One server shared by every benchmark, started on first use.
+struct ServerHarness {
+  ReptileService service;
+  std::unique_ptr<HttpServer> server;
+
+  ServerHarness() {
+    if (!service.AddSession("panel", MakePanelSession()).ok()) std::abort();
+    HttpServerOptions options;
+    options.port = 0;
+    options.num_threads = 4;
+    server = std::make_unique<HttpServer>(
+        options, [this](const HttpRequest& request) { return service.Handle(request); });
+    if (!server->Start().ok()) {
+      std::fprintf(stderr, "server failed to start\n");
+      std::abort();
+    }
+  }
+};
+
+ServerHarness& Harness() {
+  static ServerHarness& harness = *new ServerHarness();
+  return harness;
+}
+
+const std::string kRecommendBody =
+    R"({"dataset":"panel","complaint":{"aggregate":"std","measure":"severity",)"
+    R"("where":[{"column":"year","value":"y3"}]}})";
+
+std::string BatchBody(int64_t n) {
+  std::string body = R"({"dataset":"panel","complaints":[)";
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) body += ',';
+    body += R"({"aggregate":"std","measure":"severity","where":[{"column":"year","value":"y)" +
+            std::to_string(i % kYears) + R"("}]})";
+  }
+  body += "]}";
+  return body;
+}
+
+void BM_Http_Healthz(benchmark::State& state) {
+  HttpClient client("127.0.0.1", Harness().server->port());
+  for (auto _ : state) {
+    Result<HttpClientResponse> response = client.Get("/healthz");
+    if (!response.ok() || response->status != 200) {
+      state.SkipWithError("healthz failed");
+      return;
+    }
+    benchmark::DoNotOptimize(response);
+  }
+}
+
+void BM_Direct_Recommend(benchmark::State& state) {
+  static Session& session = *new Session(MakePanelSession());
+  ComplaintSpec complaint = ComplaintSpec::TooHigh("std", "severity").Where("year", "y3");
+  for (auto _ : state) {
+    Result<ExploreResponse> response = session.Recommend(complaint);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    std::string json = response->ToJson();  // include serialisation, like the wire
+    benchmark::DoNotOptimize(json);
+  }
+}
+
+void BM_Http_Recommend(benchmark::State& state) {
+  HttpClient client("127.0.0.1", Harness().server->port());
+  for (auto _ : state) {
+    Result<HttpClientResponse> response = client.Post("/v1/recommend", kRecommendBody);
+    if (!response.ok() || response->status != 200) {
+      state.SkipWithError("recommend failed");
+      return;
+    }
+    benchmark::DoNotOptimize(response);
+  }
+}
+
+void BM_Http_RecommendBatch(benchmark::State& state) {
+  HttpClient client("127.0.0.1", Harness().server->port());
+  std::string body = BatchBody(state.range(0));
+  for (auto _ : state) {
+    Result<HttpClientResponse> response = client.Post("/v1/recommend_batch", body);
+    if (!response.ok() || response->status != 200) {
+      state.SkipWithError("recommend_batch failed");
+      return;
+    }
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["complaints"] = static_cast<double>(state.range(0));
+}
+
+void BM_JsonParse_ResponseBody(benchmark::State& state) {
+  // Parse a real recommend_batch response body — the shape a wire client
+  // round-trips — not synthetic JSON.
+  HttpClient client("127.0.0.1", Harness().server->port());
+  Result<HttpClientResponse> response =
+      client.Post("/v1/recommend_batch", BatchBody(kYears));
+  if (!response.ok() || response->status != 200) {
+    state.SkipWithError("setup request failed");
+    return;
+  }
+  const std::string body = response->body;
+  for (auto _ : state) {
+    Result<JsonValue> parsed = ParseJson(body);
+    if (!parsed.ok()) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.counters["bytes"] = static_cast<double>(body.size());
+}
+
+BENCHMARK(BM_Http_Healthz)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Direct_Recommend)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+BENCHMARK(BM_Http_Recommend)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+BENCHMARK(BM_Http_RecommendBatch)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK(BM_JsonParse_ResponseBody)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace reptile
+
+BENCHMARK_MAIN();

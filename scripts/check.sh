@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verify with warnings-as-errors: configure + build with
-# -Wall -Wextra -Werror (the REPTILE_WERROR preset), run ctest — then build
+# -Wall -Wextra -Werror (the REPTILE_WERROR preset), run ctest, then smoke
+# the HTTP server binary (start reptile_serve on an ephemeral port, probe
+# /healthz and /v1/recommend, assert a clean SIGTERM shutdown) — then build
 # the library and tests again under ThreadSanitizer and re-run the suite, so
-# every PR exercises the parallel engine paths under race detection.
-# Future PRs must keep both green. Set REPTILE_SKIP_TSAN=1 to skip the TSan
-# pass (e.g. on toolchains without libtsan).
+# every PR exercises the parallel engine and server paths under race
+# detection. Future PRs must keep all stages green. Set REPTILE_SKIP_TSAN=1
+# to skip the TSan pass (e.g. on toolchains without libtsan);
+# REPTILE_SKIP_SMOKE=1 skips the server smoke (e.g. no curl, no loopback).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +17,33 @@ TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DREPTILE_WERROR=ON "$@"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
+  echo "--- server smoke: reptile_serve --demo on an ephemeral port"
+  SERVE_LOG="$(mktemp)"
+  "$BUILD_DIR/reptile_serve" --demo --port 0 --http-threads 2 > "$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_LOG")"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$PORT" ]] || { echo "server never reported its port"; cat "$SERVE_LOG"; exit 1; }
+  curl -fsS "http://127.0.0.1:$PORT/healthz" | grep -q '"status":"ok"'
+  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/recommend" \
+      -d '{"dataset":"demo","complaint":{"aggregate":"std","measure":"severity","where":[{"column":"year","value":"y3"}]}}' \
+    | grep -q '"best_index"'
+  # Unknown datasets must map to HTTP 404 through the Status contract.
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "http://127.0.0.1:$PORT/v1/recommend" -d '{"dataset":"nope","complaint":{"aggregate":"count"}}')" == "404" ]]
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"   # exits 0 on a clean shutdown; set -e fails otherwise
+  trap - EXIT
+  echo "--- server smoke passed"
+fi
 
 if [[ "${REPTILE_SKIP_TSAN:-0}" != "1" ]]; then
   # Benchmarks and examples add nothing to race coverage; skip them for speed.

@@ -134,6 +134,11 @@ ExploreRequest& ExploreRequest::Threads(int n) {
   return *this;
 }
 
+ExploreRequest& ExploreRequest::SharedPool(bool share) {
+  shared_pool = share;
+  return *this;
+}
+
 BatchOptions& BatchOptions::Threads(int n) {
   num_threads = n;
   return *this;
@@ -141,6 +146,17 @@ BatchOptions& BatchOptions::Threads(int n) {
 
 BatchOptions& BatchOptions::TopK(int k) {
   top_k = k;
+  return *this;
+}
+
+BatchOptions& BatchOptions::RepairAlso(std::string aggregate) {
+  if (!extra_repair_stats.has_value()) extra_repair_stats.emplace();
+  extra_repair_stats->push_back(std::move(aggregate));
+  return *this;
+}
+
+BatchOptions& BatchOptions::NoExtraRepairStats() {
+  extra_repair_stats.emplace();  // engaged and empty: override to none
   return *this;
 }
 
@@ -207,6 +223,7 @@ Result<EngineOptions> ExploreRequest::Resolve() const {
                                    std::to_string(num_threads));
   }
   options.num_threads = num_threads;
+  options.share_pool = shared_pool;
   return options;
 }
 

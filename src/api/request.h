@@ -9,6 +9,7 @@
 #ifndef REPTILE_API_REQUEST_H_
 #define REPTILE_API_REQUEST_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,11 @@ struct ExploreRequest {
   // concurrency, 1 = sequential. Recommendations are identical at every
   // setting; only timings change.
   int num_threads = 0;
+  // Fan compute out over the process-wide shared worker pool when the
+  // resolved width is the machine default (true, the default), so many
+  // concurrent sessions in one server share one set of workers. false keeps
+  // every pool session-owned.
+  bool shared_pool = true;
 
   ExploreRequest& TopK(int k);
   ExploreRequest& Model(std::string name);
@@ -94,6 +100,7 @@ struct ExploreRequest {
   ExploreRequest& EmIterations(int iters);
   ExploreRequest& RepairAlso(std::string aggregate);
   ExploreRequest& Threads(int n);
+  ExploreRequest& SharedPool(bool share);
 
   /// Validates every knob and resolves to the internal engine options.
   Result<EngineOptions> Resolve() const;
@@ -106,9 +113,18 @@ struct ExploreRequest {
 struct BatchOptions {
   int num_threads = 0;  // 0 = session option; 1 = force sequential
   int top_k = 0;        // 0 = session option
+  // Extra repair statistics for this call only (Appendix N), by aggregate
+  // name ("count", "sum", ...): disengaged inherits the session's
+  // extra_repair_stats; engaged-and-empty toggles extras off for the call.
+  std::optional<std::vector<std::string>> extra_repair_stats;
 
   BatchOptions& Threads(int n);
   BatchOptions& TopK(int k);
+  /// Adds one per-call extra repair statistic (engages the override).
+  BatchOptions& RepairAlso(std::string aggregate);
+  /// Forces the call to repair only the complaint's own primitives, even
+  /// when the session was built with extra_repair_stats.
+  BatchOptions& NoExtraRepairStats();
 };
 
 }  // namespace reptile

@@ -1,54 +1,22 @@
 #include "api/response.h"
 
-#include <cmath>
-#include <cstdio>
 #include <sstream>
+
+#include "common/json_util.h"
 
 namespace reptile {
 namespace {
 
-// Minimal JSON writer: enough for the flat response structures here.
+// Minimal JSON writer: enough for the flat response structures here. String
+// escaping and number formatting are shared with the server's parser/writer
+// (common/json_util.h), which keeps every dataset/attribute name — quotes,
+// backslashes, control characters included — parseable on the wire; the
+// round-trip tests in tests/json_test.cpp hold the two sides together.
 void AppendJsonString(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  os << '"' << JsonEscape(s) << '"';
 }
 
-void AppendJsonNumber(std::ostringstream& os, double value) {
-  if (!std::isfinite(value)) {
-    os << "null";  // JSON has no Infinity/NaN
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
-  os << buf;
-}
+void AppendJsonNumber(std::ostringstream& os, double value) { os << JsonNumber(value); }
 
 void AppendStatMap(std::ostringstream& os, const std::map<std::string, double>& stats) {
   os << '{';

@@ -5,6 +5,7 @@
 #include <deque>
 #include <utility>
 
+#include "agg/aggregates.h"
 #include "core/engine.h"
 #include "core/view.h"
 
@@ -226,6 +227,18 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
     return Status::InvalidArgument("per-call top_k must be >= 0 (0 = session option), got " +
                                    std::to_string(options.top_k));
   }
+  std::optional<std::vector<AggFn>> extra_stats;
+  if (options.extra_repair_stats.has_value()) {
+    extra_stats.emplace();
+    for (const std::string& name : *options.extra_repair_stats) {
+      std::optional<AggFn> fn = ParseAggFn(name);
+      if (!fn.has_value()) {
+        return Status::InvalidArgument("unknown extra repair statistic '" + name +
+                                       "' (expected one of count, sum, mean, std, var)");
+      }
+      extra_stats->push_back(*fn);
+    }
+  }
   const Dataset& dataset = impl_->dataset;
   Engine& engine = *impl_->engine;
 
@@ -257,6 +270,7 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   BatchOverrides overrides;
   overrides.num_threads = options.num_threads;
   overrides.top_k = options.top_k;
+  if (extra_stats.has_value()) overrides.extra_repair_stats = &*extra_stats;
   BatchTiming timing;
   std::vector<Recommendation> recommendations = engine.RecommendBatch(
       std::span<const Complaint>(resolved.data(), resolved.size()), overrides, &timing);

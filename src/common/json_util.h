@@ -1,0 +1,71 @@
+// JSON string-escaping and number-formatting primitives shared by the api/
+// response writers and the server/ parser+writer, so both sides of the wire
+// agree on one convention (tests/json_test.cpp round-trips them).
+//
+// Lives in common/ because it is layer-neutral: api/ must not depend on
+// server/ (the server sits *above* the facade), yet both need these.
+// Header-only, dependency-free.
+
+#ifndef REPTILE_COMMON_JSON_UTIL_H_
+#define REPTILE_COMMON_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace reptile {
+
+/// Escapes `raw` for embedding inside a JSON string literal (quotes not
+/// included): ", \ and control characters below 0x20 are escaped; all other
+/// bytes pass through untouched (UTF-8 stays UTF-8).
+inline std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `raw` as a complete JSON string literal, quotes included.
+inline std::string JsonQuote(std::string_view raw) { return '"' + JsonEscape(raw) + '"'; }
+
+/// A double rendered the way the ToJson writers render it: %.12g, with
+/// non-finite values becoming "null" (JSON has no Infinity/NaN). %.12g
+/// strings re-parse to a double that prints identically, so serialized
+/// numbers are stable under parse -> write round trips.
+inline std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Infinity/NaN
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+}  // namespace reptile
+
+#endif  // REPTILE_COMMON_JSON_UTIL_H_

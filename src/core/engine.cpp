@@ -40,11 +40,13 @@ std::optional<AttrId> FindDrilledAttr(const CandidateContext& ctx, int table_col
 }
 
 // Primitive statistics one complaint needs: its own decomposition plus any
-// extra statistics frepair should restore (Appendix N).
+// extra statistics frepair should restore (Appendix N). `extra_stats` is the
+// batch-effective list: the per-call override when given, else the engine
+// option.
 std::vector<AggFn> ComplaintPrimitives(const Complaint& complaint,
-                                       const EngineOptions& options) {
+                                       const std::vector<AggFn>& extra_stats) {
   std::vector<AggFn> primitives = RequiredPrimitives(complaint.agg);
-  for (AggFn extra : options.extra_repair_stats) {
+  for (AggFn extra : extra_stats) {
     for (AggFn required : RequiredPrimitives(extra)) {
       if (std::find(primitives.begin(), primitives.end(), required) == primitives.end()) {
         primitives.push_back(required);
@@ -135,10 +137,18 @@ Recommendation Engine::RecommendDrillDown(const Complaint& complaint) {
 
 ThreadPool* Engine::PoolFor(int num_threads) {
   if (num_threads <= 1) return nullptr;
-  // One pool per requested width, kept for the engine's lifetime: a caller
-  // alternating per-call widths (say 4 and 8) must not tear down and respawn
-  // workers on every batch. Idle pools cost a few parked threads; the set of
-  // widths a caller actually uses is small.
+  // Machine-default width with sharing on: every engine in the process fans
+  // out over the one SharedThreadPool(), so N concurrent sessions cost one
+  // set of workers, not N. Concurrent ParallelFor calls on a pool are safe
+  // (per-call latches); the engine's own tasks never submit to the pool they
+  // run on, so sharing cannot deadlock.
+  if (options_.share_pool && num_threads == ThreadPool::DefaultThreads()) {
+    return SharedThreadPool();
+  }
+  // Otherwise: one owned pool per requested width, kept for the engine's
+  // lifetime — a caller alternating per-call widths (say 4 and 8) must not
+  // tear down and respawn workers on every batch. Idle pools cost a few
+  // parked threads; the set of widths a caller actually uses is small.
   std::unique_ptr<ThreadPool>& pool = pools_[num_threads];
   if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
   return pool.get();
@@ -156,6 +166,9 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
   int num_threads = overrides.num_threads > 0 ? overrides.num_threads : options_.num_threads;
   if (num_threads == 0) num_threads = ThreadPool::DefaultThreads();
   const int top_k = overrides.top_k > 0 ? overrides.top_k : options_.top_k;
+  const std::vector<AggFn>& extra_stats = overrides.extra_repair_stats != nullptr
+                                              ? *overrides.extra_repair_stats
+                                              : options_.extra_repair_stats;
   ThreadPool* pool = PoolFor(num_threads);
 
   drill_state_.BeginInvocation();
@@ -243,7 +256,7 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
   };
   std::vector<FitTask> fit_tasks;
   for (size_t c = 0; c < complaints.size(); ++c) {
-    std::vector<AggFn> primitives = ComplaintPrimitives(complaints[c], options_);
+    std::vector<AggFn> primitives = ComplaintPrimitives(complaints[c], extra_stats);
     for (size_t p = 0; p < plans.size(); ++p) {
       for (AggFn primitive : primitives) {
         auto key = std::make_pair(complaints[c].measure_column, primitive);
@@ -282,7 +295,7 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
           pool, static_cast<int64_t>(complaints.size() * plans.size()), [&](int64_t i) {
             size_t c = static_cast<size_t>(i) / plans.size();
             size_t p = static_cast<size_t>(i) % plans.size();
-            return ExecuteComplaint(*plans[p], complaints[c], top_k,
+            return ExecuteComplaint(*plans[p], complaints[c], top_k, extra_stats,
                                     charged_train[static_cast<size_t>(i)],
                                     /*charge_build=*/c == 0);
           });
@@ -560,6 +573,7 @@ Engine::PrimitiveFit Engine::FitPrimitive(const CandidatePlan& plan, int measure
 
 HierarchyRecommendation Engine::ExecuteComplaint(const CandidatePlan& plan,
                                                  const Complaint& complaint, int top_k,
+                                                 const std::vector<AggFn>& extra_stats,
                                                  double charged_train_seconds,
                                                  bool charge_build) const {
   Timer rank_timer;
@@ -598,7 +612,7 @@ HierarchyRecommendation Engine::ExecuteComplaint(const CandidatePlan& plan,
   // Per primitive statistic: fitted model values, trained by the batch's fit
   // stage and shared read-only by every complaint on this plan.
   GroupPredictions predictions(siblings.num_groups());
-  for (AggFn primitive : ComplaintPrimitives(complaint, options_)) {
+  for (AggFn primitive : ComplaintPrimitives(complaint, extra_stats)) {
     auto fit_it = plan.fits.find(std::make_pair(complaint.measure_column, primitive));
     REPTILE_CHECK(fit_it != plan.fits.end()) << "primitive model missing from batch fit stage";
     const std::vector<double>& fitted = fit_it->second.fitted;

@@ -94,13 +94,26 @@ struct EngineOptions {
   // 1 = fully sequential (inline, no pool). Recommendations are element-wise
   // identical at every setting; only the timing fields differ.
   int num_threads = 0;
+  // When true (the default) and the resolved width equals the machine-wide
+  // default, the fan-out runs on the process-wide SharedThreadPool() so many
+  // concurrent engines in one process (a server) share one set of workers
+  // instead of each spawning hardware_concurrency threads. Set false to keep
+  // every pool engine-owned (isolation; e.g. embedding next to another
+  // workload). Explicit non-default widths always use an owned pool of
+  // exactly that width.
+  bool share_pool = true;
 };
 
 /// Per-invocation overrides for one RecommendBatch call, distinct from the
-/// engine-construction options. Zero-valued fields inherit EngineOptions.
+/// engine-construction options. Zero-valued (or null) fields inherit
+/// EngineOptions.
 struct BatchOverrides {
   int num_threads = 0;  // 0 = engine option; 1 = force sequential
   int top_k = 0;        // 0 = engine option
+  // Extra statistics frepair restores for this call only (Appendix N):
+  // nullptr = engine option; a pointer to an empty vector toggles extras off.
+  // The pointee is borrowed for the duration of the call.
+  const std::vector<AggFn>* extra_repair_stats = nullptr;
 };
 
 /// Batch-level timing: the summed per-task fit durations (what the work
@@ -246,16 +259,20 @@ class Engine {
 
   /// Execute stage, ranking half: scores one complaint's sibling groups
   /// against the plan's trained models (all fits are already in the plan).
-  /// `charged_train_seconds` / `charge_build` carry the deterministic cost
-  /// attribution computed by RecommendBatch.
+  /// `extra_stats` is the batch-effective extra-repair list (per-call
+  /// override or the engine option); `charged_train_seconds` / `charge_build`
+  /// carry the deterministic cost attribution computed by RecommendBatch.
   HierarchyRecommendation ExecuteComplaint(const CandidatePlan& plan,
                                            const Complaint& complaint, int top_k,
+                                           const std::vector<AggFn>& extra_stats,
                                            double charged_train_seconds,
                                            bool charge_build) const;
 
   /// The worker pool for one batch: nullptr when num_threads resolves to 1;
-  /// otherwise a pool of that width, created once and reused by every later
-  /// batch requesting the same width (no churn when per-call widths vary).
+  /// the process-wide SharedThreadPool() when share_pool is on and the width
+  /// is the machine default; otherwise an owned pool of that width, created
+  /// once and reused by every later batch requesting the same width (no
+  /// churn when per-call widths vary).
   ThreadPool* PoolFor(int num_threads);
 
   const Dataset* dataset_;

@@ -1,0 +1,47 @@
+#include "datagen/panel_gen.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "data/table.h"
+
+namespace reptile {
+
+Dataset MakeSeverityPanel(const PanelSpec& spec) {
+  REPTILE_CHECK_GE(spec.districts, 1);
+  REPTILE_CHECK_GE(spec.villages_per_district, 1);
+  REPTILE_CHECK_GE(spec.years, 1);
+  REPTILE_CHECK_GE(spec.rows_per_group, 1);
+  Table table;
+  int district = table.AddDimensionColumn("district");
+  int village = table.AddDimensionColumn("village");
+  int year = table.AddDimensionColumn("year");
+  int severity = table.AddMeasureColumn("severity");
+  uint64_t state = spec.seed;
+  auto noise = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (int d = 0; d < spec.districts; ++d) {
+    for (int v = 0; v < spec.villages_per_district; ++v) {
+      std::string district_name = "d" + std::to_string(d);
+      std::string village_name = district_name + "_v" + std::to_string(v);
+      for (int y = 0; y < spec.years; ++y) {
+        for (int r = 0; r < spec.rows_per_group; ++r) {
+          table.SetDim(district, district_name);
+          table.SetDim(village, village_name);
+          table.SetDim(year, "y" + std::to_string(y));
+          table.SetMeasure(severity, 5.0 + 0.4 * d + 0.25 * y + noise());
+          table.CommitRow();
+        }
+      }
+    }
+  }
+  Result<Dataset> dataset = Dataset::Make(
+      std::move(table), {{"geo", {"district", "village"}}, {"time", {"year"}}});
+  REPTILE_CHECK(dataset.ok()) << dataset.status().ToString();
+  return std::move(dataset).value();
+}
+
+}  // namespace reptile

@@ -1,0 +1,36 @@
+// The district x village x year severity panel (the fig08 multi-query
+// workload's shape): severity carries additive district and year effects
+// plus deterministic LCG noise, under a two-hierarchy schema
+// {geo: district > village, time: year}.
+//
+// One parameterized builder instead of per-file copies: the HTTP loopback
+// tests assert byte-equality between a served session and a directly
+// constructed one, which silently depends on both being built from
+// bit-identical data — a single generator makes that coupling explicit.
+// (bench/fig08_multiquery.cpp and tests/parallel_test.cpp predate this
+// helper and still carry local copies; they can migrate.)
+
+#ifndef REPTILE_DATAGEN_PANEL_GEN_H_
+#define REPTILE_DATAGEN_PANEL_GEN_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace reptile {
+
+struct PanelSpec {
+  int districts = 8;
+  int villages_per_district = 6;
+  int years = 10;
+  int rows_per_group = 4;
+  uint64_t seed = 8;
+};
+
+/// Deterministic in `spec`: equal specs produce bit-identical datasets.
+/// Dimension values are "d3", "d3_v1", "y7"; the measure is "severity".
+Dataset MakeSeverityPanel(const PanelSpec& spec = PanelSpec());
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATAGEN_PANEL_GEN_H_

@@ -59,6 +59,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool* SharedThreadPool() {
+  // Magic-static: thread-safe lazy init. Leaked by design (see header).
+  static ThreadPool* const pool = new ThreadPool(ThreadPool::DefaultThreads());
+  return pool;
+}
+
 void ParallelFor(ThreadPool* pool, int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {

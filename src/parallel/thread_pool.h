@@ -72,6 +72,21 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
+/// The process-wide shared compute pool: lazily created on first use,
+/// DefaultThreads() wide, and intentionally never destroyed (leaked so no
+/// static-destruction-order hazard exists for late users). Many concurrent
+/// Engines — and anything else fanning out compute — share these workers
+/// instead of each spawning hardware_concurrency threads, so one busy server
+/// process cannot oversubscribe the machine. Concurrent ParallelFor calls on
+/// it are safe (each call carries its own completion latch).
+///
+/// Only submit short-lived compute tasks: a task that blocks indefinitely
+/// (e.g. socket reads — see server/http_server.h, which owns a separate
+/// connection pool for exactly this reason) would starve every other client
+/// of the shared workers. Components that need a specific width or isolation
+/// opt out by constructing their own ThreadPool.
+ThreadPool* SharedThreadPool();
+
 /// Runs fn(i) for every i in [0, n), fanning out across `pool` (nullptr or a
 /// one-thread pool = inline sequential execution). Blocks until every index
 /// has run. If any invocation throws, the exception of the lowest failing

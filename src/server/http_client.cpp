@@ -1,0 +1,202 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "server/net_util.h"
+
+namespace reptile {
+namespace {
+
+using net_internal::Lowercase;
+using net_internal::Trim;
+using net_internal::WriteAll;
+
+// Appends whatever is readable; false on EOF or error. (The server's
+// ConnectionReader::Fill additionally distinguishes idle timeouts, which a
+// client without SO_RCVTIMEO never sees — intentionally not shared.)
+bool Fill(int fd, std::string* buffer) {
+  char chunk[16 * 1024];
+  ssize_t n;
+  do {
+    n = ::recv(fd, chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return false;
+  buffer->append(chunk, static_cast<size_t>(n));
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpClientResponse::FindHeader(const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, int port) : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+Status HttpClient::Connect() {
+  if (fd_ >= 0) return Status::Ok();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return Status::InvalidArgument("bad host address '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IoError("connect(" + host_ + ":" + std::to_string(port_) +
+                                   "): " + std::strerror(errno));
+    Disconnect();
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<HttpClientResponse> HttpClient::Get(const std::string& path) {
+  return Request("GET", path, std::string(), std::string());
+}
+
+Result<HttpClientResponse> HttpClient::Post(const std::string& path, const std::string& body,
+                                            const std::string& content_type) {
+  return Request("POST", path, body, content_type);
+}
+
+Result<HttpClientResponse> HttpClient::Request(const std::string& method,
+                                               const std::string& path,
+                                               const std::string& body,
+                                               const std::string& content_type) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool fresh_connection = fd_ < 0;
+    REPTILE_RETURN_IF_ERROR(Connect());
+
+    std::string request = method + " " + path + " HTTP/1.1\r\n";
+    request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+    if (!content_type.empty()) request += "Content-Type: " + content_type + "\r\n";
+    if (method != "GET" || !body.empty()) {
+      request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    request += "\r\n";
+    request += body;
+
+    // A reused keep-alive connection may have been closed by the server
+    // since the last request; retry exactly once on a fresh connection.
+    if (!WriteAll(fd_, request)) {
+      Disconnect();
+      if (fresh_connection) return Status::IoError("connection dropped while sending");
+      continue;
+    }
+
+    std::string buffer;
+    size_t head_end;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill(fd_, &buffer)) {
+        Disconnect();
+        if (buffer.empty() && !fresh_connection) goto retry;  // stale keep-alive
+        return Status::IoError("connection closed before a full response arrived");
+      }
+    }
+
+    {
+      HttpClientResponse response;
+      std::string head = buffer.substr(0, head_end + 4);
+      size_t line_end = head.find("\r\n");
+      std::string status_line = head.substr(0, line_end);
+      if (status_line.rfind("HTTP/1.", 0) != 0) {
+        Disconnect();
+        return Status::ParseError("malformed status line: " + status_line);
+      }
+      size_t space = status_line.find(' ');
+      if (space == std::string::npos || space + 4 > status_line.size()) {
+        Disconnect();
+        return Status::ParseError("malformed status line: " + status_line);
+      }
+      response.status = std::atoi(status_line.c_str() + space + 1);
+      if (response.status < 100 || response.status > 599) {
+        Disconnect();
+        return Status::ParseError("implausible status code in: " + status_line);
+      }
+
+      size_t pos = line_end + 2;
+      while (pos + 2 <= head.size()) {
+        size_t end = head.find("\r\n", pos);
+        if (end == pos) break;
+        std::string line = head.substr(pos, end - pos);
+        size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+          Disconnect();
+          return Status::ParseError("malformed response header: " + line);
+        }
+        response.headers.emplace_back(Lowercase(Trim(line.substr(0, colon))),
+                                      Trim(line.substr(colon + 1)));
+        pos = end + 2;
+      }
+
+      const std::string* length_header = response.FindHeader("content-length");
+      if (length_header == nullptr) {
+        Disconnect();
+        return Status::ParseError("response has no Content-Length");
+      }
+      size_t length = static_cast<size_t>(std::strtoull(length_header->c_str(), nullptr, 10));
+      buffer.erase(0, head_end + 4);
+      while (buffer.size() < length) {
+        if (!Fill(fd_, &buffer)) {
+          Disconnect();
+          return Status::IoError("connection closed mid-body");
+        }
+      }
+      response.body = buffer.substr(0, length);
+      // Anything after the body would be a pipelined response we never asked
+      // for; drop the connection in that case to stay in lockstep.
+      if (buffer.size() != length) Disconnect();
+
+      const std::string* connection = response.FindHeader("connection");
+      if (connection != nullptr && Lowercase(*connection) == "close") Disconnect();
+      return response;
+    }
+
+  retry:
+    continue;
+  }
+  return Status::IoError("request failed after reconnect");
+}
+
+Result<std::string> HttpClient::SendRaw(const std::string& bytes) {
+  Disconnect();  // always a fresh connection: raw bytes assume clean state
+  REPTILE_RETURN_IF_ERROR(Connect());
+  if (!WriteAll(fd_, bytes)) {
+    Disconnect();
+    return Status::IoError("connection dropped while sending");
+  }
+  ::shutdown(fd_, SHUT_WR);  // half-close: the server sees EOF after our bytes
+  std::string out;
+  while (Fill(fd_, &out)) {
+  }
+  Disconnect();
+  return out;
+}
+
+}  // namespace reptile

@@ -1,0 +1,63 @@
+// Minimal blocking HTTP/1.1 client over POSIX sockets — just enough to drive
+// the server from loopback integration tests and benchmarks without an
+// external dependency. Content-Length framing only (matching the server);
+// keep-alive: one TCP connection is reused across requests and transparently
+// re-established when the server closes it.
+//
+// Not a general-purpose client: no TLS, no redirects, no chunked decoding,
+// no request pipelining. A client instance is single-threaded; concurrent
+// test traffic uses one client per thread.
+
+#ifndef REPTILE_SERVER_HTTP_CLIENT_H_
+#define REPTILE_SERVER_HTTP_CLIENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+
+namespace reptile {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // names lowercased
+  std::string body;
+
+  const std::string* FindHeader(const std::string& lowercase_name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// kIoError when the server is unreachable or drops the connection,
+  /// kParseError when the response is not well-formed HTTP.
+  Result<HttpClientResponse> Get(const std::string& path);
+  Result<HttpClientResponse> Post(const std::string& path, const std::string& body,
+                                  const std::string& content_type = "application/json");
+
+  /// Sends raw bytes on a fresh connection and returns everything the server
+  /// writes until it closes — for tests that need to speak *malformed* HTTP
+  /// (the framing-error surface, which Get/Post can't produce).
+  Result<std::string> SendRaw(const std::string& bytes);
+
+ private:
+  Result<HttpClientResponse> Request(const std::string& method, const std::string& path,
+                                     const std::string& body,
+                                     const std::string& content_type);
+  Status Connect();
+  void Disconnect();
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_SERVER_HTTP_CLIENT_H_

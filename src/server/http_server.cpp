@@ -1,0 +1,467 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "parallel/thread_pool.h"
+#include "server/json.h"
+#include "server/net_util.h"
+
+namespace reptile {
+
+const std::string* HttpRequest::FindHeader(const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    default:
+      return "Unknown";
+  }
+}
+
+namespace {
+
+using net_internal::Lowercase;
+using net_internal::Trim;
+using net_internal::WriteAll;
+
+// Buffered reader over a connection fd: ReadRequestHead/ReadBody consume from
+// an internal buffer so bytes of a pipelined next request are never lost.
+class ConnectionReader {
+ public:
+  explicit ConnectionReader(int fd) : fd_(fd) {}
+
+  /// Reads until the blank line ending the header section, appending to
+  /// `head` (terminator included). Returns false on EOF/error/cap.
+  enum class HeadResult { kOk, kClosed, kTooLarge, kTimeout };
+  HeadResult ReadRequestHead(std::string* head, size_t max_bytes) {
+    size_t scanned = 0;  // first index of buffer_ not yet scanned for \r\n\r\n
+    for (;;) {
+      size_t pos = buffer_.find("\r\n\r\n", scanned >= 3 ? scanned - 3 : 0);
+      if (pos != std::string::npos) {
+        if (pos + 4 > max_bytes) return HeadResult::kTooLarge;
+        head->assign(buffer_, 0, pos + 4);
+        buffer_.erase(0, pos + 4);
+        return HeadResult::kOk;
+      }
+      if (buffer_.size() > max_bytes) return HeadResult::kTooLarge;
+      scanned = buffer_.size();
+      switch (Fill()) {
+        case FillResult::kData:
+          break;
+        case FillResult::kClosed:
+          return HeadResult::kClosed;
+        case FillResult::kTimeout:
+          return HeadResult::kTimeout;
+      }
+    }
+  }
+
+  /// Reads exactly `length` body bytes into `body`. False on EOF/error.
+  bool ReadBody(std::string* body, size_t length) {
+    while (buffer_.size() < length) {
+      if (Fill() != FillResult::kData) return false;
+    }
+    body->assign(buffer_, 0, length);
+    buffer_.erase(0, length);
+    return true;
+  }
+
+  bool has_buffered_bytes() const { return !buffer_.empty(); }
+
+ private:
+  enum class FillResult { kData, kClosed, kTimeout };
+  FillResult Fill() {
+    char chunk[16 * 1024];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      return FillResult::kData;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return FillResult::kTimeout;  // SO_RCVTIMEO expired (idle keep-alive)
+    }
+    return FillResult::kClosed;  // orderly EOF or hard error: drop either way
+  }
+
+  int fd_;
+  std::string buffer_;
+};
+
+bool WriteResponse(int fd, const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+         HttpReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return WriteAll(fd, out);
+}
+
+// Writes a framing-error response on a connection that is about to close
+// while the peer may still be sending (e.g. a 413 for a body we refused to
+// read). close() with unread bytes queued sends an RST that can destroy the
+// response before the client reads it, so half-close and drain what the
+// peer has in flight before the caller closes the fd — a lingering close.
+// The drain is bounded in bytes AND by a wall-clock deadline: a per-recv
+// SO_RCVTIMEO alone would let a client trickling one byte per interval pin
+// this worker indefinitely.
+void WriteErrorAndDrain(int fd, const HttpResponse& response) {
+  if (!WriteResponse(fd, response, /*keep_alive=*/false)) return;
+  ::shutdown(fd, SHUT_WR);
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char sink[16 * 1024];
+  size_t drained = 0;
+  constexpr size_t kMaxDrainBytes = 16 * 1024 * 1024;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (drained < kMaxDrainBytes && std::chrono::steady_clock::now() < deadline) {
+    ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or timeout: the peer saw our FIN
+    drained += static_cast<size_t>(n);
+  }
+}
+
+HttpResponse FramingError(int status, const std::string& message) {
+  return HttpResponse::Json(
+      status, "{\"error\":{\"code\":\"" + std::string(HttpReasonPhrase(status)) +
+                  "\",\"http\":" + std::to_string(status) +
+                  ",\"message\":" + JsonQuote(message) + "}}");
+}
+
+// Parses the head (request line + headers). Returns a non-OK framing status
+// via `error` (the response to send before closing) on malformed input.
+bool ParseRequestHead(const std::string& head, HttpRequest* request, HttpResponse* error) {
+  size_t line_end = head.find("\r\n");
+  REPTILE_CHECK(line_end != std::string::npos);  // head always ends in CRLFCRLF
+  const std::string request_line = head.substr(0, line_end);
+  size_t method_end = request_line.find(' ');
+  size_t target_end =
+      method_end == std::string::npos ? std::string::npos : request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || target_end == std::string::npos ||
+      request_line.find(' ', target_end + 1) != std::string::npos) {
+    *error = FramingError(400, "malformed request line");
+    return false;
+  }
+  request->method = request_line.substr(0, method_end);
+  request->target = request_line.substr(method_end + 1, target_end - method_end - 1);
+  request->http_version = request_line.substr(target_end + 1);
+  if (request->method.empty() || request->target.empty() ||
+      (request->http_version != "HTTP/1.1" && request->http_version != "HTTP/1.0")) {
+    *error = FramingError(400, "malformed request line");
+    return false;
+  }
+  size_t query_pos = request->target.find('?');
+  request->path = request->target.substr(0, query_pos);
+  request->query =
+      query_pos == std::string::npos ? std::string() : request->target.substr(query_pos + 1);
+
+  size_t pos = line_end + 2;
+  while (pos + 2 <= head.size()) {
+    size_t end = head.find("\r\n", pos);
+    REPTILE_CHECK(end != std::string::npos);
+    if (end == pos) break;  // blank line: end of headers
+    std::string line = head.substr(pos, end - pos);
+    // RFC 9112 §5: obsolete line folding (a field line starting with
+    // whitespace) and whitespace between the field name and the colon MUST
+    // be rejected — a lenient reading here while a front proxy reads
+    // strictly is a request-smuggling desync (e.g. "Content-Length : 4").
+    if (line[0] == ' ' || line[0] == '\t') {
+      *error = FramingError(400, "obsolete header line folding is not supported");
+      return false;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      *error = FramingError(400, "malformed header line");
+      return false;
+    }
+    std::string name = line.substr(0, colon);
+    if (name.find_first_of(" \t") != std::string::npos) {
+      *error = FramingError(400, "whitespace in a header field name");
+      return false;
+    }
+    request->headers.emplace_back(Lowercase(std::move(name)), Trim(line.substr(colon + 1)));
+    pos = end + 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  REPTILE_CHECK(handler_ != nullptr);
+  if (options_.connection_pool != nullptr) {
+    pool_ = options_.connection_pool;
+  } else {
+    int threads = options_.num_threads < 1 ? 1 : options_.num_threads;
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  REPTILE_CHECK(!started_.load()) << "HttpServer::Start called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IoError("bind(" + options_.bind_address + ":" +
+                                   std::to_string(options_.port) +
+                                   "): " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status status = Status::IoError(std::string("listen(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    Status status = Status::IoError(std::string("getsockname(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);  // serialize concurrent Stop()s
+  if (!started_.load()) return;
+  if (!stopping_.exchange(true)) {
+    // Break the blocking accept(); the loop sees stopping_ and returns.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Half-close live connections (read side only): a task blocked waiting
+    // for the next keep-alive request sees EOF and exits, while a task
+    // mid-handler can still write its in-flight response before closing —
+    // stopping_ makes that response `Connection: close`.
+    std::unique_lock<std::mutex> lock(mu_);
+    for (int fd : open_connections_) ::shutdown(fd, SHUT_RD);
+    connections_done_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // started_ stays true: a stopped server cannot be restarted (Start()'s
+  // "call once" CHECK enforces it; the old accept loop is gone for good).
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    int fd;
+    do {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (stopping_.load()) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        // Resource pressure: back off instead of spinning a core against
+        // the very handlers that must finish to free descriptors.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      if (errno == EBADF || errno == EINVAL) return;  // listen socket is gone
+      // Anything else (ECONNABORTED, EPROTO, ...) concerns only the one
+      // aborted connection — the listener is fine, keep accepting.
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load()) {
+        ::close(fd);
+        continue;
+      }
+      open_connections_.insert(fd);
+      ++active_connections_;
+    }
+    pool_->Submit([this, fd] {
+      HandleConnection(fd);
+      std::lock_guard<std::mutex> lock(mu_);
+      open_connections_.erase(fd);
+      ::close(fd);
+      if (--active_connections_ == 0) connections_done_.notify_all();
+    });
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.idle_timeout_seconds > 0) {
+    timeval timeout{};
+    timeout.tv_sec = options_.idle_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+
+  ConnectionReader reader(fd);
+  while (!stopping_.load()) {
+    std::string head;
+    switch (reader.ReadRequestHead(&head, options_.max_header_bytes)) {
+      case ConnectionReader::HeadResult::kOk:
+        break;
+      case ConnectionReader::HeadResult::kClosed:
+        return;  // peer closed between requests (or mid-head): nothing to say
+      case ConnectionReader::HeadResult::kTimeout:
+        if (reader.has_buffered_bytes()) {
+          WriteResponse(fd, FramingError(408, "timed out reading the request"), false);
+        }
+        return;
+      case ConnectionReader::HeadResult::kTooLarge:
+        WriteErrorAndDrain(fd, FramingError(431, "header section exceeds " +
+                                                     std::to_string(options_.max_header_bytes) +
+                                                     " bytes"));
+        return;
+    }
+
+    HttpRequest request;
+    HttpResponse framing_error;
+    if (!ParseRequestHead(head, &request, &framing_error)) {
+      WriteErrorAndDrain(fd, framing_error);
+      return;
+    }
+    if (request.FindHeader("transfer-encoding") != nullptr) {
+      WriteErrorAndDrain(fd, FramingError(501, "transfer-encoding is not supported"));
+      return;
+    }
+    // Exactly one Content-Length may appear: duplicates (even identical
+    // ones) are the classic request-smuggling desync vector when a proxy in
+    // front picks a different one than we do (RFC 9112 §6.3).
+    int content_length_headers = 0;
+    for (const auto& [name, value] : request.headers) {
+      if (name == "content-length") ++content_length_headers;
+    }
+    if (content_length_headers > 1) {
+      WriteErrorAndDrain(fd, FramingError(400, "multiple Content-Length headers"));
+      return;
+    }
+    size_t content_length = 0;
+    if (const std::string* header = request.FindHeader("content-length")) {
+      // Digits only: strtoull would silently wrap "-1" to a huge unsigned
+      // value, turning an invalid header into a bogus 413.
+      if (header->empty() ||
+          header->find_first_not_of("0123456789") != std::string::npos) {
+        WriteErrorAndDrain(fd, FramingError(400, "malformed Content-Length"));
+        return;
+      }
+      errno = 0;
+      unsigned long long parsed = std::strtoull(header->c_str(), nullptr, 10);
+      if (errno != 0) {  // ERANGE: larger than any plausible body
+        WriteErrorAndDrain(fd, FramingError(400, "malformed Content-Length"));
+        return;
+      }
+      content_length = static_cast<size_t>(parsed);
+    }
+    if (content_length > options_.max_body_bytes) {
+      WriteErrorAndDrain(fd, FramingError(413, "request body of " +
+                                                   std::to_string(content_length) +
+                                                   " bytes exceeds the " +
+                                                   std::to_string(options_.max_body_bytes) +
+                                                   "-byte limit"));
+      return;
+    }
+    if (content_length > 0 && !reader.ReadBody(&request.body, content_length)) {
+      return;  // peer vanished mid-body
+    }
+
+    bool keep_alive = request.http_version == "HTTP/1.1";
+    if (const std::string* connection = request.FindHeader("connection")) {
+      std::string value = Lowercase(*connection);
+      if (value == "close") keep_alive = false;
+      if (value == "keep-alive") keep_alive = true;
+    }
+    if (stopping_.load()) keep_alive = false;
+
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = FramingError(500, std::string("unhandled exception: ") + e.what());
+      keep_alive = false;
+    } catch (...) {
+      response = FramingError(500, "unhandled exception");
+      keep_alive = false;
+    }
+    if (!WriteResponse(fd, response, keep_alive)) return;
+    if (!keep_alive) return;
+  }
+}
+
+}  // namespace reptile

@@ -1,0 +1,147 @@
+// Dependency-free HTTP/1.1 server over POSIX sockets — the network boundary
+// in front of the routing layer (server/service.h).
+//
+// Design:
+//  * One dedicated accept thread runs a blocking accept loop; each accepted
+//    connection is fanned out as a task on a parallel/ ThreadPool (the PR 2
+//    worker pool) and handled with blocking reads/writes until it closes.
+//    With N pool threads at most N connections are serviced concurrently;
+//    further accepted connections queue in the pool (FIFO).
+//  * Framing is Content-Length only (no chunked transfer encoding: a request
+//    with Transfer-Encoding is answered 501). HTTP/1.1 connections are
+//    keep-alive by default; "Connection: close" (and HTTP/1.0 without
+//    "keep-alive") closes after the response.
+//  * Hard request-size limits: header section (431) and body (413) caps are
+//    enforced before buffering, so a hostile client cannot balloon memory.
+//  * The handler runs on the connection's pool thread and must be
+//    thread-safe across connections. IMPORTANT: a handler may run compute
+//    fan-outs on *other* pools (the engine's SharedThreadPool()), but must
+//    never submit to the connection pool it runs on — connection tasks are
+//    long-lived blockers, and a compute join queued behind them deadlocks.
+//    HttpServer therefore owns its connection pool by default; pass
+//    `connection_pool` only to share connection handling between servers,
+//    never to share with engines.
+//
+// Stop() (also the destructor) unblocks the accept loop, shuts every open
+// connection down, and waits for all connection tasks to finish — after it
+// returns, no handler invocation is in flight.
+
+#ifndef REPTILE_SERVER_HTTP_SERVER_H_
+#define REPTILE_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+
+namespace reptile {
+
+class ThreadPool;  // parallel/thread_pool.h
+
+/// One parsed request. Header names are lowercased at parse time (HTTP
+/// header names are case-insensitive); values keep their bytes.
+struct HttpRequest {
+  std::string method;        // e.g. "GET", "POST" (any token accepted)
+  std::string target;        // request-target as received ("/v1/view?x=1")
+  std::string path;          // target up to '?'
+  std::string query;         // after '?', possibly empty
+  std::string http_version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with the given (lowercase) name, or nullptr.
+  const std::string* FindHeader(const std::string& lowercase_name) const;
+};
+
+/// What a handler returns; the server adds Content-Length / Connection
+/// framing headers itself.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+
+  static HttpResponse Json(int status, std::string body) {
+    HttpResponse response;
+    response.status = status;
+    response.body = std::move(body);
+    return response;
+  }
+};
+
+/// The reason phrase for a status code ("OK", "Not Found", ...).
+const char* HttpReasonPhrase(int status);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;             // 0 = ephemeral; the bound port is port()
+  int num_threads = 4;      // connection workers when the server owns its pool
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+  // Seconds a keep-alive connection may sit idle between requests before the
+  // server closes it (frees its worker). 0 = never time out.
+  int idle_timeout_seconds = 30;
+  // Optional externally owned pool for connection tasks (see the deadlock
+  // note above); nullptr = the server creates its own `num_threads` pool.
+  ThreadPool* connection_pool = nullptr;
+};
+
+class HttpServer {
+ public:
+  HttpServer(HttpServerOptions options, HttpHandler handler);
+  ~HttpServer();  // calls Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. kIoError when the socket
+  /// cannot be created or bound (e.g. the port is taken). Call once.
+  Status Start();
+
+  /// Unblocks accept, shuts down every open connection, and joins; idempotent
+  /// and safe to call from any thread except a handler.
+  void Stop();
+
+  /// The bound port (resolves 0 to the ephemeral port). Valid after Start().
+  int port() const { return port_; }
+
+  /// Connections accepted so far (monotonic; for tests and stats).
+  int64_t connections_accepted() const { return connections_accepted_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  HttpServerOptions options_;
+  HttpHandler handler_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int64_t> connections_accepted_{0};
+
+  std::mutex stop_mu_;  // serializes Stop() callers
+  std::mutex mu_;
+  std::condition_variable connections_done_;
+  std::set<int> open_connections_;  // fds of live connections, for Stop()
+  int64_t active_connections_ = 0;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_SERVER_HTTP_SERVER_H_

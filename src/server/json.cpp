@@ -1,0 +1,486 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace reptile {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const char* JsonValue::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "boolean";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+const char* JsonValue::KindName() const { return KindName(kind_); }
+
+bool JsonValue::bool_value() const {
+  REPTILE_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  REPTILE_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  REPTILE_CHECK(is_string());
+  return string_;
+}
+
+bool JsonValue::IsInteger() const {
+  if (!is_number()) return false;
+  if (!std::isfinite(number_)) return false;
+  if (number_ != std::floor(number_)) return false;
+  // Exact int64 range in doubles: -2^63 is representable and in range, but
+  // 2^63 is one past INT64_MAX, so the upper bound must be strict — casting
+  // a double equal to 2^63 to int64 is undefined behavior.
+  return number_ >= -9223372036854775808.0 && number_ < 9223372036854775808.0;
+}
+
+int64_t JsonValue::IntValue() const {
+  REPTILE_CHECK(IsInteger());
+  return static_cast<int64_t>(number_);
+}
+
+const std::vector<JsonValue>& JsonValue::array_items() const {
+  REPTILE_CHECK(is_array());
+  return array_;
+}
+
+std::vector<JsonValue>& JsonValue::mutable_array_items() {
+  REPTILE_CHECK(is_array());
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::object_items() const {
+  REPTILE_CHECK(is_object());
+  return object_;
+}
+
+std::vector<std::pair<std::string, JsonValue>>& JsonValue::mutable_object_items() {
+  REPTILE_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Nesting cap: recursive descent uses the C++ stack, so unbounded depth in a
+// hostile request body would overflow it. 128 is far beyond any legitimate
+// request of this API (which nests at most 4 levels).
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    Result<JsonValue> value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error(pos_, "trailing content after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(size_t offset, const std::string& what) const {
+    return Status::ParseError("byte " + std::to_string(offset) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  // Consumes `literal` (e.g. "true") or reports an error at its start.
+  Status ExpectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error(pos_, "invalid literal (expected '" + std::string(literal) + "')");
+    }
+    pos_ += literal.size();
+    return Status::Ok();
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Error(pos_, "nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+    }
+    if (AtEnd()) return Error(pos_, "unexpected end of input (expected a value)");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return ParseString();
+      case 't': {
+        REPTILE_RETURN_IF_ERROR(ExpectLiteral("true"));
+        return JsonValue::Bool(true);
+      }
+      case 'f': {
+        REPTILE_RETURN_IF_ERROR(ExpectLiteral("false"));
+        return JsonValue::Bool(false);
+      }
+      case 'n': {
+        REPTILE_RETURN_IF_ERROR(ExpectLiteral("null"));
+        return JsonValue::Null();
+      }
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // consume '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    // Duplicate keys are detected with a side set, not object.Find(): a
+    // linear scan per key would make a hostile many-keyed object O(n^2) —
+    // minutes of CPU within the default body-size cap.
+    std::unordered_set<std::string> seen_keys;
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Error(pos_, "expected '\"' to begin an object key");
+      }
+      size_t key_offset = pos_;
+      Result<JsonValue> key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!seen_keys.insert(key->string_value()).second) {
+        return Error(key_offset, "duplicate object key \"" + key->string_value() + "\"");
+      }
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') {
+        return Error(pos_, "expected ':' after object key");
+      }
+      ++pos_;
+      SkipWhitespace();
+      Result<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      object.mutable_object_items().emplace_back(key->string_value(), std::move(*value));
+      SkipWhitespace();
+      if (AtEnd()) return Error(pos_, "unexpected end of input inside an object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return object;
+      }
+      return Error(pos_, "expected ',' or '}' in an object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // consume '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      SkipWhitespace();
+      Result<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      array.mutable_array_items().push_back(std::move(*value));
+      SkipWhitespace();
+      if (AtEnd()) return Error(pos_, "unexpected end of input inside an array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return array;
+      }
+      return Error(pos_, "expected ',' or ']' in an array");
+    }
+  }
+
+  // Appends `code_point` to `out` as UTF-8.
+  static void AppendUtf8(std::string* out, uint32_t code_point) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  // Parses the 4 hex digits of a \u escape; pos_ is just past the 'u'.
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Error(pos_, "unexpected end of input inside a \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error(pos_ + static_cast<size_t>(i), "invalid hex digit in a \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  Result<JsonValue> ParseString() {
+    ++pos_;  // consume opening '"'
+    std::string out;
+    for (;;) {
+      if (AtEnd()) return Error(pos_, "unterminated string");
+      char c = Peek();
+      if (c == '"') {
+        ++pos_;
+        return JsonValue::String(std::move(out));
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error(pos_, "unescaped control character in a string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      size_t escape_offset = pos_;
+      ++pos_;  // consume '\'
+      if (AtEnd()) return Error(escape_offset, "unterminated escape sequence");
+      char e = Peek();
+      ++pos_;
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          Result<uint32_t> unit = ParseHex4();
+          if (!unit.ok()) return unit.status();
+          uint32_t code_point = *unit;
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return Error(escape_offset, "high surrogate not followed by \\u low surrogate");
+            }
+            pos_ += 2;
+            Result<uint32_t> low = ParseHex4();
+            if (!low.ok()) return low.status();
+            if (*low < 0xDC00 || *low > 0xDFFF) {
+              return Error(escape_offset, "invalid low surrogate in a surrogate pair");
+            }
+            code_point = 0x10000 + ((code_point - 0xD800) << 10) + (*low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            return Error(escape_offset, "unpaired low surrogate");
+          }
+          AppendUtf8(&out, code_point);
+          break;
+        }
+        default:
+          return Error(escape_offset, std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    // Integer part: one digit, or a nonzero digit followed by digits (JSON
+    // forbids leading zeros like 01).
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return Error(start, "invalid character (expected a value)");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      return Error(start, "number has a leading zero");
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error(pos_, "expected a digit after the decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error(pos_, "expected a digit in the exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Error(start, "malformed number");  // unreachable given the scan above
+    }
+    return JsonValue::Number(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void WriteValue(const JsonValue& value, std::string* out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += value.bool_value() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      *out += JsonNumber(value.number_value());
+      return;
+    case JsonValue::Kind::kString:
+      *out += JsonQuote(value.string_value());
+      return;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      const std::vector<JsonValue>& items = value.array_items();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) *out += ',';
+        WriteValue(items[i], out);
+      }
+      *out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      const auto& members = value.object_items();
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += JsonQuote(members[i].first);
+        *out += ':';
+        WriteValue(members[i].second, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) { return Parser(text).Parse(); }
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteValue(value, &out);
+  return out;
+}
+
+}  // namespace reptile

@@ -1,0 +1,104 @@
+// Strict JSON for the server boundary: a recursive-descent value parser with
+// byte-offset error messages, plus the escape/number helpers shared with the
+// hand-rolled ToJson writers in api/response.cpp.
+//
+// Scope (deliberately small, zero dependencies):
+//  * Parsing is strict RFC 8259 — objects, arrays, strings with the full
+//    escape set (\uXXXX including surrogate pairs, decoded to UTF-8),
+//    numbers, true/false/null. No comments, no trailing commas, no NaN /
+//    Infinity literals. Any violation is a kParseError naming the byte
+//    offset, so a client can locate the defect in its request body.
+//  * Numbers are doubles (like JavaScript); integers above 2^53 lose
+//    precision. IsInteger()/IntValue() are provided for the option fields
+//    that must be whole numbers.
+//  * Objects preserve insertion order (they are not maps): WriteJson of a
+//    parsed value reproduces the member order of the input, which is what
+//    makes parser <-> writer round-trip tests byte-exact.
+//
+// The escaping/number-formatting conventions are shared with the api/
+// writers via common/json_util.h (JsonEscape / JsonQuote / JsonNumber).
+
+#ifndef REPTILE_SERVER_JSON_H_
+#define REPTILE_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+#include "common/json_util.h"
+
+namespace reptile {
+
+/// One parsed JSON value (a tree). Accessors abort on kind mismatch
+/// (REPTILE_CHECK-style programmer error); request-mapping code checks
+/// kind() first and reports wrong-typed fields as kInvalidArgument.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Human-readable kind name ("string", "object", ...) for error messages.
+  const char* KindName() const;
+  static const char* KindName(Kind kind);
+
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+
+  /// True when this is a number with an integral value that fits an int64.
+  bool IsInteger() const;
+  int64_t IntValue() const;
+
+  const std::vector<JsonValue>& array_items() const;
+  std::vector<JsonValue>& mutable_array_items();
+
+  /// Object members in insertion order (duplicate keys are a parse error, so
+  /// every key occurs once).
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const;
+  std::vector<std::pair<std::string, JsonValue>>& mutable_object_items();
+
+  /// Member lookup; nullptr when absent (or when this is not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (trailing whitespace
+/// allowed, trailing content not). Every failure is a kParseError whose
+/// message starts with the 0-based byte offset, e.g.
+/// "byte 17: expected ':' after object key".
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Compact serialization (no whitespace), member order preserved, strings
+/// escaped with JsonEscape and numbers rendered with JsonNumber — the same
+/// conventions as the api/ ToJson writers.
+std::string WriteJson(const JsonValue& value);
+
+}  // namespace reptile
+
+#endif  // REPTILE_SERVER_JSON_H_

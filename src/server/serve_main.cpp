@@ -1,0 +1,271 @@
+// reptile_serve — serve one or more Reptile sessions over HTTP/JSON.
+//
+//   reptile_serve --demo --port 8080
+//   reptile_serve --csv data.csv --name drought
+//       --dimensions district,village,year --measures severity
+//       --hierarchy geo=district,village --hierarchy time=year
+//       --commit time --port 8080
+//
+// Flags:
+//   --csv PATH            load the dataset from a CSV file (header row; see
+//                         data/csv.h for the format contract)
+//   --name NAME           dataset name on the wire (default "default")
+//   --dimensions a,b,c    dimension columns of the CSV (required with --csv)
+//   --measures x,y        measure columns of the CSV (required with --csv)
+//   --hierarchy n=a,b     hierarchy schema, repeatable (required with --csv)
+//   --separator C         CSV separator (default ',')
+//   --commit NAME         pre-commit a drill-down, repeatable
+//   --demo                serve a built-in synthetic district/village/year
+//                         severity panel as dataset "demo" ("time" is
+//                         pre-committed, so year-scoped complaints work
+//                         out of the box)
+//   --port N              listen port (default 8080; 0 = ephemeral, printed)
+//   --http-threads N      connection workers (default 4)
+//   --engine-threads N    per-call engine fan-out (default 0 = hardware)
+//   --top-k N             groups returned per candidate (default 5)
+//   --max-body-bytes N    request body cap (default 8 MiB)
+//
+// On SIGINT/SIGTERM the server stops accepting, finishes in-flight
+// requests, and exits 0 — scripts/check.sh's smoke stage asserts that.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "datagen/panel_gen.h"
+#include "reptile/reptile.h"
+#include "server/http_server.h"
+#include "server/service.h"
+
+namespace reptile {
+namespace {
+
+// Written by the signal handler, read by main's shutdown wait.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  char byte = 1;
+  // write() is async-signal-safe; best-effort (the pipe never fills).
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    if (end > begin) out.push_back(list.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+// The --demo dataset: the datagen severity panel (the shape the fig08
+// benchmark explores), small enough to build instantly.
+Dataset MakeDemoPanel() {
+  PanelSpec spec;
+  spec.districts = 8;
+  spec.villages_per_district = 6;
+  spec.years = 10;
+  spec.rows_per_group = 4;
+  spec.seed = 17;
+  return MakeSeverityPanel(spec);
+}
+
+struct Args {
+  std::string csv;
+  std::string name = "default";
+  std::vector<std::string> dimensions;
+  std::vector<std::string> measures;
+  std::vector<HierarchySchema> hierarchies;
+  std::vector<std::string> commits;
+  char separator = ',';
+  bool demo = false;
+  int port = 8080;
+  int http_threads = 4;
+  int engine_threads = 0;
+  int top_k = 5;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--demo | --csv PATH --dimensions a,b --measures x "
+               "--hierarchy name=a,b [...]) [--name N] [--commit H]... "
+               "[--port P] [--http-threads N] [--engine-threads N] [--top-k K] "
+               "[--max-body-bytes N] [--separator C]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  auto value_of = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", argv[i]);
+      Usage(argv[0]);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--demo") {
+      args.demo = true;
+    } else if (flag == "--csv") {
+      args.csv = value_of(i);
+    } else if (flag == "--name") {
+      args.name = value_of(i);
+    } else if (flag == "--dimensions") {
+      args.dimensions = SplitCommas(value_of(i));
+    } else if (flag == "--measures") {
+      args.measures = SplitCommas(value_of(i));
+    } else if (flag == "--hierarchy") {
+      std::string spec = value_of(i);
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--hierarchy wants NAME=attr1,attr2 but got '%s'\n",
+                     spec.c_str());
+        Usage(argv[0]);
+      }
+      args.hierarchies.push_back(
+          HierarchySchema{spec.substr(0, eq), SplitCommas(spec.substr(eq + 1))});
+    } else if (flag == "--commit") {
+      args.commits.push_back(value_of(i));
+    } else if (flag == "--separator") {
+      std::string s = value_of(i);
+      if (s.size() != 1) {
+        std::fprintf(stderr, "--separator wants a single character\n");
+        Usage(argv[0]);
+      }
+      args.separator = s[0];
+    } else if (flag == "--port") {
+      // Strict parse: HttpServer truncates the port through uint16_t, so a
+      // typo'd or out-of-range value would silently bind a different port.
+      std::string value = value_of(i);
+      char* end = nullptr;
+      long port = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr, "--port wants an integer in [0, 65535], got '%s'\n",
+                     value.c_str());
+        Usage(argv[0]);
+      }
+      args.port = static_cast<int>(port);
+    } else if (flag == "--http-threads") {
+      args.http_threads = std::atoi(value_of(i).c_str());
+    } else if (flag == "--engine-threads") {
+      args.engine_threads = std::atoi(value_of(i).c_str());
+    } else if (flag == "--top-k") {
+      args.top_k = std::atoi(value_of(i).c_str());
+    } else if (flag == "--max-body-bytes") {
+      args.max_body_bytes = static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (!args.demo && args.csv.empty()) Usage(argv[0]);
+  return args;
+}
+
+int Main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+
+  ExploreRequest options;
+  options.TopK(args.top_k).Threads(args.engine_threads);
+
+  ReptileService service;
+  if (args.demo) {
+    Result<Session> session = Session::Create(MakeDemoPanel(), options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "demo session failed: %s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    Status committed = session->Commit("time");
+    if (!committed.ok()) {
+      std::fprintf(stderr, "demo commit failed: %s\n", committed.ToString().c_str());
+      return 1;
+    }
+    // --name applies to the CSV dataset when both are served; a lone --demo
+    // honors --name, defaulting to "demo".
+    std::string name = args.csv.empty() ? (args.name == "default" ? "demo" : args.name)
+                                        : "demo";
+    Status added = service.AddSession(name, std::move(session).value());
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded dataset '%s' (demo panel, hierarchy 'time' committed)\n",
+                name.c_str());
+  }
+  if (!args.csv.empty()) {
+    CsvDatasetRequest request;
+    request.path = args.csv;
+    request.csv.dimension_columns = args.dimensions;
+    request.csv.measure_columns = args.measures;
+    request.csv.separator = args.separator;
+    request.hierarchies = args.hierarchies;
+    Result<Session> session = Session::FromCsv(request, options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "loading %s failed: %s\n", args.csv.c_str(),
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& hierarchy : args.commits) {
+      Status committed = session->Commit(hierarchy);
+      if (!committed.ok()) {
+        std::fprintf(stderr, "--commit %s failed: %s\n", hierarchy.c_str(),
+                     committed.ToString().c_str());
+        return 1;
+      }
+    }
+    Status added = service.AddSession(args.name, std::move(session).value());
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded dataset '%s' from %s\n", args.name.c_str(), args.csv.c_str());
+  }
+
+  HttpServerOptions server_options;
+  server_options.port = args.port;
+  server_options.num_threads = args.http_threads;
+  server_options.max_body_bytes = args.max_body_bytes;
+  HttpServer server(server_options,
+                    [&service](const HttpRequest& request) { return service.Handle(request); });
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("reptile_serve listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  // Block until SIGINT/SIGTERM, then stop cleanly (in-flight requests finish).
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe() failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  char byte;
+  ssize_t n;
+  do {
+    n = ::read(g_signal_pipe[0], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  std::printf("shutting down\n");
+  std::fflush(stdout);
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main(int argc, char** argv) { return reptile::Main(argc, argv); }

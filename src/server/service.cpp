@@ -1,0 +1,495 @@
+#include "server/service.h"
+
+#include <initializer_list>
+#include <string_view>
+#include <utility>
+
+#include "server/json.h"
+
+namespace reptile {
+namespace {
+
+// ---- Strict JSON -> request mapping helpers --------------------------------
+// Every helper reports failures as kInvalidArgument naming the offending
+// field ("complaints[2].where[0].column must be a string, got number"), which
+// the error path renders as HTTP 400.
+
+Status WrongType(const std::string& context, const char* expected, const JsonValue& actual) {
+  return Status::InvalidArgument(context + " must be " + expected + ", got " +
+                                 actual.KindName());
+}
+
+/// Rejects unknown object keys so typos ("topk") fail loudly instead of
+/// being silently ignored.
+Status CheckKnownKeys(const JsonValue& object, const std::string& context,
+                      std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : object.object_items()) {
+    bool known = false;
+    for (std::string_view name : allowed) {
+      if (key == name) known = true;
+    }
+    if (!known) {
+      std::string expected;
+      for (std::string_view name : allowed) {
+        if (!expected.empty()) expected += ", ";
+        expected += name;
+      }
+      return Status::InvalidArgument("unknown field \"" + key + "\" in " + context +
+                                     " (expected one of: " + expected + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::string> StringField(const JsonValue& object, const std::string& context,
+                                const std::string& key, bool required,
+                                std::string default_value = std::string()) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) {
+    if (required) {
+      return Status::InvalidArgument(context + " is missing required field \"" + key + "\"");
+    }
+    return default_value;
+  }
+  if (!value->is_string()) return WrongType(context + "." + key, "a string", *value);
+  return value->string_value();
+}
+
+Result<int> IntField(const JsonValue& object, const std::string& context,
+                     const std::string& key, int default_value) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) return default_value;
+  if (!value->IsInteger()) return WrongType(context + "." + key, "an integer", *value);
+  int64_t n = value->IntValue();
+  if (n < -2147483648LL || n > 2147483647LL) {
+    return Status::InvalidArgument(context + "." + key + " is out of range");
+  }
+  return static_cast<int>(n);
+}
+
+Result<bool> BoolField(const JsonValue& object, const std::string& context,
+                       const std::string& key, bool default_value) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) return default_value;
+  if (!value->is_bool()) return WrongType(context + "." + key, "a boolean", *value);
+  return value->bool_value();
+}
+
+Result<std::vector<NamedPredicate>> ParseWhere(const JsonValue& object,
+                                               const std::string& context) {
+  std::vector<NamedPredicate> where;
+  const JsonValue* value = object.Find("where");
+  if (value == nullptr) return where;
+  if (!value->is_array()) return WrongType(context + ".where", "an array", *value);
+  const std::vector<JsonValue>& items = value->array_items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::string item_context = context + ".where[" + std::to_string(i) + "]";
+    if (!items[i].is_object()) return WrongType(item_context, "an object", items[i]);
+    REPTILE_RETURN_IF_ERROR(CheckKnownKeys(items[i], item_context, {"column", "value"}));
+    Result<std::string> column = StringField(items[i], item_context, "column", true);
+    if (!column.ok()) return column.status();
+    Result<std::string> pred_value = StringField(items[i], item_context, "value", true);
+    if (!pred_value.ok()) return pred_value.status();
+    where.push_back(NamedPredicate{std::move(*column), std::move(*pred_value)});
+  }
+  return where;
+}
+
+Result<ComplaintSpec> ParseComplaintSpec(const JsonValue& value, const std::string& context) {
+  if (!value.is_object()) return WrongType(context, "an object", value);
+  REPTILE_RETURN_IF_ERROR(CheckKnownKeys(
+      value, context, {"aggregate", "measure", "direction", "target", "where"}));
+  ComplaintSpec spec;
+  Result<std::string> aggregate = StringField(value, context, "aggregate", true);
+  if (!aggregate.ok()) return aggregate.status();
+  spec.aggregate = std::move(*aggregate);
+  Result<std::string> measure = StringField(value, context, "measure", false);
+  if (!measure.ok()) return measure.status();
+  spec.measure = std::move(*measure);
+  Result<std::string> direction = StringField(value, context, "direction", false, "too_high");
+  if (!direction.ok()) return direction.status();
+  spec.direction = std::move(*direction);
+  if (const JsonValue* target = value.Find("target")) {
+    if (!target->is_number()) return WrongType(context + ".target", "a number", *target);
+    spec.target = target->number_value();
+  }
+  Result<std::vector<NamedPredicate>> where = ParseWhere(value, context);
+  if (!where.ok()) return where.status();
+  spec.where = std::move(*where);
+  return spec;
+}
+
+/// The wire-level per-call options: the api BatchOptions plus the one
+/// serving-only knob (zero_timings).
+struct WireOptions {
+  BatchOptions batch;
+  bool zero_timings = false;
+};
+
+Result<WireOptions> ParseOptions(const JsonValue& body) {
+  WireOptions options;
+  const JsonValue* value = body.Find("options");
+  if (value == nullptr) return options;
+  const std::string context = "options";
+  if (!value->is_object()) return WrongType(context, "an object", *value);
+  REPTILE_RETURN_IF_ERROR(CheckKnownKeys(
+      *value, context, {"threads", "top_k", "extra_repair_stats", "zero_timings"}));
+  Result<int> threads = IntField(*value, context, "threads", 0);
+  if (!threads.ok()) return threads.status();
+  options.batch.num_threads = *threads;
+  Result<int> top_k = IntField(*value, context, "top_k", 0);
+  if (!top_k.ok()) return top_k.status();
+  options.batch.top_k = *top_k;
+  if (const JsonValue* extras = value->Find("extra_repair_stats")) {
+    if (!extras->is_array()) {
+      return WrongType(context + ".extra_repair_stats", "an array", *extras);
+    }
+    options.batch.extra_repair_stats.emplace();  // engaged; empty = toggle off
+    const std::vector<JsonValue>& items = extras->array_items();
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!items[i].is_string()) {
+        return WrongType(context + ".extra_repair_stats[" + std::to_string(i) + "]",
+                         "a string", items[i]);
+      }
+      options.batch.extra_repair_stats->push_back(items[i].string_value());
+    }
+  }
+  Result<bool> zero_timings = BoolField(*value, context, "zero_timings", false);
+  if (!zero_timings.ok()) return zero_timings.status();
+  options.zero_timings = *zero_timings;
+  return options;
+}
+
+void ZeroTimings(ExploreResponse* response) {
+  for (HierarchyResponse& candidate : response->candidates) {
+    candidate.train_seconds = 0.0;
+    candidate.total_seconds = 0.0;
+  }
+}
+
+void ZeroTimings(BatchExploreResponse* batch) {
+  batch->train_seconds = 0.0;
+  batch->wall_seconds = 0.0;
+  for (ExploreResponse& response : batch->responses) ZeroTimings(&response);
+}
+
+HttpResponse MethodNotAllowed(const std::string& allow) {
+  HttpResponse response = HttpResponse::Json(
+      405,
+      "{\"error\":{\"code\":\"METHOD_NOT_ALLOWED\",\"http\":405,\"message\":"
+      "\"this route only accepts " +
+          allow + "\"}}");
+  response.extra_headers.emplace_back("Allow", allow);
+  return response;
+}
+
+}  // namespace
+
+ReptileService::ReptileService(ServiceOptions options) : options_(options) {}
+
+Status ReptileService::AddSession(std::string name, Session session) {
+  if (name.empty()) return Status::InvalidArgument("dataset name must be non-empty");
+  if (sessions_.find(name) != sessions_.end()) {
+    return Status::InvalidArgument("dataset '" + name + "' is already registered");
+  }
+  sessions_.emplace(std::move(name), std::make_unique<Entry>(std::move(session)));
+  return Status::Ok();
+}
+
+int ReptileService::HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+HttpResponse ReptileService::ErrorResponse(const Status& status) {
+  int http = HttpStatusFor(status.code());
+  std::string body = "{\"error\":{\"code\":\"" + std::string(StatusCodeName(status.code())) +
+                     "\",\"http\":" + std::to_string(http) +
+                     ",\"message\":" + JsonQuote(status.message()) + "}}";
+  return HttpResponse::Json(http, std::move(body));
+}
+
+std::vector<std::string> ReptileService::dataset_names() const {
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, entry] : sessions_) names.push_back(name);
+  return names;
+}
+
+Result<ReptileService::Entry*> ReptileService::FindDataset(const std::string& name) {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no dataset named '" + name + "' is loaded on this server");
+  }
+  return it->second.get();
+}
+
+HttpResponse ReptileService::Handle(const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/healthz") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleHealthz();
+  }
+  if (path == "/v1/datasets") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleDatasets();
+  }
+  if (path == "/v1/recommend" || path == "/v1/recommend_batch") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleRecommend(request.body, /*batch=*/path == "/v1/recommend_batch");
+  }
+  if (path == "/v1/view") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleView(request.body);
+  }
+  if (path == "/v1/commit") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleCommit(request.body);
+  }
+  if (options_.enable_debug_status_route && path == "/v1/_debug/status") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleDebugStatus(request.body);
+  }
+  return ErrorResponse(Status::NotFound("no route matches " + path));
+}
+
+HttpResponse ReptileService::HandleHealthz() {
+  return HttpResponse::Json(
+      200, "{\"status\":\"ok\",\"datasets\":" + std::to_string(sessions_.size()) + "}");
+}
+
+HttpResponse ReptileService::HandleDatasets() {
+  JsonValue root = JsonValue::Object();
+  JsonValue datasets = JsonValue::Array();
+  for (auto& [name, entry] : sessions_) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    const Dataset& dataset = entry->session.dataset();
+    const Table& table = dataset.table();
+
+    JsonValue item = JsonValue::Object();
+    item.mutable_object_items().emplace_back("name", JsonValue::String(name));
+    item.mutable_object_items().emplace_back(
+        "rows", JsonValue::Number(static_cast<double>(table.num_rows())));
+
+    JsonValue columns = JsonValue::Array();
+    for (int c = 0; c < table.num_columns(); ++c) {
+      JsonValue column = JsonValue::Object();
+      column.mutable_object_items().emplace_back("name",
+                                                 JsonValue::String(table.column_name(c)));
+      column.mutable_object_items().emplace_back(
+          "kind", JsonValue::String(table.is_dimension(c) ? "dimension" : "measure"));
+      columns.mutable_array_items().push_back(std::move(column));
+    }
+    item.mutable_object_items().emplace_back("columns", std::move(columns));
+
+    JsonValue hierarchies = JsonValue::Array();
+    for (int h = 0; h < dataset.num_hierarchies(); ++h) {
+      const HierarchySchema& schema = dataset.hierarchy(h);
+      JsonValue hierarchy = JsonValue::Object();
+      hierarchy.mutable_object_items().emplace_back("name", JsonValue::String(schema.name));
+      JsonValue attributes = JsonValue::Array();
+      for (const std::string& attr : schema.attributes) {
+        attributes.mutable_array_items().push_back(JsonValue::String(attr));
+      }
+      hierarchy.mutable_object_items().emplace_back("attributes", std::move(attributes));
+      hierarchy.mutable_object_items().emplace_back("depth",
+                                                    JsonValue::Number(schema.depth()));
+      Result<int> drill_depth = entry->session.DrillDepth(schema.name);
+      hierarchy.mutable_object_items().emplace_back(
+          "drill_depth", JsonValue::Number(drill_depth.ok() ? *drill_depth : -1));
+      Result<bool> can_drill = entry->session.CanDrill(schema.name);
+      hierarchy.mutable_object_items().emplace_back(
+          "can_drill", JsonValue::Bool(can_drill.ok() && *can_drill));
+      hierarchies.mutable_array_items().push_back(std::move(hierarchy));
+    }
+    item.mutable_object_items().emplace_back("hierarchies", std::move(hierarchies));
+    datasets.mutable_array_items().push_back(std::move(item));
+  }
+  root.mutable_object_items().emplace_back("datasets", std::move(datasets));
+  return HttpResponse::Json(200, WriteJson(root));
+}
+
+HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  const char* complaint_key = batch ? "complaints" : "complaint";
+  Status known = CheckKnownKeys(*parsed, "request body",
+                                {"dataset", std::string_view(complaint_key), "options"});
+  if (!known.ok()) return ErrorResponse(known);
+
+  Result<std::string> dataset = StringField(*parsed, "request body", "dataset", true);
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+  Result<Entry*> entry = FindDataset(*dataset);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+
+  std::vector<ComplaintSpec> complaints;
+  if (batch) {
+    const JsonValue* list = parsed->Find("complaints");
+    if (list == nullptr) {
+      return ErrorResponse(
+          Status::InvalidArgument("request body is missing required field \"complaints\""));
+    }
+    if (!list->is_array()) {
+      return ErrorResponse(WrongType("complaints", "an array", *list));
+    }
+    const std::vector<JsonValue>& items = list->array_items();
+    for (size_t i = 0; i < items.size(); ++i) {
+      Result<ComplaintSpec> spec =
+          ParseComplaintSpec(items[i], "complaints[" + std::to_string(i) + "]");
+      if (!spec.ok()) return ErrorResponse(spec.status());
+      complaints.push_back(std::move(*spec));
+    }
+    if (complaints.empty()) {
+      return ErrorResponse(Status::InvalidArgument("complaints must be non-empty"));
+    }
+  } else {
+    const JsonValue* one = parsed->Find("complaint");
+    if (one == nullptr) {
+      return ErrorResponse(
+          Status::InvalidArgument("request body is missing required field \"complaint\""));
+    }
+    Result<ComplaintSpec> spec = ParseComplaintSpec(*one, "complaint");
+    if (!spec.ok()) return ErrorResponse(spec.status());
+    complaints.push_back(std::move(*spec));
+  }
+
+  Result<WireOptions> options = ParseOptions(*parsed);
+  if (!options.ok()) return ErrorResponse(options.status());
+
+  if (batch) {
+    Result<BatchExploreResponse> response = [&] {
+      std::lock_guard<std::mutex> lock((*entry)->mu);
+      return (*entry)->session.RecommendAll(
+          std::span<const ComplaintSpec>(complaints.data(), complaints.size()),
+          options->batch);
+    }();
+    if (!response.ok()) return ErrorResponse(response.status());
+    if (options->zero_timings) ZeroTimings(&*response);
+    return HttpResponse::Json(200, response->ToJson());
+  }
+  Result<ExploreResponse> response = [&] {
+    std::lock_guard<std::mutex> lock((*entry)->mu);
+    return (*entry)->session.Recommend(complaints.front(), options->batch);
+  }();
+  if (!response.ok()) return ErrorResponse(response.status());
+  if (options->zero_timings) ZeroTimings(&*response);
+  return HttpResponse::Json(200, response->ToJson());
+}
+
+HttpResponse ReptileService::HandleView(const std::string& body) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  Status known =
+      CheckKnownKeys(*parsed, "request body", {"dataset", "group_by", "measure", "where"});
+  if (!known.ok()) return ErrorResponse(known);
+
+  Result<std::string> dataset = StringField(*parsed, "request body", "dataset", true);
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+  Result<Entry*> entry = FindDataset(*dataset);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+
+  ViewRequest view;
+  const JsonValue* group_by = parsed->Find("group_by");
+  if (group_by == nullptr) {
+    return ErrorResponse(
+        Status::InvalidArgument("request body is missing required field \"group_by\""));
+  }
+  if (!group_by->is_array()) {
+    return ErrorResponse(WrongType("group_by", "an array", *group_by));
+  }
+  const std::vector<JsonValue>& columns = group_by->array_items();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!columns[i].is_string()) {
+      return ErrorResponse(
+          WrongType("group_by[" + std::to_string(i) + "]", "a string", columns[i]));
+    }
+    view.group_by.push_back(columns[i].string_value());
+  }
+  Result<std::string> measure = StringField(*parsed, "request body", "measure", false);
+  if (!measure.ok()) return ErrorResponse(measure.status());
+  view.measure = std::move(*measure);
+  Result<std::vector<NamedPredicate>> where = ParseWhere(*parsed, "request body");
+  if (!where.ok()) return ErrorResponse(where.status());
+  view.where = std::move(*where);
+
+  Result<ViewResponse> response = [&] {
+    std::lock_guard<std::mutex> lock((*entry)->mu);
+    return (*entry)->session.View(view);
+  }();
+  if (!response.ok()) return ErrorResponse(response.status());
+  return HttpResponse::Json(200, response->ToJson());
+}
+
+HttpResponse ReptileService::HandleCommit(const std::string& body) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  Status known = CheckKnownKeys(*parsed, "request body", {"dataset", "hierarchy"});
+  if (!known.ok()) return ErrorResponse(known);
+
+  Result<std::string> dataset = StringField(*parsed, "request body", "dataset", true);
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+  Result<std::string> hierarchy = StringField(*parsed, "request body", "hierarchy", true);
+  if (!hierarchy.ok()) return ErrorResponse(hierarchy.status());
+  Result<Entry*> entry = FindDataset(*dataset);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+
+  std::lock_guard<std::mutex> lock((*entry)->mu);
+  Session& session = (*entry)->session;
+  Status committed = session.Commit(*hierarchy);
+  if (!committed.ok()) return ErrorResponse(committed);
+  Result<int> depth = session.DrillDepth(*hierarchy);
+  Result<bool> can_drill = session.CanDrill(*hierarchy);
+  std::string response = "{\"hierarchy\":" + JsonQuote(*hierarchy) +
+                         ",\"depth\":" + std::to_string(depth.ok() ? *depth : -1) +
+                         ",\"can_drill\":" +
+                         ((can_drill.ok() && *can_drill) ? "true" : "false") + "}";
+  return HttpResponse::Json(200, std::move(response));
+}
+
+HttpResponse ReptileService::HandleDebugStatus(const std::string& body) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  Status known = CheckKnownKeys(*parsed, "request body", {"code", "message"});
+  if (!known.ok()) return ErrorResponse(known);
+  Result<std::string> code_name = StringField(*parsed, "request body", "code", true);
+  if (!code_name.ok()) return ErrorResponse(code_name.status());
+  Result<std::string> message =
+      StringField(*parsed, "request body", "message", false, "debug status");
+  if (!message.ok()) return ErrorResponse(message.status());
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound, StatusCode::kFailedPrecondition,
+        StatusCode::kIoError, StatusCode::kParseError, StatusCode::kInternal}) {
+    if (*code_name == StatusCodeName(code)) {
+      return ErrorResponse(Status(code, std::move(*message)));
+    }
+  }
+  return ErrorResponse(
+      Status::InvalidArgument("unknown status code name '" + *code_name + "'"));
+}
+
+}  // namespace reptile

@@ -1,0 +1,105 @@
+// The routing/handler layer of the Reptile server: maps HTTP requests onto
+// named, pre-loaded Sessions and speaks the api/ Status error contract as
+// HTTP status codes.
+//
+// Routes (all bodies are JSON):
+//   GET  /healthz             liveness: {"status":"ok","datasets":N}
+//   GET  /v1/datasets         every session: columns, hierarchies, drill state
+//   POST /v1/recommend        {"dataset","complaint",{"options"}} -> ExploreResponse
+//   POST /v1/recommend_batch  {"dataset","complaints":[...],"options"} -> BatchExploreResponse
+//   POST /v1/view             {"dataset","group_by":[...],"measure","where"} -> ViewResponse
+//   POST /v1/commit           {"dataset","hierarchy"} -> the new drill state
+//
+// Success bodies of recommend/recommend_batch/view are the *exact* bytes of
+// the corresponding response ToJson() — the HTTP layer adds nothing — so a
+// wire client sees byte-identical output to an in-process Session call.
+// `"options":{"zero_timings":true}` zeroes the (scheduling-dependent) timing
+// fields before serialization for clients that want cacheable/comparable
+// bodies; everything else is unaffected.
+//
+// Error contract: every failure is rendered as
+//   {"error":{"code":"NOT_FOUND","http":404,"message":"..."}}
+// with one central StatusCode -> HTTP mapping (HttpStatusFor):
+//   kInvalidArgument, kParseError -> 400    kNotFound -> 404
+//   kFailedPrecondition           -> 409    kIoError, kInternal -> 500
+// Unknown routes are 404, known routes with the wrong method 405 (with an
+// Allow header); request-framing failures (oversized body 413, oversized
+// headers 431, malformed syntax 400) are produced by the HTTP layer below.
+//
+// Request mapping is strict: unknown or wrong-typed fields are rejected as
+// kInvalidArgument naming the field, and malformed JSON is a kParseError
+// carrying the parser's byte offset.
+//
+// Concurrency: Handle() is thread-safe. Sessions are registered before
+// serving starts (AddSession is not synchronized against Handle); each
+// session serializes its calls behind a per-session mutex — a Session is
+// not thread-safe, and parallelism belongs *inside* a call (the engine's
+// worker-pool fan-out), not across calls.
+
+#ifndef REPTILE_SERVER_SERVICE_H_
+#define REPTILE_SERVER_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "api/status.h"
+#include "server/http_server.h"
+
+namespace reptile {
+
+struct ServiceOptions {
+  // Enables POST /v1/_debug/status {"code","message"}, which renders the
+  // named StatusCode through the error path — lets integration tests assert
+  // the complete StatusCode -> HTTP mapping over loopback, including codes
+  // (kIoError, kInternal) no healthy data route produces. Off by default;
+  // never enable on an exposed server.
+  bool enable_debug_status_route = false;
+};
+
+class ReptileService {
+ public:
+  explicit ReptileService(ServiceOptions options = ServiceOptions());
+
+  /// Registers a session under a dataset name. InvalidArgument on an empty
+  /// or duplicate name. Call before serving: not synchronized with Handle().
+  Status AddSession(std::string name, Session session);
+
+  /// Routes one request; never throws. Thread-safe across connections.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// The single StatusCode -> HTTP status mapping (kOk -> 200).
+  static int HttpStatusFor(StatusCode code);
+
+  /// A non-OK Status rendered as the standard JSON error body.
+  static HttpResponse ErrorResponse(const Status& status);
+
+  /// Registered dataset names, sorted.
+  std::vector<std::string> dataset_names() const;
+
+ private:
+  struct Entry {
+    explicit Entry(Session s) : session(std::move(s)) {}
+    std::mutex mu;  // serializes calls into this session
+    Session session;
+  };
+
+  Result<Entry*> FindDataset(const std::string& name);
+
+  HttpResponse HandleHealthz();
+  HttpResponse HandleDatasets();
+  HttpResponse HandleRecommend(const std::string& body, bool batch);
+  HttpResponse HandleView(const std::string& body);
+  HttpResponse HandleCommit(const std::string& body);
+  HttpResponse HandleDebugStatus(const std::string& body);
+
+  ServiceOptions options_;
+  std::map<std::string, std::unique_ptr<Entry>> sessions_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_SERVER_SERVICE_H_

@@ -1,0 +1,215 @@
+// Tests for the server's strict JSON parser (server/json.h): value coverage,
+// byte-offset error messages, and the parser <-> writer round trip that pins
+// the api/ ToJson writers and the parser to one string-escaping convention.
+
+#include <limits>
+#include <map>
+#include <string>
+
+#include "api/response.h"
+#include "gtest/gtest.h"
+#include "server/json.h"
+
+namespace reptile {
+namespace {
+
+JsonValue ParseOk(const std::string& text) {
+  Result<JsonValue> value = ParseJson(text);
+  EXPECT_TRUE(value.ok()) << text << " -> " << value.status().ToString();
+  return value.ok() ? std::move(*value) : JsonValue();
+}
+
+// Expects a parse failure whose message names the given byte offset.
+void ExpectParseErrorAt(const std::string& text, size_t offset) {
+  Result<JsonValue> value = ParseJson(text);
+  ASSERT_FALSE(value.ok()) << text << " unexpectedly parsed";
+  EXPECT_EQ(value.status().code(), StatusCode::kParseError);
+  std::string needle = "byte " + std::to_string(offset) + ":";
+  EXPECT_NE(value.status().message().find(needle), std::string::npos)
+      << "message '" << value.status().message() << "' does not name " << needle;
+}
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(ParseOk("null").is_null());
+  EXPECT_TRUE(ParseOk("true").bool_value());
+  EXPECT_FALSE(ParseOk("false").bool_value());
+  EXPECT_DOUBLE_EQ(ParseOk("0").number_value(), 0.0);
+  EXPECT_DOUBLE_EQ(ParseOk("-12").number_value(), -12.0);
+  EXPECT_DOUBLE_EQ(ParseOk("3.25").number_value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseOk("-0.5e2").number_value(), -50.0);
+  EXPECT_DOUBLE_EQ(ParseOk("1E+3").number_value(), 1000.0);
+  EXPECT_EQ(ParseOk("\"hi\"").string_value(), "hi");
+  EXPECT_DOUBLE_EQ(ParseOk("  42  ").number_value(), 42.0);  // outer whitespace
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(ParseOk(R"("a\"b\\c\/d\be\ff\ng\rh\ti")").string_value(),
+            "a\"b\\c/d\be\ff\ng\rh\ti");
+  EXPECT_EQ(ParseOk(R"("\u0041\u00e9")").string_value(), "A\xc3\xa9");
+  EXPECT_EQ(ParseOk(R"("\u20ac")").string_value(), "\xe2\x82\xac");  // €
+  // Surrogate pair: U+1F600 as \ud83d\ude00.
+  EXPECT_EQ(ParseOk(R"("\ud83d\ude00")").string_value(), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(ParseOk(R"("\u0000")").string_value(), std::string(1, '\0'));
+}
+
+TEST(Json, ParsesContainers) {
+  JsonValue array = ParseOk(R"([1, "two", [true], {}])");
+  ASSERT_EQ(array.array_items().size(), 4u);
+  EXPECT_DOUBLE_EQ(array.array_items()[0].number_value(), 1.0);
+  EXPECT_EQ(array.array_items()[1].string_value(), "two");
+  EXPECT_TRUE(array.array_items()[2].array_items()[0].bool_value());
+  EXPECT_TRUE(array.array_items()[3].is_object());
+
+  JsonValue object = ParseOk(R"({"a": 1, "b": {"c": [2]}, "d": null})");
+  ASSERT_EQ(object.object_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(object.Find("a")->number_value(), 1.0);
+  EXPECT_DOUBLE_EQ(object.Find("b")->Find("c")->array_items()[0].number_value(), 2.0);
+  EXPECT_TRUE(object.Find("d")->is_null());
+  EXPECT_EQ(object.Find("missing"), nullptr);
+  // Insertion order is preserved (what makes round trips byte-exact).
+  EXPECT_EQ(object.object_items()[0].first, "a");
+  EXPECT_EQ(object.object_items()[2].first, "d");
+}
+
+TEST(Json, IntegerDetection) {
+  EXPECT_TRUE(ParseOk("7").IsInteger());
+  EXPECT_EQ(ParseOk("7").IntValue(), 7);
+  EXPECT_TRUE(ParseOk("-3e2").IsInteger());
+  EXPECT_EQ(ParseOk("-3e2").IntValue(), -300);
+  EXPECT_FALSE(ParseOk("7.5").IsInteger());
+  EXPECT_FALSE(ParseOk("true").IsInteger());
+  EXPECT_FALSE(ParseOk("1e300").IsInteger());  // beyond int64
+  // Exact boundaries: -2^63 is a valid int64; 2^63 (INT64_MAX rounds up to
+  // it in doubles) is one past the end and must be rejected, not cast (UB).
+  EXPECT_TRUE(ParseOk("-9223372036854775808").IsInteger());
+  EXPECT_EQ(ParseOk("-9223372036854775808").IntValue(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_FALSE(ParseOk("9223372036854775808").IsInteger());
+  EXPECT_FALSE(ParseOk("18446744073709551616").IsInteger());
+}
+
+TEST(Json, ByteOffsetErrors) {
+  ExpectParseErrorAt("", 0);
+  ExpectParseErrorAt("  nul", 2);
+  ExpectParseErrorAt("[1, 2", 5);              // unexpected end inside array
+  ExpectParseErrorAt("[1 2]", 3);              // missing comma
+  ExpectParseErrorAt(R"({"a" 1})", 5);         // missing colon
+  ExpectParseErrorAt(R"({"a": 1,})", 8);       // trailing comma = bad key start
+  ExpectParseErrorAt(R"({"a":1,"a":2})", 7);   // duplicate key, offset of 2nd
+  ExpectParseErrorAt("01", 0);                 // leading zero
+  ExpectParseErrorAt("1.", 2);                 // missing fraction digit
+  ExpectParseErrorAt("1e", 2);                 // missing exponent digit
+  ExpectParseErrorAt("-", 0);                  // bare minus
+  ExpectParseErrorAt("\"abc", 4);              // unterminated string
+  ExpectParseErrorAt("\"a\\q\"", 2);           // invalid escape at the backslash
+  ExpectParseErrorAt("\"\\u12g4\"", 5);        // bad hex digit
+  ExpectParseErrorAt(R"("\ud83d")", 1);        // unpaired high surrogate
+  ExpectParseErrorAt(R"("\ude00")", 1);        // unpaired low surrogate
+  ExpectParseErrorAt("\"a\nb\"", 2);           // raw control character
+  ExpectParseErrorAt("{} {}", 3);              // trailing content
+  ExpectParseErrorAt("[1] 2", 4);
+}
+
+TEST(Json, DepthLimit) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  Result<JsonValue> value = ParseJson(deep);
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.status().message().find("nesting"), std::string::npos);
+  // 100 levels is fine.
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+TEST(Json, EscapeRoundTripsHostileStrings) {
+  const std::string hostile_cases[] = {
+      "plain",
+      "with \"quotes\" and \\backslashes\\",
+      "newline\nand\rand\ttab",
+      std::string("embedded\0nul", 12),
+      "control\x01\x1f chars",
+      "utf-8 caf\xc3\xa9 \xe2\x82\xac",
+      "trailing backslash\\",
+      "//slashes// and </script>",
+  };
+  for (const std::string& raw : hostile_cases) {
+    std::string quoted = JsonQuote(raw);
+    Result<JsonValue> parsed = ParseJson(quoted);
+    ASSERT_TRUE(parsed.ok()) << quoted << " -> " << parsed.status().ToString();
+    EXPECT_EQ(parsed->string_value(), raw);
+    // Writing the parsed value reproduces the writer's bytes exactly.
+    EXPECT_EQ(WriteJson(*parsed), quoted);
+  }
+}
+
+TEST(Json, NumberFormattingIsStableUnderRoundTrip) {
+  for (double value : {0.0, -0.0, 1.0, -17.25, 0.959687695097, 3.14159265358979,
+                       1e-9, 6.02e23, -123456789012.0}) {
+    std::string once = JsonNumber(value);
+    Result<JsonValue> parsed = ParseJson(once);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(JsonNumber(parsed->number_value()), once) << value;
+  }
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+// The satellite audit's proof: every response writer emits JSON the strict
+// parser accepts and re-serializes byte-identically, even when dataset /
+// attribute / value names contain quotes, backslashes, and control bytes.
+TEST(Json, ResponseWriterRoundTripsThroughParser) {
+  GroupResponse group;
+  group.description = "year=19\"86, village=Za\\ta\n";
+  group.key = {{"ye\"ar", "19\t86"}, {"vill\\age", "Za\x01ta"}};
+  group.observed = {{"count", 24.0}, {"mean", 8.56170855033}};
+  group.predicted = {{"mean", 8.5055727826}};
+  group.repaired = {{"mean", 8.5055727826}, {"std", 0.310872256233}};
+  group.repaired_complaint_value = 0.95;
+  group.score = 0.959687695097;
+
+  HierarchyResponse candidate;
+  candidate.hierarchy = "g\"eo";
+  candidate.attribute = "villa\\ge";
+  candidate.groups = {group};
+  candidate.best_score = 0.5;
+  candidate.model_rows = 80;
+  candidate.model_clusters = 10;
+  candidate.train_seconds = 0.25;
+  candidate.total_seconds = 0.5;
+
+  ExploreResponse explore;
+  explore.complaint = "std(sev\"erity) where year=y3\nis too high";
+  explore.candidates = {candidate};
+  explore.best_index = 0;
+
+  BatchExploreResponse batch;
+  batch.responses = {explore, explore};
+  batch.models_trained = 3;
+  batch.train_seconds = 0.25;
+  batch.wall_seconds = 0.125;
+
+  ViewResponse view;
+  view.group_by = {"dis\"trict", "ye\\ar"};
+  ViewRow row;
+  row.key = {{"dis\"trict", "Of\x02la"}};
+  row.stats = {{"count", 48.0}, {"mean", 5.5}};
+  view.rows = {row};
+  view.total = {{"count", 48.0}};
+
+  for (const std::string& json :
+       {explore.ToJson(), batch.ToJson(), view.ToJson()}) {
+    Result<JsonValue> parsed = ParseJson(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\nin: " << json;
+    EXPECT_EQ(WriteJson(*parsed), json);
+  }
+
+  // Spot-check the nasty name actually survived the trip.
+  Result<JsonValue> parsed = ParseJson(explore.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("candidates")->array_items()[0].Find("hierarchy")->string_value(),
+            "g\"eo");
+}
+
+}  // namespace
+}  // namespace reptile

@@ -95,6 +95,44 @@ TEST(ParallelForTest, PropagatesExceptions) {
   EXPECT_EQ(count.load(), 8);
 }
 
+TEST(SharedThreadPoolTest, IsOneProcessWidePool) {
+  ThreadPool* pool = SharedThreadPool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), ThreadPool::DefaultThreads());
+  // Same instance from every thread (lazy init is thread-safe).
+  std::vector<ThreadPool*> seen(4, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&seen, t] { seen[static_cast<size_t>(t)] = SharedThreadPool(); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (ThreadPool* p : seen) EXPECT_EQ(p, pool);
+}
+
+TEST(SharedThreadPoolTest, SupportsConcurrentParallelFors) {
+  // Several threads fan out over the shared pool at once — the server's
+  // steady state (each connection thread running one engine call). Each
+  // ParallelFor's completion latch is its own; results must not interleave.
+  constexpr int kCallers = 3;
+  constexpr int64_t kWork = 211;
+  std::vector<std::vector<int>> results(kCallers, std::vector<int>(kWork, -1));
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&results, t] {
+      ParallelFor(SharedThreadPool(), kWork, [&results, t](int64_t i) {
+        results[static_cast<size_t>(t)][static_cast<size_t>(i)] = t * 1000 + static_cast<int>(i);
+      });
+    });
+  }
+  for (std::thread& thread : callers) thread.join();
+  for (int t = 0; t < kCallers; ++t) {
+    for (int64_t i = 0; i < kWork; ++i) {
+      EXPECT_EQ(results[static_cast<size_t>(t)][static_cast<size_t>(i)],
+                t * 1000 + static_cast<int>(i));
+    }
+  }
+}
+
 TEST(ParallelForTest, RethrowsLowestFailingIndex) {
   ThreadPool pool(4);
   for (int trial = 0; trial < 8; ++trial) {
@@ -329,6 +367,69 @@ TEST(ParallelEngineTest, PerCallOverridesApplyToOneCallOnly) {
   for (size_t i = 0; i < complaints.size(); ++i) {
     ExpectSameResponse(after->responses[i], reference->responses[i]);
   }
+}
+
+TEST(ParallelEngineTest, SharedPoolAndOwnedPoolAreIdentical) {
+  // Default sessions fan out over the process-wide SharedThreadPool() when
+  // the width is the machine default; SharedPool(false) opts out into an
+  // engine-owned pool. Recommendations must be identical either way.
+  std::vector<ComplaintSpec> complaints = PanelComplaints();
+  int width = ThreadPool::DefaultThreads();
+  Session shared = MakePanelSession(width);
+  Result<Session> owned_session =
+      Session::Create(MakePanel(), ExploreRequest().Threads(width).SharedPool(false));
+  ASSERT_TRUE(owned_session.ok()) << owned_session.status().ToString();
+  ASSERT_TRUE(owned_session->Commit("time").ok());
+
+  Result<BatchExploreResponse> from_shared =
+      shared.RecommendAll(std::span<const ComplaintSpec>(complaints));
+  ASSERT_TRUE(from_shared.ok()) << from_shared.status().ToString();
+  Result<BatchExploreResponse> from_owned =
+      owned_session->RecommendAll(std::span<const ComplaintSpec>(complaints));
+  ASSERT_TRUE(from_owned.ok()) << from_owned.status().ToString();
+  ASSERT_EQ(from_shared->responses.size(), from_owned->responses.size());
+  for (size_t i = 0; i < from_shared->responses.size(); ++i) {
+    ExpectSameResponse(from_shared->responses[i], from_owned->responses[i]);
+  }
+}
+
+TEST(ParallelEngineTest, PerCallExtraRepairStatsOverride) {
+  // MEAN decomposes into {mean} alone, so the per-call extra visibly adds a
+  // "count" prediction; an engaged-but-empty list strips the session-level
+  // extras for that call only.
+  ComplaintSpec complaint = ComplaintSpec::TooHigh("mean", "severity").Where("year", "y0");
+  Session plain = MakePanelSession(1);
+  Result<ExploreResponse> without = plain.Recommend(complaint);
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  const GroupResponse& without_group = without->best()->groups.front();
+  EXPECT_EQ(without_group.predicted.count("count"), 0u);
+
+  Result<ExploreResponse> with_extra =
+      plain.Recommend(complaint, BatchOptions().RepairAlso("count"));
+  ASSERT_TRUE(with_extra.ok()) << with_extra.status().ToString();
+  EXPECT_EQ(with_extra->best()->groups.front().predicted.count("count"), 1u);
+
+  // The override did not stick to the session.
+  Result<ExploreResponse> after = plain.Recommend(complaint);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->best()->groups.front().predicted.count("count"), 0u);
+
+  // Session-level extras, toggled off per call.
+  Result<Session> with_session_extras =
+      Session::Create(MakePanel(), ExploreRequest().Threads(1).RepairAlso("count"));
+  ASSERT_TRUE(with_session_extras.ok()) << with_session_extras.status().ToString();
+  ASSERT_TRUE(with_session_extras->Commit("time").ok());
+  Result<ExploreResponse> session_extra = with_session_extras->Recommend(complaint);
+  ASSERT_TRUE(session_extra.ok());
+  EXPECT_EQ(session_extra->best()->groups.front().predicted.count("count"), 1u);
+  Result<ExploreResponse> toggled_off =
+      with_session_extras->Recommend(complaint, BatchOptions().NoExtraRepairStats());
+  ASSERT_TRUE(toggled_off.ok());
+  EXPECT_EQ(toggled_off->best()->groups.front().predicted.count("count"), 0u);
+
+  // Unknown statistic names are rejected before any work happens.
+  EXPECT_EQ(plain.Recommend(complaint, BatchOptions().RepairAlso("median")).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ParallelEngineTest, RejectsNegativeOverrides) {
