@@ -1,0 +1,162 @@
+// The dataset/session split in numbers: what a session costs to open over a
+// COLD prepared dataset (it builds the shared aggregate cache) vs a WARM one
+// (every (hierarchy, depth) entry is a cache hit), the recommend latency at
+// each cache temperature, and the marginal memory of a session — which the
+// registry redesign makes near-zero, since the table, f-trees, and
+// committed-depth aggregates are shared and a session owns only its drill
+// depths.
+//
+// Exercises only public surfaces (api/).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+#include "datagen/panel_gen.h"
+#include "reptile/reptile.h"
+
+namespace reptile {
+namespace {
+
+constexpr int kDistricts = 8;
+constexpr int kVillages = 6;
+constexpr int kYears = 8;
+constexpr int kRowsPerGroup = 4;
+
+Dataset MakePanel() {
+  PanelSpec spec;
+  spec.districts = kDistricts;
+  spec.villages_per_district = kVillages;
+  spec.years = kYears;
+  spec.rows_per_group = kRowsPerGroup;
+  return MakeSeverityPanel(spec);
+}
+
+DatasetHandle PrepareOrDie() {
+  Result<DatasetHandle> handle = PreparedDataset::Prepare(MakePanel());
+  if (!handle.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", handle.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(handle).value();
+}
+
+Session OpenOrDie(const DatasetHandle& handle) {
+  Result<Session> session = Session::Open(handle);
+  if (!session.ok() || !session->RestoreCommitted({{"time", 1}}).ok()) {
+    std::fprintf(stderr, "session open failed\n");
+    std::abort();
+  }
+  return std::move(session).value();
+}
+
+ComplaintSpec PanelComplaint() {
+  return ComplaintSpec::TooHigh("std", "severity").Where("year", "y3");
+}
+
+void RecommendOrDie(Session& session) {
+  Result<ExploreResponse> response = session.Recommend(PanelComplaint());
+  if (!response.ok()) {
+    std::fprintf(stderr, "recommend failed: %s\n", response.status().ToString().c_str());
+    std::abort();
+  }
+  benchmark::DoNotOptimize(response->best_index);
+}
+
+/// Resident set size in bytes (Linux /proc/self/statm; 0 when unreadable).
+int64_t ResidentBytes() {
+  std::ifstream statm("/proc/self/statm");
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  if (!(statm >> total_pages >> resident_pages)) return 0;
+  return static_cast<int64_t>(resident_pages) *
+         static_cast<int64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+// Cold: every iteration prepares a fresh dataset, so the first session pays
+// the full aggregate-cache warm-up inside its recommend.
+void BM_ColdSessionFirstRecommend(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatasetHandle handle = PrepareOrDie();
+    state.ResumeTiming();
+    Session session = OpenOrDie(handle);
+    RecommendOrDie(session);
+  }
+}
+BENCHMARK(BM_ColdSessionFirstRecommend)->Unit(benchmark::kMillisecond);
+
+// Warm: the handle's cache was filled once; each new session's first
+// recommend reads shared aggregates and only trains its own models.
+void BM_WarmSessionFirstRecommend(benchmark::State& state) {
+  static DatasetHandle& handle = *new DatasetHandle(PrepareOrDie());
+  {
+    Session warmup = OpenOrDie(handle);
+    RecommendOrDie(warmup);
+  }
+  int64_t builds = 0;
+  for (auto _ : state) {
+    Session session = OpenOrDie(handle);
+    RecommendOrDie(session);
+    builds += session.aggregate_builds();
+  }
+  state.counters["aggregate_builds"] =
+      benchmark::Counter(static_cast<double>(builds), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_WarmSessionFirstRecommend)->Unit(benchmark::kMillisecond);
+
+// Steady state: one session, cache fully warm — the per-request floor.
+void BM_WarmCacheRecommendLatency(benchmark::State& state) {
+  static DatasetHandle& handle = *new DatasetHandle(PrepareOrDie());
+  static Session& session = *new Session(OpenOrDie(handle));
+  RecommendOrDie(session);
+  for (auto _ : state) {
+    RecommendOrDie(session);
+  }
+}
+BENCHMARK(BM_WarmCacheRecommendLatency)->Unit(benchmark::kMillisecond);
+
+// Session creation alone (no recommend): what POST /v1/sessions costs the
+// server once the dataset is registered.
+void BM_WarmSessionOpen(benchmark::State& state) {
+  static DatasetHandle& handle = *new DatasetHandle(PrepareOrDie());
+  for (auto _ : state) {
+    Session session = OpenOrDie(handle);
+    benchmark::DoNotOptimize(&session);
+  }
+}
+BENCHMARK(BM_WarmSessionOpen);
+
+// Marginal memory per warm session: RSS delta across a batch of sessions
+// held live simultaneously, divided by the batch size. Under the old design
+// every session duplicated the dataset and caches; now it holds drill
+// depths and a handle.
+void BM_PerSessionResidentMemory(benchmark::State& state) {
+  static DatasetHandle& handle = *new DatasetHandle(PrepareOrDie());
+  {
+    Session warmup = OpenOrDie(handle);
+    RecommendOrDie(warmup);
+  }
+  const int64_t batch = state.range(0);
+  double rss_per_session = 0.0;
+  for (auto _ : state) {
+    int64_t before = ResidentBytes();
+    std::vector<Session> sessions;
+    sessions.reserve(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i) sessions.push_back(OpenOrDie(handle));
+    int64_t after = ResidentBytes();
+    rss_per_session = static_cast<double>(after - before) / static_cast<double>(batch);
+    benchmark::DoNotOptimize(sessions.data());
+  }
+  state.counters["rss_per_session_bytes"] = rss_per_session;
+}
+BENCHMARK(BM_PerSessionResidentMemory)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace reptile
+
+BENCHMARK_MAIN();

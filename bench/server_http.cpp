@@ -54,7 +54,7 @@ struct ServerHarness {
   std::unique_ptr<HttpServer> server;
 
   ServerHarness() {
-    if (!service.AddSession("panel", MakePanelSession()).ok()) std::abort();
+    if (!service.AddDataset("panel", MakePanel(), {"time"}).ok()) std::abort();
     HttpServerOptions options;
     options.port = 0;
     options.num_threads = 4;

@@ -54,7 +54,7 @@ int main() {
     return 1;
   }
 
-  const Table& table = session->dataset().table();
+  const Table& table = session->dataset()->table();
   Moments statewide;
   for (double v : table.measure(table.ColumnIndex("trump_share"))) statewide.Observe(v);
   std::printf("Observed statewide share: %.4f\n", statewide.Mean());

@@ -3,7 +3,9 @@
 //   #include <reptile/reptile.h>
 //
 // pulls in the whole facade: reptile::Session (the interactive exploration
-// loop), the Status/Result error model, the name-based request builders, and
+// loop), the shared-dataset layer (DatasetRegistry / PreparedDataset /
+// DatasetHandle — build a dataset once, open many lightweight sessions over
+// it), the Status/Result error model, the name-based request builders, and
 // the serializable response types. Clients should depend on this header (or
 // the individual src/api/ headers) only — everything under core/, factor/,
 // fmatrix/ and model/ is internal and free to change.
@@ -11,6 +13,7 @@
 #ifndef REPTILE_REPTILE_H_
 #define REPTILE_REPTILE_H_
 
+#include "api/registry.h"
 #include "api/request.h"
 #include "api/response.h"
 #include "api/session.h"

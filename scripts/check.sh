@@ -39,6 +39,27 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   # Unknown datasets must map to HTTP 404 through the Status contract.
   [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
         "http://127.0.0.1:$PORT/v1/recommend" -d '{"dataset":"nope","complaint":{"aggregate":"count"}}')" == "404" ]]
+
+  echo "--- server smoke: full dataset/session lifecycle"
+  # Upload a CSV inline into the registry (and pre-commit its time hierarchy).
+  UPLOAD='{"name":"up","csv":"d,y,m\nd0,y0,1\nd0,y0,2\nd0,y1,3\nd0,y1,4\nd1,y0,5\nd1,y0,3\nd1,y1,2\nd1,y1,6\nd2,y0,4\nd2,y0,2\nd2,y1,5\nd2,y1,1\n","dimensions":["d","y"],"measures":["m"],"hierarchies":[{"name":"geo","attributes":["d"]},{"name":"time","attributes":["y"]}],"commits":["time"]}'
+  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/datasets" -d "$UPLOAD" | grep -q '"dataset":"up"'
+  # Create a per-client session restoring the committed drill state.
+  SID="$(curl -fsS -X POST "http://127.0.0.1:$PORT/v1/sessions" \
+      -d '{"dataset":"up","committed":{"time":1}}' \
+    | sed -n 's/.*"session":"\([^"]*\)".*/\1/p')"
+  [[ -n "$SID" ]] || { echo "session create returned no id"; exit 1; }
+  # Recommend and commit through the session id.
+  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/recommend" \
+      -d '{"session":"'"$SID"'","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
+    | grep -q '"best_index"'
+  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/commit" \
+      -d '{"session":"'"$SID"'","hierarchy":"geo"}' | grep -q '"depth":1'
+  # Snapshot shows the committed drill state; delete ends the session.
+  curl -fsS "http://127.0.0.1:$PORT/v1/sessions/$SID" | grep -q '"geo":1'
+  curl -fsS -X DELETE "http://127.0.0.1:$PORT/v1/sessions/$SID" | grep -q '"deleted"'
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/v1/sessions/$SID")" == "404" ]]
+
   kill -TERM "$SERVE_PID"
   wait "$SERVE_PID"   # exits 0 on a clean shutdown; set -e fails otherwise
   trap - EXIT

@@ -1,0 +1,86 @@
+#include "api/registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "factor/agg_cache.h"
+
+namespace reptile {
+
+PreparedDataset::PreparedDataset(Dataset dataset)
+    : dataset_(std::move(dataset)), cache_(std::make_shared<SharedAggregateCache>()) {}
+
+PreparedDataset::~PreparedDataset() = default;
+
+Result<DatasetHandle> PreparedDataset::Prepare(Dataset dataset) {
+  if (dataset.num_hierarchies() == 0) {
+    return Status::InvalidArgument("a session needs at least one hierarchy to drill into");
+  }
+  if (dataset.table().num_rows() == 0) {
+    return Status::InvalidArgument("the session dataset has no rows");
+  }
+  // make_shared needs a public constructor; the struct-inheritance detour
+  // keeps the constructor private without a custom allocator dance.
+  struct Access : PreparedDataset {
+    explicit Access(Dataset d) : PreparedDataset(std::move(d)) {}
+  };
+  return DatasetHandle(std::make_shared<const Access>(std::move(dataset)));
+}
+
+int64_t PreparedDataset::cache_entries() const { return cache_->entries(); }
+int64_t PreparedDataset::cache_hits() const { return cache_->hits(); }
+int64_t PreparedDataset::cache_misses() const { return cache_->misses(); }
+
+Result<DatasetHandle> DatasetRegistry::Add(std::string name, Dataset dataset) {
+  Result<DatasetHandle> prepared = PreparedDataset::Prepare(std::move(dataset));
+  if (!prepared.ok()) return prepared.status();
+  return AddPrepared(std::move(name), std::move(prepared).value());
+}
+
+Result<DatasetHandle> DatasetRegistry::AddPrepared(std::string name, DatasetHandle dataset) {
+  if (name.empty()) return Status::InvalidArgument("dataset name must be non-empty");
+  if (dataset == nullptr) return Status::InvalidArgument("dataset handle must be non-null");
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = datasets_.emplace(std::move(name), std::move(dataset));
+  if (!inserted) {
+    return Status::InvalidArgument("dataset '" + it->first + "' is already registered");
+  }
+  return it->second;
+}
+
+Result<DatasetHandle> DatasetRegistry::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset named '" + name + "' is loaded on this server");
+  }
+  return it->second;
+}
+
+Status DatasetRegistry::Remove(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("no dataset named '" + name + "' is loaded on this server");
+  }
+  return Status::Ok();
+}
+
+bool DatasetRegistry::Contains(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return datasets_.find(name) != datasets_.end();
+}
+
+std::vector<std::string> DatasetRegistry::names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, handle] : datasets_) out.push_back(name);
+  return out;
+}
+
+int64_t DatasetRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int64_t>(datasets_.size());
+}
+
+}  // namespace reptile

@@ -1,0 +1,116 @@
+// The dataset half of the dataset/session split: shared, immutable, built
+// once.
+//
+// Reptile's interactive loop (paper Section 2.1) is per-analyst, but the
+// data every analyst explores is the same: N sessions over one hierarchical
+// dataset should pay 1x — not Nx — for the table, the hierarchy metadata,
+// and the (hierarchy, depth)-keyed f-tree / decomposed-aggregate entries.
+//
+//   PreparedDataset  — an immutable Dataset plus its process-shared
+//                      aggregate cache (factor/agg_cache.h). Built once;
+//                      every Session opened over it shares both.
+//   DatasetHandle    — std::shared_ptr<const PreparedDataset>. Sessions and
+//                      callers hold handles, so a dataset stays alive while
+//                      anyone uses it even after the registry drops it.
+//   DatasetRegistry  — a thread-safe, name-keyed table of handles: the
+//                      server's POST /v1/datasets target.
+//
+// Per-session state stays in Session (api/session.h): committed drill
+// depths, registered auxiliaries, random-effect exclusions. Committing a
+// drill-down copies nothing — it bumps the session's depth vector while the
+// aggregates stay shared ("copy-on-drill").
+
+#ifndef REPTILE_API_REGISTRY_H_
+#define REPTILE_API_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "data/dataset.h"
+
+namespace reptile {
+
+class SharedAggregateCache;  // factor/agg_cache.h (internal)
+
+class PreparedDataset;
+using DatasetHandle = std::shared_ptr<const PreparedDataset>;
+
+/// An immutable dataset prepared for sharing: the base relation, hierarchy
+/// metadata, and the cross-session aggregate cache. Thread-safe: everything
+/// reachable from a const PreparedDataset is either immutable or internally
+/// synchronized (the cache).
+class PreparedDataset {
+ public:
+  /// Validates and wraps `dataset`. InvalidArgument when the dataset has no
+  /// hierarchy to drill into or no rows.
+  static Result<DatasetHandle> Prepare(Dataset dataset);
+
+  ~PreparedDataset();
+
+  PreparedDataset(const PreparedDataset&) = delete;
+  PreparedDataset& operator=(const PreparedDataset&) = delete;
+
+  const Dataset& data() const { return dataset_; }
+  const Table& table() const { return dataset_.table(); }
+
+  /// The shared aggregate cache (internally synchronized; mutable through a
+  /// const handle by design — caching is not a logical mutation).
+  SharedAggregateCache& cache() const { return *cache_; }
+
+  /// Cache observability for tests, benchmarks and capacity monitoring.
+  int64_t cache_entries() const;
+  int64_t cache_hits() const;
+  int64_t cache_misses() const;
+
+ private:
+  explicit PreparedDataset(Dataset dataset);
+
+  Dataset dataset_;
+  std::shared_ptr<SharedAggregateCache> cache_;
+};
+
+/// A thread-safe, name-keyed table of prepared datasets. Handles returned by
+/// Add/Find are independent of the registry's lifetime: Remove() only drops
+/// the name — sessions holding the handle keep the dataset alive.
+class DatasetRegistry {
+ public:
+  DatasetRegistry() = default;
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Prepares `dataset` and registers it under `name`. InvalidArgument on an
+  /// empty or duplicate name or an undrillable/empty dataset.
+  Result<DatasetHandle> Add(std::string name, Dataset dataset);
+
+  /// Registers an already prepared dataset under `name` (for sharing one
+  /// PreparedDataset across registries or with direct sessions).
+  Result<DatasetHandle> AddPrepared(std::string name, DatasetHandle dataset);
+
+  /// NotFound when no dataset carries the name.
+  Result<DatasetHandle> Find(const std::string& name) const;
+
+  /// Drops the name from the registry; live handles are unaffected.
+  /// NotFound when the name is not registered.
+  Status Remove(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  int64_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, DatasetHandle> datasets_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_API_REGISTRY_H_

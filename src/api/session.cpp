@@ -26,10 +26,12 @@ std::map<std::string, double> StatsOf(const Moments& m) {
 }  // namespace
 
 struct Session::Impl {
-  Dataset dataset;
+  DatasetHandle handle;  // shared immutable dataset + cross-session cache
   std::unique_ptr<Engine> engine;
   std::deque<Table> aux_tables;  // stable addresses; the engine borrows them
   std::vector<std::string> aux_names;
+
+  const Dataset& data() const { return handle->data(); }
 };
 
 Session::Session() : impl_(std::make_unique<Impl>()) {}
@@ -37,20 +39,24 @@ Session::Session(Session&& other) noexcept = default;
 Session& Session::operator=(Session&& other) noexcept = default;
 Session::~Session() = default;
 
-Result<Session> Session::Create(Dataset dataset, const ExploreRequest& options) {
-  if (dataset.num_hierarchies() == 0) {
-    return Status::InvalidArgument("a session needs at least one hierarchy to drill into");
-  }
-  if (dataset.table().num_rows() == 0) {
-    return Status::InvalidArgument("the session dataset has no rows");
+Result<Session> Session::Open(DatasetHandle dataset, const ExploreRequest& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("cannot open a session over a null dataset handle");
   }
   Result<EngineOptions> engine_options = options.Resolve();
   if (!engine_options.ok()) return engine_options.status();
   Session session;
-  session.impl_->dataset = std::move(dataset);
-  session.impl_->engine =
-      std::make_unique<Engine>(&session.impl_->dataset, *engine_options);
+  session.impl_->handle = std::move(dataset);
+  const DatasetHandle& handle = session.impl_->handle;
+  session.impl_->engine = std::make_unique<Engine>(&handle->data(), &handle->cache(),
+                                                   handle, *engine_options);
   return session;
+}
+
+Result<Session> Session::Create(Dataset dataset, const ExploreRequest& options) {
+  Result<DatasetHandle> prepared = PreparedDataset::Prepare(std::move(dataset));
+  if (!prepared.ok()) return prepared.status();
+  return Open(std::move(prepared).value(), options);
 }
 
 Result<Session> Session::Create(Table table, std::vector<HierarchySchema> hierarchies,
@@ -68,7 +74,7 @@ Result<Session> Session::FromCsv(const CsvDatasetRequest& request,
 }
 
 Status Session::RegisterAuxiliary(AuxiliaryRequest request) {
-  const Table& base = impl_->dataset.table();
+  const Table& base = impl_->data().table();
   if (request.name.empty()) {
     return Status::InvalidArgument("auxiliary dataset needs a non-empty name");
   }
@@ -82,7 +88,7 @@ Status Session::RegisterAuxiliary(AuxiliaryRequest request) {
                                    "' needs at least one join attribute");
   }
   for (const std::string& attr : request.join_attributes) {
-    if (!impl_->dataset.FindAttr(attr).has_value()) {
+    if (!impl_->data().FindAttr(attr).has_value()) {
       return Status::NotFound("auxiliary '" + request.name + "' join attribute '" + attr +
                               "' is not a hierarchy attribute of the dataset");
     }
@@ -123,7 +129,7 @@ Status Session::RegisterAuxiliary(AuxiliaryRequest request) {
 Status Session::ExcludeFromRandomEffects(const std::string& feature_name) {
   // Feature names are the intercept, dimension (attribute) columns, or
   // registered auxiliary names; a measure column can never name a feature.
-  const Table& table = impl_->dataset.table();
+  const Table& table = impl_->data().table();
   std::optional<int> column = table.FindColumn(feature_name);
   bool known = feature_name == "intercept" ||
                (column.has_value() && table.is_dimension(*column));
@@ -141,7 +147,7 @@ Status Session::ExcludeFromRandomEffects(const std::string& feature_name) {
 }
 
 Result<ViewResponse> Session::View(const ViewRequest& request) const {
-  const Table& table = impl_->dataset.table();
+  const Table& table = impl_->data().table();
   if (request.group_by.empty()) {
     return Status::InvalidArgument("a view needs at least one group-by column");
   }
@@ -239,7 +245,7 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
       extra_stats->push_back(*fn);
     }
   }
-  const Dataset& dataset = impl_->dataset;
+  const Dataset& dataset = impl_->data();
   Engine& engine = *impl_->engine;
 
   bool any_drillable = false;
@@ -332,10 +338,10 @@ Result<int> ResolveHierarchy(const Dataset& dataset, const std::string& name) {
 }  // namespace
 
 Status Session::Commit(const std::string& hierarchy) {
-  Result<int> index = ResolveHierarchy(impl_->dataset, hierarchy);
+  Result<int> index = ResolveHierarchy(impl_->data(), hierarchy);
   if (!index.ok()) return index.status();
   if (!impl_->engine->CanDrill(*index)) {
-    const HierarchySchema& schema = impl_->dataset.hierarchy(*index);
+    const HierarchySchema& schema = impl_->data().hierarchy(*index);
     return Status::FailedPrecondition(
         "hierarchy '" + schema.name + "' is already fully drilled (depth " +
         std::to_string(impl_->engine->drill_depth(*index)) + " of " +
@@ -346,19 +352,61 @@ Status Session::Commit(const std::string& hierarchy) {
 }
 
 Result<int> Session::DrillDepth(const std::string& hierarchy) const {
-  Result<int> index = ResolveHierarchy(impl_->dataset, hierarchy);
+  Result<int> index = ResolveHierarchy(impl_->data(), hierarchy);
   if (!index.ok()) return index.status();
   return impl_->engine->drill_depth(*index);
 }
 
 Result<bool> Session::CanDrill(const std::string& hierarchy) const {
-  Result<int> index = ResolveHierarchy(impl_->dataset, hierarchy);
+  Result<int> index = ResolveHierarchy(impl_->data(), hierarchy);
   if (!index.ok()) return index.status();
   return impl_->engine->CanDrill(*index);
 }
 
-const Dataset& Session::dataset() const { return impl_->dataset; }
+std::map<std::string, int> Session::CommittedDepths() const {
+  const Dataset& dataset = impl_->data();
+  std::map<std::string, int> committed;
+  for (int h = 0; h < dataset.num_hierarchies(); ++h) {
+    committed[dataset.hierarchy(h).name] = impl_->engine->drill_depth(h);
+  }
+  return committed;
+}
+
+Status Session::RestoreCommitted(const std::map<std::string, int>& committed) {
+  const Dataset& dataset = impl_->data();
+  // Validate the whole map first so a bad entry cannot leave the session
+  // half-restored.
+  for (const auto& [name, depth] : committed) {
+    std::optional<int> hierarchy = dataset.FindHierarchy(name);
+    if (!hierarchy.has_value()) {
+      return Status::NotFound("no hierarchy named '" + name + "'");
+    }
+    const HierarchySchema& schema = dataset.hierarchy(*hierarchy);
+    if (depth < 0 || depth > schema.depth()) {
+      return Status::InvalidArgument(
+          "committed depth for hierarchy '" + name + "' must be in [0, " +
+          std::to_string(schema.depth()) + "], got " + std::to_string(depth));
+    }
+    if (impl_->engine->drill_depth(*hierarchy) > depth) {
+      return Status::FailedPrecondition(
+          "hierarchy '" + name + "' is already at depth " +
+          std::to_string(impl_->engine->drill_depth(*hierarchy)) +
+          "; drill-downs cannot be undone to depth " + std::to_string(depth));
+    }
+  }
+  for (const auto& [name, depth] : committed) {
+    int hierarchy = *dataset.FindHierarchy(name);
+    while (impl_->engine->drill_depth(hierarchy) < depth) {
+      impl_->engine->CommitDrillDown(hierarchy);
+    }
+  }
+  return Status::Ok();
+}
+
+DatasetHandle Session::dataset() const { return impl_->handle; }
 
 int64_t Session::models_trained() const { return impl_->engine->stats().models_trained; }
+
+int64_t Session::aggregate_builds() const { return impl_->engine->aggregate_builds(); }
 
 }  // namespace reptile

@@ -12,16 +12,28 @@
 //    caches: complaints sharing a hierarchy extension reuse the extended
 //    feature matrix and each trained primitive model. Results are identical
 //    to issuing the complaints one at a time.
+//
+// Ownership (the dataset/session split, api/registry.h): a Session is a
+// LIGHTWEIGHT VIEW over a shared immutable PreparedDataset. It owns only the
+// per-analyst state — committed drill depths, registered auxiliaries,
+// random-effect exclusions — while the table, hierarchies, f-trees and
+// (hierarchy, depth) aggregate entries live in the handle and are shared by
+// every session opened over it. Committing a drill-down copies nothing; two
+// sessions at the same drill state read the very same cached aggregates.
+// Session::Create remains as a convenience that prepares a private dataset
+// and opens the one session over it.
 
 #ifndef REPTILE_API_SESSION_H_
 #define REPTILE_API_SESSION_H_
 
 #include <initializer_list>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
 #include "api/request.h"
 #include "api/response.h"
 #include "api/status.h"
@@ -39,7 +51,13 @@ struct CsvDatasetRequest {
 
 class Session {
  public:
-  /// Creates a session over an already-constructed dataset.
+  /// Opens a per-analyst session over a shared prepared dataset (from a
+  /// DatasetRegistry or PreparedDataset::Prepare). The session holds the
+  /// handle, so the dataset outlives any registry eviction.
+  static Result<Session> Open(DatasetHandle dataset, const ExploreRequest& options = {});
+
+  /// Creates a session over an exclusively owned dataset: prepares the
+  /// dataset privately and opens the one session over it.
   static Result<Session> Create(Dataset dataset, const ExploreRequest& options = {});
 
   /// Validates the hierarchy metadata against the table, then creates the
@@ -83,7 +101,9 @@ class Session {
   /// Recommend(complaints[i]) would, at any thread count.
   ///
   /// Sessions are not thread-safe: issue one call at a time per session;
-  /// parallelism happens inside the call.
+  /// parallelism happens inside the call. DIFFERENT sessions over one shared
+  /// dataset may call concurrently — the shared cache is internally
+  /// synchronized.
   Result<BatchExploreResponse> RecommendAll(std::span<const ComplaintSpec> complaints,
                                             const BatchOptions& options = {});
   Result<BatchExploreResponse> RecommendAll(std::initializer_list<ComplaintSpec> complaints,
@@ -92,6 +112,7 @@ class Session {
   /// Commits a drill-down on the named hierarchy (schema name, e.g. "geo",
   /// or any of its attribute names, e.g. "village"). NotFound for unknown
   /// names, FailedPrecondition when the hierarchy is already fully drilled.
+  /// Per-session: other sessions over the same dataset are unaffected.
   Status Commit(const std::string& hierarchy);
 
   /// Current drill depth of the named hierarchy.
@@ -100,11 +121,32 @@ class Session {
   /// True when the named hierarchy has at least one undrilled attribute.
   Result<bool> CanDrill(const std::string& hierarchy) const;
 
-  const Dataset& dataset() const;
+  /// Committed drill depth per hierarchy (schema name -> depth): the
+  /// session's persistable drill state, restorable via RestoreCommitted —
+  /// the snapshot the server's GET /v1/sessions/{id} serves.
+  std::map<std::string, int> CommittedDepths() const;
+
+  /// Re-commits drill-downs until every named hierarchy reaches its target
+  /// depth (session persist/restore and POST /v1/sessions {"committed"}).
+  /// NotFound for unknown hierarchy names, InvalidArgument for a negative or
+  /// too-deep target, FailedPrecondition when a hierarchy is already past
+  /// the target (drill-downs cannot be undone).
+  Status RestoreCommitted(const std::map<std::string, int>& committed);
+
+  /// The shared prepared dataset this session reads. Returning the handle
+  /// (not a reference into the session) means the result stays valid across
+  /// session moves and after the session is destroyed or the registry drops
+  /// the dataset.
+  DatasetHandle dataset() const;
 
   /// Total primitive-model fits performed so far (for tests and benchmarks
   /// of the batched path).
   int64_t models_trained() const;
+
+  /// Aggregate (f-tree + local aggregates) builds this session performed.
+  /// A session whose shared cache was already warmed by another session
+  /// performs zero — the cross-session sharing counter.
+  int64_t aggregate_builds() const;
 
  private:
   Session();

@@ -97,11 +97,18 @@ const HierarchyRecommendation& Recommendation::best() const {
   return candidates[static_cast<size_t>(best_index)];
 }
 
-Engine::Engine(const Dataset* dataset, EngineOptions options)
-    : dataset_(dataset), options_(options), drill_state_(dataset, options.drill_mode) {
+Engine::Engine(const Dataset* dataset, SharedAggregateCache* shared_cache,
+               std::shared_ptr<const void> owner, EngineOptions options)
+    : owner_(std::move(owner)),
+      dataset_(dataset),
+      options_(options),
+      drill_state_(dataset, options.drill_mode, shared_cache) {
   REPTILE_CHECK(dataset != nullptr);
   REPTILE_CHECK_GE(options_.num_threads, 0);
 }
+
+Engine::Engine(const Dataset* dataset, EngineOptions options)
+    : Engine(dataset, nullptr, nullptr, options) {}
 
 Engine::~Engine() = default;
 

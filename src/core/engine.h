@@ -193,7 +193,22 @@ struct EngineStats {
 /// sequential path.
 class Engine {
  public:
+  /// Borrowing constructor: the engine reads `dataset` (caller keeps it
+  /// alive) and owns a private drill-down cache — the pre-registry behavior,
+  /// used by benchmarks and tests that drive one engine over one dataset.
   explicit Engine(const Dataset* dataset, EngineOptions options = EngineOptions());
+
+  /// Shared constructor: the engine reads/fills a cross-session aggregate
+  /// cache, so every engine over the same prepared dataset shares f-trees
+  /// and committed-depth aggregates; `owner` keeps whatever object holds
+  /// `dataset` and `shared_cache` (api/'s PreparedDataset) alive without
+  /// core/ depending on the api/ facade. The shared cache is used under the
+  /// default kCacheDynamic drill mode; the evicting kStatic/kDynamic modes
+  /// fall back to a private cache (their eviction is the point of those
+  /// policies).
+  Engine(const Dataset* dataset, SharedAggregateCache* shared_cache,
+         std::shared_ptr<const void> owner, EngineOptions options = EngineOptions());
+
   ~Engine();
 
   /// Registers an auxiliary dataset; its features apply automatically once
@@ -239,7 +254,13 @@ class Engine {
   DrillDownState& drill_state() { return drill_state_; }
   const EngineOptions& options() const { return options_; }
   const EngineStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = EngineStats(); }
+  /// Aggregate (f-tree + locals) builds THIS engine performed; an engine
+  /// warmed by its handle's shared cache performs zero.
+  int64_t aggregate_builds() const { return drill_state_.total_builds(); }
+  void ResetStats() {
+    stats_ = EngineStats();
+    drill_state_.ResetStats();  // keep aggregate_builds() consistent with stats()
+  }
 
  private:
   struct CandidatePlan;  // defined in engine.cpp
@@ -275,6 +296,7 @@ class Engine {
   /// churn when per-call widths vary).
   ThreadPool* PoolFor(int num_threads);
 
+  std::shared_ptr<const void> owner_;  // may be null; keeps dataset_ alive
   const Dataset* dataset_;
   EngineOptions options_;
   DrillDownState drill_state_;

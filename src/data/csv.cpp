@@ -16,14 +16,13 @@ std::vector<std::string> SplitLine(const std::string& line, char separator) {
   return fields;
 }
 
-}  // namespace
-
-Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IoError("cannot open '" + path + "' for reading");
+// Shared parse body of LoadCsv / LoadCsvText. `origin` labels error messages
+// ("'data.csv'" for files, "inline csv" for in-memory uploads).
+Result<Table> ParseCsvStream(std::istream& in, const CsvSpec& spec,
+                             const std::string& origin) {
   std::string line;
   if (!std::getline(in, line)) {
-    return Status::ParseError("'" + path + "' is empty (expected a header row)");
+    return Status::ParseError(origin + " is empty (expected a header row)");
   }
   if (!line.empty() && line.back() == '\r') line.pop_back();
   std::vector<std::string> header = SplitLine(line, spec.separator);
@@ -40,7 +39,7 @@ Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
     for (size_t n = 0; n < spec.dimension_columns.size(); ++n) {
       if (header[f] != spec.dimension_columns[n]) continue;
       if (++dim_matches[n] > 1 || field_to_column[f] >= 0) {
-        return Status::ParseError("'" + path + "': header names column '" + header[f] +
+        return Status::ParseError(origin + ": header names column '" + header[f] +
                                   "' more than once or in both dimension and measure specs");
       }
       field_to_column[f] = table.AddDimensionColumn(header[f]);
@@ -49,7 +48,7 @@ Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
     for (size_t n = 0; n < spec.measure_columns.size(); ++n) {
       if (header[f] != spec.measure_columns[n]) continue;
       if (++measure_matches[n] > 1 || field_to_column[f] >= 0) {
-        return Status::ParseError("'" + path + "': header names column '" + header[f] +
+        return Status::ParseError(origin + ": header names column '" + header[f] +
                                   "' more than once or in both dimension and measure specs");
       }
       field_to_column[f] = table.AddMeasureColumn(header[f]);
@@ -58,13 +57,13 @@ Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
   }
   for (size_t n = 0; n < spec.dimension_columns.size(); ++n) {
     if (dim_matches[n] == 0) {
-      return Status::NotFound("'" + path + "': dimension column '" +
+      return Status::NotFound(origin + ": dimension column '" +
                               spec.dimension_columns[n] + "' is missing from the header");
     }
   }
   for (size_t n = 0; n < spec.measure_columns.size(); ++n) {
     if (measure_matches[n] == 0) {
-      return Status::NotFound("'" + path + "': measure column '" + spec.measure_columns[n] +
+      return Status::NotFound(origin + ": measure column '" + spec.measure_columns[n] +
                               "' is missing from the header");
     }
   }
@@ -76,7 +75,7 @@ Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
     ++row_number;
     std::vector<std::string> fields = SplitLine(line, spec.separator);
     if (fields.size() != header.size()) {
-      return Status::ParseError("'" + path + "' row " + std::to_string(row_number) +
+      return Status::ParseError(origin + " row " + std::to_string(row_number) +
                                 ": expected " + std::to_string(header.size()) +
                                 " fields, got " + std::to_string(fields.size()));
     }
@@ -90,7 +89,7 @@ Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
         double value = std::strtod(fields[f].c_str(), &end);
         while (*end == ' ' || *end == '\t') ++end;  // permit trailing padding
         if (end == fields[f].c_str() || *end != '\0') {
-          return Status::ParseError("'" + path + "' row " + std::to_string(row_number) +
+          return Status::ParseError(origin + " row " + std::to_string(row_number) +
                                     ", column '" + header[f] + "': cannot parse '" +
                                     fields[f] + "' as a number");
         }
@@ -100,6 +99,19 @@ Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
     table.CommitRow();
   }
   return table;
+}
+
+}  // namespace
+
+Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open '" + path + "' for reading");
+  return ParseCsvStream(in, spec, "'" + path + "'");
+}
+
+Result<Table> LoadCsvText(const std::string& text, const CsvSpec& spec) {
+  std::istringstream in(text);
+  return ParseCsvStream(in, spec, "inline csv");
 }
 
 Status SaveCsv(const Table& table, const std::string& path, char separator) {

@@ -29,6 +29,11 @@ struct CsvSpec {
 /// header.
 Result<Table> LoadCsv(const std::string& path, const CsvSpec& spec);
 
+/// Parses CSV from an in-memory string (same contract as LoadCsv) — the
+/// server's inline dataset-upload path. Parse errors carry the 1-based data
+/// row prefixed "inline csv" instead of a file path.
+Result<Table> LoadCsvText(const std::string& text, const CsvSpec& spec);
+
 /// Writes all columns of `table` to `path`; kIoError on failure.
 Status SaveCsv(const Table& table, const std::string& path, char separator = ',');
 

@@ -1,0 +1,91 @@
+// Process-shared drill-down aggregate cache (the cross-session half of the
+// dataset/session split).
+//
+// The expensive immutable state of a Reptile deployment — f-trees and local
+// decomposed aggregates per (hierarchy, depth) — depends only on the base
+// table and the hierarchy schema, never on who is asking: hierarchy
+// independence (paper Section 4.4) makes a hierarchy's aggregates at depth d
+// identical for every analyst, whatever the *other* hierarchies' committed
+// depths are. One SharedAggregateCache therefore hangs off each
+// PreparedDataset (api/registry.h) and is read by every session opened over
+// it; a session drilling somewhere new pays the build once and all later
+// sessions — including sessions at entirely different drill states — hit.
+//
+// Keying by (hierarchy, depth) rather than by the committed-depth vector is
+// deliberate: it is strictly finer-grained sharing. Two sessions whose drill
+// states differ still share every per-hierarchy entry they have in common.
+//
+// Concurrency contract:
+//  * Find() is a shared_lock read; entries are immutable once inserted and
+//    NEVER evicted, so returned references stay valid for the cache's
+//    lifetime (std::map nodes are address-stable).
+//  * Insert() is insert-once under the exclusive lock: when two sessions
+//    race to build the same key, the first insert wins and the loser's
+//    (bit-identical — builds are deterministic functions of the immutable
+//    table) copy is dropped. Builds happen OUTSIDE the lock so a slow build
+//    never blocks readers.
+//  * hits()/misses()/entries() are monotonic counters for tests, benchmarks
+//    and capacity monitoring.
+
+#ifndef REPTILE_FACTOR_AGG_CACHE_H_
+#define REPTILE_FACTOR_AGG_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "factor/decomposed.h"
+#include "factor/ftree.h"
+
+namespace reptile {
+
+/// A hierarchy's f-tree and local aggregates at one depth (moved here from
+/// factor/drilldown.h so both the shared cache and the per-session state can
+/// speak it).
+struct HierarchyAggregates {
+  std::unique_ptr<FTree> tree;
+  std::unique_ptr<LocalAggregates> locals;
+};
+
+class SharedAggregateCache {
+ public:
+  SharedAggregateCache() = default;
+
+  SharedAggregateCache(const SharedAggregateCache&) = delete;
+  SharedAggregateCache& operator=(const SharedAggregateCache&) = delete;
+
+  /// Shared-lock lookup. The returned pointer (when non-null) stays valid for
+  /// the cache's lifetime — entries are never evicted or mutated. Counts one
+  /// hit or miss.
+  const HierarchyAggregates* Find(int hierarchy, int depth) const;
+
+  /// Insert-once under the exclusive lock: returns the cached entry, which is
+  /// `built` when this call inserted it, or the previously inserted
+  /// (deterministically identical) entry when another session won the race —
+  /// `built` is then discarded. Never replaces an existing entry.
+  const HierarchyAggregates& Insert(int hierarchy, int depth, HierarchyAggregates built);
+
+  /// Entries currently cached.
+  int64_t entries() const;
+
+  /// Monotonic Find() outcomes since construction.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Keys currently cached, sorted — for introspection and tests.
+  std::vector<std::pair<int, int>> Keys() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::pair<int, int>, HierarchyAggregates> entries_;  // (hierarchy, depth)
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_FACTOR_AGG_CACHE_H_

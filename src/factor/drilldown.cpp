@@ -8,8 +8,9 @@
 
 namespace reptile {
 
-DrillDownState::DrillDownState(const Dataset* dataset, Mode mode)
-    : dataset_(dataset), mode_(mode) {
+DrillDownState::DrillDownState(const Dataset* dataset, Mode mode,
+                               SharedAggregateCache* shared_cache)
+    : dataset_(dataset), mode_(mode), shared_cache_(shared_cache) {
   REPTILE_CHECK(dataset != nullptr);
   committed_depth_.assign(dataset->num_hierarchies(), 0);
   invocation_build_seconds_.assign(dataset->num_hierarchies(), 0.0);
@@ -44,12 +45,20 @@ void DrillDownState::BeginInvocation() {
       break;
     }
     case Mode::kCacheDynamic:
-      break;  // keep everything
+      break;  // keep everything — matches the shared cache's append-only contract
   }
 }
 
 const HierarchyAggregates& DrillDownState::Get(int hierarchy, int depth) {
   REPTILE_CHECK(depth >= 1 && depth <= max_depth(hierarchy));
+  if (SharedAggregateCache* shared = SharedCache()) {
+    if (const HierarchyAggregates* entry = shared->Find(hierarchy, depth)) return *entry;
+    Timer timer;
+    HierarchyAggregates built = Build(hierarchy, depth);
+    invocation_build_seconds_[hierarchy] += timer.Seconds();
+    ++total_builds_;  // this session did the work, even if it loses the insert race
+    return shared->Insert(hierarchy, depth, std::move(built));
+  }
   auto key = std::make_pair(hierarchy, depth);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -64,13 +73,15 @@ const HierarchyAggregates& DrillDownState::Get(int hierarchy, int depth) {
 
 std::map<std::pair<int, int>, double> DrillDownState::Prefetch(
     const std::vector<std::pair<int, int>>& keys, ThreadPool* pool) {
+  SharedAggregateCache* shared = SharedCache();
   // Deduplicated keys missing from the cache, in deterministic (sorted)
   // order so task indices are scheduling-independent.
   std::vector<std::pair<int, int>> missing = keys;
   std::sort(missing.begin(), missing.end());
   missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
-  std::erase_if(missing, [this](const std::pair<int, int>& key) {
+  std::erase_if(missing, [&](const std::pair<int, int>& key) {
     REPTILE_CHECK(key.second >= 1 && key.second <= max_depth(key.first));
+    if (shared != nullptr) return shared->Find(key.first, key.second) != nullptr;
     return cache_.find(key) != cache_.end();
   });
 
@@ -89,18 +100,31 @@ std::map<std::pair<int, int>, double> DrillDownState::Prefetch(
         return entry;
       });
 
-  // Sequential epilogue: cache insertion and the Figure 9 accounting.
+  // Sequential epilogue: cache insertion and the Figure 9 accounting. Another
+  // session may have inserted a key concurrently; SharedAggregateCache::Insert
+  // keeps the first copy and we still charge ourselves for the build we did.
   std::map<std::pair<int, int>, double> build_seconds;
   for (size_t i = 0; i < missing.size(); ++i) {
     invocation_build_seconds_[missing[i].first] += built[i].seconds;
     ++total_builds_;
-    cache_.emplace(missing[i], std::move(built[i].aggregates));
+    if (shared != nullptr) {
+      shared->Insert(missing[i].first, missing[i].second, std::move(built[i].aggregates));
+    } else {
+      cache_.emplace(missing[i], std::move(built[i].aggregates));
+    }
     build_seconds[missing[i]] = built[i].seconds;
   }
   return build_seconds;
 }
 
 const HierarchyAggregates& DrillDownState::Peek(int hierarchy, int depth) const {
+  if (const SharedAggregateCache* shared = SharedCache()) {
+    const HierarchyAggregates* entry = shared->Find(hierarchy, depth);
+    REPTILE_CHECK(entry != nullptr)
+        << "drill-down aggregates (" << hierarchy << ", " << depth
+        << ") read before being prefetched or built";
+    return *entry;
+  }
   auto it = cache_.find(std::make_pair(hierarchy, depth));
   REPTILE_CHECK(it != cache_.end())
       << "drill-down aggregates (" << hierarchy << ", " << depth

@@ -14,6 +14,19 @@
 //   kCacheDynamic — additionally cache candidate-depth aggregates from
 //                   previous invocations (Section 4.4: hierarchies evaluated
 //                   but not picked are free next time).
+//
+// Since the dataset/session split, DrillDownState is only the CHEAP per-user
+// half of the drill-down machinery: the committed-depth vector, the eviction
+// policy, and build accounting. The EXPENSIVE half — the (hierarchy, depth)
+// aggregate entries themselves — can live in a process-shared
+// SharedAggregateCache (factor/agg_cache.h) hanging off a PreparedDataset,
+// so N sessions over one dataset build each entry once between them.
+// Drilling copies nothing ("copy-on-drill"): Commit() bumps this session's
+// depth integer while the aggregates stay shared. A session is handed the
+// shared cache at construction; it is used under the default kCacheDynamic
+// policy (which never evicts, matching the shared cache's append-only
+// contract), while kStatic/kDynamic sessions — whose eviction is the whole
+// point of those benchmarking policies — keep a private cache.
 
 #ifndef REPTILE_FACTOR_DRILLDOWN_H_
 #define REPTILE_FACTOR_DRILLDOWN_H_
@@ -24,25 +37,24 @@
 #include <vector>
 
 #include "data/dataset.h"
-#include "factor/decomposed.h"
-#include "factor/ftree.h"
+#include "factor/agg_cache.h"
 
 namespace reptile {
 
 class ThreadPool;  // parallel/thread_pool.h
 
-/// A hierarchy's f-tree and local aggregates at one depth.
-struct HierarchyAggregates {
-  std::unique_ptr<FTree> tree;
-  std::unique_ptr<LocalAggregates> locals;
-};
-
-/// Per-session drill-down cache.
+/// Per-session drill-down state: committed depths plus either a borrowed
+/// shared aggregate cache or a private one.
 class DrillDownState {
  public:
   enum class Mode { kStatic, kDynamic, kCacheDynamic };
 
-  DrillDownState(const Dataset* dataset, Mode mode);
+  /// `shared_cache` may be nullptr (fully private state, the pre-registry
+  /// behavior). A non-null shared cache is borrowed — the caller (Engine via
+  /// its DatasetHandle) must keep it alive — and is only consulted under
+  /// kCacheDynamic; the evicting policies stay private by design.
+  DrillDownState(const Dataset* dataset, Mode mode,
+                 SharedAggregateCache* shared_cache = nullptr);
 
   /// Committed drill depth of a hierarchy (0 = not drilled yet).
   int depth(int hierarchy) const { return committed_depth_[hierarchy]; }
@@ -63,9 +75,10 @@ class DrillDownState {
   /// Builds every (hierarchy, depth) entry of `keys` missing from the cache,
   /// fanning the builds out across `pool` (nullptr = build inline). The
   /// builds themselves run concurrently; all cache bookkeeping happens on
-  /// the calling thread, so after Prefetch returns, Get() for these keys is
-  /// a pure read and safe to call from many threads at once. Returns the
-  /// build seconds per key actually built (cache hits are absent).
+  /// the calling thread (shared-cache inserts take its internal lock), so
+  /// after Prefetch returns, Get() for these keys is a pure read and safe to
+  /// call from many threads at once. Returns the build seconds per key
+  /// actually built (cache hits are absent).
   std::map<std::pair<int, int>, double> Prefetch(
       const std::vector<std::pair<int, int>>& keys, ThreadPool* pool);
 
@@ -81,15 +94,27 @@ class DrillDownState {
   /// BeginInvocation — the per-area quantity of Figure 9.
   double InvocationBuildSeconds(int hierarchy) const;
 
-  /// Number of aggregate builds since construction or ResetStats.
+  /// Number of aggregate builds THIS session performed since construction or
+  /// ResetStats. A session warmed by the shared cache performs zero builds —
+  /// the cross-session sharing assertion of the registry tests.
   int64_t total_builds() const { return total_builds_; }
   void ResetStats();
 
+  /// The shared cache consulted by this state, or nullptr when private.
+  const SharedAggregateCache* shared_cache() const { return SharedCache(); }
+
  private:
+  /// The shared cache, or nullptr when this state runs on its private map
+  /// (no cache handed in, or an evicting policy).
+  SharedAggregateCache* SharedCache() const {
+    return mode_ == Mode::kCacheDynamic ? shared_cache_ : nullptr;
+  }
+
   const Dataset* dataset_;
   Mode mode_;
+  SharedAggregateCache* shared_cache_;  // borrowed; may be nullptr
   std::vector<int> committed_depth_;
-  std::map<std::pair<int, int>, HierarchyAggregates> cache_;  // (hierarchy, depth)
+  std::map<std::pair<int, int>, HierarchyAggregates> cache_;  // private fallback
   std::vector<double> invocation_build_seconds_;
   int64_t total_builds_ = 0;
 

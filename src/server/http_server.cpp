@@ -32,6 +32,8 @@ const char* HttpReasonPhrase(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 201:
+      return "Created";
     case 400:
       return "Bad Request";
     case 404:

@@ -24,6 +24,20 @@
 //   --engine-threads N    per-call engine fan-out (default 0 = hardware)
 //   --top-k N             groups returned per candidate (default 5)
 //   --max-body-bytes N    request body cap (default 8 MiB)
+//   --session-ttl N       evict per-client sessions idle > N seconds
+//                         (default 0 = never; default sessions are exempt)
+//   --dataset-root DIR    allow POST /v1/datasets {"path": ...} server-side
+//                         loads, confined to DIR (default: disabled — inline
+//                         "csv" uploads are always available)
+//   --max-sessions N      cap on live per-client sessions (default 1024,
+//                         0 = unlimited; exceeding it is HTTP 409)
+//   --max-datasets N      cap on registered datasets (default 64, same deal)
+//
+// Datasets loaded at startup (--demo / --csv) are registered in the shared
+// DatasetRegistry with a default session each (the deprecated
+// {"dataset": name} alias target); clients may upload more datasets via
+// POST /v1/datasets and open isolated per-client sessions via
+// POST /v1/sessions at runtime.
 //
 // On SIGINT/SIGTERM the server stops accepting, finishes in-flight
 // requests, and exits 0 — scripts/check.sh's smoke stage asserts that.
@@ -92,6 +106,10 @@ struct Args {
   int http_threads = 4;
   int engine_threads = 0;
   int top_k = 5;
+  int session_ttl = 0;
+  std::string dataset_root;
+  long max_sessions = 1024;
+  long max_datasets = 64;
   size_t max_body_bytes = 8 * 1024 * 1024;
 };
 
@@ -100,7 +118,8 @@ struct Args {
                "usage: %s (--demo | --csv PATH --dimensions a,b --measures x "
                "--hierarchy name=a,b [...]) [--name N] [--commit H]... "
                "[--port P] [--http-threads N] [--engine-threads N] [--top-k K] "
-               "[--max-body-bytes N] [--separator C]\n",
+               "[--session-ttl S] [--dataset-root DIR] [--max-sessions N] "
+               "[--max-datasets N] [--max-body-bytes N] [--separator C]\n",
                argv0);
   std::exit(2);
 }
@@ -163,6 +182,14 @@ Args ParseArgs(int argc, char** argv) {
       args.engine_threads = std::atoi(value_of(i).c_str());
     } else if (flag == "--top-k") {
       args.top_k = std::atoi(value_of(i).c_str());
+    } else if (flag == "--session-ttl") {
+      args.session_ttl = std::atoi(value_of(i).c_str());
+    } else if (flag == "--dataset-root") {
+      args.dataset_root = value_of(i);
+    } else if (flag == "--max-sessions") {
+      args.max_sessions = std::atol(value_of(i).c_str());
+    } else if (flag == "--max-datasets") {
+      args.max_datasets = std::atol(value_of(i).c_str());
     } else if (flag == "--max-body-bytes") {
       args.max_body_bytes = static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
     } else {
@@ -177,55 +204,45 @@ Args ParseArgs(int argc, char** argv) {
 int Main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
 
-  ExploreRequest options;
-  options.TopK(args.top_k).Threads(args.engine_threads);
+  ServiceOptions service_options;
+  service_options.session_defaults.TopK(args.top_k).Threads(args.engine_threads);
+  service_options.session_ttl_seconds = args.session_ttl;
+  service_options.dataset_path_root = args.dataset_root;
+  service_options.max_sessions = args.max_sessions;
+  service_options.max_datasets = args.max_datasets;
 
-  ReptileService service;
+  ReptileService service(service_options);
   if (args.demo) {
-    Result<Session> session = Session::Create(MakeDemoPanel(), options);
-    if (!session.ok()) {
-      std::fprintf(stderr, "demo session failed: %s\n", session.status().ToString().c_str());
-      return 1;
-    }
-    Status committed = session->Commit("time");
-    if (!committed.ok()) {
-      std::fprintf(stderr, "demo commit failed: %s\n", committed.ToString().c_str());
-      return 1;
-    }
     // --name applies to the CSV dataset when both are served; a lone --demo
     // honors --name, defaulting to "demo".
     std::string name = args.csv.empty() ? (args.name == "default" ? "demo" : args.name)
                                         : "demo";
-    Status added = service.AddSession(name, std::move(session).value());
+    Status added = service.AddDataset(name, MakeDemoPanel(), {"time"});
     if (!added.ok()) {
-      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      std::fprintf(stderr, "demo dataset failed: %s\n", added.ToString().c_str());
       return 1;
     }
     std::printf("loaded dataset '%s' (demo panel, hierarchy 'time' committed)\n",
                 name.c_str());
   }
   if (!args.csv.empty()) {
-    CsvDatasetRequest request;
-    request.path = args.csv;
-    request.csv.dimension_columns = args.dimensions;
-    request.csv.measure_columns = args.measures;
-    request.csv.separator = args.separator;
-    request.hierarchies = args.hierarchies;
-    Result<Session> session = Session::FromCsv(request, options);
-    if (!session.ok()) {
+    CsvSpec spec;
+    spec.dimension_columns = args.dimensions;
+    spec.measure_columns = args.measures;
+    spec.separator = args.separator;
+    Result<Table> table = LoadCsv(args.csv, spec);
+    if (!table.ok()) {
       std::fprintf(stderr, "loading %s failed: %s\n", args.csv.c_str(),
-                   session.status().ToString().c_str());
+                   table.status().ToString().c_str());
       return 1;
     }
-    for (const std::string& hierarchy : args.commits) {
-      Status committed = session->Commit(hierarchy);
-      if (!committed.ok()) {
-        std::fprintf(stderr, "--commit %s failed: %s\n", hierarchy.c_str(),
-                     committed.ToString().c_str());
-        return 1;
-      }
+    Result<Dataset> dataset = Dataset::Make(std::move(table).value(), args.hierarchies);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "loading %s failed: %s\n", args.csv.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
     }
-    Status added = service.AddSession(args.name, std::move(session).value());
+    Status added = service.AddDataset(args.name, std::move(dataset).value(), args.commits);
     if (!added.ok()) {
       std::fprintf(stderr, "%s\n", added.ToString().c_str());
       return 1;

@@ -1,9 +1,12 @@
 #include "server/service.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <initializer_list>
 #include <string_view>
 #include <utility>
 
+#include "data/csv.h"
 #include "server/json.h"
 
 namespace reptile {
@@ -75,6 +78,29 @@ Result<bool> BoolField(const JsonValue& object, const std::string& context,
   return value->bool_value();
 }
 
+Result<std::vector<std::string>> StringListField(const JsonValue& object,
+                                                 const std::string& context,
+                                                 const std::string& key, bool required) {
+  std::vector<std::string> out;
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) {
+    if (required) {
+      return Status::InvalidArgument(context + " is missing required field \"" + key + "\"");
+    }
+    return out;
+  }
+  if (!value->is_array()) return WrongType(context + "." + key, "an array", *value);
+  const std::vector<JsonValue>& items = value->array_items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].is_string()) {
+      return WrongType(context + "." + key + "[" + std::to_string(i) + "]", "a string",
+                       items[i]);
+    }
+    out.push_back(items[i].string_value());
+  }
+  return out;
+}
+
 Result<std::vector<NamedPredicate>> ParseWhere(const JsonValue& object,
                                                const std::string& context) {
   std::vector<NamedPredicate> where;
@@ -117,6 +143,28 @@ Result<ComplaintSpec> ParseComplaintSpec(const JsonValue& value, const std::stri
   if (!where.ok()) return where.status();
   spec.where = std::move(*where);
   return spec;
+}
+
+/// A {"hierarchy name": depth} object (session restore).
+Result<std::map<std::string, int>> ParseCommittedMap(const JsonValue& body,
+                                                     const std::string& context) {
+  std::map<std::string, int> committed;
+  const JsonValue* value = body.Find("committed");
+  if (value == nullptr) return committed;
+  if (!value->is_object()) return WrongType(context + ".committed", "an object", *value);
+  for (const auto& [name, depth] : value->object_items()) {
+    // Same validation and messages as IntField, on the value already in hand
+    // (an IntField call would linearly re-find each key).
+    if (!depth.IsInteger()) {
+      return WrongType(context + ".committed." + name, "an integer", depth);
+    }
+    int64_t n = depth.IntValue();
+    if (n < -2147483648LL || n > 2147483647LL) {
+      return Status::InvalidArgument(context + ".committed." + name + " is out of range");
+    }
+    committed[name] = static_cast<int>(n);
+  }
+  return committed;
 }
 
 /// The wire-level per-call options: the api BatchOptions plus the one
@@ -185,14 +233,178 @@ HttpResponse MethodNotAllowed(const std::string& allow) {
 
 }  // namespace
 
-ReptileService::ReptileService(ServiceOptions options) : options_(options) {}
+ReptileService::ReptileService(ServiceOptions options)
+    : ReptileService(std::make_shared<DatasetRegistry>(), std::move(options)) {}
 
-Status ReptileService::AddSession(std::string name, Session session) {
-  if (name.empty()) return Status::InvalidArgument("dataset name must be non-empty");
-  if (sessions_.find(name) != sessions_.end()) {
-    return Status::InvalidArgument("dataset '" + name + "' is already registered");
+ReptileService::ReptileService(std::shared_ptr<DatasetRegistry> registry,
+                               ServiceOptions options)
+    : options_(std::move(options)), registry_(std::move(registry)) {}
+
+int64_t ReptileService::NowNs() const {
+  std::chrono::steady_clock::time_point now =
+      options_.clock != nullptr ? options_.clock() : std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch())
+      .count();
+}
+
+void ReptileService::EvictIdleSessions() {
+  if (options_.session_ttl_seconds <= 0) return;
+  const int64_t ttl_ns = static_cast<int64_t>(options_.session_ttl_seconds) * 1000000000LL;
+  const int64_t now = NowNs();
+  // Throttle: expiry has ttl-granularity anyway, so sweeping more than a few
+  // times per TTL buys nothing — without this, every lookup on a busy server
+  // would pay an O(sessions) scan.
+  int64_t last_sweep = last_sweep_ns_.load(std::memory_order_relaxed);
+  if (now - last_sweep < ttl_ns / 8 ||
+      !last_sweep_ns_.compare_exchange_strong(last_sweep, now,
+                                              std::memory_order_relaxed)) {
+    return;
   }
-  sessions_.emplace(std::move(name), std::make_unique<Entry>(std::move(session)));
+  {
+    // Cheap shared-lock scan first: the common case is nothing to evict, and
+    // lookups should not pay for an exclusive lock then.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    bool any_expired = false;
+    for (const auto& [id, entry] : sessions_) {
+      if (!entry->is_default &&
+          now - entry->last_used_ns.load(std::memory_order_relaxed) > ttl_ns) {
+        any_expired = true;
+        break;
+      }
+    }
+    if (!any_expired) return;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    SessionEntry& entry = *it->second;
+    if (!entry.is_default &&
+        now - entry.last_used_ns.load(std::memory_order_relaxed) > ttl_ns) {
+      // An in-flight request holds its own shared_ptr; the entry dies when
+      // the last holder drops it.
+      sessions_evicted_.fetch_add(1);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status ReptileService::AddDataset(std::string name, Dataset dataset,
+                                  const std::vector<std::string>& commits) {
+  // Validate EVERYTHING — prepare, default session, commits — before the
+  // dataset becomes visible anywhere. Publishing first and rolling back on
+  // failure would let a concurrent client bind a session to a dataset whose
+  // registration is about to be undone.
+  Result<DatasetHandle> handle = PreparedDataset::Prepare(std::move(dataset));
+  if (!handle.ok()) return handle.status();
+  Result<Session> session = Session::Open(*handle, options_.session_defaults);
+  if (!session.ok()) return session.status();
+  for (const std::string& hierarchy : commits) {
+    REPTILE_RETURN_IF_ERROR(session->Commit(hierarchy));
+  }
+  // One critical section for the registry entry AND the default session:
+  // no observer may see the dataset listed but its alias 404ing (or stale).
+  // The registry's lock nests inside mu_ here; registry methods never wait
+  // on mu_, so the order cannot cycle.
+  std::string id = DefaultSessionId(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (options_.max_datasets > 0 && registry_->size() >= options_.max_datasets &&
+      !registry_->Contains(name)) {
+    return Status::FailedPrecondition(
+        "dataset limit reached (" + std::to_string(options_.max_datasets) +
+        "); delete datasets or raise --max-datasets");
+  }
+  Result<DatasetHandle> registered =
+      registry_->AddPrepared(name, std::move(handle).value());
+  if (!registered.ok()) return registered.status();
+  // Assign (not emplace): when a name is re-registered after RemoveDataset
+  // raced with direct registry() use, a stale default session must be
+  // replaced, never silently kept serving the old dataset.
+  sessions_[id] = std::make_shared<SessionEntry>(id, name, /*is_default=*/true,
+                                                 std::move(session).value(), NowNs());
+  return Status::Ok();
+}
+
+Status ReptileService::RemoveDataset(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  REPTILE_RETURN_IF_ERROR(registry_->Remove(name));
+  // Drop every session over the dataset — the default (otherwise it would
+  // serve the alias forever, pinning the dataset: undeletable and
+  // TTL-exempt) and per-client sessions (their ids would dangle). In-flight
+  // requests hold their own EntryPtr and DatasetHandle, so they finish.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->dataset == name) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ReptileService::DefaultSessionId(const std::string& dataset) {
+  return "default:" + dataset;
+}
+
+Result<ReptileService::EntryPtr> ReptileService::CreateSessionEntry(
+    const std::string& dataset, const std::map<std::string, int>& committed,
+    const ExploreRequest* options) {
+  EvictIdleSessions();
+  Result<DatasetHandle> handle = registry_->Find(dataset);
+  if (!handle.ok()) return handle.status();
+  Result<Session> session =
+      Session::Open(*handle, options != nullptr ? *options : options_.session_defaults);
+  if (!session.ok()) return session.status();
+  Status restored = session->RestoreCommitted(committed);
+  if (!restored.ok()) return restored;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check under the lock, by HANDLE IDENTITY not name: RemoveDataset
+  // sweeps sessions_ while holding mu_, so a dataset deleted (or deleted and
+  // re-registered under the same name with different data) between the Find
+  // above and here must not gain a session the sweep never saw — it would
+  // serve the old dataset while the listing describes the new one.
+  Result<DatasetHandle> current = registry_->Find(dataset);
+  if (!current.ok() || current->get() != handle->get()) {
+    return Status::NotFound("no dataset named '" + dataset + "' is loaded on this server");
+  }
+  if (options_.max_sessions > 0) {
+    int64_t client_sessions = 0;
+    for (const auto& [existing_id, entry] : sessions_) {
+      if (!entry->is_default) ++client_sessions;
+    }
+    if (client_sessions >= options_.max_sessions) {
+      return Status::FailedPrecondition(
+          "session limit reached (" + std::to_string(options_.max_sessions) +
+          "); delete idle sessions or raise --max-sessions");
+    }
+  }
+  std::string id = "s-" + std::to_string(next_session_++);
+  EntryPtr entry = std::make_shared<SessionEntry>(id, dataset, /*is_default=*/false,
+                                                  std::move(session).value(), NowNs());
+  sessions_.emplace(std::move(id), entry);
+  return entry;
+}
+
+Result<std::string> ReptileService::CreateSession(const std::string& dataset,
+                                                  const std::map<std::string, int>& committed,
+                                                  const ExploreRequest* options) {
+  Result<EntryPtr> entry = CreateSessionEntry(dataset, committed, options);
+  if (!entry.ok()) return entry.status();
+  return (*entry)->id;
+}
+
+Status ReptileService::DeleteSession(const std::string& id) {
+  EvictIdleSessions();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session with id '" + id + "'");
+  }
+  if (it->second->is_default) {
+    return Status::InvalidArgument("session '" + id +
+                                   "' is the dataset's default session and cannot be deleted");
+  }
+  sessions_.erase(it);
   return Status::Ok();
 }
 
@@ -222,19 +434,77 @@ HttpResponse ReptileService::ErrorResponse(const Status& status) {
   return HttpResponse::Json(http, std::move(body));
 }
 
-std::vector<std::string> ReptileService::dataset_names() const {
-  std::vector<std::string> names;
-  names.reserve(sessions_.size());
-  for (const auto& [name, entry] : sessions_) names.push_back(name);
-  return names;
+std::vector<std::string> ReptileService::dataset_names() const { return registry_->names(); }
+
+std::vector<std::string> ReptileService::session_ids() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) ids.push_back(id);
+  return ids;
 }
 
-Result<ReptileService::Entry*> ReptileService::FindDataset(const std::string& name) {
-  auto it = sessions_.find(name);
+Result<ReptileService::EntryPtr> ReptileService::FindSession(const std::string& id) {
+  EvictIdleSessions();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sessions_.find(id);
   if (it == sessions_.end()) {
-    return Status::NotFound("no dataset named '" + name + "' is loaded on this server");
+    return Status::NotFound("no session with id '" + id + "'");
   }
-  return it->second.get();
+  it->second->last_used_ns.store(NowNs(), std::memory_order_relaxed);
+  return it->second;
+}
+
+Result<ReptileService::EntryPtr> ReptileService::FindDefaultSession(
+    const std::string& dataset) {
+  EvictIdleSessions();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sessions_.find(DefaultSessionId(dataset));
+  if (it == sessions_.end() || !it->second->is_default || it->second->dataset != dataset) {
+    return Status::NotFound("no dataset named '" + dataset + "' is loaded on this server");
+  }
+  it->second->last_used_ns.store(NowNs(), std::memory_order_relaxed);
+  return it->second;
+}
+
+Result<ReptileService::EntryPtr> ReptileService::ResolveTarget(const JsonValue& body) {
+  const JsonValue* session = body.Find("session");
+  const JsonValue* dataset = body.Find("dataset");
+  if (session != nullptr && dataset != nullptr) {
+    return Status::InvalidArgument(
+        "request body must address exactly one of \"session\" or \"dataset\", not both");
+  }
+  if (session == nullptr && dataset == nullptr) {
+    return Status::InvalidArgument(
+        "request body is missing required field \"session\" (or the deprecated "
+        "\"dataset\")");
+  }
+  if (session != nullptr) {
+    if (!session->is_string()) return WrongType("session", "a string", *session);
+    return FindSession(session->string_value());
+  }
+  if (!dataset->is_string()) return WrongType("dataset", "a string", *dataset);
+  return FindDefaultSession(dataset->string_value());
+}
+
+std::string ReptileService::SessionSnapshotJson(SessionEntry& entry) {
+  std::map<std::string, int> committed;
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    committed = entry.session.CommittedDepths();
+  }
+  std::string out = "{\"session\":" + JsonQuote(entry.id) +
+                    ",\"dataset\":" + JsonQuote(entry.dataset) +
+                    ",\"default\":" + (entry.is_default ? "true" : "false") +
+                    ",\"committed\":{";
+  bool first = true;
+  for (const auto& [name, depth] : committed) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(name) + ":" + std::to_string(depth);
+  }
+  out += "}}";
+  return out;
 }
 
 HttpResponse ReptileService::Handle(const HttpRequest& request) {
@@ -244,8 +514,29 @@ HttpResponse ReptileService::Handle(const HttpRequest& request) {
     return HandleHealthz();
   }
   if (path == "/v1/datasets") {
-    if (request.method != "GET") return MethodNotAllowed("GET");
-    return HandleDatasets();
+    if (request.method == "GET") return HandleDatasetList();
+    if (request.method == "POST") return HandleDatasetCreate(request.body);
+    return MethodNotAllowed("GET, POST");
+  }
+  if (path == "/v1/sessions") {
+    if (request.method == "GET") return HandleSessionList();
+    if (request.method == "POST") return HandleSessionCreate(request.body);
+    return MethodNotAllowed("GET, POST");
+  }
+  constexpr std::string_view kDatasetPrefix = "/v1/datasets/";
+  if (path.size() > kDatasetPrefix.size() &&
+      std::string_view(path).substr(0, kDatasetPrefix.size()) == kDatasetPrefix) {
+    std::string name = path.substr(kDatasetPrefix.size());
+    if (request.method == "DELETE") return HandleDatasetDelete(name);
+    return MethodNotAllowed("DELETE");
+  }
+  constexpr std::string_view kSessionPrefix = "/v1/sessions/";
+  if (path.size() > kSessionPrefix.size() &&
+      std::string_view(path).substr(0, kSessionPrefix.size()) == kSessionPrefix) {
+    std::string id = path.substr(kSessionPrefix.size());
+    if (request.method == "GET") return HandleSessionGet(id);
+    if (request.method == "DELETE") return HandleSessionDelete(id);
+    return MethodNotAllowed("GET, DELETE");
   }
   if (path == "/v1/recommend" || path == "/v1/recommend_batch") {
     if (request.method != "POST") return MethodNotAllowed("POST");
@@ -267,17 +558,40 @@ HttpResponse ReptileService::Handle(const HttpRequest& request) {
 }
 
 HttpResponse ReptileService::HandleHealthz() {
+  size_t sessions;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    sessions = sessions_.size();
+  }
   return HttpResponse::Json(
-      200, "{\"status\":\"ok\",\"datasets\":" + std::to_string(sessions_.size()) + "}");
+      200, "{\"status\":\"ok\",\"datasets\":" + std::to_string(registry_->size()) +
+               ",\"sessions\":" + std::to_string(sessions) + "}");
 }
 
-HttpResponse ReptileService::HandleDatasets() {
+HttpResponse ReptileService::HandleDatasetList() {
   JsonValue root = JsonValue::Object();
   JsonValue datasets = JsonValue::Array();
-  for (auto& [name, entry] : sessions_) {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    const Dataset& dataset = entry->session.dataset();
+  for (const std::string& name : registry_->names()) {
+    Result<DatasetHandle> handle = registry_->Find(name);
+    if (!handle.ok()) continue;  // removed between names() and Find()
+    const Dataset& dataset = (*handle)->data();
     const Table& table = dataset.table();
+
+    // Drill state comes from the dataset's default session (absent only when
+    // the dataset was added to a shared registry behind this service's back).
+    std::map<std::string, int> committed;
+    bool have_session = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto entry_it = sessions_.find(DefaultSessionId(name));
+      if (entry_it != sessions_.end() && entry_it->second->is_default) {
+        EntryPtr entry = entry_it->second;
+        lock.unlock();
+        std::lock_guard<std::mutex> session_lock(entry->mu);
+        committed = entry->session.CommittedDepths();
+        have_session = true;
+      }
+    }
 
     JsonValue item = JsonValue::Object();
     item.mutable_object_items().emplace_back("name", JsonValue::String(name));
@@ -307,12 +621,12 @@ HttpResponse ReptileService::HandleDatasets() {
       hierarchy.mutable_object_items().emplace_back("attributes", std::move(attributes));
       hierarchy.mutable_object_items().emplace_back("depth",
                                                     JsonValue::Number(schema.depth()));
-      Result<int> drill_depth = entry->session.DrillDepth(schema.name);
+      auto depth_it = committed.find(schema.name);
+      int drill_depth = have_session && depth_it != committed.end() ? depth_it->second : -1;
+      hierarchy.mutable_object_items().emplace_back("drill_depth",
+                                                    JsonValue::Number(drill_depth));
       hierarchy.mutable_object_items().emplace_back(
-          "drill_depth", JsonValue::Number(drill_depth.ok() ? *drill_depth : -1));
-      Result<bool> can_drill = entry->session.CanDrill(schema.name);
-      hierarchy.mutable_object_items().emplace_back(
-          "can_drill", JsonValue::Bool(can_drill.ok() && *can_drill));
+          "can_drill", JsonValue::Bool(drill_depth >= 0 && drill_depth < schema.depth()));
       hierarchies.mutable_array_items().push_back(std::move(hierarchy));
     }
     item.mutable_object_items().emplace_back("hierarchies", std::move(hierarchies));
@@ -320,6 +634,209 @@ HttpResponse ReptileService::HandleDatasets() {
   }
   root.mutable_object_items().emplace_back("datasets", std::move(datasets));
   return HttpResponse::Json(200, WriteJson(root));
+}
+
+HttpResponse ReptileService::HandleDatasetCreate(const std::string& body) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  Status known = CheckKnownKeys(
+      *parsed, "request body",
+      {"name", "csv", "path", "dimensions", "measures", "hierarchies", "separator",
+       "commits"});
+  if (!known.ok()) return ErrorResponse(known);
+
+  Result<std::string> name = StringField(*parsed, "request body", "name", true);
+  if (!name.ok()) return ErrorResponse(name.status());
+
+  const JsonValue* inline_csv = parsed->Find("csv");
+  const JsonValue* path = parsed->Find("path");
+  if ((inline_csv == nullptr) == (path == nullptr)) {
+    return ErrorResponse(Status::InvalidArgument(
+        "request body needs exactly one of \"csv\" (inline upload) or \"path\" "
+        "(server-side file)"));
+  }
+
+  CsvSpec spec;
+  Result<std::vector<std::string>> dimensions =
+      StringListField(*parsed, "request body", "dimensions", true);
+  if (!dimensions.ok()) return ErrorResponse(dimensions.status());
+  spec.dimension_columns = std::move(*dimensions);
+  Result<std::vector<std::string>> measures =
+      StringListField(*parsed, "request body", "measures", false);
+  if (!measures.ok()) return ErrorResponse(measures.status());
+  spec.measure_columns = std::move(*measures);
+  Result<std::string> separator = StringField(*parsed, "request body", "separator", false, ",");
+  if (!separator.ok()) return ErrorResponse(separator.status());
+  if (separator->size() != 1) {
+    return ErrorResponse(
+        Status::InvalidArgument("separator must be a single character, got \"" + *separator +
+                                "\""));
+  }
+  spec.separator = (*separator)[0];
+
+  std::vector<HierarchySchema> hierarchies;
+  const JsonValue* hierarchy_list = parsed->Find("hierarchies");
+  if (hierarchy_list == nullptr) {
+    return ErrorResponse(
+        Status::InvalidArgument("request body is missing required field \"hierarchies\""));
+  }
+  if (!hierarchy_list->is_array()) {
+    return ErrorResponse(WrongType("hierarchies", "an array", *hierarchy_list));
+  }
+  const std::vector<JsonValue>& items = hierarchy_list->array_items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::string context = "hierarchies[" + std::to_string(i) + "]";
+    if (!items[i].is_object()) return ErrorResponse(WrongType(context, "an object", items[i]));
+    Status keys = CheckKnownKeys(items[i], context, {"name", "attributes"});
+    if (!keys.ok()) return ErrorResponse(keys);
+    Result<std::string> hierarchy_name = StringField(items[i], context, "name", true);
+    if (!hierarchy_name.ok()) return ErrorResponse(hierarchy_name.status());
+    Result<std::vector<std::string>> attributes =
+        StringListField(items[i], context, "attributes", true);
+    if (!attributes.ok()) return ErrorResponse(attributes.status());
+    hierarchies.push_back(
+        HierarchySchema{std::move(*hierarchy_name), std::move(*attributes)});
+  }
+
+  Result<std::vector<std::string>> commits =
+      StringListField(*parsed, "request body", "commits", false);
+  if (!commits.ok()) return ErrorResponse(commits.status());
+
+  Result<Table> table = [&]() -> Result<Table> {
+    if (inline_csv != nullptr) {
+      if (!inline_csv->is_string()) return WrongType("csv", "a string", *inline_csv);
+      return LoadCsvText(inline_csv->string_value(), spec);
+    }
+    if (!path->is_string()) return WrongType("path", "a string", *path);
+    // Server-side file loads must be confined: without a configured root, an
+    // unauthenticated client could read any file the server process can
+    // (parse errors echo file contents byte-for-byte).
+    if (options_.dataset_path_root.empty()) {
+      return Status::InvalidArgument(
+          "server-side \"path\" loading is disabled on this server (no dataset "
+          "root configured); upload the data inline via \"csv\"");
+    }
+    const std::string& relative = path->string_value();
+    if (relative.empty() || relative.front() == '/') {
+      return Status::InvalidArgument(
+          "\"path\" must be relative to the server's dataset root");
+    }
+    for (size_t pos = 0; pos < relative.size();) {
+      size_t end = relative.find('/', pos);
+      if (end == std::string::npos) end = relative.size();
+      if (relative.substr(pos, end - pos) == "..") {
+        return Status::InvalidArgument("\"path\" must not contain \"..\" components");
+      }
+      pos = end + 1;
+    }
+    // Lexical checks are not enough: a symlink under the root can point
+    // anywhere, re-opening the arbitrary-file-read the root exists to close.
+    // Canonicalize both sides and require the resolved file to stay under
+    // the resolved root.
+    std::error_code ec;
+    std::filesystem::path root =
+        std::filesystem::weakly_canonical(options_.dataset_path_root, ec);
+    if (ec) {
+      return Status::IoError("the server's dataset root is not accessible");
+    }
+    std::filesystem::path resolved = std::filesystem::weakly_canonical(root / relative, ec);
+    if (ec) resolved = root / relative;  // nonexistent tail; LoadCsv reports it
+    auto mismatch = std::mismatch(root.begin(), root.end(), resolved.begin(), resolved.end());
+    if (mismatch.first != root.end()) {
+      return Status::InvalidArgument("\"path\" escapes the server's dataset root");
+    }
+    return LoadCsv(resolved.string(), spec);
+  }();
+  if (!table.ok()) return ErrorResponse(table.status());
+  size_t rows = table->num_rows();
+
+  Result<Dataset> dataset = Dataset::Make(std::move(table).value(), std::move(hierarchies));
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+
+  Status added = AddDataset(*name, std::move(dataset).value(), *commits);
+  if (!added.ok()) return ErrorResponse(added);
+
+  std::string response = "{\"dataset\":" + JsonQuote(*name) +
+                         ",\"rows\":" + std::to_string(rows) +
+                         ",\"session\":" + JsonQuote(DefaultSessionId(*name)) + "}";
+  return HttpResponse::Json(201, std::move(response));
+}
+
+HttpResponse ReptileService::HandleDatasetDelete(const std::string& name) {
+  Status removed = RemoveDataset(name);
+  if (!removed.ok()) return ErrorResponse(removed);
+  return HttpResponse::Json(200, "{\"deleted\":" + JsonQuote(name) + "}");
+}
+
+HttpResponse ReptileService::HandleSessionList() {
+  EvictIdleSessions();
+  std::vector<EntryPtr> entries;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    entries.reserve(sessions_.size());
+    for (const auto& [id, entry] : sessions_) entries.push_back(entry);
+  }
+  std::string body = "{\"sessions\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) body += ',';
+    body += SessionSnapshotJson(*entries[i]);
+  }
+  body += "]}";
+  return HttpResponse::Json(200, std::move(body));
+}
+
+HttpResponse ReptileService::HandleSessionCreate(const std::string& body) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  Status known =
+      CheckKnownKeys(*parsed, "request body", {"dataset", "committed", "options"});
+  if (!known.ok()) return ErrorResponse(known);
+  Result<std::string> dataset = StringField(*parsed, "request body", "dataset", true);
+  if (!dataset.ok()) return ErrorResponse(dataset.status());
+  Result<std::map<std::string, int>> committed = ParseCommittedMap(*parsed, "request body");
+  if (!committed.ok()) return ErrorResponse(committed.status());
+
+  ExploreRequest session_options = options_.session_defaults;
+  if (const JsonValue* options = parsed->Find("options")) {
+    const std::string context = "options";
+    if (!options->is_object()) {
+      return ErrorResponse(WrongType(context, "an object", *options));
+    }
+    Status option_keys = CheckKnownKeys(*options, context, {"top_k", "threads"});
+    if (!option_keys.ok()) return ErrorResponse(option_keys);
+    if (options->Find("top_k") != nullptr) {
+      Result<int> top_k = IntField(*options, context, "top_k", 0);
+      if (!top_k.ok()) return ErrorResponse(top_k.status());
+      session_options.TopK(*top_k);
+    }
+    if (options->Find("threads") != nullptr) {
+      Result<int> threads = IntField(*options, context, "threads", 0);
+      if (!threads.ok()) return ErrorResponse(threads.status());
+      session_options.Threads(*threads);
+    }
+  }
+
+  Result<EntryPtr> entry = CreateSessionEntry(*dataset, *committed, &session_options);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+  return HttpResponse::Json(201, SessionSnapshotJson(**entry));
+}
+
+HttpResponse ReptileService::HandleSessionGet(const std::string& id) {
+  Result<EntryPtr> entry = FindSession(id);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+  return HttpResponse::Json(200, SessionSnapshotJson(**entry));
+}
+
+HttpResponse ReptileService::HandleSessionDelete(const std::string& id) {
+  Status deleted = DeleteSession(id);
+  if (!deleted.ok()) return ErrorResponse(deleted);
+  return HttpResponse::Json(200, "{\"deleted\":" + JsonQuote(id) + "}");
 }
 
 HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch) {
@@ -330,12 +847,11 @@ HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch
   }
   const char* complaint_key = batch ? "complaints" : "complaint";
   Status known = CheckKnownKeys(*parsed, "request body",
-                                {"dataset", std::string_view(complaint_key), "options"});
+                                {"session", "dataset", std::string_view(complaint_key),
+                                 "options"});
   if (!known.ok()) return ErrorResponse(known);
 
-  Result<std::string> dataset = StringField(*parsed, "request body", "dataset", true);
-  if (!dataset.ok()) return ErrorResponse(dataset.status());
-  Result<Entry*> entry = FindDataset(*dataset);
+  Result<EntryPtr> entry = ResolveTarget(*parsed);
   if (!entry.ok()) return ErrorResponse(entry.status());
 
   std::vector<ComplaintSpec> complaints;
@@ -398,13 +914,11 @@ HttpResponse ReptileService::HandleView(const std::string& body) {
   if (!parsed->is_object()) {
     return ErrorResponse(WrongType("request body", "an object", *parsed));
   }
-  Status known =
-      CheckKnownKeys(*parsed, "request body", {"dataset", "group_by", "measure", "where"});
+  Status known = CheckKnownKeys(*parsed, "request body",
+                                {"session", "dataset", "group_by", "measure", "where"});
   if (!known.ok()) return ErrorResponse(known);
 
-  Result<std::string> dataset = StringField(*parsed, "request body", "dataset", true);
-  if (!dataset.ok()) return ErrorResponse(dataset.status());
-  Result<Entry*> entry = FindDataset(*dataset);
+  Result<EntryPtr> entry = ResolveTarget(*parsed);
   if (!entry.ok()) return ErrorResponse(entry.status());
 
   ViewRequest view;
@@ -445,14 +959,13 @@ HttpResponse ReptileService::HandleCommit(const std::string& body) {
   if (!parsed->is_object()) {
     return ErrorResponse(WrongType("request body", "an object", *parsed));
   }
-  Status known = CheckKnownKeys(*parsed, "request body", {"dataset", "hierarchy"});
+  Status known =
+      CheckKnownKeys(*parsed, "request body", {"session", "dataset", "hierarchy"});
   if (!known.ok()) return ErrorResponse(known);
 
-  Result<std::string> dataset = StringField(*parsed, "request body", "dataset", true);
-  if (!dataset.ok()) return ErrorResponse(dataset.status());
   Result<std::string> hierarchy = StringField(*parsed, "request body", "hierarchy", true);
   if (!hierarchy.ok()) return ErrorResponse(hierarchy.status());
-  Result<Entry*> entry = FindDataset(*dataset);
+  Result<EntryPtr> entry = ResolveTarget(*parsed);
   if (!entry.ok()) return ErrorResponse(entry.status());
 
   std::lock_guard<std::mutex> lock((*entry)->mu);

@@ -1,14 +1,45 @@
-// The routing/handler layer of the Reptile server: maps HTTP requests onto
-// named, pre-loaded Sessions and speaks the api/ Status error contract as
-// HTTP status codes.
+// The routing/handler layer of the Reptile server: a shared immutable
+// DatasetRegistry plus a runtime-mutable table of per-client Sessions, with
+// the api/ Status error contract spoken as HTTP status codes.
 //
 // Routes (all bodies are JSON):
-//   GET  /healthz             liveness: {"status":"ok","datasets":N}
-//   GET  /v1/datasets         every session: columns, hierarchies, drill state
-//   POST /v1/recommend        {"dataset","complaint",{"options"}} -> ExploreResponse
-//   POST /v1/recommend_batch  {"dataset","complaints":[...],"options"} -> BatchExploreResponse
-//   POST /v1/view             {"dataset","group_by":[...],"measure","where"} -> ViewResponse
-//   POST /v1/commit           {"dataset","hierarchy"} -> the new drill state
+//   GET    /healthz            liveness: {"status":"ok","datasets":N,"sessions":M}
+//   GET    /v1/datasets        registered datasets: columns, hierarchies, and
+//                              the DEFAULT session's drill state
+//   POST   /v1/datasets        load a dataset into the registry — server-side
+//                              CSV file ("path") or inline upload ("csv"),
+//                              with "dimensions"/"measures"/"hierarchies"
+//                              typing; opens the dataset's default session
+//   DELETE /v1/datasets/{name} drop the dataset and every session over it
+//                              (in-flight requests finish; the prepared
+//                              dataset is freed when the last handle drops)
+//   GET    /v1/sessions        all live sessions (id, dataset, drill state)
+//   POST   /v1/sessions        open a per-client session over a named dataset:
+//                              {"dataset","committed"?,"options"?} -> the
+//                              session snapshot (a "committed" depth map
+//                              restores persisted drill state)
+//   GET    /v1/sessions/{id}   drill-state snapshot (persist / migration)
+//   DELETE /v1/sessions/{id}   close the session
+//   POST   /v1/recommend       {"session"|"dataset","complaint",{"options"}}
+//   POST   /v1/recommend_batch {"session"|"dataset","complaints":[...],"options"}
+//   POST   /v1/view            {"session"|"dataset","group_by":[...],...}
+//   POST   /v1/commit          {"session"|"dataset","hierarchy"}
+//
+// Dataset/session split: every dataset is prepared once (table, hierarchies,
+// f-trees, shared aggregate cache) and all sessions over it — created and
+// destroyed freely at runtime — share that immutable state; a session owns
+// only its drill depths. Two analysts exploring one dataset no longer share
+// drill state (the PR 3 follow-on), yet still share every cached aggregate.
+//
+// Deprecated alias: the PR 3 request form {"dataset": name, ...} routes to
+// the dataset's DEFAULT session (opened when the dataset is registered) and
+// returns byte-identical bodies to the old named-session server, so existing
+// clients keep working unchanged. New clients create their own session and
+// pass {"session": id, ...}.
+//
+// Idle TTL: a non-default session untouched for session_ttl_seconds is
+// evicted on the next session-table access (no background thread; the table
+// is swept opportunistically). Default sessions are never evicted.
 //
 // Success bodies of recommend/recommend_batch/view are the *exact* bytes of
 // the corresponding response ToJson() — the HTTP layer adds nothing — so a
@@ -30,26 +61,38 @@
 // kInvalidArgument naming the field, and malformed JSON is a kParseError
 // carrying the parser's byte offset.
 //
-// Concurrency: Handle() is thread-safe. Sessions are registered before
-// serving starts (AddSession is not synchronized against Handle); each
-// session serializes its calls behind a per-session mutex — a Session is
-// not thread-safe, and parallelism belongs *inside* a call (the engine's
-// worker-pool fan-out), not across calls.
+// Concurrency: Handle() is thread-safe, and — unlike PR 3's
+// register-before-serving contract — so is every mutator: the session table
+// sits behind a shared_mutex (lookups take the shared lock; create / delete
+// / TTL eviction take the exclusive lock), the registry is internally
+// synchronized, and entries are shared_ptr so a session evicted or deleted
+// mid-request finishes its in-flight call safely. Each session serializes
+// its calls behind a per-session mutex — a Session is not thread-safe, and
+// parallelism belongs *inside* a call (the engine's worker-pool fan-out) or
+// across *different* sessions, never across calls into one session.
 
 #ifndef REPTILE_SERVER_SERVICE_H_
 #define REPTILE_SERVER_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
 #include "api/session.h"
 #include "api/status.h"
 #include "server/http_server.h"
 
 namespace reptile {
+
+class JsonValue;  // server/json.h
 
 struct ServiceOptions {
   // Enables POST /v1/_debug/status {"code","message"}, which renders the
@@ -58,15 +101,73 @@ struct ServiceOptions {
   // (kIoError, kInternal) no healthy data route produces. Off by default;
   // never enable on an exposed server.
   bool enable_debug_status_route = false;
+
+  // Idle TTL for non-default sessions, in seconds; 0 = never evict. An
+  // expired session is evicted on the next session-table access (the sweep
+  // is throttled to at most once per ttl/8 so steady-state lookups do not
+  // pay an O(sessions) scan).
+  int session_ttl_seconds = 0;
+
+  // Root directory for POST /v1/datasets {"path": ...} server-side loads.
+  // EMPTY (the default) DISABLES the path form entirely — an unauthenticated
+  // client must not be able to read arbitrary server-side files (CSV parse
+  // errors echo file contents). When set, requests are confined to this
+  // directory: absolute paths and ".." components are rejected. Inline
+  // {"csv": ...} uploads are always available.
+  std::string dataset_path_root;
+
+  // Session options (top_k, threads, model, ...) applied to every session
+  // the service opens: default sessions, POST /v1/sessions (whose per-call
+  // "options" override top_k / threads), and uploaded datasets.
+  ExploreRequest session_defaults;
+
+  // Resource caps — both routes are unauthenticated, so without bounds a
+  // client could grow the session table / registry until the server OOMs.
+  // Exceeding a cap is kFailedPrecondition (HTTP 409). 0 = unlimited.
+  // max_sessions counts per-client sessions only (defaults are one per
+  // dataset, already bounded by max_datasets).
+  int64_t max_sessions = 1024;
+  int64_t max_datasets = 64;
+
+  // Time source for TTL bookkeeping; nullptr = std::chrono::steady_clock.
+  // Injectable so tests drive eviction deterministically.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 class ReptileService {
  public:
   explicit ReptileService(ServiceOptions options = ServiceOptions());
 
-  /// Registers a session under a dataset name. InvalidArgument on an empty
-  /// or duplicate name. Call before serving: not synchronized with Handle().
-  Status AddSession(std::string name, Session session);
+  /// Shares an externally owned registry (e.g. with direct in-process
+  /// sessions, or a second server): datasets added on either side are
+  /// visible to both.
+  ReptileService(std::shared_ptr<DatasetRegistry> registry, ServiceOptions options);
+
+  /// Registers `dataset` under `name` and opens its default session (the
+  /// deprecated {"dataset": name} alias target), committing `commits` in
+  /// order. InvalidArgument on an empty/duplicate name or invalid dataset.
+  /// Thread-safe; callable while serving.
+  Status AddDataset(std::string name, Dataset dataset,
+                    const std::vector<std::string>& commits = {});
+
+  /// Drops the dataset from the registry AND removes every session over it
+  /// (default included) — the only safe way to unload: removing through
+  /// registry() directly would strand the default session serving the
+  /// deprecated alias forever. In-flight requests hold their entry and
+  /// handle, so they finish; the prepared dataset's memory is released when
+  /// the last holder drops. NotFound when the name is not registered.
+  Status RemoveDataset(const std::string& name);
+
+  /// Opens a per-client session over the named dataset, optionally restoring
+  /// a committed-depth map; returns the new session id. Thread-safe. The
+  /// HTTP route POST /v1/sessions lands here.
+  Result<std::string> CreateSession(const std::string& dataset,
+                                    const std::map<std::string, int>& committed = {},
+                                    const ExploreRequest* options = nullptr);
+
+  /// Deletes a non-default session by id. NotFound for unknown ids,
+  /// InvalidArgument for a default session.
+  Status DeleteSession(const std::string& id);
 
   /// Routes one request; never throws. Thread-safe across connections.
   HttpResponse Handle(const HttpRequest& request);
@@ -80,24 +181,89 @@ class ReptileService {
   /// Registered dataset names, sorted.
   std::vector<std::string> dataset_names() const;
 
- private:
-  struct Entry {
-    explicit Entry(Session s) : session(std::move(s)) {}
-    std::mutex mu;  // serializes calls into this session
-    Session session;
-  };
+  /// Live session ids, sorted (default sessions included).
+  std::vector<std::string> session_ids() const;
 
-  Result<Entry*> FindDataset(const std::string& name);
+  /// Sessions evicted by the idle TTL so far.
+  int64_t sessions_evicted() const { return sessions_evicted_.load(); }
+
+  /// The shared dataset registry.
+  DatasetRegistry& registry() { return *registry_; }
+  const DatasetRegistry& registry() const { return *registry_; }
+
+ private:
+  struct SessionEntry {
+    SessionEntry(std::string id, std::string dataset, bool is_default, Session s,
+                 int64_t now_ns)
+        : id(std::move(id)),
+          dataset(std::move(dataset)),
+          is_default(is_default),
+          session(std::move(s)),
+          last_used_ns(now_ns) {}
+
+    const std::string id;
+    const std::string dataset;    // registry name
+    const bool is_default;        // alias target: never evicted, not deletable
+    std::mutex mu;                // serializes calls into this session
+    Session session;
+    std::atomic<int64_t> last_used_ns;  // steady-clock ns; TTL bookkeeping
+  };
+  using EntryPtr = std::shared_ptr<SessionEntry>;
+
+  int64_t NowNs() const;
+
+  /// The single spelling of a dataset's default-session id ("default:NAME");
+  /// minted by AddDataset and echoed by the dataset-upload response.
+  static std::string DefaultSessionId(const std::string& dataset);
+
+  /// Evicts idle non-default sessions (no-op when the TTL is off). Called on
+  /// every session-table access.
+  void EvictIdleSessions();
+
+  Result<EntryPtr> FindSession(const std::string& id);
+  Result<EntryPtr> FindDefaultSession(const std::string& dataset);
+
+  /// CreateSession's body, returning the live entry so the HTTP route never
+  /// has to re-look up (and possibly lose to a racing delete) the session it
+  /// just made.
+  Result<EntryPtr> CreateSessionEntry(const std::string& dataset,
+                                      const std::map<std::string, int>& committed,
+                                      const ExploreRequest* options);
+
+  /// Resolves the request body's session address — exactly one of
+  /// {"session": id} (per-client) or {"dataset": name} (deprecated alias,
+  /// the default session) — and stamps the entry's last-used time.
+  Result<EntryPtr> ResolveTarget(const JsonValue& body);
+
+  /// The session snapshot JSON (id, dataset, default flag, committed depths).
+  std::string SessionSnapshotJson(SessionEntry& entry);
 
   HttpResponse HandleHealthz();
-  HttpResponse HandleDatasets();
+  HttpResponse HandleDatasetList();
+  HttpResponse HandleDatasetCreate(const std::string& body);
+  HttpResponse HandleDatasetDelete(const std::string& name);
+  HttpResponse HandleSessionList();
+  HttpResponse HandleSessionCreate(const std::string& body);
+  HttpResponse HandleSessionGet(const std::string& id);
+  HttpResponse HandleSessionDelete(const std::string& id);
   HttpResponse HandleRecommend(const std::string& body, bool batch);
   HttpResponse HandleView(const std::string& body);
   HttpResponse HandleCommit(const std::string& body);
   HttpResponse HandleDebugStatus(const std::string& body);
 
   ServiceOptions options_;
-  std::map<std::string, std::unique_ptr<Entry>> sessions_;
+  std::shared_ptr<DatasetRegistry> registry_;
+
+  // Guards sessions_ and next_session_. AddDataset/RemoveDataset also hold
+  // it exclusively around their registry mutation so a dataset and its
+  // default session appear and disappear atomically (the registry's own
+  // lock nests inside mu_, never the other way around). Default sessions
+  // are keyed DefaultSessionId(dataset) — no separate dataset->id map.
+  mutable std::shared_mutex mu_;
+  std::map<std::string, EntryPtr> sessions_;  // by session id
+  uint64_t next_session_ = 1;
+  std::atomic<int64_t> sessions_evicted_{0};
+  std::atomic<int64_t> last_sweep_ns_{0};  // throttles EvictIdleSessions
 };
 
 }  // namespace reptile

@@ -303,7 +303,7 @@ TEST(ApiSession, FromCsvReportsPreciseErrors) {
   }
   Result<Session> session = Session::FromCsv(request);
   ASSERT_TRUE(session.ok()) << session.status().ToString();
-  EXPECT_EQ(session->dataset().table().num_rows(), 36u);
+  EXPECT_EQ(session->dataset()->table().num_rows(), 36u);
   std::remove(path.c_str());
 }
 

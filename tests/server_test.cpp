@@ -3,10 +3,16 @@
 // limits, keep-alive, concurrent clients, and — the core guarantee — that
 // HTTP response bodies are byte-identical to direct Session calls.
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json_util.h"
 #include "datagen/panel_gen.h"
 #include "gtest/gtest.h"
 #include "reptile/reptile.h"
@@ -56,9 +62,12 @@ std::vector<ComplaintSpec> PanelComplaints() {
   return complaints;
 }
 
-// The same complaint panel as a recommend_batch request body.
-std::string PanelBatchBody(const std::string& extra_options = std::string()) {
-  std::string body = R"({"dataset":"panel","complaints":[)";
+// The same complaint panel as a recommend_batch request body. `address` is
+// the session-addressing prefix — the deprecated dataset form by default,
+// or e.g. R"("session":"s-1")" for the per-client form.
+std::string PanelBatchBody(const std::string& extra_options = std::string(),
+                           const std::string& address = R"("dataset":"panel")") {
+  std::string body = "{" + address + R"(,"complaints":[)";
   for (int y = 0; y < kYears; ++y) {
     if (y > 0) body += ',';
     body += R"({"aggregate":"std","measure":"severity","where":[{"column":"year","value":"y)" +
@@ -92,20 +101,19 @@ std::string TimelessJson(ExploreResponse response) {
   return response.ToJson();
 }
 
-// One served ReptileService (datasets "panel", "fresh", "exhausted") plus an
-// identically constructed direct Session for byte-equality comparisons.
+// One served ReptileService (datasets "panel", "fresh", "exhausted", each
+// with its default session) plus an identically constructed direct Session
+// for byte-equality comparisons.
 class ServerTest : public ::testing::Test {
  protected:
   ServerTest() : direct_(MakePanelSession()) {
     ServiceOptions service_options;
     service_options.enable_debug_status_route = true;
+    service_options.dataset_path_root = ::testing::TempDir();
     service_ = std::make_unique<ReptileService>(service_options);
-    EXPECT_TRUE(service_->AddSession("panel", MakePanelSession()).ok());
-    EXPECT_TRUE(service_->AddSession("fresh", MakePanelSession(false)).ok());
-    Session exhausted = MakePanelSession();
-    EXPECT_TRUE(exhausted.Commit("geo").ok());
-    EXPECT_TRUE(exhausted.Commit("geo").ok());
-    EXPECT_TRUE(service_->AddSession("exhausted", std::move(exhausted)).ok());
+    EXPECT_TRUE(service_->AddDataset("panel", MakePanel(), {"time"}).ok());
+    EXPECT_TRUE(service_->AddDataset("fresh", MakePanel()).ok());
+    EXPECT_TRUE(service_->AddDataset("exhausted", MakePanel(), {"time", "geo", "geo"}).ok());
 
     HttpServerOptions options;
     options.port = 0;
@@ -143,7 +151,7 @@ TEST_F(ServerTest, Healthz) {
   Result<HttpClientResponse> response = client.Get("/healthz");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status, 200);
-  EXPECT_EQ(response->body, "{\"status\":\"ok\",\"datasets\":3}");
+  EXPECT_EQ(response->body, "{\"status\":\"ok\",\"datasets\":3,\"sessions\":3}");
   ASSERT_NE(response->FindHeader("content-type"), nullptr);
   EXPECT_EQ(*response->FindHeader("content-type"), "application/json");
 }
@@ -471,9 +479,422 @@ TEST_F(ServerTest, ConcurrentClientsGetCorrectResponses) {
   }
 }
 
+// ---- Dataset/session lifecycle routes --------------------------------------
+
+// Extracts "field":"value" from a JSON response body via the parser.
+std::string StringFieldOf(const std::string& body, const std::string& field) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok() || !parsed->is_object()) return std::string();
+  const JsonValue* value = parsed->Find(field);
+  if (value == nullptr || !value->is_string()) return std::string();
+  return value->string_value();
+}
+
+// The acceptance criterion's lifecycle half: upload a dataset inline, open a
+// per-client session restoring committed state, recommend, commit, snapshot,
+// restore the snapshot into a second session (byte-identical recommendations),
+// delete — all over loopback, with the default session's drill state isolated
+// from the per-client session throughout.
+TEST_F(ServerTest, DatasetUploadAndFullSessionLifecycle) {
+  HttpClient client = Client();
+
+  // Upload: a small deterministic region/city/year sales panel, inline.
+  std::string csv = "region,city,year,sales\n";
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      for (int y = 0; y < 3; ++y) {
+        for (int i = 0; i < 2; ++i) {
+          csv += "r" + std::to_string(r) + ",c" + std::to_string(r) + std::to_string(c) +
+                 ",y" + std::to_string(y) + "," +
+                 std::to_string(10 * r + 3 * c + y + 0.25 * i) + "\n";
+        }
+      }
+    }
+  }
+  std::string upload = std::string(R"({"name":"sales","csv":)") + JsonQuote(csv) +
+                       R"(,"dimensions":["region","city","year"],"measures":["sales"],)"
+                       R"("hierarchies":[{"name":"geo","attributes":["region","city"]},)"
+                       R"({"name":"time","attributes":["year"]}],"commits":["time"]})";
+  Result<HttpClientResponse> uploaded = client.Post("/v1/datasets", upload);
+  ASSERT_TRUE(uploaded.ok()) << uploaded.status().ToString();
+  EXPECT_EQ(uploaded->status, 201) << uploaded->body;
+  EXPECT_EQ(uploaded->body,
+            R"({"dataset":"sales","rows":36,"session":"default:sales"})");
+
+  // The registry and the default session are live.
+  Result<HttpClientResponse> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body, "{\"status\":\"ok\",\"datasets\":4,\"sessions\":4}");
+
+  // Create: a per-client session restoring the committed-depth map.
+  Result<HttpClientResponse> created =
+      client.Post("/v1/sessions", R"({"dataset":"sales","committed":{"time":1}})");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->status, 201) << created->body;
+  EXPECT_EQ(created->body,
+            R"({"session":"s-1","dataset":"sales","default":false,"committed":{"geo":0,"time":1}})");
+
+  // Recommend: via the session id.
+  const std::string complaint =
+      R"("complaint":{"aggregate":"mean","measure":"sales",)"
+      R"("where":[{"column":"year","value":"y1"}]},"options":{"zero_timings":true})";
+  Result<HttpClientResponse> recommended =
+      client.Post("/v1/recommend", R"({"session":"s-1",)" + complaint + "}");
+  ASSERT_TRUE(recommended.ok()) << recommended.status().ToString();
+  EXPECT_EQ(recommended->status, 200) << recommended->body;
+  EXPECT_NE(recommended->body.find("\"best_index\""), std::string::npos);
+
+  // Commit: drills the per-client session only.
+  Result<HttpClientResponse> committed =
+      client.Post("/v1/commit", R"({"session":"s-1","hierarchy":"geo"})");
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->body, R"({"hierarchy":"geo","depth":1,"can_drill":true})");
+
+  // Snapshot: the per-client session advanced; the default session did not
+  // (drill-state isolation — the PR 3 follow-on this redesign exists for).
+  Result<HttpClientResponse> snapshot = client.Get("/v1/sessions/s-1");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->body,
+            R"({"session":"s-1","dataset":"sales","default":false,"committed":{"geo":1,"time":1}})");
+  Result<HttpClientResponse> default_snapshot = client.Get("/v1/sessions/default:sales");
+  ASSERT_TRUE(default_snapshot.ok());
+  EXPECT_EQ(default_snapshot->body,
+            R"({"session":"default:sales","dataset":"sales","default":true,"committed":{"geo":0,"time":1}})");
+
+  // Restore: the snapshot's committed map opens a second session at the same
+  // drill state; its recommendations are byte-identical to the first's.
+  Result<HttpClientResponse> restored =
+      client.Post("/v1/sessions", R"({"dataset":"sales","committed":{"geo":1,"time":1}})");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->status, 201);
+  EXPECT_EQ(StringFieldOf(restored->body, "session"), "s-2");
+  const std::string deep_complaint =
+      R"("complaint":{"aggregate":"mean","measure":"sales",)"
+      R"("where":[{"column":"region","value":"r1"}]},"options":{"zero_timings":true})";
+  Result<HttpClientResponse> from_first =
+      client.Post("/v1/recommend", R"({"session":"s-1",)" + deep_complaint + "}");
+  Result<HttpClientResponse> from_restored =
+      client.Post("/v1/recommend", R"({"session":"s-2",)" + deep_complaint + "}");
+  ASSERT_TRUE(from_first.ok());
+  ASSERT_TRUE(from_restored.ok());
+  EXPECT_EQ(from_first->status, 200) << from_first->body;
+  EXPECT_EQ(from_first->body, from_restored->body);
+
+  // Delete: the session is gone from every route; the default session stays
+  // and cannot be deleted.
+  Result<std::string> removed = client.SendRaw(
+      "DELETE /v1/sessions/s-1 HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_NE(removed->find(R"({"deleted":"s-1"})"), std::string::npos) << *removed;
+  ExpectError(client.Get("/v1/sessions/s-1"), 404, "NOT_FOUND");
+  ExpectError(client.Post("/v1/recommend", R"({"session":"s-1",)" + complaint + "}"), 404,
+              "NOT_FOUND");
+  Result<std::string> default_delete = Client().SendRaw(
+      "DELETE /v1/sessions/default:sales HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(default_delete.ok());
+  EXPECT_NE(default_delete->find("400 Bad Request"), std::string::npos) << *default_delete;
+}
+
+// The deprecation shim: the old {"dataset": name} form routes to the default
+// session and returns byte-identical bodies to both the PR 3 behavior (the
+// direct-session golden) and the new {"session": id} form at the same drill
+// state.
+TEST_F(ServerTest, SessionFormByteIdenticalToDeprecatedDatasetForm) {
+  std::vector<ComplaintSpec> complaints = PanelComplaints();
+  Result<BatchExploreResponse> direct = direct_.RecommendAll(
+      std::span<const ComplaintSpec>(complaints.data(), complaints.size()));
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  const std::string expected = TimelessJson(*direct);
+
+  HttpClient client = Client();
+  Result<HttpClientResponse> created =
+      client.Post("/v1/sessions", R"({"dataset":"panel","committed":{"time":1}})");
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->status, 201) << created->body;
+  const std::string id = StringFieldOf(created->body, "session");
+  ASSERT_FALSE(id.empty());
+
+  Result<HttpClientResponse> dataset_form =
+      client.Post("/v1/recommend_batch", PanelBatchBody());
+  Result<HttpClientResponse> session_form = client.Post(
+      "/v1/recommend_batch",
+      PanelBatchBody(std::string(), R"("session":")" + id + R"(")"));
+  ASSERT_TRUE(dataset_form.ok());
+  ASSERT_TRUE(session_form.ok());
+  EXPECT_EQ(dataset_form->status, 200) << dataset_form->body;
+  EXPECT_EQ(dataset_form->body, expected);
+  EXPECT_EQ(session_form->body, expected);
+
+  // Addressing both at once, or neither, is rejected.
+  ExpectError(client.Post("/v1/recommend_batch",
+                          PanelBatchBody(std::string(), R"("dataset":"panel","session":")" +
+                                                            id + R"(")")),
+              400, "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/commit", R"({"hierarchy":"geo"})"), 400, "INVALID_ARGUMENT");
+}
+
+// Deleting a dataset removes the registry entry AND every session over it —
+// no orphaned default session may keep serving the deprecated alias (and
+// pinning the dataset's memory) after the dataset is gone.
+TEST_F(ServerTest, DatasetDeleteRemovesSessionsAndAlias) {
+  HttpClient client = Client();
+  Result<HttpClientResponse> created =
+      client.Post("/v1/sessions", R"({"dataset":"fresh"})");
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->status, 201);
+  const std::string id = StringFieldOf(created->body, "session");
+
+  Result<std::string> removed = client.SendRaw(
+      "DELETE /v1/datasets/fresh HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_NE(removed->find(R"({"deleted":"fresh"})"), std::string::npos) << *removed;
+
+  // Alias, per-client session, listing and health all reflect the removal.
+  ExpectError(client.Post("/v1/commit", R"({"dataset":"fresh","hierarchy":"time"})"), 404,
+              "NOT_FOUND");
+  ExpectError(client.Get("/v1/sessions/" + id), 404, "NOT_FOUND");
+  ExpectError(client.Post("/v1/sessions", R"({"dataset":"fresh"})"), 404, "NOT_FOUND");
+  Result<HttpClientResponse> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body, "{\"status\":\"ok\",\"datasets\":2,\"sessions\":2}");
+  // Unknown dataset -> 404; the name can be re-registered cleanly.
+  Result<std::string> missing = Client().SendRaw(
+      "DELETE /v1/datasets/fresh HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->find("404"), std::string::npos) << *missing;
+  EXPECT_TRUE(service_->AddDataset("fresh", MakePanel()).ok());
+  Result<HttpClientResponse> again =
+      client.Post("/v1/view", R"({"dataset":"fresh","group_by":["district"]})");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status, 200) << again->body;
+}
+
+TEST_F(ServerTest, SessionListShowsDefaults) {
+  HttpClient client = Client();
+  Result<HttpClientResponse> listed = client.Get("/v1/sessions");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->status, 200);
+  Result<JsonValue> parsed = ParseJson(listed->body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<JsonValue>& sessions = parsed->Find("sessions")->array_items();
+  ASSERT_EQ(sessions.size(), 3u);  // the three default sessions
+  for (const JsonValue& session : sessions) {
+    EXPECT_TRUE(session.Find("default")->bool_value());
+  }
+}
+
+TEST_F(ServerTest, DatasetUploadErrorSurface) {
+  HttpClient client = Client();
+  // Neither csv nor path, or both.
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","dimensions":["a"],"hierarchies":[]})"),
+              400, "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","csv":"a\n1","path":"/tmp/x.csv",)"
+                          R"("dimensions":["a"],"hierarchies":[]})"),
+              400, "INVALID_ARGUMENT");
+  // Duplicate dataset name.
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"panel","csv":"a,m\nv,1\n","dimensions":["a"],)"
+                          R"("measures":["m"],"hierarchies":[{"name":"h","attributes":["a"]}]})"),
+              400, "INVALID_ARGUMENT");
+  // Malformed CSV (non-numeric measure) -> the parser's kParseError -> 400.
+  Result<HttpClientResponse> bad_csv = client.Post(
+      "/v1/datasets",
+      R"({"name":"x","csv":"a,m\nv,banana\n","dimensions":["a"],"measures":["m"],)"
+      R"("hierarchies":[{"name":"h","attributes":["a"]}]})");
+  ExpectError(bad_csv, 400, "PARSE_ERROR");
+  EXPECT_NE(bad_csv->body.find("inline csv"), std::string::npos) << bad_csv->body;
+  // Hierarchy naming a missing column -> Dataset::Make's kNotFound.
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","csv":"a,m\nv,1\n","dimensions":["a"],)"
+                          R"("measures":["m"],"hierarchies":[{"name":"h","attributes":["nope"]}]})"),
+              404, "NOT_FOUND");
+  // Server-side path under the configured root that does not exist ->
+  // kIoError -> 500.
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","path":"nonexistent-data.csv","dimensions":["a"],)"
+                          R"("measures":["m"],"hierarchies":[{"name":"h","attributes":["a"]}]})"),
+              500, "IO_ERROR");
+  // Escaping the dataset root is rejected: absolute paths and "..".
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","path":"/etc/passwd","dimensions":["a"],)"
+                          R"("measures":["m"],"hierarchies":[{"name":"h","attributes":["a"]}]})"),
+              400, "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","path":"../../../etc/passwd","dimensions":["a"],)"
+                          R"("measures":["m"],"hierarchies":[{"name":"h","attributes":["a"]}]})"),
+              400, "INVALID_ARGUMENT");
+  // A symlink under the root pointing outside must not escape either.
+  std::string link = ::testing::TempDir() + "/reptile-escape-link";
+  ::unlink(link.c_str());
+  ASSERT_EQ(::symlink("/etc", link.c_str()), 0);
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","path":"reptile-escape-link/passwd",)"
+                          R"("dimensions":["a"],"measures":["m"],)"
+                          R"("hierarchies":[{"name":"h","attributes":["a"]}]})"),
+              400, "INVALID_ARGUMENT");
+  ::unlink(link.c_str());
+  // Unknown session-create dataset and bad committed entries.
+  ExpectError(client.Post("/v1/sessions", R"({"dataset":"nope"})"), 404, "NOT_FOUND");
+  ExpectError(client.Post("/v1/sessions",
+                          R"({"dataset":"panel","committed":{"nope":1}})"),
+              404, "NOT_FOUND");
+  ExpectError(client.Post("/v1/sessions",
+                          R"({"dataset":"panel","committed":{"geo":7}})"),
+              400, "INVALID_ARGUMENT");
+  // A failed create leaves no session behind.
+  Result<HttpClientResponse> listed = client.Get("/v1/sessions");
+  ASSERT_TRUE(listed.ok());
+  Result<JsonValue> parsed = ParseJson(listed->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("sessions")->array_items().size(), 3u);
+}
+
+// Without a configured --dataset-root, the server-side "path" form must be
+// off entirely — otherwise any client could read (and exfiltrate through
+// parse-error echoes) arbitrary server files.
+TEST(ServerSessions, ServerSidePathLoadingDisabledByDefault) {
+  ReptileService service;
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/v1/datasets";
+  request.body =
+      R"({"name":"x","path":"data.csv","dimensions":["a"],"measures":["m"],)"
+      R"("hierarchies":[{"name":"h","attributes":["a"]}]})";
+  HttpResponse response = service.Handle(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("disabled"), std::string::npos) << response.body;
+}
+
+// Both creation routes are unauthenticated, so they are capped: exceeding
+// max_sessions / max_datasets is a 409, and deleting frees the slot.
+TEST(ServerSessions, SessionAndDatasetCapsAreEnforced) {
+  ServiceOptions options;
+  options.max_sessions = 1;
+  options.max_datasets = 2;
+  ReptileService service(options);
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
+
+  Result<std::string> first = service.CreateSession("panel");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<std::string> second = service.CreateSession("panel");
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.DeleteSession(*first).ok());
+  EXPECT_TRUE(service.CreateSession("panel").ok());
+
+  ASSERT_TRUE(service.AddDataset("panel2", MakePanel()).ok());
+  EXPECT_EQ(service.AddDataset("panel3", MakePanel()).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.RemoveDataset("panel2").ok());
+  EXPECT_TRUE(service.AddDataset("panel3", MakePanel()).ok());
+}
+
+// Idle-TTL eviction with an injected clock: a per-client session idle past
+// the TTL is evicted on the next table access; touches keep it alive; the
+// default session is exempt.
+TEST(ServerSessions, IdleTtlEvictsIdleSessions) {
+  auto fake_seconds = std::make_shared<std::atomic<int64_t>>(0);
+  ServiceOptions options;
+  options.session_ttl_seconds = 60;
+  options.clock = [fake_seconds] {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::seconds(fake_seconds->load()));
+  };
+  ReptileService service(options);
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
+  Result<std::string> id = service.CreateSession("panel");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  auto get = [&service](const std::string& path) {
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    return service.Handle(request).status;
+  };
+
+  // A touch at t=30 resets the idle clock: still alive at t=80.
+  *fake_seconds = 30;
+  EXPECT_EQ(get("/v1/sessions/" + *id), 200);
+  *fake_seconds = 80;
+  EXPECT_EQ(get("/v1/sessions/" + *id), 200);
+  EXPECT_EQ(service.sessions_evicted(), 0);
+
+  // Idle past the TTL: evicted on the next access; the default survives.
+  *fake_seconds = 80 + 61;
+  EXPECT_EQ(get("/v1/sessions/" + *id), 404);
+  EXPECT_EQ(get("/v1/sessions/default:panel"), 200);
+  EXPECT_EQ(service.sessions_evicted(), 1);
+}
+
+// The concurrency half of the lifecycle: client threads creating,
+// recommending on, committing, snapshotting and deleting their own sessions
+// over one shared registry dataset — scripts/check.sh re-runs this under
+// TSan. Every thread's recommendation must equal the direct golden (shared
+// immutable state, isolated drill state).
+TEST_F(ServerTest, ConcurrentSessionLifecycleIsSafeAndIsolated) {
+  ComplaintSpec complaint = ComplaintSpec::TooHigh("std", "severity").Where("year", "y1");
+  Result<ExploreResponse> direct = direct_.Recommend(complaint);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  const std::string expected = TimelessJson(*direct);
+  const std::string complaint_json =
+      R"("complaint":{"aggregate":"std","measure":"severity",)"
+      R"("where":[{"column":"year","value":"y1"}]},"options":{"zero_timings":true})";
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 2;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client("127.0.0.1", server_->port());
+      for (int i = 0; i < kIterations; ++i) {
+        Result<HttpClientResponse> created = client.Post(
+            "/v1/sessions", R"({"dataset":"panel","committed":{"time":1}})");
+        if (!created.ok() || created->status != 201) {
+          ++failures[t];
+          continue;
+        }
+        std::string id = StringFieldOf(created->body, "session");
+        Result<HttpClientResponse> recommended = client.Post(
+            "/v1/recommend", R"({"session":")" + id + R"(",)" + complaint_json + "}");
+        if (!recommended.ok() || recommended->status != 200 ||
+            recommended->body != expected) {
+          ++failures[t];
+        }
+        Result<HttpClientResponse> committed = client.Post(
+            "/v1/commit", R"({"session":")" + id + R"(","hierarchy":"geo"})");
+        if (!committed.ok() || committed->status != 200) ++failures[t];
+        Result<HttpClientResponse> snapshot = client.Get("/v1/sessions/" + id);
+        if (!snapshot.ok() || snapshot->status != 200 ||
+            snapshot->body.find(R"("geo":1)") == std::string::npos) {
+          ++failures[t];
+        }
+        Result<std::string> deleted = client.SendRaw("DELETE /v1/sessions/" + id +
+                                                     " HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        if (!deleted.ok() || deleted->find(R"({"deleted":")") == std::string::npos) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "client thread " << t << " saw failures";
+  }
+  // All per-client sessions are gone; the three defaults remain.
+  HttpClient client = Client();
+  Result<HttpClientResponse> listed = client.Get("/v1/sessions");
+  ASSERT_TRUE(listed.ok());
+  Result<JsonValue> parsed = ParseJson(listed->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("sessions")->array_items().size(), 3u);
+}
+
 TEST(ServerLimits, OversizedBodyIsRejected) {
   ReptileService service;
-  ASSERT_TRUE(service.AddSession("panel", MakePanelSession()).ok());
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
   HttpServerOptions options;
   options.port = 0;
   options.num_threads = 2;
@@ -498,7 +919,7 @@ TEST(ServerLimits, OversizedBodyIsRejected) {
 
 TEST(ServerLimits, OversizedHeaderSectionIsRejected) {
   ReptileService service;
-  ASSERT_TRUE(service.AddSession("panel", MakePanelSession()).ok());
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
   HttpServerOptions options;
   options.port = 0;
   options.num_threads = 1;
@@ -518,7 +939,7 @@ TEST(ServerLimits, OversizedHeaderSectionIsRejected) {
 
 TEST(ServerLifecycle, StopFinishesInFlightAndRefusesNewConnections) {
   ReptileService service;
-  ASSERT_TRUE(service.AddSession("panel", MakePanelSession()).ok());
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
   HttpServerOptions options;
   options.port = 0;
   options.num_threads = 2;
