@@ -30,9 +30,9 @@ struct RunResult {
 };
 
 RunResult RunSession(const Dataset& dataset, const std::vector<int>& drill_sequence,
-                     TrainBackend backend, DrillDownState::Mode mode) {
+                     ModelSpec::Backend backend, DrillDownState::Mode mode) {
   EngineOptions options;
-  options.backend = backend;
+  options.model.backend = backend;
   options.drill_mode = mode;
   options.top_k = 1;
   Engine engine(&dataset, options);
@@ -56,9 +56,9 @@ RunResult RunSession(const Dataset& dataset, const std::vector<int>& drill_seque
 void Report(const char* name, const Dataset& dataset, const std::vector<int>& sequence) {
   std::printf("%s (%zu rows)\n", name, dataset.table().num_rows());
   RunResult reptile =
-      RunSession(dataset, sequence, TrainBackend::kFactorized, DrillDownState::Mode::kCacheDynamic);
+      RunSession(dataset, sequence, ModelSpec::Backend::kFactorized, DrillDownState::Mode::kCacheDynamic);
   RunResult matlab =
-      RunSession(dataset, sequence, TrainBackend::kDense, DrillDownState::Mode::kStatic);
+      RunSession(dataset, sequence, ModelSpec::Backend::kDense, DrillDownState::Mode::kStatic);
   std::printf("  %-26s", "invocation:");
   for (size_t i = 0; i < sequence.size(); ++i) std::printf(" %10zu", i + 1);
   std::printf(" %12s\n", "total");

@@ -27,7 +27,7 @@ struct Run {
 void Report(const Run& run, const Table& aux2016, const std::vector<std::string>& missing) {
   EngineOptions options;
   options.top_k = 10;
-  if (run.repair_count) options.extra_repair_stats = {AggFn::kCount};
+  if (run.repair_count) options.model.extra_repair_stats = {AggFn::kCount};
   Engine engine(run.dataset, options);
   if (run.use_aux) {
     AuxiliarySpec spec;

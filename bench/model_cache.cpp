@@ -1,0 +1,151 @@
+// The fitted-model cache in numbers: cold vs warm recommend latency and —
+// the hard contract scripts/check.sh asserts — fits performed at each cache
+// temperature, emitted as BENCH_model_cache.json.
+//
+// Three measurements over the fig08 complaint panel (one STD complaint per
+// year, RecommendAll):
+//   cold          — a fresh PreparedDataset: the first session builds the
+//                   aggregate cache AND trains every primitive model;
+//   warm_session  — a NEW session over the warmed dataset: shared aggregates
+//                   and shared fitted models, so its batch performs 0 fits;
+//   warm_repeat   — the same session repeating the batch: the steady-state
+//                   per-request floor.
+//
+// Unlike the other bench/ binaries this one has no google-benchmark
+// dependency: it is part of the tier-1 gate (check.sh runs it and asserts
+// "warm_fits":0), so it must build wherever the library builds. Exits
+// non-zero if a warm run performs any fit.
+//
+// Usage: model_cache [output.json]   (default ./BENCH_model_cache.json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/panel_gen.h"
+#include "reptile/reptile.h"
+
+namespace reptile {
+namespace {
+
+Dataset MakePanel() {
+  PanelSpec spec;
+  spec.districts = 8;
+  spec.villages_per_district = 6;
+  spec.years = 8;
+  spec.rows_per_group = 4;
+  return MakeSeverityPanel(spec);
+}
+
+DatasetHandle PrepareOrDie() {
+  Result<DatasetHandle> handle = PreparedDataset::Prepare(MakePanel());
+  if (!handle.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", handle.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(handle).value();
+}
+
+Session OpenOrDie(const DatasetHandle& handle) {
+  Result<Session> session = Session::Open(handle);
+  if (!session.ok() || !session->Commit("time").ok()) {
+    std::fprintf(stderr, "session open failed\n");
+    std::exit(1);
+  }
+  return std::move(session).value();
+}
+
+std::vector<ComplaintSpec> PanelComplaints() {
+  std::vector<ComplaintSpec> complaints;
+  for (int y = 0; y < 8; ++y) {
+    complaints.push_back(
+        ComplaintSpec::TooHigh("std", "severity").Where("year", "y" + std::to_string(y)));
+  }
+  return complaints;
+}
+
+struct Measurement {
+  double millis = 0.0;
+  int64_t fits = 0;
+};
+
+Measurement RecommendBatch(Session& session, const std::vector<ComplaintSpec>& complaints) {
+  int64_t before = session.models_trained();
+  Timer timer;
+  Result<BatchExploreResponse> batch =
+      session.RecommendAll(std::span<const ComplaintSpec>(complaints));
+  Measurement m;
+  m.millis = timer.Seconds() * 1000.0;
+  if (!batch.ok()) {
+    std::fprintf(stderr, "recommend failed: %s\n", batch.status().ToString().c_str());
+    std::exit(1);
+  }
+  m.fits = session.models_trained() - before;
+  return m;
+}
+
+int Run(const char* output_path) {
+  std::vector<ComplaintSpec> complaints = PanelComplaints();
+
+  // Cold: fresh dataset, first session pays aggregates + every model fit.
+  DatasetHandle handle = PrepareOrDie();
+  Session cold_session = OpenOrDie(handle);
+  Measurement cold = RecommendBatch(cold_session, complaints);
+
+  // Warm session: a brand-new session over the warmed dataset.
+  Session warm_session = OpenOrDie(handle);
+  Measurement warm = RecommendBatch(warm_session, complaints);
+
+  // Steady state: the same session again.
+  Measurement repeat = RecommendBatch(warm_session, complaints);
+
+  const double speedup = warm.millis > 0.0 ? cold.millis / warm.millis : 0.0;
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"workload\":\"fig08_panel_8x6x8\",\"complaints\":%zu,"
+      "\"cold_ms\":%.3f,\"cold_fits\":%lld,"
+      "\"warm_session_ms\":%.3f,\"warm_fits\":%lld,"
+      "\"warm_repeat_ms\":%.3f,\"warm_repeat_fits\":%lld,"
+      "\"cold_over_warm_speedup\":%.2f,"
+      "\"model_cache\":{\"entries\":%lld,\"hits\":%lld,\"misses\":%lld,\"fits\":%lld}}\n",
+      complaints.size(), cold.millis, static_cast<long long>(cold.fits), warm.millis,
+      static_cast<long long>(warm.fits), repeat.millis,
+      static_cast<long long>(repeat.fits), speedup,
+      static_cast<long long>(handle->model_cache_entries()),
+      static_cast<long long>(handle->model_cache_hits()),
+      static_cast<long long>(handle->model_cache_misses()),
+      static_cast<long long>(handle->model_cache_fits()));
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", output_path);
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fputs(json, stdout);
+
+  // The warm-cache contract this binary exists to enforce.
+  if (cold.fits <= 0) {
+    std::fprintf(stderr, "FAIL: cold run performed no fits — the bench measured nothing\n");
+    return 1;
+  }
+  if (warm.fits != 0 || repeat.fits != 0) {
+    std::fprintf(stderr, "FAIL: warm runs performed %lld/%lld fits (expected 0)\n",
+                 static_cast<long long>(warm.fits), static_cast<long long>(repeat.fits));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main(int argc, char** argv) {
+  const char* output = argc > 1 ? argv[1] : "BENCH_model_cache.json";
+  return reptile::Run(output);
+}

@@ -13,6 +13,7 @@
 #ifndef REPTILE_REPTILE_H_
 #define REPTILE_REPTILE_H_
 
+#include "api/model_spec.h"
 #include "api/registry.h"
 #include "api/request.h"
 #include "api/response.h"

@@ -18,6 +18,17 @@ cmake -B "$BUILD_DIR" -S . -DREPTILE_WERROR=ON "$@"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+if [[ -x "$BUILD_DIR/bench/model_cache" ]]; then
+  echo "--- model-cache bench: warm sessions must perform zero fits"
+  # Emits BENCH_model_cache.json (cold vs warm latency + fits-performed) and
+  # exits non-zero when a warm run trains anything; the grep double-checks
+  # the recorded contract.
+  "$BUILD_DIR/bench/model_cache" "$BUILD_DIR/BENCH_model_cache.json"
+  grep -q '"warm_fits":0' "$BUILD_DIR/BENCH_model_cache.json"
+  grep -q '"warm_repeat_fits":0' "$BUILD_DIR/BENCH_model_cache.json"
+  echo "--- model-cache bench passed"
+fi
+
 if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   echo "--- server smoke: reptile_serve --demo on an ephemeral port"
   SERVE_LOG="$(mktemp)"

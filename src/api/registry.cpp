@@ -4,11 +4,14 @@
 #include <utility>
 
 #include "factor/agg_cache.h"
+#include "factor/model_cache.h"
 
 namespace reptile {
 
 PreparedDataset::PreparedDataset(Dataset dataset)
-    : dataset_(std::move(dataset)), cache_(std::make_shared<SharedAggregateCache>()) {}
+    : dataset_(std::move(dataset)),
+      cache_(std::make_shared<SharedAggregateCache>()),
+      model_cache_(std::make_shared<SharedFittedModelCache>()) {}
 
 PreparedDataset::~PreparedDataset() = default;
 
@@ -30,6 +33,10 @@ Result<DatasetHandle> PreparedDataset::Prepare(Dataset dataset) {
 int64_t PreparedDataset::cache_entries() const { return cache_->entries(); }
 int64_t PreparedDataset::cache_hits() const { return cache_->hits(); }
 int64_t PreparedDataset::cache_misses() const { return cache_->misses(); }
+int64_t PreparedDataset::model_cache_entries() const { return model_cache_->entries(); }
+int64_t PreparedDataset::model_cache_hits() const { return model_cache_->hits(); }
+int64_t PreparedDataset::model_cache_misses() const { return model_cache_->misses(); }
+int64_t PreparedDataset::model_cache_fits() const { return model_cache_->fits(); }
 
 Result<DatasetHandle> DatasetRegistry::Add(std::string name, Dataset dataset) {
   Result<DatasetHandle> prepared = PreparedDataset::Prepare(std::move(dataset));

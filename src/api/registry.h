@@ -35,7 +35,8 @@
 
 namespace reptile {
 
-class SharedAggregateCache;  // factor/agg_cache.h (internal)
+class SharedAggregateCache;    // factor/agg_cache.h (internal)
+class SharedFittedModelCache;  // factor/model_cache.h (internal)
 
 class PreparedDataset;
 using DatasetHandle = std::shared_ptr<const PreparedDataset>;
@@ -62,16 +63,29 @@ class PreparedDataset {
   /// const handle by design — caching is not a logical mutation).
   SharedAggregateCache& cache() const { return *cache_; }
 
+  /// The shared fitted-model cache (factor/model_cache.h): every session
+  /// opened over this dataset consults it before training, so warm sessions
+  /// perform zero fits. Internally synchronized, like cache().
+  SharedFittedModelCache& model_cache() const { return *model_cache_; }
+
   /// Cache observability for tests, benchmarks and capacity monitoring.
   int64_t cache_entries() const;
   int64_t cache_hits() const;
   int64_t cache_misses() const;
+  int64_t model_cache_entries() const;
+  int64_t model_cache_hits() const;
+  int64_t model_cache_misses() const;
+  /// Model fits actually performed through the cache — across every session
+  /// over this dataset; the single-flight contract makes this "one per
+  /// distinct key", however many sessions raced.
+  int64_t model_cache_fits() const;
 
  private:
   explicit PreparedDataset(Dataset dataset);
 
   Dataset dataset_;
   std::shared_ptr<SharedAggregateCache> cache_;
+  std::shared_ptr<SharedFittedModelCache> model_cache_;
 };
 
 /// A thread-safe, name-keyed table of prepared datasets. Handles returned by

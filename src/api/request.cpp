@@ -99,6 +99,11 @@ ExploreRequest& ExploreRequest::TopK(int k) {
   return *this;
 }
 
+ExploreRequest& ExploreRequest::Model(ModelSpec spec) {
+  model_spec = std::move(spec);
+  return *this;
+}
+
 ExploreRequest& ExploreRequest::Model(std::string name) {
   model = std::move(name);
   return *this;
@@ -149,6 +154,11 @@ BatchOptions& BatchOptions::TopK(int k) {
   return *this;
 }
 
+BatchOptions& BatchOptions::Model(ModelSpec spec) {
+  model = std::move(spec);
+  return *this;
+}
+
 BatchOptions& BatchOptions::RepairAlso(std::string aggregate) {
   if (!extra_repair_stats.has_value()) extra_repair_stats.emplace();
   extra_repair_stats->push_back(std::move(aggregate));
@@ -167,22 +177,36 @@ Result<EngineOptions> ExploreRequest::Resolve() const {
   }
   options.top_k = top_k;
 
-  if (model == "multilevel") {
-    options.model = ModelKind::kMultiLevel;
-  } else if (model == "linear") {
-    options.model = ModelKind::kLinear;
+  if (model_spec.has_value()) {
+    // The first-class spec wins over the deprecated string knobs wholesale.
+    REPTILE_RETURN_IF_ERROR(model_spec->Validate());
+    options.model = *model_spec;
   } else {
-    return UnknownOption("model", model, "multilevel, linear");
-  }
+    std::optional<ModelSpec::Kind> kind = ModelSpec::ParseKind(model);
+    if (!kind.has_value()) return UnknownOption("model", model, "multilevel, linear");
+    options.model.kind = *kind;
 
-  if (backend == "auto") {
-    options.backend = TrainBackend::kAuto;
-  } else if (backend == "factorized") {
-    options.backend = TrainBackend::kFactorized;
-  } else if (backend == "dense") {
-    options.backend = TrainBackend::kDense;
-  } else {
-    return UnknownOption("backend", backend, "auto, factorized, dense");
+    std::optional<ModelSpec::Backend> parsed_backend = ModelSpec::ParseBackend(backend);
+    if (!parsed_backend.has_value()) {
+      return UnknownOption("backend", backend, "auto, factorized, dense");
+    }
+    options.model.backend = *parsed_backend;
+
+    if (em_iterations <= 0) {
+      return Status::InvalidArgument("em_iterations must be positive, got " +
+                                     std::to_string(em_iterations));
+    }
+    options.model.em_iterations = em_iterations;
+
+    options.model.extra_repair_stats.clear();
+    for (const std::string& name : extra_repair_stats) {
+      std::optional<AggFn> fn = ParseAggFn(name);
+      if (!fn.has_value()) {
+        return Status::InvalidArgument("unknown extra repair statistic '" + name +
+                                       "' (expected one of count, sum, mean, std, var)");
+      }
+      options.model.extra_repair_stats.push_back(*fn);
+    }
   }
 
   if (random_effects == "intercepts") {
@@ -201,21 +225,6 @@ Result<EngineOptions> ExploreRequest::Resolve() const {
     options.drill_mode = DrillDownState::Mode::kCacheDynamic;
   } else {
     return UnknownOption("drill_cache", drill_cache, "static, dynamic, cache_dynamic");
-  }
-
-  if (em_iterations <= 0) {
-    return Status::InvalidArgument("em_iterations must be positive, got " +
-                                   std::to_string(em_iterations));
-  }
-  options.em.em_iters = em_iterations;
-
-  for (const std::string& name : extra_repair_stats) {
-    std::optional<AggFn> fn = ParseAggFn(name);
-    if (!fn.has_value()) {
-      return Status::InvalidArgument("unknown extra repair statistic '" + name +
-                                     "' (expected one of count, sum, mean, std, var)");
-    }
-    options.extra_repair_stats.push_back(*fn);
   }
 
   if (num_threads < 0) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/model_spec.h"
 #include "api/status.h"
 #include "core/complaint.h"
 #include "data/table.h"
@@ -74,14 +75,23 @@ struct AuxiliaryRequest {
 
 /// Session-level exploration options, by name; resolved to the internal
 /// EngineOptions when the session is created.
+///
+/// Model configuration: prefer Model(ModelSpec) — one value holding the
+/// family, backend, EM caps, extra repair primitives and the fit-cache
+/// opt-out. The string fields model/backend/em_iterations and the
+/// extra_repair_stats list below are the DEPRECATED pre-ModelSpec spelling;
+/// they keep working, but an explicit ModelSpec wins over all of them.
 struct ExploreRequest {
   int top_k = 5;
-  std::string model = "multilevel";           // "multilevel" | "linear"
-  std::string backend = "auto";               // "auto" | "factorized" | "dense"
+  // Preferred model surface: engaged via Model(ModelSpec) (or assignment);
+  // when set, the four deprecated fields below are ignored.
+  std::optional<ModelSpec> model_spec;
+  std::string model = "multilevel";           // deprecated: "multilevel" | "linear"
+  std::string backend = "auto";               // deprecated: "auto" | "factorized" | "dense"
   std::string random_effects = "intercepts";  // "intercepts" | "all"
   std::string drill_cache = "cache_dynamic";  // "static" | "dynamic" | "cache_dynamic"
-  int em_iterations = 20;
-  std::vector<std::string> extra_repair_stats;  // e.g. {"count"} (Appendix N)
+  int em_iterations = 20;                     // deprecated: ModelSpec::EmIterations
+  std::vector<std::string> extra_repair_stats;  // deprecated: e.g. {"count"} (Appendix N)
   // Worker threads for each Recommend/RecommendAll call: 0 = hardware
   // concurrency, 1 = sequential. Recommendations are identical at every
   // setting; only timings change.
@@ -93,7 +103,9 @@ struct ExploreRequest {
   bool shared_pool = true;
 
   ExploreRequest& TopK(int k);
-  ExploreRequest& Model(std::string name);
+  /// Sets the complete model configuration (preferred).
+  ExploreRequest& Model(ModelSpec spec);
+  ExploreRequest& Model(std::string name);  // deprecated string spelling
   ExploreRequest& Backend(std::string name);
   ExploreRequest& RandomEffects(std::string name);
   ExploreRequest& DrillCache(std::string name);
@@ -113,13 +125,21 @@ struct ExploreRequest {
 struct BatchOptions {
   int num_threads = 0;  // 0 = session option; 1 = force sequential
   int top_k = 0;        // 0 = session option
-  // Extra repair statistics for this call only (Appendix N), by aggregate
-  // name ("count", "sum", ...): disengaged inherits the session's
-  // extra_repair_stats; engaged-and-empty toggles extras off for the call.
+  // Complete per-call model configuration (the wire's `options.model`):
+  // disengaged inherits the session's; engaged REPLACES it wholesale for
+  // this call — including extra_repair_stats, so combining it with the
+  // deprecated list below is rejected as InvalidArgument.
+  std::optional<ModelSpec> model;
+  // Deprecated (subsumed by ModelSpec::extra_repair_stats): extra repair
+  // statistics for this call only (Appendix N), by aggregate name ("count",
+  // "sum", ...): disengaged inherits the session's extra_repair_stats;
+  // engaged-and-empty toggles extras off for the call.
   std::optional<std::vector<std::string>> extra_repair_stats;
 
   BatchOptions& Threads(int n);
   BatchOptions& TopK(int k);
+  /// Sets the complete per-call model configuration (preferred).
+  BatchOptions& Model(ModelSpec spec);
   /// Adds one per-call extra repair statistic (engages the override).
   BatchOptions& RepairAlso(std::string aggregate);
   /// Forces the call to repair only the complaint's own primitives, even

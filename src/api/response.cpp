@@ -81,9 +81,27 @@ void AppendHierarchy(std::ostringstream& os, const HierarchyResponse& candidate)
   os << "]}";
 }
 
+void AppendModel(std::ostringstream& os, const ModelResponse& model) {
+  os << "{\"kind\":";
+  AppendJsonString(os, model.kind);
+  os << ",\"backend\":";
+  AppendJsonString(os, model.backend);
+  os << ",\"em_iterations\":" << model.em_iterations << ",\"em_tolerance\":";
+  AppendJsonNumber(os, model.em_tolerance);
+  os << ",\"fit_cache\":" << (model.fit_cache ? "true" : "false")
+     << ",\"extra_repair_stats\":[";
+  for (size_t i = 0; i < model.extra_repair_stats.size(); ++i) {
+    if (i > 0) os << ',';
+    AppendJsonString(os, model.extra_repair_stats[i]);
+  }
+  os << "]}";
+}
+
 void AppendExplore(std::ostringstream& os, const ExploreResponse& response) {
   os << "{\"complaint\":";
   AppendJsonString(os, response.complaint);
+  os << ",\"model\":";
+  AppendModel(os, response.model);
   os << ",\"best_index\":" << response.best_index << ",\"candidates\":[";
   for (size_t i = 0; i < response.candidates.size(); ++i) {
     if (i > 0) os << ',';
@@ -107,7 +125,8 @@ std::string ExploreResponse::ToJson() const {
 
 std::string BatchExploreResponse::ToJson() const {
   std::ostringstream os;
-  os << "{\"models_trained\":" << models_trained << ",\"train_seconds\":";
+  os << "{\"models_trained\":" << models_trained
+     << ",\"fit_cache_hits\":" << fit_cache_hits << ",\"train_seconds\":";
   AppendJsonNumber(os, train_seconds);
   os << ",\"wall_seconds\":";
   AppendJsonNumber(os, wall_seconds);

@@ -41,10 +41,25 @@ struct HierarchyResponse {
   double total_seconds = 0.0;
 };
 
+/// Echo of the ModelSpec a call actually ran — the session's configuration
+/// or the per-call override, with "auto" resolved to the backend the fit
+/// stage picked when that is statically known. Serialized into every
+/// ExploreResponse so wire clients can see (and assert) what trained their
+/// models. Deterministic: identical for cold and cache-warm calls.
+struct ModelResponse {
+  std::string kind = "multilevel";   // "multilevel" | "linear"
+  std::string backend = "factorized";  // "auto" | "factorized" | "dense"
+  int em_iterations = 20;
+  double em_tolerance = 0.0;
+  bool fit_cache = true;
+  std::vector<std::string> extra_repair_stats;  // lowercase statistic names
+};
+
 /// The full answer to one complaint: all candidate hierarchies plus the
 /// arg-min recommendation.
 struct ExploreResponse {
   std::string complaint;  // description of the complaint this answers
+  ModelResponse model;    // what actually trained the candidates' models
   std::vector<HierarchyResponse> candidates;
   int best_index = -1;
 
@@ -65,9 +80,15 @@ struct ExploreResponse {
 /// work, stable under concurrency), while `wall_seconds` is the end-to-end
 /// elapsed time of the call (what a client waited; less than train_seconds
 /// when fits overlapped).
+/// `models_trained` counts fits THIS call actually performed;
+/// `fit_cache_hits` counts the fits it skipped because the process-shared
+/// fitted-model cache already held the model (trained by an earlier call of
+/// this session or by another session over the same dataset). A fully warm
+/// call reports models_trained == 0.
 struct BatchExploreResponse {
   std::vector<ExploreResponse> responses;
   int64_t models_trained = 0;
+  int64_t fit_cache_hits = 0;
   double train_seconds = 0.0;
   double wall_seconds = 0.0;
 

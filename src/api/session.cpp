@@ -48,8 +48,9 @@ Result<Session> Session::Open(DatasetHandle dataset, const ExploreRequest& optio
   Session session;
   session.impl_->handle = std::move(dataset);
   const DatasetHandle& handle = session.impl_->handle;
-  session.impl_->engine = std::make_unique<Engine>(&handle->data(), &handle->cache(),
-                                                   handle, *engine_options);
+  session.impl_->engine =
+      std::make_unique<Engine>(&handle->data(), &handle->cache(), &handle->model_cache(),
+                               handle, *engine_options);
   return session;
 }
 
@@ -233,6 +234,12 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
     return Status::InvalidArgument("per-call top_k must be >= 0 (0 = session option), got " +
                                    std::to_string(options.top_k));
   }
+  if (options.model.has_value() && options.extra_repair_stats.has_value()) {
+    return Status::InvalidArgument(
+        "per-call options engage both \"model\" and the deprecated "
+        "\"extra_repair_stats\"; a ModelSpec carries its own extra_repair_stats — set "
+        "them there");
+  }
   std::optional<std::vector<AggFn>> extra_stats;
   if (options.extra_repair_stats.has_value()) {
     extra_stats.emplace();
@@ -247,6 +254,12 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   }
   const Dataset& dataset = impl_->data();
   Engine& engine = *impl_->engine;
+
+  // Plan-stage model validation: the per-call spec (or the session's, which
+  // feature registrations since Open may have invalidated — e.g. a forced
+  // factorised backend vs a newly registered multi-attribute auxiliary).
+  REPTILE_RETURN_IF_ERROR(engine.ValidateModelSpec(
+      options.model.has_value() ? *options.model : engine.options().model));
 
   bool any_drillable = false;
   for (int h = 0; h < dataset.num_hierarchies(); ++h) {
@@ -273,16 +286,36 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   }
 
   int64_t trained_before = engine.stats().models_trained;
+  int64_t cache_hits_before = engine.stats().fit_cache_hits;
   BatchOverrides overrides;
   overrides.num_threads = options.num_threads;
   overrides.top_k = options.top_k;
+  if (options.model.has_value()) overrides.model = &*options.model;
   if (extra_stats.has_value()) overrides.extra_repair_stats = &*extra_stats;
+
+  // The echo every response carries: the spec the fit stage will run, with
+  // "auto" canonicalized to the backend it picks when statically known.
+  // Engine::EffectiveModelSpec(overrides) is the ONE resolution point — the
+  // engine calls it again with these same overrides for the cache key and
+  // the fits, so echo, key and execution cannot drift apart.
+  const ModelSpec effective = engine.EffectiveModelSpec(overrides);
+  ModelResponse model_echo;
+  model_echo.kind = ModelSpec::KindName(effective.kind);
+  model_echo.backend = ModelSpec::BackendName(effective.backend);
+  model_echo.em_iterations = effective.em_iterations;
+  model_echo.em_tolerance = effective.em_tolerance;
+  model_echo.fit_cache = effective.fit_cache;
+  for (AggFn fn : effective.extra_repair_stats) {
+    model_echo.extra_repair_stats.push_back(StatName(fn));
+  }
+
   BatchTiming timing;
   std::vector<Recommendation> recommendations = engine.RecommendBatch(
       std::span<const Complaint>(resolved.data(), resolved.size()), overrides, &timing);
 
   BatchExploreResponse batch;
   batch.models_trained = engine.stats().models_trained - trained_before;
+  batch.fit_cache_hits = engine.stats().fit_cache_hits - cache_hits_before;
   batch.train_seconds = timing.train_seconds;
   batch.wall_seconds = timing.wall_seconds;
   batch.responses.reserve(recommendations.size());
@@ -291,6 +324,7 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
     const Recommendation& rec = recommendations[i];
     ExploreResponse response;
     response.complaint = complaints[i].Describe();
+    response.model = model_echo;
     response.best_index = rec.best_index;
     response.candidates.reserve(rec.candidates.size());
     for (const HierarchyRecommendation& cand : rec.candidates) {
@@ -406,6 +440,8 @@ Status Session::RestoreCommitted(const std::map<std::string, int>& committed) {
 DatasetHandle Session::dataset() const { return impl_->handle; }
 
 int64_t Session::models_trained() const { return impl_->engine->stats().models_trained; }
+
+int64_t Session::fit_cache_hits() const { return impl_->engine->stats().fit_cache_hits; }
 
 int64_t Session::aggregate_builds() const { return impl_->engine->aggregate_builds(); }
 

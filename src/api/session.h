@@ -139,9 +139,15 @@ class Session {
   /// the dataset.
   DatasetHandle dataset() const;
 
-  /// Total primitive-model fits performed so far (for tests and benchmarks
-  /// of the batched path).
+  /// Total primitive-model fits THIS session actually performed so far. A
+  /// session warmed by the shared fitted-model cache — its own earlier calls
+  /// or other sessions over the same dataset trained the models — performs
+  /// zero: the zero-fit warm-session counter.
   int64_t models_trained() const;
+
+  /// Fits this session skipped because the shared fitted-model cache already
+  /// held the model.
+  int64_t fit_cache_hits() const;
 
   /// Aggregate (f-tree + local aggregates) builds this session performed.
   /// A session whose shared cache was already warmed by another session

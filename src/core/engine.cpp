@@ -5,12 +5,15 @@
 #include <limits>
 #include <utility>
 
+#include <atomic>
+
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/repair.h"
 #include "core/view.h"
 #include "data/group_by.h"
 #include "factor/frep.h"
+#include "factor/model_cache.h"
 #include "fmatrix/materialize.h"
 #include "fmatrix/right_mult.h"
 #include "model/linear.h"
@@ -56,14 +59,12 @@ std::vector<AggFn> ComplaintPrimitives(const Complaint& complaint,
   return primitives;
 }
 
-}  // namespace
+// Every feature-registration mutation anywhere in the process mints a fresh
+// token, so a (session, feature-set) pair keys its own fitted-model cache
+// partition and stale models can never be observed across a mutation.
+std::atomic<uint64_t> g_feature_epoch{0};
 
-/// One trained primitive model: fitted values per matrix row plus the fit's
-/// own duration (summed per-task, not wall-clocked around concurrent work).
-struct Engine::PrimitiveFit {
-  std::vector<double> fitted;
-  double seconds = 0.0;
-};
+}  // namespace
 
 // Plan-stage product: everything about drilling one hierarchy a level deeper
 // that is independent of the individual complaint, so a batch of complaints
@@ -87,8 +88,10 @@ struct Engine::CandidatePlan {
   std::map<int, std::vector<Moments>> y_moments;
   std::map<int, GroupByResult> groups;
 
-  // Trained models: (measure column, primitive) -> fit.
-  std::map<std::pair<int, AggFn>, PrimitiveFit> fits;
+  // Trained models: (measure column, primitive) -> fit. shared_ptr because
+  // an entry may be owned by the process-shared fitted-model cache (and so
+  // by every concurrent batch that hit the same key) rather than this plan.
+  std::map<std::pair<int, AggFn>, std::shared_ptr<const FittedModel>> fits;
 };
 
 const HierarchyRecommendation& Recommendation::best() const {
@@ -98,9 +101,11 @@ const HierarchyRecommendation& Recommendation::best() const {
 }
 
 Engine::Engine(const Dataset* dataset, SharedAggregateCache* shared_cache,
-               std::shared_ptr<const void> owner, EngineOptions options)
+               SharedFittedModelCache* model_cache, std::shared_ptr<const void> owner,
+               EngineOptions options)
     : owner_(std::move(owner)),
       dataset_(dataset),
+      model_cache_(model_cache),
       options_(options),
       drill_state_(dataset, options.drill_mode, shared_cache) {
   REPTILE_CHECK(dataset != nullptr);
@@ -108,9 +113,14 @@ Engine::Engine(const Dataset* dataset, SharedAggregateCache* shared_cache,
 }
 
 Engine::Engine(const Dataset* dataset, EngineOptions options)
-    : Engine(dataset, nullptr, nullptr, options) {}
+    : Engine(dataset, nullptr, nullptr, nullptr, options) {}
 
 Engine::~Engine() = default;
+
+void Engine::BumpFeatureToken() {
+  feature_token_ =
+      "#" + std::to_string(g_feature_epoch.fetch_add(1, std::memory_order_relaxed) + 1);
+}
 
 void Engine::RegisterAuxiliary(AuxiliarySpec spec) {
   REPTILE_CHECK(spec.table != nullptr);
@@ -121,20 +131,59 @@ void Engine::RegisterAuxiliary(AuxiliarySpec spec) {
     (void)spec.table->ColumnIndex(attr);
   }
   auxiliaries_.push_back(std::move(spec));
+  BumpFeatureToken();
 }
 
 void Engine::RegisterCustomFeature(CustomFeatureSpec spec) {
   (void)dataset_->ResolveAttr(spec.attr);
   REPTILE_CHECK(spec.fn != nullptr);
   custom_features_.push_back(std::move(spec));
+  BumpFeatureToken();
 }
 
 void Engine::ExcludeFromRandomEffects(const std::string& feature_name) {
   z_exclusions_.push_back(feature_name);
+  BumpFeatureToken();
 }
 
 Status Engine::ValidateComplaint(const Complaint& complaint) const {
   return ::reptile::ValidateComplaint(dataset_->table(), complaint);
+}
+
+Status Engine::ValidateModelSpec(const ModelSpec& spec) const {
+  REPTILE_RETURN_IF_ERROR(spec.Validate());
+  if (spec.backend == ModelSpec::Backend::kFactorized) {
+    for (const AuxiliarySpec& aux : auxiliaries_) {
+      if (aux.join_attrs.size() > 1) {
+        return Status::InvalidArgument(
+            "backend 'factorized' cannot be forced while the multi-attribute auxiliary '" +
+            aux.name +
+            "' is registered (its feature spans several attributes and requires "
+            "materialisation); use backend 'auto' or 'dense'");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+ModelSpec Engine::EffectiveModelSpec(const BatchOverrides& overrides) const {
+  ModelSpec spec = overrides.model != nullptr ? *overrides.model : options_.model;
+  if (overrides.model == nullptr && overrides.extra_repair_stats != nullptr) {
+    spec.extra_repair_stats = *overrides.extra_repair_stats;
+  }
+  if (spec.backend == ModelSpec::Backend::kAuto) {
+    // kAuto picks factorised iff every feature is single-attribute, which is
+    // statically certain unless a multi-attribute auxiliary is registered
+    // (intercept, main-effect, custom and single-join auxiliary features all
+    // bind one attribute). Canonicalizing here keeps the cache key and the
+    // response echo equal to what the fit stage really does.
+    bool multi_attribute = false;
+    for (const AuxiliarySpec& aux : auxiliaries_) {
+      if (aux.join_attrs.size() > 1) multi_attribute = true;
+    }
+    if (!multi_attribute) spec.backend = ModelSpec::Backend::kFactorized;
+  }
+  return spec;
 }
 
 Recommendation Engine::RecommendDrillDown(const Complaint& complaint) {
@@ -173,9 +222,10 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
   int num_threads = overrides.num_threads > 0 ? overrides.num_threads : options_.num_threads;
   if (num_threads == 0) num_threads = ThreadPool::DefaultThreads();
   const int top_k = overrides.top_k > 0 ? overrides.top_k : options_.top_k;
-  const std::vector<AggFn>& extra_stats = overrides.extra_repair_stats != nullptr
-                                              ? *overrides.extra_repair_stats
-                                              : options_.extra_repair_stats;
+  // One resolved ModelSpec for the whole call: per-call override or engine
+  // option, legacy extra-stats override folded in, backend canonicalized.
+  const ModelSpec spec = EffectiveModelSpec(overrides);
+  const std::vector<AggFn>& extra_stats = spec.extra_repair_stats;
   ThreadPool* pool = PoolFor(num_threads);
 
   drill_state_.BeginInvocation();
@@ -253,7 +303,12 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
   // primitive) triple. The work list is assembled in complaint order, so the
   // "owner" of each fit — the first complaint to require it, which its
   // train_seconds are charged to — matches what lazy sequential training
-  // charged. Slots are pre-inserted; tasks assign into their own slot. ---
+  // charged. Each task first consults the process-shared fitted-model cache
+  // (when the spec allows): a hit reuses the very vector some earlier call —
+  // this session's or another's — trained, a miss fits under the cache's
+  // single-flight latch so concurrent sessions racing on one key train once
+  // between them. Results land by task index and are installed into the
+  // plans sequentially afterwards. ---
   struct FitTask {
     CandidatePlan* plan;
     size_t plan_index;
@@ -268,30 +323,51 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
       for (AggFn primitive : primitives) {
         auto key = std::make_pair(complaints[c].measure_column, primitive);
         if (plans[p]->fits.find(key) != plans[p]->fits.end()) continue;
-        plans[p]->fits.emplace(key, PrimitiveFit());
+        plans[p]->fits.emplace(key, nullptr);  // dedup slot; installed below
         fit_tasks.push_back(
             FitTask{plans[p].get(), p, complaints[c].measure_column, primitive, c});
       }
     }
   }
-  ParallelFor(pool, static_cast<int64_t>(fit_tasks.size()), [&](int64_t i) {
-    const FitTask& task = fit_tasks[static_cast<size_t>(i)];
-    auto key = std::make_pair(task.measure_column, task.primitive);
-    task.plan->fits.find(key)->second =
-        FitPrimitive(*task.plan, task.measure_column, task.primitive);
-  });
-  stats_.models_trained += static_cast<int64_t>(fit_tasks.size());
+  struct FitOutcome {
+    std::shared_ptr<const FittedModel> model;
+    bool performed = false;  // this call ran the fit (vs a cache hit)
+  };
+  const bool use_fit_cache = model_cache_ != nullptr && spec.fit_cache;
+  std::vector<FitOutcome> outcomes =
+      ParallelMap<FitOutcome>(pool, static_cast<int64_t>(fit_tasks.size()), [&](int64_t i) {
+        const FitTask& task = fit_tasks[static_cast<size_t>(i)];
+        auto run = [&] {
+          return FitPrimitive(*task.plan, task.measure_column, task.primitive, spec);
+        };
+        if (!use_fit_cache) {
+          return FitOutcome{std::make_shared<const FittedModel>(run()), true};
+        }
+        auto [model, performed] = model_cache_->GetOrFit(
+            FitCacheKey(spec, task.plan->hierarchy, task.measure_column, task.primitive),
+            run);
+        return FitOutcome{std::move(model), performed};
+      });
 
-  // Deterministic cost attribution: each fit's duration is charged to the
-  // (owner complaint, plan) cell that first required it.
+  // Install and account sequentially: plan->fits mutation, the engine
+  // counters, and the deterministic cost attribution — each fit's duration
+  // charged to the (owner complaint, plan) cell that first required it;
+  // cache hits charge nothing, their work happened in some earlier call.
   std::vector<double> charged_train(complaints.size() * plans.size(), 0.0);
   double train_seconds_sum = 0.0;
-  for (const FitTask& task : fit_tasks) {
-    double seconds =
-        task.plan->fits.find(std::make_pair(task.measure_column, task.primitive))
-            ->second.seconds;
-    charged_train[task.owner_complaint * plans.size() + task.plan_index] += seconds;
-    train_seconds_sum += seconds;
+  for (size_t i = 0; i < fit_tasks.size(); ++i) {
+    const FitTask& task = fit_tasks[i];
+    FitOutcome& outcome = outcomes[i];
+    if (outcome.performed) {
+      stats_.models_trained += 1;
+      double seconds = outcome.model->fit_seconds;
+      charged_train[task.owner_complaint * plans.size() + task.plan_index] += seconds;
+      train_seconds_sum += seconds;
+    } else {
+      stats_.fit_cache_hits += 1;
+    }
+    task.plan->fits.find(std::make_pair(task.measure_column, task.primitive))->second =
+        std::move(outcome.model);
   }
 
   // --- Execute stage (c): ranking, one task per (complaint, plan) pair.
@@ -331,6 +407,29 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
 }
 
 void Engine::CommitDrillDown(int hierarchy) { drill_state_.Commit(hierarchy); }
+
+std::string Engine::FitCacheKey(const ModelSpec& spec, int hierarchy, int measure_column,
+                                AggFn primitive) const {
+  // Everything a fitted model depends on, given the immutable prepared
+  // dataset the cache hangs off: the feature-registration partition, the
+  // random-effect policy, the canonical spec, the full committed-depth
+  // vector (every committed hierarchy's tree shapes the feature matrix),
+  // and the fit coordinates. The candidate depth is committed[hierarchy]+1,
+  // so it needs no separate component.
+  std::string key = feature_token_;
+  key += options_.random_effects == RandomEffects::kInterceptOnly ? "|re:i|" : "|re:a|";
+  key += spec.CacheKey();
+  key += "|c:";
+  for (int h = 0; h < dataset_->num_hierarchies(); ++h) {
+    if (h > 0) key += ',';
+    key += std::to_string(drill_state_.depth(h));
+  }
+  key += "|h" + std::to_string(hierarchy);
+  key += "|m" + std::to_string(measure_column);
+  key += "|p";
+  key += AggFnName(primitive);
+  return key;
+}
 
 std::unique_ptr<Engine::CandidatePlan> Engine::BuildCandidatePlan(int h) const {
   Timer build_timer;
@@ -375,8 +474,8 @@ std::unique_ptr<Engine::CandidatePlan> Engine::BuildCandidatePlan(int h) const {
   return plan;
 }
 
-Engine::PrimitiveFit Engine::FitPrimitive(const CandidatePlan& plan, int measure_column,
-                                          AggFn primitive) const {
+FittedModel Engine::FitPrimitive(const CandidatePlan& plan, int measure_column,
+                                 AggFn primitive, const ModelSpec& spec) const {
   const Table& table = dataset_->table();
   const CandidateContext& ctx = plan.ctx;
 
@@ -521,27 +620,30 @@ Engine::PrimitiveFit Engine::FitPrimitive(const CandidatePlan& plan, int measure
   // and feature-matrix assembly above count toward total_seconds.
   Timer train_timer;
   bool use_factorized;
-  switch (options_.backend) {
-    case TrainBackend::kFactorized:
+  switch (spec.backend) {
+    case ModelSpec::Backend::kFactorized:
       REPTILE_CHECK(fm.AllSingleAttribute())
           << "factorised backend requires single-attribute features";
       use_factorized = true;
       break;
-    case TrainBackend::kDense:
+    case ModelSpec::Backend::kDense:
       use_factorized = false;
       break;
-    case TrainBackend::kAuto:
+    case ModelSpec::Backend::kAuto:
     default:
       use_factorized = fm.AllSingleAttribute();
       break;
   }
+  MultiLevelOptions em;
+  em.em_iters = spec.em_iterations;
+  em.tolerance = spec.em_tolerance;
 
-  PrimitiveFit fit;
+  FittedModel fit;
   DecomposedAggregates agg(&fm, ctx.locals);
-  if (options_.model == ModelKind::kMultiLevel) {
+  if (spec.kind == ModelSpec::Kind::kMultiLevel) {
     if (use_factorized) {
       FactorizedEmBackend backend(&fm, &agg, z_cols);
-      MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
+      MultiLevelModel model = TrainMultiLevel(&backend, y, em);
       fit.fitted = std::move(model.fitted);
     } else {
       Matrix x = MaterializeMatrix(fm);
@@ -555,7 +657,7 @@ Engine::PrimitiveFit Engine::FitPrimitive(const CandidatePlan& plan, int measure
         begins.push_back(fm.num_rows());
       }
       DenseEmBackend backend(&x, begins, z_cols);
-      MultiLevelModel model = TrainMultiLevel(&backend, y, options_.em);
+      MultiLevelModel model = TrainMultiLevel(&backend, y, em);
       fit.fitted = std::move(model.fitted);
     }
   } else {
@@ -574,7 +676,7 @@ Engine::PrimitiveFit Engine::FitPrimitive(const CandidatePlan& plan, int measure
     }
   }
 
-  fit.seconds = train_timer.Seconds();
+  fit.fit_seconds = train_timer.Seconds();
   return fit;
 }
 
@@ -621,8 +723,9 @@ HierarchyRecommendation Engine::ExecuteComplaint(const CandidatePlan& plan,
   GroupPredictions predictions(siblings.num_groups());
   for (AggFn primitive : ComplaintPrimitives(complaint, extra_stats)) {
     auto fit_it = plan.fits.find(std::make_pair(complaint.measure_column, primitive));
-    REPTILE_CHECK(fit_it != plan.fits.end()) << "primitive model missing from batch fit stage";
-    const std::vector<double>& fitted = fit_it->second.fitted;
+    REPTILE_CHECK(fit_it != plan.fits.end() && fit_it->second != nullptr)
+        << "primitive model missing from batch fit stage";
+    const std::vector<double>& fitted = fit_it->second->fitted;
     for (size_t g = 0; g < siblings.num_groups(); ++g) {
       predictions[g][primitive] = fitted[static_cast<size_t>(sibling_rows[g])];
     }

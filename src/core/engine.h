@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "api/model_spec.h"
 #include "api/status.h"
 #include "core/complaint.h"
 #include "core/ranker.h"
@@ -39,7 +40,9 @@
 
 namespace reptile {
 
-class ThreadPool;  // parallel/thread_pool.h
+class ThreadPool;              // parallel/thread_pool.h
+class SharedFittedModelCache;  // factor/model_cache.h
+struct FittedModel;            // factor/model_cache.h
 
 /// A registered auxiliary dataset (Section 3.3.2 / Appendix H): joined on one
 /// or more hierarchy attributes, exposing one measure as a feature. The
@@ -60,16 +63,6 @@ struct CustomFeatureSpec {
   CustomFeatureFn fn;
 };
 
-/// Model family used for frepair.
-enum class ModelKind { kMultiLevel, kLinear };
-
-/// Training backend selection.
-enum class TrainBackend {
-  kAuto,        // factorised when every feature is single-attribute
-  kFactorized,  // force factorised (aborts if multi-attribute features exist)
-  kDense,       // force materialisation (the Matlab-style path)
-};
-
 /// Random-effect matrix policy (Section 3.3.4). The paper sets Z = X by
 /// default but notes Z "may be tuned to only keep attributes relevant within
 /// clusters": with Z = X and small clusters the per-cluster regression can
@@ -81,15 +74,12 @@ enum class RandomEffects { kInterceptOnly, kAllFeatures };
 
 struct EngineOptions {
   int top_k = 5;
-  ModelKind model = ModelKind::kMultiLevel;
-  TrainBackend backend = TrainBackend::kAuto;
-  MultiLevelOptions em;  // em_iters = 20, the paper's default
+  // How models are trained: family, backend, EM caps, extra repair
+  // primitives, fitted-model-cache opt-out. This single spec subsumes the
+  // pre-ModelSpec knobs (EngineOptions::model/backend/em/extra_repair_stats).
+  ModelSpec model;
   RandomEffects random_effects = RandomEffects::kInterceptOnly;
   DrillDownState::Mode drill_mode = DrillDownState::Mode::kCacheDynamic;
-  // Additional statistics frepair restores besides the complaint's own
-  // primitives (Appendix N: a distributive *set* of aggregation functions,
-  // e.g., repairing total votes alongside the vote percentage).
-  std::vector<AggFn> extra_repair_stats;
   // Worker threads for the plan/execute fan-out: 0 = hardware concurrency,
   // 1 = fully sequential (inline, no pool). Recommendations are element-wise
   // identical at every setting; only the timing fields differ.
@@ -110,9 +100,15 @@ struct EngineOptions {
 struct BatchOverrides {
   int num_threads = 0;  // 0 = engine option; 1 = force sequential
   int top_k = 0;        // 0 = engine option
-  // Extra statistics frepair restores for this call only (Appendix N):
-  // nullptr = engine option; a pointer to an empty vector toggles extras off.
+  // Complete per-call ModelSpec: nullptr = engine option. When set it
+  // replaces the engine's model configuration wholesale for this call
+  // (including extra_repair_stats — the legacy pointer below is ignored).
   // The pointee is borrowed for the duration of the call.
+  const ModelSpec* model = nullptr;
+  // Deprecated (subsumed by ModelSpec::extra_repair_stats): extra statistics
+  // frepair restores for this call only (Appendix N). nullptr = engine
+  // option; a pointer to an empty vector toggles extras off. Consulted only
+  // when `model` is null. The pointee is borrowed for the call.
   const std::vector<AggFn>* extra_repair_stats = nullptr;
 };
 
@@ -165,12 +161,15 @@ struct Recommendation {
 };
 
 /// Work counters for one engine, reset on demand. `models_trained` counts
-/// actual primitive-model fits; a batched invocation trains each shared
-/// (hierarchy, measure, primitive) model at most once, so batching N
-/// complaints over one hierarchy extension fits far fewer than N times the
-/// single-complaint count.
+/// primitive-model fits THIS engine actually performed: a batched invocation
+/// trains each shared (hierarchy, measure, primitive) model at most once,
+/// and a fit served by the process-shared fitted-model cache — warmed by an
+/// earlier call of this session or by another session over the same prepared
+/// dataset — counts under `fit_cache_hits` instead. A fully warm call
+/// therefore shows models_trained == 0.
 struct EngineStats {
   int64_t models_trained = 0;
+  int64_t fit_cache_hits = 0;
   int64_t plans_built = 0;
   int64_t complaints_evaluated = 0;
 };
@@ -178,11 +177,16 @@ struct EngineStats {
 /// The engine pipeline is staged so the batched entry point can enter
 /// mid-way (Section 4.5 / the LMFAO-style multi-query planning of §5.1.2):
 ///
-///   validate — ValidateComplaint: user-input checks as Status (no aborts);
+///   validate — ValidateComplaint / ValidateModelSpec: user-input checks as
+///              Status (no aborts);
 ///   plan     — per candidate hierarchy, assemble trees / drill-down caches /
 ///              the factorised layout once, shared by every complaint;
-///   execute  — per (measure, primitive) train one model (cached within the
-///              invocation), then per complaint rank its sibling groups.
+///   execute  — per (measure, primitive) train one model — first consulting
+///              the process-shared fitted-model cache (factor/model_cache.h)
+///              when the effective ModelSpec allows, so warm sessions skip
+///              training entirely and concurrent sessions racing on one key
+///              fit once between them — then per complaint rank its sibling
+///              groups.
 ///
 /// Within one RecommendBatch call, plan assembly, model fits, and complaint
 /// rankings are independent tasks dispatched over a fixed-size worker pool
@@ -198,16 +202,18 @@ class Engine {
   /// used by benchmarks and tests that drive one engine over one dataset.
   explicit Engine(const Dataset* dataset, EngineOptions options = EngineOptions());
 
-  /// Shared constructor: the engine reads/fills a cross-session aggregate
-  /// cache, so every engine over the same prepared dataset shares f-trees
-  /// and committed-depth aggregates; `owner` keeps whatever object holds
-  /// `dataset` and `shared_cache` (api/'s PreparedDataset) alive without
-  /// core/ depending on the api/ facade. The shared cache is used under the
-  /// default kCacheDynamic drill mode; the evicting kStatic/kDynamic modes
-  /// fall back to a private cache (their eviction is the point of those
-  /// policies).
+  /// Shared constructor: the engine reads/fills the cross-session caches, so
+  /// every engine over the same prepared dataset shares f-trees,
+  /// committed-depth aggregates AND fitted primitive models; `owner` keeps
+  /// whatever object holds `dataset` and the caches (api/'s PreparedDataset)
+  /// alive without core/ depending on the api/ facade. The aggregate cache
+  /// is used under the default kCacheDynamic drill mode (the evicting
+  /// kStatic/kDynamic modes fall back to a private cache — their eviction is
+  /// the point of those policies); the model cache is consulted whenever the
+  /// effective ModelSpec has fit_cache on. Either cache may be null.
   Engine(const Dataset* dataset, SharedAggregateCache* shared_cache,
-         std::shared_ptr<const void> owner, EngineOptions options = EngineOptions());
+         SharedFittedModelCache* model_cache, std::shared_ptr<const void> owner,
+         EngineOptions options = EngineOptions());
 
   ~Engine();
 
@@ -227,6 +233,21 @@ class Engine {
   /// against the dataset (delegates to core/complaint's ValidateComplaint —
   /// name-based construction via ResolveComplaint validates implicitly).
   Status ValidateComplaint(const Complaint& complaint) const;
+
+  /// Validate stage, model half: the spec's own range checks plus
+  /// feature-dependent constraints — forcing the factorised backend while a
+  /// multi-attribute auxiliary is registered would abort at fit time, so it
+  /// is rejected here as Status instead.
+  Status ValidateModelSpec(const ModelSpec& spec) const;
+
+  /// The ModelSpec a call with `overrides` would actually run: the per-call
+  /// spec (or the engine option) with the legacy extra-repair-stats override
+  /// folded in and kAuto canonicalized to the backend it will pick when that
+  /// is statically known (every feature single-attribute — always true
+  /// without multi-attribute auxiliaries). This is both the response echo
+  /// and the fitted-model cache-key spec, so what clients see is what keyed
+  /// the cache.
+  ModelSpec EffectiveModelSpec(const BatchOverrides& overrides = {}) const;
 
   /// Evaluates every drillable hierarchy and returns the ranked groups.
   Recommendation RecommendDrillDown(const Complaint& complaint);
@@ -264,7 +285,6 @@ class Engine {
 
  private:
   struct CandidatePlan;  // defined in engine.cpp
-  struct PrimitiveFit;   // fitted values + fit duration, defined in engine.cpp
 
   /// Plan stage: assembles the shared per-hierarchy context (trees, caches,
   /// factorised layout) for drilling `hierarchy` one level deeper. Reads the
@@ -273,10 +293,25 @@ class Engine {
   std::unique_ptr<CandidatePlan> BuildCandidatePlan(int hierarchy) const;
 
   /// Execute stage, model half: fits one primitive statistic over one
-  /// measure column against the plan's shared context. Const — reads the
-  /// plan's group statistics, returns the fit; the caller owns caching.
-  PrimitiveFit FitPrimitive(const CandidatePlan& plan, int measure_column,
-                            AggFn primitive) const;
+  /// measure column against the plan's shared context, the way `spec` says.
+  /// Const — reads the plan's group statistics, returns the fit; the caller
+  /// owns caching (per-invocation plan map and/or the shared model cache).
+  FittedModel FitPrimitive(const CandidatePlan& plan, int measure_column, AggFn primitive,
+                           const ModelSpec& spec) const;
+
+  /// Shared fitted-model cache key for one (plan, measure, primitive) fit
+  /// under `spec`: the feature-registration token, random-effect policy,
+  /// canonical spec, every hierarchy's committed depth, and the fit
+  /// coordinates. Everything a fitted model is a function of, given the
+  /// immutable prepared dataset.
+  std::string FitCacheKey(const ModelSpec& spec, int hierarchy, int measure_column,
+                          AggFn primitive) const;
+
+  /// Re-partitions this engine's future fitted-model cache keys; called by
+  /// every feature-registration mutator (auxiliaries, custom features,
+  /// random-effect exclusions). Models fitted under the previous feature set
+  /// — by this session or any other — are never reused afterwards.
+  void BumpFeatureToken();
 
   /// Execute stage, ranking half: scores one complaint's sibling groups
   /// against the plan's trained models (all fits are already in the plan).
@@ -298,8 +333,15 @@ class Engine {
 
   std::shared_ptr<const void> owner_;  // may be null; keeps dataset_ alive
   const Dataset* dataset_;
+  SharedFittedModelCache* model_cache_;  // borrowed via owner_; may be null
   EngineOptions options_;
   DrillDownState drill_state_;
+  // Fitted-model cache key partition for this engine's feature
+  // registrations: empty = the shareable default feature set (no
+  // auxiliaries, custom features or Z exclusions); otherwise a process-
+  // unique token minted by BumpFeatureToken(), so sessions with bespoke
+  // features never exchange models with anyone — including their own past.
+  std::string feature_token_;
   std::vector<AuxiliarySpec> auxiliaries_;
   std::vector<CustomFeatureSpec> custom_features_;
   std::vector<std::string> z_exclusions_;

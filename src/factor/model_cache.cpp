@@ -1,0 +1,88 @@
+#include "factor/model_cache.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+namespace reptile {
+
+std::pair<FittedModelPtr, bool> SharedFittedModelCache::GetOrFit(
+    const std::string& key, const std::function<FittedModel()>& fit) {
+  std::shared_future<FittedModelPtr> future;
+  bool fit_here = false;
+  std::promise<FittedModelPtr> promise;
+  {
+    // Fast path: shared-lock find. The common warm-path case never takes the
+    // exclusive lock.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) future = it->second;
+  }
+  if (!future.valid()) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = promise.get_future().share();
+      fit_here = true;
+    }
+    future = it->second;
+  }
+
+  if (!fit_here) {
+    FittedModelPtr model = future.get();  // blocks while another caller's fit runs
+    hits_.fetch_add(1, std::memory_order_relaxed);  // after get(): failed fits are no hit
+    return {std::move(model), false};
+  }
+
+  // This call won the insert race: train OUTSIDE the lock so a slow fit
+  // never blocks unrelated lookups, then publish through the promise.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  fits_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    FittedModelPtr model = std::make_shared<const FittedModel>(fit());
+    promise.set_value(model);
+    return {std::move(model), true};
+  } catch (...) {
+    // Erase BEFORE publishing the exception: once the key is gone, new
+    // arrivals retry fresh — only callers already holding the future (true
+    // waiters on this failed fit) observe the exception.
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      entries_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+FittedModelPtr SharedFittedModelCache::Find(const std::string& key) const {
+  std::shared_future<FittedModelPtr> future;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    future = it->second;
+  }
+  if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) return nullptr;
+  try {
+    return future.get();
+  } catch (...) {
+    // A failed fit whose key GetOrFit has not erased yet: absent, not ready.
+    return nullptr;
+  }
+}
+
+std::vector<std::string> SharedFittedModelCache::Keys() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, future] : entries_) keys.push_back(key);
+  return keys;
+}
+
+int64_t SharedFittedModelCache::entries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace reptile

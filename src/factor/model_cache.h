@@ -1,0 +1,99 @@
+// Process-shared fitted-model cache: the training half of what
+// SharedAggregateCache (factor/agg_cache.h) does for aggregates.
+//
+// Reptile's interactive loop is dominated by multi-level model training
+// (paper Section 5.1), yet a fitted model is a pure function of immutable
+// inputs: the base table, the hierarchy extension being evaluated, every
+// hierarchy's committed depth (they shape the feature matrix), the measure
+// and primitive statistic, the session's feature registrations, and the
+// canonicalized ModelSpec. One SharedFittedModelCache therefore hangs off
+// each PreparedDataset (api/registry.h) beside the aggregate cache; the
+// engine keys it by exactly those inputs (Engine::RecommendBatch), so a warm
+// session — same dataset, same committed depths, same spec — performs ZERO
+// fits, and N sessions racing on one key perform exactly one between them.
+//
+// Concurrency contract (single-flight, stricter than the aggregate cache):
+//  * GetOrFit(key, fit) runs `fit` at most once per key PROCESS-WIDE. The
+//    first caller fits outside the cache lock; concurrent callers for the
+//    same key block on a shared_future until the winner publishes. The
+//    aggregate cache lets a losing racer build a duplicate and drop it —
+//    acceptable for cheap tree builds, wasteful for EM training, hence the
+//    latch here ("one fit per key across all concurrent sessions").
+//  * Returned models are shared_ptr<const ...>: immutable, never evicted,
+//    safe to read from any thread for as long as the caller holds the ptr.
+//  * If `fit` throws, the key is erased so a later call can retry; waiters
+//    blocked on the in-flight entry observe the exception.
+//  * hits()/misses()/fits()/entries() are monotonic counters for /healthz,
+//    tests and benchmarks. A call that waited on another caller's in-flight
+//    fit counts as a hit: it performed no training.
+
+#ifndef REPTILE_FACTOR_MODEL_CACHE_H_
+#define REPTILE_FACTOR_MODEL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reptile {
+
+/// One trained primitive model: fitted values per feature-matrix row, plus
+/// what the fit cost when it actually ran (a cache hit charges 0 — the work
+/// already happened in some earlier call).
+struct FittedModel {
+  std::vector<double> fitted;
+  double fit_seconds = 0.0;
+};
+
+using FittedModelPtr = std::shared_ptr<const FittedModel>;
+
+class SharedFittedModelCache {
+ public:
+  SharedFittedModelCache() = default;
+
+  SharedFittedModelCache(const SharedFittedModelCache&) = delete;
+  SharedFittedModelCache& operator=(const SharedFittedModelCache&) = delete;
+
+  /// Returns the cached model for `key`, fitting it via `fit` when absent.
+  /// Single-flight: exactly one caller per key ever runs `fit`; the rest
+  /// wait for (or find) its result. The bool is true iff THIS call performed
+  /// the fit — callers use it to attribute train_seconds and fit counters.
+  std::pair<FittedModelPtr, bool> GetOrFit(const std::string& key,
+                                           const std::function<FittedModel()>& fit);
+
+  /// Pure lookup for introspection/tests: the completed model, or nullptr
+  /// when the key is absent or still fitting. Does not touch the counters.
+  FittedModelPtr Find(const std::string& key) const;
+
+  /// Keys currently cached (in-flight included), sorted.
+  std::vector<std::string> Keys() const;
+
+  int64_t entries() const;
+
+  /// Monotonic GetOrFit outcomes: calls served a model without training
+  /// (completed entry or another caller's successful in-flight fit — a
+  /// waiter that observes a failed fit's exception counts nowhere) / calls
+  /// that found nothing / fit executions started (misses() == fits()).
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t fits() const { return fits_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::shared_mutex mu_;
+  // shared_future: each waiter copies the future out under the lock and
+  // blocks on its own copy, which the standard blesses for cross-thread use.
+  std::map<std::string, std::shared_future<FittedModelPtr>> entries_;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> fits_{0};
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_FACTOR_MODEL_CACHE_H_

@@ -164,6 +164,7 @@ MultiLevelModel TrainMultiLevel(const EmBackend* backend, const std::vector<doub
   model.b = Matrix(static_cast<size_t>(num_clusters), q);
 
   std::vector<double> zb(y.size(), 0.0);
+  std::vector<double> prev_beta = model.beta;
   for (int iter = 0; iter < options.em_iters; ++iter) {
     // --- E-step (equations 8-11): per-cluster posterior of b_i. ---
     Matrix sigma_inv = InverseSymmetricRidge(model.sigma_b, 1e-8);
@@ -213,6 +214,20 @@ MultiLevelModel TrainMultiLevel(const EmBackend* backend, const std::vector<doub
     }
     model.sigma2 = (rss + trace_term - 2.0 * rzb) / static_cast<double>(std::max<int64_t>(n, 1));
     if (!(model.sigma2 > options.min_sigma2)) model.sigma2 = options.min_sigma2;
+
+    // Early stop (ModelSpec::EmTolerance): the fixed effects have converged
+    // within tolerance, so further iterations cannot change the repair
+    // meaningfully. Checked after the full M-step so the model state is
+    // always a complete iteration's.
+    if (options.tolerance > 0.0) {
+      double max_delta = 0.0;
+      for (size_t i = 0; i < model.beta.size(); ++i) {
+        double delta = std::abs(model.beta[i] - prev_beta[i]);
+        if (delta > max_delta) max_delta = delta;
+      }
+      if (max_delta <= options.tolerance) break;
+    }
+    prev_beta = model.beta;
   }
 
   // Final fitted values: X beta + Z b.

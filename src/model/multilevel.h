@@ -114,10 +114,14 @@ class DenseEmBackend : public EmBackend {
 };
 
 /// Training options. em_iters = 20 matches the paper's experiments.
+/// A positive `tolerance` stops EM early once an iteration moves no beta
+/// coefficient by more than that amount (max |Δbeta| <= tolerance); 0 runs
+/// every iteration, the bit-reproducible default.
 struct MultiLevelOptions {
   int em_iters = 20;
   double min_sigma2 = 1e-9;
   double ridge = 1e-9;
+  double tolerance = 0.0;
 };
 
 /// Fitted multi-level model.

@@ -167,6 +167,73 @@ Result<std::map<std::string, int>> ParseCommittedMap(const JsonValue& body,
   return committed;
 }
 
+/// A JSON `options.model` object mapped to a complete ModelSpec: omitted
+/// fields take the ModelSpec defaults (NOT the session's values — a per-call
+/// model replaces the session's configuration wholesale; see
+/// BatchOptions::model). Range validation happens in the plan stage
+/// (Session::RecommendAll -> Engine::ValidateModelSpec); here only names,
+/// types and unknown fields are policed.
+Result<ModelSpec> ParseModelSpec(const JsonValue& value, const std::string& context) {
+  if (!value.is_object()) return WrongType(context, "an object", value);
+  REPTILE_RETURN_IF_ERROR(CheckKnownKeys(value, context,
+                                         {"kind", "backend", "em_iterations", "em_tolerance",
+                                          "fit_cache", "extra_repair_stats"}));
+  ModelSpec spec;
+  Result<std::string> kind =
+      StringField(value, context, "kind", false, ModelSpec::KindName(spec.kind));
+  if (!kind.ok()) return kind.status();
+  std::optional<ModelSpec::Kind> parsed_kind = ModelSpec::ParseKind(*kind);
+  if (!parsed_kind.has_value()) {
+    return Status::InvalidArgument("unknown " + context + ".kind \"" + *kind +
+                                   "\" (expected one of: multilevel, linear)");
+  }
+  spec.kind = *parsed_kind;
+
+  Result<std::string> backend =
+      StringField(value, context, "backend", false, ModelSpec::BackendName(spec.backend));
+  if (!backend.ok()) return backend.status();
+  std::optional<ModelSpec::Backend> parsed_backend = ModelSpec::ParseBackend(*backend);
+  if (!parsed_backend.has_value()) {
+    return Status::InvalidArgument("unknown " + context + ".backend \"" + *backend +
+                                   "\" (expected one of: auto, factorized, dense)");
+  }
+  spec.backend = *parsed_backend;
+
+  Result<int> em_iterations = IntField(value, context, "em_iterations", spec.em_iterations);
+  if (!em_iterations.ok()) return em_iterations.status();
+  spec.em_iterations = *em_iterations;
+
+  if (const JsonValue* tolerance = value.Find("em_tolerance")) {
+    if (!tolerance->is_number()) {
+      return WrongType(context + ".em_tolerance", "a number", *tolerance);
+    }
+    spec.em_tolerance = tolerance->number_value();
+  }
+
+  Result<bool> fit_cache = BoolField(value, context, "fit_cache", spec.fit_cache);
+  if (!fit_cache.ok()) return fit_cache.status();
+  spec.fit_cache = *fit_cache;
+
+  if (const JsonValue* extras = value.Find("extra_repair_stats")) {
+    if (!extras->is_array()) {
+      return WrongType(context + ".extra_repair_stats", "an array", *extras);
+    }
+    const std::vector<JsonValue>& items = extras->array_items();
+    for (size_t i = 0; i < items.size(); ++i) {
+      std::string item_context = context + ".extra_repair_stats[" + std::to_string(i) + "]";
+      if (!items[i].is_string()) return WrongType(item_context, "a string", items[i]);
+      std::optional<AggFn> fn = ParseAggFn(items[i].string_value());
+      if (!fn.has_value()) {
+        return Status::InvalidArgument("unknown extra repair statistic \"" +
+                                       items[i].string_value() + "\" in " + item_context +
+                                       " (expected one of count, sum, mean, std, var)");
+      }
+      spec.extra_repair_stats.push_back(*fn);
+    }
+  }
+  return spec;
+}
+
 /// The wire-level per-call options: the api BatchOptions plus the one
 /// serving-only knob (zero_timings).
 struct WireOptions {
@@ -181,7 +248,17 @@ Result<WireOptions> ParseOptions(const JsonValue& body) {
   const std::string context = "options";
   if (!value->is_object()) return WrongType(context, "an object", *value);
   REPTILE_RETURN_IF_ERROR(CheckKnownKeys(
-      *value, context, {"threads", "top_k", "extra_repair_stats", "zero_timings"}));
+      *value, context, {"threads", "top_k", "model", "extra_repair_stats", "zero_timings"}));
+  if (value->Find("model") != nullptr && value->Find("extra_repair_stats") != nullptr) {
+    return Status::InvalidArgument(
+        "options has both \"model\" and the deprecated \"extra_repair_stats\"; a model "
+        "object carries its own extra_repair_stats — set them there");
+  }
+  if (const JsonValue* model = value->Find("model")) {
+    Result<ModelSpec> spec = ParseModelSpec(*model, context + ".model");
+    if (!spec.ok()) return spec.status();
+    options.batch.model = std::move(*spec);
+  }
   Result<int> threads = IntField(*value, context, "threads", 0);
   if (!threads.ok()) return threads.status();
   options.batch.num_threads = *threads;
@@ -208,6 +285,10 @@ Result<WireOptions> ParseOptions(const JsonValue& body) {
   return options;
 }
 
+// zero_timings zeroes every scheduling- AND cache-state-dependent field —
+// timings plus the fit counters (a warm call trains 0 models where a cold
+// one trained N) — so cold and cache-warm responses to one request are
+// byte-identical.
 void ZeroTimings(ExploreResponse* response) {
   for (HierarchyResponse& candidate : response->candidates) {
     candidate.train_seconds = 0.0;
@@ -218,6 +299,8 @@ void ZeroTimings(ExploreResponse* response) {
 void ZeroTimings(BatchExploreResponse* batch) {
   batch->train_seconds = 0.0;
   batch->wall_seconds = 0.0;
+  batch->models_trained = 0;
+  batch->fit_cache_hits = 0;
   for (ExploreResponse& response : batch->responses) ZeroTimings(&response);
 }
 
@@ -563,9 +646,36 @@ HttpResponse ReptileService::HandleHealthz() {
     std::shared_lock<std::shared_mutex> lock(mu_);
     sessions = sessions_.size();
   }
+  // Warm-path observability: both shared caches' counters, summed over every
+  // registered dataset. A healthy warm deployment shows model-cache hits
+  // climbing while fits stay flat — zero-fit sessions without a debugger.
+  // Gauge semantics: deleting a dataset drops its (monotonic) contribution
+  // from these sums, so they can step backwards across DELETE /v1/datasets.
+  int64_t agg_entries = 0, agg_hits = 0, agg_misses = 0;
+  int64_t model_entries = 0, model_hits = 0, model_misses = 0, model_fits = 0;
+  for (const std::string& name : registry_->names()) {
+    Result<DatasetHandle> handle = registry_->Find(name);
+    if (!handle.ok()) continue;  // removed between names() and Find()
+    agg_entries += (*handle)->cache_entries();
+    agg_hits += (*handle)->cache_hits();
+    agg_misses += (*handle)->cache_misses();
+    model_entries += (*handle)->model_cache_entries();
+    model_hits += (*handle)->model_cache_hits();
+    model_misses += (*handle)->model_cache_misses();
+    model_fits += (*handle)->model_cache_fits();
+  }
   return HttpResponse::Json(
-      200, "{\"status\":\"ok\",\"datasets\":" + std::to_string(registry_->size()) +
-               ",\"sessions\":" + std::to_string(sessions) + "}");
+      200,
+      "{\"status\":\"ok\",\"datasets\":" + std::to_string(registry_->size()) +
+          ",\"sessions\":" + std::to_string(sessions) +
+          ",\"sessions_evicted\":" + std::to_string(sessions_evicted_.load()) +
+          ",\"aggregate_cache\":{\"entries\":" + std::to_string(agg_entries) +
+          ",\"hits\":" + std::to_string(agg_hits) +
+          ",\"misses\":" + std::to_string(agg_misses) +
+          "},\"model_cache\":{\"entries\":" + std::to_string(model_entries) +
+          ",\"hits\":" + std::to_string(model_hits) +
+          ",\"misses\":" + std::to_string(model_misses) +
+          ",\"fits\":" + std::to_string(model_fits) + "}}");
 }
 
 HttpResponse ReptileService::HandleDatasetList() {
@@ -808,7 +918,7 @@ HttpResponse ReptileService::HandleSessionCreate(const std::string& body) {
     if (!options->is_object()) {
       return ErrorResponse(WrongType(context, "an object", *options));
     }
-    Status option_keys = CheckKnownKeys(*options, context, {"top_k", "threads"});
+    Status option_keys = CheckKnownKeys(*options, context, {"top_k", "threads", "model"});
     if (!option_keys.ok()) return ErrorResponse(option_keys);
     if (options->Find("top_k") != nullptr) {
       Result<int> top_k = IntField(*options, context, "top_k", 0);
@@ -819,6 +929,11 @@ HttpResponse ReptileService::HandleSessionCreate(const std::string& body) {
       Result<int> threads = IntField(*options, context, "threads", 0);
       if (!threads.ok()) return ErrorResponse(threads.status());
       session_options.Threads(*threads);
+    }
+    if (const JsonValue* model = options->Find("model")) {
+      Result<ModelSpec> spec = ParseModelSpec(*model, context + ".model");
+      if (!spec.ok()) return ErrorResponse(spec.status());
+      session_options.Model(std::move(*spec));
     }
   }
 

@@ -3,7 +3,13 @@
 // the api/ Status error contract spoken as HTTP status codes.
 //
 // Routes (all bodies are JSON):
-//   GET    /healthz            liveness: {"status":"ok","datasets":N,"sessions":M}
+//   GET    /healthz            liveness + warm-path counters: datasets,
+//                              sessions, sessions_evicted, and the shared
+//                              aggregate-/model-cache hit/miss/entry (+fits)
+//                              totals summed over every LIVE dataset — each
+//                              dataset's counters are monotonic, but deleting
+//                              a dataset drops its contribution, so treat the
+//                              sums as a gauge, not a monotonic counter
 //   GET    /v1/datasets        registered datasets: columns, hierarchies, and
 //                              the DEFAULT session's drill state
 //   POST   /v1/datasets        load a dataset into the registry — server-side

@@ -130,13 +130,13 @@ TEST(Engine, DenseBackendAgreesWithFactorized) {
   Complaint complaint = Complaint::TooHigh(AggFn::kMean, 3, filter);
 
   EngineOptions fopts;
-  fopts.backend = TrainBackend::kFactorized;
+  fopts.model.Factorized();
   Engine fengine(&ds, fopts);
   fengine.CommitDrillDown(1);
   Recommendation frec = fengine.RecommendDrillDown(complaint);
 
   EngineOptions dopts;
-  dopts.backend = TrainBackend::kDense;
+  dopts.model.Dense();
   Engine dengine(&ds, dopts);
   dengine.CommitDrillDown(1);
   Recommendation drec = dengine.RecommendDrillDown(complaint);
@@ -156,7 +156,7 @@ TEST(Engine, LinearModelRuns) {
   DroughtData data = MakeDriftData(&rng);
   Dataset ds = data.MakeDataset();
   EngineOptions opts;
-  opts.model = ModelKind::kLinear;
+  opts.model.Linear();
   Engine engine(&ds, opts);
   engine.CommitDrillDown(1);
   RowFilter filter;
@@ -324,7 +324,7 @@ TEST(Engine, ExtraRepairStatsAddPredictions) {
   DroughtData data = MakeDriftData(&rng);
   Dataset ds = data.MakeDataset();
   EngineOptions opts;
-  opts.extra_repair_stats = {AggFn::kCount};
+  opts.model.extra_repair_stats = {AggFn::kCount};
   Engine engine(&ds, opts);
   engine.CommitDrillDown(1);
   RowFilter filter;

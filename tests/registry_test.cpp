@@ -116,9 +116,12 @@ TEST(DatasetRegistry, SessionsShareAggregatesAndStayByteIdentical) {
         << "aggregate (" << key.first << ", " << key.second << ") was rebuilt or moved";
   }
 
-  // Both sessions train their own models (fits are per-invocation); the
-  // sharing is in the aggregate/f-tree layer.
-  EXPECT_EQ(warm->models_trained(), cold->models_trained());
+  // The warm session trains NOTHING: beyond the aggregate/f-tree layer, the
+  // shared fitted-model cache hands it the cold session's models (same
+  // committed depths, same default ModelSpec -> same keys).
+  EXPECT_GT(cold->models_trained(), 0);
+  EXPECT_EQ(warm->models_trained(), 0);
+  EXPECT_EQ(warm->fit_cache_hits(), cold->models_trained());
 }
 
 TEST(DatasetRegistry, DrillStateIsPerSession) {

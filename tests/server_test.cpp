@@ -79,11 +79,14 @@ std::string PanelBatchBody(const std::string& extra_options = std::string(),
   return body;
 }
 
-// Serialisation with the (scheduling-dependent) timing fields zeroed, to
-// match the wire's zero_timings option.
+// Serialisation with the scheduling- and cache-state-dependent fields zeroed
+// (timings AND fit counters — a warm call trains 0 models where a cold one
+// trained N), to match the wire's zero_timings option.
 std::string TimelessJson(BatchExploreResponse batch) {
   batch.train_seconds = 0.0;
   batch.wall_seconds = 0.0;
+  batch.models_trained = 0;
+  batch.fit_cache_hits = 0;
   for (ExploreResponse& response : batch.responses) {
     for (HierarchyResponse& candidate : response.candidates) {
       candidate.train_seconds = 0.0;
@@ -151,7 +154,11 @@ TEST_F(ServerTest, Healthz) {
   Result<HttpClientResponse> response = client.Get("/healthz");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status, 200);
-  EXPECT_EQ(response->body, "{\"status\":\"ok\",\"datasets\":3,\"sessions\":3}");
+  // Fresh fixture: no recommends have run, so both shared caches read zero.
+  EXPECT_EQ(response->body,
+            "{\"status\":\"ok\",\"datasets\":3,\"sessions\":3,\"sessions_evicted\":0,"
+            "\"aggregate_cache\":{\"entries\":0,\"hits\":0,\"misses\":0},"
+            "\"model_cache\":{\"entries\":0,\"hits\":0,\"misses\":0,\"fits\":0}}");
   ASSERT_NE(response->FindHeader("content-type"), nullptr);
   EXPECT_EQ(*response->FindHeader("content-type"), "application/json");
 }
@@ -524,7 +531,8 @@ TEST_F(ServerTest, DatasetUploadAndFullSessionLifecycle) {
   // The registry and the default session are live.
   Result<HttpClientResponse> health = client.Get("/healthz");
   ASSERT_TRUE(health.ok());
-  EXPECT_EQ(health->body, "{\"status\":\"ok\",\"datasets\":4,\"sessions\":4}");
+  EXPECT_NE(health->body.find("\"datasets\":4,\"sessions\":4"), std::string::npos)
+      << health->body;
 
   // Create: a per-client session restoring the committed-depth map.
   Result<HttpClientResponse> created =
@@ -656,7 +664,8 @@ TEST_F(ServerTest, DatasetDeleteRemovesSessionsAndAlias) {
   ExpectError(client.Post("/v1/sessions", R"({"dataset":"fresh"})"), 404, "NOT_FOUND");
   Result<HttpClientResponse> health = client.Get("/healthz");
   ASSERT_TRUE(health.ok());
-  EXPECT_EQ(health->body, "{\"status\":\"ok\",\"datasets\":2,\"sessions\":2}");
+  EXPECT_NE(health->body.find("\"datasets\":2,\"sessions\":2"), std::string::npos)
+      << health->body;
   // Unknown dataset -> 404; the name can be re-registered cleanly.
   Result<std::string> missing = Client().SendRaw(
       "DELETE /v1/datasets/fresh HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
@@ -958,6 +967,196 @@ TEST(ServerLifecycle, StopFinishesInFlightAndRefusesNewConnections) {
   Result<HttpClientResponse> after = client.Get("/healthz");
   EXPECT_FALSE(after.ok());  // connection refused (or immediately dropped)
   server.reset();            // double-stop via destructor is safe
+}
+
+// ---- The options.model wire schema -----------------------------------------
+
+// Every options.model field round-trips: the request's values come back in
+// the response's model echo, byte-identical to the equivalent direct
+// BatchOptions::Model call.
+TEST_F(ServerTest, OptionsModelRoundTripsEveryField) {
+  ModelSpec spec = ModelSpec()
+                       .Linear()
+                       .Dense()
+                       .EmIterations(9)
+                       .EmTolerance(0.25)
+                       .FitCache(false)
+                       .RepairAlso(AggFn::kCount);
+  ComplaintSpec complaint =
+      ComplaintSpec::TooHigh("mean", "severity").Where("year", "y2");
+  Result<ExploreResponse> direct = direct_.Recommend(complaint, BatchOptions().Model(spec));
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  HttpClient client = Client();
+  Result<HttpClientResponse> response = client.Post(
+      "/v1/recommend",
+      R"({"dataset":"panel","complaint":{"aggregate":"mean","measure":"severity",)"
+      R"("where":[{"column":"year","value":"y2"}]},)"
+      R"("options":{"zero_timings":true,"model":{"kind":"linear","backend":"dense",)"
+      R"("em_iterations":9,"em_tolerance":0.25,"fit_cache":false,)"
+      R"("extra_repair_stats":["count"]}}})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200) << response->body;
+  EXPECT_EQ(response->body, TimelessJson(*direct));
+
+  // The echo carries every field back.
+  Result<JsonValue> parsed = ParseJson(response->body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* model = parsed->Find("model");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->Find("kind")->string_value(), "linear");
+  EXPECT_EQ(model->Find("backend")->string_value(), "dense");
+  EXPECT_EQ(model->Find("em_iterations")->IntValue(), 9);
+  EXPECT_DOUBLE_EQ(model->Find("em_tolerance")->number_value(), 0.25);
+  EXPECT_FALSE(model->Find("fit_cache")->bool_value());
+  ASSERT_EQ(model->Find("extra_repair_stats")->array_items().size(), 1u);
+  EXPECT_EQ(model->Find("extra_repair_stats")->array_items()[0].string_value(), "count");
+}
+
+TEST_F(ServerTest, OptionsModelRejectsUnknownAndWrongTypedFields) {
+  HttpClient client = Client();
+  const std::string prefix =
+      R"({"dataset":"panel","complaint":{"aggregate":"mean","measure":"severity"},)"
+      R"("options":{"model":)";
+
+  // Unknown field, named in the error.
+  Result<HttpClientResponse> unknown =
+      client.Post("/v1/recommend", prefix + R"({"iterations":5}}})");
+  ExpectError(unknown, 400, "INVALID_ARGUMENT");
+  EXPECT_NE(unknown->body.find("iterations"), std::string::npos) << unknown->body;
+  EXPECT_NE(unknown->body.find("options.model"), std::string::npos) << unknown->body;
+
+  // Wrong-typed fields.
+  ExpectError(client.Post("/v1/recommend", prefix + R"({"em_iterations":"many"}}})"), 400,
+              "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/recommend", prefix + R"({"em_tolerance":"tiny"}}})"), 400,
+              "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/recommend", prefix + R"({"fit_cache":"yes"}}})"), 400,
+              "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/recommend", prefix + R"(["dense"]}})"), 400,
+              "INVALID_ARGUMENT");
+
+  // Unknown enum names.
+  Result<HttpClientResponse> bad_backend =
+      client.Post("/v1/recommend", prefix + R"({"backend":"gpu"}}})");
+  ExpectError(bad_backend, 400, "INVALID_ARGUMENT");
+  EXPECT_NE(bad_backend->body.find("gpu"), std::string::npos);
+  ExpectError(client.Post("/v1/recommend", prefix + R"({"kind":"deep_net"}}})"), 400,
+              "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/recommend",
+                          prefix + R"({"extra_repair_stats":["median"]}}})"),
+              400, "INVALID_ARGUMENT");
+
+  // Range errors surface through the plan stage.
+  ExpectError(client.Post("/v1/recommend", prefix + R"({"em_iterations":0}}})"), 400,
+              "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/recommend", prefix + R"({"em_tolerance":-0.5}}})"), 400,
+              "INVALID_ARGUMENT");
+
+  // model + deprecated extra_repair_stats conflict.
+  ExpectError(
+      client.Post(
+          "/v1/recommend",
+          R"({"dataset":"panel","complaint":{"aggregate":"mean","measure":"severity"},)"
+          R"("options":{"model":{},"extra_repair_stats":["count"]}})"),
+      400, "INVALID_ARGUMENT");
+
+  // Malformed JSON inside the options still reports the byte offset.
+  Result<HttpClientResponse> malformed = client.Post(
+      "/v1/recommend",
+      R"({"dataset":"panel","complaint":{"aggregate":"mean"},"options":{"model":{,}}})");
+  ExpectError(malformed, 400, "PARSE_ERROR");
+  EXPECT_NE(malformed->body.find("byte "), std::string::npos) << malformed->body;
+}
+
+// The warm-path acceptance criterion over the wire: the same request served
+// cold and cache-warm returns byte-identical bodies under zero_timings, and
+// /healthz exposes the cache traffic.
+TEST_F(ServerTest, WarmCacheResponsesByteIdenticalAndObservable) {
+  HttpClient client = Client();
+  const std::string body = PanelBatchBody();
+
+  Result<HttpClientResponse> cold = client.Post("/v1/recommend_batch", body);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->status, 200);
+
+  Result<HttpClientResponse> health_after_cold = client.Get("/healthz");
+  ASSERT_TRUE(health_after_cold.ok());
+  Result<JsonValue> cold_health = ParseJson(health_after_cold->body);
+  ASSERT_TRUE(cold_health.ok());
+  const JsonValue* model_cache = cold_health->Find("model_cache");
+  ASSERT_NE(model_cache, nullptr);
+  int64_t fits_after_cold = model_cache->Find("fits")->IntValue();
+  EXPECT_GT(fits_after_cold, 0);
+  EXPECT_EQ(model_cache->Find("entries")->IntValue(), fits_after_cold);
+  EXPECT_GT(cold_health->Find("aggregate_cache")->Find("entries")->IntValue(), 0);
+
+  // Same request again: warm — zero new fits, hits instead, identical bytes.
+  Result<HttpClientResponse> warm = client.Post("/v1/recommend_batch", body);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->body, cold->body);
+
+  Result<HttpClientResponse> health_after_warm = client.Get("/healthz");
+  ASSERT_TRUE(health_after_warm.ok());
+  Result<JsonValue> warm_health = ParseJson(health_after_warm->body);
+  ASSERT_TRUE(warm_health.ok());
+  const JsonValue* warm_model_cache = warm_health->Find("model_cache");
+  EXPECT_EQ(warm_model_cache->Find("fits")->IntValue(), fits_after_cold);
+  EXPECT_EQ(warm_model_cache->Find("hits")->IntValue(), fits_after_cold);
+
+  // A per-client session over the same dataset is warm from its first call.
+  Result<HttpClientResponse> created =
+      client.Post("/v1/sessions", R"({"dataset":"panel"})");
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->status, 201);
+  Result<JsonValue> session = ParseJson(created->body);
+  ASSERT_TRUE(session.ok());
+  std::string id = session->Find("session")->string_value();
+  // The default session is committed to time depth 1; match it.
+  Result<HttpClientResponse> committed = client.Post(
+      "/v1/commit", R"({"session":")" + id + R"(","hierarchy":"time"})");
+  ASSERT_TRUE(committed.ok());
+  Result<HttpClientResponse> warm_session = client.Post(
+      "/v1/recommend_batch",
+      PanelBatchBody("", R"("session":")" + id + R"(")"));
+  ASSERT_TRUE(warm_session.ok()) << warm_session.status().ToString();
+  EXPECT_EQ(warm_session->body, cold->body);
+  Result<HttpClientResponse> final_health = client.Get("/healthz");
+  ASSERT_TRUE(final_health.ok());
+  Result<JsonValue> final_parsed = ParseJson(final_health->body);
+  ASSERT_TRUE(final_parsed.ok());
+  EXPECT_EQ(final_parsed->Find("model_cache")->Find("fits")->IntValue(), fits_after_cold);
+}
+
+// A session created with options.model runs that spec on every call.
+TEST_F(ServerTest, SessionCreateAcceptsModelOptions) {
+  HttpClient client = Client();
+  Result<HttpClientResponse> created = client.Post(
+      "/v1/sessions",
+      R"({"dataset":"panel","committed":{"time":1},)"
+      R"("options":{"model":{"kind":"linear","backend":"dense"}}})");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_EQ(created->status, 201) << created->body;
+  Result<JsonValue> session = ParseJson(created->body);
+  ASSERT_TRUE(session.ok());
+  std::string id = session->Find("session")->string_value();
+
+  Result<HttpClientResponse> response = client.Post(
+      "/v1/recommend",
+      R"({"session":")" + id +
+          R"(","complaint":{"aggregate":"mean","measure":"severity",)"
+          R"("where":[{"column":"year","value":"y1"}]}})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200) << response->body;
+  Result<JsonValue> parsed = ParseJson(response->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("model")->Find("kind")->string_value(), "linear");
+  EXPECT_EQ(parsed->Find("model")->Find("backend")->string_value(), "dense");
+
+  // Bad model options are rejected at creation, naming the field.
+  ExpectError(client.Post("/v1/sessions",
+                          R"({"dataset":"panel","options":{"model":{"backend":"gpu"}}})"),
+              400, "INVALID_ARGUMENT");
 }
 
 }  // namespace
