@@ -1,0 +1,296 @@
+// Saturation profile of the epoll serving tier, emitted as
+// BENCH_server_saturation.json: a client-count sweep (p50/p99 latency and
+// throughput per step) over loopback /v1/recommend against a ReactorServer
+// with a fixed thread budget, followed by an idle-hold phase that parks 256
+// keep-alive connections and proves the process thread count does not move —
+// idle clients are connection state, not threads.
+//
+// Like bench/model_cache.cpp (and unlike the google-benchmark binaries) this
+// has NO external dependency: it is part of the tier-1 gate, so it must
+// build wherever the library builds. scripts/check.sh runs it and asserts
+// the structural contract — every request 200, byte-identical bodies across
+// the sweep, idle_ok true — not absolute timings, which a loaded CI machine
+// cannot promise. Exits non-zero when the contract breaks.
+//
+// Usage: server_saturation [output.json]
+//        (default ./BENCH_server_saturation.json)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/panel_gen.h"
+#include "net/reactor_server.h"
+#include "reptile/reptile.h"
+#include "server/http_client.h"
+#include "server/service.h"
+
+namespace reptile {
+namespace {
+
+constexpr int kYears = 4;
+constexpr int kIdleConnections = 256;
+constexpr int kRequestsPerClient = 24;
+
+Dataset MakePanel() {
+  PanelSpec spec;
+  spec.districts = 4;
+  spec.villages_per_district = 3;
+  spec.years = kYears;
+  spec.rows_per_group = 3;
+  return MakeSeverityPanel(spec);
+}
+
+std::string RecommendBody(int year) {
+  return R"({"dataset":"panel","complaint":{"aggregate":"std",)"
+         R"("measure":"severity","where":[{"column":"year","value":"y)" +
+         std::to_string(year) +
+         R"("}]},"options":{"zero_timings":true}})";
+}
+
+int ProcessThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) return std::atoi(line.c_str() + 8);
+  }
+  return -1;
+}
+
+/// A bare connected socket held open to occupy a reactor slot.
+class IdleConnection {
+ public:
+  explicit IdleConnection(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~IdleConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  IdleConnection(IdleConnection&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  IdleConnection& operator=(IdleConnection&&) = delete;
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+struct SweepStep {
+  int clients = 0;
+  int requests = 0;     // total completed
+  int failures = 0;     // non-200 or transport errors
+  int mismatches = 0;   // body differed from the serial reference
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double rps = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[index];
+}
+
+SweepStep RunStep(int port, int clients, const std::vector<std::string>& expected) {
+  SweepStep step;
+  step.clients = clients;
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      HttpClient client("127.0.0.1", port);
+      std::vector<double> local_ms;
+      local_ms.reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        int year = (c + i) % kYears;
+        Timer timer;
+        Result<HttpClientResponse> response =
+            client.Post("/v1/recommend", RecommendBody(year));
+        double ms = timer.Seconds() * 1000.0;
+        if (!response.ok() || response->status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (response->body != expected[static_cast<size_t>(year)]) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        local_ms.push_back(ms);
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(), local_ms.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_seconds = wall.Seconds();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  step.requests = static_cast<int>(latencies_ms.size());
+  step.failures = failures.load();
+  step.mismatches = mismatches.load();
+  step.p50_ms = Percentile(latencies_ms, 0.50);
+  step.p99_ms = Percentile(latencies_ms, 0.99);
+  step.rps = wall_seconds > 0.0 ? static_cast<double>(step.requests) / wall_seconds : 0.0;
+  return step;
+}
+
+int Run(const char* output_path) {
+  ReptileService service;
+  Status added = service.AddDataset("panel", MakePanel(), {"time"});
+  if (!added.ok()) {
+    std::fprintf(stderr, "dataset setup failed: %s\n", added.ToString().c_str());
+    return 1;
+  }
+
+  ReactorServerOptions options;
+  options.num_threads = 2;  // fixed budget: the point of the idle-hold phase
+  options.tick_interval_ms = 50;
+  options.stream_factory = [&service](const HttpRequest& head) {
+    return service.StartStreamingBody(head);
+  };
+  ReactorServer server(std::move(options), [&service](const HttpRequest& request) {
+    return service.Handle(request);
+  });
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // Serial reference pass: warms every model fit and pins the expected bytes
+  // (zero_timings makes them deterministic) the sweep verifies against.
+  std::vector<std::string> expected;
+  {
+    HttpClient client("127.0.0.1", server.port());
+    for (int y = 0; y < kYears; ++y) {
+      Result<HttpClientResponse> response =
+          client.Post("/v1/recommend", RecommendBody(y));
+      if (!response.ok() || response->status != 200) {
+        std::fprintf(stderr, "warmup request failed (year %d)\n", y);
+        return 1;
+      }
+      expected.push_back(response->body);
+    }
+  }
+
+  // Saturation sweep: 1 → 4 → 16 concurrent clients over 2 worker threads.
+  std::vector<SweepStep> sweep;
+  for (int clients : {1, 4, 16}) {
+    sweep.push_back(RunStep(server.port(), clients, expected));
+  }
+
+  // Idle-hold phase: 256 parked keep-alive connections must not grow the
+  // process and must not block a live request.
+  int threads_before = ProcessThreadCount();
+  std::vector<IdleConnection> idle;
+  idle.reserve(kIdleConnections);
+  bool idle_connect_ok = true;
+  for (int i = 0; i < kIdleConnections; ++i) {
+    idle.emplace_back(server.port());
+    if (!idle.back().ok()) idle_connect_ok = false;
+  }
+  Timer settle;
+  while (server.open_connections() < kIdleConnections && settle.Seconds() < 5.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  int64_t open_with_idle = server.open_connections();
+  int threads_after = ProcessThreadCount();
+  bool probe_ok = false;
+  {
+    HttpClient client("127.0.0.1", server.port());
+    Result<HttpClientResponse> probe = client.Post("/v1/recommend", RecommendBody(0));
+    probe_ok = probe.ok() && probe->status == 200 && probe->body == expected[0];
+  }
+  bool idle_ok = idle_connect_ok && open_with_idle >= kIdleConnections &&
+                 threads_after == threads_before && probe_ok;
+  idle.clear();
+
+  std::string json = "{\"workload\":\"reactor_loopback_recommend\",";
+  json += "\"worker_threads\":2,\"requests_per_client\":" +
+          std::to_string(kRequestsPerClient) + ",\"sweep\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepStep& step = sweep[i];
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"clients\":%d,\"requests\":%d,\"failures\":%d,"
+                  "\"mismatches\":%d,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+                  "\"rps\":%.1f}",
+                  i == 0 ? "" : ",", step.clients, step.requests, step.failures,
+                  step.mismatches, step.p50_ms, step.p99_ms, step.rps);
+    json += buffer;
+  }
+  json += "],\"idle\":{\"connections\":" + std::to_string(kIdleConnections) +
+          ",\"open_with_idle\":" + std::to_string(open_with_idle) +
+          ",\"threads_before\":" + std::to_string(threads_before) +
+          ",\"threads_after\":" + std::to_string(threads_after) +
+          ",\"probe_ok\":" + (probe_ok ? "true" : "false") +
+          ",\"idle_ok\":" + (idle_ok ? "true" : "false") + "},";
+  json += "\"reactor\":" + server.StatsJson() + "}\n";
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", output_path);
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fputs(json.c_str(), stdout);
+
+  server.Stop();
+
+  // The structural contract check.sh gates on — correctness, not timings.
+  for (const SweepStep& step : sweep) {
+    if (step.failures != 0 || step.mismatches != 0) {
+      std::fprintf(stderr, "FAIL: %d clients saw %d failures / %d mismatched bodies\n",
+                   step.clients, step.failures, step.mismatches);
+      return 1;
+    }
+    if (step.requests != step.clients * kRequestsPerClient) {
+      std::fprintf(stderr, "FAIL: %d clients completed %d/%d requests\n", step.clients,
+                   step.requests, step.clients * kRequestsPerClient);
+      return 1;
+    }
+  }
+  if (!idle_ok) {
+    std::fprintf(stderr,
+                 "FAIL: idle-hold broke (connect_ok=%d open=%lld threads %d -> %d "
+                 "probe_ok=%d)\n",
+                 idle_connect_ok, static_cast<long long>(open_with_idle), threads_before,
+                 threads_after, probe_ok);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main(int argc, char** argv) {
+  const char* output = argc > 1 ? argv[1] : "BENCH_server_saturation.json";
+  return reptile::Run(output);
+}

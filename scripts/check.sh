@@ -29,6 +29,22 @@ if [[ -x "$BUILD_DIR/bench/model_cache" ]]; then
   echo "--- model-cache bench passed"
 fi
 
+if [[ -x "$BUILD_DIR/bench/server_saturation" ]]; then
+  echo "--- server-saturation bench: reactor sweep + 256-connection idle hold"
+  # Emits BENCH_server_saturation.json (p50/p99/rps per client-count step,
+  # idle-hold thread accounting, reactor counters) and exits non-zero when
+  # the structural contract breaks; the greps double-check the recorded
+  # contract — correctness fields only, never timings (CI machines are slow
+  # and shared).
+  "$BUILD_DIR/bench/server_saturation" "$BUILD_DIR/BENCH_server_saturation.json"
+  grep -q '"idle_ok":true' "$BUILD_DIR/BENCH_server_saturation.json"
+  grep -q '"probe_ok":true' "$BUILD_DIR/BENCH_server_saturation.json"
+  grep -q '"failures":0' "$BUILD_DIR/BENCH_server_saturation.json"
+  grep -q '"mismatches":0' "$BUILD_DIR/BENCH_server_saturation.json"
+  grep -q '"open_with_idle":256' "$BUILD_DIR/BENCH_server_saturation.json"
+  echo "--- server-saturation bench passed"
+fi
+
 if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   echo "--- server smoke: reptile_serve --demo on an ephemeral port"
   SERVE_LOG="$(mktemp)"
@@ -75,6 +91,40 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   wait "$SERVE_PID"   # exits 0 on a clean shutdown; set -e fails otherwise
   trap - EXIT
   echo "--- server smoke passed"
+
+  echo "--- reactor smoke: reptile_serve --reactor with auth + streamed upload"
+  REACTOR_LOG="$(mktemp)"
+  "$BUILD_DIR/reptile_serve" --demo --reactor --port 0 --http-threads 2 \
+      --auth-token smoke-tok > "$REACTOR_LOG" 2>&1 &
+  REACTOR_PID=$!
+  trap 'kill -9 "$REACTOR_PID" 2>/dev/null || true' EXIT
+  RPORT=""
+  for _ in $(seq 1 100); do
+    RPORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$REACTOR_LOG")"
+    [[ -n "$RPORT" ]] && break
+    kill -0 "$REACTOR_PID" 2>/dev/null || { cat "$REACTOR_LOG"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$RPORT" ]] || { echo "reactor server never reported its port"; cat "$REACTOR_LOG"; exit 1; }
+  # /healthz is auth-exempt and must surface the reactor's transport counters.
+  curl -fsS "http://127.0.0.1:$RPORT/healthz" | grep -q '"transport":{"open_connections"'
+  # Mutating routes require the bearer token: 401 without, 201 with — and the
+  # with-token path is a text/csv body streamed straight into the parser.
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "http://127.0.0.1:$RPORT/v1/datasets?name=s&dimensions=d,y&measures=m" \
+        -H 'Content-Type: text/csv' --data-binary $'d,y,m\nd0,y0,1\n')" == "401" ]]
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -H 'Authorization: Bearer smoke-tok' -H 'Content-Type: text/csv' \
+        --data-binary $'d,y,m\nd0,y0,1\nd0,y1,2\nd1,y0,3\nd1,y1,4\n' \
+        "http://127.0.0.1:$RPORT/v1/datasets?name=s&dimensions=d,y&measures=m&hierarchy=geo:d&hierarchy=time:y&commits=time")" == "201" ]]
+  # Reads stay open without a token; the streamed dataset is queryable.
+  curl -fsS -X POST "http://127.0.0.1:$RPORT/v1/recommend" \
+      -d '{"dataset":"s","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
+    | grep -q '"best_index"'
+  kill -TERM "$REACTOR_PID"
+  wait "$REACTOR_PID"
+  trap - EXIT
+  echo "--- reactor smoke passed"
 fi
 
 if [[ "${REPTILE_SKIP_TSAN:-0}" != "1" ]]; then

@@ -15,6 +15,11 @@ ModelSpec& ModelSpec::With(Backend b) {
   return *this;
 }
 
+ModelSpec& ModelSpec::With(RandomPolicy p) {
+  random_effects = p;
+  return *this;
+}
+
 ModelSpec& ModelSpec::EmIterations(int iters) {
   em_iterations = iters;
   return *this;
@@ -51,7 +56,8 @@ std::string ModelSpec::CacheKey() const {
   // on a key only when they are the same value. The format only has to be
   // deterministic, not pretty — keys never leave the process.
   std::ostringstream os;
-  os << KindName(kind) << ',' << BackendName(backend) << ",it" << em_iterations << ",tol"
+  os << KindName(kind) << ',' << BackendName(backend) << ",re"
+     << RandomPolicyName(random_effects) << ",it" << em_iterations << ",tol"
      << std::hexfloat << em_tolerance;
   return os.str();
 }
@@ -78,6 +84,18 @@ const char* ModelSpec::BackendName(Backend backend) {
   return "auto";
 }
 
+const char* ModelSpec::RandomPolicyName(RandomPolicy policy) {
+  switch (policy) {
+    case RandomPolicy::kDefault:
+      return "default";
+    case RandomPolicy::kIntercepts:
+      return "intercepts";
+    case RandomPolicy::kAll:
+      return "all";
+  }
+  return "default";
+}
+
 std::optional<ModelSpec::Kind> ModelSpec::ParseKind(const std::string& name) {
   if (name == "multilevel") return Kind::kMultiLevel;
   if (name == "linear") return Kind::kLinear;
@@ -88,6 +106,12 @@ std::optional<ModelSpec::Backend> ModelSpec::ParseBackend(const std::string& nam
   if (name == "auto") return Backend::kAuto;
   if (name == "factorized") return Backend::kFactorized;
   if (name == "dense") return Backend::kDense;
+  return std::nullopt;
+}
+
+std::optional<ModelSpec::RandomPolicy> ModelSpec::ParseRandomPolicy(const std::string& name) {
+  if (name == "intercepts") return RandomPolicy::kIntercepts;
+  if (name == "all") return RandomPolicy::kAll;
   return std::nullopt;
 }
 

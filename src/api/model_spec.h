@@ -44,8 +44,20 @@ struct ModelSpec {
   /// Matlab/LAPACK-style baseline), or pick automatically.
   enum class Backend { kAuto, kFactorized, kDense };
 
+  /// Which columns get random effects (paper Section 3.2's Z design matrix):
+  /// only the intercept (the default), or every non-excluded feature column.
+  /// kDefault inherits the session's engine-level policy
+  /// (EngineOptions::random_effects / ExploreRequest::RandomEffects) — the
+  /// one ModelSpec field that does NOT reset to a fixed default on a
+  /// per-call override, because the policy predates ModelSpec and sessions
+  /// configure it separately. The engine canonicalizes kDefault away in
+  /// EffectiveModelSpec(), so echoed/cached specs always carry a concrete
+  /// policy.
+  enum class RandomPolicy { kDefault, kIntercepts, kAll };
+
   Kind kind = Kind::kMultiLevel;
   Backend backend = Backend::kAuto;
+  RandomPolicy random_effects = RandomPolicy::kDefault;
   // EM caps: at most `em_iterations` iterations (the paper's default 20),
   // stopping early once the max |Δbeta| of an iteration falls below
   // `em_tolerance` (0 = run every iteration, the bit-reproducible default).
@@ -66,6 +78,9 @@ struct ModelSpec {
   ModelSpec& Auto() { return With(Backend::kAuto); }
   ModelSpec& Factorized() { return With(Backend::kFactorized); }
   ModelSpec& Dense() { return With(Backend::kDense); }
+  ModelSpec& With(RandomPolicy p);
+  ModelSpec& InterceptRandomEffects() { return With(RandomPolicy::kIntercepts); }
+  ModelSpec& AllRandomEffects() { return With(RandomPolicy::kAll); }
   ModelSpec& EmIterations(int iters);
   ModelSpec& EmTolerance(double tolerance);
   ModelSpec& FitCache(bool use);
@@ -76,20 +91,26 @@ struct ModelSpec {
   Status Validate() const;
 
   /// Canonical fragment of the shared fitted-model cache key: every field
-  /// that changes a single primitive's fit (kind, backend, EM caps).
-  /// extra_repair_stats only widens WHICH primitives are fitted — each
-  /// primitive's model is identical either way — and fit_cache only gates
-  /// cache use, so neither partitions the key.
+  /// that changes a single primitive's fit (kind, backend, random-effect
+  /// policy, EM caps). extra_repair_stats only widens WHICH primitives are
+  /// fitted — each primitive's model is identical either way — and fit_cache
+  /// only gates cache use, so neither partitions the key. The engine always
+  /// keys on the canonicalized (EffectiveModelSpec) spec, so the policy
+  /// token is concrete, never "default".
   std::string CacheKey() const;
 
   bool operator==(const ModelSpec&) const = default;
 
   static const char* KindName(Kind kind);
   static const char* BackendName(Backend backend);
+  static const char* RandomPolicyName(RandomPolicy policy);
   /// Inverse of the Name functions ("multilevel"/"linear",
-  /// "auto"/"factorized"/"dense"); nullopt for unknown names.
+  /// "auto"/"factorized"/"dense", "intercepts"/"all"); nullopt for unknown
+  /// names. RandomPolicy has no wire spelling for kDefault — omitting the
+  /// field is how a request inherits the session policy.
   static std::optional<Kind> ParseKind(const std::string& name);
   static std::optional<Backend> ParseBackend(const std::string& name);
+  static std::optional<RandomPolicy> ParseRandomPolicy(const std::string& name);
 };
 
 }  // namespace reptile

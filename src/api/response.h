@@ -49,8 +49,15 @@ struct HierarchyResponse {
 struct ModelResponse {
   std::string kind = "multilevel";   // "multilevel" | "linear"
   std::string backend = "factorized";  // "auto" | "factorized" | "dense"
+  std::string random_effects = "intercepts";  // "intercepts" | "all"
   int em_iterations = 20;
   double em_tolerance = 0.0;
+  // EM iterations the training loop actually executed — em_iterations when
+  // it ran to the cap, fewer when em_tolerance stopped it early, the max
+  // over the call's fits when they differ, 0 for linear models. The knob
+  // users watch to tune em_tolerance. Identical for cold and cache-warm
+  // calls: the realized count is stored with the cached model.
+  int em_iterations_run = 0;
   bool fit_cache = true;
   std::vector<std::string> extra_repair_stats;  // lowercase statistic names
 };
@@ -93,6 +100,13 @@ struct BatchExploreResponse {
   double wall_seconds = 0.0;
 
   std::string ToJson() const;
+
+  /// The exact ToJson() bytes split at streaming-friendly boundaries: one
+  /// piece for the batch header, one per response (separator included), one
+  /// for the closing bracket. Concatenating the pieces reproduces ToJson()
+  /// byte-for-byte — the server's chunked recommend_batch path streams these
+  /// one at a time instead of joining them into a single string.
+  std::vector<std::string> ToJsonPieces() const;
 };
 
 /// One row of an aggregate view.

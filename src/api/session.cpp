@@ -302,6 +302,7 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   ModelResponse model_echo;
   model_echo.kind = ModelSpec::KindName(effective.kind);
   model_echo.backend = ModelSpec::BackendName(effective.backend);
+  model_echo.random_effects = ModelSpec::RandomPolicyName(effective.random_effects);
   model_echo.em_iterations = effective.em_iterations;
   model_echo.em_tolerance = effective.em_tolerance;
   model_echo.fit_cache = effective.fit_cache;
@@ -312,6 +313,9 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   BatchTiming timing;
   std::vector<Recommendation> recommendations = engine.RecommendBatch(
       std::span<const Complaint>(resolved.data(), resolved.size()), overrides, &timing);
+  // Known only after the fits ran (or were found in the cache, which stores
+  // the realized count): how many EM iterations the training loop executed.
+  model_echo.em_iterations_run = timing.em_iterations_run;
 
   BatchExploreResponse batch;
   batch.models_trained = engine.stats().models_trained - trained_before;

@@ -183,6 +183,13 @@ ModelSpec Engine::EffectiveModelSpec(const BatchOverrides& overrides) const {
     }
     if (!multi_attribute) spec.backend = ModelSpec::Backend::kFactorized;
   }
+  if (spec.random_effects == ModelSpec::RandomPolicy::kDefault) {
+    // A spec that does not name a random-effect policy inherits the engine
+    // option — the pre-ModelSpec configuration surface sessions still use.
+    spec.random_effects = options_.random_effects == RandomEffects::kInterceptOnly
+                              ? ModelSpec::RandomPolicy::kIntercepts
+                              : ModelSpec::RandomPolicy::kAll;
+  }
   return spec;
 }
 
@@ -355,6 +362,7 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
   // cache hits charge nothing, their work happened in some earlier call.
   std::vector<double> charged_train(complaints.size() * plans.size(), 0.0);
   double train_seconds_sum = 0.0;
+  int em_iterations_run = 0;
   for (size_t i = 0; i < fit_tasks.size(); ++i) {
     const FitTask& task = fit_tasks[i];
     FitOutcome& outcome = outcomes[i];
@@ -366,6 +374,10 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
     } else {
       stats_.fit_cache_hits += 1;
     }
+    // The realized EM count is a property of the model, not of who fitted
+    // it, so hits and fresh fits contribute alike — warm calls echo the same
+    // number as the cold call that trained the model.
+    em_iterations_run = std::max(em_iterations_run, outcome.model->em_iterations_run);
     task.plan->fits.find(std::make_pair(task.measure_column, task.primitive))->second =
         std::move(outcome.model);
   }
@@ -402,6 +414,7 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
   if (timing != nullptr) {
     timing->train_seconds = train_seconds_sum;
     timing->wall_seconds = wall_timer.Seconds();
+    timing->em_iterations_run = em_iterations_run;
   }
   return out;
 }
@@ -412,12 +425,13 @@ std::string Engine::FitCacheKey(const ModelSpec& spec, int hierarchy, int measur
                                 AggFn primitive) const {
   // Everything a fitted model depends on, given the immutable prepared
   // dataset the cache hangs off: the feature-registration partition, the
-  // random-effect policy, the canonical spec, the full committed-depth
+  // canonical spec (which carries the concrete random-effect policy — the
+  // caller always keys on EffectiveModelSpec), the full committed-depth
   // vector (every committed hierarchy's tree shapes the feature matrix),
   // and the fit coordinates. The candidate depth is committed[hierarchy]+1,
   // so it needs no separate component.
   std::string key = feature_token_;
-  key += options_.random_effects == RandomEffects::kInterceptOnly ? "|re:i|" : "|re:a|";
+  key += '|';
   key += spec.CacheKey();
   key += "|c:";
   for (int h = 0; h < dataset_->num_hierarchies(); ++h) {
@@ -597,9 +611,15 @@ FittedModel Engine::FitPrimitive(const CandidatePlan& plan, int measure_column,
   }
 
   // Random-effect columns (§3.3.4): intercept-only by default, or every
-  // non-excluded feature under RandomEffects::kAllFeatures.
+  // non-excluded feature. The policy comes from the effective spec (the
+  // caller canonicalized kDefault away); the engine option is only the
+  // fallback for a raw spec handed in directly.
   std::vector<int> z_cols;
-  if (options_.random_effects == RandomEffects::kInterceptOnly) {
+  bool intercept_only =
+      spec.random_effects == ModelSpec::RandomPolicy::kDefault
+          ? options_.random_effects == RandomEffects::kInterceptOnly
+          : spec.random_effects == ModelSpec::RandomPolicy::kIntercepts;
+  if (intercept_only) {
     z_cols.push_back(0);
   } else {
     for (int c = 0; c < fm.num_cols(); ++c) {
@@ -645,6 +665,7 @@ FittedModel Engine::FitPrimitive(const CandidatePlan& plan, int measure_column,
       FactorizedEmBackend backend(&fm, &agg, z_cols);
       MultiLevelModel model = TrainMultiLevel(&backend, y, em);
       fit.fitted = std::move(model.fitted);
+      fit.em_iterations_run = model.iterations_run;
     } else {
       Matrix x = MaterializeMatrix(fm);
       std::vector<int64_t> begins;
@@ -659,6 +680,7 @@ FittedModel Engine::FitPrimitive(const CandidatePlan& plan, int measure_column,
       DenseEmBackend backend(&x, begins, z_cols);
       MultiLevelModel model = TrainMultiLevel(&backend, y, em);
       fit.fitted = std::move(model.fitted);
+      fit.em_iterations_run = model.iterations_run;
     }
   } else {
     if (use_factorized) {

@@ -119,6 +119,11 @@ struct BatchOverrides {
 struct BatchTiming {
   double wall_seconds = 0.0;
   double train_seconds = 0.0;
+  // Max realized EM iteration count over every fit the batch consulted —
+  // trained this call or served from the shared cache (the cached model
+  // stores the count of the call that trained it, so warm and cold batches
+  // report the same number). 0 when no multi-level fit was involved.
+  int em_iterations_run = 0;
 };
 
 /// One recommended drill-down group.
@@ -242,11 +247,12 @@ class Engine {
 
   /// The ModelSpec a call with `overrides` would actually run: the per-call
   /// spec (or the engine option) with the legacy extra-repair-stats override
-  /// folded in and kAuto canonicalized to the backend it will pick when that
+  /// folded in, kAuto canonicalized to the backend it will pick when that
   /// is statically known (every feature single-attribute — always true
-  /// without multi-attribute auxiliaries). This is both the response echo
-  /// and the fitted-model cache-key spec, so what clients see is what keyed
-  /// the cache.
+  /// without multi-attribute auxiliaries), and RandomPolicy::kDefault
+  /// resolved to the engine-level policy (EngineOptions::random_effects).
+  /// This is both the response echo and the fitted-model cache-key spec, so
+  /// what clients see is what keyed the cache.
   ModelSpec EffectiveModelSpec(const BatchOverrides& overrides = {}) const;
 
   /// Evaluates every drillable hierarchy and returns the ranked groups.

@@ -49,6 +49,11 @@ namespace reptile {
 struct FittedModel {
   std::vector<double> fitted;
   double fit_seconds = 0.0;
+  // EM iterations the training loop actually executed (0 for linear fits,
+  // which have no EM loop). Stored with the model so a cache hit echoes the
+  // same realized count as the call that trained it — warm and cold bodies
+  // stay byte-identical.
+  int em_iterations_run = 0;
 };
 
 using FittedModelPtr = std::shared_ptr<const FittedModel>;

@@ -166,6 +166,7 @@ MultiLevelModel TrainMultiLevel(const EmBackend* backend, const std::vector<doub
   std::vector<double> zb(y.size(), 0.0);
   std::vector<double> prev_beta = model.beta;
   for (int iter = 0; iter < options.em_iters; ++iter) {
+    model.iterations_run = iter + 1;
     // --- E-step (equations 8-11): per-cluster posterior of b_i. ---
     Matrix sigma_inv = InverseSymmetricRidge(model.sigma_b, 1e-8);
     Matrix sum_bbt(q, q);

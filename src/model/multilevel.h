@@ -132,6 +132,10 @@ struct MultiLevelModel {
   Matrix b;                    // posterior cluster effects (G x q)
   std::vector<int> z_cols;     // columns of X forming Z
   std::vector<double> fitted;  // X beta + Z b per row (n)
+  // EM iterations actually executed: em_iters when the loop ran to its cap,
+  // fewer when a positive tolerance stopped it early — the number users need
+  // to see to tune em_tolerance.
+  int iterations_run = 0;
 };
 
 /// Runs EM (Appendix D) for `options.em_iters` iterations. The backend is

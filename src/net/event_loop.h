@@ -1,0 +1,92 @@
+// A minimal single-threaded epoll reactor. One thread calls Run() and owns
+// every registered fd callback; other threads talk to the loop only through
+// Post(), which enqueues a closure and wakes the loop via an eventfd. This
+// keeps all connection state single-threaded — no per-connection locks —
+// while compute results from worker pools hop back in via Post().
+//
+// Level-triggered by design: callbacks may leave bytes unread (e.g. while a
+// request's handler is in flight with EPOLLIN masked off) and epoll will
+// re-report them once interest is re-enabled. A periodic tick callback
+// (driven by the epoll_wait timeout) gives connections a clock for idle /
+// stall deadlines without per-connection timerfds.
+
+#ifndef REPTILE_NET_EVENT_LOOP_H_
+#define REPTILE_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/status.h"
+
+namespace reptile {
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and wake eventfd. Call once, before Run().
+  Status Init();
+
+  /// Called on the loop thread with the ready event mask (EPOLLIN etc.).
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  /// Registers `fd` with the given interest mask. Loop thread only (or
+  /// before Run() starts).
+  Status Add(int fd, uint32_t events, IoCallback callback);
+
+  /// Changes the interest mask of a registered fd. Loop thread only.
+  void Modify(int fd, uint32_t events);
+
+  /// Unregisters `fd`. The caller still owns (and closes) the fd. Safe to
+  /// call from a callback currently running for that fd: pending events for
+  /// it in the current batch are skipped. Loop thread only.
+  void Remove(int fd);
+
+  /// Enqueues `fn` to run on the loop thread and wakes it. Thread-safe;
+  /// callable before Run() and after Stop() (the closure then runs during
+  /// the final drain or not at all once the loop has exited).
+  void Post(std::function<void()> fn);
+
+  /// Installs the periodic tick. `interval_ms` bounds how late a tick can
+  /// fire (it is also the epoll_wait timeout). Call before Run().
+  void SetTickHandler(std::function<void()> tick, int interval_ms);
+
+  /// Runs until Stop(). Dispatches io callbacks, posted closures, and ticks.
+  void Run();
+
+  /// Asks Run() to return after the current iteration. Thread-safe.
+  void Stop();
+
+  /// True on the thread currently inside Run().
+  bool InLoopThread() const { return std::this_thread::get_id() == loop_thread_; }
+
+ private:
+  void DrainPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  // Loop-thread state. Callbacks are looked up per event at dispatch time so
+  // a Remove() from an earlier callback in the same batch is honored.
+  std::unordered_map<int, IoCallback> callbacks_;
+  std::function<void()> tick_;
+  int tick_interval_ms_ = 500;
+  std::thread::id loop_thread_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_NET_EVENT_LOOP_H_

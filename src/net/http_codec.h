@@ -1,0 +1,141 @@
+// Shared HTTP/1.1 framing: request-head parsing, framing validation,
+// response-head serialization, and chunked transfer encoding. Both front
+// ends — the thread-per-connection server and the epoll reactor — call
+// these exact functions, so a framing rule (smuggling hardening, size caps,
+// reason phrases) cannot drift between them; the loopback differential
+// suite in tests/net_test.cpp then proves the composed behavior equal.
+//
+// The blocking server drives the free functions directly; the reactor
+// drives the same functions through HttpRequestParser, an incremental
+// state machine fed whatever bytes epoll delivers.
+
+#ifndef REPTILE_NET_HTTP_CODEC_H_
+#define REPTILE_NET_HTTP_CODEC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "net/http_message.h"
+
+namespace reptile {
+
+/// The standard error envelope for transport-level failures, matching the
+/// routing layer's shape: {"error":{"code":...,"http":N,"message":...}}.
+HttpResponse HttpFramingError(int status, const std::string& message);
+
+/// Parses the head (request line + headers, `head` ends with CRLFCRLF).
+/// Strict by design: exactly three request-line tokens, HTTP/1.0|1.1 only,
+/// obsolete line folding and whitespace-in-field-name rejected (RFC 9112 §5
+/// — lenient parsing behind a strict proxy is a request-smuggling desync).
+/// On failure fills `error` with the response to send before closing.
+bool ParseHttpRequestHead(const std::string& head, HttpRequest* request,
+                          HttpResponse* error);
+
+/// Framing checks that need the parsed head: Transfer-Encoding on a request
+/// is refused (501), duplicate Content-Length headers are refused even when
+/// identical (400, RFC 9112 §6.3), and Content-Length must be digits only —
+/// strtoull would silently wrap "-1" to a huge unsigned value. Body-size
+/// caps are NOT applied here; they depend on how the body will be consumed
+/// (buffered vs streamed into a sink).
+bool ValidateRequestFraming(const HttpRequest& request, size_t* content_length,
+                            HttpResponse* error);
+
+/// The 413 for a declared body over the cap, shared so both front ends emit
+/// identical bytes.
+HttpResponse BodyTooLargeError(size_t content_length, size_t max_body_bytes);
+
+/// Serializes the status line and framing headers (terminating blank line
+/// included, body not included). `chunked` selects "Transfer-Encoding:
+/// chunked" over "Content-Length: <body.size()>"; only valid for HTTP/1.1
+/// responses.
+std::string SerializeResponseHead(const HttpResponse& response, bool keep_alive,
+                                  bool chunked);
+
+/// Appends one chunked-transfer-coding chunk (hex size, CRLF, data, CRLF).
+/// Empty pieces are skipped entirely — an empty chunk would terminate the
+/// body early.
+void AppendHttpChunk(std::string* out, std::string_view piece);
+
+/// The terminal zero-length chunk ending a chunked body.
+inline constexpr char kHttpLastChunk[] = "0\r\n\r\n";
+
+/// Computes whether the connection stays open after this exchange:
+/// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, an explicit
+/// Connection header overrides either way.
+bool RequestKeepsAlive(const HttpRequest& request);
+
+/// Incremental request parser for event-driven front ends. Feed it whatever
+/// bytes arrive; it pauses at two decision points:
+///
+///   kHeadDone  — head parsed and framing validated. The caller inspects
+///                request()/content_length() and picks a body mode with
+///                BeginBufferedBody() or BeginStreamedBody(), then calls
+///                Step() again.
+///   kComplete  — a full request is ready (buffered body in request().body,
+///                or every body byte fed to the sink). After the response,
+///                ResetForNextRequest() re-arms, keeping pipelined leftover
+///                bytes.
+///
+/// kError means error_response() must be written and the connection closed;
+/// kSinkAborted means the sink refused further bytes — the caller stops
+/// feeding, drains briefly, writes sink->Finish(false), and closes.
+///
+/// The head scan, size-cap rules, and error bytes are identical to the
+/// blocking server's: both paths call the same free functions above.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(size_t max_header_bytes);
+
+  enum class Phase { kHead, kHeadDone, kBody, kComplete, kSinkAborted, kError };
+
+  /// Appends raw bytes from the socket. Call Step() afterwards.
+  void Feed(std::string_view data);
+
+  /// Advances as far as the buffered bytes allow and returns the phase.
+  /// kHead / kBody mean "need more bytes"; the pausing phases are described
+  /// above. Calling Step() again in a pausing phase without the required
+  /// caller action is an error (checked).
+  Phase Step();
+
+  /// Buffer the body into request().body, refusing declared lengths over
+  /// `max_body_bytes` (moves to kError with the shared 413). Only valid in
+  /// kHeadDone.
+  void BeginBufferedBody(size_t max_body_bytes);
+
+  /// Stream the body into `sink` (not owned; must outlive the parser or be
+  /// detached via ResetForNextRequest). Declared lengths over
+  /// `max_body_bytes` move to kError with the shared 413 before any byte is
+  /// fed. Only valid in kHeadDone.
+  void BeginStreamedBody(HttpBodySink* sink, size_t max_body_bytes);
+
+  Phase phase() const { return phase_; }
+  HttpRequest& request() { return request_; }
+  size_t content_length() const { return content_length_; }
+  HttpBodySink* sink() const { return sink_; }
+  const HttpResponse& error_response() const { return error_; }
+
+  /// True when any bytes of a next request have arrived — decides whether an
+  /// idle timeout is a silent close or a 408.
+  bool has_partial_input() const { return !buffer_.empty() || phase_ != Phase::kHead; }
+
+  /// Re-arms for the next pipelined request, keeping unconsumed bytes.
+  void ResetForNextRequest();
+
+ private:
+  size_t max_header_bytes_;
+  Phase phase_ = Phase::kHead;
+  std::string buffer_;
+  size_t scanned_ = 0;  // first index of buffer_ not yet scanned for CRLFCRLF
+  HttpRequest request_;
+  size_t content_length_ = 0;
+  size_t body_consumed_ = 0;
+  size_t body_cap_ = 0;
+  HttpBodySink* sink_ = nullptr;
+  bool body_mode_chosen_ = false;
+  HttpResponse error_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_NET_HTTP_CODEC_H_

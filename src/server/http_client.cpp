@@ -85,6 +85,24 @@ Result<HttpClientResponse> HttpClient::Post(const std::string& path, const std::
   return Request("POST", path, body, content_type);
 }
 
+Result<HttpClientResponse> HttpClient::Delete(const std::string& path) {
+  return Request("DELETE", path, std::string(), std::string());
+}
+
+void HttpClient::SetHeader(const std::string& name, const std::string& value) {
+  for (auto it = default_headers_.begin(); it != default_headers_.end(); ++it) {
+    if (it->first == name) {
+      if (value.empty()) {
+        default_headers_.erase(it);
+      } else {
+        it->second = value;
+      }
+      return;
+    }
+  }
+  if (!value.empty()) default_headers_.emplace_back(name, value);
+}
+
 Result<HttpClientResponse> HttpClient::Request(const std::string& method,
                                                const std::string& path,
                                                const std::string& body,
@@ -95,6 +113,9 @@ Result<HttpClientResponse> HttpClient::Request(const std::string& method,
 
     std::string request = method + " " + path + " HTTP/1.1\r\n";
     request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+    for (const auto& [name, value] : default_headers_) {
+      request += name + ": " + value + "\r\n";
+    }
     if (!content_type.empty()) request += "Content-Type: " + content_type + "\r\n";
     if (method != "GET" || !body.empty()) {
       request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
@@ -155,23 +176,73 @@ Result<HttpClientResponse> HttpClient::Request(const std::string& method,
         pos = end + 2;
       }
 
-      const std::string* length_header = response.FindHeader("content-length");
-      if (length_header == nullptr) {
-        Disconnect();
-        return Status::ParseError("response has no Content-Length");
-      }
-      size_t length = static_cast<size_t>(std::strtoull(length_header->c_str(), nullptr, 10));
       buffer.erase(0, head_end + 4);
-      while (buffer.size() < length) {
-        if (!Fill(fd_, &buffer)) {
+      const std::string* te = response.FindHeader("transfer-encoding");
+      if (te != nullptr) {
+        // Streamed responses arrive chunked; the decoded bytes are the body.
+        if (Lowercase(*te) != "chunked") {
           Disconnect();
-          return Status::IoError("connection closed mid-body");
+          return Status::ParseError("unsupported Transfer-Encoding: " + *te);
         }
+        for (;;) {
+          size_t size_end;
+          while ((size_end = buffer.find("\r\n")) == std::string::npos) {
+            if (!Fill(fd_, &buffer)) {
+              Disconnect();
+              return Status::IoError("connection closed mid-body");
+            }
+          }
+          std::string size_line = buffer.substr(0, size_end);
+          size_t semicolon = size_line.find(';');  // chunk extensions: ignored
+          if (semicolon != std::string::npos) size_line.erase(semicolon);
+          char* end = nullptr;
+          errno = 0;
+          unsigned long long size = std::strtoull(size_line.c_str(), &end, 16);
+          if (end == size_line.c_str() || errno == ERANGE) {
+            Disconnect();
+            return Status::ParseError("malformed chunk size: " + size_line);
+          }
+          buffer.erase(0, size_end + 2);
+          while (buffer.size() < size + 2) {
+            if (!Fill(fd_, &buffer)) {
+              Disconnect();
+              return Status::IoError("connection closed mid-body");
+            }
+          }
+          if (buffer.compare(size, 2, "\r\n") != 0) {
+            Disconnect();
+            return Status::ParseError(size == 0 ? "unexpected chunked trailer"
+                                                : "chunk is missing its CRLF terminator");
+          }
+          if (size == 0) {
+            buffer.erase(0, 2);
+            break;
+          }
+          response.body.append(buffer, 0, static_cast<size_t>(size));
+          buffer.erase(0, static_cast<size_t>(size) + 2);
+        }
+        // Anything left over would be a pipelined response we never asked
+        // for; drop the connection in that case to stay in lockstep.
+        if (!buffer.empty()) Disconnect();
+      } else {
+        const std::string* length_header = response.FindHeader("content-length");
+        if (length_header == nullptr) {
+          Disconnect();
+          return Status::ParseError("response has no Content-Length");
+        }
+        size_t length =
+            static_cast<size_t>(std::strtoull(length_header->c_str(), nullptr, 10));
+        while (buffer.size() < length) {
+          if (!Fill(fd_, &buffer)) {
+            Disconnect();
+            return Status::IoError("connection closed mid-body");
+          }
+        }
+        response.body = buffer.substr(0, length);
+        // Anything after the body would be a pipelined response we never
+        // asked for; drop the connection in that case to stay in lockstep.
+        if (buffer.size() != length) Disconnect();
       }
-      response.body = buffer.substr(0, length);
-      // Anything after the body would be a pipelined response we never asked
-      // for; drop the connection in that case to stay in lockstep.
-      if (buffer.size() != length) Disconnect();
 
       const std::string* connection = response.FindHeader("connection");
       if (connection != nullptr && Lowercase(*connection) == "close") Disconnect();

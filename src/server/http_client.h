@@ -1,12 +1,15 @@
 // Minimal blocking HTTP/1.1 client over POSIX sockets — just enough to drive
 // the server from loopback integration tests and benchmarks without an
-// external dependency. Content-Length framing only (matching the server);
-// keep-alive: one TCP connection is reused across requests and transparently
-// re-established when the server closes it.
+// external dependency. Requests carry Content-Length; responses may be
+// Content-Length framed or chunked (the servers stream large bodies with
+// Transfer-Encoding: chunked — the client hands back the decoded body, so
+// callers never see the framing). Keep-alive: one TCP connection is reused
+// across requests and transparently re-established when the server closes
+// it.
 //
-// Not a general-purpose client: no TLS, no redirects, no chunked decoding,
-// no request pipelining. A client instance is single-threaded; concurrent
-// test traffic uses one client per thread.
+// Not a general-purpose client: no TLS, no redirects, no request
+// pipelining. A client instance is single-threaded; concurrent test traffic
+// uses one client per thread.
 
 #ifndef REPTILE_SERVER_HTTP_CLIENT_H_
 #define REPTILE_SERVER_HTTP_CLIENT_H_
@@ -40,6 +43,12 @@ class HttpClient {
   Result<HttpClientResponse> Get(const std::string& path);
   Result<HttpClientResponse> Post(const std::string& path, const std::string& body,
                                   const std::string& content_type = "application/json");
+  Result<HttpClientResponse> Delete(const std::string& path);
+
+  /// Adds a header to every subsequent request — e.g.
+  /// SetHeader("Authorization", "Bearer tok"). Setting a name again replaces
+  /// it; an empty value removes it.
+  void SetHeader(const std::string& name, const std::string& value);
 
   /// Sends raw bytes on a fresh connection and returns everything the server
   /// writes until it closes — for tests that need to speak *malformed* HTTP
@@ -56,6 +65,7 @@ class HttpClient {
   std::string host_;
   int port_;
   int fd_ = -1;
+  std::vector<std::pair<std::string, std::string>> default_headers_;
 };
 
 }  // namespace reptile

@@ -8,59 +8,19 @@
 #include <sys/types.h>
 #include <unistd.h>
 
-#include <cctype>
 #include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
 
 #include "common/check.h"
+#include "net/http_codec.h"
+#include "net/net_util.h"
 #include "parallel/thread_pool.h"
-#include "server/json.h"
-#include "server/net_util.h"
 
 namespace reptile {
 
-const std::string* HttpRequest::FindHeader(const std::string& lowercase_name) const {
-  for (const auto& [name, value] : headers) {
-    if (name == lowercase_name) return &value;
-  }
-  return nullptr;
-}
-
-const char* HttpReasonPhrase(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 201:
-      return "Created";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 408:
-      return "Request Timeout";
-    case 409:
-      return "Conflict";
-    case 413:
-      return "Payload Too Large";
-    case 431:
-      return "Request Header Fields Too Large";
-    case 500:
-      return "Internal Server Error";
-    case 501:
-      return "Not Implemented";
-    default:
-      return "Unknown";
-  }
-}
-
 namespace {
 
-using net_internal::Lowercase;
-using net_internal::Trim;
 using net_internal::WriteAll;
 
 // Buffered reader over a connection fd: ReadRequestHead/ReadBody consume from
@@ -105,6 +65,18 @@ class ConnectionReader {
     return true;
   }
 
+  /// Moves up to `max_bytes` of already-available body bytes into `chunk`
+  /// (reading from the socket only when the buffer is empty). False on
+  /// EOF/error/timeout. Lets a streamed upload flow through a fixed-size
+  /// window instead of a body-sized buffer.
+  bool ReadBodyChunk(std::string* chunk, size_t max_bytes) {
+    if (buffer_.empty() && Fill() != FillResult::kData) return false;
+    size_t take = buffer_.size() < max_bytes ? buffer_.size() : max_bytes;
+    chunk->assign(buffer_, 0, take);
+    buffer_.erase(0, take);
+    return true;
+  }
+
   bool has_buffered_bytes() const { return !buffer_.empty(); }
 
  private:
@@ -129,20 +101,41 @@ class ConnectionReader {
   std::string buffer_;
 };
 
+// Writes a buffered response (head + body in one send). Streamed responses
+// go through WriteStreamedResponse below.
 bool WriteResponse(int fd, const HttpResponse& response, bool keep_alive) {
-  std::string out;
-  out.reserve(response.body.size() + 256);
-  out += "HTTP/1.1 " + std::to_string(response.status) + " " +
-         HttpReasonPhrase(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
-  for (const auto& [name, value] : response.extra_headers) {
-    out += name + ": " + value + "\r\n";
-  }
-  out += "\r\n";
+  std::string out = SerializeResponseHead(response, keep_alive, /*chunked=*/false);
   out += response.body;
   return WriteAll(fd, out);
+}
+
+// Drains a `body_stream` response to the wire chunk by chunk — the full body
+// never exists in one buffer. `chunked` is false for HTTP/1.0 peers, which
+// cannot parse chunked framing: their bodies are accumulated and sent with
+// Content-Length (identical bytes, different framing).
+bool WriteStreamedResponse(int fd, HttpResponse& response, bool keep_alive,
+                           bool chunked) {
+  if (!chunked) {
+    std::string piece;
+    while (response.body_stream(&piece)) {
+      response.body += piece;
+      piece.clear();
+    }
+    response.body_stream = nullptr;
+    return WriteResponse(fd, response, keep_alive);
+  }
+  if (!WriteAll(fd, SerializeResponseHead(response, keep_alive, /*chunked=*/true))) {
+    return false;
+  }
+  std::string piece;
+  std::string wire;
+  while (response.body_stream(&piece)) {
+    wire.clear();
+    AppendHttpChunk(&wire, piece);
+    piece.clear();
+    if (!wire.empty() && !WriteAll(fd, wire)) return false;
+  }
+  return WriteAll(fd, kHttpLastChunk);
 }
 
 // Writes a framing-error response on a connection that is about to close
@@ -169,70 +162,6 @@ void WriteErrorAndDrain(int fd, const HttpResponse& response) {
     if (n <= 0) break;  // EOF, error, or timeout: the peer saw our FIN
     drained += static_cast<size_t>(n);
   }
-}
-
-HttpResponse FramingError(int status, const std::string& message) {
-  return HttpResponse::Json(
-      status, "{\"error\":{\"code\":\"" + std::string(HttpReasonPhrase(status)) +
-                  "\",\"http\":" + std::to_string(status) +
-                  ",\"message\":" + JsonQuote(message) + "}}");
-}
-
-// Parses the head (request line + headers). Returns a non-OK framing status
-// via `error` (the response to send before closing) on malformed input.
-bool ParseRequestHead(const std::string& head, HttpRequest* request, HttpResponse* error) {
-  size_t line_end = head.find("\r\n");
-  REPTILE_CHECK(line_end != std::string::npos);  // head always ends in CRLFCRLF
-  const std::string request_line = head.substr(0, line_end);
-  size_t method_end = request_line.find(' ');
-  size_t target_end =
-      method_end == std::string::npos ? std::string::npos : request_line.find(' ', method_end + 1);
-  if (method_end == std::string::npos || target_end == std::string::npos ||
-      request_line.find(' ', target_end + 1) != std::string::npos) {
-    *error = FramingError(400, "malformed request line");
-    return false;
-  }
-  request->method = request_line.substr(0, method_end);
-  request->target = request_line.substr(method_end + 1, target_end - method_end - 1);
-  request->http_version = request_line.substr(target_end + 1);
-  if (request->method.empty() || request->target.empty() ||
-      (request->http_version != "HTTP/1.1" && request->http_version != "HTTP/1.0")) {
-    *error = FramingError(400, "malformed request line");
-    return false;
-  }
-  size_t query_pos = request->target.find('?');
-  request->path = request->target.substr(0, query_pos);
-  request->query =
-      query_pos == std::string::npos ? std::string() : request->target.substr(query_pos + 1);
-
-  size_t pos = line_end + 2;
-  while (pos + 2 <= head.size()) {
-    size_t end = head.find("\r\n", pos);
-    REPTILE_CHECK(end != std::string::npos);
-    if (end == pos) break;  // blank line: end of headers
-    std::string line = head.substr(pos, end - pos);
-    // RFC 9112 §5: obsolete line folding (a field line starting with
-    // whitespace) and whitespace between the field name and the colon MUST
-    // be rejected — a lenient reading here while a front proxy reads
-    // strictly is a request-smuggling desync (e.g. "Content-Length : 4").
-    if (line[0] == ' ' || line[0] == '\t') {
-      *error = FramingError(400, "obsolete header line folding is not supported");
-      return false;
-    }
-    size_t colon = line.find(':');
-    if (colon == std::string::npos || colon == 0) {
-      *error = FramingError(400, "malformed header line");
-      return false;
-    }
-    std::string name = line.substr(0, colon);
-    if (name.find_first_of(" \t") != std::string::npos) {
-      *error = FramingError(400, "whitespace in a header field name");
-      return false;
-    }
-    request->headers.emplace_back(Lowercase(std::move(name)), Trim(line.substr(colon + 1)));
-    pos = end + 2;
-  }
-  return true;
 }
 
 }  // namespace
@@ -383,85 +312,90 @@ void HttpServer::HandleConnection(int fd) {
         return;  // peer closed between requests (or mid-head): nothing to say
       case ConnectionReader::HeadResult::kTimeout:
         if (reader.has_buffered_bytes()) {
-          WriteResponse(fd, FramingError(408, "timed out reading the request"), false);
+          WriteResponse(fd, HttpFramingError(408, "timed out reading the request"), false);
         }
         return;
       case ConnectionReader::HeadResult::kTooLarge:
-        WriteErrorAndDrain(fd, FramingError(431, "header section exceeds " +
-                                                     std::to_string(options_.max_header_bytes) +
-                                                     " bytes"));
+        WriteErrorAndDrain(fd, HttpFramingError(431, "header section exceeds " +
+                                                         std::to_string(options_.max_header_bytes) +
+                                                         " bytes"));
         return;
     }
 
     HttpRequest request;
     HttpResponse framing_error;
-    if (!ParseRequestHead(head, &request, &framing_error)) {
+    if (!ParseHttpRequestHead(head, &request, &framing_error)) {
       WriteErrorAndDrain(fd, framing_error);
       return;
     }
-    if (request.FindHeader("transfer-encoding") != nullptr) {
-      WriteErrorAndDrain(fd, FramingError(501, "transfer-encoding is not supported"));
-      return;
-    }
-    // Exactly one Content-Length may appear: duplicates (even identical
-    // ones) are the classic request-smuggling desync vector when a proxy in
-    // front picks a different one than we do (RFC 9112 §6.3).
-    int content_length_headers = 0;
-    for (const auto& [name, value] : request.headers) {
-      if (name == "content-length") ++content_length_headers;
-    }
-    if (content_length_headers > 1) {
-      WriteErrorAndDrain(fd, FramingError(400, "multiple Content-Length headers"));
-      return;
-    }
     size_t content_length = 0;
-    if (const std::string* header = request.FindHeader("content-length")) {
-      // Digits only: strtoull would silently wrap "-1" to a huge unsigned
-      // value, turning an invalid header into a bogus 413.
-      if (header->empty() ||
-          header->find_first_not_of("0123456789") != std::string::npos) {
-        WriteErrorAndDrain(fd, FramingError(400, "malformed Content-Length"));
-        return;
-      }
-      errno = 0;
-      unsigned long long parsed = std::strtoull(header->c_str(), nullptr, 10);
-      if (errno != 0) {  // ERANGE: larger than any plausible body
-        WriteErrorAndDrain(fd, FramingError(400, "malformed Content-Length"));
-        return;
-      }
-      content_length = static_cast<size_t>(parsed);
-    }
-    if (content_length > options_.max_body_bytes) {
-      WriteErrorAndDrain(fd, FramingError(413, "request body of " +
-                                                   std::to_string(content_length) +
-                                                   " bytes exceeds the " +
-                                                   std::to_string(options_.max_body_bytes) +
-                                                   "-byte limit"));
+    if (!ValidateRequestFraming(request, &content_length, &framing_error)) {
+      WriteErrorAndDrain(fd, framing_error);
       return;
-    }
-    if (content_length > 0 && !reader.ReadBody(&request.body, content_length)) {
-      return;  // peer vanished mid-body
     }
 
-    bool keep_alive = request.http_version == "HTTP/1.1";
-    if (const std::string* connection = request.FindHeader("connection")) {
-      std::string value = Lowercase(*connection);
-      if (value == "close") keep_alive = false;
-      if (value == "keep-alive") keep_alive = true;
-    }
+    bool keep_alive = RequestKeepsAlive(request);
     if (stopping_.load()) keep_alive = false;
 
     HttpResponse response;
-    try {
-      response = handler_(request);
-    } catch (const std::exception& e) {
-      response = FramingError(500, std::string("unhandled exception: ") + e.what());
-      keep_alive = false;
-    } catch (...) {
-      response = FramingError(500, "unhandled exception");
-      keep_alive = false;
+    bool handled_by_sink = false;
+    if (options_.stream_factory) {
+      if (std::unique_ptr<HttpBodySink> sink = options_.stream_factory(request)) {
+        // Streamed upload: feed the declared body through a fixed-size
+        // window. Any early exit (abort, oversize) closes the connection —
+        // the stream position is unrecoverable mid-body.
+        handled_by_sink = true;
+        keep_alive = false;
+        if (content_length > options_.max_stream_body_bytes) {
+          WriteErrorAndDrain(
+              fd, BodyTooLargeError(content_length, options_.max_stream_body_bytes));
+          return;
+        }
+        size_t remaining = content_length;
+        bool aborted = false;
+        std::string chunk;
+        while (remaining > 0) {
+          if (!reader.ReadBodyChunk(&chunk, remaining)) return;  // peer vanished
+          remaining -= chunk.size();
+          if (!sink->Append(chunk)) {
+            aborted = true;
+            break;
+          }
+        }
+        response = sink->Finish(!aborted);
+        if (aborted) {
+          WriteErrorAndDrain(fd, response);
+          return;
+        }
+      }
     }
-    if (!WriteResponse(fd, response, keep_alive)) return;
+    if (!handled_by_sink) {
+      if (content_length > options_.max_body_bytes) {
+        WriteErrorAndDrain(fd, BodyTooLargeError(content_length, options_.max_body_bytes));
+        return;
+      }
+      if (content_length > 0 && !reader.ReadBody(&request.body, content_length)) {
+        return;  // peer vanished mid-body
+      }
+
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response = HttpFramingError(500, std::string("unhandled exception: ") + e.what());
+        keep_alive = false;
+      } catch (...) {
+        response = HttpFramingError(500, "unhandled exception");
+        keep_alive = false;
+      }
+    }
+    if (response.body_stream) {
+      if (!WriteStreamedResponse(fd, response, keep_alive,
+                                 /*chunked=*/request.http_version == "HTTP/1.1")) {
+        return;
+      }
+    } else if (!WriteResponse(fd, response, keep_alive)) {
+      return;
+    }
     if (!keep_alive) return;
   }
 }

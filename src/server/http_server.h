@@ -1,5 +1,8 @@
-// Dependency-free HTTP/1.1 server over POSIX sockets — the network boundary
-// in front of the routing layer (server/service.h).
+// Thread-per-connection HTTP/1.1 server over POSIX sockets — the original
+// network boundary in front of the routing layer (server/service.h), and the
+// differential-testing oracle for the epoll reactor (net/reactor_server.h):
+// both front ends share the framing code in net/http_codec.h and must serve
+// byte-identical bodies.
 //
 // Design:
 //  * One dedicated accept thread runs a blocking accept loop; each accepted
@@ -7,12 +10,18 @@
 //    worker pool) and handled with blocking reads/writes until it closes.
 //    With N pool threads at most N connections are serviced concurrently;
 //    further accepted connections queue in the pool (FIFO).
-//  * Framing is Content-Length only (no chunked transfer encoding: a request
-//    with Transfer-Encoding is answered 501). HTTP/1.1 connections are
-//    keep-alive by default; "Connection: close" (and HTTP/1.0 without
-//    "keep-alive") closes after the response.
+//  * Framing is Content-Length only for requests (a request with
+//    Transfer-Encoding is answered 501). Responses may stream: a handler
+//    response carrying `body_stream` is written chunk by chunk with
+//    Transfer-Encoding: chunked (HTTP/1.0 clients get the concatenated
+//    identity body instead). HTTP/1.1 connections are keep-alive by
+//    default; "Connection: close" (and HTTP/1.0 without "keep-alive")
+//    closes after the response.
 //  * Hard request-size limits: header section (431) and body (413) caps are
 //    enforced before buffering, so a hostile client cannot balloon memory.
+//    Requests accepted by `stream_factory` bypass body buffering entirely:
+//    bytes are fed to the returned sink as they arrive, under the larger
+//    `max_stream_body_bytes` cap.
 //  * The handler runs on the connection's pool thread and must be
 //    thread-safe across connections. IMPORTANT: a handler may run compute
 //    fan-outs on *other* pools (the engine's SharedThreadPool()), but must
@@ -32,56 +41,18 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
-#include <utility>
-#include <vector>
 
 #include "api/status.h"
+#include "net/http_message.h"  // IWYU pragma: export
 
 namespace reptile {
 
 class ThreadPool;  // parallel/thread_pool.h
-
-/// One parsed request. Header names are lowercased at parse time (HTTP
-/// header names are case-insensitive); values keep their bytes.
-struct HttpRequest {
-  std::string method;        // e.g. "GET", "POST" (any token accepted)
-  std::string target;        // request-target as received ("/v1/view?x=1")
-  std::string path;          // target up to '?'
-  std::string query;         // after '?', possibly empty
-  std::string http_version;  // "HTTP/1.1" or "HTTP/1.0"
-  std::vector<std::pair<std::string, std::string>> headers;
-  std::string body;
-
-  /// First header with the given (lowercase) name, or nullptr.
-  const std::string* FindHeader(const std::string& lowercase_name) const;
-};
-
-/// What a handler returns; the server adds Content-Length / Connection
-/// framing headers itself.
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "application/json";
-  std::string body;
-  std::vector<std::pair<std::string, std::string>> extra_headers;
-
-  static HttpResponse Json(int status, std::string body) {
-    HttpResponse response;
-    response.status = status;
-    response.body = std::move(body);
-    return response;
-  }
-};
-
-/// The reason phrase for a status code ("OK", "Not Found", ...).
-const char* HttpReasonPhrase(int status);
-
-using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 struct HttpServerOptions {
   std::string bind_address = "127.0.0.1";
@@ -89,12 +60,18 @@ struct HttpServerOptions {
   int num_threads = 4;      // connection workers when the server owns its pool
   size_t max_header_bytes = 64 * 1024;
   size_t max_body_bytes = 8 * 1024 * 1024;
+  // Cap for request bodies consumed through `stream_factory` sinks. Streamed
+  // uploads never buffer, so this can be far above max_body_bytes.
+  size_t max_stream_body_bytes = size_t{1} << 30;
   // Seconds a keep-alive connection may sit idle between requests before the
   // server closes it (frees its worker). 0 = never time out.
   int idle_timeout_seconds = 30;
   // Optional externally owned pool for connection tasks (see the deadlock
   // note above); nullptr = the server creates its own `num_threads` pool.
   ThreadPool* connection_pool = nullptr;
+  // Optional hook consulted once a request head is parsed: return a sink to
+  // stream the body instead of buffering it (see net/http_message.h).
+  HttpStreamFactory stream_factory;
 };
 
 class HttpServer {

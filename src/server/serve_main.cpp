@@ -32,6 +32,31 @@
 //   --max-sessions N      cap on live per-client sessions (default 1024,
 //                         0 = unlimited; exceeding it is HTTP 409)
 //   --max-datasets N      cap on registered datasets (default 64, same deal)
+//   --reactor             serve with the epoll reactor front end
+//                         (net/reactor_server.h): 1 event thread owns every
+//                         connection, --http-threads compute workers, slow
+//                         clients cost KBs not threads. Default: the
+//                         thread-per-connection front end. Either way the
+//                         bodies on the wire are byte-identical.
+//   --auth-token T        require "Authorization: Bearer T" on mutating
+//                         routes (dataset/session create+delete, commit);
+//                         reads and /healthz stay open. Default: no auth.
+//   --stream-threshold N  stream recommend_batch bodies of >= N bytes
+//                         (chunked on HTTP/1.1) instead of buffering them
+//                         (default: off)
+//   --max-connections N   reactor only: 503 new connections past N open
+//                         (default 0 = unlimited)
+//   --idle-timeout S      reactor only: drop connections idle > S seconds
+//                         (slow-loris bound; default 30, 0 = never)
+//   --write-stall S       reactor only: drop clients whose reads make no
+//                         progress for S seconds (default 10, 0 = never)
+//   --high-water-bytes N  reactor only: per-connection write-queue cap;
+//                         streamed responses pause above it (default 1 MiB)
+//
+// In both modes POST /v1/datasets accepts a streamed text/csv body (typing
+// in the query string — see server/service.h) fed incrementally through
+// CsvStreamParser, and /healthz carries the front end's transport counters
+// under "transport" when --reactor is active.
 //
 // Datasets loaded at startup (--demo / --csv) are registered in the shared
 // DatasetRegistry with a default session each (the deprecated
@@ -44,15 +69,19 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
 #include "datagen/panel_gen.h"
+#include "net/reactor_server.h"
 #include "reptile/reptile.h"
 #include "server/http_server.h"
 #include "server/service.h"
@@ -111,6 +140,13 @@ struct Args {
   long max_sessions = 1024;
   long max_datasets = 64;
   size_t max_body_bytes = 8 * 1024 * 1024;
+  bool reactor = false;
+  std::string auth_token;
+  size_t stream_threshold = SIZE_MAX;  // off
+  long max_connections = 0;
+  int idle_timeout = 30;
+  double write_stall = 10.0;
+  size_t high_water_bytes = size_t{1} << 20;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -119,7 +155,10 @@ struct Args {
                "--hierarchy name=a,b [...]) [--name N] [--commit H]... "
                "[--port P] [--http-threads N] [--engine-threads N] [--top-k K] "
                "[--session-ttl S] [--dataset-root DIR] [--max-sessions N] "
-               "[--max-datasets N] [--max-body-bytes N] [--separator C]\n",
+               "[--max-datasets N] [--max-body-bytes N] [--separator C] "
+               "[--reactor] [--auth-token T] [--stream-threshold N] "
+               "[--max-connections N] [--idle-timeout S] [--write-stall S] "
+               "[--high-water-bytes N]\n",
                argv0);
   std::exit(2);
 }
@@ -192,6 +231,22 @@ Args ParseArgs(int argc, char** argv) {
       args.max_datasets = std::atol(value_of(i).c_str());
     } else if (flag == "--max-body-bytes") {
       args.max_body_bytes = static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
+    } else if (flag == "--reactor") {
+      args.reactor = true;
+    } else if (flag == "--auth-token") {
+      args.auth_token = value_of(i);
+    } else if (flag == "--stream-threshold") {
+      args.stream_threshold =
+          static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
+    } else if (flag == "--max-connections") {
+      args.max_connections = std::atol(value_of(i).c_str());
+    } else if (flag == "--idle-timeout") {
+      args.idle_timeout = std::atoi(value_of(i).c_str());
+    } else if (flag == "--write-stall") {
+      args.write_stall = std::atof(value_of(i).c_str());
+    } else if (flag == "--high-water-bytes") {
+      args.high_water_bytes =
+          static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       Usage(argv[0]);
@@ -204,12 +259,23 @@ Args ParseArgs(int argc, char** argv) {
 int Main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
 
+  // Assigned once the chosen front end exists (below); the service's healthz
+  // hook dereferences it lazily, per request, so construction order is fine.
+  std::function<std::string()> transport_stats;
+
   ServiceOptions service_options;
   service_options.session_defaults.TopK(args.top_k).Threads(args.engine_threads);
   service_options.session_ttl_seconds = args.session_ttl;
   service_options.dataset_path_root = args.dataset_root;
   service_options.max_sessions = args.max_sessions;
   service_options.max_datasets = args.max_datasets;
+  service_options.auth_token = args.auth_token;
+  service_options.stream_threshold_bytes = args.stream_threshold;
+  if (args.reactor) {
+    service_options.transport_stats_json = [&transport_stats] {
+      return transport_stats ? transport_stats() : std::string("null");
+    };
+  }
 
   ReptileService service(service_options);
   if (args.demo) {
@@ -250,18 +316,51 @@ int Main(int argc, char** argv) {
     std::printf("loaded dataset '%s' from %s\n", args.name.c_str(), args.csv.c_str());
   }
 
-  HttpServerOptions server_options;
-  server_options.port = args.port;
-  server_options.num_threads = args.http_threads;
-  server_options.max_body_bytes = args.max_body_bytes;
-  HttpServer server(server_options,
-                    [&service](const HttpRequest& request) { return service.Handle(request); });
-  Status started = server.Start();
+  HttpHandler handler = [&service](const HttpRequest& request) {
+    return service.Handle(request);
+  };
+  HttpStreamFactory stream_factory = [&service](const HttpRequest& head) {
+    return service.StartStreamingBody(head);
+  };
+
+  std::unique_ptr<HttpServer> threaded;
+  std::unique_ptr<ReactorServer> reactor;
+  Status started;
+  int port = 0;
+  if (args.reactor) {
+    ReactorServerOptions server_options;
+    server_options.port = args.port;
+    server_options.num_threads = args.http_threads;
+    server_options.max_body_bytes = args.max_body_bytes;
+    server_options.max_connections = args.max_connections;
+    server_options.idle_timeout_seconds = args.idle_timeout;
+    server_options.write_stall_seconds = args.write_stall;
+    server_options.write_high_water_bytes = args.high_water_bytes;
+    server_options.stream_factory = stream_factory;
+    reactor = std::make_unique<ReactorServer>(std::move(server_options), handler);
+    ReactorServer* raw = reactor.get();
+    transport_stats = [raw] { return raw->StatsJson(); };
+    started = reactor->Start();
+    port = reactor->port();
+  } else {
+    HttpServerOptions server_options;
+    server_options.port = args.port;
+    server_options.num_threads = args.http_threads;
+    server_options.max_body_bytes = args.max_body_bytes;
+    server_options.stream_factory = stream_factory;
+    threaded = std::make_unique<HttpServer>(server_options, handler);
+    started = threaded->Start();
+    port = threaded->port();
+  }
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("reptile_serve listening on 127.0.0.1:%d\n", server.port());
+  std::printf("reptile_serve listening on 127.0.0.1:%d\n", port);
+  if (args.reactor) {
+    std::printf("front end: epoll reactor (1 event thread, %d workers)\n",
+                args.http_threads);
+  }
   std::fflush(stdout);
 
   // Block until SIGINT/SIGTERM, then stop cleanly (in-flight requests finish).
@@ -278,7 +377,8 @@ int Main(int argc, char** argv) {
   } while (n < 0 && errno == EINTR);
   std::printf("shutting down\n");
   std::fflush(stdout);
-  server.Stop();
+  if (reactor != nullptr) reactor->Stop();
+  if (threaded != nullptr) threaded->Stop();
   return 0;
 }
 

@@ -176,8 +176,8 @@ Result<std::map<std::string, int>> ParseCommittedMap(const JsonValue& body,
 Result<ModelSpec> ParseModelSpec(const JsonValue& value, const std::string& context) {
   if (!value.is_object()) return WrongType(context, "an object", value);
   REPTILE_RETURN_IF_ERROR(CheckKnownKeys(value, context,
-                                         {"kind", "backend", "em_iterations", "em_tolerance",
-                                          "fit_cache", "extra_repair_stats"}));
+                                         {"kind", "backend", "random_effects", "em_iterations",
+                                          "em_tolerance", "fit_cache", "extra_repair_stats"}));
   ModelSpec spec;
   Result<std::string> kind =
       StringField(value, context, "kind", false, ModelSpec::KindName(spec.kind));
@@ -198,6 +198,22 @@ Result<ModelSpec> ParseModelSpec(const JsonValue& value, const std::string& cont
                                    "\" (expected one of: auto, factorized, dense)");
   }
   spec.backend = *parsed_backend;
+
+  // Omitted = RandomPolicy::kDefault: inherit the session's policy instead
+  // of forcing one — the lone ModelSpec field with an inheriting default.
+  if (const JsonValue* policy = value.Find("random_effects")) {
+    if (!policy->is_string()) {
+      return WrongType(context + ".random_effects", "a string", *policy);
+    }
+    std::optional<ModelSpec::RandomPolicy> parsed_policy =
+        ModelSpec::ParseRandomPolicy(policy->string_value());
+    if (!parsed_policy.has_value()) {
+      return Status::InvalidArgument("unknown " + context + ".random_effects \"" +
+                                     policy->string_value() +
+                                     "\" (expected one of: intercepts, all)");
+    }
+    spec.random_effects = *parsed_policy;
+  }
 
   Result<int> em_iterations = IntField(value, context, "em_iterations", spec.em_iterations);
   if (!em_iterations.ok()) return em_iterations.status();
@@ -314,7 +330,172 @@ HttpResponse MethodNotAllowed(const std::string& allow) {
   return response;
 }
 
+// ---- Auth + streaming-upload helpers ---------------------------------------
+
+/// The 401 envelope. Not routed through ErrorResponse: StatusCode has no
+/// unauthenticated member (nothing inside the engine fails that way), and
+/// growing the enum for a transport-only concern would force every switch
+/// over it to handle a code the core never produces.
+HttpResponse UnauthorizedResponse() {
+  HttpResponse response = HttpResponse::Json(
+      401,
+      "{\"error\":{\"code\":\"UNAUTHENTICATED\",\"http\":401,\"message\":"
+      "\"this route requires a bearer token (Authorization: Bearer <token>)\"}}");
+  response.extra_headers.emplace_back("WWW-Authenticate", "Bearer");
+  return response;
+}
+
+/// True for routes that change server state: dataset create/delete, session
+/// create/delete, commit. Reads and /healthz stay token-free so probes and
+/// dashboards need no credentials.
+bool IsMutatingRoute(const std::string& method, const std::string& path) {
+  if (method == "POST") {
+    return path == "/v1/datasets" || path == "/v1/sessions" || path == "/v1/commit";
+  }
+  if (method == "DELETE") {
+    return path.rfind("/v1/datasets/", 0) == 0 || path.rfind("/v1/sessions/", 0) == 0;
+  }
+  return false;
+}
+
+/// True when the Authorization header is the Bearer scheme carrying exactly
+/// `token` (scheme case-insensitive per RFC 7235; token bytes exact).
+bool BearerTokenMatches(const HttpRequest& request, const std::string& token) {
+  const std::string* value = request.FindHeader("authorization");
+  if (value == nullptr) return false;
+  constexpr std::string_view kScheme = "bearer ";
+  if (value->size() != kScheme.size() + token.size()) return false;
+  for (size_t i = 0; i < kScheme.size(); ++i) {
+    char c = (*value)[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + ('a' - 'A'));
+    if (c != kScheme[i]) return false;
+  }
+  return value->compare(kScheme.size(), std::string::npos, token) == 0;
+}
+
+/// Percent-decodes a query-string component ('+' is a space). Malformed
+/// escapes pass through verbatim — the metadata validation downstream gives
+/// a more useful error than a generic decode failure would.
+std::string PercentDecode(std::string_view in) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out += ' ';
+    } else if (in[i] == '%' && i + 2 < in.size() && hex(in[i + 1]) >= 0 &&
+               hex(in[i + 2]) >= 0) {
+      out += static_cast<char>(hex(in[i + 1]) * 16 + hex(in[i + 2]));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+/// Splits "a=1&b=two" into decoded (key, value) pairs, preserving order and
+/// duplicates (the "hierarchy" key repeats by design).
+std::vector<std::pair<std::string, std::string>> ParseQuery(std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  size_t begin = 0;
+  while (begin < query.size()) {
+    size_t end = query.find('&', begin);
+    if (end == std::string_view::npos) end = query.size();
+    std::string_view item = query.substr(begin, end - begin);
+    if (!item.empty()) {
+      size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        params.emplace_back(PercentDecode(item), std::string());
+      } else {
+        params.emplace_back(PercentDecode(item.substr(0, eq)),
+                            PercentDecode(item.substr(eq + 1)));
+      }
+    }
+    begin = end + 1;
+  }
+  return params;
+}
+
+/// "a,b,c" -> {a, b, c}; empty segments and an empty input yield nothing.
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> items;
+  size_t begin = 0;
+  while (begin <= value.size()) {
+    size_t end = value.find(',', begin);
+    if (end == std::string::npos) end = value.size();
+    if (end > begin) items.push_back(value.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return items;
+}
+
+/// Sink returned by StartStreamingBody when the request is rejected before
+/// any body byte is read (bad metadata, missing token): refuses the first
+/// chunk so the front end discards the upload and writes the stored error.
+class RejectingSink final : public HttpBodySink {
+ public:
+  explicit RejectingSink(HttpResponse response) : response_(std::move(response)) {}
+  bool Append(std::string_view) override { return false; }
+  HttpResponse Finish(bool) override { return std::move(response_); }
+
+ private:
+  HttpResponse response_;
+};
+
 }  // namespace
+
+/// Streamed POST /v1/datasets body consumer: every chunk goes straight into
+/// CsvStreamParser, so the upload is never materialized as one string;
+/// Finish() builds the Dataset and registers it exactly as the buffered JSON
+/// path does, returning the same 201 body shape.
+class DatasetUploadSink final : public HttpBodySink {
+ public:
+  DatasetUploadSink(ReptileService* service, std::string name, CsvSpec spec,
+                    std::vector<HierarchySchema> hierarchies,
+                    std::vector<std::string> commits)
+      : service_(service),
+        name_(std::move(name)),
+        parser_(std::move(spec), "uploaded csv"),
+        hierarchies_(std::move(hierarchies)),
+        commits_(std::move(commits)) {}
+
+  bool Append(std::string_view chunk) override { return parser_.Feed(chunk); }
+
+  HttpResponse Finish(bool complete) override {
+    if (!parser_.status().ok()) {
+      return ReptileService::ErrorResponse(parser_.status());
+    }
+    if (!complete) {
+      return ReptileService::ErrorResponse(Status::InvalidArgument(
+          "the connection closed before the declared csv body was received"));
+    }
+    Result<Table> table = parser_.Finish();
+    if (!table.ok()) return ReptileService::ErrorResponse(table.status());
+    size_t rows = table->num_rows();
+    Result<Dataset> dataset =
+        Dataset::Make(std::move(table).value(), std::move(hierarchies_));
+    if (!dataset.ok()) return ReptileService::ErrorResponse(dataset.status());
+    Status added = service_->AddDataset(name_, std::move(dataset).value(), commits_);
+    if (!added.ok()) return ReptileService::ErrorResponse(added);
+    std::string body =
+        "{\"dataset\":" + JsonQuote(name_) + ",\"rows\":" + std::to_string(rows) +
+        ",\"session\":" + JsonQuote(ReptileService::DefaultSessionId(name_)) + "}";
+    return HttpResponse::Json(201, std::move(body));
+  }
+
+ private:
+  ReptileService* service_;
+  std::string name_;
+  CsvStreamParser parser_;
+  std::vector<HierarchySchema> hierarchies_;
+  std::vector<std::string> commits_;
+};
 
 ReptileService::ReptileService(ServiceOptions options)
     : ReptileService(std::make_shared<DatasetRegistry>(), std::move(options)) {}
@@ -590,7 +771,99 @@ std::string ReptileService::SessionSnapshotJson(SessionEntry& entry) {
   return out;
 }
 
+bool ReptileService::CheckAuth(const HttpRequest& request) const {
+  if (options_.auth_token.empty()) return true;
+  if (!IsMutatingRoute(request.method, request.path)) return true;
+  return BearerTokenMatches(request, options_.auth_token);
+}
+
+std::unique_ptr<HttpBodySink> ReptileService::StartStreamingBody(const HttpRequest& head) {
+  if (head.method != "POST" || head.path != "/v1/datasets") return nullptr;
+  const std::string* content_type = head.FindHeader("content-type");
+  if (content_type == nullptr) return nullptr;
+  constexpr std::string_view kCsv = "text/csv";
+  std::string_view ct(*content_type);
+  if (ct.size() < kCsv.size()) return nullptr;
+  for (size_t i = 0; i < kCsv.size(); ++i) {
+    char c = ct[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + ('a' - 'A'));
+    if (c != kCsv[i]) return nullptr;
+  }
+  if (ct.size() > kCsv.size() && ct[kCsv.size()] != ';' && ct[kCsv.size()] != ' ' &&
+      ct[kCsv.size()] != '\t') {
+    return nullptr;  // some other text/csv* type; buffer it normally
+  }
+
+  // From here on the request IS a streamed upload: failures must be reported
+  // through a sink (there is no buffered handler to fall back to), and the
+  // sink rejects the body so the server never reads an upload it won't use.
+  if (!CheckAuth(head)) {
+    return std::make_unique<RejectingSink>(UnauthorizedResponse());
+  }
+  auto reject = [](Status status) {
+    return std::make_unique<RejectingSink>(ErrorResponse(status));
+  };
+
+  std::string name;
+  std::string separator = ",";
+  CsvSpec spec;
+  std::vector<HierarchySchema> hierarchies;
+  std::vector<std::string> commits;
+  bool saw_name = false;
+  bool saw_dimensions = false;
+  for (const auto& [key, value] : ParseQuery(head.query)) {
+    if (key == "name") {
+      name = value;
+      saw_name = true;
+    } else if (key == "dimensions") {
+      spec.dimension_columns = SplitCommaList(value);
+      saw_dimensions = true;
+    } else if (key == "measures") {
+      spec.measure_columns = SplitCommaList(value);
+    } else if (key == "separator") {
+      separator = value;
+    } else if (key == "commits") {
+      commits = SplitCommaList(value);
+    } else if (key == "hierarchy") {
+      size_t colon = value.find(':');
+      HierarchySchema schema;
+      if (colon != std::string::npos) {
+        schema.name = value.substr(0, colon);
+        schema.attributes = SplitCommaList(value.substr(colon + 1));
+      }
+      if (schema.name.empty() || schema.attributes.empty()) {
+        return reject(Status::InvalidArgument(
+            "query parameter \"hierarchy\" must look like name:attr1,attr2, got \"" +
+            value + "\""));
+      }
+      hierarchies.push_back(std::move(schema));
+    } else {
+      return reject(Status::InvalidArgument(
+          "unknown query parameter \"" + key +
+          "\" for a streamed dataset upload (expected one of: name, dimensions, "
+          "measures, hierarchy, commits, separator)"));
+    }
+  }
+  if (!saw_name || name.empty()) {
+    return reject(Status::InvalidArgument(
+        "a streamed dataset upload needs a non-empty \"name\" query parameter"));
+  }
+  if (!saw_dimensions || spec.dimension_columns.empty()) {
+    return reject(Status::InvalidArgument(
+        "a streamed dataset upload needs a \"dimensions\" query parameter "
+        "(comma-separated column names)"));
+  }
+  if (separator.size() != 1) {
+    return reject(Status::InvalidArgument(
+        "separator must be a single character, got \"" + separator + "\""));
+  }
+  spec.separator = separator[0];
+  return std::make_unique<DatasetUploadSink>(this, std::move(name), std::move(spec),
+                                             std::move(hierarchies), std::move(commits));
+}
+
 HttpResponse ReptileService::Handle(const HttpRequest& request) {
+  if (!CheckAuth(request)) return UnauthorizedResponse();
   const std::string& path = request.path;
   if (path == "/healthz") {
     if (request.method != "GET") return MethodNotAllowed("GET");
@@ -664,18 +937,22 @@ HttpResponse ReptileService::HandleHealthz() {
     model_misses += (*handle)->model_cache_misses();
     model_fits += (*handle)->model_cache_fits();
   }
-  return HttpResponse::Json(
-      200,
+  std::string body =
       "{\"status\":\"ok\",\"datasets\":" + std::to_string(registry_->size()) +
-          ",\"sessions\":" + std::to_string(sessions) +
-          ",\"sessions_evicted\":" + std::to_string(sessions_evicted_.load()) +
-          ",\"aggregate_cache\":{\"entries\":" + std::to_string(agg_entries) +
-          ",\"hits\":" + std::to_string(agg_hits) +
-          ",\"misses\":" + std::to_string(agg_misses) +
-          "},\"model_cache\":{\"entries\":" + std::to_string(model_entries) +
-          ",\"hits\":" + std::to_string(model_hits) +
-          ",\"misses\":" + std::to_string(model_misses) +
-          ",\"fits\":" + std::to_string(model_fits) + "}}");
+      ",\"sessions\":" + std::to_string(sessions) +
+      ",\"sessions_evicted\":" + std::to_string(sessions_evicted_.load()) +
+      ",\"aggregate_cache\":{\"entries\":" + std::to_string(agg_entries) +
+      ",\"hits\":" + std::to_string(agg_hits) +
+      ",\"misses\":" + std::to_string(agg_misses) +
+      "},\"model_cache\":{\"entries\":" + std::to_string(model_entries) +
+      ",\"hits\":" + std::to_string(model_hits) +
+      ",\"misses\":" + std::to_string(model_misses) +
+      ",\"fits\":" + std::to_string(model_fits) + "}";
+  if (options_.transport_stats_json != nullptr) {
+    body += ",\"transport\":" + options_.transport_stats_json();
+  }
+  body += "}";
+  return HttpResponse::Json(200, std::move(body));
 }
 
 HttpResponse ReptileService::HandleDatasetList() {
@@ -1012,7 +1289,28 @@ HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch
     }();
     if (!response.ok()) return ErrorResponse(response.status());
     if (options->zero_timings) ZeroTimings(&*response);
-    return HttpResponse::Json(200, response->ToJson());
+    std::vector<std::string> pieces = response->ToJsonPieces();
+    size_t total = 0;
+    for (const std::string& piece : pieces) total += piece.size();
+    if (total < options_.stream_threshold_bytes) {
+      std::string body;
+      body.reserve(total);
+      for (const std::string& piece : pieces) body += piece;
+      return HttpResponse::Json(200, std::move(body));
+    }
+    // Large batch: hand the front end a pull stream over the pieces instead
+    // of one giant buffer — chunked on the wire for HTTP/1.1, reassembling
+    // to exactly the buffered bytes (ToJsonPieces() concatenates to
+    // ToJson()).
+    HttpResponse streamed;
+    auto state = std::make_shared<std::pair<std::vector<std::string>, size_t>>(
+        std::move(pieces), 0);
+    streamed.body_stream = [state](std::string* piece) {
+      if (state->second >= state->first.size()) return false;
+      *piece = std::move(state->first[state->second++]);
+      return true;
+    };
+    return streamed;
   }
   Result<ExploreResponse> response = [&] {
     std::lock_guard<std::mutex> lock((*entry)->mu);

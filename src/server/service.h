@@ -15,7 +15,11 @@
 //   POST   /v1/datasets        load a dataset into the registry — server-side
 //                              CSV file ("path") or inline upload ("csv"),
 //                              with "dimensions"/"measures"/"hierarchies"
-//                              typing; opens the dataset's default session
+//                              typing; opens the dataset's default session.
+//                              With a text/csv Content-Type the body is the
+//                              raw CSV, STREAMED through CsvStreamParser
+//                              (never materialized), and the typing rides the
+//                              query string — see StartStreamingBody()
 //   DELETE /v1/datasets/{name} drop the dataset and every session over it
 //                              (in-flight requests finish; the prepared
 //                              dataset is freed when the last handle drops)
@@ -66,6 +70,12 @@
 // Request mapping is strict: unknown or wrong-typed fields are rejected as
 // kInvalidArgument naming the field, and malformed JSON is a kParseError
 // carrying the parser's byte offset.
+//
+// Auth: when ServiceOptions::auth_token is set, MUTATING routes (dataset
+// create/delete, session create/delete, commit) require
+// "Authorization: Bearer <token>"; failures get the standard envelope with
+// code UNAUTHENTICATED and HTTP 401. /healthz and read-only routes stay
+// open so probes and dashboards need no credentials.
 //
 // Concurrency: Handle() is thread-safe, and — unlike PR 3's
 // register-before-serving contract — so is every mutator: the session table
@@ -138,6 +148,22 @@ struct ServiceOptions {
   // Time source for TTL bookkeeping; nullptr = std::chrono::steady_clock.
   // Injectable so tests drive eviction deterministically.
   std::function<std::chrono::steady_clock::time_point()> clock;
+
+  // Bearer token required on mutating routes (see the header comment) when
+  // non-empty. Empty (the default) disables the check entirely.
+  std::string auth_token;
+
+  // recommend_batch responses whose serialized body reaches this many bytes
+  // are streamed (HttpResponse::body_stream over ToJsonPieces(), chunked on
+  // the wire for HTTP/1.1) instead of materialized in one buffer. The
+  // reassembled bytes are identical to the buffered body — ToJsonPieces()
+  // concatenates to exactly ToJson(). SIZE_MAX (the default) disables
+  // streaming, so existing clients see unchanged framing.
+  size_t stream_threshold_bytes = SIZE_MAX;
+
+  // When set, /healthz gains ,"transport":<hook's JSON> — the serving binary
+  // wires the front end's counters (e.g. ReactorServer::StatsJson) in here.
+  std::function<std::string()> transport_stats_json;
 };
 
 class ReptileService {
@@ -178,6 +204,20 @@ class ReptileService {
   /// Routes one request; never throws. Thread-safe across connections.
   HttpResponse Handle(const HttpRequest& request);
 
+  /// Streaming-upload hook for the front ends (HttpServerOptions /
+  /// ReactorServerOptions::stream_factory). Engages only for
+  /// POST /v1/datasets with a text/csv Content-Type: the body is raw CSV,
+  /// fed chunk by chunk through CsvStreamParser (never materialized), and
+  /// the dataset typing rides the query string, percent-decoded:
+  ///   name=NAME&dimensions=a,b[&measures=x,y][&hierarchy=geo:country,city]
+  ///   [&hierarchy=...][&commits=geo,time][&separator=%09]
+  /// ("hierarchy" repeats, one per hierarchy, attributes comma-separated.)
+  /// Returns nullptr for every other request — the front end buffers those
+  /// normally. Auth/metadata failures still return a sink: one that rejects
+  /// the first body chunk and reports the error, so the client gets the
+  /// standard envelope without the server consuming the upload.
+  std::unique_ptr<HttpBodySink> StartStreamingBody(const HttpRequest& head);
+
   /// The single StatusCode -> HTTP status mapping (kOk -> 200).
   static int HttpStatusFor(StatusCode code);
 
@@ -198,6 +238,8 @@ class ReptileService {
   const DatasetRegistry& registry() const { return *registry_; }
 
  private:
+  friend class DatasetUploadSink;  // the StartStreamingBody sink (service.cpp)
+
   struct SessionEntry {
     SessionEntry(std::string id, std::string dataset, bool is_default, Session s,
                  int64_t now_ns)
@@ -243,6 +285,10 @@ class ReptileService {
 
   /// The session snapshot JSON (id, dataset, default flag, committed depths).
   std::string SessionSnapshotJson(SessionEntry& entry);
+
+  /// True when the request may proceed: auth is off, the route is
+  /// read-only, or the Authorization header carries the configured token.
+  bool CheckAuth(const HttpRequest& request) const;
 
   HttpResponse HandleHealthz();
   HttpResponse HandleDatasetList();
