@@ -105,8 +105,13 @@ std::vector<ComplaintSpec> MakeComplaints(int64_t n) {
 }
 
 // Serialisation of a batch with the (legitimately scheduling-dependent)
-// timing fields zeroed, so results can be compared byte-for-byte.
+// timing fields zeroed, so results can be compared byte-for-byte. The fit
+// counters are cache temperature, not answers — the verify's first batch
+// fits the shared models and every later batch reuses them — so they are
+// zeroed along with the timings.
 std::string TimelessJson(BatchExploreResponse batch) {
+  batch.models_trained = 0;
+  batch.fit_cache_hits = 0;
   batch.train_seconds = 0.0;
   batch.wall_seconds = 0.0;
   for (ExploreResponse& response : batch.responses) {

@@ -1,0 +1,281 @@
+// The snapshot tier in numbers, emitted as BENCH_snapshot.json — and the
+// contracts scripts/check.sh gates on:
+//
+//   cold  — CSV parse + dictionary encode + Prepare + first RecommendAll
+//           (aggregate builds AND every model fit), timed end to end;
+//   warm  — LoadPreparedDataset of the snapshot the cold process wrote, then
+//           the same batch: zero fits ("warm_fits":0) and a byte-identical
+//           response ("byte_identical":true) once timings are zeroed;
+//   churn — a fresh dataset pinned to a tiny cache budget, hammered across
+//           drill states: both caches' reported bytes must stay under their
+//           budgets while evicting ("under_budget":true), and every
+//           recommend must still succeed (evicted entries are rebuilt;
+//           in-flight holders survive via shared_ptr).
+//
+// Like bench/model_cache.cpp and bench/server_saturation.cpp this binary has
+// NO google-benchmark dependency — it is part of the tier-1 gate, so it must
+// build wherever the library builds. Exits non-zero on any contract break.
+//
+// Usage: snapshot_restart [output.json]   (default ./BENCH_snapshot.json)
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/dataset_snapshot.h"
+#include "common/timer.h"
+#include "data/csv.h"
+#include "datagen/panel_gen.h"
+#include "reptile/reptile.h"
+
+namespace reptile {
+namespace {
+
+Dataset MakePanel() {
+  PanelSpec spec;
+  spec.districts = 8;
+  spec.villages_per_district = 6;
+  spec.years = 8;
+  spec.rows_per_group = 4;
+  return MakeSeverityPanel(spec);
+}
+
+std::vector<ComplaintSpec> PanelComplaints() {
+  std::vector<ComplaintSpec> complaints;
+  for (int y = 0; y < 8; ++y) {
+    complaints.push_back(
+        ComplaintSpec::TooHigh("std", "severity").Where("year", "y" + std::to_string(y)));
+  }
+  return complaints;
+}
+
+/// The batch's ToJson() with every timing and cache-temperature field zeroed
+/// — what "byte-identical across a restart" means (a warm process cannot
+/// reproduce the cold process's wall-clock).
+std::string TimelessBatchJson(BatchExploreResponse batch) {
+  batch.models_trained = 0;
+  batch.fit_cache_hits = 0;
+  batch.train_seconds = 0.0;
+  batch.wall_seconds = 0.0;
+  for (ExploreResponse& response : batch.responses) {
+    for (HierarchyResponse& candidate : response.candidates) {
+      candidate.train_seconds = 0.0;
+      candidate.total_seconds = 0.0;
+    }
+  }
+  return batch.ToJson();
+}
+
+[[noreturn]] void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+struct ColdResult {
+  DatasetHandle handle;
+  double millis = 0.0;
+  int64_t fits = 0;
+  std::string timeless_json;
+};
+
+/// The full cold path a fresh server pays: bytes on disk to first answer.
+ColdResult ColdRun(const std::string& csv_path,
+                   const std::vector<ComplaintSpec>& complaints) {
+  Timer timer;
+  CsvSpec csv_spec;
+  csv_spec.dimension_columns = {"district", "village", "year"};
+  csv_spec.measure_columns = {"severity"};
+  Result<Table> table = LoadCsv(csv_path, csv_spec);
+  if (!table.ok()) Die("csv load failed", table.status());
+  Result<Dataset> dataset =
+      Dataset::Make(std::move(table).value(),
+                    {HierarchySchema{"geo", {"district", "village"}},
+                     HierarchySchema{"time", {"year"}}});
+  if (!dataset.ok()) Die("dataset build failed", dataset.status());
+  Result<DatasetHandle> handle = PreparedDataset::Prepare(std::move(dataset).value());
+  if (!handle.ok()) Die("prepare failed", handle.status());
+  Result<Session> session = Session::Open(handle.value());
+  if (!session.ok()) Die("session open failed", session.status());
+  if (Status commit = session->Commit("time"); !commit.ok()) Die("commit failed", commit);
+  Result<BatchExploreResponse> batch =
+      session->RecommendAll(std::span<const ComplaintSpec>(complaints));
+  if (!batch.ok()) Die("cold recommend failed", batch.status());
+  ColdResult result;
+  result.millis = timer.Seconds() * 1000.0;
+  result.handle = std::move(handle).value();
+  result.fits = session->models_trained();
+  result.timeless_json = TimelessBatchJson(std::move(batch).value());
+  return result;
+}
+
+struct WarmResult {
+  double millis = 0.0;
+  int64_t fits = 0;
+  std::string timeless_json;
+};
+
+/// The restart path: snapshot on disk to first answer.
+WarmResult WarmRun(const std::string& snap_path,
+                   const std::vector<ComplaintSpec>& complaints) {
+  Timer timer;
+  Result<DatasetHandle> handle = LoadPreparedDataset(snap_path);
+  if (!handle.ok()) Die("snapshot load failed", handle.status());
+  Result<Session> session = Session::Open(std::move(handle).value());
+  if (!session.ok()) Die("warm session open failed", session.status());
+  if (Status commit = session->Commit("time"); !commit.ok()) Die("commit failed", commit);
+  Result<BatchExploreResponse> batch =
+      session->RecommendAll(std::span<const ComplaintSpec>(complaints));
+  if (!batch.ok()) Die("warm recommend failed", batch.status());
+  WarmResult result;
+  result.millis = timer.Seconds() * 1000.0;
+  result.fits = session->models_trained();
+  result.timeless_json = TimelessBatchJson(std::move(batch).value());
+  return result;
+}
+
+struct ChurnResult {
+  size_t budget_bytes = 0;
+  int64_t agg_bytes = 0;
+  int64_t agg_evictions = 0;
+  int64_t model_bytes = 0;
+  int64_t model_evictions = 0;
+  bool under_budget = false;
+};
+
+/// Pins a fresh dataset to a budget far below its working set, then sweeps
+/// sessions across distinct drill states so both caches insert well past
+/// their ceilings. Steady state must hold bytes <= budget with evictions.
+ChurnResult ChurnRun(const std::vector<ComplaintSpec>& complaints) {
+  Result<DatasetHandle> prepared = PreparedDataset::Prepare(MakePanel());
+  if (!prepared.ok()) Die("churn prepare failed", prepared.status());
+  DatasetHandle handle = std::move(prepared).value();
+  const size_t budget = 4 * 1024;  // 2 KiB per cache: every aggregate entry oversizes
+  handle->SetCacheBudgetBytes(budget);
+
+  // Distinct committed drill states mint distinct aggregate and model keys.
+  const std::vector<std::vector<std::string>> drill_states = {
+      {}, {"time"}, {"geo"}, {"geo", "geo"}, {"time", "geo"}, {"geo", "time"}};
+  for (int round = 0; round < 2; ++round) {
+    for (const std::vector<std::string>& commits : drill_states) {
+      Result<Session> session = Session::Open(handle);
+      if (!session.ok()) Die("churn session open failed", session.status());
+      for (const std::string& hierarchy : commits) {
+        if (Status commit = session->Commit(hierarchy); !commit.ok()) {
+          Die("churn commit failed", commit);
+        }
+      }
+      Result<BatchExploreResponse> batch =
+          session->RecommendAll(std::span<const ComplaintSpec>(complaints));
+      if (!batch.ok()) Die("churn recommend failed", batch.status());
+    }
+  }
+
+  ChurnResult result;
+  result.budget_bytes = budget;
+  result.agg_bytes = handle->cache_bytes();
+  result.agg_evictions = handle->cache_evictions();
+  result.model_bytes = handle->model_cache_bytes();
+  result.model_evictions = handle->model_cache_evictions();
+  result.under_budget =
+      result.agg_bytes + result.model_bytes <= static_cast<int64_t>(budget);
+  return result;
+}
+
+int Run(const char* output_path) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("reptile_snapshot_bench." + std::to_string(getpid()));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s\n", dir.string().c_str());
+    return 1;
+  }
+  const std::string csv_path = (dir / "panel.csv").string();
+  const std::string snap_path = (dir / "panel.snap").string();
+
+  const Dataset panel = MakePanel();
+  if (Status save = SaveCsv(panel.table(), csv_path); !save.ok()) Die("csv save failed", save);
+  const std::vector<ComplaintSpec> complaints = PanelComplaints();
+
+  ColdResult cold = ColdRun(csv_path, complaints);
+  if (Status save = SavePreparedDataset(*cold.handle, snap_path); !save.ok()) {
+    Die("snapshot save failed", save);
+  }
+  const uint64_t snapshot_bytes = static_cast<uint64_t>(fs::file_size(snap_path, ec));
+  WarmResult warm = WarmRun(snap_path, complaints);
+  const bool byte_identical = cold.timeless_json == warm.timeless_json;
+  ChurnResult churn = ChurnRun(complaints);
+  fs::remove_all(dir, ec);
+
+  const double speedup = warm.millis > 0.0 ? cold.millis / warm.millis : 0.0;
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"workload\":\"fig08_panel_8x6x8\",\"rows\":%zu,\"snapshot_bytes\":%llu,"
+      "\"cold_ms\":%.3f,\"cold_fits\":%lld,\"warm_ms\":%.3f,\"warm_fits\":%lld,"
+      "\"cold_over_warm_speedup\":%.2f,\"byte_identical\":%s,"
+      "\"churn\":{\"budget_bytes\":%zu,"
+      "\"aggregate\":{\"bytes\":%lld,\"evictions\":%lld},"
+      "\"model\":{\"bytes\":%lld,\"evictions\":%lld},"
+      "\"under_budget\":%s}}\n",
+      panel.table().num_rows(), static_cast<unsigned long long>(snapshot_bytes),
+      cold.millis, static_cast<long long>(cold.fits), warm.millis,
+      static_cast<long long>(warm.fits), speedup, byte_identical ? "true" : "false",
+      churn.budget_bytes, static_cast<long long>(churn.agg_bytes),
+      static_cast<long long>(churn.agg_evictions),
+      static_cast<long long>(churn.model_bytes),
+      static_cast<long long>(churn.model_evictions),
+      churn.under_budget ? "true" : "false");
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", output_path);
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fputs(json, stdout);
+
+  // The contracts this binary exists to enforce.
+  int failures = 0;
+  if (cold.fits <= 0) {
+    std::fprintf(stderr, "FAIL: cold run performed no fits — the bench measured nothing\n");
+    ++failures;
+  }
+  if (warm.fits != 0) {
+    std::fprintf(stderr, "FAIL: warm run performed %lld fits (snapshot should carry models)\n",
+                 static_cast<long long>(warm.fits));
+    ++failures;
+  }
+  if (!byte_identical) {
+    std::fprintf(stderr, "FAIL: warm response differs from cold (snapshot is lossy)\n");
+    ++failures;
+  }
+  if (!churn.under_budget) {
+    std::fprintf(stderr, "FAIL: steady-state cache bytes %lld exceed budget %zu\n",
+                 static_cast<long long>(churn.agg_bytes + churn.model_bytes),
+                 churn.budget_bytes);
+    ++failures;
+  }
+  if (churn.agg_evictions <= 0 || churn.model_evictions <= 0) {
+    std::fprintf(stderr, "FAIL: churn evicted nothing (agg %lld, model %lld) — no pressure\n",
+                 static_cast<long long>(churn.agg_evictions),
+                 static_cast<long long>(churn.model_evictions));
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main(int argc, char** argv) {
+  const char* output = argc > 1 ? argv[1] : "BENCH_snapshot.json";
+  return reptile::Run(output);
+}

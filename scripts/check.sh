@@ -5,14 +5,31 @@
 # /healthz and /v1/recommend, assert a clean SIGTERM shutdown) — then build
 # the library and tests again under ThreadSanitizer and re-run the suite, so
 # every PR exercises the parallel engine and server paths under race
-# detection. Future PRs must keep all stages green. Set REPTILE_SKIP_TSAN=1
-# to skip the TSan pass (e.g. on toolchains without libtsan);
+# detection, and once more under Address+UBSan focused on the byte-level
+# snapshot/codec suite. Future PRs must keep all stages green. Set
+# REPTILE_SKIP_TSAN=1 to skip the TSan pass (e.g. on toolchains without
+# libtsan); REPTILE_SKIP_ASAN=1 likewise for the ASan pass;
 # REPTILE_SKIP_SMOKE=1 skips the server smoke (e.g. no curl, no loopback).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-check}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+
+# A bench stage that "passed" without leaving its JSON behind is a silent
+# no-op, not a pass: every expected BENCH_*.json must exist and be non-empty
+# before any grep gates run against it.
+require_bench_json() {
+  if [[ ! -f "$1" ]]; then
+    echo "FAIL: expected bench output $1 was never written" >&2
+    exit 1
+  fi
+  if [[ ! -s "$1" ]]; then
+    echo "FAIL: expected bench output $1 is empty" >&2
+    exit 1
+  fi
+}
 
 cmake -B "$BUILD_DIR" -S . -DREPTILE_WERROR=ON "$@"
 cmake --build "$BUILD_DIR" -j
@@ -24,6 +41,7 @@ if [[ -x "$BUILD_DIR/bench/model_cache" ]]; then
   # exits non-zero when a warm run trains anything; the grep double-checks
   # the recorded contract.
   "$BUILD_DIR/bench/model_cache" "$BUILD_DIR/BENCH_model_cache.json"
+  require_bench_json "$BUILD_DIR/BENCH_model_cache.json"
   grep -q '"warm_fits":0' "$BUILD_DIR/BENCH_model_cache.json"
   grep -q '"warm_repeat_fits":0' "$BUILD_DIR/BENCH_model_cache.json"
   echo "--- model-cache bench passed"
@@ -37,12 +55,27 @@ if [[ -x "$BUILD_DIR/bench/server_saturation" ]]; then
   # contract — correctness fields only, never timings (CI machines are slow
   # and shared).
   "$BUILD_DIR/bench/server_saturation" "$BUILD_DIR/BENCH_server_saturation.json"
+  require_bench_json "$BUILD_DIR/BENCH_server_saturation.json"
   grep -q '"idle_ok":true' "$BUILD_DIR/BENCH_server_saturation.json"
   grep -q '"probe_ok":true' "$BUILD_DIR/BENCH_server_saturation.json"
   grep -q '"failures":0' "$BUILD_DIR/BENCH_server_saturation.json"
   grep -q '"mismatches":0' "$BUILD_DIR/BENCH_server_saturation.json"
   grep -q '"open_with_idle":256' "$BUILD_DIR/BENCH_server_saturation.json"
   echo "--- server-saturation bench passed"
+fi
+
+if [[ -x "$BUILD_DIR/bench/snapshot_restart" ]]; then
+  echo "--- snapshot bench: warm restart byte-identity + eviction under budget"
+  # Emits BENCH_snapshot.json (cold CSV-parse+build+fit vs snapshot load to
+  # first recommend, plus the budgeted churn sweep) and exits non-zero on a
+  # contract break; the greps double-check the recorded contract —
+  # correctness fields only, never timings.
+  "$BUILD_DIR/bench/snapshot_restart" "$BUILD_DIR/BENCH_snapshot.json"
+  require_bench_json "$BUILD_DIR/BENCH_snapshot.json"
+  grep -q '"byte_identical":true' "$BUILD_DIR/BENCH_snapshot.json"
+  grep -q '"warm_fits":0' "$BUILD_DIR/BENCH_snapshot.json"
+  grep -q '"under_budget":true' "$BUILD_DIR/BENCH_snapshot.json"
+  echo "--- snapshot bench passed"
 fi
 
 if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
@@ -125,6 +158,19 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   wait "$REACTOR_PID"
   trap - EXIT
   echo "--- reactor smoke passed"
+fi
+
+if [[ "${REPTILE_SKIP_ASAN:-0}" != "1" ]]; then
+  # ASan+UBSan over the suites that parse or shuffle raw bytes: the snapshot
+  # container/codec round trips and corruption sweeps, the LRU cache, and the
+  # CSV chunk-split framing — the places where an off-by-one reads out of
+  # bounds instead of racing.
+  cmake -B "$ASAN_BUILD_DIR" -S . -DREPTILE_ASAN=ON \
+    -DREPTILE_BUILD_BENCHMARKS=OFF -DREPTILE_BUILD_EXAMPLES=OFF "$@"
+  cmake --build "$ASAN_BUILD_DIR" -j
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      -R 'Snapshot|LruByteCache|CsvStream'
 fi
 
 if [[ "${REPTILE_SKIP_TSAN:-0}" != "1" ]]; then

@@ -1,0 +1,56 @@
+// Binary snapshots of a PreparedDataset (warm restarts).
+//
+// A PreparedDataset is expensive to assemble: CSV parsing and dictionary
+// encoding, per-(hierarchy, depth) f-tree and local-aggregate builds, and EM
+// model training. All of it is a pure function of immutable inputs, so it
+// can be persisted once and reloaded in milliseconds — a restarted server
+// answers its first request byte-identically to the process that wrote the
+// snapshot, with zero aggregate builds and zero fits.
+//
+// Serialized sections (data/snapshot.h container, format version 1):
+//
+//   "schema"   — hierarchy schemas + table column metadata + row count.
+//   "dict:<c>" — the value dictionary of dimension column c.
+//   "col:<c>"  — column c's data: dictionary codes or measure doubles.
+//   "ftrees"   — the aggregate cache's (hierarchy, depth) entries, each as
+//                its f-tree's per-level value/parent vectors only; the
+//                derived vectors and the LocalAggregates tables are
+//                deterministically recomputed at load (and validated —
+//                FTree::FromLevels rejects corrupt structure as Status).
+//   "models"   — completed fitted-model cache entries: cache key, fitted
+//                vector, realized fit metadata. Keys beginning with '#'
+//                (process-unique feature partitions minted for un-hashable
+//                custom features) are skipped; content-hashed partitions
+//                ("h:<hash>", from auxiliary registrations and random-effect
+//                exclusions) persist and warm equal registrations in future
+//                processes.
+//
+// Loading never trusts the file: the container layer checks magic, version
+// and per-section CRCs; this layer re-validates structure (dictionary code
+// ranges, column lengths, f-tree invariants, key coordinates) and returns
+// kParseError instead of undefined behavior on anything inconsistent.
+
+#ifndef REPTILE_API_DATASET_SNAPSHOT_H_
+#define REPTILE_API_DATASET_SNAPSHOT_H_
+
+#include <string>
+
+#include "api/registry.h"
+#include "api/status.h"
+
+namespace reptile {
+
+/// Writes `dataset` — table, hierarchies, and the current contents of its
+/// aggregate and fitted-model caches — to `path`. kIoError when the file
+/// cannot be written.
+Status SavePreparedDataset(const PreparedDataset& dataset, const std::string& path);
+
+/// Reads a snapshot back into a fresh PreparedDataset whose caches are
+/// pre-warmed with the persisted aggregates and models. kIoError when the
+/// file cannot be read, kParseError when its contents are corrupt or
+/// version-incompatible.
+Result<DatasetHandle> LoadPreparedDataset(const std::string& path);
+
+}  // namespace reptile
+
+#endif  // REPTILE_API_DATASET_SNAPSHOT_H_

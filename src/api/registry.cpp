@@ -33,10 +33,24 @@ Result<DatasetHandle> PreparedDataset::Prepare(Dataset dataset) {
 int64_t PreparedDataset::cache_entries() const { return cache_->entries(); }
 int64_t PreparedDataset::cache_hits() const { return cache_->hits(); }
 int64_t PreparedDataset::cache_misses() const { return cache_->misses(); }
+int64_t PreparedDataset::cache_bytes() const {
+  return static_cast<int64_t>(cache_->bytes());
+}
+int64_t PreparedDataset::cache_evictions() const { return cache_->evictions(); }
 int64_t PreparedDataset::model_cache_entries() const { return model_cache_->entries(); }
 int64_t PreparedDataset::model_cache_hits() const { return model_cache_->hits(); }
 int64_t PreparedDataset::model_cache_misses() const { return model_cache_->misses(); }
+int64_t PreparedDataset::model_cache_bytes() const {
+  return static_cast<int64_t>(model_cache_->bytes());
+}
+int64_t PreparedDataset::model_cache_evictions() const { return model_cache_->evictions(); }
 int64_t PreparedDataset::model_cache_fits() const { return model_cache_->fits(); }
+
+void PreparedDataset::SetCacheBudgetBytes(size_t total_bytes) const {
+  size_t half = total_bytes / 2;
+  cache_->set_budget_bytes(half);
+  model_cache_->set_budget_bytes(total_bytes == 0 ? 0 : total_bytes - half);
+}
 
 Result<DatasetHandle> DatasetRegistry::Add(std::string name, Dataset dataset) {
   Result<DatasetHandle> prepared = PreparedDataset::Prepare(std::move(dataset));

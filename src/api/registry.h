@@ -23,6 +23,7 @@
 #ifndef REPTILE_API_REGISTRY_H_
 #define REPTILE_API_REGISTRY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -72,13 +73,22 @@ class PreparedDataset {
   int64_t cache_entries() const;
   int64_t cache_hits() const;
   int64_t cache_misses() const;
+  int64_t cache_bytes() const;
+  int64_t cache_evictions() const;
   int64_t model_cache_entries() const;
   int64_t model_cache_hits() const;
   int64_t model_cache_misses() const;
+  int64_t model_cache_bytes() const;
+  int64_t model_cache_evictions() const;
   /// Model fits actually performed through the cache — across every session
   /// over this dataset; the single-flight contract makes this "one per
   /// distinct key", however many sessions raced.
   int64_t model_cache_fits() const;
+
+  /// Splits `total_bytes` evenly between the aggregate and model caches
+  /// (0 = unlimited for both). Const for the same reason cache() is: a
+  /// budget changes retention, not the logical dataset.
+  void SetCacheBudgetBytes(size_t total_bytes) const;
 
  private:
   explicit PreparedDataset(Dataset dataset);

@@ -1,13 +1,62 @@
-// Hash helpers shared by group-by keys, multi-attribute feature maps, and
-// f-tree path lookup.
+// Hash helpers shared by group-by keys, multi-attribute feature maps,
+// f-tree path lookup, and content-derived cache tokens.
 
 #ifndef REPTILE_COMMON_HASHING_H_
 #define REPTILE_COMMON_HASHING_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 namespace reptile {
+
+/// Streaming FNV-1a over arbitrary bytes, for content-derived tokens (e.g.
+/// the engine's feature-registration cache partition). Not cryptographic —
+/// collision resistance is "good enough for cache keys", nothing more.
+/// Length-prefix variable-size inputs (MixString/MixBytes do) so
+/// concatenation ambiguity cannot alias two different input sequences.
+class Fnv1aHasher {
+ public:
+  void MixBytes(const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void MixU64(uint64_t v) { MixBytes(&v, sizeof(v)); }
+  void MixI64(int64_t v) { MixU64(static_cast<uint64_t>(v)); }
+  void MixI32(int32_t v) { MixU64(static_cast<uint64_t>(static_cast<uint32_t>(v))); }
+  void MixBool(bool v) { MixU64(v ? 1 : 0); }
+  void MixDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    MixU64(bits);
+  }
+  void MixString(const std::string& s) {
+    MixU64(s.size());
+    MixBytes(s.data(), s.size());
+  }
+
+  uint64_t hash() const { return hash_; }
+
+  /// 16 lowercase hex digits of the current state.
+  std::string Hex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    uint64_t v = hash_;
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+      v >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ull;
+};
 
 /// FNV-1a style hash over a tuple of int32 codes.
 struct CodeTupleHash {

@@ -1,0 +1,189 @@
+// Byte-accounted LRU cache with shared_ptr-based safe reclamation — the one
+// size-aware core both process-shared caches (factor/agg_cache.h,
+// factor/model_cache.h) are built on.
+//
+// Contract:
+//  * Values are held as shared_ptr<const Value>. Eviction drops only the
+//    cache's reference: a caller still holding the pointer keeps using the
+//    entry safely for as long as it likes ("in-flight holders survive
+//    eviction"). This deliberately REPLACES the old aggregate-cache promise
+//    that raw references stay valid forever — callers must hold owning
+//    handles across any window where eviction could run.
+//  * Insert() is insert-once: when two threads race to populate one key the
+//    first insert wins and the loser receives (and should adopt) the
+//    resident value, so deterministic builds stay canonical per key.
+//  * budget_bytes() is a hard ceiling on the bytes the cache itself retains
+//    (0 = unlimited). Inserting past it evicts least-recently-used entries
+//    until the accounted bytes fit — including, when a single entry exceeds
+//    the whole budget, the entry just inserted (the caller's shared_ptr
+//    still owns it; the cache just refuses to retain it).
+//  * Byte sizes are caller-supplied estimates (the cache cannot see into
+//    Value); they only need to be consistent, not exact.
+//  * Every method is thread-safe behind one mutex. Find() touches recency,
+//    so there is no shared/exclusive split — lookups are cheap map walks and
+//    the expensive work (builds, fits) always happens outside the cache.
+//  * hits/misses/evictions are monotonic; entries/bytes are gauges.
+
+#ifndef REPTILE_COMMON_LRU_CACHE_H_
+#define REPTILE_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace reptile {
+
+template <typename Key, typename Value>
+class LruByteCache {
+ public:
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  LruByteCache() = default;
+
+  LruByteCache(const LruByteCache&) = delete;
+  LruByteCache& operator=(const LruByteCache&) = delete;
+
+  /// The resident value, touched most-recently-used; nullptr when absent.
+  /// Counts one hit or miss.
+  ValuePtr Find(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.value;
+  }
+
+  /// Pure lookup: no recency touch, no counter — for introspection paths
+  /// that must not perturb eviction order or hit rates.
+  ValuePtr Peek(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second.value;
+  }
+
+  /// Insert-once: returns the resident value for `key` — `value` when this
+  /// call inserted it, the earlier value when another thread won the race
+  /// (the caller should adopt the returned pointer either way). `bytes` is
+  /// the entry's accounted size; inserting past the budget evicts from the
+  /// LRU tail.
+  ValuePtr Insert(const Key& key, ValuePtr value, size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      return it->second.value;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{value, bytes, lru_.begin()});
+    bytes_ += bytes;
+    EvictOverBudgetLocked();
+    return value;
+  }
+
+  /// Drops the cache's reference to `key` (holders keep theirs). Returns
+  /// whether the key was resident. Not counted as an eviction.
+  bool Erase(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.pos);
+    map_.erase(it);
+    return true;
+  }
+
+  /// Sets the byte budget (0 = unlimited) and immediately evicts down to it.
+  void set_budget_bytes(size_t budget) {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = budget;
+    EvictOverBudgetLocked();
+  }
+
+  size_t budget_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_;
+  }
+
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  int64_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(map_.size());
+  }
+
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+  int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
+  /// Resident keys in map order (sorted for ordered Key types).
+  std::vector<Key> Keys() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Key> keys;
+    keys.reserve(map_.size());
+    for (const auto& [key, entry] : map_) keys.push_back(key);
+    return keys;
+  }
+
+  /// Resident (key, value) pairs in map order — the snapshot-save walk.
+  std::vector<std::pair<Key, ValuePtr>> Items() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<Key, ValuePtr>> items;
+    items.reserve(map_.size());
+    for (const auto& [key, entry] : map_) items.emplace_back(key, entry.value);
+    return items;
+  }
+
+ private:
+  struct Entry {
+    ValuePtr value;
+    size_t bytes = 0;
+    typename std::list<Key>::iterator pos;  // position in lru_
+  };
+
+  void EvictOverBudgetLocked() {
+    if (budget_ == 0) return;
+    while (bytes_ > budget_ && !lru_.empty()) {
+      auto it = map_.find(lru_.back());
+      bytes_ -= it->second.bytes;
+      map_.erase(it);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::list<Key> lru_;  // front = most recently used
+  std::map<Key, Entry> map_;
+  size_t budget_ = 0;  // 0 = unlimited
+  size_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_COMMON_LRU_CACHE_H_

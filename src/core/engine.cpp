@@ -8,6 +8,7 @@
 #include <atomic>
 
 #include "common/check.h"
+#include "common/hashing.h"
 #include "common/timer.h"
 #include "core/repair.h"
 #include "core/view.h"
@@ -59,9 +60,10 @@ std::vector<AggFn> ComplaintPrimitives(const Complaint& complaint,
   return primitives;
 }
 
-// Every feature-registration mutation anywhere in the process mints a fresh
-// token, so a (session, feature-set) pair keys its own fitted-model cache
-// partition and stale models can never be observed across a mutation.
+// Fallback token source for feature sets that cannot be content-hashed
+// (custom features wrap opaque std::functions): every mutation mints a
+// process-unique token, so such sessions never exchange models with anyone —
+// including their own past.
 std::atomic<uint64_t> g_feature_epoch{0};
 
 }  // namespace
@@ -118,8 +120,47 @@ Engine::Engine(const Dataset* dataset, EngineOptions options)
 Engine::~Engine() = default;
 
 void Engine::BumpFeatureToken() {
-  feature_token_ =
-      "#" + std::to_string(g_feature_epoch.fetch_add(1, std::memory_order_relaxed) + 1);
+  // A custom feature is an opaque std::function — no stable content identity
+  // exists, so the partition falls back to a process-unique epoch token.
+  // Such keys start with '#' and are skipped by snapshot persistence.
+  if (!custom_features_.empty()) {
+    feature_token_ =
+        "#" + std::to_string(g_feature_epoch.fetch_add(1, std::memory_order_relaxed) + 1);
+    return;
+  }
+  // Otherwise the feature set is fully value-determined: hash the auxiliary
+  // registrations (spec fields AND the joined table's contents — the table
+  // is borrowed, so identity says nothing) plus the Z exclusions. Equal
+  // registrations produce equal tokens across sessions and across process
+  // restarts, which is what lets persisted fitted-model entries warm a
+  // fresh process (api/dataset_snapshot.h).
+  Fnv1aHasher hasher;
+  hasher.MixU64(auxiliaries_.size());
+  for (const AuxiliarySpec& aux : auxiliaries_) {
+    hasher.MixString(aux.name);
+    hasher.MixU64(aux.join_attrs.size());
+    for (const std::string& attr : aux.join_attrs) hasher.MixString(attr);
+    hasher.MixString(aux.measure);
+    hasher.MixBool(aux.normalize);
+    const Table& table = *aux.table;
+    hasher.MixU64(table.num_rows());
+    hasher.MixI64(table.num_columns());
+    for (int c = 0; c < table.num_columns(); ++c) {
+      hasher.MixString(table.column_name(c));
+      hasher.MixBool(table.is_dimension(c));
+      if (table.is_dimension(c)) {
+        const ValueDict& dict = table.dict(c);
+        hasher.MixI32(dict.size());
+        for (int32_t code = 0; code < dict.size(); ++code) hasher.MixString(dict.name(code));
+        for (int32_t code : table.dim_codes(c)) hasher.MixI32(code);
+      } else {
+        for (double v : table.measure(c)) hasher.MixDouble(v);
+      }
+    }
+  }
+  hasher.MixU64(z_exclusions_.size());
+  for (const std::string& name : z_exclusions_) hasher.MixString(name);
+  feature_token_ = "h:" + hasher.Hex();
 }
 
 void Engine::RegisterAuxiliary(AuxiliarySpec spec) {

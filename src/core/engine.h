@@ -315,8 +315,9 @@ class Engine {
 
   /// Re-partitions this engine's future fitted-model cache keys; called by
   /// every feature-registration mutator (auxiliaries, custom features,
-  /// random-effect exclusions). Models fitted under the previous feature set
-  /// — by this session or any other — are never reused afterwards.
+  /// random-effect exclusions). Models fitted under a different feature set
+  /// are never reused; engines whose registrations are value-equal land in
+  /// the same partition (see feature_token_ below).
   void BumpFeatureToken();
 
   /// Execute stage, ranking half: scores one complaint's sibling groups
@@ -344,9 +345,12 @@ class Engine {
   DrillDownState drill_state_;
   // Fitted-model cache key partition for this engine's feature
   // registrations: empty = the shareable default feature set (no
-  // auxiliaries, custom features or Z exclusions); otherwise a process-
-  // unique token minted by BumpFeatureToken(), so sessions with bespoke
-  // features never exchange models with anyone — including their own past.
+  // auxiliaries, custom features or Z exclusions); "h:<hash>" = a content
+  // hash of the registered auxiliaries and Z exclusions, so sessions with
+  // equal registrations share models — across processes too, which is what
+  // lets snapshots persist these partitions; "#<epoch>" = a process-unique
+  // fallback for custom features (opaque std::functions have no content
+  // identity), never shared and never persisted.
   std::string feature_token_;
   std::vector<AuxiliarySpec> auxiliaries_;
   std::vector<CustomFeatureSpec> custom_features_;

@@ -62,6 +62,11 @@ Result<Table> CsvStreamParser::Finish() {
 bool CsvStreamParser::ProcessLine(std::string line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
   if (!header_done_) {
+    // Exporters (Excel, PowerShell) prefix UTF-8 files with a byte-order
+    // mark; without this strip it would glue onto the first header name.
+    // Lines are assembled in pending_ before reaching here, so the strip is
+    // chunk-boundary safe.
+    if (line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
     saw_any_line_ = true;
     header_done_ = true;
     return ProcessHeader(line);

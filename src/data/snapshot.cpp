@@ -1,0 +1,318 @@
+#include "data/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace reptile {
+namespace {
+
+constexpr char kHeadMagic[8] = {'R', 'P', 'T', 'L', 'S', 'N', 'A', 'P'};
+constexpr char kTailMagic[8] = {'R', 'P', 'T', 'L', 'E', 'N', 'D', '.'};
+constexpr size_t kHeaderSize = sizeof(kHeadMagic) + 4;        // magic + version
+constexpr size_t kTrailerSize = 8 + 4 + sizeof(kTailMagic);   // offset + crc + magic
+
+// Sane ceiling for label lengths in the index: labels are short identifiers,
+// so a longer one means the index bytes are garbage.
+constexpr uint32_t kMaxLabelLength = 4096;
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendLe32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendLe64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t ParseLe32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t ParseLe64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::U32(uint32_t v) { AppendLe32(buf_, v); }
+void ByteWriter::U64(uint64_t v) { AppendLe64(buf_, v); }
+
+void ByteWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Str(const std::string& s) {
+  U64(s.size());
+  buf_.append(s);
+}
+
+void ByteWriter::VecI32(const std::vector<int32_t>& v) {
+  U64(v.size());
+  for (int32_t x : v) I32(x);
+}
+
+void ByteWriter::VecI64(const std::vector<int64_t>& v) {
+  U64(v.size());
+  for (int64_t x : v) I64(x);
+}
+
+void ByteWriter::VecF64(const std::vector<double>& v) {
+  U64(v.size());
+  for (double x : v) F64(x);
+}
+
+bool ByteReader::Take(void* out, size_t n) {
+  if (!status_.ok()) return false;
+  if (n > size_ - pos_) {
+    status_ = Status::ParseError("corrupt snapshot: section '" + label_ +
+                                 "' truncated (read past its end)");
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+void ByteReader::Fail(const std::string& what) {
+  if (status_.ok()) {
+    status_ = Status::ParseError("corrupt snapshot: section '" + label_ + "': " + what);
+  }
+}
+
+uint8_t ByteReader::U8() {
+  char c = 0;
+  return Take(&c, 1) ? static_cast<uint8_t>(c) : 0;
+}
+
+uint32_t ByteReader::U32() {
+  char raw[4];
+  return Take(raw, 4) ? ParseLe32(raw) : 0;
+}
+
+uint64_t ByteReader::U64() {
+  char raw[8];
+  return Take(raw, 8) ? ParseLe64(raw) : 0;
+}
+
+double ByteReader::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::Str() {
+  uint64_t n = U64();
+  if (!status_.ok()) return std::string();
+  if (n > remaining()) {
+    Fail("string length exceeds the bytes remaining");
+    return std::string();
+  }
+  std::string s(data_ + pos_, static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
+  return s;
+}
+
+std::vector<int32_t> ByteReader::VecI32() {
+  uint64_t n = U64();
+  if (!status_.ok()) return {};
+  if (n > remaining() / 4) {
+    Fail("vector count exceeds the bytes remaining");
+    return {};
+  }
+  std::vector<int32_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = I32();
+  return v;
+}
+
+std::vector<int64_t> ByteReader::VecI64() {
+  uint64_t n = U64();
+  if (!status_.ok()) return {};
+  if (n > remaining() / 8) {
+    Fail("vector count exceeds the bytes remaining");
+    return {};
+  }
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = I64();
+  return v;
+}
+
+std::vector<double> ByteReader::VecF64() {
+  uint64_t n = U64();
+  if (!status_.ok()) return {};
+  if (n > remaining() / 8) {
+    Fail("vector count exceeds the bytes remaining");
+    return {};
+  }
+  std::vector<double> v(static_cast<size_t>(n));
+  for (auto& x : v) x = F64();
+  return v;
+}
+
+void SnapshotWriter::AddSection(const std::string& label, std::string payload) {
+  for (const auto& [existing, bytes] : sections_) {
+    REPTILE_CHECK(existing != label) << "duplicate snapshot section '" << label << "'";
+  }
+  sections_.emplace_back(label, std::move(payload));
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  std::string out;
+  out.append(kHeadMagic, sizeof(kHeadMagic));
+  AppendLe32(out, kSnapshotFormatVersion);
+
+  std::string index;
+  AppendLe32(index, static_cast<uint32_t>(sections_.size()));
+  for (const auto& [label, payload] : sections_) {
+    uint64_t offset = out.size();
+    out.append(payload);
+    AppendLe32(index, static_cast<uint32_t>(label.size()));
+    index.append(label);
+    AppendLe64(index, offset);
+    AppendLe64(index, payload.size());
+    AppendLe32(index, Crc32(payload.data(), payload.size()));
+  }
+
+  uint64_t index_offset = out.size();
+  out.append(index);
+  AppendLe64(out, index_offset);
+  AppendLe32(out, Crc32(index.data(), index.size()));
+  out.append(kTailMagic, sizeof(kTailMagic));
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot create snapshot file '" + path + "'");
+  }
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file.good()) {
+    return Status::IoError("short write to snapshot file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open snapshot file '" + path + "'");
+  }
+  SnapshotReader reader;
+  reader.file_.assign(std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>());
+  if (!file.good() && !file.eof()) {
+    return Status::IoError("cannot read snapshot file '" + path + "'");
+  }
+  const std::string& buf = reader.file_;
+  if (buf.size() < kHeaderSize + kTrailerSize) {
+    return Status::ParseError("corrupt snapshot: file too short for header and trailer");
+  }
+  if (std::memcmp(buf.data(), kHeadMagic, sizeof(kHeadMagic)) != 0) {
+    return Status::ParseError("not a snapshot file (bad magic)");
+  }
+  uint32_t version = ParseLe32(buf.data() + sizeof(kHeadMagic));
+  if (version != kSnapshotFormatVersion) {
+    return Status::ParseError("unsupported snapshot format version " +
+                              std::to_string(version) + " (this build reads version " +
+                              std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const char* trailer = buf.data() + buf.size() - kTrailerSize;
+  if (std::memcmp(trailer + 12, kTailMagic, sizeof(kTailMagic)) != 0) {
+    return Status::ParseError("corrupt snapshot: truncated (bad trailer magic)");
+  }
+  uint64_t index_offset = ParseLe64(trailer);
+  uint32_t index_crc = ParseLe32(trailer + 8);
+  if (index_offset < kHeaderSize || index_offset > buf.size() - kTrailerSize) {
+    return Status::ParseError("corrupt snapshot: index offset out of range");
+  }
+  size_t index_size = buf.size() - kTrailerSize - static_cast<size_t>(index_offset);
+  const char* index = buf.data() + index_offset;
+  if (Crc32(index, index_size) != index_crc) {
+    return Status::ParseError("corrupt snapshot: index checksum mismatch");
+  }
+
+  // The index passed its checksum; parse it with the same bounds-checked
+  // cursor sections use.
+  ByteReader cursor(index, index_size, "<index>");
+  uint32_t count = cursor.U32();
+  for (uint32_t i = 0; i < count && cursor.status().ok(); ++i) {
+    uint32_t label_len = cursor.U32();
+    if (label_len > kMaxLabelLength || label_len > cursor.remaining()) {
+      return Status::ParseError("corrupt snapshot: index entry label length out of range");
+    }
+    std::string label;
+    label.resize(label_len);
+    for (uint32_t b = 0; b < label_len; ++b) label[b] = static_cast<char>(cursor.U8());
+    SectionEntry entry;
+    entry.offset = cursor.U64();
+    entry.length = cursor.U64();
+    entry.crc = cursor.U32();
+    entry.order = i;
+    if (!cursor.status().ok()) break;
+    if (entry.offset < kHeaderSize || entry.offset > index_offset ||
+        entry.length > index_offset - entry.offset) {
+      return Status::ParseError("corrupt snapshot: section '" + label +
+                                "' extends outside the payload region");
+    }
+    if (!reader.index_.emplace(std::move(label), entry).second) {
+      return Status::ParseError("corrupt snapshot: duplicate section label in index");
+    }
+  }
+  if (!cursor.status().ok()) return cursor.status();
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("corrupt snapshot: trailing bytes after the index entries");
+  }
+  return reader;
+}
+
+std::vector<std::string> SnapshotReader::sections() const {
+  std::vector<std::string> labels(index_.size());
+  for (const auto& [label, entry] : index_) labels[entry.order] = label;
+  return labels;
+}
+
+bool SnapshotReader::Contains(const std::string& label) const {
+  return index_.find(label) != index_.end();
+}
+
+Result<ByteReader> SnapshotReader::Find(const std::string& label) const {
+  auto it = index_.find(label);
+  if (it == index_.end()) {
+    return Status::ParseError("snapshot has no section '" + label + "'");
+  }
+  const SectionEntry& entry = it->second;
+  const char* data = file_.data() + entry.offset;
+  if (Crc32(data, static_cast<size_t>(entry.length)) != entry.crc) {
+    return Status::ParseError("corrupt snapshot: section '" + label +
+                              "' checksum mismatch");
+  }
+  return ByteReader(data, static_cast<size_t>(entry.length), label);
+}
+
+}  // namespace reptile

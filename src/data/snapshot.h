@@ -1,0 +1,165 @@
+// Portable binary snapshot container: versioned, checksummed, little-endian,
+// made of labeled seekable sections.
+//
+// Layout (all integers little-endian regardless of host):
+//
+//   +--------------------------------------------------------------+
+//   | magic "RPTLSNAP" (8 bytes) | u32 format version              |
+//   +--------------------------------------------------------------+
+//   | section payloads, back to back, in write order               |
+//   +--------------------------------------------------------------+
+//   | index: u32 section count, then per section                   |
+//   |   u32 label length, label bytes, u64 offset, u64 length,     |
+//   |   u32 CRC-32 of the payload                                  |
+//   +--------------------------------------------------------------+
+//   | trailer: u64 index offset | u32 index CRC-32 |               |
+//   |          magic "RPTLEND." (8 bytes)                          |
+//   +--------------------------------------------------------------+
+//
+// The index lives at the END so a writer streams payloads without knowing
+// their sizes upfront, and the fixed-size trailer lets a reader seek straight
+// to it. Each section is independently checksummed and addressable by label,
+// so a reader can open one section without touching the others and corruption
+// is pinned to the section it hit. Section payloads are free-form byte
+// strings; ByteWriter/ByteReader provide the bounds-checked little-endian
+// primitives the payload codecs (api/dataset_snapshot.cpp) are built from.
+//
+// Error model: everything file-derived returns Status (kIoError for
+// open/short-file problems, kParseError for bad magic/version/checksum/
+// structure) — a corrupt or truncated snapshot must never abort or read out
+// of bounds. Version bumps are strict: a reader rejects any version it does
+// not know (format version 1 is the only one so far); unknown section labels
+// are ignored, which is the forward-compatible extension point.
+
+#ifndef REPTILE_DATA_SNAPSHOT_H_
+#define REPTILE_DATA_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+
+namespace reptile {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) over a byte range.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Appends little-endian primitives to a growing byte buffer. Strings and
+/// numeric vectors are length-prefixed (u64 count) so payloads decode
+/// unambiguously.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Str(const std::string& s);
+  void VecI32(const std::vector<int32_t>& v);
+  void VecI64(const std::vector<int64_t>& v);
+  void VecF64(const std::vector<double>& v);
+
+  const std::string& bytes() const { return buf_; }
+  std::string TakeBytes() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked cursor over one section payload. Errors are sticky: the
+/// first out-of-bounds read latches a kParseError, every later read returns
+/// zero values, and the caller checks status() once after decoding (or
+/// mid-way, before trusting a count). Vector reads validate the count
+/// against the bytes actually remaining BEFORE allocating, so a corrupt
+/// count cannot trigger a huge allocation.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size, std::string section_label)
+      : data_(data), size_(size), label_(std::move(section_label)) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64();
+  std::string Str();
+  std::vector<int32_t> VecI32();
+  std::vector<int64_t> VecI64();
+  std::vector<double> VecF64();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  /// OK until a read ran past the section end (or Fail() was called).
+  const Status& status() const { return status_; }
+
+  /// Latches a section-labeled parse error (for semantic checks the caller
+  /// makes on decoded values).
+  void Fail(const std::string& what);
+
+ private:
+  bool Take(void* out, size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  std::string label_;
+  Status status_;
+};
+
+/// Accumulates labeled sections and writes the container to a file.
+class SnapshotWriter {
+ public:
+  /// Adds a section; labels must be unique (aborts on reuse — a programmer
+  /// error, not a file error).
+  void AddSection(const std::string& label, std::string payload);
+
+  /// Writes the whole container. kIoError when the file cannot be created or
+  /// fully written.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Opens a container, validating magic, version, trailer, and the index
+/// checksum up front; individual section payloads are checksum-verified on
+/// access.
+class SnapshotReader {
+ public:
+  /// Reads and validates `path`. The whole file is held in memory.
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  /// Section labels in file order.
+  std::vector<std::string> sections() const;
+
+  bool Contains(const std::string& label) const;
+
+  /// A cursor over one section's payload, after verifying its CRC. The
+  /// cursor borrows this reader's buffer — the reader must outlive it.
+  Result<ByteReader> Find(const std::string& label) const;
+
+ private:
+  struct SectionEntry {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+    size_t order = 0;
+  };
+
+  SnapshotReader() = default;
+
+  std::string file_;
+  std::map<std::string, SectionEntry> index_;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_DATA_SNAPSHOT_H_

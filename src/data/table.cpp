@@ -91,6 +91,48 @@ void Table::CommitRow() {
   ++num_rows_;
 }
 
+Status Table::SetDimensionColumnData(int column, ValueDict dict, std::vector<int32_t> codes) {
+  if (column < 0 || column >= num_columns() || !is_dimension_[column]) {
+    return Status::ParseError("corrupt table: bad dimension column index");
+  }
+  for (int32_t code : codes) {
+    if (code < 0 || code >= dict.size()) {
+      return Status::ParseError("corrupt table: code outside column '" +
+                                names_[column] + "' dictionary");
+    }
+  }
+  DimColumn& dim = dims_[storage_index_[column]];
+  dim.dict = std::move(dict);
+  dim.codes = std::move(codes);
+  return Status::Ok();
+}
+
+Status Table::SetMeasureColumnData(int column, std::vector<double> values) {
+  if (column < 0 || column >= num_columns() || is_dimension_[column]) {
+    return Status::ParseError("corrupt table: bad measure column index");
+  }
+  measures_[storage_index_[column]] = std::move(values);
+  return Status::Ok();
+}
+
+Status Table::FinishColumnLoad() {
+  size_t rows = 0;
+  bool first = true;
+  for (int c = 0; c < num_columns(); ++c) {
+    size_t len = is_dimension_[c] ? dims_[storage_index_[c]].codes.size()
+                                  : measures_[storage_index_[c]].size();
+    if (first) {
+      rows = len;
+      first = false;
+    } else if (len != rows) {
+      return Status::ParseError("corrupt table: column '" + names_[c] +
+                                "' length disagrees with the other columns");
+    }
+  }
+  num_rows_ = rows;
+  return Status::Ok();
+}
+
 bool Table::Matches(const RowFilter& filter, size_t row) const {
   for (const auto& [column, code] : filter.equals) {
     if (dim_codes(column)[row] != code) return false;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "data/value_dict.h"
 
 namespace reptile {
@@ -64,6 +65,14 @@ class Table {
   void SetDimCode(int column, int32_t code);
   void SetMeasure(int column, double value);
   void CommitRow();
+
+  /// Column-building API (snapshot restore): after adding all columns,
+  /// install each column's full data in one call, then FinishColumnLoad()
+  /// once. Status (not abort) because the data comes from a file: codes must
+  /// be in-dictionary and every column must have the same length.
+  Status SetDimensionColumnData(int column, ValueDict dict, std::vector<int32_t> codes);
+  Status SetMeasureColumnData(int column, std::vector<double> values);
+  Status FinishColumnLoad();
 
   /// True when the row passes the filter.
   bool Matches(const RowFilter& filter, size_t row) const;

@@ -4,6 +4,19 @@
 
 namespace reptile {
 
+Result<ValueDict> ValueDict::FromNames(std::vector<std::string> names) {
+  ValueDict dict;
+  dict.codes_.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto [it, inserted] = dict.codes_.emplace(names[i], static_cast<int32_t>(i));
+    if (!inserted) {
+      return Status::ParseError("corrupt dictionary: duplicate value '" + names[i] + "'");
+    }
+  }
+  dict.names_ = std::move(names);
+  return dict;
+}
+
 int32_t ValueDict::GetOrAdd(const std::string& value) {
   auto it = codes_.find(value);
   if (it != codes_.end()) return it->second;

@@ -12,12 +12,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/status.h"
+
 namespace reptile {
 
 /// Bidirectional string <-> dense code dictionary. Codes are assigned in
 /// insertion order starting at 0.
 class ValueDict {
  public:
+  /// Rebuilds a dictionary from its insertion-ordered name list (the
+  /// snapshot wire form). kParseError on duplicate names — a valid
+  /// dictionary cannot contain them.
+  static Result<ValueDict> FromNames(std::vector<std::string> names);
+
   /// Returns the code for `value`, inserting it if absent.
   int32_t GetOrAdd(const std::string& value);
 

@@ -1,41 +1,23 @@
 #include "factor/agg_cache.h"
 
-#include <mutex>
-
 namespace reptile {
 
-const HierarchyAggregates* SharedAggregateCache::Find(int hierarchy, int depth) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = entries_.find(std::make_pair(hierarchy, depth));
-  if (it == entries_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return &it->second;
+size_t ApproxHierarchyAggregatesBytes(const HierarchyAggregates& aggregates) {
+  size_t total = sizeof(HierarchyAggregates) + 64;  // map/list node overhead
+  if (aggregates.tree != nullptr) total += aggregates.tree->ApproxBytes();
+  if (aggregates.locals != nullptr) total += aggregates.locals->ApproxBytes();
+  return total;
 }
 
-const HierarchyAggregates& SharedAggregateCache::Insert(int hierarchy, int depth,
-                                                        HierarchyAggregates built) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto [it, inserted] = entries_.emplace(std::make_pair(hierarchy, depth), std::move(built));
-  // When !inserted another session built and inserted the same key between
-  // our Find() miss and now; both builds are deterministic functions of the
-  // immutable table, so keeping theirs and dropping ours loses nothing.
-  return it->second;
+HierarchyAggregatesPtr SharedAggregateCache::Find(int hierarchy, int depth) const {
+  return cache_.Find(std::make_pair(hierarchy, depth));
 }
 
-int64_t SharedAggregateCache::entries() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
-}
-
-std::vector<std::pair<int, int>> SharedAggregateCache::Keys() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::vector<std::pair<int, int>> keys;
-  keys.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) keys.push_back(key);
-  return keys;
+HierarchyAggregatesPtr SharedAggregateCache::Insert(int hierarchy, int depth,
+                                                    HierarchyAggregates built) {
+  size_t bytes = ApproxHierarchyAggregatesBytes(built);
+  auto entry = std::make_shared<const HierarchyAggregates>(std::move(built));
+  return cache_.Insert(std::make_pair(hierarchy, depth), std::move(entry), bytes);
 }
 
 }  // namespace reptile

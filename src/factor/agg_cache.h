@@ -15,29 +15,32 @@
 // deliberate: it is strictly finer-grained sharing. Two sessions whose drill
 // states differ still share every per-hierarchy entry they have in common.
 //
-// Concurrency contract:
-//  * Find() is a shared_lock read; entries are immutable once inserted and
-//    NEVER evicted, so returned references stay valid for the cache's
-//    lifetime (std::map nodes are address-stable).
-//  * Insert() is insert-once under the exclusive lock: when two sessions
-//    race to build the same key, the first insert wins and the loser's
+// Concurrency and reclamation contract (changed from the append-only era):
+//  * Entries are immutable once inserted and handed out as
+//    shared_ptr<const HierarchyAggregates>. The cache is LRU-by-bytes
+//    (common/lru_cache.h): under a budget, cold entries are EVICTED, so the
+//    old "references stay valid for the cache's lifetime" promise is gone.
+//    Callers must hold the shared_ptr across every window they dereference
+//    the entry — DrillDownState pins entries per invocation so the engine's
+//    raw per-plan pointers stay valid for exactly one batch.
+//  * Insert() is insert-once: when two sessions race to build the same key,
+//    the first insert wins and the loser adopts the resident
 //    (bit-identical — builds are deterministic functions of the immutable
-//    table) copy is dropped. Builds happen OUTSIDE the lock so a slow build
-//    never blocks readers.
-//  * hits()/misses()/entries() are monotonic counters for tests, benchmarks
-//    and capacity monitoring.
+//    table) entry. Builds happen OUTSIDE the cache so a slow build never
+//    blocks readers.
+//  * hits()/misses()/evictions() are monotonic counters; entries()/bytes()
+//    are gauges — all surfaced per dataset through /healthz.
 
 #ifndef REPTILE_FACTOR_AGG_CACHE_H_
 #define REPTILE_FACTOR_AGG_CACHE_H_
 
-#include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "factor/decomposed.h"
 #include "factor/ftree.h"
 
@@ -51,6 +54,11 @@ struct HierarchyAggregates {
   std::unique_ptr<LocalAggregates> locals;
 };
 
+using HierarchyAggregatesPtr = std::shared_ptr<const HierarchyAggregates>;
+
+/// Accounted size of one cache entry (tree + ancestor tables + overhead).
+size_t ApproxHierarchyAggregatesBytes(const HierarchyAggregates& aggregates);
+
 class SharedAggregateCache {
  public:
   SharedAggregateCache() = default;
@@ -58,32 +66,40 @@ class SharedAggregateCache {
   SharedAggregateCache(const SharedAggregateCache&) = delete;
   SharedAggregateCache& operator=(const SharedAggregateCache&) = delete;
 
-  /// Shared-lock lookup. The returned pointer (when non-null) stays valid for
-  /// the cache's lifetime — entries are never evicted or mutated. Counts one
+  /// The resident entry (touched most-recently-used), or nullptr. The
+  /// returned shared_ptr keeps the entry alive across eviction. Counts one
   /// hit or miss.
-  const HierarchyAggregates* Find(int hierarchy, int depth) const;
+  HierarchyAggregatesPtr Find(int hierarchy, int depth) const;
 
-  /// Insert-once under the exclusive lock: returns the cached entry, which is
-  /// `built` when this call inserted it, or the previously inserted
-  /// (deterministically identical) entry when another session won the race —
-  /// `built` is then discarded. Never replaces an existing entry.
-  const HierarchyAggregates& Insert(int hierarchy, int depth, HierarchyAggregates built);
+  /// Insert-once: returns the resident entry — the one just built when this
+  /// call inserted it, or the previously inserted (deterministically
+  /// identical) entry when another session won the race. May evict
+  /// least-recently-used entries when a byte budget is set.
+  HierarchyAggregatesPtr Insert(int hierarchy, int depth, HierarchyAggregates built);
 
-  /// Entries currently cached.
-  int64_t entries() const;
+  /// LRU byte budget; 0 (the default) = unlimited. Shrinking evicts
+  /// immediately.
+  void set_budget_bytes(size_t budget) { cache_.set_budget_bytes(budget); }
+  size_t budget_bytes() const { return cache_.budget_bytes(); }
 
-  /// Monotonic Find() outcomes since construction.
-  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Gauges and monotonic counters.
+  int64_t entries() const { return cache_.entries(); }
+  size_t bytes() const { return cache_.bytes(); }
+  int64_t hits() const { return cache_.hits(); }
+  int64_t misses() const { return cache_.misses(); }
+  int64_t evictions() const { return cache_.evictions(); }
 
-  /// Keys currently cached, sorted — for introspection and tests.
-  std::vector<std::pair<int, int>> Keys() const;
+  /// Keys currently cached, sorted — for introspection, tests, snapshots.
+  std::vector<std::pair<int, int>> Keys() const { return cache_.Keys(); }
+
+  /// Resident entries, sorted by key — the snapshot-save walk.
+  std::vector<std::pair<std::pair<int, int>, HierarchyAggregatesPtr>> Items() const {
+    return cache_.Items();
+  }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::pair<int, int>, HierarchyAggregates> entries_;  // (hierarchy, depth)
-  mutable std::atomic<int64_t> hits_{0};
-  mutable std::atomic<int64_t> misses_{0};
+  // mutable: Find() is logically const but touches LRU recency.
+  mutable LruByteCache<std::pair<int, int>, HierarchyAggregates> cache_;
 };
 
 }  // namespace reptile

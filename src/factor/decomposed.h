@@ -13,6 +13,7 @@
 #ifndef REPTILE_FACTOR_DECOMPOSED_H_
 #define REPTILE_FACTOR_DECOMPOSED_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,18 @@ class LocalAggregates {
   /// Number of materialised COF tables (= depth*(depth-1)/2) — the quantity
   /// that grows quadratically with drill-down depth (Section 5.1.3).
   int64_t num_cof_tables() const;
+
+  /// Accounted heap size of the ancestor tables, for byte-budgeted caches.
+  size_t ApproxBytes() const {
+    size_t total = sizeof(LocalAggregates);
+    for (const auto& per_a : ancestor_) {
+      total += sizeof(per_a);
+      for (const auto& table : per_a) {
+        total += sizeof(table) + table.capacity() * sizeof(int64_t);
+      }
+    }
+    return total;
+  }
 
  private:
   const FTree* tree_;

@@ -26,18 +26,25 @@ bool DrillDownState::CanDrill(int hierarchy) const {
 
 void DrillDownState::BeginInvocation() {
   std::fill(invocation_build_seconds_.begin(), invocation_build_seconds_.end(), 0.0);
+  if (SharedCache() != nullptr) {
+    // Shared mode: held_ is only the previous invocation's pin set. Release
+    // it so LRU-evicted entries actually free; everything still resident in
+    // the shared cache is re-pinned (a cheap Find) as it is touched.
+    held_.clear();
+    return;
+  }
   switch (mode_) {
     case Mode::kStatic:
-      cache_.clear();
+      held_.clear();
       break;
     case Mode::kDynamic: {
       // Keep only committed depths (hierarchy independence lets their global
       // aggregates be reused with O(1) scalar updates); candidate depths are
       // rebuilt on demand.
-      for (auto it = cache_.begin(); it != cache_.end();) {
+      for (auto it = held_.begin(); it != held_.end();) {
         auto [hierarchy, depth] = it->first;
         if (depth != committed_depth_[hierarchy]) {
-          it = cache_.erase(it);
+          it = held_.erase(it);
         } else {
           ++it;
         }
@@ -45,44 +52,56 @@ void DrillDownState::BeginInvocation() {
       break;
     }
     case Mode::kCacheDynamic:
-      break;  // keep everything — matches the shared cache's append-only contract
+      break;  // private kCacheDynamic keeps everything forever
   }
+}
+
+const HierarchyAggregates& DrillDownState::Pin(std::pair<int, int> key,
+                                               HierarchyAggregatesPtr entry) {
+  return *held_.insert_or_assign(key, std::move(entry)).first->second;
 }
 
 const HierarchyAggregates& DrillDownState::Get(int hierarchy, int depth) {
   REPTILE_CHECK(depth >= 1 && depth <= max_depth(hierarchy));
+  auto key = std::make_pair(hierarchy, depth);
+  auto it = held_.find(key);
+  if (it != held_.end()) return *it->second;
   if (SharedAggregateCache* shared = SharedCache()) {
-    if (const HierarchyAggregates* entry = shared->Find(hierarchy, depth)) return *entry;
+    if (HierarchyAggregatesPtr entry = shared->Find(hierarchy, depth)) {
+      return Pin(key, std::move(entry));
+    }
     Timer timer;
     HierarchyAggregates built = Build(hierarchy, depth);
     invocation_build_seconds_[hierarchy] += timer.Seconds();
     ++total_builds_;  // this session did the work, even if it loses the insert race
-    return shared->Insert(hierarchy, depth, std::move(built));
+    return Pin(key, shared->Insert(hierarchy, depth, std::move(built)));
   }
-  auto key = std::make_pair(hierarchy, depth);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    Timer timer;
-    HierarchyAggregates built = Build(hierarchy, depth);
-    invocation_build_seconds_[hierarchy] += timer.Seconds();
-    ++total_builds_;
-    it = cache_.emplace(key, std::move(built)).first;
-  }
-  return it->second;
+  Timer timer;
+  HierarchyAggregates built = Build(hierarchy, depth);
+  invocation_build_seconds_[hierarchy] += timer.Seconds();
+  ++total_builds_;
+  return Pin(key, std::make_shared<const HierarchyAggregates>(std::move(built)));
 }
 
 std::map<std::pair<int, int>, double> DrillDownState::Prefetch(
     const std::vector<std::pair<int, int>>& keys, ThreadPool* pool) {
   SharedAggregateCache* shared = SharedCache();
-  // Deduplicated keys missing from the cache, in deterministic (sorted)
-  // order so task indices are scheduling-independent.
+  // Deduplicated keys missing from the pin set, in deterministic (sorted)
+  // order so task indices are scheduling-independent. A shared-cache hit is
+  // pinned right here — the pin, not the cache, is what guarantees the key
+  // survives until the batch's Peek()s are done.
   std::vector<std::pair<int, int>> missing = keys;
   std::sort(missing.begin(), missing.end());
   missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
   std::erase_if(missing, [&](const std::pair<int, int>& key) {
     REPTILE_CHECK(key.second >= 1 && key.second <= max_depth(key.first));
-    if (shared != nullptr) return shared->Find(key.first, key.second) != nullptr;
-    return cache_.find(key) != cache_.end();
+    if (held_.find(key) != held_.end()) return true;
+    if (shared == nullptr) return false;
+    if (HierarchyAggregatesPtr entry = shared->Find(key.first, key.second)) {
+      Pin(key, std::move(entry));
+      return true;
+    }
+    return false;
   });
 
   // Parallel region: builds only; no shared state is touched.
@@ -100,17 +119,20 @@ std::map<std::pair<int, int>, double> DrillDownState::Prefetch(
         return entry;
       });
 
-  // Sequential epilogue: cache insertion and the Figure 9 accounting. Another
-  // session may have inserted a key concurrently; SharedAggregateCache::Insert
-  // keeps the first copy and we still charge ourselves for the build we did.
+  // Sequential epilogue: cache insertion, pinning, and the Figure 9
+  // accounting. Another session may have inserted a key concurrently;
+  // SharedAggregateCache::Insert keeps the first copy (we adopt it) and we
+  // still charge ourselves for the build we did.
   std::map<std::pair<int, int>, double> build_seconds;
   for (size_t i = 0; i < missing.size(); ++i) {
     invocation_build_seconds_[missing[i].first] += built[i].seconds;
     ++total_builds_;
     if (shared != nullptr) {
-      shared->Insert(missing[i].first, missing[i].second, std::move(built[i].aggregates));
+      Pin(missing[i],
+          shared->Insert(missing[i].first, missing[i].second, std::move(built[i].aggregates)));
     } else {
-      cache_.emplace(missing[i], std::move(built[i].aggregates));
+      Pin(missing[i],
+          std::make_shared<const HierarchyAggregates>(std::move(built[i].aggregates)));
     }
     build_seconds[missing[i]] = built[i].seconds;
   }
@@ -118,18 +140,11 @@ std::map<std::pair<int, int>, double> DrillDownState::Prefetch(
 }
 
 const HierarchyAggregates& DrillDownState::Peek(int hierarchy, int depth) const {
-  if (const SharedAggregateCache* shared = SharedCache()) {
-    const HierarchyAggregates* entry = shared->Find(hierarchy, depth);
-    REPTILE_CHECK(entry != nullptr)
-        << "drill-down aggregates (" << hierarchy << ", " << depth
-        << ") read before being prefetched or built";
-    return *entry;
-  }
-  auto it = cache_.find(std::make_pair(hierarchy, depth));
-  REPTILE_CHECK(it != cache_.end())
+  auto it = held_.find(std::make_pair(hierarchy, depth));
+  REPTILE_CHECK(it != held_.end())
       << "drill-down aggregates (" << hierarchy << ", " << depth
       << ") read before being prefetched or built";
-  return it->second;
+  return *it->second;
 }
 
 void DrillDownState::Commit(int hierarchy) {

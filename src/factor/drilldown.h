@@ -22,11 +22,18 @@
 // SharedAggregateCache (factor/agg_cache.h) hanging off a PreparedDataset,
 // so N sessions over one dataset build each entry once between them.
 // Drilling copies nothing ("copy-on-drill"): Commit() bumps this session's
-// depth integer while the aggregates stay shared. A session is handed the
-// shared cache at construction; it is used under the default kCacheDynamic
-// policy (which never evicts, matching the shared cache's append-only
-// contract), while kStatic/kDynamic sessions — whose eviction is the whole
-// point of those benchmarking policies — keep a private cache.
+// depth integer while the aggregates stay shared.
+//
+// Pinning (the owning-handle side of the LRU-cache refactor): every entry
+// this state hands out is held in `held_` as a
+// shared_ptr<const HierarchyAggregates>. In private modes held_ IS the
+// session cache; with a shared cache it is the per-invocation PIN SET — the
+// entries Get/Prefetch touched since the last BeginInvocation. The shared
+// cache may evict any entry at any time under a byte budget, but a pinned
+// entry stays alive until the next BeginInvocation, so the references (and
+// the engine's raw per-plan pointers derived from them) stay valid for
+// exactly one batch. BeginInvocation drops the pins, letting evicted
+// entries actually free.
 
 #ifndef REPTILE_FACTOR_DRILLDOWN_H_
 #define REPTILE_FACTOR_DRILLDOWN_H_
@@ -65,26 +72,30 @@ class DrillDownState {
   /// True when the hierarchy has at least one undrilled attribute left.
   bool CanDrill(int hierarchy) const;
 
-  /// Marks the start of a Reptile invocation, applying the eviction policy.
+  /// Marks the start of a Reptile invocation, applying the eviction policy —
+  /// and, in shared-cache mode, releasing the previous invocation's pins.
   void BeginInvocation();
 
   /// Trees + local aggregates for `hierarchy` at `depth` levels (1-based
-  /// count of attributes), building them if the policy requires.
+  /// count of attributes), building them if the policy requires. The
+  /// returned reference is pinned in this state until the next
+  /// BeginInvocation (private modes: until the policy evicts it).
   const HierarchyAggregates& Get(int hierarchy, int depth);
 
   /// Builds every (hierarchy, depth) entry of `keys` missing from the cache,
-  /// fanning the builds out across `pool` (nullptr = build inline). The
+  /// fanning the builds out across `pool` (nullptr = build inline), and pins
+  /// every key — shared-cache hits included — for the invocation. The
   /// builds themselves run concurrently; all cache bookkeeping happens on
-  /// the calling thread (shared-cache inserts take its internal lock), so
-  /// after Prefetch returns, Get() for these keys is a pure read and safe to
-  /// call from many threads at once. Returns the build seconds per key
-  /// actually built (cache hits are absent).
+  /// the calling thread, so after Prefetch returns, Peek() for these keys is
+  /// a pure read and safe to call from many threads at once. Returns the
+  /// build seconds per key actually built (cache hits are absent).
   std::map<std::pair<int, int>, double> Prefetch(
       const std::vector<std::pair<int, int>>& keys, ThreadPool* pool);
 
-  /// Pure read of a cached entry (aborts when absent). Unlike Get() this is
-  /// const and never builds, so — after a Prefetch covering the key — it is
-  /// safe to call concurrently from many worker threads.
+  /// Pure read of a pinned entry (aborts when absent — i.e. when neither
+  /// Get nor Prefetch touched the key since the last BeginInvocation).
+  /// Const, lock-free, never builds and never touches the shared cache, so
+  /// it is safe to call concurrently from many worker threads.
   const HierarchyAggregates& Peek(int hierarchy, int depth) const;
 
   /// Commits a drill-down on `hierarchy` (advances its depth by one).
@@ -110,11 +121,16 @@ class DrillDownState {
     return mode_ == Mode::kCacheDynamic ? shared_cache_ : nullptr;
   }
 
+  /// Pins `entry` under `key` and returns the resident reference.
+  const HierarchyAggregates& Pin(std::pair<int, int> key, HierarchyAggregatesPtr entry);
+
   const Dataset* dataset_;
   Mode mode_;
   SharedAggregateCache* shared_cache_;  // borrowed; may be nullptr
   std::vector<int> committed_depth_;
-  std::map<std::pair<int, int>, HierarchyAggregates> cache_;  // private fallback
+  // Private modes: the session cache. Shared mode: the per-invocation pin
+  // set keeping shared entries alive across LRU eviction (see file comment).
+  std::map<std::pair<int, int>, HierarchyAggregatesPtr> held_;
   std::vector<double> invocation_build_seconds_;
   int64_t total_builds_ = 0;
 

@@ -48,6 +48,89 @@ FTree FTree::Singleton() {
   return tree;
 }
 
+Result<FTree> FTree::FromLevels(std::vector<Level> levels) {
+  auto corrupt = [](const std::string& what) {
+    return Status::ParseError("corrupt f-tree: " + what);
+  };
+  int depth = static_cast<int>(levels.size());
+  if (depth < 1) return corrupt("no levels");
+  for (int l = 0; l < depth; ++l) {
+    if (levels[l].value.empty()) return corrupt("empty level");
+    if (levels[l].parent.size() != levels[l].value.size()) {
+      return corrupt("value/parent size mismatch");
+    }
+  }
+  // Parents: -1 at the root level; otherwise nondecreasing in-range indices
+  // into the previous level (children of one node are contiguous, in tree
+  // order). Sibling values strictly increase (LeafIndex binary-searches).
+  for (int64_t i = 0; i < levels[0].size(); ++i) {
+    if (levels[0].parent[i] != -1) return corrupt("root-level node with a parent");
+    if (i > 0 && levels[0].value[i] <= levels[0].value[i - 1]) {
+      return corrupt("root-level values not strictly increasing");
+    }
+  }
+  for (int l = 1; l < depth; ++l) {
+    const Level& level = levels[l];
+    const int64_t parent_count = levels[l - 1].size();
+    for (int64_t i = 0; i < level.size(); ++i) {
+      if (level.parent[i] < 0 || level.parent[i] >= parent_count) {
+        return corrupt("parent index out of range");
+      }
+      if (i > 0) {
+        if (level.parent[i] < level.parent[i - 1]) {
+          return corrupt("children not contiguous in tree order");
+        }
+        if (level.parent[i] == level.parent[i - 1] &&
+            level.value[i] <= level.value[i - 1]) {
+          return corrupt("sibling values not strictly increasing");
+        }
+      }
+    }
+  }
+  // Recompute the derived vectors exactly as BuildFromSortedPaths does.
+  for (int l = 0; l < depth; ++l) {
+    Level& level = levels[l];
+    level.first_child.assign(level.size(), 0);
+    level.num_children.assign(level.size(), 0);
+    if (l + 1 < depth) {
+      const Level& child = levels[l + 1];
+      for (int64_t c = 0; c < child.size(); ++c) {
+        int64_t parent = child.parent[c];
+        if (level.num_children[parent] == 0) level.first_child[parent] = c;
+        ++level.num_children[parent];
+      }
+      // Every path runs root to leaf: a childless inner node cannot exist.
+      for (int64_t i = 0; i < level.size(); ++i) {
+        if (level.num_children[i] == 0) return corrupt("inner node without children");
+      }
+    }
+  }
+  levels[depth - 1].leaf_count.assign(levels[depth - 1].size(), 1);
+  for (int l = depth - 2; l >= 0; --l) {
+    Level& level = levels[l];
+    const Level& child = levels[l + 1];
+    level.leaf_count.assign(level.size(), 0);
+    for (int64_t c = 0; c < child.size(); ++c) {
+      level.leaf_count[child.parent[c]] += child.leaf_count[c];
+    }
+  }
+  FTree tree;
+  tree.levels_ = std::move(levels);
+  return tree;
+}
+
+size_t FTree::ApproxBytes() const {
+  size_t total = sizeof(FTree);
+  for (const Level& level : levels_) {
+    total += sizeof(Level);
+    total += level.value.capacity() * sizeof(int32_t);
+    total += (level.parent.capacity() + level.first_child.capacity() +
+              level.num_children.capacity() + level.leaf_count.capacity()) *
+             sizeof(int64_t);
+  }
+  return total;
+}
+
 void FTree::BuildFromSortedPaths(const std::vector<std::vector<int32_t>>& paths, int depth) {
   levels_.assign(depth, Level());
   // Append one node per distinct path prefix, in tree (= sorted path) order.

@@ -12,9 +12,11 @@
 #ifndef REPTILE_FACTOR_FTREE_H_
 #define REPTILE_FACTOR_FTREE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "api/status.h"
 #include "data/table.h"
 
 namespace reptile {
@@ -48,7 +50,19 @@ class FTree {
   /// intercept column reuse every factorised operator unchanged.
   static FTree Singleton();
 
+  /// Rebuilds a tree from per-level `value` and `parent` vectors (the
+  /// snapshot wire form; the derived vectors are recomputed, and anything
+  /// already in them is ignored). Validates every structural invariant the
+  /// builders guarantee — tree order, sorted sibling values, full-depth
+  /// paths — and returns kParseError instead of undefined behavior when a
+  /// persisted tree is corrupt.
+  static Result<FTree> FromLevels(std::vector<Level> levels);
+
   int depth() const { return static_cast<int>(levels_.size()); }
+
+  /// Accounted heap size of the level vectors, for byte-budgeted caches.
+  size_t ApproxBytes() const;
+
   const Level& level(int l) const { return levels_[l]; }
   int64_t num_nodes(int l) const { return levels_[l].size(); }
   int64_t num_leaves() const { return levels_.empty() ? 1 : levels_.back().size(); }

@@ -1,10 +1,15 @@
 #include "factor/model_cache.h"
 
-#include <chrono>
+#include <algorithm>
 #include <exception>
 #include <mutex>
 
 namespace reptile {
+
+size_t ApproxFittedModelBytes(const std::string& key, const FittedModel& model) {
+  return sizeof(FittedModel) + model.fitted.capacity() * sizeof(double) +
+         key.capacity() + 64;  // map/list node overhead
+}
 
 std::pair<FittedModelPtr, bool> SharedFittedModelCache::GetOrFit(
     const std::string& key, const std::function<FittedModel()>& fit) {
@@ -13,14 +18,24 @@ std::pair<FittedModelPtr, bool> SharedFittedModelCache::GetOrFit(
   std::promise<FittedModelPtr> promise;
   {
     // Fast path: shared-lock find. The common warm-path case never takes the
-    // exclusive lock.
+    // exclusive lock. Find (not Peek) so a budgeted cache sees real recency.
     std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) future = it->second;
+    if (FittedModelPtr model = completed_.Find(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return {std::move(model), false};
+    }
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) future = it->second;
   }
   if (!future.valid()) {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    auto [it, inserted] = entries_.try_emplace(key);
+    // Re-check under the exclusive lock: another caller may have published
+    // (or started) this key between our two lock acquisitions.
+    if (FittedModelPtr model = completed_.Find(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return {std::move(model), false};
+    }
+    auto [it, inserted] = inflight_.try_emplace(key);
     if (inserted) {
       it->second = promise.get_future().share();
       fit_here = true;
@@ -35,11 +50,18 @@ std::pair<FittedModelPtr, bool> SharedFittedModelCache::GetOrFit(
   }
 
   // This call won the insert race: train OUTSIDE the lock so a slow fit
-  // never blocks unrelated lookups, then publish through the promise.
+  // never blocks unrelated lookups, then publish. completed_-insert and
+  // inflight_-erase happen under one exclusive lock so no lookup can
+  // observe the key in neither map.
   misses_.fetch_add(1, std::memory_order_relaxed);
   fits_.fetch_add(1, std::memory_order_relaxed);
   try {
     FittedModelPtr model = std::make_shared<const FittedModel>(fit());
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      completed_.Insert(key, model, ApproxFittedModelBytes(key, *model));
+      inflight_.erase(key);
+    }
     promise.set_value(model);
     return {std::move(model), true};
   } catch (...) {
@@ -48,7 +70,7 @@ std::pair<FittedModelPtr, bool> SharedFittedModelCache::GetOrFit(
     // waiters on this failed fit) observe the exception.
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
-      entries_.erase(key);
+      inflight_.erase(key);
     }
     promise.set_exception(std::current_exception());
     throw;
@@ -56,33 +78,36 @@ std::pair<FittedModelPtr, bool> SharedFittedModelCache::GetOrFit(
 }
 
 FittedModelPtr SharedFittedModelCache::Find(const std::string& key) const {
-  std::shared_future<FittedModelPtr> future;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it == entries_.end()) return nullptr;
-    future = it->second;
-  }
-  if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) return nullptr;
-  try {
-    return future.get();
-  } catch (...) {
-    // A failed fit whose key GetOrFit has not erased yet: absent, not ready.
-    return nullptr;
-  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return completed_.Peek(key);
+}
+
+void SharedFittedModelCache::Put(const std::string& key, FittedModelPtr model) {
+  if (model == nullptr) return;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (inflight_.find(key) != inflight_.end()) return;  // a live fit wins
+  size_t bytes = ApproxFittedModelBytes(key, *model);
+  completed_.Insert(key, std::move(model), bytes);
 }
 
 std::vector<std::string> SharedFittedModelCache::Keys() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  std::vector<std::string> keys;
-  keys.reserve(entries_.size());
-  for (const auto& [key, future] : entries_) keys.push_back(key);
+  std::vector<std::string> keys = completed_.Keys();
+  for (const auto& [key, future] : inflight_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   return keys;
+}
+
+std::vector<std::pair<std::string, FittedModelPtr>>
+SharedFittedModelCache::CompletedEntries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return completed_.Items();
 }
 
 int64_t SharedFittedModelCache::entries() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
+  return completed_.entries() + static_cast<int64_t>(inflight_.size());
 }
 
 }  // namespace reptile

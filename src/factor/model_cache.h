@@ -12,15 +12,26 @@
 // session — same dataset, same committed depths, same spec — performs ZERO
 // fits, and N sessions racing on one key perform exactly one between them.
 //
+// Storage is split in two under one lock:
+//  * completed_ — an LruByteCache of finished models. Under a byte budget the
+//    least-recently-used models are evicted; eviction only drops the cache's
+//    reference, so models held by in-flight requests stay valid. An evicted
+//    key simply refits on next demand.
+//  * inflight_  — the single-flight latch: one shared_future per key whose
+//    fit is currently running. Publication (insert into completed_, erase
+//    from inflight_) is atomic with respect to lookups, which check both
+//    maps under the same lock — so no two callers can ever both miss.
+//
 // Concurrency contract (single-flight, stricter than the aggregate cache):
-//  * GetOrFit(key, fit) runs `fit` at most once per key PROCESS-WIDE. The
-//    first caller fits outside the cache lock; concurrent callers for the
-//    same key block on a shared_future until the winner publishes. The
-//    aggregate cache lets a losing racer build a duplicate and drop it —
-//    acceptable for cheap tree builds, wasteful for EM training, hence the
-//    latch here ("one fit per key across all concurrent sessions").
-//  * Returned models are shared_ptr<const ...>: immutable, never evicted,
-//    safe to read from any thread for as long as the caller holds the ptr.
+//  * GetOrFit(key, fit) runs `fit` at most once per RESIDENT key
+//    process-wide. The first caller fits outside the cache lock; concurrent
+//    callers for the same key block on a shared_future until the winner
+//    publishes. The aggregate cache lets a losing racer build a duplicate
+//    and drop it — acceptable for cheap tree builds, wasteful for EM
+//    training, hence the latch here.
+//  * Returned models are shared_ptr<const ...>: immutable and safe to read
+//    from any thread for as long as the caller holds the ptr — including
+//    after the cache evicts the key.
 //  * If `fit` throws, the key is erased so a later call can retry; waiters
 //    blocked on the in-flight entry observe the exception.
 //  * hits()/misses()/fits()/entries() are monotonic counters for /healthz,
@@ -31,6 +42,7 @@
 #define REPTILE_FACTOR_MODEL_CACHE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -40,6 +52,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/lru_cache.h"
 
 namespace reptile {
 
@@ -58,6 +72,10 @@ struct FittedModel {
 
 using FittedModelPtr = std::shared_ptr<const FittedModel>;
 
+/// Accounted heap size of one cache entry (model plus its key string), for
+/// the byte budget.
+size_t ApproxFittedModelBytes(const std::string& key, const FittedModel& model);
+
 class SharedFittedModelCache {
  public:
   SharedFittedModelCache() = default;
@@ -66,20 +84,39 @@ class SharedFittedModelCache {
   SharedFittedModelCache& operator=(const SharedFittedModelCache&) = delete;
 
   /// Returns the cached model for `key`, fitting it via `fit` when absent.
-  /// Single-flight: exactly one caller per key ever runs `fit`; the rest
-  /// wait for (or find) its result. The bool is true iff THIS call performed
-  /// the fit — callers use it to attribute train_seconds and fit counters.
+  /// Single-flight: exactly one caller per resident key ever runs `fit`; the
+  /// rest wait for (or find) its result. The bool is true iff THIS call
+  /// performed the fit — callers use it to attribute train_seconds and fit
+  /// counters.
   std::pair<FittedModelPtr, bool> GetOrFit(const std::string& key,
                                            const std::function<FittedModel()>& fit);
 
   /// Pure lookup for introspection/tests: the completed model, or nullptr
-  /// when the key is absent or still fitting. Does not touch the counters.
+  /// when the key is absent or still fitting. Touches neither the counters
+  /// nor LRU recency.
   FittedModelPtr Find(const std::string& key) const;
+
+  /// Inserts an already-fitted model (snapshot warm start). Insert-once: a
+  /// resident or in-flight key is left alone. Counts as neither hit, miss
+  /// nor fit — the training happened in some earlier process.
+  void Put(const std::string& key, FittedModelPtr model);
 
   /// Keys currently cached (in-flight included), sorted.
   std::vector<std::string> Keys() const;
 
+  /// Completed (key, model) pairs for snapshot writing, sorted by key.
+  /// In-flight fits are not included.
+  std::vector<std::pair<std::string, FittedModelPtr>> CompletedEntries() const;
+
   int64_t entries() const;
+
+  /// Byte budget over the completed store (0 = unlimited; see
+  /// common/lru_cache.h). In-flight fits are not byte-accounted — they
+  /// become accountable when they complete.
+  void set_budget_bytes(size_t budget) { completed_.set_budget_bytes(budget); }
+  size_t budget_bytes() const { return completed_.budget_bytes(); }
+  size_t bytes() const { return completed_.bytes(); }
+  int64_t evictions() const { return completed_.evictions(); }
 
   /// Monotonic GetOrFit outcomes: calls served a model without training
   /// (completed entry or another caller's successful in-flight fit — a
@@ -90,10 +127,15 @@ class SharedFittedModelCache {
   int64_t fits() const { return fits_.load(std::memory_order_relaxed); }
 
  private:
+  // mu_ makes (completed_, inflight_) a single atomic unit: lookups read
+  // both under a shared lock, publication mutates both under an exclusive
+  // lock. completed_ has its own internal mutex (always acquired after mu_),
+  // which lets counter accessors like bytes() skip mu_ entirely.
   mutable std::shared_mutex mu_;
+  mutable LruByteCache<std::string, FittedModel> completed_;
   // shared_future: each waiter copies the future out under the lock and
   // blocks on its own copy, which the standard blesses for cross-thread use.
-  std::map<std::string, std::shared_future<FittedModelPtr>> entries_;
+  std::map<std::string, std::shared_future<FittedModelPtr>> inflight_;
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
   mutable std::atomic<int64_t> fits_{0};

@@ -122,6 +122,13 @@ void Connection::AdvanceParser() {
         http_version_ = parser_.request().http_version;
         keep_alive_ = RequestKeepsAlive(parser_.request());
         if (server_->stopping()) keep_alive_ = false;
+        // This request's response will be the connection's Nth: at the limit
+        // it carries "Connection: close" and FinishResponse() closes.
+        ++requests_started_;
+        if (server_->options_.max_requests_per_connection > 0 &&
+            requests_started_ >= server_->options_.max_requests_per_connection) {
+          keep_alive_ = false;
+        }
         bool streamed = false;
         if (server_->options_.stream_factory) {
           if (std::unique_ptr<HttpBodySink> sink =

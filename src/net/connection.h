@@ -100,6 +100,7 @@ class Connection {
   // Per-exchange framing decisions, captured when the head is parsed.
   bool keep_alive_ = false;
   std::string http_version_;
+  int64_t requests_started_ = 0;  // for max_requests_per_connection
 
   // Write side: queued wire bytes; front_offset_ indexes into the front
   // element. body_stream_ holds an unfinished streamed response.

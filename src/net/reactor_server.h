@@ -55,6 +55,10 @@ struct ReactorServerOptions {
   // Seconds a connection may sit idle between requests (also the deadline
   // for receiving a complete request head — the slow-loris bound). 0 = off.
   int idle_timeout_seconds = 30;
+  // After this many responses on one connection the server answers with
+  // "Connection: close" and closes — same knob as
+  // HttpServerOptions::max_requests_per_connection. 0 = unlimited.
+  int64_t max_requests_per_connection = 0;
   // A connection whose write queue makes no progress for this long is
   // disconnected as a slow client. 0 = off.
   double write_stall_seconds = 10.0;

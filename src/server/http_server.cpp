@@ -303,6 +303,7 @@ void HttpServer::HandleConnection(int fd) {
   }
 
   ConnectionReader reader(fd);
+  int64_t responses_sent = 0;
   while (!stopping_.load()) {
     std::string head;
     switch (reader.ReadRequestHead(&head, options_.max_header_bytes)) {
@@ -336,6 +337,13 @@ void HttpServer::HandleConnection(int fd) {
 
     bool keep_alive = RequestKeepsAlive(request);
     if (stopping_.load()) keep_alive = false;
+    // The response about to be written is this connection's Nth: at the
+    // limit it must carry "Connection: close", so decide before serializing.
+    ++responses_sent;
+    if (options_.max_requests_per_connection > 0 &&
+        responses_sent >= options_.max_requests_per_connection) {
+      keep_alive = false;
+    }
 
     HttpResponse response;
     bool handled_by_sink = false;

@@ -66,6 +66,11 @@ struct HttpServerOptions {
   // Seconds a keep-alive connection may sit idle between requests before the
   // server closes it (frees its worker). 0 = never time out.
   int idle_timeout_seconds = 30;
+  // After this many responses on one connection the server answers with
+  // "Connection: close" and closes — bounds per-connection resource drift
+  // (parser buffers, kernel state) and redistributes long-lived clients
+  // across a load-balanced fleet. 0 = unlimited.
+  int64_t max_requests_per_connection = 0;
   // Optional externally owned pool for connection tasks (see the deadlock
   // note above); nullptr = the server creates its own `num_threads` pool.
   ThreadPool* connection_pool = nullptr;

@@ -26,9 +26,25 @@
 //   --max-body-bytes N    request body cap (default 8 MiB)
 //   --session-ttl N       evict per-client sessions idle > N seconds
 //                         (default 0 = never; default sessions are exempt)
-//   --dataset-root DIR    allow POST /v1/datasets {"path": ...} server-side
-//                         loads, confined to DIR (default: disabled — inline
-//                         "csv" uploads are always available)
+//   --dataset-root DIR    allow POST /v1/datasets {"path"|"snapshot": ...}
+//                         server-side loads and POST
+//                         /v1/datasets/{name}/snapshot writes, confined to
+//                         DIR (default: disabled — inline "csv" uploads are
+//                         always available)
+//   --snapshot-dir DIR    warm start: load every *.snap binary snapshot in
+//                         DIR at boot (api/dataset_snapshot.h), registering
+//                         each under its file stem with caches pre-warmed —
+//                         the first recommend after a restart is
+//                         byte-identical to the process that wrote the
+//                         snapshot, with zero builds and zero fits
+//   --cache-budget-mb N   per-dataset cache memory target in MiB, split
+//                         between the shared aggregate cache and the
+//                         fitted-model cache; past it, least-recently-used
+//                         entries are evicted (default 0 = unlimited)
+//   --max-requests-per-connection N
+//                         close a keep-alive connection (with
+//                         "Connection: close") after N responses, both
+//                         front ends (default 0 = unlimited)
 //   --max-sessions N      cap on live per-client sessions (default 1024,
 //                         0 = unlimited; exceeding it is HTTP 409)
 //   --max-datasets N      cap on registered datasets (default 64, same deal)
@@ -80,6 +96,10 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <filesystem>
+
+#include "api/dataset_snapshot.h"
 #include "datagen/panel_gen.h"
 #include "net/reactor_server.h"
 #include "reptile/reptile.h"
@@ -137,6 +157,9 @@ struct Args {
   int top_k = 5;
   int session_ttl = 0;
   std::string dataset_root;
+  std::string snapshot_dir;
+  size_t cache_budget_mb = 0;
+  long max_requests_per_connection = 0;
   long max_sessions = 1024;
   long max_datasets = 64;
   size_t max_body_bytes = 8 * 1024 * 1024;
@@ -158,7 +181,8 @@ struct Args {
                "[--max-datasets N] [--max-body-bytes N] [--separator C] "
                "[--reactor] [--auth-token T] [--stream-threshold N] "
                "[--max-connections N] [--idle-timeout S] [--write-stall S] "
-               "[--high-water-bytes N]\n",
+               "[--high-water-bytes N] [--snapshot-dir DIR] "
+               "[--cache-budget-mb N] [--max-requests-per-connection N]\n",
                argv0);
   std::exit(2);
 }
@@ -225,6 +249,13 @@ Args ParseArgs(int argc, char** argv) {
       args.session_ttl = std::atoi(value_of(i).c_str());
     } else if (flag == "--dataset-root") {
       args.dataset_root = value_of(i);
+    } else if (flag == "--snapshot-dir") {
+      args.snapshot_dir = value_of(i);
+    } else if (flag == "--cache-budget-mb") {
+      args.cache_budget_mb =
+          static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
+    } else if (flag == "--max-requests-per-connection") {
+      args.max_requests_per_connection = std::atol(value_of(i).c_str());
     } else if (flag == "--max-sessions") {
       args.max_sessions = std::atol(value_of(i).c_str());
     } else if (flag == "--max-datasets") {
@@ -252,7 +283,7 @@ Args ParseArgs(int argc, char** argv) {
       Usage(argv[0]);
     }
   }
-  if (!args.demo && args.csv.empty()) Usage(argv[0]);
+  if (!args.demo && args.csv.empty() && args.snapshot_dir.empty()) Usage(argv[0]);
   return args;
 }
 
@@ -271,6 +302,7 @@ int Main(int argc, char** argv) {
   service_options.max_datasets = args.max_datasets;
   service_options.auth_token = args.auth_token;
   service_options.stream_threshold_bytes = args.stream_threshold;
+  service_options.cache_budget_bytes = args.cache_budget_mb * 1024 * 1024;
   if (args.reactor) {
     service_options.transport_stats_json = [&transport_stats] {
       return transport_stats ? transport_stats() : std::string("null");
@@ -315,6 +347,42 @@ int Main(int argc, char** argv) {
     }
     std::printf("loaded dataset '%s' from %s\n", args.name.c_str(), args.csv.c_str());
   }
+  if (!args.snapshot_dir.empty()) {
+    // Warm start: every *.snap in the directory becomes a dataset named
+    // after its file stem, caches pre-warmed. Deterministic order (sorted)
+    // so duplicate-name failures are reproducible.
+    std::error_code ec;
+    std::vector<std::filesystem::path> snapshots;
+    for (const auto& entry : std::filesystem::directory_iterator(args.snapshot_dir, ec)) {
+      if (entry.path().extension() == ".snap") snapshots.push_back(entry.path());
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read --snapshot-dir %s: %s\n",
+                   args.snapshot_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    std::sort(snapshots.begin(), snapshots.end());
+    for (const std::filesystem::path& snapshot : snapshots) {
+      Result<DatasetHandle> handle = LoadPreparedDataset(snapshot.string());
+      if (!handle.ok()) {
+        std::fprintf(stderr, "loading snapshot %s failed: %s\n", snapshot.c_str(),
+                     handle.status().ToString().c_str());
+        return 1;
+      }
+      std::string name = snapshot.stem().string();
+      // --commit applies here too: the snapshot carries fitted models keyed
+      // by committed-depth state, so re-committing the same drill-downs is
+      // what makes the first recommend warm.
+      Status added = service.AddPreparedDataset(name, std::move(handle).value(), args.commits);
+      if (!added.ok()) {
+        std::fprintf(stderr, "registering snapshot %s failed: %s\n", snapshot.c_str(),
+                     added.ToString().c_str());
+        return 1;
+      }
+      std::printf("loaded dataset '%s' from snapshot %s (caches warm)\n", name.c_str(),
+                  snapshot.c_str());
+    }
+  }
 
   HttpHandler handler = [&service](const HttpRequest& request) {
     return service.Handle(request);
@@ -336,6 +404,7 @@ int Main(int argc, char** argv) {
     server_options.idle_timeout_seconds = args.idle_timeout;
     server_options.write_stall_seconds = args.write_stall;
     server_options.write_high_water_bytes = args.high_water_bytes;
+    server_options.max_requests_per_connection = args.max_requests_per_connection;
     server_options.stream_factory = stream_factory;
     reactor = std::make_unique<ReactorServer>(std::move(server_options), handler);
     ReactorServer* raw = reactor.get();
@@ -347,6 +416,7 @@ int Main(int argc, char** argv) {
     server_options.port = args.port;
     server_options.num_threads = args.http_threads;
     server_options.max_body_bytes = args.max_body_bytes;
+    server_options.max_requests_per_connection = args.max_requests_per_connection;
     server_options.stream_factory = stream_factory;
     threaded = std::make_unique<HttpServer>(server_options, handler);
     started = threaded->Start();

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "api/dataset_snapshot.h"
 #include "data/csv.h"
 #include "server/json.h"
 
@@ -345,12 +346,30 @@ HttpResponse UnauthorizedResponse() {
   return response;
 }
 
-/// True for routes that change server state: dataset create/delete, session
-/// create/delete, commit. Reads and /healthz stay token-free so probes and
-/// dashboards need no credentials.
+/// True when `path` is "/v1/datasets/{name}/snapshot" with a non-empty name;
+/// fills `name` on a match. The one dataset sub-route, so a plain suffix
+/// check suffices.
+bool ParseSnapshotRoute(const std::string& path, std::string* name) {
+  constexpr std::string_view kPrefix = "/v1/datasets/";
+  constexpr std::string_view kSuffix = "/snapshot";
+  if (path.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (std::string_view(path).substr(0, kPrefix.size()) != kPrefix) return false;
+  if (std::string_view(path).substr(path.size() - kSuffix.size()) != kSuffix) return false;
+  *name = path.substr(kPrefix.size(), path.size() - kPrefix.size() - kSuffix.size());
+  return !name->empty();
+}
+
+/// True for routes that change server state: dataset create/delete/snapshot,
+/// session create/delete, commit. Reads and /healthz stay token-free so
+/// probes and dashboards need no credentials. Snapshot writes count as
+/// mutating — they create server-side files.
 bool IsMutatingRoute(const std::string& method, const std::string& path) {
   if (method == "POST") {
-    return path == "/v1/datasets" || path == "/v1/sessions" || path == "/v1/commit";
+    if (path == "/v1/datasets" || path == "/v1/sessions" || path == "/v1/commit") {
+      return true;
+    }
+    std::string name;
+    return ParseSnapshotRoute(path, &name);
   }
   if (method == "DELETE") {
     return path.rfind("/v1/datasets/", 0) == 0 || path.rfind("/v1/sessions/", 0) == 0;
@@ -555,13 +574,27 @@ void ReptileService::EvictIdleSessions() {
 
 Status ReptileService::AddDataset(std::string name, Dataset dataset,
                                   const std::vector<std::string>& commits) {
-  // Validate EVERYTHING — prepare, default session, commits — before the
-  // dataset becomes visible anywhere. Publishing first and rolling back on
-  // failure would let a concurrent client bind a session to a dataset whose
-  // registration is about to be undone.
   Result<DatasetHandle> handle = PreparedDataset::Prepare(std::move(dataset));
   if (!handle.ok()) return handle.status();
-  Result<Session> session = Session::Open(*handle, options_.session_defaults);
+  return InstallPrepared(name, std::move(handle).value(), commits);
+}
+
+Status ReptileService::AddPreparedDataset(const std::string& name, DatasetHandle handle,
+                                          const std::vector<std::string>& commits) {
+  if (handle == nullptr) return Status::InvalidArgument("null dataset handle");
+  return InstallPrepared(name, std::move(handle), commits);
+}
+
+Status ReptileService::InstallPrepared(const std::string& name, DatasetHandle handle,
+                                       const std::vector<std::string>& commits) {
+  // Validate EVERYTHING — default session, commits — before the dataset
+  // becomes visible anywhere. Publishing first and rolling back on failure
+  // would let a concurrent client bind a session to a dataset whose
+  // registration is about to be undone.
+  if (options_.cache_budget_bytes > 0) {
+    handle->SetCacheBudgetBytes(options_.cache_budget_bytes);
+  }
+  Result<Session> session = Session::Open(handle, options_.session_defaults);
   if (!session.ok()) return session.status();
   for (const std::string& hierarchy : commits) {
     REPTILE_RETURN_IF_ERROR(session->Commit(hierarchy));
@@ -578,8 +611,7 @@ Status ReptileService::AddDataset(std::string name, Dataset dataset,
         "dataset limit reached (" + std::to_string(options_.max_datasets) +
         "); delete datasets or raise --max-datasets");
   }
-  Result<DatasetHandle> registered =
-      registry_->AddPrepared(name, std::move(handle).value());
+  Result<DatasetHandle> registered = registry_->AddPrepared(name, std::move(handle));
   if (!registered.ok()) return registered.status();
   // Assign (not emplace): when a name is re-registered after RemoveDataset
   // raced with direct registry() use, a stale default session must be
@@ -882,6 +914,11 @@ HttpResponse ReptileService::Handle(const HttpRequest& request) {
   constexpr std::string_view kDatasetPrefix = "/v1/datasets/";
   if (path.size() > kDatasetPrefix.size() &&
       std::string_view(path).substr(0, kDatasetPrefix.size()) == kDatasetPrefix) {
+    std::string snapshot_name;
+    if (ParseSnapshotRoute(path, &snapshot_name)) {
+      if (request.method == "POST") return HandleDatasetSnapshot(snapshot_name, request.body);
+      return MethodNotAllowed("POST");
+    }
     std::string name = path.substr(kDatasetPrefix.size());
     if (request.method == "DELETE") return HandleDatasetDelete(name);
     return MethodNotAllowed("DELETE");
@@ -925,17 +962,23 @@ HttpResponse ReptileService::HandleHealthz() {
   // Gauge semantics: deleting a dataset drops its (monotonic) contribution
   // from these sums, so they can step backwards across DELETE /v1/datasets.
   int64_t agg_entries = 0, agg_hits = 0, agg_misses = 0;
+  int64_t agg_bytes = 0, agg_evictions = 0;
   int64_t model_entries = 0, model_hits = 0, model_misses = 0, model_fits = 0;
+  int64_t model_bytes = 0, model_evictions = 0;
   for (const std::string& name : registry_->names()) {
     Result<DatasetHandle> handle = registry_->Find(name);
     if (!handle.ok()) continue;  // removed between names() and Find()
     agg_entries += (*handle)->cache_entries();
     agg_hits += (*handle)->cache_hits();
     agg_misses += (*handle)->cache_misses();
+    agg_bytes += static_cast<int64_t>((*handle)->cache_bytes());
+    agg_evictions += (*handle)->cache_evictions();
     model_entries += (*handle)->model_cache_entries();
     model_hits += (*handle)->model_cache_hits();
     model_misses += (*handle)->model_cache_misses();
     model_fits += (*handle)->model_cache_fits();
+    model_bytes += static_cast<int64_t>((*handle)->model_cache_bytes());
+    model_evictions += (*handle)->model_cache_evictions();
   }
   std::string body =
       "{\"status\":\"ok\",\"datasets\":" + std::to_string(registry_->size()) +
@@ -944,10 +987,14 @@ HttpResponse ReptileService::HandleHealthz() {
       ",\"aggregate_cache\":{\"entries\":" + std::to_string(agg_entries) +
       ",\"hits\":" + std::to_string(agg_hits) +
       ",\"misses\":" + std::to_string(agg_misses) +
+      ",\"bytes\":" + std::to_string(agg_bytes) +
+      ",\"evictions\":" + std::to_string(agg_evictions) +
       "},\"model_cache\":{\"entries\":" + std::to_string(model_entries) +
       ",\"hits\":" + std::to_string(model_hits) +
       ",\"misses\":" + std::to_string(model_misses) +
-      ",\"fits\":" + std::to_string(model_fits) + "}";
+      ",\"fits\":" + std::to_string(model_fits) +
+      ",\"bytes\":" + std::to_string(model_bytes) +
+      ",\"evictions\":" + std::to_string(model_evictions) + "}";
   if (options_.transport_stats_json != nullptr) {
     body += ",\"transport\":" + options_.transport_stats_json();
   }
@@ -1023,6 +1070,72 @@ HttpResponse ReptileService::HandleDatasetList() {
   return HttpResponse::Json(200, WriteJson(root));
 }
 
+Result<std::string> ReptileService::ResolveUnderDatasetRoot(const std::string& relative,
+                                                            const std::string& field) const {
+  // Server-side file access must be confined: without a configured root, an
+  // unauthenticated client could read (or write) any file the server process
+  // can (CSV parse errors echo file contents byte-for-byte).
+  if (options_.dataset_path_root.empty()) {
+    return Status::InvalidArgument(
+        "server-side \"" + field +
+        "\" access is disabled on this server (no dataset root configured)");
+  }
+  if (relative.empty() || relative.front() == '/') {
+    return Status::InvalidArgument(
+        "\"" + field + "\" must be relative to the server's dataset root");
+  }
+  for (size_t pos = 0; pos < relative.size();) {
+    size_t end = relative.find('/', pos);
+    if (end == std::string::npos) end = relative.size();
+    if (relative.substr(pos, end - pos) == "..") {
+      return Status::InvalidArgument("\"" + field + "\" must not contain \"..\" components");
+    }
+    pos = end + 1;
+  }
+  // Lexical checks are not enough: a symlink under the root can point
+  // anywhere, re-opening the arbitrary-file access the root exists to close.
+  // Canonicalize both sides and require the resolved file to stay under the
+  // resolved root.
+  std::error_code ec;
+  std::filesystem::path root =
+      std::filesystem::weakly_canonical(options_.dataset_path_root, ec);
+  if (ec) {
+    return Status::IoError("the server's dataset root is not accessible");
+  }
+  std::filesystem::path resolved = std::filesystem::weakly_canonical(root / relative, ec);
+  if (ec) resolved = root / relative;  // nonexistent tail; the open reports it
+  auto mismatch = std::mismatch(root.begin(), root.end(), resolved.begin(), resolved.end());
+  if (mismatch.first != root.end()) {
+    return Status::InvalidArgument("\"" + field + "\" escapes the server's dataset root");
+  }
+  return resolved.string();
+}
+
+HttpResponse ReptileService::HandleDatasetSnapshot(const std::string& name,
+                                                   const std::string& body) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  Status known = CheckKnownKeys(*parsed, "request body", {"path"});
+  if (!known.ok()) return ErrorResponse(known);
+  Result<std::string> relative = StringField(*parsed, "request body", "path", true);
+  if (!relative.ok()) return ErrorResponse(relative.status());
+  Result<std::string> resolved = ResolveUnderDatasetRoot(*relative, "path");
+  if (!resolved.ok()) return ErrorResponse(resolved.status());
+  Result<DatasetHandle> handle = registry_->Find(name);
+  if (!handle.ok()) return ErrorResponse(handle.status());
+  Status saved = SavePreparedDataset(**handle, *resolved);
+  if (!saved.ok()) return ErrorResponse(saved);
+  std::error_code ec;
+  uintmax_t bytes = std::filesystem::file_size(*resolved, ec);
+  std::string response = "{\"dataset\":" + JsonQuote(name) +
+                         ",\"path\":" + JsonQuote(*relative) +
+                         ",\"bytes\":" + std::to_string(ec ? 0 : bytes) + "}";
+  return HttpResponse::Json(201, std::move(response));
+}
+
 HttpResponse ReptileService::HandleDatasetCreate(const std::string& body) {
   Result<JsonValue> parsed = ParseJson(body);
   if (!parsed.ok()) return ErrorResponse(parsed.status());
@@ -1031,8 +1144,8 @@ HttpResponse ReptileService::HandleDatasetCreate(const std::string& body) {
   }
   Status known = CheckKnownKeys(
       *parsed, "request body",
-      {"name", "csv", "path", "dimensions", "measures", "hierarchies", "separator",
-       "commits"});
+      {"name", "csv", "path", "snapshot", "dimensions", "measures", "hierarchies",
+       "separator", "commits"});
   if (!known.ok()) return ErrorResponse(known);
 
   Result<std::string> name = StringField(*parsed, "request body", "name", true);
@@ -1040,10 +1153,42 @@ HttpResponse ReptileService::HandleDatasetCreate(const std::string& body) {
 
   const JsonValue* inline_csv = parsed->Find("csv");
   const JsonValue* path = parsed->Find("path");
-  if ((inline_csv == nullptr) == (path == nullptr)) {
+  const JsonValue* snapshot = parsed->Find("snapshot");
+  int sources = (inline_csv != nullptr) + (path != nullptr) + (snapshot != nullptr);
+  if (sources != 1) {
     return ErrorResponse(Status::InvalidArgument(
-        "request body needs exactly one of \"csv\" (inline upload) or \"path\" "
-        "(server-side file)"));
+        "request body needs exactly one of \"csv\" (inline upload), \"path\" "
+        "(server-side file), or \"snapshot\" (server-side binary snapshot)"));
+  }
+
+  if (snapshot != nullptr) {
+    // The snapshot carries its own schema; CSV typing fields are meaningless
+    // with it and a silent ignore would hide caller confusion.
+    for (const char* field : {"dimensions", "measures", "hierarchies", "separator"}) {
+      if (parsed->Find(field) != nullptr) {
+        return ErrorResponse(Status::InvalidArgument(
+            std::string("\"") + field +
+            "\" cannot be combined with \"snapshot\" (the snapshot carries the schema)"));
+      }
+    }
+    if (!snapshot->is_string()) {
+      return ErrorResponse(WrongType("snapshot", "a string", *snapshot));
+    }
+    Result<std::vector<std::string>> snapshot_commits =
+        StringListField(*parsed, "request body", "commits", false);
+    if (!snapshot_commits.ok()) return ErrorResponse(snapshot_commits.status());
+    Result<std::string> resolved =
+        ResolveUnderDatasetRoot(snapshot->string_value(), "snapshot");
+    if (!resolved.ok()) return ErrorResponse(resolved.status());
+    Result<DatasetHandle> handle = LoadPreparedDataset(*resolved);
+    if (!handle.ok()) return ErrorResponse(handle.status());
+    size_t rows = (*handle)->table().num_rows();
+    Status added = AddPreparedDataset(*name, std::move(handle).value(), *snapshot_commits);
+    if (!added.ok()) return ErrorResponse(added);
+    std::string response = "{\"dataset\":" + JsonQuote(*name) +
+                           ",\"rows\":" + std::to_string(rows) +
+                           ",\"session\":" + JsonQuote(DefaultSessionId(*name)) + "}";
+    return HttpResponse::Json(201, std::move(response));
   }
 
   CsvSpec spec;
@@ -1098,44 +1243,9 @@ HttpResponse ReptileService::HandleDatasetCreate(const std::string& body) {
       return LoadCsvText(inline_csv->string_value(), spec);
     }
     if (!path->is_string()) return WrongType("path", "a string", *path);
-    // Server-side file loads must be confined: without a configured root, an
-    // unauthenticated client could read any file the server process can
-    // (parse errors echo file contents byte-for-byte).
-    if (options_.dataset_path_root.empty()) {
-      return Status::InvalidArgument(
-          "server-side \"path\" loading is disabled on this server (no dataset "
-          "root configured); upload the data inline via \"csv\"");
-    }
-    const std::string& relative = path->string_value();
-    if (relative.empty() || relative.front() == '/') {
-      return Status::InvalidArgument(
-          "\"path\" must be relative to the server's dataset root");
-    }
-    for (size_t pos = 0; pos < relative.size();) {
-      size_t end = relative.find('/', pos);
-      if (end == std::string::npos) end = relative.size();
-      if (relative.substr(pos, end - pos) == "..") {
-        return Status::InvalidArgument("\"path\" must not contain \"..\" components");
-      }
-      pos = end + 1;
-    }
-    // Lexical checks are not enough: a symlink under the root can point
-    // anywhere, re-opening the arbitrary-file-read the root exists to close.
-    // Canonicalize both sides and require the resolved file to stay under
-    // the resolved root.
-    std::error_code ec;
-    std::filesystem::path root =
-        std::filesystem::weakly_canonical(options_.dataset_path_root, ec);
-    if (ec) {
-      return Status::IoError("the server's dataset root is not accessible");
-    }
-    std::filesystem::path resolved = std::filesystem::weakly_canonical(root / relative, ec);
-    if (ec) resolved = root / relative;  // nonexistent tail; LoadCsv reports it
-    auto mismatch = std::mismatch(root.begin(), root.end(), resolved.begin(), resolved.end());
-    if (mismatch.first != root.end()) {
-      return Status::InvalidArgument("\"path\" escapes the server's dataset root");
-    }
-    return LoadCsv(resolved.string(), spec);
+    Result<std::string> resolved = ResolveUnderDatasetRoot(path->string_value(), "path");
+    if (!resolved.ok()) return resolved.status();
+    return LoadCsv(*resolved, spec);
   }();
   if (!table.ok()) return ErrorResponse(table.status());
   size_t rows = table->num_rows();

@@ -30,10 +30,22 @@
 //                              restores persisted drill state)
 //   GET    /v1/sessions/{id}   drill-state snapshot (persist / migration)
 //   DELETE /v1/sessions/{id}   close the session
+//   POST   /v1/datasets/{name}/snapshot
+//                              {"path": rel} — write the dataset (table,
+//                              hierarchies, cached f-trees, persistable
+//                              fitted models) as a binary snapshot under the
+//                              server's dataset root (api/dataset_snapshot.h).
+//                              Mutating-route auth applies; disabled without
+//                              a configured --dataset-root
 //   POST   /v1/recommend       {"session"|"dataset","complaint",{"options"}}
 //   POST   /v1/recommend_batch {"session"|"dataset","complaints":[...],"options"}
 //   POST   /v1/view            {"session"|"dataset","group_by":[...],...}
 //   POST   /v1/commit          {"session"|"dataset","hierarchy"}
+//
+// POST /v1/datasets also accepts {"name","snapshot": rel} — registering a
+// dataset from a snapshot file (same root confinement as "path"): the schema
+// rides in the file, the caches come up pre-warmed, and the first recommend
+// is byte-identical to the process that wrote the snapshot.
 //
 // Dataset/session split: every dataset is prepared once (table, hierarchies,
 // f-trees, shared aggregate cache) and all sessions over it — created and
@@ -164,6 +176,14 @@ struct ServiceOptions {
   // When set, /healthz gains ,"transport":<hook's JSON> — the serving binary
   // wires the front end's counters (e.g. ReactorServer::StatsJson) in here.
   std::function<std::string()> transport_stats_json;
+
+  // Total cache memory target per dataset, in bytes, split between the
+  // dataset's shared aggregate cache and its fitted-model cache (see
+  // PreparedDataset::SetCacheBudgetBytes). Applied to every dataset the
+  // service installs (startup loads, uploads, snapshot restores). Past the
+  // budget the caches evict least-recently-used entries; in-flight holders
+  // keep evicted entries alive via their shared_ptr. 0 = unlimited.
+  size_t cache_budget_bytes = 0;
 };
 
 class ReptileService {
@@ -181,6 +201,12 @@ class ReptileService {
   /// Thread-safe; callable while serving.
   Status AddDataset(std::string name, Dataset dataset,
                     const std::vector<std::string>& commits = {});
+
+  /// Registers an already-prepared dataset (e.g. one restored from a binary
+  /// snapshot, caches pre-warmed) exactly as AddDataset does: applies the
+  /// service cache budget, opens the default session, commits `commits`.
+  Status AddPreparedDataset(const std::string& name, DatasetHandle handle,
+                            const std::vector<std::string>& commits = {});
 
   /// Drops the dataset from the registry AND removes every session over it
   /// (default included) — the only safe way to unload: removing through
@@ -290,10 +316,24 @@ class ReptileService {
   /// read-only, or the Authorization header carries the configured token.
   bool CheckAuth(const HttpRequest& request) const;
 
+  /// AddDataset / AddPreparedDataset's shared tail: applies the cache
+  /// budget, opens + commits the default session, and publishes the registry
+  /// entry and the session atomically.
+  Status InstallPrepared(const std::string& name, DatasetHandle handle,
+                         const std::vector<std::string>& commits);
+
+  /// Confines a client-supplied relative path to the configured dataset
+  /// root (rejecting absolute paths, ".." components, and symlink escapes)
+  /// and returns the resolved absolute path. `field` names the JSON field
+  /// in error messages.
+  Result<std::string> ResolveUnderDatasetRoot(const std::string& relative,
+                                              const std::string& field) const;
+
   HttpResponse HandleHealthz();
   HttpResponse HandleDatasetList();
   HttpResponse HandleDatasetCreate(const std::string& body);
   HttpResponse HandleDatasetDelete(const std::string& name);
+  HttpResponse HandleDatasetSnapshot(const std::string& name, const std::string& body);
   HttpResponse HandleSessionList();
   HttpResponse HandleSessionCreate(const std::string& body);
   HttpResponse HandleSessionGet(const std::string& id);

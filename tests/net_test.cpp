@@ -31,6 +31,7 @@
 #include "reptile/reptile.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
+#include "server/json.h"
 #include "server/service.h"
 
 namespace reptile {
@@ -432,6 +433,7 @@ TEST(NetAuthTest, BearerTokenGatesMutatingRoutesOnly) {
        std::vector<std::pair<std::string, std::string>>{
            {"POST", "/v1/datasets"},
            {"DELETE", "/v1/datasets/panel"},
+           {"POST", "/v1/datasets/panel/snapshot"},
            {"POST", "/v1/sessions"},
            {"DELETE", "/v1/sessions/s-1"},
            {"POST", "/v1/commit"}}) {
@@ -839,6 +841,168 @@ TEST(CsvStreamTest, EmptyInputReportsMissingHeader) {
   ASSERT_FALSE(table.ok());
   EXPECT_NE(table.status().message().find("is empty (expected a header row)"),
             std::string::npos);
+}
+
+TEST(CsvStreamTest, EdgeFramingIdenticalAcrossBufferedAndChunkedFeeds) {
+  CsvSpec spec;
+  spec.dimension_columns = {"d"};
+  spec.measure_columns = {"m"};
+  // Every framing edge at once: a UTF-8 BOM before the header, CRLF and LF
+  // line endings mixed in one file, and a final row with no trailing newline.
+  const std::string text = "\xEF\xBB\xBF" "d,m\r\nd0,1\nd1,2\r\nd2,3";
+
+  Result<Table> whole = LoadCsvText(text, spec);
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  ASSERT_EQ(whole->num_rows(), 3u);
+  // The BOM did not glue onto the first header name.
+  EXPECT_EQ(whole->column_name(0), "d");
+  EXPECT_EQ(whole->dict(0).name(whole->dim_codes(0)[0]), "d0");
+  const std::string expected = TableToString(*whole);
+
+  // Chunk-split anywhere — including inside the BOM and inside "\r\n".
+  for (size_t chunk_size = 1; chunk_size <= text.size(); ++chunk_size) {
+    CsvStreamParser parser(spec, "inline csv");
+    for (size_t pos = 0; pos < text.size(); pos += chunk_size) {
+      ASSERT_TRUE(parser.Feed(std::string_view(text).substr(pos, chunk_size)));
+    }
+    Result<Table> table = parser.Finish();
+    ASSERT_TRUE(table.ok()) << "chunk=" << chunk_size << ": " << table.status().ToString();
+    EXPECT_EQ(TableToString(*table), expected) << "chunk=" << chunk_size;
+  }
+}
+
+// ---- Snapshot routes (differential) ----------------------------------------
+
+// POST /v1/datasets/{name}/snapshot then create-from-snapshot, over BOTH
+// front ends: the restored dataset answers byte-identically to the original
+// and — because the snapshot carries the fitted-model cache — without a
+// single new fit.
+TEST(NetDifferentialTest, SnapshotRestartByteIdenticalAndWarmOnBothFrontEnds) {
+  auto model_fits = [](HttpClient& client) {
+    Result<HttpClientResponse> health = client.Get("/healthz");
+    EXPECT_TRUE(health.ok());
+    Result<JsonValue> parsed = ParseJson(health->body);
+    EXPECT_TRUE(parsed.ok());
+    return parsed->Find("model_cache")->Find("fits")->IntValue();
+  };
+
+  for (bool reactor : {false, true}) {
+    ServiceOptions service_options;
+    service_options.dataset_path_root = ::testing::TempDir();
+    Stack stack(reactor, service_options);
+    HttpClient client("127.0.0.1", stack.port);
+    const std::string batch_body = BatchBody(R"("dataset":"panel")");
+    const std::string snap_name =
+        reactor ? "restart-reactor.snap" : "restart-threaded.snap";
+
+    // Warm the panel (aggregates + fits), then snapshot it.
+    Result<HttpClientResponse> warm = client.Post("/v1/recommend_batch", batch_body);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    ASSERT_EQ(warm->status, 200);
+    Result<HttpClientResponse> saved = client.Post(
+        "/v1/datasets/panel/snapshot", R"({"path":")" + snap_name + R"("})");
+    ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+    ASSERT_EQ(saved->status, 201) << saved->body;
+    EXPECT_NE(saved->body.find("\"dataset\":\"panel\""), std::string::npos) << saved->body;
+    EXPECT_NE(saved->body.find("\"path\":\"" + snap_name + "\""), std::string::npos);
+
+    // Restore under a new name, with the default session committed to the
+    // same drill state as the panel's.
+    Result<HttpClientResponse> restored = client.Post(
+        "/v1/datasets", R"({"name":"restored","snapshot":")" + snap_name +
+                            R"(","commits":["time"]})");
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ASSERT_EQ(restored->status, 201) << restored->body;
+    EXPECT_NE(restored->body.find("\"dataset\":\"restored\""), std::string::npos)
+        << restored->body;
+
+    // The restored dataset answers byte-identically with zero new fits.
+    int64_t fits_before = model_fits(client);
+    Result<HttpClientResponse> replay =
+        client.Post("/v1/recommend_batch", BatchBody(R"("dataset":"restored")"));
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    ASSERT_EQ(replay->status, 200);
+    EXPECT_EQ(replay->body, warm->body) << (reactor ? "reactor" : "threaded");
+    EXPECT_EQ(model_fits(client), fits_before)
+        << "restored dataset trained models despite a warm snapshot";
+  }
+}
+
+// ---- Keep-alive request caps -----------------------------------------------
+
+// With max_requests_per_connection = N, response N carries Connection: close
+// and the socket is cleanly closed: request N+1 on the same connection gets
+// EOF, not a hang (clients reconnect). The satellite case: 257 pipelined
+// requests against a cap of 256.
+TEST(NetKeepAliveLimitTest, Request257GetsCleanCloseOnBothFrontEnds) {
+  constexpr int kCap = 256;
+  const HttpHandler handler = [](const HttpRequest&) {
+    return HttpResponse::Json(200, "{\"pong\":true}");
+  };
+
+  HttpServerOptions threaded_options;
+  threaded_options.num_threads = 1;
+  threaded_options.max_requests_per_connection = kCap;
+  HttpServer threaded(std::move(threaded_options), handler);
+  ASSERT_TRUE(threaded.Start().ok());
+
+  ReactorServerOptions reactor_options;
+  reactor_options.num_threads = 1;
+  reactor_options.tick_interval_ms = 25;
+  reactor_options.max_requests_per_connection = kCap;
+  ReactorServer reactor(std::move(reactor_options), handler);
+  ASSERT_TRUE(reactor.Start().ok());
+
+  for (int port : {threaded.port(), reactor.port()}) {
+    std::string pipelined;
+    for (int i = 0; i < kCap + 1; ++i) {
+      pipelined += "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+    }
+    RawSocket socket(port);
+    ASSERT_TRUE(socket.ok());
+    ASSERT_TRUE(socket.Send(pipelined));
+    std::string raw = socket.ReadUntilClosed(10000);
+
+    // Exactly kCap responses: the 257th request was never answered.
+    size_t responses = 0;
+    for (size_t pos = raw.find("HTTP/1.1 200"); pos != std::string::npos;
+         pos = raw.find("HTTP/1.1 200", pos + 1)) {
+      ++responses;
+    }
+    EXPECT_EQ(responses, static_cast<size_t>(kCap)) << "port=" << port;
+    // The final response announced the close; none before it did.
+    size_t close_header = raw.find("Connection: close");
+    ASSERT_NE(close_header, std::string::npos) << "port=" << port;
+    EXPECT_EQ(raw.find("Connection: close", close_header + 1), std::string::npos);
+    EXPECT_GT(close_header, raw.rfind("HTTP/1.1 200"));
+    // And the server really closed: EOF, not silence.
+    EXPECT_TRUE(socket.WaitForEof(5000)) << "port=" << port;
+  }
+  threaded.Stop();
+  reactor.Stop();
+}
+
+// A cap of 1 degenerates to Connection: close on every response.
+TEST(NetKeepAliveLimitTest, CapOfOneClosesAfterEveryResponse) {
+  ReactorServerOptions options;
+  options.num_threads = 1;
+  options.tick_interval_ms = 25;
+  options.max_requests_per_connection = 1;
+  ReactorServer server(std::move(options), [](const HttpRequest&) {
+    return HttpResponse::Json(200, "{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket socket(server.port());
+  ASSERT_TRUE(socket.ok());
+  ASSERT_TRUE(socket.Send("GET /a HTTP/1.1\r\nHost: x\r\n\r\n"
+                          "GET /b HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string raw = socket.ReadUntilClosed(5000);
+  EXPECT_NE(raw.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(raw.find("HTTP/1.1 200", raw.find("HTTP/1.1 200") + 1), std::string::npos);
+  EXPECT_NE(raw.find("Connection: close"), std::string::npos);
+  EXPECT_TRUE(socket.WaitForEof(2000));
+  server.Stop();
 }
 
 TEST(NetStreamingTest, BatchToJsonPiecesConcatenatesToToJson) {

@@ -90,13 +90,13 @@ TEST(DatasetRegistry, SessionsShareAggregatesAndStayByteIdentical) {
   ASSERT_TRUE(cold_response.ok()) << cold_response.status().ToString();
   EXPECT_GT(cold->aggregate_builds(), 0);
 
-  // The cache now holds the entries the cold session built; remember their
-  // addresses (entries are never evicted or replaced, so the addresses are
-  // stable for the dataset's lifetime).
+  // The cache now holds the entries the cold session built; remember owning
+  // handles to them (under the default unlimited budget nothing is evicted,
+  // so the same objects must still be resident later).
   const SharedAggregateCache& cache = (*handle)->cache();
   const int64_t entries_after_cold = cache.entries();
   ASSERT_GT(entries_after_cold, 0);
-  std::map<std::pair<int, int>, const HierarchyAggregates*> cold_entries;
+  std::map<std::pair<int, int>, HierarchyAggregatesPtr> cold_entries;
   for (const std::pair<int, int>& key : cache.Keys()) {
     cold_entries[key] = cache.Find(key.first, key.second);
   }
@@ -112,7 +112,7 @@ TEST(DatasetRegistry, SessionsShareAggregatesAndStayByteIdentical) {
   EXPECT_EQ(warm->aggregate_builds(), 0);
   EXPECT_EQ(cache.entries(), entries_after_cold);
   for (const auto& [key, entry] : cold_entries) {
-    EXPECT_EQ(cache.Find(key.first, key.second), entry)
+    EXPECT_EQ(cache.Find(key.first, key.second).get(), entry.get())
         << "aggregate (" << key.first << ", " << key.second << ") was rebuilt or moved";
   }
 

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -157,8 +158,10 @@ TEST_F(ServerTest, Healthz) {
   // Fresh fixture: no recommends have run, so both shared caches read zero.
   EXPECT_EQ(response->body,
             "{\"status\":\"ok\",\"datasets\":3,\"sessions\":3,\"sessions_evicted\":0,"
-            "\"aggregate_cache\":{\"entries\":0,\"hits\":0,\"misses\":0},"
-            "\"model_cache\":{\"entries\":0,\"hits\":0,\"misses\":0,\"fits\":0}}");
+            "\"aggregate_cache\":{\"entries\":0,\"hits\":0,\"misses\":0,"
+            "\"bytes\":0,\"evictions\":0},"
+            "\"model_cache\":{\"entries\":0,\"hits\":0,\"misses\":0,\"fits\":0,"
+            "\"bytes\":0,\"evictions\":0}}");
   ASSERT_NE(response->FindHeader("content-type"), nullptr);
   EXPECT_EQ(*response->FindHeader("content-type"), "application/json");
 }
@@ -771,6 +774,64 @@ TEST(ServerSessions, ServerSidePathLoadingDisabledByDefault) {
   request.body =
       R"({"name":"x","path":"data.csv","dimensions":["a"],"measures":["m"],)"
       R"("hierarchies":[{"name":"h","attributes":["a"]}]})";
+  HttpResponse response = service.Handle(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("disabled"), std::string::npos) << response.body;
+}
+
+// The snapshot write route is confined exactly like the "path" read route,
+// and both snapshot forms reject malformed input with clean Statuses.
+TEST_F(ServerTest, SnapshotRouteErrorPaths) {
+  HttpClient client = Client();
+  // Wrong method on the route.
+  Result<HttpClientResponse> got = client.Get("/v1/datasets/panel/snapshot");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->status, 405);
+  // Unknown dataset.
+  ExpectError(client.Post("/v1/datasets/nope/snapshot", R"({"path":"x.snap"})"),
+              404, "NOT_FOUND");
+  // Escapes of the dataset root: absolute, "..", missing, unknown keys.
+  ExpectError(client.Post("/v1/datasets/panel/snapshot", R"({"path":"/abs.snap"})"),
+              400, "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/datasets/panel/snapshot", R"({"path":"../out.snap"})"),
+              400, "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/datasets/panel/snapshot", "{}"), 400, "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/datasets/panel/snapshot", R"({"path":"x.snap","v":1})"),
+              400, "INVALID_ARGUMENT");
+
+  // Create-from-snapshot: a missing file is kIoError, a corrupt file is
+  // kParseError — never UB.
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","snapshot":"never-written.snap"})"),
+              500, "IO_ERROR");
+  {
+    std::ofstream garbage(::testing::TempDir() + "/garbage.snap", std::ios::binary);
+    garbage << "this is not a snapshot at all, but it is long enough to try";
+  }
+  ExpectError(client.Post("/v1/datasets", R"({"name":"x","snapshot":"garbage.snap"})"),
+              400, "PARSE_ERROR");
+  // The snapshot carries the schema: CSV typing fields cannot be combined.
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","snapshot":"s.snap","dimensions":["a"]})"),
+              400, "INVALID_ARGUMENT");
+  ExpectError(client.Post("/v1/datasets",
+                          R"({"name":"x","snapshot":"s.snap","csv":"a,m\nv,1\n"})"),
+              400, "INVALID_ARGUMENT");
+  // None of the failures registered a dataset.
+  Result<HttpClientResponse> listed = client.Get("/v1/datasets");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->body.find("\"x\""), std::string::npos);
+}
+
+// Without a dataset root, the snapshot write route is off for the same
+// reason server-side "path" reads are.
+TEST(ServerSessions, SnapshotRouteDisabledWithoutDatasetRoot) {
+  ReptileService service;
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel()).ok());
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/v1/datasets/panel/snapshot";
+  request.body = R"({"path":"x.snap"})";
   HttpResponse response = service.Handle(request);
   EXPECT_EQ(response.status, 400);
   EXPECT_NE(response.body.find("disabled"), std::string::npos) << response.body;
