@@ -78,6 +78,23 @@ if [[ -x "$BUILD_DIR/bench/snapshot_restart" ]]; then
   echo "--- snapshot bench passed"
 fi
 
+if [[ -x "$BUILD_DIR/bench/obs_overhead" ]]; then
+  echo "--- observability bench: tracing + metrics must cost <2% on the fig08 panel"
+  # Emits BENCH_observability.json (traced vs untraced min-of-repeats latency
+  # and the span/histogram counts) and exits non-zero when the traced arm
+  # recorded nothing or blew the overhead budget; the greps double-check the
+  # recorded contract.
+  "$BUILD_DIR/bench/obs_overhead" "$BUILD_DIR/BENCH_observability.json"
+  require_bench_json "$BUILD_DIR/BENCH_observability.json"
+  grep -q '"within_budget":true' "$BUILD_DIR/BENCH_observability.json"
+  grep -q '"spans_recorded":' "$BUILD_DIR/BENCH_observability.json"
+  if grep -q '"spans_recorded":0,' "$BUILD_DIR/BENCH_observability.json"; then
+    echo "FAIL: observability bench recorded zero spans" >&2
+    exit 1
+  fi
+  echo "--- observability bench passed"
+fi
+
 if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   echo "--- server smoke: reptile_serve --demo on an ephemeral port"
   SERVE_LOG="$(mktemp)"
@@ -93,6 +110,12 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   done
   [[ -n "$PORT" ]] || { echo "server never reported its port"; cat "$SERVE_LOG"; exit 1; }
   curl -fsS "http://127.0.0.1:$PORT/healthz" | grep -q '"status":"ok"'
+  # The Prometheus endpoint serves the request-latency histogram, and a
+  # client-supplied X-Request-Id is echoed back on the response.
+  curl -fsS "http://127.0.0.1:$PORT/metricsz" \
+    | grep -q 'reptile_http_request_duration_seconds_bucket'
+  curl -fsS -D - -o /dev/null -H 'X-Request-Id: smoke-trace-1' \
+      "http://127.0.0.1:$PORT/healthz" | grep -qi '^x-request-id: smoke-trace-1'
   curl -fsS -X POST "http://127.0.0.1:$PORT/v1/recommend" \
       -d '{"dataset":"demo","complaint":{"aggregate":"std","measure":"severity","where":[{"column":"year","value":"y3"}]}}' \
     | grep -q '"best_index"'
@@ -154,6 +177,10 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   curl -fsS -X POST "http://127.0.0.1:$RPORT/v1/recommend" \
       -d '{"dataset":"s","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
     | grep -q '"best_index"'
+  # /metricsz works on the reactor front end too, including the transport
+  # counters only this front end produces.
+  curl -fsS "http://127.0.0.1:$RPORT/metricsz" \
+    | grep -q 'reptile_transport_requests_dispatched'
   kill -TERM "$REACTOR_PID"
   wait "$REACTOR_PID"
   trap - EXIT
@@ -162,15 +189,16 @@ fi
 
 if [[ "${REPTILE_SKIP_ASAN:-0}" != "1" ]]; then
   # ASan+UBSan over the suites that parse or shuffle raw bytes: the snapshot
-  # container/codec round trips and corruption sweeps, the LRU cache, and the
-  # CSV chunk-split framing — the places where an off-by-one reads out of
-  # bounds instead of racing.
+  # container/codec round trips and corruption sweeps, the LRU cache, the
+  # CSV chunk-split framing, and the observability primitives (the renderers
+  # build Prometheus/JSON text by hand) — the places where an off-by-one
+  # reads out of bounds instead of racing.
   cmake -B "$ASAN_BUILD_DIR" -S . -DREPTILE_ASAN=ON \
     -DREPTILE_BUILD_BENCHMARKS=OFF -DREPTILE_BUILD_EXAMPLES=OFF "$@"
   cmake --build "$ASAN_BUILD_DIR" -j
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-      -R 'Snapshot|LruByteCache|CsvStream'
+      -R 'Snapshot|LruByteCache|CsvStream|Obs'
 fi
 
 if [[ "${REPTILE_SKIP_TSAN:-0}" != "1" ]]; then

@@ -165,6 +165,11 @@ BatchOptions& BatchOptions::RepairAlso(std::string aggregate) {
   return *this;
 }
 
+BatchOptions& BatchOptions::WithTrace(TraceContext* t) {
+  trace = t;
+  return *this;
+}
+
 BatchOptions& BatchOptions::NoExtraRepairStats() {
   extra_repair_stats.emplace();  // engaged and empty: override to none
   return *this;

@@ -21,6 +21,7 @@
 namespace reptile {
 
 struct EngineOptions;  // core/engine.h; resolved type, completed in request.cpp
+class TraceContext;    // obs/trace.h; per-request stage-span recorder
 
 /// A complaint built from names: "the MEAN of severity where district=Ofla
 /// and year=1986 is too high". Resolved and validated against the session's
@@ -135,6 +136,11 @@ struct BatchOptions {
   // "sum", ...): disengaged inherits the session's extra_repair_stats;
   // engaged-and-empty toggles extras off for the call.
   std::optional<std::vector<std::string>> extra_repair_stats;
+  // Per-request trace (obs/trace.h): when set, this call records
+  // validate/plan/fit/rank stage spans onto it — the HTTP layer threads the
+  // request's TraceContext through here. Borrowed for the call; nullptr
+  // (the default) records nothing.
+  TraceContext* trace = nullptr;
 
   BatchOptions& Threads(int n);
   BatchOptions& TopK(int k);
@@ -145,6 +151,8 @@ struct BatchOptions {
   /// Forces the call to repair only the complaint's own primitives, even
   /// when the session was built with extra_repair_stats.
   BatchOptions& NoExtraRepairStats();
+  /// Attaches the per-request trace context (see the field comment).
+  BatchOptions& WithTrace(TraceContext* t);
 };
 
 }  // namespace reptile

@@ -8,6 +8,7 @@
 #include "agg/aggregates.h"
 #include "core/engine.h"
 #include "core/view.h"
+#include "obs/trace.h"
 
 namespace reptile {
 namespace {
@@ -275,14 +276,18 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   // the middle of a batch cannot leave partial effects.
   std::vector<Complaint> resolved;
   resolved.reserve(complaints.size());
-  for (size_t i = 0; i < complaints.size(); ++i) {
-    Result<Complaint> complaint = complaints[i].Resolve(dataset);
-    if (!complaint.ok()) {
-      const Status& status = complaint.status();
-      if (complaints.size() == 1) return status;  // no batch-index prefix for Recommend()
-      return Status(status.code(), "complaints[" + std::to_string(i) + "]: " + status.message());
+  {
+    ScopedSpan validate_span(options.trace, "validate");
+    for (size_t i = 0; i < complaints.size(); ++i) {
+      Result<Complaint> complaint = complaints[i].Resolve(dataset);
+      if (!complaint.ok()) {
+        const Status& status = complaint.status();
+        if (complaints.size() == 1) return status;  // no batch-index prefix for Recommend()
+        return Status(status.code(),
+                      "complaints[" + std::to_string(i) + "]: " + status.message());
+      }
+      resolved.push_back(std::move(complaint).value());
     }
-    resolved.push_back(std::move(complaint).value());
   }
 
   int64_t trained_before = engine.stats().models_trained;
@@ -290,6 +295,7 @@ Result<BatchExploreResponse> Session::RecommendAll(std::span<const ComplaintSpec
   BatchOverrides overrides;
   overrides.num_threads = options.num_threads;
   overrides.top_k = options.top_k;
+  overrides.trace = options.trace;
   if (options.model.has_value()) overrides.model = &*options.model;
   if (extra_stats.has_value()) overrides.extra_repair_stats = &*extra_stats;
 

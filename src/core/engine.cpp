@@ -18,6 +18,7 @@
 #include "fmatrix/materialize.h"
 #include "fmatrix/right_mult.h"
 #include "model/linear.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace reptile {
@@ -278,6 +279,12 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
 
   drill_state_.BeginInvocation();
 
+  // Stage spans for the request trace: start offsets are captured on this
+  // (coordinating) thread at each stage boundary — the fan-outs inside a
+  // stage belong to that stage's span. Null trace = no recording at all.
+  TraceContext* trace = overrides.trace;
+  const double plan_start = trace != nullptr ? trace->ElapsedSeconds() : 0.0;
+
   // --- Plan stage: one shared plan per drillable hierarchy. The drill-down
   // aggregates every plan will read are prefetched first (builds fan out;
   // cache bookkeeping stays on this thread), after which plan assembly only
@@ -315,6 +322,13 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
     if (it != aggregate_build_seconds.end()) plan->build_seconds += it->second;
   }
   stats_.plans_built += static_cast<int64_t>(plans.size());
+  if (trace != nullptr) {
+    trace->AddSpan("plan", plan_start, trace->ElapsedSeconds() - plan_start,
+                   "plans=" + std::to_string(plans.size()));
+  }
+  const double fit_start = trace != nullptr ? trace->ElapsedSeconds() : 0.0;
+  const int64_t trained_before = stats_.models_trained;
+  const int64_t cache_hits_before = stats_.fit_cache_hits;
 
   // --- Execute stage (a): group statistics, one task per (plan, measure,
   // moments-or-groups). Map slots are inserted sequentially here; the tasks
@@ -422,6 +436,14 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
     task.plan->fits.find(std::make_pair(task.measure_column, task.primitive))->second =
         std::move(outcome.model);
   }
+  if (trace != nullptr) {
+    // The span covers group statistics + fits + install; its detail is the
+    // cache outcome the warm-vs-cold benchmarks care about.
+    trace->AddSpan("fit", fit_start, trace->ElapsedSeconds() - fit_start,
+                   "hits=" + std::to_string(stats_.fit_cache_hits - cache_hits_before) +
+                       " misses=" + std::to_string(stats_.models_trained - trained_before));
+  }
+  const double rank_start = trace != nullptr ? trace->ElapsedSeconds() : 0.0;
 
   // --- Execute stage (c): ranking, one task per (complaint, plan) pair.
   // Every task reads the now-immutable plans; results land by index and are
@@ -451,6 +473,9 @@ std::vector<Recommendation> Engine::RecommendBatch(std::span<const Complaint> co
       }
     }
     out.push_back(std::move(rec));
+  }
+  if (trace != nullptr) {
+    trace->AddSpan("rank", rank_start, trace->ElapsedSeconds() - rank_start);
   }
   if (timing != nullptr) {
     timing->train_seconds = train_seconds_sum;

@@ -43,6 +43,7 @@ namespace reptile {
 class ThreadPool;              // parallel/thread_pool.h
 class SharedFittedModelCache;  // factor/model_cache.h
 struct FittedModel;            // factor/model_cache.h
+class TraceContext;            // obs/trace.h
 
 /// A registered auxiliary dataset (Section 3.3.2 / Appendix H): joined on one
 /// or more hierarchy attributes, exposing one measure as a feature. The
@@ -110,6 +111,11 @@ struct BatchOverrides {
   // option; a pointer to an empty vector toggles extras off. Consulted only
   // when `model` is null. The pointee is borrowed for the call.
   const std::vector<AggFn>* extra_repair_stats = nullptr;
+  // Per-request trace (obs/trace.h): when set, RecommendBatch records
+  // plan/fit/rank stage spans (the fit span's detail carries the cache
+  // hit/miss split) onto it. nullptr = untraced, zero recording overhead.
+  // Borrowed for the duration of the call.
+  TraceContext* trace = nullptr;
 };
 
 /// Batch-level timing: the summed per-task fit durations (what the work

@@ -1,0 +1,19 @@
+#include "obs/build_info.h"
+
+#include "common/json_util.h"
+#include "obs/version_info.h"  // generated; see CMakeLists.txt
+
+namespace reptile {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{REPTILE_BUILD_GIT_HASH, REPTILE_BUILD_COMPILE_FLAGS};
+  return info;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  return "{\"git_hash\":" + JsonQuote(info.git_hash) +
+         ",\"compile_flags\":" + JsonQuote(info.compile_flags) + "}";
+}
+
+}  // namespace reptile

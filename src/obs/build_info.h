@@ -1,0 +1,27 @@
+// Build identity for /healthz's "build" object: which source revision and
+// compile configuration produced this binary. Without it a restarted or
+// rolled-back replica is indistinguishable from a warm one at the health
+// endpoint. Values are baked in at CMake configure time (git hash falls
+// back to "nogit" outside a git checkout); only build_info.cpp sees the
+// generated header, so nothing else depends on the generated include dir.
+
+#ifndef REPTILE_OBS_BUILD_INFO_H_
+#define REPTILE_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace reptile {
+
+struct BuildInfo {
+  const char* git_hash;       // short hash, or "nogit"
+  const char* compile_flags;  // build type / standard / sanitizer summary
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// {"git_hash":"...","compile_flags":"..."} — the /healthz "build" value.
+std::string BuildInfoJson();
+
+}  // namespace reptile
+
+#endif  // REPTILE_OBS_BUILD_INFO_H_

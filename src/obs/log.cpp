@@ -1,0 +1,113 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <ctime>
+
+#include "common/json_util.h"
+
+namespace reptile {
+
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+LogField LogField::Str(std::string_view key, std::string_view value) {
+  return LogField{std::string(key), JsonQuote(value)};
+}
+
+LogField LogField::Num(std::string_view key, double value) {
+  return LogField{std::string(key), JsonNumber(value)};
+}
+
+LogField LogField::Int(std::string_view key, int64_t value) {
+  return LogField{std::string(key), std::to_string(value)};
+}
+
+LogField LogField::Bool(std::string_view key, bool value) {
+  return LogField{std::string(key), value ? "true" : "false"};
+}
+
+LogField LogField::Raw(std::string_view key, std::string json) {
+  return LogField{std::string(key), std::move(json)};
+}
+
+namespace {
+
+// ISO-8601 UTC with milliseconds: 2026-08-08T12:34:56.789Z
+std::string Timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[72];  // worst-case %04d on an int is 11 chars; keep snprintf happy
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+}  // namespace
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // leaked: loggable code may run
+  return *logger;                        // during static destruction
+}
+
+bool Logger::Configure(LogLevel level, const std::string& file_path) {
+  std::FILE* next = nullptr;
+  if (!file_path.empty()) {
+    next = std::fopen(file_path.c_str(), "a");
+    if (next == nullptr) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_ != nullptr) std::fclose(sink_);
+    sink_ = next;
+  }
+  min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 const std::vector<LogField>& fields) {
+  if (!Enabled(level) || level == LogLevel::kOff) return;
+  std::string line = "{\"ts\":" + JsonQuote(Timestamp());
+  line += ",\"level\":";
+  line += JsonQuote(LogLevelName(level));
+  line += ",\"event\":";
+  line += JsonQuote(event);
+  for (const LogField& field : fields) {
+    line += ',';
+    line += JsonQuote(field.key);
+    line += ':';
+    line += field.json_value;
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* out = sink_ != nullptr ? sink_ : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace reptile

@@ -1,0 +1,94 @@
+// Structured JSON-lines logging for the serving tier: one JSON object per
+// line, machine-parseable, with a wall-clock timestamp, a level, an event
+// name, and free-form key/value fields (the request's trace id rides as a
+// field, joining log lines to Server-Timing headers and the debug ring).
+//
+//   {"ts":"2026-08-08T12:34:56.789Z","level":"info","event":"request",
+//    "trace_id":"a1b2...","method":"POST","path":"/v1/recommend",
+//    "status":200,"duration_ms":1.42}
+//
+// Design:
+//  * One global Logger (per-process, like stderr itself). Configure() is
+//    called once at startup from flags (--log-level / --log-file) and by
+//    tests; it is NOT safe to race with concurrent Log() calls by design —
+//    the hot path reads the level with one relaxed atomic load and must not
+//    pay an acquire/lock for a startup-only knob.
+//  * Lines are formatted off-lock, then written with a single fwrite under
+//    a mutex — concurrent writers never interleave bytes within a line.
+//  * Level filtering is the caller's fast path: Enabled(level) is one
+//    atomic load, so disabled debug logging costs nothing measurable.
+//  * Values are pre-rendered JSON fragments (LogField::Str/Num/Int/Bool)
+//    so the logger itself needs no type dispatch and callers can log
+//    already-serialized sub-objects when useful.
+
+#ifndef REPTILE_OBS_LOG_H_
+#define REPTILE_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reptile {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug"/"info"/"warn"/"error"/"off" -> the level; nullopt otherwise.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
+
+/// The level's lowercase name ("info").
+const char* LogLevelName(LogLevel level);
+
+/// One key/value pair of a log line; `json_value` is a complete JSON value.
+struct LogField {
+  std::string key;
+  std::string json_value;
+
+  static LogField Str(std::string_view key, std::string_view value);
+  static LogField Num(std::string_view key, double value);
+  static LogField Int(std::string_view key, int64_t value);
+  static LogField Bool(std::string_view key, bool value);
+  /// `json` must already be valid JSON (object, array, number, ...).
+  static LogField Raw(std::string_view key, std::string json);
+};
+
+class Logger {
+ public:
+  /// The process-wide logger. Defaults: level info, sink stderr.
+  static Logger& Global();
+
+  /// Points the logger at `file_path` (append mode; empty = stderr) and sets
+  /// the minimum level. Returns false (keeping the previous sink) when the
+  /// file cannot be opened. Not safe concurrently with Log() — startup/test
+  /// use only (see the header comment).
+  bool Configure(LogLevel level, const std::string& file_path);
+
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Emits one line when `level` passes the filter. Thread-safe.
+  void Log(LogLevel level, std::string_view event, const std::vector<LogField>& fields);
+
+ private:
+  Logger() = default;
+  ~Logger() = default;
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::mutex mu_;            // serializes sink writes and swaps
+  std::FILE* sink_ = nullptr;  // owned when != stderr; nullptr = stderr
+};
+
+/// Shorthand: Logger::Global().Log(...) guarded by Enabled().
+inline void LogEvent(LogLevel level, std::string_view event,
+                     const std::vector<LogField>& fields) {
+  Logger& logger = Logger::Global();
+  if (logger.Enabled(level)) logger.Log(level, event, fields);
+}
+
+}  // namespace reptile
+
+#endif  // REPTILE_OBS_LOG_H_

@@ -1,0 +1,251 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/json_util.h"
+
+namespace reptile {
+
+namespace {
+
+// The 1-2-5 ladder and its exact `le` spellings, index-aligned. Hardcoded
+// (rather than snprintf'd at startup) so the Prometheus golden test pins the
+// wire format byte-for-byte.
+constexpr std::array<double, Histogram::kNumBounds> kBounds = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2,
+    2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0, 20.0, 50.0, 100.0};
+
+constexpr std::array<const char*, Histogram::kNumBounds> kBoundLabels = {
+    "1e-06",  "2e-06",  "5e-06", "1e-05", "2e-05", "5e-05", "0.0001",
+    "0.0002", "0.0005", "0.001", "0.002", "0.005", "0.01",  "0.02",
+    "0.05",   "0.1",    "0.2",   "0.5",   "1",     "2",     "5",
+    "10",     "20",     "50",    "100"};
+
+std::string RenderLabelString(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += JsonEscape(labels[i].second);  // same \\ \" \n escapes Prometheus wants
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// `base{existing,le="X"}` — splices `le` into a possibly-empty label string.
+std::string WithLeLabel(const std::string& label_string, const char* le) {
+  if (label_string.empty()) return std::string("{le=\"") + le + "\"}";
+  std::string out = label_string.substr(0, label_string.size() - 1);
+  out += ",le=\"";
+  out += le;
+  out += "\"}";
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", seconds);
+  return buf;
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    case 2: return "histogram";
+    default: return "gauge";  // callback gauges render as gauges
+  }
+}
+
+}  // namespace
+
+const std::array<double, Histogram::kNumBounds>& Histogram::BucketBounds() {
+  return kBounds;
+}
+
+const std::array<const char*, Histogram::kNumBounds>& Histogram::BucketLabels() {
+  return kBoundLabels;
+}
+
+int Histogram::BucketIndex(double seconds) {
+  const auto it = std::lower_bound(kBounds.begin(), kBounds.end(), seconds);
+  return static_cast<int>(it - kBounds.begin());  // == kNumBounds -> overflow
+}
+
+double Histogram::Quantile(double q) const {
+  // Snapshot bucket counts once; concurrent Observes may land between loads,
+  // so derive the total from the snapshot rather than count_.
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<size_t>(i)] = BucketCount(i);
+    total += counts[static_cast<size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  const int64_t rank = std::max<int64_t>(1, static_cast<int64_t>(q * static_cast<double>(total) + 0.5));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += counts[static_cast<size_t>(i)];
+    if (seen >= rank) {
+      return kBounds[static_cast<size_t>(std::min(i, kNumBounds - 1))];
+    }
+  }
+  return kBounds[kNumBounds - 1];
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.kind = kind;
+  } else {
+    REPTILE_CHECK(it->second.kind == kind)
+        << "metric '" << name << "' registered twice with different types";
+  }
+  return it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help,
+                                     const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, help, Kind::kCounter);
+  Series& series = family.series[RenderLabelString(labels)];
+  if (!series.counter) {
+    series.labels = labels;
+    series.counter = std::make_unique<Counter>();
+  }
+  return series.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help,
+                                 const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, help, Kind::kGauge);
+  Series& series = family.series[RenderLabelString(labels)];
+  if (!series.gauge) {
+    series.labels = labels;
+    series.gauge = std::make_unique<Gauge>();
+  }
+  return series.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, const std::string& help,
+                                         const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, help, Kind::kHistogram);
+  Series& series = family.series[RenderLabelString(labels)];
+  if (!series.histogram) {
+    series.labels = labels;
+    series.histogram = std::make_unique<Histogram>();
+  }
+  return series.histogram.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help, MetricLabels labels,
+                                            std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, help, Kind::kCallback);
+  Series& series = family.series[RenderLabelString(labels)];
+  series.labels = std::move(labels);
+  series.callback = std::move(fn);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " " + KindName(static_cast<int>(family.kind)) + "\n";
+    for (const auto& [label_string, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + label_string + " " + std::to_string(series.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + label_string + " " + std::to_string(series.gauge->value()) + "\n";
+          break;
+        case Kind::kCallback:
+          out += name + label_string + " " + std::to_string(series.callback()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          int64_t cumulative = 0;
+          for (int i = 0; i < Histogram::kNumBounds; ++i) {
+            cumulative += h.BucketCount(i);
+            out += name + "_bucket" + WithLeLabel(label_string, kBoundLabels[static_cast<size_t>(i)]) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += h.BucketCount(Histogram::kNumBounds);
+          out += name + "_bucket" + WithLeLabel(label_string, "+Inf") + " " +
+                 std::to_string(cumulative) + "\n";
+          out += name + "_sum" + label_string + " " + FormatSeconds(h.sum_seconds()) + "\n";
+          out += name + "_count" + label_string + " " + std::to_string(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += JsonQuote(name) + ":[";
+    bool first_series = true;
+    for (const auto& [label_string, series] : family.series) {
+      (void)label_string;
+      if (!first_series) out += ',';
+      first_series = false;
+      out += "{\"labels\":{";
+      for (size_t i = 0; i < series.labels.size(); ++i) {
+        if (i > 0) out += ',';
+        out += JsonQuote(series.labels[i].first) + ":" + JsonQuote(series.labels[i].second);
+      }
+      out += "},";
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += "\"value\":" + std::to_string(series.counter->value());
+          break;
+        case Kind::kGauge:
+          out += "\"value\":" + std::to_string(series.gauge->value());
+          break;
+        case Kind::kCallback:
+          out += "\"value\":" + std::to_string(series.callback());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          out += "\"count\":" + std::to_string(h.count());
+          out += ",\"sum_seconds\":" + JsonNumber(h.sum_seconds());
+          out += ",\"p50\":" + JsonNumber(h.Quantile(0.50));
+          out += ",\"p90\":" + JsonNumber(h.Quantile(0.90));
+          out += ",\"p99\":" + JsonNumber(h.Quantile(0.99));
+          break;
+        }
+      }
+      out += '}';
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: no
+  return *registry;  // static-destruction-order hazard for late recorders
+}
+
+}  // namespace reptile

@@ -1,0 +1,22 @@
+// EnsureProcessMetrics(): the callback gauges that belong to the process,
+// not to any one service instance. Lives in its own .cpp so obs/metrics.h
+// stays free of the parallel/ dependency.
+
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
+
+namespace reptile {
+
+void EnsureProcessMetrics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    MetricsRegistry::Global().RegisterCallbackGauge(
+        "reptile_shared_pool_queue_depth",
+        "Tasks queued or running on the process-wide shared compute pool.", {},
+        [] { return SharedThreadPool()->PendingTasks(); });
+  });
+}
+
+}  // namespace reptile

@@ -1,0 +1,64 @@
+#include "obs/request_ring.h"
+
+#include <algorithm>
+
+#include "common/json_util.h"
+
+namespace reptile {
+
+RequestRing::RequestRing(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  records_.reserve(capacity_);
+}
+
+void RequestRing::Add(RequestRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.sequence = next_sequence_++;
+  if (records_.size() < capacity_) {
+    records_.push_back(std::move(record));
+  } else {
+    records_[next_slot_] = std::move(record);
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+}
+
+std::vector<RequestRecord> RequestRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestRecord> out;
+  out.reserve(records_.size());
+  // Once full, next_slot_ points at the oldest record; before that, the
+  // storage is already oldest-first.
+  const size_t n = records_.size();
+  const size_t start = (n == capacity_) ? next_slot_ : 0;
+  for (size_t i = 0; i < n; ++i) out.push_back(records_[(start + i) % n]);
+  return out;
+}
+
+std::string RequestRing::ToJson() const {
+  std::vector<RequestRecord> records = Snapshot();
+  std::string out = "{\"capacity\":" + std::to_string(capacity_) + ",\"requests\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RequestRecord& r = records[i];
+    if (i > 0) out += ',';
+    out += "{\"seq\":" + std::to_string(r.sequence);
+    out += ",\"trace_id\":" + JsonQuote(r.trace_id);
+    out += ",\"method\":" + JsonQuote(r.method);
+    out += ",\"path\":" + JsonQuote(r.path);
+    out += ",\"status\":" + std::to_string(r.http_status);
+    out += ",\"duration_ms\":" + JsonNumber(r.duration_seconds * 1000.0);
+    out += ",\"spans\":[";
+    for (size_t s = 0; s < r.spans.size(); ++s) {
+      const TraceSpan& span = r.spans[s];
+      if (s > 0) out += ',';
+      out += "{\"name\":" + JsonQuote(span.name);
+      out += ",\"start_ms\":" + JsonNumber(span.start_seconds * 1000.0);
+      out += ",\"duration_ms\":" + JsonNumber(span.duration_seconds * 1000.0);
+      if (!span.detail.empty()) out += ",\"detail\":" + JsonQuote(span.detail);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace reptile

@@ -1,0 +1,70 @@
+// A bounded in-memory ring of recent request trace records, served at
+// GET /v1/debug/requests (opt-in, auth-gated — see server/service.h). The
+// answer to "why was that request slow?" after the fact, without a log
+// pipeline: the last N requests' ids, routes, statuses, durations, and
+// stage spans, newest last.
+//
+// Fixed capacity, overwrite-oldest; Add() is a mutex-guarded move of one
+// record (a handful of small strings), paid once per request after the
+// response is built — never on a hot path. Durations stored here are
+// already zeroed when the request asked for zero_timings (the service
+// builds records through the trace's render-time zeroing), so debug output
+// obeys the same determinism contract as response bodies.
+
+#ifndef REPTILE_OBS_REQUEST_RING_H_
+#define REPTILE_OBS_REQUEST_RING_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace reptile {
+
+/// One finished request, as retained for debugging.
+struct RequestRecord {
+  int64_t sequence = 0;  // assigned by the ring: monotonic, 1-based
+  std::string trace_id;
+  std::string method;
+  std::string path;
+  int http_status = 0;
+  double duration_seconds = 0.0;
+  std::vector<TraceSpan> spans;
+};
+
+class RequestRing {
+ public:
+  /// Capacity is clamped to at least 1.
+  explicit RequestRing(size_t capacity);
+
+  RequestRing(const RequestRing&) = delete;
+  RequestRing& operator=(const RequestRing&) = delete;
+
+  /// Retains `record` (stamping its sequence), evicting the oldest record
+  /// once the ring is full. Thread-safe.
+  void Add(RequestRecord record);
+
+  /// The retained records, oldest first. Thread-safe.
+  std::vector<RequestRecord> Snapshot() const;
+
+  /// Snapshot() as the /v1/debug/requests body:
+  ///   {"capacity":N,"requests":[{"seq":..,"trace_id":..,"method":..,
+  ///    "path":..,"status":..,"duration_ms":..,
+  ///    "spans":[{"name":..,"start_ms":..,"duration_ms":..,"detail":..},..]},..]}
+  std::string ToJson() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<RequestRecord> records_;  // ring storage, size <= capacity_
+  size_t next_slot_ = 0;                // insertion point once full
+  int64_t next_sequence_ = 1;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_OBS_REQUEST_RING_H_

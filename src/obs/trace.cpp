@@ -1,0 +1,68 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+
+namespace reptile {
+
+void TraceContext::AddSpan(std::string name, double start_seconds,
+                           double duration_seconds, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(TraceSpan{std::move(name), start_seconds, duration_seconds,
+                             std::move(detail)});
+}
+
+std::vector<TraceSpan> TraceContext::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string MintTraceId() {
+  // 64 random bits fixed at process start XOR a counter: ids are unique
+  // within the process and differ across restarts, without paying a
+  // random_device read per request.
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<uint64_t> next{1};
+  const uint64_t id = seed ^ (next.fetch_add(1, std::memory_order_relaxed) *
+                              UINT64_C(0x9e3779b97f4a7c15));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool ValidTraceId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string ServerTimingHeader(const TraceContext& trace, double total_seconds) {
+  const bool zero = trace.zero_durations();
+  auto format_ms = [zero](double seconds) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", zero ? 0.0 : seconds * 1000.0);
+    return std::string(buf);
+  };
+  std::string out;
+  for (const TraceSpan& span : trace.Spans()) {
+    out += span.name;
+    if (!span.detail.empty()) {
+      // Detail values are server-generated (no quotes/commas by contract);
+      // quoted per the Server-Timing `desc` parameter grammar.
+      out += ";desc=\"" + span.detail + "\"";
+    }
+    out += ";dur=" + format_ms(span.duration_seconds) + ", ";
+  }
+  out += "total;dur=" + format_ms(total_seconds);
+  return out;
+}
+
+}  // namespace reptile

@@ -1,0 +1,125 @@
+// Per-request tracing: a TraceContext carries one request's id and its
+// completed stage spans (parse / validate / plan / fit / rank / serialize)
+// from the HTTP layer down through Session::RecommendAll into
+// Engine::RecommendBatch and back.
+//
+// Contract:
+//  * The id is minted by the service (or adopted from the client's
+//    X-Request-Id header after sanitizing) and echoed on every response, so
+//    one string joins the client's log line, the Server-Timing header, the
+//    debug request ring, and the server's structured log.
+//  * Spans carry offsets from the context's construction on the monotonic
+//    clock — never wall time — so they order and subtract correctly across
+//    the layers that record them.
+//  * AddSpan is thread-safe (mutex-guarded append); recording a span is NOT
+//    on the per-row hot path — a request produces ~6 spans — so a mutex is
+//    the right tool here, unlike obs/metrics.h's lock-free histograms.
+//  * zero_durations mirrors the wire option `zero_timings`: rendered
+//    durations (Server-Timing, the debug ring) become 0 so byte-identity
+//    tests stay deterministic, while span *names* still prove the stages
+//    ran. Span capture itself always records real durations; zeroing is a
+//    render-time decision.
+//
+// A TraceContext is borrowed down the stack as a raw pointer (nullptr = not
+// traced, all recording compiles down to a pointer test) and owned by the
+// request handler frame — it never outlives the request.
+
+#ifndef REPTILE_OBS_TRACE_H_
+#define REPTILE_OBS_TRACE_H_
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reptile {
+
+/// One completed stage of one request.
+struct TraceSpan {
+  std::string name;             // "parse", "validate", "plan", "fit", "rank", ...
+  double start_seconds = 0.0;   // offset from TraceContext construction
+  double duration_seconds = 0.0;
+  std::string detail;           // optional, e.g. "hits=3 misses=1"
+};
+
+class TraceContext {
+ public:
+  explicit TraceContext(std::string id)
+      : id_(std::move(id)), epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  /// Seconds since this context was constructed (monotonic clock) — the
+  /// start-offset stamp for a span about to begin.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a completed span. Thread-safe.
+  void AddSpan(std::string name, double start_seconds, double duration_seconds,
+               std::string detail = std::string());
+
+  /// Spans recorded so far, in recording order.
+  std::vector<TraceSpan> Spans() const;
+
+  /// See the header comment: render-time duration zeroing for zero_timings.
+  void set_zero_durations(bool zero) { zero_durations_ = zero; }
+  bool zero_durations() const { return zero_durations_; }
+
+ private:
+  const std::string id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  bool zero_durations_ = false;  // set once by the handler before rendering
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII span recorder: stamps the start offset at construction, records the
+/// span into `trace` at destruction. A null trace makes every operation a
+/// no-op — call sites stay unconditional.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* trace, const char* name)
+      : trace_(trace), name_(name),
+        start_(trace ? trace->ElapsedSeconds() : 0.0) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) {
+      trace_->AddSpan(name_, start_, trace_->ElapsedSeconds() - start_,
+                      std::move(detail_));
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches free-form detail ("hits=3 misses=1") to the span-to-be.
+  void SetDetail(std::string detail) { detail_ = std::move(detail); }
+
+ private:
+  TraceContext* trace_;
+  const char* name_;
+  double start_;
+  std::string detail_;
+};
+
+/// A fresh 16-hex-digit request id: process-unique (atomic counter) and
+/// unpredictable across restarts (seeded from std::random_device once).
+std::string MintTraceId();
+
+/// True when `id` is acceptable as a client-supplied X-Request-Id: 1-64
+/// characters from [A-Za-z0-9._-]. Anything else is rejected (the id is
+/// echoed into headers and logs, so CR/LF or quotes must never pass).
+bool ValidTraceId(const std::string& id);
+
+/// The trace rendered as a Server-Timing response-header value:
+///   parse;dur=0.012, fit;desc="hits=3 misses=1";dur=1.201, total;dur=2.5
+/// Durations are milliseconds (the Server-Timing unit). `total_seconds` is
+/// the whole request; with trace.zero_durations() every dur renders as 0.
+std::string ServerTimingHeader(const TraceContext& trace, double total_seconds);
+
+}  // namespace reptile
+
+#endif  // REPTILE_OBS_TRACE_H_

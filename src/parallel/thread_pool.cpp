@@ -36,6 +36,11 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+int64_t ThreadPool::PendingTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
 int ThreadPool::DefaultThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -56,6 +56,10 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished.
   void Wait();
 
+  /// Tasks queued or currently running — the pool-depth gauge /metricsz
+  /// exports. A snapshot: the value may be stale by the time it returns.
+  int64_t PendingTasks() const;
+
   /// std::thread::hardware_concurrency() with a fallback of 1 when the
   /// runtime cannot report it.
   static int DefaultThreads();
@@ -63,7 +67,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;  // mutable: PendingTasks() is a const observer
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;

@@ -68,6 +68,16 @@
 //                         progress for S seconds (default 10, 0 = never)
 //   --high-water-bytes N  reactor only: per-connection write-queue cap;
 //                         streamed responses pause above it (default 1 MiB)
+//   --log-level L         structured-log threshold: debug|info|warn|error|off
+//                         (default info; debug logs one JSON line per
+//                         request). Lines are JSON objects, one per line,
+//                         carrying the request's trace id — see obs/log.h
+//   --log-file PATH       append log lines to PATH instead of stderr
+//   --slow-request-ms N   warn-log any request slower than N ms with its
+//                         stage spans (default 0 = off)
+//   --debug-requests N    retain the last N request traces, served at
+//                         GET /v1/debug/requests (bearer-gated when
+//                         --auth-token is set; default 0 = route disabled)
 //
 // In both modes POST /v1/datasets accepts a streamed text/csv body (typing
 // in the query string — see server/service.h) fed incrementally through
@@ -102,6 +112,8 @@
 #include "api/dataset_snapshot.h"
 #include "datagen/panel_gen.h"
 #include "net/reactor_server.h"
+#include "obs/build_info.h"
+#include "obs/log.h"
 #include "reptile/reptile.h"
 #include "server/http_server.h"
 #include "server/service.h"
@@ -170,6 +182,10 @@ struct Args {
   int idle_timeout = 30;
   double write_stall = 10.0;
   size_t high_water_bytes = size_t{1} << 20;
+  std::string log_level = "info";
+  std::string log_file;
+  double slow_request_ms = 0.0;
+  long debug_requests = 0;
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -182,7 +198,9 @@ struct Args {
                "[--reactor] [--auth-token T] [--stream-threshold N] "
                "[--max-connections N] [--idle-timeout S] [--write-stall S] "
                "[--high-water-bytes N] [--snapshot-dir DIR] "
-               "[--cache-budget-mb N] [--max-requests-per-connection N]\n",
+               "[--cache-budget-mb N] [--max-requests-per-connection N] "
+               "[--log-level L] [--log-file PATH] [--slow-request-ms N] "
+               "[--debug-requests N]\n",
                argv0);
   std::exit(2);
 }
@@ -278,6 +296,19 @@ Args ParseArgs(int argc, char** argv) {
     } else if (flag == "--high-water-bytes") {
       args.high_water_bytes =
           static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
+    } else if (flag == "--log-level") {
+      args.log_level = value_of(i);
+      if (!ParseLogLevel(args.log_level).has_value()) {
+        std::fprintf(stderr, "--log-level wants debug|info|warn|error|off, got '%s'\n",
+                     args.log_level.c_str());
+        Usage(argv[0]);
+      }
+    } else if (flag == "--log-file") {
+      args.log_file = value_of(i);
+    } else if (flag == "--slow-request-ms") {
+      args.slow_request_ms = std::atof(value_of(i).c_str());
+    } else if (flag == "--debug-requests") {
+      args.debug_requests = std::atol(value_of(i).c_str());
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       Usage(argv[0]);
@@ -289,6 +320,13 @@ Args ParseArgs(int argc, char** argv) {
 
 int Main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
+
+  // Logger first: everything after this line may log. ParseArgs already
+  // validated the level string.
+  if (!Logger::Global().Configure(*ParseLogLevel(args.log_level), args.log_file)) {
+    std::fprintf(stderr, "cannot open --log-file %s\n", args.log_file.c_str());
+    return 1;
+  }
 
   // Assigned once the chosen front end exists (below); the service's healthz
   // hook dereferences it lazily, per request, so construction order is fine.
@@ -303,6 +341,9 @@ int Main(int argc, char** argv) {
   service_options.auth_token = args.auth_token;
   service_options.stream_threshold_bytes = args.stream_threshold;
   service_options.cache_budget_bytes = args.cache_budget_mb * 1024 * 1024;
+  service_options.slow_request_ms = args.slow_request_ms;
+  service_options.debug_request_ring =
+      args.debug_requests > 0 ? static_cast<size_t>(args.debug_requests) : 0;
   if (args.reactor) {
     service_options.transport_stats_json = [&transport_stats] {
       return transport_stats ? transport_stats() : std::string("null");
@@ -432,6 +473,11 @@ int Main(int argc, char** argv) {
                 args.http_threads);
   }
   std::fflush(stdout);
+  LogEvent(LogLevel::kInfo, "server_started",
+           {LogField::Int("port", port),
+            LogField::Str("front_end", args.reactor ? "reactor" : "threaded"),
+            LogField::Int("pid", static_cast<int64_t>(::getpid())),
+            LogField::Raw("build", BuildInfoJson())});
 
   // Block until SIGINT/SIGTERM, then stop cleanly (in-flight requests finish).
   if (::pipe(g_signal_pipe) != 0) {
@@ -447,6 +493,7 @@ int Main(int argc, char** argv) {
   } while (n < 0 && errno == EINTR);
   std::printf("shutting down\n");
   std::fflush(stdout);
+  LogEvent(LogLevel::kInfo, "server_stopping", {LogField::Int("port", port)});
   if (reactor != nullptr) reactor->Stop();
   if (threaded != nullptr) threaded->Stop();
   return 0;

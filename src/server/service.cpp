@@ -1,5 +1,7 @@
 #include "server/service.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <initializer_list>
@@ -8,6 +10,11 @@
 
 #include "api/dataset_snapshot.h"
 #include "data/csv.h"
+#include "obs/build_info.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/request_ring.h"
+#include "obs/trace.h"
 #include "server/json.h"
 
 namespace reptile {
@@ -521,7 +528,31 @@ ReptileService::ReptileService(ServiceOptions options)
 
 ReptileService::ReptileService(std::shared_ptr<DatasetRegistry> registry,
                                ServiceOptions options)
-    : options_(std::move(options)), registry_(std::move(registry)) {}
+    : options_(std::move(options)),
+      registry_(std::move(registry)),
+      start_time_(std::chrono::steady_clock::now()),
+      metrics_(std::make_unique<MetricsRegistry>()) {
+  // Pre-create every per-request series so Handle() only dereferences cached
+  // pointers — the registry mutex is never taken on the request path.
+  request_latency_ = metrics_->GetHistogram(
+      "reptile_http_request_duration_seconds",
+      "End-to-end latency of one request through ReptileService::Handle");
+  for (int code_class : {2, 3, 4, 5}) {
+    requests_by_class_[code_class] = metrics_->GetCounter(
+        "reptile_http_requests_total", "Requests handled, by status code class",
+        {{"code", std::to_string(code_class) + "xx"}});
+  }
+  for (const char* stage : {"parse", "validate", "plan", "fit", "rank", "serialize"}) {
+    stage_latency_[stage] = metrics_->GetHistogram(
+        "reptile_request_stage_duration_seconds",
+        "Latency of one stage of the recommend pipeline", {{"stage", stage}});
+  }
+  if (options_.debug_request_ring > 0) {
+    request_ring_ = std::make_unique<RequestRing>(options_.debug_request_ring);
+  }
+}
+
+ReptileService::~ReptileService() = default;
 
 int64_t ReptileService::NowNs() const {
   std::chrono::steady_clock::time_point now =
@@ -895,11 +926,112 @@ std::unique_ptr<HttpBodySink> ReptileService::StartStreamingBody(const HttpReque
 }
 
 HttpResponse ReptileService::Handle(const HttpRequest& request) {
+  // Mint the trace id — or adopt the client's, when it survives sanitizing —
+  // before any routing, so even auth failures and 404s carry X-Request-Id.
+  std::string trace_id;
+  const std::string* supplied = request.FindHeader("x-request-id");
+  if (supplied != nullptr && ValidTraceId(*supplied)) {
+    trace_id = *supplied;
+  } else {
+    trace_id = MintTraceId();
+  }
+  TraceContext trace(std::move(trace_id));
+
+  HttpResponse response = HandleInternal(request, &trace);
+  const double total_seconds = trace.ElapsedSeconds();
+
+  // Metrics first (always real durations — zero_timings governs rendered
+  // output, never measurement): overall latency, the status-class counter,
+  // and the per-stage histograms fed from this request's spans.
+  request_latency_->Observe(total_seconds);
+  auto code_it = requests_by_class_.find(response.status / 100);
+  if (code_it != requests_by_class_.end()) code_it->second->Increment();
+  std::vector<TraceSpan> spans = trace.Spans();
+  for (const TraceSpan& span : spans) {
+    auto stage_it = stage_latency_.find(span.name);
+    if (stage_it != stage_latency_.end()) stage_it->second->Observe(span.duration_seconds);
+  }
+
+  // Stamp the response. Extra headers never participate in the differential
+  // byte-identity tests (those compare status + body only), and with
+  // zero_durations every Server-Timing dur renders as 0.
+  response.extra_headers.emplace_back("X-Request-Id", trace.id());
+  response.extra_headers.emplace_back("Server-Timing",
+                                      ServerTimingHeader(trace, total_seconds));
+
+  if (request_ring_ != nullptr) {
+    RequestRecord record;
+    record.trace_id = trace.id();
+    record.method = request.method;
+    record.path = request.path;
+    record.http_status = response.status;
+    record.duration_seconds = total_seconds;
+    record.spans = spans;
+    if (trace.zero_durations()) {
+      // The debug ring obeys the same determinism contract as response
+      // bodies: offsets and durations go to 0, span names stay.
+      record.duration_seconds = 0.0;
+      for (TraceSpan& span : record.spans) {
+        span.start_seconds = 0.0;
+        span.duration_seconds = 0.0;
+      }
+    }
+    request_ring_->Add(std::move(record));
+  }
+
+  const double duration_ms = total_seconds * 1e3;
+  const bool slow =
+      options_.slow_request_ms > 0.0 && duration_ms >= options_.slow_request_ms;
+  const LogLevel level = slow ? LogLevel::kWarn : LogLevel::kDebug;
+  Logger& logger = Logger::Global();
+  if (logger.Enabled(level)) {
+    std::vector<LogField> fields;
+    fields.push_back(LogField::Str("trace_id", trace.id()));
+    fields.push_back(LogField::Str("method", request.method));
+    fields.push_back(LogField::Str("path", request.path));
+    fields.push_back(LogField::Int("status", response.status));
+    fields.push_back(LogField::Num("duration_ms", duration_ms));
+    if (slow && !spans.empty()) {
+      std::string spans_json = "[";
+      for (size_t i = 0; i < spans.size(); ++i) {
+        if (i > 0) spans_json += ',';
+        spans_json += "{\"name\":" + JsonQuote(spans[i].name) +
+                      ",\"ms\":" + JsonNumber(spans[i].duration_seconds * 1e3) + "}";
+      }
+      spans_json += "]";
+      fields.push_back(LogField::Raw("spans", std::move(spans_json)));
+    }
+    logger.Log(level, slow ? "slow_request" : "request", fields);
+  }
+  return response;
+}
+
+HttpResponse ReptileService::HandleInternal(const HttpRequest& request,
+                                            TraceContext* trace) {
   if (!CheckAuth(request)) return UnauthorizedResponse();
   const std::string& path = request.path;
   if (path == "/healthz") {
     if (request.method != "GET") return MethodNotAllowed("GET");
     return HandleHealthz();
+  }
+  if (path == "/metricsz") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleMetricsz();
+  }
+  if (path == "/v1/debug/requests") {
+    // 404 when the ring is off: introspection is opt-in, and an exposed
+    // server without the flag should look like it has no such route at all.
+    if (request_ring_ == nullptr) {
+      return ErrorResponse(Status::NotFound("no route matches " + path));
+    }
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    // Read-only, but operational data (request paths, client-chosen ids):
+    // bearer-gated whenever auth is configured, unlike /healthz.
+    if (!options_.auth_token.empty() &&
+        !BearerTokenMatches(request, options_.auth_token)) {
+      return UnauthorizedResponse();
+    }
+    return HandleDebugRequests();
   }
   if (path == "/v1/datasets") {
     if (request.method == "GET") return HandleDatasetList();
@@ -933,7 +1065,7 @@ HttpResponse ReptileService::Handle(const HttpRequest& request) {
   }
   if (path == "/v1/recommend" || path == "/v1/recommend_batch") {
     if (request.method != "POST") return MethodNotAllowed("POST");
-    return HandleRecommend(request.body, /*batch=*/path == "/v1/recommend_batch");
+    return HandleRecommend(request.body, /*batch=*/path == "/v1/recommend_batch", trace);
   }
   if (path == "/v1/view") {
     if (request.method != "POST") return MethodNotAllowed("POST");
@@ -950,56 +1082,165 @@ HttpResponse ReptileService::Handle(const HttpRequest& request) {
   return ErrorResponse(Status::NotFound("no route matches " + path));
 }
 
+// Warm-path observability: both shared caches' counters, summed over every
+// registered dataset. A healthy warm deployment shows model-cache hits
+// climbing while fits stay flat — zero-fit sessions without a debugger.
+// Gauge semantics: deleting a dataset drops its (monotonic) contribution
+// from these sums, so they can step backwards across DELETE /v1/datasets.
+struct ReptileService::CacheTotals {
+  int64_t agg_entries = 0, agg_hits = 0, agg_misses = 0;
+  int64_t agg_bytes = 0, agg_evictions = 0;
+  int64_t model_entries = 0, model_hits = 0, model_misses = 0, model_fits = 0;
+  int64_t model_bytes = 0, model_evictions = 0;
+};
+
+ReptileService::CacheTotals ReptileService::CollectCacheTotals() const {
+  CacheTotals t;
+  for (const std::string& name : registry_->names()) {
+    Result<DatasetHandle> handle = registry_->Find(name);
+    if (!handle.ok()) continue;  // removed between names() and Find()
+    t.agg_entries += (*handle)->cache_entries();
+    t.agg_hits += (*handle)->cache_hits();
+    t.agg_misses += (*handle)->cache_misses();
+    t.agg_bytes += static_cast<int64_t>((*handle)->cache_bytes());
+    t.agg_evictions += (*handle)->cache_evictions();
+    t.model_entries += (*handle)->model_cache_entries();
+    t.model_hits += (*handle)->model_cache_hits();
+    t.model_misses += (*handle)->model_cache_misses();
+    t.model_fits += (*handle)->model_cache_fits();
+    t.model_bytes += static_cast<int64_t>((*handle)->model_cache_bytes());
+    t.model_evictions += (*handle)->model_cache_evictions();
+  }
+  return t;
+}
+
 HttpResponse ReptileService::HandleHealthz() {
   size_t sessions;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     sessions = sessions_.size();
   }
-  // Warm-path observability: both shared caches' counters, summed over every
-  // registered dataset. A healthy warm deployment shows model-cache hits
-  // climbing while fits stay flat — zero-fit sessions without a debugger.
-  // Gauge semantics: deleting a dataset drops its (monotonic) contribution
-  // from these sums, so they can step backwards across DELETE /v1/datasets.
-  int64_t agg_entries = 0, agg_hits = 0, agg_misses = 0;
-  int64_t agg_bytes = 0, agg_evictions = 0;
-  int64_t model_entries = 0, model_hits = 0, model_misses = 0, model_fits = 0;
-  int64_t model_bytes = 0, model_evictions = 0;
-  for (const std::string& name : registry_->names()) {
-    Result<DatasetHandle> handle = registry_->Find(name);
-    if (!handle.ok()) continue;  // removed between names() and Find()
-    agg_entries += (*handle)->cache_entries();
-    agg_hits += (*handle)->cache_hits();
-    agg_misses += (*handle)->cache_misses();
-    agg_bytes += static_cast<int64_t>((*handle)->cache_bytes());
-    agg_evictions += (*handle)->cache_evictions();
-    model_entries += (*handle)->model_cache_entries();
-    model_hits += (*handle)->model_cache_hits();
-    model_misses += (*handle)->model_cache_misses();
-    model_fits += (*handle)->model_cache_fits();
-    model_bytes += static_cast<int64_t>((*handle)->model_cache_bytes());
-    model_evictions += (*handle)->model_cache_evictions();
-  }
+  CacheTotals t = CollectCacheTotals();
+  int64_t uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                       std::chrono::steady_clock::now() - start_time_)
+                       .count();
   std::string body =
       "{\"status\":\"ok\",\"datasets\":" + std::to_string(registry_->size()) +
       ",\"sessions\":" + std::to_string(sessions) +
       ",\"sessions_evicted\":" + std::to_string(sessions_evicted_.load()) +
-      ",\"aggregate_cache\":{\"entries\":" + std::to_string(agg_entries) +
-      ",\"hits\":" + std::to_string(agg_hits) +
-      ",\"misses\":" + std::to_string(agg_misses) +
-      ",\"bytes\":" + std::to_string(agg_bytes) +
-      ",\"evictions\":" + std::to_string(agg_evictions) +
-      "},\"model_cache\":{\"entries\":" + std::to_string(model_entries) +
-      ",\"hits\":" + std::to_string(model_hits) +
-      ",\"misses\":" + std::to_string(model_misses) +
-      ",\"fits\":" + std::to_string(model_fits) +
-      ",\"bytes\":" + std::to_string(model_bytes) +
-      ",\"evictions\":" + std::to_string(model_evictions) + "}";
+      ",\"aggregate_cache\":{\"entries\":" + std::to_string(t.agg_entries) +
+      ",\"hits\":" + std::to_string(t.agg_hits) +
+      ",\"misses\":" + std::to_string(t.agg_misses) +
+      ",\"bytes\":" + std::to_string(t.agg_bytes) +
+      ",\"evictions\":" + std::to_string(t.agg_evictions) +
+      "},\"model_cache\":{\"entries\":" + std::to_string(t.model_entries) +
+      ",\"hits\":" + std::to_string(t.model_hits) +
+      ",\"misses\":" + std::to_string(t.model_misses) +
+      ",\"fits\":" + std::to_string(t.model_fits) +
+      ",\"bytes\":" + std::to_string(t.model_bytes) +
+      ",\"evictions\":" + std::to_string(t.model_evictions) +
+      "},\"uptime_seconds\":" + std::to_string(uptime) +
+      ",\"pid\":" + std::to_string(static_cast<int64_t>(getpid())) +
+      ",\"build\":" + BuildInfoJson() +
+      ",\"metrics\":" + metrics_->RenderJson();
   if (options_.transport_stats_json != nullptr) {
     body += ",\"transport\":" + options_.transport_stats_json();
   }
   body += "}";
   return HttpResponse::Json(200, std::move(body));
+}
+
+namespace {
+
+// One hand-rendered Prometheus series for the values that already live
+// elsewhere (cache sums, session counts, transport stats) and are sampled at
+// scrape time instead of mirrored into the registry on every change.
+void AppendPromSeries(std::string* out, const std::string& name, const char* help,
+                      const char* type, int64_t value) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " ";
+  *out += type;
+  *out += "\n" + name + " " + std::to_string(value) + "\n";
+}
+
+}  // namespace
+
+HttpResponse ReptileService::HandleMetricsz() {
+  EnsureProcessMetrics();
+  size_t sessions;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    sessions = sessions_.size();
+  }
+  CacheTotals t = CollectCacheTotals();
+
+  // Request-path series (this service's registry), then the process-wide
+  // gauges, then the scrape-time samples.
+  std::string body = metrics_->RenderPrometheus();
+  body += MetricsRegistry::Global().RenderPrometheus();
+  AppendPromSeries(&body, "reptile_datasets", "Registered datasets", "gauge",
+                   static_cast<int64_t>(registry_->size()));
+  AppendPromSeries(&body, "reptile_sessions", "Live sessions (defaults included)",
+                   "gauge", static_cast<int64_t>(sessions));
+  AppendPromSeries(&body, "reptile_sessions_evicted_total",
+                   "Sessions evicted by the idle TTL", "counter",
+                   sessions_evicted_.load());
+  AppendPromSeries(&body, "reptile_aggregate_cache_entries",
+                   "Shared aggregate-cache entries over live datasets", "gauge",
+                   t.agg_entries);
+  AppendPromSeries(&body, "reptile_aggregate_cache_hits",
+                   "Aggregate-cache hits summed over live datasets", "gauge",
+                   t.agg_hits);
+  AppendPromSeries(&body, "reptile_aggregate_cache_misses",
+                   "Aggregate-cache misses summed over live datasets", "gauge",
+                   t.agg_misses);
+  AppendPromSeries(&body, "reptile_aggregate_cache_bytes",
+                   "Aggregate-cache resident bytes over live datasets", "gauge",
+                   t.agg_bytes);
+  AppendPromSeries(&body, "reptile_aggregate_cache_evictions",
+                   "Aggregate-cache evictions summed over live datasets", "gauge",
+                   t.agg_evictions);
+  AppendPromSeries(&body, "reptile_model_cache_entries",
+                   "Fitted-model cache entries over live datasets", "gauge",
+                   t.model_entries);
+  AppendPromSeries(&body, "reptile_model_cache_hits",
+                   "Model-cache hits summed over live datasets", "gauge", t.model_hits);
+  AppendPromSeries(&body, "reptile_model_cache_misses",
+                   "Model-cache misses summed over live datasets", "gauge",
+                   t.model_misses);
+  AppendPromSeries(&body, "reptile_model_cache_fits",
+                   "Models fitted, summed over live datasets", "gauge", t.model_fits);
+  AppendPromSeries(&body, "reptile_model_cache_bytes",
+                   "Model-cache resident bytes over live datasets", "gauge",
+                   t.model_bytes);
+  AppendPromSeries(&body, "reptile_model_cache_evictions",
+                   "Model-cache evictions summed over live datasets", "gauge",
+                   t.model_evictions);
+
+  // Front-end transport counters (reactor: connections, backpressure trips,
+  // ...), re-exported from the same hook /healthz uses. Top-level integers
+  // only — that is the whole StatsJson shape.
+  if (options_.transport_stats_json != nullptr) {
+    Result<JsonValue> stats = ParseJson(options_.transport_stats_json());
+    if (stats.ok() && stats->is_object()) {
+      for (const auto& [key, value] : stats->object_items()) {
+        if (!value.IsInteger()) continue;
+        AppendPromSeries(&body, "reptile_transport_" + key,
+                         "Front-end transport counter (see /healthz transport)",
+                         "gauge", value.IntValue());
+      }
+    }
+  }
+
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ReptileService::HandleDebugRequests() {
+  return HttpResponse::Json(200, request_ring_->ToJson());
 }
 
 HttpResponse ReptileService::HandleDatasetList() {
@@ -1341,8 +1582,12 @@ HttpResponse ReptileService::HandleSessionDelete(const std::string& id) {
   return HttpResponse::Json(200, "{\"deleted\":" + JsonQuote(id) + "}");
 }
 
-HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch) {
-  Result<JsonValue> parsed = ParseJson(body);
+HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch,
+                                             TraceContext* trace) {
+  Result<JsonValue> parsed = [&] {
+    ScopedSpan parse_span(trace, "parse");
+    return ParseJson(body);
+  }();
   if (!parsed.ok()) return ErrorResponse(parsed.status());
   if (!parsed->is_object()) {
     return ErrorResponse(WrongType("request body", "an object", *parsed));
@@ -1389,6 +1634,8 @@ HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch
 
   Result<WireOptions> options = ParseOptions(*parsed);
   if (!options.ok()) return ErrorResponse(options.status());
+  options->batch.trace = trace;
+  if (trace != nullptr && options->zero_timings) trace->set_zero_durations(true);
 
   if (batch) {
     Result<BatchExploreResponse> response = [&] {
@@ -1399,7 +1646,11 @@ HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch
     }();
     if (!response.ok()) return ErrorResponse(response.status());
     if (options->zero_timings) ZeroTimings(&*response);
-    std::vector<std::string> pieces = response->ToJsonPieces();
+    std::vector<std::string> pieces;
+    {
+      ScopedSpan serialize_span(trace, "serialize");
+      pieces = response->ToJsonPieces();
+    }
     size_t total = 0;
     for (const std::string& piece : pieces) total += piece.size();
     if (total < options_.stream_threshold_bytes) {
@@ -1428,7 +1679,12 @@ HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch
   }();
   if (!response.ok()) return ErrorResponse(response.status());
   if (options->zero_timings) ZeroTimings(&*response);
-  return HttpResponse::Json(200, response->ToJson());
+  std::string json;
+  {
+    ScopedSpan serialize_span(trace, "serialize");
+    json = response->ToJson();
+  }
+  return HttpResponse::Json(200, std::move(json));
 }
 
 HttpResponse ReptileService::HandleView(const std::string& body) {

@@ -10,6 +10,15 @@
 //                              dataset's counters are monotonic, but deleting
 //                              a dataset drops its contribution, so treat the
 //                              sums as a gauge, not a monotonic counter
+//   GET    /metricsz           Prometheus text exposition (version 0.0.4):
+//                              request-latency and per-stage histograms, the
+//                              cache/session/transport counters, and the
+//                              process-wide gauges — served identically by
+//                              both front ends
+//   GET    /v1/debug/requests  the bounded ring of recent request trace
+//                              records (opt-in via ServiceOptions::
+//                              debug_request_ring; requires the bearer token
+//                              when auth is configured)
 //   GET    /v1/datasets        registered datasets: columns, hierarchies, and
 //                              the DEFAULT session's drill state
 //   POST   /v1/datasets        load a dataset into the registry — server-side
@@ -120,7 +129,12 @@
 
 namespace reptile {
 
-class JsonValue;  // server/json.h
+class JsonValue;        // server/json.h
+class TraceContext;     // obs/trace.h
+class RequestRing;      // obs/request_ring.h
+class MetricsRegistry;  // obs/metrics.h
+class Counter;          // obs/metrics.h
+class Histogram;        // obs/metrics.h
 
 struct ServiceOptions {
   // Enables POST /v1/_debug/status {"code","message"}, which renders the
@@ -177,6 +191,18 @@ struct ServiceOptions {
   // wires the front end's counters (e.g. ReactorServer::StatsJson) in here.
   std::function<std::string()> transport_stats_json;
 
+  // Capacity of the in-memory ring of recent request trace records served
+  // at GET /v1/debug/requests (trace id, route, status, stage spans). 0
+  // (the default) disables both the ring and the route — debug introspection
+  // is opt-in. When auth_token is set the route requires the bearer token
+  // (request paths and ids are operational data, not for anonymous probes).
+  size_t debug_request_ring = 0;
+
+  // Requests slower than this many milliseconds are logged at warn level
+  // (event "slow_request") with their stage spans, regardless of the
+  // logger's per-request debug line. 0 (the default) disables the check.
+  double slow_request_ms = 0.0;
+
   // Total cache memory target per dataset, in bytes, split between the
   // dataset's shared aggregate cache and its fitted-model cache (see
   // PreparedDataset::SetCacheBudgetBytes). Applied to every dataset the
@@ -194,6 +220,8 @@ class ReptileService {
   /// sessions, or a second server): datasets added on either side are
   /// visible to both.
   ReptileService(std::shared_ptr<DatasetRegistry> registry, ServiceOptions options);
+
+  ~ReptileService();  // out-of-line: members are forward-declared obs types
 
   /// Registers `dataset` under `name` and opens its default session (the
   /// deprecated {"dataset": name} alias target), committing `commits` in
@@ -228,6 +256,12 @@ class ReptileService {
   Status DeleteSession(const std::string& id);
 
   /// Routes one request; never throws. Thread-safe across connections.
+  /// Observability wrapper around the routing chain: mints (or adopts from a
+  /// valid X-Request-Id header) the request's trace id, threads a
+  /// TraceContext through the recommend pipeline, and stamps every response
+  /// with X-Request-Id and Server-Timing headers while recording the
+  /// request into the latency histograms, the debug ring (when enabled),
+  /// and the structured log.
   HttpResponse Handle(const HttpRequest& request);
 
   /// Streaming-upload hook for the front ends (HttpServerOptions /
@@ -329,7 +363,18 @@ class ReptileService {
   Result<std::string> ResolveUnderDatasetRoot(const std::string& relative,
                                               const std::string& field) const;
 
+  /// The routing chain proper (Handle() without the observability wrapper).
+  HttpResponse HandleInternal(const HttpRequest& request, TraceContext* trace);
+
+  /// Sums both shared caches' counters over every live dataset (gauge
+  /// semantics: a deleted dataset drops its contribution) — the one
+  /// collection point behind /healthz and /metricsz.
+  struct CacheTotals;
+  CacheTotals CollectCacheTotals() const;
+
   HttpResponse HandleHealthz();
+  HttpResponse HandleMetricsz();
+  HttpResponse HandleDebugRequests();
   HttpResponse HandleDatasetList();
   HttpResponse HandleDatasetCreate(const std::string& body);
   HttpResponse HandleDatasetDelete(const std::string& name);
@@ -338,7 +383,7 @@ class ReptileService {
   HttpResponse HandleSessionCreate(const std::string& body);
   HttpResponse HandleSessionGet(const std::string& id);
   HttpResponse HandleSessionDelete(const std::string& id);
-  HttpResponse HandleRecommend(const std::string& body, bool batch);
+  HttpResponse HandleRecommend(const std::string& body, bool batch, TraceContext* trace);
   HttpResponse HandleView(const std::string& body);
   HttpResponse HandleCommit(const std::string& body);
   HttpResponse HandleDebugStatus(const std::string& body);
@@ -356,6 +401,18 @@ class ReptileService {
   uint64_t next_session_ = 1;
   std::atomic<int64_t> sessions_evicted_{0};
   std::atomic<int64_t> last_sweep_ns_{0};  // throttles EvictIdleSessions
+
+  // Observability state. The registry is per-service (two services in one
+  // process — e.g. the differential test stacks — must not share request
+  // series); genuinely process-wide series live on MetricsRegistry::Global().
+  // Series pointers are cached at construction so the per-request path never
+  // takes the registry mutex.
+  const std::chrono::steady_clock::time_point start_time_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  Histogram* request_latency_ = nullptr;           // reptile_http_request_duration_seconds
+  std::map<int, Counter*> requests_by_class_;      // reptile_http_requests_total{code="Nxx"}
+  std::map<std::string, Histogram*> stage_latency_;  // ..._stage_duration_seconds{stage=...}
+  std::unique_ptr<RequestRing> request_ring_;      // null unless opted in
 };
 
 }  // namespace reptile

@@ -19,8 +19,10 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -221,6 +223,49 @@ struct WireCall {
   std::string content_type = "application/json";
 };
 
+// /healthz carries fields that are volatile across two independently
+// constructed service instances — uptime_seconds can straddle a second
+// boundary and the per-service "metrics" object accumulates real latencies —
+// so scrub exactly those two before byte-comparing; every other healthz byte
+// stays pinned.
+std::string NormalizeHealthz(const std::string& body) {
+  std::string out = body;
+  constexpr std::string_view kUptime = "\"uptime_seconds\":";
+  size_t pos = out.find(kUptime);
+  if (pos != std::string::npos) {
+    size_t begin = pos + kUptime.size();
+    size_t end = begin;
+    while (end < out.size() && out[end] >= '0' && out[end] <= '9') ++end;
+    out.replace(begin, end - begin, "0");
+  }
+  constexpr std::string_view kMetrics = "\"metrics\":";
+  pos = out.find(kMetrics);
+  if (pos != std::string::npos && pos + kMetrics.size() < out.size() &&
+      out[pos + kMetrics.size()] == '{') {
+    // String-aware brace matching: histogram help text could hold braces.
+    size_t begin = pos + kMetrics.size();
+    size_t end = begin;
+    int depth = 0;
+    bool in_string = false, escaped = false;
+    for (; end < out.size(); ++end) {
+      char c = out[end];
+      if (in_string) {
+        if (escaped) escaped = false;
+        else if (c == '\\') escaped = true;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) { ++end; break; }
+      }
+    }
+    out.replace(begin, end - begin, "{}");
+  }
+  return out;
+}
+
 void RunDifferentialSequence(const std::vector<WireCall>& calls, Stack& a, Stack& b) {
   HttpClient client_a("127.0.0.1", a.port);
   HttpClient client_b("127.0.0.1", b.port);
@@ -235,7 +280,11 @@ void RunDifferentialSequence(const std::vector<WireCall>& calls, Stack& a, Stack
     ASSERT_TRUE(ra.ok()) << call.label << ": " << ra.status().ToString();
     ASSERT_TRUE(rb.ok()) << call.label << ": " << rb.status().ToString();
     EXPECT_EQ(ra->status, rb->status) << call.label;
-    EXPECT_EQ(ra->body, rb->body) << call.label;
+    if (call.path == "/healthz" && call.method == "GET") {
+      EXPECT_EQ(NormalizeHealthz(ra->body), NormalizeHealthz(rb->body)) << call.label;
+    } else {
+      EXPECT_EQ(ra->body, rb->body) << call.label;
+    }
   }
 }
 
@@ -290,6 +339,61 @@ TEST(NetDifferentialTest, FullLifecycleByteIdenticalAcrossFrontEnds) {
       {"healthz after lifecycle", "GET", "/healthz", ""},
   };
   RunDifferentialSequence(calls, threaded, reactor);
+}
+
+// /metricsz on BOTH front ends: structural assertions only (latency values
+// are scheduling-dependent, so no byte comparison) — Prometheus content
+// type, the request-latency histogram with cumulative buckets, the stage
+// and cache series, and a trace id echoed on the scrape response itself.
+TEST(NetDifferentialTest, MetricszServedIdenticallyShapedOnBothFrontEnds) {
+  Stack threaded(/*reactor=*/false);
+  Stack reactor(/*reactor=*/true);
+  for (Stack* stack : {&threaded, &reactor}) {
+    HttpClient client("127.0.0.1", stack->port);
+    // Drive one recommend through first so the stage histograms are fed.
+    Result<HttpClientResponse> rec =
+        client.Post("/v1/recommend", RecommendBody(R"("dataset":"panel")", 0));
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    ASSERT_EQ(rec->status, 200);
+
+    Result<HttpClientResponse> metrics = client.Get("/metricsz");
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    EXPECT_EQ(metrics->status, 200);
+    ASSERT_NE(metrics->FindHeader("content-type"), nullptr);
+    EXPECT_NE(metrics->FindHeader("content-type")->find("version=0.0.4"),
+              std::string::npos);
+    const std::string& body = metrics->body;
+    for (const char* needle :
+         {"# TYPE reptile_http_request_duration_seconds histogram",
+          "reptile_http_request_duration_seconds_bucket{le=\"+Inf\"}",
+          "reptile_http_request_duration_seconds_count",
+          "reptile_http_requests_total{code=\"2xx\"}",
+          "reptile_request_stage_duration_seconds_bucket{stage=\"fit\",le=\"+Inf\"}",
+          "reptile_aggregate_cache_hits", "reptile_model_cache_fits",
+          "reptile_sessions", "reptile_datasets",
+          "reptile_shared_pool_queue_depth"}) {
+      EXPECT_NE(body.find(needle), std::string::npos)
+          << "missing " << needle << " in:\n" << body.substr(0, 2000);
+    }
+    ASSERT_NE(metrics->FindHeader("x-request-id"), nullptr);
+    EXPECT_FALSE(metrics->FindHeader("x-request-id")->empty());
+  }
+  // With the transport hook wired (as serve_main does for --reactor), the
+  // front end's counters are re-exported as reptile_transport_* gauges.
+  auto transport = std::make_shared<std::function<std::string()>>();
+  ServiceOptions with_transport;
+  with_transport.transport_stats_json = [transport] {
+    return *transport ? (*transport)() : std::string("null");
+  };
+  Stack reactor2(/*reactor=*/true, std::move(with_transport));
+  *transport = [&reactor2] { return reactor2.reactor_server->StatsJson(); };
+  HttpClient client2("127.0.0.1", reactor2.port);
+  ASSERT_TRUE(client2.Get("/healthz").ok());
+  Result<HttpClientResponse> metrics2 = client2.Get("/metricsz");
+  ASSERT_TRUE(metrics2.ok()) << metrics2.status().ToString();
+  EXPECT_NE(metrics2->body.find("reptile_transport_requests_dispatched"),
+            std::string::npos)
+      << metrics2->body.substr(0, 2000);
 }
 
 TEST(NetDifferentialTest, ConcurrentClientsSeeByteIdenticalBodies) {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -16,6 +17,8 @@
 #include "common/json_util.h"
 #include "datagen/panel_gen.h"
 #include "gtest/gtest.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "reptile/reptile.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
@@ -155,13 +158,33 @@ TEST_F(ServerTest, Healthz) {
   Result<HttpClientResponse> response = client.Get("/healthz");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status, 200);
+  Result<JsonValue> parsed = ParseJson(response->body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("status")->string_value(), "ok");
+  EXPECT_EQ(parsed->Find("datasets")->IntValue(), 3);
+  EXPECT_EQ(parsed->Find("sessions")->IntValue(), 3);
+  EXPECT_EQ(parsed->Find("sessions_evicted")->IntValue(), 0);
   // Fresh fixture: no recommends have run, so both shared caches read zero.
-  EXPECT_EQ(response->body,
-            "{\"status\":\"ok\",\"datasets\":3,\"sessions\":3,\"sessions_evicted\":0,"
-            "\"aggregate_cache\":{\"entries\":0,\"hits\":0,\"misses\":0,"
-            "\"bytes\":0,\"evictions\":0},"
-            "\"model_cache\":{\"entries\":0,\"hits\":0,\"misses\":0,\"fits\":0,"
-            "\"bytes\":0,\"evictions\":0}}");
+  const JsonValue* agg = parsed->Find("aggregate_cache");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->Find("entries")->IntValue(), 0);
+  EXPECT_EQ(agg->Find("hits")->IntValue(), 0);
+  const JsonValue* model = parsed->Find("model_cache");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->Find("fits")->IntValue(), 0);
+  EXPECT_EQ(model->Find("evictions")->IntValue(), 0);
+  // Process identity (satellite: uptime/build/pid).
+  ASSERT_NE(parsed->Find("uptime_seconds"), nullptr);
+  EXPECT_GE(parsed->Find("uptime_seconds")->IntValue(), 0);
+  EXPECT_EQ(parsed->Find("pid")->IntValue(), static_cast<int64_t>(getpid()));
+  const JsonValue* build = parsed->Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->Find("git_hash")->string_value().empty());
+  EXPECT_FALSE(build->Find("compile_flags")->string_value().empty());
+  // The embedded metrics summary carries the request-latency family.
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->Find("reptile_http_request_duration_seconds"), nullptr);
   ASSERT_NE(response->FindHeader("content-type"), nullptr);
   EXPECT_EQ(*response->FindHeader("content-type"), "application/json");
 }
@@ -1218,6 +1241,233 @@ TEST_F(ServerTest, SessionCreateAcceptsModelOptions) {
   ExpectError(client.Post("/v1/sessions",
                           R"({"dataset":"panel","options":{"model":{"backend":"gpu"}}})"),
               400, "INVALID_ARGUMENT");
+}
+
+// ---------------------------------------------------------------------------
+// Observability: /metricsz, X-Request-Id, Server-Timing, the debug ring, and
+// the per-request log line.
+
+// The value of `name` among a response's extra headers, or nullptr.
+const std::string* FindExtraHeader(const HttpResponse& response, const std::string& name) {
+  for (const auto& [header, value] : response.extra_headers) {
+    if (header == name) return &value;
+  }
+  return nullptr;
+}
+
+// A single-complaint recommend body against the "panel" dataset.
+std::string SingleRecommendBody(const std::string& extra_options = std::string()) {
+  return R"({"dataset":"panel","complaint":{"aggregate":"std","measure":"severity",)"
+         R"("where":[{"column":"year","value":"y1"}]},"options":{"zero_timings":false)" +
+         extra_options + "}}";
+}
+
+HttpRequest MakeRequest(const std::string& method, const std::string& path,
+                        std::string body = std::string()) {
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  request.body = std::move(body);
+  return request;
+}
+
+TEST_F(ServerTest, MetricszOverHttp) {
+  HttpClient client = Client();
+  Result<HttpClientResponse> posted =
+      client.Post("/v1/recommend_batch", PanelBatchBody());
+  ASSERT_TRUE(posted.ok()) << posted.status().ToString();
+  ASSERT_EQ(posted->status, 200) << posted->body;
+
+  Result<HttpClientResponse> scraped = client.Get("/metricsz");
+  ASSERT_TRUE(scraped.ok()) << scraped.status().ToString();
+  EXPECT_EQ(scraped->status, 200);
+  ASSERT_NE(scraped->FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*scraped->FindHeader("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string& body = scraped->body;
+  // The request-latency family counted the POST (the scrape itself is only
+  // observed after rendering).
+  EXPECT_NE(body.find("# TYPE reptile_http_request_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("reptile_http_request_duration_seconds_count 1\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("reptile_http_requests_total{code=\"2xx\"} 1\n"),
+            std::string::npos)
+      << body;
+  // Stage histograms fed from the recommend's trace spans.
+  for (const char* stage : {"parse", "validate", "plan", "fit", "rank", "serialize"}) {
+    EXPECT_NE(body.find("reptile_request_stage_duration_seconds_count{stage=\"" +
+                        std::string(stage) + "\"} 1\n"),
+              std::string::npos)
+        << stage << " missing in:\n"
+        << body;
+  }
+  // Cache/session/process series rendered at scrape time.
+  EXPECT_NE(body.find("reptile_aggregate_cache_hits "), std::string::npos);
+  EXPECT_NE(body.find("reptile_model_cache_fits "), std::string::npos);
+  EXPECT_NE(body.find("reptile_datasets 3\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("reptile_sessions 3\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("reptile_shared_pool_queue_depth "), std::string::npos);
+
+  // The route is GET-only.
+  Result<HttpClientResponse> posted_scrape = client.Post("/metricsz", "{}");
+  ASSERT_TRUE(posted_scrape.ok());
+  EXPECT_EQ(posted_scrape->status, 405);
+}
+
+TEST(ServerObservability, RequestIdAdoptedEchoedRetainedAndLogged) {
+  const std::string log_path = ::testing::TempDir() + "/reptile_server_obs_test.jsonl";
+  std::remove(log_path.c_str());
+  ASSERT_TRUE(Logger::Global().Configure(LogLevel::kDebug, log_path));
+
+  ServiceOptions options;
+  options.debug_request_ring = 8;
+  ReptileService service(options);
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
+
+  HttpRequest request = MakeRequest("POST", "/v1/recommend", SingleRecommendBody());
+  request.headers.emplace_back("x-request-id", "trace-abc-42");
+  HttpResponse response = service.Handle(request);
+  ASSERT_TRUE(Logger::Global().Configure(LogLevel::kInfo, ""));
+  EXPECT_EQ(response.status, 200) << response.body;
+
+  // Echoed on the response, with the request's stage timings alongside.
+  const std::string* id = FindExtraHeader(response, "X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(*id, "trace-abc-42");
+  const std::string* timing = FindExtraHeader(response, "Server-Timing");
+  ASSERT_NE(timing, nullptr);
+  for (const char* stage : {"parse;", "validate;", "plan;", "fit;", "rank;",
+                            "serialize;", "total;dur="}) {
+    EXPECT_NE(timing->find(stage), std::string::npos) << *timing;
+  }
+
+  // Retained in the debug ring.
+  HttpResponse ring = service.Handle(MakeRequest("GET", "/v1/debug/requests"));
+  ASSERT_EQ(ring.status, 200) << ring.body;
+  EXPECT_NE(ring.body.find("\"trace_id\":\"trace-abc-42\""), std::string::npos)
+      << ring.body;
+  EXPECT_NE(ring.body.find("\"path\":\"/v1/recommend\""), std::string::npos);
+  EXPECT_NE(ring.body.find("\"name\":\"fit\""), std::string::npos) << ring.body;
+
+  // And joined to the structured log line.
+  std::ifstream log_file(log_path);
+  std::string contents((std::istreambuf_iterator<char>(log_file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"event\":\"request\""), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"trace_id\":\"trace-abc-42\""), std::string::npos)
+      << contents;
+  EXPECT_NE(contents.find("\"status\":200"), std::string::npos) << contents;
+  std::remove(log_path.c_str());
+}
+
+TEST(ServerObservability, HostileRequestIdIsReplacedWithMintedId) {
+  ReptileService service;
+  HttpRequest request = MakeRequest("GET", "/healthz");
+  request.headers.emplace_back("x-request-id", "bad id\r\nX-Evil: 1");
+  HttpResponse response = service.Handle(request);
+  EXPECT_EQ(response.status, 200);
+  const std::string* id = FindExtraHeader(response, "X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_NE(*id, "bad id\r\nX-Evil: 1");
+  EXPECT_EQ(id->size(), 16u);
+  EXPECT_TRUE(ValidTraceId(*id)) << *id;
+}
+
+TEST(ServerObservability, ZeroTimingsZeroesRenderedTimingsButNotMetrics) {
+  ServiceOptions options;
+  options.debug_request_ring = 4;
+  ReptileService service(options);
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
+
+  HttpRequest request = MakeRequest(
+      "POST", "/v1/recommend",
+      R"({"dataset":"panel","complaint":{"aggregate":"std","measure":"severity",)"
+      R"("where":[{"column":"year","value":"y1"}]},"options":{"zero_timings":true}})");
+  HttpResponse response = service.Handle(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  // Every Server-Timing duration renders as 0.000 — span names still prove
+  // the stages ran.
+  const std::string* timing = FindExtraHeader(response, "Server-Timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_NE(timing->find("fit;"), std::string::npos) << *timing;
+  for (size_t pos = timing->find("dur="); pos != std::string::npos;
+       pos = timing->find("dur=", pos + 1)) {
+    EXPECT_EQ(timing->substr(pos, 9), "dur=0.000") << *timing;
+  }
+
+  // Ring records obey the same contract: durations and offsets zeroed.
+  HttpResponse ring = service.Handle(MakeRequest("GET", "/v1/debug/requests"));
+  ASSERT_EQ(ring.status, 200);
+  EXPECT_NE(ring.body.find("\"duration_ms\":0,"), std::string::npos) << ring.body;
+  EXPECT_NE(ring.body.find("\"start_ms\":0,"), std::string::npos) << ring.body;
+
+  // Metrics still observed the real duration: the latency sum is not zero.
+  HttpResponse scraped = service.Handle(MakeRequest("GET", "/metricsz"));
+  ASSERT_EQ(scraped.status, 200);
+  EXPECT_NE(scraped.body.find("reptile_http_request_duration_seconds_count"),
+            std::string::npos);
+  EXPECT_EQ(scraped.body.find("reptile_http_request_duration_seconds_sum 0\n"),
+            std::string::npos)
+      << scraped.body;
+}
+
+TEST(ServerObservability, DebugRequestsRouteIsOptInAndAuthGated) {
+  // Off by default: the route does not exist.
+  {
+    ReptileService service;
+    HttpResponse response = service.Handle(MakeRequest("GET", "/v1/debug/requests"));
+    EXPECT_EQ(response.status, 404);
+  }
+  // On with auth configured: bearer-gated, unlike /healthz.
+  ServiceOptions options;
+  options.debug_request_ring = 4;
+  options.auth_token = "sekrit";
+  ReptileService service(options);
+
+  HttpResponse denied = service.Handle(MakeRequest("GET", "/v1/debug/requests"));
+  EXPECT_EQ(denied.status, 401);
+
+  HttpRequest authed = MakeRequest("GET", "/v1/debug/requests");
+  authed.headers.emplace_back("authorization", "Bearer sekrit");
+  HttpResponse granted = service.Handle(authed);
+  EXPECT_EQ(granted.status, 200) << granted.body;
+  EXPECT_NE(granted.body.find("\"capacity\":4"), std::string::npos) << granted.body;
+
+  HttpResponse open_health = service.Handle(MakeRequest("GET", "/healthz"));
+  EXPECT_EQ(open_health.status, 200);
+
+  HttpRequest posted = MakeRequest("POST", "/v1/debug/requests");
+  posted.headers.emplace_back("authorization", "Bearer sekrit");
+  EXPECT_EQ(service.Handle(posted).status, 405);
+}
+
+TEST(ServerObservability, SlowRequestThresholdLogsAtWarnWithSpans) {
+  const std::string log_path = ::testing::TempDir() + "/reptile_slow_req_test.jsonl";
+  std::remove(log_path.c_str());
+  // Level warn: ordinary per-request debug lines are filtered out, so
+  // anything in the file came from the slow-request path.
+  ASSERT_TRUE(Logger::Global().Configure(LogLevel::kWarn, log_path));
+
+  ServiceOptions options;
+  options.slow_request_ms = 1e-6;  // everything is "slow"
+  ReptileService service(options);
+  ASSERT_TRUE(service.AddDataset("panel", MakePanel(), {"time"}).ok());
+  HttpResponse response =
+      service.Handle(MakeRequest("POST", "/v1/recommend", SingleRecommendBody()));
+  ASSERT_TRUE(Logger::Global().Configure(LogLevel::kInfo, ""));
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  std::ifstream log_file(log_path);
+  std::string contents((std::istreambuf_iterator<char>(log_file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"level\":\"warn\""), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"event\":\"slow_request\""), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"spans\":[{\"name\":\"parse\""), std::string::npos)
+      << contents;
+  std::remove(log_path.c_str());
 }
 
 }  // namespace
