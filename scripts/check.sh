@@ -109,16 +109,19 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
     sleep 0.1
   done
   [[ -n "$PORT" ]] || { echo "server never reported its port"; cat "$SERVE_LOG"; exit 1; }
-  curl -fsS "http://127.0.0.1:$PORT/healthz" | grep -q '"status":"ok"'
+  # No `grep -q` downstream of curl: -q exits on first match, and under
+  # pipefail a still-writing curl then dies with EPIPE (exit 23). Plain grep
+  # reads to EOF, and >/dev/null keeps the gate silent.
+  curl -fsS "http://127.0.0.1:$PORT/healthz" | grep '"status":"ok"' >/dev/null
   # The Prometheus endpoint serves the request-latency histogram, and a
   # client-supplied X-Request-Id is echoed back on the response.
   curl -fsS "http://127.0.0.1:$PORT/metricsz" \
-    | grep -q 'reptile_http_request_duration_seconds_bucket'
+    | grep 'reptile_http_request_duration_seconds_bucket' >/dev/null
   curl -fsS -D - -o /dev/null -H 'X-Request-Id: smoke-trace-1' \
-      "http://127.0.0.1:$PORT/healthz" | grep -qi '^x-request-id: smoke-trace-1'
+      "http://127.0.0.1:$PORT/healthz" | grep -i '^x-request-id: smoke-trace-1' >/dev/null
   curl -fsS -X POST "http://127.0.0.1:$PORT/v1/recommend" \
       -d '{"dataset":"demo","complaint":{"aggregate":"std","measure":"severity","where":[{"column":"year","value":"y3"}]}}' \
-    | grep -q '"best_index"'
+    | grep '"best_index"' >/dev/null
   # Unknown datasets must map to HTTP 404 through the Status contract.
   [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
         "http://127.0.0.1:$PORT/v1/recommend" -d '{"dataset":"nope","complaint":{"aggregate":"count"}}')" == "404" ]]
@@ -126,7 +129,7 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   echo "--- server smoke: full dataset/session lifecycle"
   # Upload a CSV inline into the registry (and pre-commit its time hierarchy).
   UPLOAD='{"name":"up","csv":"d,y,m\nd0,y0,1\nd0,y0,2\nd0,y1,3\nd0,y1,4\nd1,y0,5\nd1,y0,3\nd1,y1,2\nd1,y1,6\nd2,y0,4\nd2,y0,2\nd2,y1,5\nd2,y1,1\n","dimensions":["d","y"],"measures":["m"],"hierarchies":[{"name":"geo","attributes":["d"]},{"name":"time","attributes":["y"]}],"commits":["time"]}'
-  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/datasets" -d "$UPLOAD" | grep -q '"dataset":"up"'
+  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/datasets" -d "$UPLOAD" | grep '"dataset":"up"' >/dev/null
   # Create a per-client session restoring the committed drill state.
   SID="$(curl -fsS -X POST "http://127.0.0.1:$PORT/v1/sessions" \
       -d '{"dataset":"up","committed":{"time":1}}' \
@@ -135,12 +138,12 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   # Recommend and commit through the session id.
   curl -fsS -X POST "http://127.0.0.1:$PORT/v1/recommend" \
       -d '{"session":"'"$SID"'","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
-    | grep -q '"best_index"'
+    | grep '"best_index"' >/dev/null
   curl -fsS -X POST "http://127.0.0.1:$PORT/v1/commit" \
-      -d '{"session":"'"$SID"'","hierarchy":"geo"}' | grep -q '"depth":1'
+      -d '{"session":"'"$SID"'","hierarchy":"geo"}' | grep '"depth":1' >/dev/null
   # Snapshot shows the committed drill state; delete ends the session.
-  curl -fsS "http://127.0.0.1:$PORT/v1/sessions/$SID" | grep -q '"geo":1'
-  curl -fsS -X DELETE "http://127.0.0.1:$PORT/v1/sessions/$SID" | grep -q '"deleted"'
+  curl -fsS "http://127.0.0.1:$PORT/v1/sessions/$SID" | grep '"geo":1' >/dev/null
+  curl -fsS -X DELETE "http://127.0.0.1:$PORT/v1/sessions/$SID" | grep '"deleted"' >/dev/null
   [[ "$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/v1/sessions/$SID")" == "404" ]]
 
   kill -TERM "$SERVE_PID"
@@ -163,7 +166,7 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   done
   [[ -n "$RPORT" ]] || { echo "reactor server never reported its port"; cat "$REACTOR_LOG"; exit 1; }
   # /healthz is auth-exempt and must surface the reactor's transport counters.
-  curl -fsS "http://127.0.0.1:$RPORT/healthz" | grep -q '"transport":{"open_connections"'
+  curl -fsS "http://127.0.0.1:$RPORT/healthz" | grep '"transport":{"open_connections"' >/dev/null
   # Mutating routes require the bearer token: 401 without, 201 with — and the
   # with-token path is a text/csv body streamed straight into the parser.
   [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
@@ -176,15 +179,108 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   # Reads stay open without a token; the streamed dataset is queryable.
   curl -fsS -X POST "http://127.0.0.1:$RPORT/v1/recommend" \
       -d '{"dataset":"s","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
-    | grep -q '"best_index"'
+    | grep '"best_index"' >/dev/null
   # /metricsz works on the reactor front end too, including the transport
   # counters only this front end produces.
   curl -fsS "http://127.0.0.1:$RPORT/metricsz" \
-    | grep -q 'reptile_transport_requests_dispatched'
+    | grep 'reptile_transport_requests_dispatched' >/dev/null
   kill -TERM "$REACTOR_PID"
   wait "$REACTOR_PID"
   trap - EXIT
   echo "--- reactor smoke passed"
+
+  echo "--- loadgen: schedule determinism (same seed => identical bytes)"
+  # The schedule is a pure function of (scenario, seed): two dump runs must
+  # be byte-identical, and a different seed must produce different bytes.
+  "$BUILD_DIR/reptile_loadgen" --scenario both --seed 42 --dump-schedule "$BUILD_DIR/sched_a"
+  "$BUILD_DIR/reptile_loadgen" --scenario both --seed 42 --dump-schedule "$BUILD_DIR/sched_b"
+  cmp "$BUILD_DIR/sched_a.steady" "$BUILD_DIR/sched_b.steady"
+  cmp "$BUILD_DIR/sched_a.burst" "$BUILD_DIR/sched_b.burst"
+  "$BUILD_DIR/reptile_loadgen" --scenario steady --seed 43 --dump-schedule "$BUILD_DIR/sched_c"
+  if cmp -s "$BUILD_DIR/sched_a.steady" "$BUILD_DIR/sched_c"; then
+    echo "FAIL: different seeds produced identical schedules" >&2
+    exit 1
+  fi
+
+  echo "--- loadgen: steady open-loop replay, every response byte-validated"
+  # Unthrottled server: the steady scenario must complete with zero failures,
+  # zero mismatches, zero timeouts — loadgen itself exits non-zero otherwise,
+  # and the greps double-check the recorded report. Structural gates only:
+  # never absolute timings (CI machines are slow and shared).
+  STEADY_LOG="$(mktemp)"
+  "$BUILD_DIR/reptile_serve" --demo --port 0 --http-threads 4 > "$STEADY_LOG" 2>&1 &
+  STEADY_PID=$!
+  trap 'kill -9 "$STEADY_PID" 2>/dev/null || true' EXIT
+  LPORT=""
+  for _ in $(seq 1 100); do
+    LPORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$STEADY_LOG")"
+    [[ -n "$LPORT" ]] && break
+    kill -0 "$STEADY_PID" 2>/dev/null || { cat "$STEADY_LOG"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$LPORT" ]] || { echo "steady server never reported its port"; cat "$STEADY_LOG"; exit 1; }
+  "$BUILD_DIR/reptile_loadgen" --port "$LPORT" --scenario steady --seed 42 \
+    --out "$BUILD_DIR/BENCH_workload_steady.json"
+  require_bench_json "$BUILD_DIR/BENCH_workload_steady.json"
+  grep -q '"scenario":"steady"' "$BUILD_DIR/BENCH_workload_steady.json"
+  grep -q '"mismatches":0' "$BUILD_DIR/BENCH_workload_steady.json"
+  grep -q '"failures":0' "$BUILD_DIR/BENCH_workload_steady.json"
+  grep -q '"timeouts":0' "$BUILD_DIR/BENCH_workload_steady.json"
+  grep -q '"p50_ms":' "$BUILD_DIR/BENCH_workload_steady.json"
+  grep -q '"p999_ms":' "$BUILD_DIR/BENCH_workload_steady.json"
+  kill -TERM "$STEADY_PID"
+  wait "$STEADY_PID"
+  trap - EXIT
+
+  echo "--- loadgen: burst overload must provoke 429s AND 503 sheds"
+  # One throttled worker behind a tight token bucket and a 1ms queue
+  # deadline: the MMPP burst has to light up both pushback paths
+  # (loadgen --expect-overload exits non-zero unless both counters moved).
+  BURST_LOG="$(mktemp)"
+  "$BUILD_DIR/reptile_serve" --demo --port 0 --http-threads 1 \
+      --rate-limit-rps 150 --rate-limit-burst 50 --queue-deadline-ms 1 \
+      > "$BURST_LOG" 2>&1 &
+  BURST_PID=$!
+  trap 'kill -9 "$BURST_PID" 2>/dev/null || true' EXIT
+  BPORT=""
+  for _ in $(seq 1 100); do
+    BPORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$BURST_LOG")"
+    [[ -n "$BPORT" ]] && break
+    kill -0 "$BURST_PID" 2>/dev/null || { cat "$BURST_LOG"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$BPORT" ]] || { echo "burst server never reported its port"; cat "$BURST_LOG"; exit 1; }
+  "$BUILD_DIR/reptile_loadgen" --port "$BPORT" --scenario burst --seed 42 \
+    --workers 24 --expect-overload --out "$BUILD_DIR/BENCH_workload_burst.json"
+  require_bench_json "$BUILD_DIR/BENCH_workload_burst.json"
+  grep -q '"scenario":"burst"' "$BUILD_DIR/BENCH_workload_burst.json"
+  grep -q '"mismatches":0' "$BUILD_DIR/BENCH_workload_burst.json"
+  if grep -q '"rate_limited_429":0,' "$BUILD_DIR/BENCH_workload_burst.json"; then
+    echo "FAIL: burst run never hit the rate limiter" >&2
+    exit 1
+  fi
+  if grep -q '"shed_503":0,' "$BUILD_DIR/BENCH_workload_burst.json"; then
+    echo "FAIL: burst run never shed queued work" >&2
+    exit 1
+  fi
+  # The same counters must be visible on the server's own /metricsz.
+  METRICS="$(curl -fsS "http://127.0.0.1:$BPORT/metricsz")"
+  echo "$METRICS" | grep -Eq 'reptile_transport_requests_rate_limited [1-9]'
+  echo "$METRICS" | grep -Eq 'reptile_transport_requests_shed [1-9]'
+  kill -TERM "$BURST_PID"
+  wait "$BURST_PID"
+  trap - EXIT
+
+  # The canonical two-scenario report: splice the per-run scenario objects
+  # into one BENCH_workload.json (each report is a single JSON line).
+  STEADY_SCEN="$(sed -e 's/^.*"scenarios":\[//' -e 's/\]}$//' "$BUILD_DIR/BENCH_workload_steady.json")"
+  BURST_SCEN="$(sed -e 's/^.*"scenarios":\[//' -e 's/\]}$//' "$BUILD_DIR/BENCH_workload_burst.json")"
+  printf '{"bench":"workload","seed":42,"scenarios":[%s,%s]}\n' \
+    "$STEADY_SCEN" "$BURST_SCEN" > "$BUILD_DIR/BENCH_workload.json"
+  require_bench_json "$BUILD_DIR/BENCH_workload.json"
+  grep -q '"scenario":"steady"' "$BUILD_DIR/BENCH_workload.json"
+  grep -q '"scenario":"burst"' "$BUILD_DIR/BENCH_workload.json"
+  echo "--- loadgen stage passed"
 fi
 
 if [[ "${REPTILE_SKIP_ASAN:-0}" != "1" ]]; then

@@ -26,6 +26,7 @@ enum class StatusCode {
   kIoError,             // file could not be opened / written
   kParseError,          // file opened but its contents are malformed
   kInternal,            // invariant violation surfaced as an error
+  kDeadlineExceeded,    // the operation ran past its caller-imposed time budget
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -44,6 +45,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -82,6 +85,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
  private:

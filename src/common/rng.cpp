@@ -61,6 +61,12 @@ int64_t Rng::Poisson(double mean) {
   return std::poisson_distribution<int64_t>(mean)(engine_);
 }
 
+double Rng::Exponential(double mean) {
+  REPTILE_CHECK(mean > 0.0) << "Exponential wants a positive mean, got " << mean;
+  AssertSingleThreadUse();
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
 bool Rng::Bernoulli(double p) {
   AssertSingleThreadUse();
   return std::bernoulli_distribution(p)(engine_);

@@ -56,6 +56,11 @@ class Rng {
   /// Poisson draw with the given mean.
   int64_t Poisson(double mean);
 
+  /// Exponential draw with the given mean (mean = 1/rate). The inter-arrival
+  /// primitive of the workload simulator's Poisson and Markov-modulated
+  /// arrival processes (src/sim/arrival.h).
+  double Exponential(double mean);
+
   /// Returns true with probability p.
   bool Bernoulli(double p);
 

@@ -40,6 +40,8 @@ const char* HttpReasonPhrase(int status) {
       return "Conflict";
     case 413:
       return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
     case 500:
@@ -48,6 +50,8 @@ const char* HttpReasonPhrase(int status) {
       return "Not Implemented";
     case 503:
       return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }
@@ -157,6 +161,29 @@ HttpResponse BodyTooLargeError(size_t content_length, size_t max_body_bytes) {
   return HttpFramingError(413, "request body of " + std::to_string(content_length) +
                                    " bytes exceeds the " +
                                    std::to_string(max_body_bytes) + "-byte limit");
+}
+
+HttpResponse RateLimitedError(double retry_after_seconds) {
+  // Integral ceiling, floored at 1: Retry-After is delta-seconds (RFC 9110
+  // §10.2.3) and "0" would invite an immediate retry storm.
+  long long retry_after = static_cast<long long>(retry_after_seconds);
+  if (static_cast<double>(retry_after) < retry_after_seconds) ++retry_after;
+  if (retry_after < 1) retry_after = 1;
+  HttpResponse response = HttpResponse::Json(
+      429, "{\"error\":{\"code\":\"RATE_LIMITED\",\"http\":429,\"message\":"
+           "\"admission rate limit exceeded; retry after " +
+               std::to_string(retry_after) + "s\"}}");
+  response.extra_headers.emplace_back("Retry-After", std::to_string(retry_after));
+  return response;
+}
+
+HttpResponse QueueDeadlineError(double waited_ms, int deadline_ms) {
+  return HttpResponse::Json(
+      503, "{\"error\":{\"code\":\"OVERLOADED\",\"http\":503,\"message\":"
+           "\"request shed: queued " +
+               std::to_string(static_cast<long long>(waited_ms)) +
+               "ms for a compute worker, past the " + std::to_string(deadline_ms) +
+               "ms deadline\"}}");
 }
 
 std::string SerializeResponseHead(const HttpResponse& response, bool keep_alive,

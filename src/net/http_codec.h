@@ -45,6 +45,16 @@ bool ValidateRequestFraming(const HttpRequest& request, size_t* content_length,
 /// identical bytes.
 HttpResponse BodyTooLargeError(size_t content_length, size_t max_body_bytes);
 
+/// The 429 for a request refused by admission rate limiting (code
+/// RATE_LIMITED), carrying a Retry-After header of ceil(retry_after_seconds)
+/// (at least 1). Shared so both front ends emit identical bytes.
+HttpResponse RateLimitedError(double retry_after_seconds);
+
+/// The 503 for a request shed because it sat in the compute-pool queue past
+/// the server's --queue-deadline-ms (code OVERLOADED). `waited_ms` is how
+/// long it actually queued.
+HttpResponse QueueDeadlineError(double waited_ms, int deadline_ms);
+
 /// Serializes the status line and framing headers (terminating blank line
 /// included, body not included). `chunked` selects "Transfer-Encoding:
 /// chunked" over "Content-Length: <body.size()>"; only valid for HTTP/1.1

@@ -15,6 +15,7 @@
 #include "common/check.h"
 #include "net/connection.h"
 #include "net/http_codec.h"
+#include "net/token_bucket.h"
 #include "parallel/thread_pool.h"
 
 namespace reptile {
@@ -22,6 +23,10 @@ namespace reptile {
 ReactorServer::ReactorServer(ReactorServerOptions options, HttpHandler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {
   REPTILE_CHECK(handler_ != nullptr);
+  if (options_.rate_limit_rps > 0.0) {
+    limiter_ = std::make_unique<TokenBucket>(options_.rate_limit_rps,
+                                             options_.rate_limit_burst);
+  }
   if (options_.handler_pool != nullptr) {
     pool_ = options_.handler_pool;
   } else {
@@ -196,21 +201,51 @@ void ReactorServer::OnAcceptReady() {
 }
 
 void ReactorServer::DispatchHandler(uint64_t connection_id, HttpRequest request) {
+  if (limiter_ != nullptr && request.path != "/healthz" && request.path != "/metricsz") {
+    double retry_after = 0.0;
+    if (!limiter_->TryAcquire(&retry_after)) {
+      // Refuse without touching the pool. The result hops through Post like
+      // any handler result: we are inside a Connection callback here, and
+      // OnHandlerResult must not re-enter the connection mid-frame.
+      requests_rate_limited_.fetch_add(1);
+      loop_.Post([this, connection_id,
+                  response = RateLimitedError(retry_after)]() mutable {
+        auto it = connections_.find(connection_id);
+        if (it != connections_.end() && !it->second->closed()) {
+          it->second->OnHandlerResult(std::move(response), /*force_close=*/false);
+        }
+      });
+      return;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(handlers_mu_);
     ++handlers_in_flight_;
   }
-  pool_->Submit([this, connection_id, request = std::move(request)]() mutable {
+  const auto dispatched_at = std::chrono::steady_clock::now();
+  pool_->Submit([this, connection_id, dispatched_at,
+                 request = std::move(request)]() mutable {
     HttpResponse response;
     bool force_close = false;
-    try {
-      response = handler_(request);
-    } catch (const std::exception& e) {
-      response = HttpFramingError(500, std::string("unhandled exception: ") + e.what());
-      force_close = true;
-    } catch (...) {
-      response = HttpFramingError(500, "unhandled exception");
-      force_close = true;
+    const double waited_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - dispatched_at)
+                                 .count();
+    if (options_.queue_deadline_ms > 0 && !stopping() &&
+        waited_ms > options_.queue_deadline_ms) {
+      // Shed: with every worker busy, this request aged out in the pool
+      // queue. Per-request — keep-alive survives and the client retries.
+      requests_shed_.fetch_add(1);
+      response = QueueDeadlineError(waited_ms, options_.queue_deadline_ms);
+    } else {
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response = HttpFramingError(500, std::string("unhandled exception: ") + e.what());
+        force_close = true;
+      } catch (...) {
+        response = HttpFramingError(500, "unhandled exception");
+        force_close = true;
+      }
     }
     loop_.Post([this, connection_id, response = std::move(response), force_close]() mutable {
       auto it = connections_.find(connection_id);
@@ -258,6 +293,10 @@ std::string ReactorServer::StatsJson() const {
   out += std::to_string(slow_client_disconnects_.load());
   out += ",\"overload_rejections\":";
   out += std::to_string(overload_rejections_.load());
+  out += ",\"requests_rate_limited\":";
+  out += std::to_string(requests_rate_limited_.load());
+  out += ",\"requests_shed\":";
+  out += std::to_string(requests_shed_.load());
   out += "}";
   return out;
 }

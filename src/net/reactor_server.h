@@ -68,6 +68,18 @@ struct ReactorServerOptions {
   // Open-connection cap; 0 = unlimited. Beyond it new connections receive
   // an immediate 503 and are closed.
   int64_t max_connections = 0;
+  // Admission rate limit in requests/second over dispatched API requests
+  // (streamed uploads and the /healthz + /metricsz probes are exempt).
+  // Refusals get the shared 429 RATE_LIMITED envelope with Retry-After and
+  // keep the connection open. Same knob as HttpServerOptions::rate_limit_rps.
+  double rate_limit_rps = 0.0;
+  // Bucket depth for the limiter; <= 0 defaults to max(rate_limit_rps, 1).
+  double rate_limit_burst = 0.0;
+  // Shed a request that waited longer than this in the handler-pool queue:
+  // it gets the shared 503 OVERLOADED envelope instead of compute that
+  // would finish too late to matter. Per-request — the connection survives.
+  // 0 = never shed.
+  int queue_deadline_ms = 0;
   // Deadline-check granularity (bounds how late idle/stall deadlines fire).
   int tick_interval_ms = 100;
   // Optional hook consulted once a request head is parsed: return a sink to
@@ -107,6 +119,8 @@ class ReactorServer {
   int64_t slow_client_disconnects() const { return slow_client_disconnects_.load(); }
   int64_t overload_rejections() const { return overload_rejections_.load(); }
   int64_t requests_dispatched() const { return requests_dispatched_.load(); }
+  int64_t requests_rate_limited() const { return requests_rate_limited_.load(); }
+  int64_t requests_shed() const { return requests_shed_.load(); }
 
   /// The counters as a JSON object (for /healthz's "transport" section).
   std::string StatsJson() const;
@@ -124,6 +138,7 @@ class ReactorServer {
 
   ReactorServerOptions options_;
   HttpHandler handler_;
+  std::unique_ptr<class TokenBucket> limiter_;  // null when rate_limit_rps <= 0
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
 
@@ -154,6 +169,8 @@ class ReactorServer {
   std::atomic<int64_t> slow_client_disconnects_{0};
   std::atomic<int64_t> overload_rejections_{0};
   std::atomic<int64_t> requests_dispatched_{0};
+  std::atomic<int64_t> requests_rate_limited_{0};
+  std::atomic<int64_t> requests_shed_{0};
 };
 
 }  // namespace reptile

@@ -1,8 +1,10 @@
 #include "server/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,18 +22,26 @@ using net_internal::Lowercase;
 using net_internal::Trim;
 using net_internal::WriteAll;
 
-// Appends whatever is readable; false on EOF or error. (The server's
-// ConnectionReader::Fill additionally distinguishes idle timeouts, which a
-// client without SO_RCVTIMEO never sees — intentionally not shared.)
-bool Fill(int fd, std::string* buffer) {
+// Appends whatever is readable. When SetTimeoutMs armed SO_RCVTIMEO on the
+// socket, a stalled peer surfaces as EAGAIN → kTimeout, distinct from the
+// peer being gone (kClosed) so callers can map it to kDeadlineExceeded.
+enum class FillResult { kData, kClosed, kTimeout };
+
+FillResult Fill(int fd, std::string* buffer) {
   char chunk[16 * 1024];
   ssize_t n;
   do {
     n = ::recv(fd, chunk, sizeof(chunk), 0);
   } while (n < 0 && errno == EINTR);
-  if (n <= 0) return false;
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return FillResult::kTimeout;
+  if (n <= 0) return FillResult::kClosed;
   buffer->append(chunk, static_cast<size_t>(n));
-  return true;
+  return FillResult::kData;
+}
+
+Status TimeoutStatus(int timeout_ms, const char* what) {
+  return Status::DeadlineExceeded("no data for " + std::to_string(timeout_ms) + "ms " +
+                                  what);
 }
 
 }  // namespace
@@ -58,7 +68,48 @@ Status HttpClient::Connect() {
     Disconnect();
     return Status::InvalidArgument("bad host address '" + host_ + "'");
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (timeout_ms_ > 0) {
+    // Bounded connect: go non-blocking, poll for writability, then read
+    // SO_ERROR for the real outcome before restoring blocking mode.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        Status status = Status::IoError("connect(" + host_ + ":" +
+                                        std::to_string(port_) + "): " +
+                                        std::strerror(errno));
+        Disconnect();
+        return status;
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, timeout_ms_);
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        Disconnect();
+        return Status::DeadlineExceeded("connect(" + host_ + ":" +
+                                        std::to_string(port_) + ") still pending after " +
+                                        std::to_string(timeout_ms_) + "ms");
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (ready < 0 ||
+          ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) {
+        Status status = Status::IoError("connect(" + host_ + ":" +
+                                        std::to_string(port_) + "): " +
+                                        std::strerror(err != 0 ? err : errno));
+        Disconnect();
+        return status;
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+    timeval tv{};
+    tv.tv_sec = timeout_ms_ / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status status = Status::IoError("connect(" + host_ + ":" + std::to_string(port_) +
                                    "): " + std::strerror(errno));
     Disconnect();
@@ -103,6 +154,11 @@ void HttpClient::SetHeader(const std::string& name, const std::string& value) {
   if (!value.empty()) default_headers_.emplace_back(name, value);
 }
 
+void HttpClient::SetTimeoutMs(int timeout_ms) {
+  timeout_ms_ = timeout_ms > 0 ? timeout_ms : 0;
+  Disconnect();  // the current socket keeps its old deadline; re-arm fresh
+}
+
 Result<HttpClientResponse> HttpClient::Request(const std::string& method,
                                                const std::string& path,
                                                const std::string& body,
@@ -124,9 +180,13 @@ Result<HttpClientResponse> HttpClient::Request(const std::string& method,
     request += body;
 
     // A reused keep-alive connection may have been closed by the server
-    // since the last request; retry exactly once on a fresh connection.
+    // since the last request; retry exactly once on a fresh connection. A
+    // send that stalls past SO_SNDTIMEO is a deadline miss, not a stale
+    // socket — retrying would double-submit the request.
     if (!WriteAll(fd_, request)) {
+      bool send_timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       Disconnect();
+      if (send_timed_out) return TimeoutStatus(timeout_ms_, "while sending the request");
       if (fresh_connection) return Status::IoError("connection dropped while sending");
       continue;
     }
@@ -134,7 +194,12 @@ Result<HttpClientResponse> HttpClient::Request(const std::string& method,
     std::string buffer;
     size_t head_end;
     while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-      if (!Fill(fd_, &buffer)) {
+      FillResult fill = Fill(fd_, &buffer);
+      if (fill == FillResult::kTimeout) {
+        Disconnect();
+        return TimeoutStatus(timeout_ms_, "waiting for response headers");
+      }
+      if (fill == FillResult::kClosed) {
         Disconnect();
         if (buffer.empty() && !fresh_connection) goto retry;  // stale keep-alive
         return Status::IoError("connection closed before a full response arrived");
@@ -187,8 +252,10 @@ Result<HttpClientResponse> HttpClient::Request(const std::string& method,
         for (;;) {
           size_t size_end;
           while ((size_end = buffer.find("\r\n")) == std::string::npos) {
-            if (!Fill(fd_, &buffer)) {
+            FillResult fill = Fill(fd_, &buffer);
+            if (fill != FillResult::kData) {
               Disconnect();
+              if (fill == FillResult::kTimeout) return TimeoutStatus(timeout_ms_, "mid-body");
               return Status::IoError("connection closed mid-body");
             }
           }
@@ -204,8 +271,10 @@ Result<HttpClientResponse> HttpClient::Request(const std::string& method,
           }
           buffer.erase(0, size_end + 2);
           while (buffer.size() < size + 2) {
-            if (!Fill(fd_, &buffer)) {
+            FillResult fill = Fill(fd_, &buffer);
+            if (fill != FillResult::kData) {
               Disconnect();
+              if (fill == FillResult::kTimeout) return TimeoutStatus(timeout_ms_, "mid-body");
               return Status::IoError("connection closed mid-body");
             }
           }
@@ -233,8 +302,10 @@ Result<HttpClientResponse> HttpClient::Request(const std::string& method,
         size_t length =
             static_cast<size_t>(std::strtoull(length_header->c_str(), nullptr, 10));
         while (buffer.size() < length) {
-          if (!Fill(fd_, &buffer)) {
+          FillResult fill = Fill(fd_, &buffer);
+          if (fill != FillResult::kData) {
             Disconnect();
+            if (fill == FillResult::kTimeout) return TimeoutStatus(timeout_ms_, "mid-body");
             return Status::IoError("connection closed mid-body");
           }
         }
@@ -264,9 +335,11 @@ Result<std::string> HttpClient::SendRaw(const std::string& bytes) {
   }
   ::shutdown(fd_, SHUT_WR);  // half-close: the server sees EOF after our bytes
   std::string out;
-  while (Fill(fd_, &out)) {
+  FillResult fill;
+  while ((fill = Fill(fd_, &out)) == FillResult::kData) {
   }
   Disconnect();
+  if (fill == FillResult::kTimeout) return TimeoutStatus(timeout_ms_, "draining the reply");
   return out;
 }
 

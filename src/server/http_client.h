@@ -50,6 +50,16 @@ class HttpClient {
   /// it; an empty value removes it.
   void SetHeader(const std::string& name, const std::string& value);
 
+  /// Bounds connect(), every socket read, and every socket write of
+  /// subsequent requests to `timeout_ms` each (0 restores the default:
+  /// block forever). A deadline miss surfaces as kDeadlineExceeded — distinct
+  /// from kIoError so the load generator can count timeouts separately from
+  /// dropped connections — and always tears down the connection: the reply
+  /// may still arrive later, and reusing the socket would desync request and
+  /// response. Applies from the next Connect(), so callers normally set it
+  /// before the first request.
+  void SetTimeoutMs(int timeout_ms);
+
   /// Sends raw bytes on a fresh connection and returns everything the server
   /// writes until it closes — for tests that need to speak *malformed* HTTP
   /// (the framing-error surface, which Get/Post can't produce).
@@ -64,6 +74,7 @@ class HttpClient {
 
   std::string host_;
   int port_;
+  int timeout_ms_ = 0;
   int fd_ = -1;
   std::vector<std::pair<std::string, std::string>> default_headers_;
 };

@@ -15,6 +15,7 @@
 #include "common/check.h"
 #include "net/http_codec.h"
 #include "net/net_util.h"
+#include "net/token_bucket.h"
 #include "parallel/thread_pool.h"
 
 namespace reptile {
@@ -169,6 +170,10 @@ void WriteErrorAndDrain(int fd, const HttpResponse& response) {
 HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {
   REPTILE_CHECK(handler_ != nullptr);
+  if (options_.rate_limit_rps > 0.0) {
+    limiter_ = std::make_unique<TokenBucket>(options_.rate_limit_rps,
+                                             options_.rate_limit_burst);
+  }
   if (options_.connection_pool != nullptr) {
     pool_ = options_.connection_pool;
   } else {
@@ -283,14 +288,42 @@ void HttpServer::AcceptLoop() {
       open_connections_.insert(fd);
       ++active_connections_;
     }
-    pool_->Submit([this, fd] {
-      HandleConnection(fd);
+    const auto accepted_at = std::chrono::steady_clock::now();
+    pool_->Submit([this, fd, accepted_at] {
+      // Queue-deadline shedding: with every worker busy, a connection sits
+      // in the pool's FIFO between accept and this task. Past the deadline
+      // the client is better served by a fast 503 (and a retry elsewhere)
+      // than by a response that arrives after it stopped caring.
+      double waited_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - accepted_at)
+                             .count();
+      if (options_.queue_deadline_ms > 0 && !stopping_.load() &&
+          waited_ms > options_.queue_deadline_ms) {
+        requests_shed_.fetch_add(1);
+        WriteErrorAndDrain(fd, QueueDeadlineError(waited_ms, options_.queue_deadline_ms));
+      } else {
+        HandleConnection(fd);
+      }
       std::lock_guard<std::mutex> lock(mu_);
       open_connections_.erase(fd);
       ::close(fd);
       if (--active_connections_ == 0) connections_done_.notify_all();
     });
   }
+}
+
+std::string HttpServer::StatsJson() const {
+  size_t open;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open = open_connections_.size();
+  }
+  std::string out = "{\"open_connections\":" + std::to_string(open);
+  out += ",\"connections_accepted\":" + std::to_string(connections_accepted_.load());
+  out += ",\"requests_rate_limited\":" + std::to_string(requests_rate_limited_.load());
+  out += ",\"requests_shed\":" + std::to_string(requests_shed_.load());
+  out += "}";
+  return out;
 }
 
 void HttpServer::HandleConnection(int fd) {
@@ -386,14 +419,24 @@ void HttpServer::HandleConnection(int fd) {
         return;  // peer vanished mid-body
       }
 
-      try {
-        response = handler_(request);
-      } catch (const std::exception& e) {
-        response = HttpFramingError(500, std::string("unhandled exception: ") + e.what());
-        keep_alive = false;
-      } catch (...) {
-        response = HttpFramingError(500, "unhandled exception");
-        keep_alive = false;
+      double retry_after = 0.0;
+      if (limiter_ != nullptr && request.path != "/healthz" &&
+          request.path != "/metricsz" && !limiter_->TryAcquire(&retry_after)) {
+        // Refused only after the body is consumed, so the connection stays
+        // in framing sync and keep-alive survives — a limited client should
+        // back off and retry, not pay a reconnect on top.
+        requests_rate_limited_.fetch_add(1);
+        response = RateLimitedError(retry_after);
+      } else {
+        try {
+          response = handler_(request);
+        } catch (const std::exception& e) {
+          response = HttpFramingError(500, std::string("unhandled exception: ") + e.what());
+          keep_alive = false;
+        } catch (...) {
+          response = HttpFramingError(500, "unhandled exception");
+          keep_alive = false;
+        }
       }
     }
     if (response.body_stream) {

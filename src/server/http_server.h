@@ -71,6 +71,19 @@ struct HttpServerOptions {
   // (parser buffers, kernel state) and redistributes long-lived clients
   // across a load-balanced fleet. 0 = unlimited.
   int64_t max_requests_per_connection = 0;
+  // Admission rate limit in requests/second over buffered API requests
+  // (streamed uploads and the /healthz + /metricsz probes are exempt).
+  // Refusals get the shared 429 RATE_LIMITED envelope with Retry-After and
+  // keep the connection open — a limited client should retry, not
+  // reconnect. 0 = unlimited.
+  double rate_limit_rps = 0.0;
+  // Bucket depth for the limiter; <= 0 defaults to max(rate_limit_rps, 1).
+  double rate_limit_burst = 0.0;
+  // Shed a connection whose first request waited longer than this in the
+  // pool queue before a worker picked it up: the client gets the shared 503
+  // OVERLOADED envelope instead of service that would arrive too late to
+  // matter. 0 = never shed.
+  int queue_deadline_ms = 0;
   // Optional externally owned pool for connection tasks (see the deadlock
   // note above); nullptr = the server creates its own `num_threads` pool.
   ThreadPool* connection_pool = nullptr;
@@ -101,12 +114,24 @@ class HttpServer {
   /// Connections accepted so far (monotonic; for tests and stats).
   int64_t connections_accepted() const { return connections_accepted_.load(); }
 
+  /// Requests refused 429 by the admission rate limiter.
+  int64_t requests_rate_limited() const { return requests_rate_limited_.load(); }
+
+  /// Connections shed 503 for overstaying the queue deadline.
+  int64_t requests_shed() const { return requests_shed_.load(); }
+
+  /// Transport counters as a one-line JSON object, shape-compatible with
+  /// ReactorServer::StatsJson() so serve_main can wire either server's stats
+  /// into the /metricsz transport block.
+  std::string StatsJson() const;
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
 
   HttpServerOptions options_;
   HttpHandler handler_;
+  std::unique_ptr<class TokenBucket> limiter_;  // null when rate_limit_rps <= 0
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
 
@@ -116,9 +141,11 @@ class HttpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
   std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> requests_rate_limited_{0};
+  std::atomic<int64_t> requests_shed_{0};
 
   std::mutex stop_mu_;  // serializes Stop() callers
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable connections_done_;
   std::set<int> open_connections_;  // fds of live connections, for Stop()
   int64_t active_connections_ = 0;

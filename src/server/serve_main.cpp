@@ -62,6 +62,19 @@
 //                         (default: off)
 //   --max-connections N   reactor only: 503 new connections past N open
 //                         (default 0 = unlimited)
+//   --rate-limit-rps R    admission token bucket: past R requests/second
+//                         (sustained) API requests get 429 RATE_LIMITED with
+//                         Retry-After, both front ends; /healthz, /metricsz
+//                         and streamed csv uploads are exempt (default 0 =
+//                         unlimited)
+//   --rate-limit-burst B  bucket depth for --rate-limit-rps: up to B
+//                         requests are admitted back-to-back before the
+//                         sustained rate applies (default 2*R)
+//   --queue-deadline-ms N shed work that waited > N ms behind busy workers
+//                         with 503 OVERLOADED instead of serving it late:
+//                         per-request in the reactor's handler queue,
+//                         per-connection in the threaded accept queue
+//                         (default 0 = never shed)
 //   --idle-timeout S      reactor only: drop connections idle > S seconds
 //                         (slow-loris bound; default 30, 0 = never)
 //   --write-stall S       reactor only: drop clients whose reads make no
@@ -82,7 +95,7 @@
 // In both modes POST /v1/datasets accepts a streamed text/csv body (typing
 // in the query string — see server/service.h) fed incrementally through
 // CsvStreamParser, and /healthz carries the front end's transport counters
-// under "transport" when --reactor is active.
+// under "transport" (both front ends; the reactor exports more of them).
 //
 // Datasets loaded at startup (--demo / --csv) are registered in the shared
 // DatasetRegistry with a default session each (the deprecated
@@ -179,6 +192,9 @@ struct Args {
   std::string auth_token;
   size_t stream_threshold = SIZE_MAX;  // off
   long max_connections = 0;
+  double rate_limit_rps = 0.0;
+  double rate_limit_burst = 0.0;
+  int queue_deadline_ms = 0;
   int idle_timeout = 30;
   double write_stall = 10.0;
   size_t high_water_bytes = size_t{1} << 20;
@@ -196,7 +212,9 @@ struct Args {
                "[--session-ttl S] [--dataset-root DIR] [--max-sessions N] "
                "[--max-datasets N] [--max-body-bytes N] [--separator C] "
                "[--reactor] [--auth-token T] [--stream-threshold N] "
-               "[--max-connections N] [--idle-timeout S] [--write-stall S] "
+               "[--max-connections N] [--rate-limit-rps R] "
+               "[--rate-limit-burst B] [--queue-deadline-ms N] "
+               "[--idle-timeout S] [--write-stall S] "
                "[--high-water-bytes N] [--snapshot-dir DIR] "
                "[--cache-budget-mb N] [--max-requests-per-connection N] "
                "[--log-level L] [--log-file PATH] [--slow-request-ms N] "
@@ -289,6 +307,12 @@ Args ParseArgs(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(value_of(i).c_str(), nullptr, 10));
     } else if (flag == "--max-connections") {
       args.max_connections = std::atol(value_of(i).c_str());
+    } else if (flag == "--rate-limit-rps") {
+      args.rate_limit_rps = std::atof(value_of(i).c_str());
+    } else if (flag == "--rate-limit-burst") {
+      args.rate_limit_burst = std::atof(value_of(i).c_str());
+    } else if (flag == "--queue-deadline-ms") {
+      args.queue_deadline_ms = std::atoi(value_of(i).c_str());
     } else if (flag == "--idle-timeout") {
       args.idle_timeout = std::atoi(value_of(i).c_str());
     } else if (flag == "--write-stall") {
@@ -344,11 +368,12 @@ int Main(int argc, char** argv) {
   service_options.slow_request_ms = args.slow_request_ms;
   service_options.debug_request_ring =
       args.debug_requests > 0 ? static_cast<size_t>(args.debug_requests) : 0;
-  if (args.reactor) {
-    service_options.transport_stats_json = [&transport_stats] {
-      return transport_stats ? transport_stats() : std::string("null");
-    };
-  }
+  // Both front ends export transport counters now (the threaded server grew
+  // a StatsJson for the admission-control counters), so the hook is
+  // unconditional.
+  service_options.transport_stats_json = [&transport_stats] {
+    return transport_stats ? transport_stats() : std::string("null");
+  };
 
   ReptileService service(service_options);
   if (args.demo) {
@@ -432,6 +457,12 @@ int Main(int argc, char** argv) {
     return service.StartStreamingBody(head);
   };
 
+  // --rate-limit-burst defaults to two seconds of sustained rate: deep
+  // enough that an interactive client's click-burst is admitted, shallow
+  // enough that a flood hits the 429s within a second.
+  double rate_limit_burst =
+      args.rate_limit_burst > 0.0 ? args.rate_limit_burst : 2.0 * args.rate_limit_rps;
+
   std::unique_ptr<HttpServer> threaded;
   std::unique_ptr<ReactorServer> reactor;
   Status started;
@@ -446,6 +477,9 @@ int Main(int argc, char** argv) {
     server_options.write_stall_seconds = args.write_stall;
     server_options.write_high_water_bytes = args.high_water_bytes;
     server_options.max_requests_per_connection = args.max_requests_per_connection;
+    server_options.rate_limit_rps = args.rate_limit_rps;
+    server_options.rate_limit_burst = rate_limit_burst;
+    server_options.queue_deadline_ms = args.queue_deadline_ms;
     server_options.stream_factory = stream_factory;
     reactor = std::make_unique<ReactorServer>(std::move(server_options), handler);
     ReactorServer* raw = reactor.get();
@@ -458,8 +492,13 @@ int Main(int argc, char** argv) {
     server_options.num_threads = args.http_threads;
     server_options.max_body_bytes = args.max_body_bytes;
     server_options.max_requests_per_connection = args.max_requests_per_connection;
+    server_options.rate_limit_rps = args.rate_limit_rps;
+    server_options.rate_limit_burst = rate_limit_burst;
+    server_options.queue_deadline_ms = args.queue_deadline_ms;
     server_options.stream_factory = stream_factory;
     threaded = std::make_unique<HttpServer>(server_options, handler);
+    HttpServer* raw = threaded.get();
+    transport_stats = [raw] { return raw->StatsJson(); };
     started = threaded->Start();
     port = threaded->port();
   }

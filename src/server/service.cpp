@@ -749,6 +749,8 @@ int ReptileService::HttpStatusFor(StatusCode code) {
     case StatusCode::kIoError:
     case StatusCode::kInternal:
       return 500;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
   }
   return 500;
 }
@@ -1775,7 +1777,8 @@ HttpResponse ReptileService::HandleDebugStatus(const std::string& body) {
   if (!message.ok()) return ErrorResponse(message.status());
   for (StatusCode code :
        {StatusCode::kInvalidArgument, StatusCode::kNotFound, StatusCode::kFailedPrecondition,
-        StatusCode::kIoError, StatusCode::kParseError, StatusCode::kInternal}) {
+        StatusCode::kIoError, StatusCode::kParseError, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded}) {
     if (*code_name == StatusCodeName(code)) {
       return ErrorResponse(Status(code, std::move(*message)));
     }

@@ -1,0 +1,76 @@
+#include "sim/arrival.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace reptile {
+namespace {
+
+// Converts a (positive, finite) gap in seconds to nanoseconds, never
+// rounding to zero: virtual arrivals must be strictly increasing so the
+// (time, seq) order is unambiguous even at absurd rates.
+int64_t GapToNs(double gap_seconds) {
+  double ns = gap_seconds * 1e9;
+  if (ns < 1.0) return 1;
+  if (ns > 9e18) return static_cast<int64_t>(9e18);
+  return static_cast<int64_t>(ns);
+}
+
+}  // namespace
+
+PoissonArrivals::PoissonArrivals(double rate_per_second, Rng rng)
+    : mean_gap_seconds_(1.0 / rate_per_second), rng_(rng) {
+  REPTILE_CHECK(rate_per_second > 0.0)
+      << "Poisson arrivals want a positive rate, got " << rate_per_second;
+}
+
+int64_t PoissonArrivals::NextNs() {
+  now_ns_ += GapToNs(rng_.Exponential(mean_gap_seconds_));
+  return now_ns_;
+}
+
+MmppArrivals::MmppArrivals(Params params, Rng state_rng, Rng arrival_rng)
+    : params_(params), state_rng_(state_rng), arrival_rng_(arrival_rng) {
+  REPTILE_CHECK(params_.calm_rate_per_second > 0.0 &&
+                params_.burst_rate_per_second > 0.0)
+      << "MMPP wants positive rates";
+  REPTILE_CHECK(params_.mean_calm_seconds > 0.0 && params_.mean_burst_seconds > 0.0)
+      << "MMPP wants positive mean sojourns";
+}
+
+void MmppArrivals::AdvanceStateUntil(int64_t deadline_ns) {
+  if (!state_initialized_) {
+    state_initialized_ = true;
+    state_ends_ns_ = GapToNs(state_rng_.Exponential(params_.mean_calm_seconds));
+  }
+  while (state_ends_ns_ <= deadline_ns) {
+    in_burst_ = !in_burst_;
+    double mean =
+        in_burst_ ? params_.mean_burst_seconds : params_.mean_calm_seconds;
+    state_ends_ns_ += GapToNs(state_rng_.Exponential(mean));
+  }
+}
+
+int64_t MmppArrivals::NextNs() {
+  // Thinning-free simulation: draw a candidate gap at the current state's
+  // rate; if the state would flip before the candidate arrives, advance the
+  // clock to the flip and redraw at the new rate. The memorylessness of the
+  // exponential makes the redraw exact, and because state flips come from
+  // their own stream, the flip schedule is identical across scenarios that
+  // differ only in rates drawn between flips.
+  for (;;) {
+    AdvanceStateUntil(now_ns_);
+    double rate = in_burst_ ? params_.burst_rate_per_second
+                            : params_.calm_rate_per_second;
+    int64_t gap_ns = GapToNs(arrival_rng_.Exponential(1.0 / rate));
+    int64_t candidate_ns = now_ns_ + gap_ns;
+    if (candidate_ns <= state_ends_ns_) {
+      now_ns_ = candidate_ns;
+      return now_ns_;
+    }
+    now_ns_ = state_ends_ns_;  // flip boundary: redraw in the next state
+  }
+}
+
+}  // namespace reptile

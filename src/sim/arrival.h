@@ -1,0 +1,88 @@
+// Arrival processes for the workload simulator: when do new analyst
+// sessions start? Two models, both driven by common/rng.h sub-streams so a
+// root seed fully determines every arrival instant:
+//
+//  * PoissonArrivals — memoryless arrivals at a constant rate; exponential
+//    inter-arrival gaps. The steady-state scenario.
+//  * MmppArrivals — a 2-state Markov-modulated Poisson process alternating
+//    between a calm rate and a burst rate, with exponentially distributed
+//    sojourns in each state. The overload scenario: bursts pile arrivals
+//    onto the server faster than it drains them, which is what provokes the
+//    admission-control 429s/503s the load generator asserts on.
+//
+// Stream discipline (borrowed from discrete-event simulators like OMNeT++):
+// each stochastic purpose owns its own Rng sub-stream. MMPP draws state
+// sojourns and arrival gaps from *different* streams, so reconfiguring the
+// burst rate never perturbs when the state flips — scenarios stay
+// comparable across parameter sweeps.
+
+#ifndef REPTILE_SIM_ARRIVAL_H_
+#define REPTILE_SIM_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace reptile {
+
+/// Interface: a monotone sequence of arrival instants in virtual
+/// nanoseconds. Next() consumes the process (deterministically).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The next arrival instant, strictly after all previous ones.
+  virtual int64_t NextNs() = 0;
+};
+
+/// Homogeneous Poisson process: exponential gaps with mean 1/rate.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  /// `rate_per_second` > 0; `rng` should be a dedicated sub-stream.
+  PoissonArrivals(double rate_per_second, Rng rng);
+
+  int64_t NextNs() override;
+
+ private:
+  double mean_gap_seconds_;
+  Rng rng_;
+  int64_t now_ns_ = 0;
+};
+
+/// 2-state Markov-modulated Poisson process: arrivals at `calm_rate` or
+/// `burst_rate` depending on a hidden state with exponential sojourn times.
+/// Starts in the calm state at virtual time zero.
+class MmppArrivals : public ArrivalProcess {
+ public:
+  struct Params {
+    double calm_rate_per_second = 10.0;
+    double burst_rate_per_second = 200.0;
+    double mean_calm_seconds = 2.0;   // expected sojourn in the calm state
+    double mean_burst_seconds = 0.5;  // expected sojourn in the burst state
+  };
+
+  /// `state_rng` drives the state flips, `arrival_rng` the gaps — separate
+  /// streams so one knob never re-times the other process (see header note).
+  MmppArrivals(Params params, Rng state_rng, Rng arrival_rng);
+
+  int64_t NextNs() override;
+
+  /// Whether the process is currently in the burst state (after the last
+  /// returned arrival) — exposed for tests.
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  void AdvanceStateUntil(int64_t deadline_ns);
+
+  Params params_;
+  Rng state_rng_;
+  Rng arrival_rng_;
+  int64_t now_ns_ = 0;
+  int64_t state_ends_ns_ = 0;
+  bool in_burst_ = false;
+  bool state_initialized_ = false;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_SIM_ARRIVAL_H_

@@ -1,0 +1,77 @@
+// Discrete-event core of the workload simulator: a virtual-clock event
+// queue with deterministic ordering. Events fire in (time_ns, seq) order —
+// `seq` is the insertion serial, so two events scheduled for the same
+// virtual instant pop in the order they were pushed, on every platform and
+// every run. std::priority_queue alone cannot promise that (equal keys pop
+// in heap order, which depends on interleaving), and the whole point of the
+// simulator is that a seed determines the schedule byte-for-byte
+// (sim/workload.h hashes the popped sequence into a digest that tests and
+// scripts/check.sh compare across runs and thread counts).
+//
+// Virtual time is int64 nanoseconds from scenario start: integral so
+// equality is exact (tie-breaking on doubles would hinge on rounding), wide
+// enough for ~292 years of schedule.
+
+#ifndef REPTILE_SIM_EVENT_QUEUE_H_
+#define REPTILE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace reptile {
+
+/// A min-queue of (time_ns, payload) events with insertion-order
+/// tie-breaking. Single-threaded by design — schedules are *built* serially
+/// (that is what makes them reproducible) and only *replayed* concurrently.
+template <typename Payload>
+class SimEventQueue {
+ public:
+  struct Event {
+    int64_t time_ns = 0;
+    uint64_t seq = 0;  // insertion serial; breaks time ties deterministically
+    Payload payload;
+  };
+
+  /// Schedules `payload` at virtual instant `time_ns` (>= 0).
+  void Push(int64_t time_ns, Payload payload) {
+    REPTILE_CHECK(time_ns >= 0) << "event scheduled before virtual time zero";
+    heap_.push(Event{time_ns, next_seq_++, std::move(payload)});
+  }
+
+  /// Removes and returns the earliest event; ties pop in push order.
+  Event Pop() {
+    REPTILE_CHECK(!heap_.empty()) << "Pop on an empty event queue";
+    // top() is const&; moving out of a priority_queue needs the const_cast
+    // idiom — safe because pop() follows immediately.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    return event;
+  }
+
+  const Event& Peek() const {
+    REPTILE_CHECK(!heap_.empty()) << "Peek on an empty event queue";
+    return heap_.top();
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace reptile
+
+#endif  // REPTILE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,174 @@
+#include "sim/oracle.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "api/response.h"
+#include "common/check.h"
+#include "common/json_util.h"
+
+namespace reptile {
+namespace {
+
+// The wire zero_timings transform, replicated from the serving tier: only
+// the candidates' timing fields vary run to run in a single-complaint
+// response; everything else is deterministic.
+void ZeroCandidateTimings(ExploreResponse* response) {
+  for (HierarchyResponse& candidate : response->candidates) {
+    candidate.train_seconds = 0.0;
+    candidate.total_seconds = 0.0;
+  }
+}
+
+}  // namespace
+
+std::string RenderTableCsv(const Table& table) {
+  std::string out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    out += table.column_name(c);
+  }
+  out += '\n';
+  char buffer[64];
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      if (table.is_dimension(c)) {
+        out += table.dict(c).name(table.dim_codes(c)[row]);
+      } else {
+        // %.17g round-trips every finite double exactly through strtod.
+        std::snprintf(buffer, sizeof(buffer), "%.17g", table.measure(c)[row]);
+        out += buffer;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+WorkloadOracle::WorkloadOracle(SimDatasetSpec spec) : spec_(std::move(spec)) {
+  Dataset dataset = MakeSeverityPanel(spec_.panel);
+  std::string csv = RenderTableCsv(dataset.table());
+  size_t rows = dataset.table().num_rows();
+
+  upload_body_ = "{\"name\":" + JsonQuote(spec_.name) + ",\"csv\":" + JsonQuote(csv) +
+                 ",\"dimensions\":[\"district\",\"village\",\"year\"]"
+                 ",\"measures\":[\"severity\"]"
+                 ",\"hierarchies\":["
+                 "{\"name\":\"geo\",\"attributes\":[\"district\",\"village\"]},"
+                 "{\"name\":\"time\",\"attributes\":[\"year\"]}]"
+                 ",\"commits\":[\"time\"]}";
+  upload_response_ = "{\"dataset\":" + JsonQuote(spec_.name) +
+                     ",\"rows\":" + std::to_string(rows) +
+                     ",\"session\":" + JsonQuote("default:" + spec_.name) + "}";
+
+  Result<DatasetHandle> handle = PreparedDataset::Prepare(std::move(dataset));
+  REPTILE_CHECK(handle.ok()) << "oracle dataset failed to prepare: "
+                             << handle.status().ToString();
+  handle_ = std::move(handle).value();
+}
+
+std::string WorkloadOracle::delete_response() const {
+  return "{\"deleted\":" + JsonQuote(spec_.name) + "}";
+}
+
+std::string WorkloadOracle::SnapshotJson(int session_index) const {
+  auto it = sessions_.find(session_index);
+  REPTILE_CHECK(it != sessions_.end());
+  std::map<std::string, int> committed = it->second.CommittedDepths();
+  std::string out =
+      "{\"session\":\"@SID@\",\"dataset\":" + JsonQuote(spec_.name) +
+      ",\"default\":false,\"committed\":{";
+  bool first = true;
+  for (const auto& [name, depth] : committed) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(name) + ":" + std::to_string(depth);
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<ExpectedResponse> WorkloadOracle::ExpectedResponses(
+    const std::vector<ScheduledOp>& schedule) {
+  std::vector<ExpectedResponse> expected;
+  expected.reserve(schedule.size());
+  for (const ScheduledOp& item : schedule) {
+    const SimOp& op = item.op;
+    ExpectedResponse out;
+    switch (op.kind) {
+      case SimOpKind::kSessionCreate: {
+        ExploreRequest options;
+        // Mirror the wire body: top_k is the one session option the
+        // generator sets (sim/session_model.cpp).
+        size_t pos = op.body.find("\"top_k\":");
+        REPTILE_CHECK(pos != std::string::npos);
+        options.TopK(std::atoi(op.body.c_str() + pos + 8));
+        Result<Session> session = Session::Open(handle_, options);
+        REPTILE_CHECK(session.ok())
+            << "oracle session open failed: " << session.status().ToString();
+        Status restored = session->RestoreCommitted({{"time", 1}});
+        REPTILE_CHECK(restored.ok())
+            << "oracle restore failed: " << restored.ToString();
+        sessions_.erase(op.session_index);
+        sessions_.emplace(op.session_index, std::move(session).value());
+        out.status = 201;
+        out.body = SnapshotJson(op.session_index);
+        break;
+      }
+      case SimOpKind::kRecommend: {
+        auto it = sessions_.find(op.session_index);
+        REPTILE_CHECK(it != sessions_.end());
+        Result<ExploreResponse> response = it->second.Recommend(op.complaint);
+        REPTILE_CHECK(response.ok()) << "oracle recommend failed ("
+                                     << op.complaint.Describe()
+                                     << "): " << response.status().ToString();
+        ZeroCandidateTimings(&*response);
+        out.status = 200;
+        out.body = response->ToJson();
+        break;
+      }
+      case SimOpKind::kView: {
+        auto it = sessions_.find(op.session_index);
+        REPTILE_CHECK(it != sessions_.end());
+        Result<ViewResponse> response = it->second.View(op.view);
+        REPTILE_CHECK(response.ok())
+            << "oracle view failed: " << response.status().ToString();
+        out.status = 200;
+        out.body = response->ToJson();
+        break;
+      }
+      case SimOpKind::kCommit: {
+        auto it = sessions_.find(op.session_index);
+        REPTILE_CHECK(it != sessions_.end());
+        Status committed = it->second.Commit(op.hierarchy);
+        REPTILE_CHECK(committed.ok())
+            << "oracle commit failed: " << committed.ToString();
+        Result<int> depth = it->second.DrillDepth(op.hierarchy);
+        Result<bool> can_drill = it->second.CanDrill(op.hierarchy);
+        out.status = 200;
+        out.body = "{\"hierarchy\":" + JsonQuote(op.hierarchy) +
+                   ",\"depth\":" + std::to_string(depth.ok() ? *depth : -1) +
+                   ",\"can_drill\":" +
+                   ((can_drill.ok() && *can_drill) ? "true" : "false") + "}";
+        break;
+      }
+      case SimOpKind::kSessionGet: {
+        out.status = 200;
+        out.body = SnapshotJson(op.session_index);
+        break;
+      }
+      case SimOpKind::kSessionDelete: {
+        out.status = 200;
+        out.body = "{\"deleted\":\"@SID@\"}";
+        sessions_.erase(op.session_index);
+        break;
+      }
+    }
+    expected.push_back(std::move(out));
+  }
+  return expected;
+}
+
+}  // namespace reptile

@@ -1,0 +1,87 @@
+// Golden-response oracle for the workload simulator: precomputes, for every
+// scheduled operation, the exact bytes the server must return — so the
+// open-loop runner (sim/open_loop_runner.h) validates responses
+// byte-for-byte instead of spot-checking status codes.
+//
+// How byte-equality is possible: the simulated dataset is the datagen
+// severity panel, uploaded as inline CSV rendered from the very Table the
+// oracle holds (measures printed with %.17g round-trip exactly), so server
+// and oracle operate on identical data with identical dictionary-code
+// assignment (first-appearance order on both sides). Recommend requests
+// carry {"zero_timings":true}, which zeroes every scheduling- and
+// cache-state-dependent response field (see service.cpp's ZeroTimings);
+// view, commit, and session-snapshot bodies are deterministic to begin
+// with. The only unpredictable token is the server-assigned session id,
+// which expected bodies carry as the @SID@ placeholder for the runner to
+// substitute once the session-create response reveals it.
+
+#ifndef REPTILE_SIM_ORACLE_H_
+#define REPTILE_SIM_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/session.h"
+#include "datagen/panel_gen.h"
+#include "sim/workload.h"
+
+namespace reptile {
+
+/// The dataset one scenario runs against.
+struct SimDatasetSpec {
+  std::string name = "sim";
+  PanelSpec panel;  // datagen severity panel shape
+};
+
+/// One op's golden: the HTTP status and body (with @SID@ unresolved) the
+/// server must produce, plus whether the body is byte-validated at all.
+struct ExpectedResponse {
+  int status = 200;
+  std::string body;          // may contain @SID@
+  bool validate_body = true;
+};
+
+class WorkloadOracle {
+ public:
+  /// Builds the panel, prepares the shared local dataset, and renders the
+  /// upload artifacts. Aborts (CHECK) only on internal inconsistency — the
+  /// generator and panel are both in-tree, so failures are programmer error.
+  explicit WorkloadOracle(SimDatasetSpec spec);
+
+  const std::string& dataset_name() const { return spec_.name; }
+
+  /// Body for POST /v1/datasets (inline CSV upload, hierarchies geo + time,
+  /// "time" pre-committed) and the exact 201 body that must come back.
+  const std::string& upload_body() const { return upload_body_; }
+  const std::string& upload_response() const { return upload_response_; }
+
+  /// Expected 200 body of DELETE /v1/datasets/{name}.
+  std::string delete_response() const;
+
+  /// Replays `schedule` against local Sessions (in schedule order — commits
+  /// mutate per-session state) and returns one ExpectedResponse per op.
+  std::vector<ExpectedResponse> ExpectedResponses(const std::vector<ScheduledOp>& schedule);
+
+ private:
+  std::string SnapshotJson(int session_index) const;
+
+  SimDatasetSpec spec_;
+  DatasetHandle handle_;
+  std::string upload_body_;
+  std::string upload_response_;
+  // Per-simulated-session local replicas, keyed by session index; their
+  // committed depths mirror the server sessions op for op.
+  std::map<int, Session> sessions_;
+};
+
+/// Renders `table` as CSV text (header row, ',' separator) that parses back
+/// to a bit-identical table: dimension values verbatim, measures with
+/// %.17g. Exposed for tests.
+std::string RenderTableCsv(const Table& table);
+
+}  // namespace reptile
+
+#endif  // REPTILE_SIM_ORACLE_H_

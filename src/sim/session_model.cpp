@@ -1,0 +1,220 @@
+#include "sim/session_model.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/json_util.h"
+
+namespace reptile {
+namespace {
+
+// Stream layout: streams 0..15 are reserved (0 = raw seed, 1..2 = arrival
+// processes — sim/workload.cpp), then three streams per session. Keeping
+// the purposes apart means changing, say, the think-time distribution never
+// re-times another session's operation mix.
+constexpr uint64_t kSessionStreamBase = 16;
+constexpr uint64_t kStreamsPerSession = 3;
+
+Rng LengthStream(const Rng& root, int i) {
+  return root.Stream(kSessionStreamBase + kStreamsPerSession * static_cast<uint64_t>(i));
+}
+Rng ThinkStream(const Rng& root, int i) {
+  return root.Stream(kSessionStreamBase + kStreamsPerSession * static_cast<uint64_t>(i) + 1);
+}
+Rng MixStream(const Rng& root, int i) {
+  return root.Stream(kSessionStreamBase + kStreamsPerSession * static_cast<uint64_t>(i) + 2);
+}
+
+std::string WhereJson(const std::vector<NamedPredicate>& where) {
+  std::string out = "[";
+  for (size_t i = 0; i < where.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"column\":" + JsonQuote(where[i].column) +
+           ",\"value\":" + JsonQuote(where[i].value) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+// Draws a complaint over the severity panel. All choices come from `mix` so
+// the complaint is deterministic in the session's mix stream position.
+ComplaintSpec DrawComplaint(Rng& mix, const SessionModelParams& params) {
+  ComplaintSpec spec;
+  // count complaints carry no measure; the others aggregate severity.
+  double which = mix.Uniform();
+  if (which < 0.25) {
+    spec.aggregate = "count";
+  } else if (which < 0.65) {
+    spec.aggregate = "mean";
+    spec.measure = "severity";
+  } else {
+    spec.aggregate = "sum";
+    spec.measure = "severity";
+  }
+  spec.direction = mix.Bernoulli(0.7) ? "too_high" : "too_low";
+  // Scope: a year (valid because sessions restore committed {"time":1}),
+  // a district, or the whole relation.
+  double scope = mix.Uniform();
+  if (scope < 0.5) {
+    spec.Where("year", "y" + std::to_string(mix.UniformInt(0, params.years - 1)));
+  } else if (scope < 0.8) {
+    spec.Where("district", "d" + std::to_string(mix.UniformInt(0, params.districts - 1)));
+  }
+  return spec;
+}
+
+ViewRequest DrawView(Rng& mix, const SessionModelParams& params) {
+  ViewRequest view;
+  if (mix.Bernoulli(0.6)) {
+    view.GroupBy("district");
+  } else {
+    view.GroupBy("year");
+  }
+  if (mix.Bernoulli(0.8)) view.Measure("severity");
+  if (mix.Bernoulli(0.3)) {
+    view.Where("year", "y" + std::to_string(mix.UniformInt(0, params.years - 1)));
+  }
+  return view;
+}
+
+std::string RenderComplaintJson(const ComplaintSpec& spec) {
+  std::string out = "{\"aggregate\":" + JsonQuote(spec.aggregate);
+  if (!spec.measure.empty()) out += ",\"measure\":" + JsonQuote(spec.measure);
+  out += ",\"direction\":" + JsonQuote(spec.direction);
+  if (!spec.where.empty()) out += ",\"where\":" + WhereJson(spec.where);
+  out += "}";
+  return out;
+}
+
+std::string RenderViewJson(const ViewRequest& view) {
+  std::string out = "{\"session\":\"@SID@\",\"group_by\":[";
+  for (size_t i = 0; i < view.group_by.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JsonQuote(view.group_by[i]);
+  }
+  out += "]";
+  if (!view.measure.empty()) out += ",\"measure\":" + JsonQuote(view.measure);
+  if (!view.where.empty()) out += ",\"where\":" + WhereJson(view.where);
+  out += "}";
+  return out;
+}
+
+int64_t ThinkGapNs(Rng& think, double mean_seconds) {
+  double gap = think.Exponential(mean_seconds);
+  double ns = gap * 1e9;
+  if (ns < 1.0) return 1;
+  if (ns > 9e18) return static_cast<int64_t>(9e18);
+  return static_cast<int64_t>(ns);
+}
+
+}  // namespace
+
+const char* SimOpKindName(SimOpKind kind) {
+  switch (kind) {
+    case SimOpKind::kSessionCreate:
+      return "session_create";
+    case SimOpKind::kRecommend:
+      return "recommend";
+    case SimOpKind::kView:
+      return "view";
+    case SimOpKind::kCommit:
+      return "commit";
+    case SimOpKind::kSessionGet:
+      return "session_get";
+    case SimOpKind::kSessionDelete:
+      return "session_delete";
+  }
+  return "unknown";
+}
+
+SessionChain BuildSessionChain(const Rng& root, int session_index,
+                               const SessionModelParams& params) {
+  REPTILE_CHECK(params.min_ops >= 0 && params.max_ops >= params.min_ops)
+      << "session chain wants 0 <= min_ops <= max_ops";
+  Rng length = LengthStream(root, session_index);
+  Rng think = ThinkStream(root, session_index);
+  Rng mix = MixStream(root, session_index);
+
+  SessionChain chain;
+  int64_t offset_ns = 0;
+  auto push = [&](SimOp op) {
+    op.session_index = session_index;
+    chain.ops.push_back(std::move(op));
+    chain.offsets_ns.push_back(offset_ns);
+  };
+
+  SimOp create;
+  create.kind = SimOpKind::kSessionCreate;
+  create.method = "POST";
+  create.path = "/v1/sessions";
+  create.body = "{\"dataset\":\"@DS@\",\"committed\":{\"time\":1},\"options\":{\"top_k\":" +
+                std::to_string(params.top_k) + "}}";
+  push(std::move(create));
+
+  int num_ops = static_cast<int>(length.UniformInt(params.min_ops, params.max_ops));
+  int commits_left = params.max_commits;
+  double total_weight =
+      params.recommend_weight + params.view_weight + params.commit_weight;
+  REPTILE_CHECK(total_weight > 0.0) << "session mix wants a positive total weight";
+  for (int i = 0; i < num_ops; ++i) {
+    offset_ns += ThinkGapNs(think, params.mean_think_seconds);
+    // One mix draw picks the kind; the commit cap is applied after the draw
+    // (falling back to recommend) so the pick itself always costs exactly
+    // one draw.
+    double pick = mix.Uniform() * total_weight;
+    SimOpKind kind;
+    if (pick < params.recommend_weight) {
+      kind = SimOpKind::kRecommend;
+    } else if (pick < params.recommend_weight + params.view_weight) {
+      kind = SimOpKind::kView;
+    } else {
+      kind = SimOpKind::kCommit;
+    }
+    if (kind == SimOpKind::kCommit && commits_left <= 0) kind = SimOpKind::kRecommend;
+
+    SimOp op;
+    op.kind = kind;
+    op.method = "POST";
+    switch (kind) {
+      case SimOpKind::kRecommend:
+        op.path = "/v1/recommend";
+        op.complaint = DrawComplaint(mix, params);
+        op.body = "{\"session\":\"@SID@\",\"complaint\":" +
+                  RenderComplaintJson(op.complaint) +
+                  ",\"options\":{\"zero_timings\":true}}";
+        break;
+      case SimOpKind::kView:
+        op.path = "/v1/view";
+        op.view = DrawView(mix, params);
+        op.body = RenderViewJson(op.view);
+        break;
+      case SimOpKind::kCommit:
+        --commits_left;
+        op.path = "/v1/commit";
+        op.hierarchy = "geo";
+        op.body = "{\"session\":\"@SID@\",\"hierarchy\":\"geo\"}";
+        break;
+      default:
+        REPTILE_CHECK(false) << "unreachable";
+    }
+    push(std::move(op));
+  }
+
+  offset_ns += ThinkGapNs(think, params.mean_think_seconds);
+  SimOp snapshot;
+  snapshot.kind = SimOpKind::kSessionGet;
+  snapshot.method = "GET";
+  snapshot.path = "/v1/sessions/@SID@";
+  push(std::move(snapshot));
+
+  offset_ns += ThinkGapNs(think, params.mean_think_seconds);
+  SimOp finish;
+  finish.kind = SimOpKind::kSessionDelete;
+  finish.method = "DELETE";
+  finish.path = "/v1/sessions/@SID@";
+  push(std::move(finish));
+
+  return chain;
+}
+
+}  // namespace reptile

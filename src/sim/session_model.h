@@ -1,0 +1,97 @@
+// Session behavior model for the workload simulator: once an analyst
+// arrives (sim/arrival.h), what do they do? Each simulated session is a
+// finite chain of API operations against the serving tier
+// (server/service.h) — open a session over the shared dataset, alternate
+// recommend / view / commit work separated by think-time gaps, snapshot the
+// session state, and delete the session on the way out.
+//
+// Every stochastic choice (chain length, think times, operation mix,
+// complaint and view contents) draws from per-session Rng sub-streams, so
+// the chain of session i is a pure function of (root seed, i) — adding a
+// session or reordering generation never perturbs another session's ops.
+//
+// Ops carry BOTH the wire form (method/path/body with @SID@ / @DS@
+// placeholders resolved at replay time) and the structured payload
+// (ComplaintSpec / ViewRequest / hierarchy name), so the oracle
+// (sim/oracle.h) can replay the same operation against a local Session and
+// precompute the exact bytes the server must return.
+
+#ifndef REPTILE_SIM_SESSION_MODEL_H_
+#define REPTILE_SIM_SESSION_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "common/rng.h"
+
+namespace reptile {
+
+enum class SimOpKind {
+  kSessionCreate,  // POST /v1/sessions
+  kRecommend,      // POST /v1/recommend (zero_timings — byte-validatable)
+  kView,           // POST /v1/view
+  kCommit,         // POST /v1/commit
+  kSessionGet,     // GET /v1/sessions/@SID@ (the snapshot read)
+  kSessionDelete,  // DELETE /v1/sessions/@SID@
+};
+
+const char* SimOpKindName(SimOpKind kind);
+
+/// One scheduled operation. `body` may reference @DS@ (dataset name) and
+/// @SID@ (the server-assigned session id, known only after the session's
+/// kSessionCreate response arrives); the runner substitutes both.
+struct SimOp {
+  SimOpKind kind = SimOpKind::kRecommend;
+  int session_index = 0;  // which simulated analyst this op belongs to
+  std::string method;
+  std::string path;  // may contain @SID@
+  std::string body;  // may contain @SID@ / @DS@
+
+  // Structured payload for the oracle (which field is meaningful depends on
+  // kind; the wire body above is rendered from it).
+  ComplaintSpec complaint;  // kRecommend
+  ViewRequest view;         // kView
+  std::string hierarchy;    // kCommit
+};
+
+/// Shape of one simulated analyst session over the severity panel
+/// (datagen/panel_gen.h: dimensions district/village/year, measure
+/// severity, hierarchies geo = district > village and time = year).
+struct SessionModelParams {
+  int min_ops = 2;                // work ops per session (excluding create,
+  int max_ops = 6;                // snapshot read, and delete), inclusive
+  double mean_think_seconds = 0.2;  // exponential gap between a session's ops
+  // Operation mix (relative weights; commit capped by max_commits).
+  double recommend_weight = 0.6;
+  double view_weight = 0.3;
+  double commit_weight = 0.1;
+  // Commits drill the "geo" hierarchy one level each. The panel's geo has
+  // two levels, so at most 2 commits keep the session valid; the steady
+  // scenario uses 1 (recommends always have a drillable hierarchy left) and
+  // the overload scenario 0 (stateless inside the session).
+  int max_commits = 1;
+  int top_k = 5;  // session option, mirrored by the oracle
+  // Panel extents the generators draw values from (must match the
+  // SimDatasetSpec actually uploaded — sim/oracle.h).
+  int districts = 8;
+  int years = 10;
+};
+
+/// One session's op chain with think-time offsets from the session's
+/// arrival instant. ops[0] is always kSessionCreate at offset 0; the chain
+/// ends with kSessionGet then kSessionDelete.
+struct SessionChain {
+  std::vector<SimOp> ops;
+  std::vector<int64_t> offsets_ns;  // same length as ops, non-decreasing
+};
+
+/// Generates session `session_index`'s chain from its dedicated sub-streams
+/// of `root`. Deterministic in (root seed, session_index, params).
+SessionChain BuildSessionChain(const Rng& root, int session_index,
+                               const SessionModelParams& params);
+
+}  // namespace reptile
+
+#endif  // REPTILE_SIM_SESSION_MODEL_H_

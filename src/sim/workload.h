@@ -1,0 +1,85 @@
+// Scenario assembly for the workload simulator: an arrival process
+// (sim/arrival.h) spawns analyst sessions, each session expands to an op
+// chain (sim/session_model.h), and every op lands in the discrete-event
+// queue (sim/event_queue.h) to produce ONE globally ordered schedule — the
+// exact sequence of (virtual instant, operation) pairs the open-loop runner
+// (sim/open_loop_runner.h) will fire at the server.
+//
+// The schedule is a pure function of (ScenarioSpec, seed): BuildSchedule
+// draws every stochastic choice from dedicated Rng sub-streams and orders
+// ties deterministically, so DumpSchedule emits byte-identical text for the
+// same seed on every run, platform, and replay thread count —
+// tests/sim_test.cpp and scripts/check.sh assert exactly that, and
+// ScheduleDigest condenses the property into one FNV-1a line for bench
+// reports.
+
+#ifndef REPTILE_SIM_WORKLOAD_H_
+#define REPTILE_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/panel_gen.h"
+#include "sim/arrival.h"
+#include "sim/session_model.h"
+
+namespace reptile {
+
+/// One scheduled request: fire `op` at `time_ns` after scenario start.
+struct ScheduledOp {
+  int64_t time_ns = 0;
+  uint64_t seq = 0;  // global order among equal instants
+  SimOp op;
+};
+
+struct ScenarioSpec {
+  std::string name = "steady";
+  // Arrival process: kPoisson uses `poisson_rate_per_second`; kMmpp uses
+  // `mmpp`.
+  enum class Arrivals { kPoisson, kMmpp };
+  Arrivals arrivals = Arrivals::kPoisson;
+  double poisson_rate_per_second = 5.0;
+  MmppArrivals::Params mmpp;
+  // Sessions stop arriving after this much virtual time (their op chains
+  // may run past it; the schedule ends when every chain does).
+  double arrival_window_seconds = 2.0;
+  int max_sessions = 0;  // hard cap on arrivals; 0 = window only
+  SessionModelParams session;
+  // Shape of the dataset the scenario uploads and runs against. Must cover
+  // the values the session model draws (districts >= session.districts,
+  // years >= session.years); extra villages/rows only raise per-request
+  // cost, which the overload scenario exploits.
+  PanelSpec panel;
+};
+
+/// The steady-state scenario: Poisson arrivals at a modest rate, think-y
+/// sessions, one commit each — the server keeps up, every response is
+/// byte-validated against the oracle, and the run's failure count must be 0.
+ScenarioSpec SteadyScenario();
+
+/// The overload scenario: MMPP arrivals whose burst state outruns the
+/// server's admission settings, stateless sessions with near-zero think
+/// time. Run against --rate-limit-rps / --queue-deadline-ms it must provoke
+/// 429s and 503 sheds (scripts/check.sh asserts the counters moved).
+ScenarioSpec BurstScenario();
+
+/// Expands the scenario into the globally ordered schedule. Deterministic
+/// in (spec, seed); `seed` feeds every sub-stream (arrivals draw streams
+/// 1-2, session i draws streams 16+3i..18+3i).
+std::vector<ScheduledOp> BuildSchedule(const ScenarioSpec& spec, uint64_t seed);
+
+/// Renders the schedule as text: a header (scenario, seed, counts) plus one
+/// tab-separated line per op — time_ns, seq, session index, op kind,
+/// method, path, body. Byte-identical across runs for the same (spec,
+/// seed); the determinism artifact tests and check.sh diff.
+std::string DumpSchedule(const ScenarioSpec& spec, uint64_t seed,
+                         const std::vector<ScheduledOp>& schedule);
+
+/// 16-hex-digit FNV-1a digest of DumpSchedule's text.
+std::string ScheduleDigest(const ScenarioSpec& spec, uint64_t seed,
+                           const std::vector<ScheduledOp>& schedule);
+
+}  // namespace reptile
+
+#endif  // REPTILE_SIM_WORKLOAD_H_

@@ -1,0 +1,300 @@
+// Tests for the admission-control layer grown for the workload simulator:
+// HttpClient deadlines against a stalled server (kDeadlineExceeded, distinct
+// from kIoError), token-bucket 429s with Retry-After on BOTH front ends
+// (with /healthz and /metricsz exempt), queue-deadline 503 shedding on both
+// front ends (per-connection threaded, per-request reactor — the reactor
+// connection survives), the kDeadlineExceeded -> 504 wire mapping, and the
+// /metricsz export of the new transport counters.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "net/reactor_server.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/service.h"
+
+namespace reptile {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// A listener that accepts connections and then never writes a byte — the
+// shape of a wedged server that HttpClient's deadline must cut through.
+class StalledListener {
+ public:
+  StalledListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+    accepter_ = std::thread([this] {
+      for (;;) {
+        int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) return;  // listener closed: test over
+        accepted_.push_back(client);
+      }
+    });
+  }
+
+  ~StalledListener() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    accepter_.join();
+    for (int client : accepted_) ::close(client);
+  }
+
+  int port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+  std::thread accepter_;
+  std::vector<int> accepted_;
+};
+
+TEST(HttpClientTimeoutTest, StalledServerSurfacesDeadlineExceeded) {
+  StalledListener listener;
+  HttpClient client("127.0.0.1", listener.port());
+  client.SetTimeoutMs(200);
+  const auto start = Clock::now();
+  Result<HttpClientResponse> response = client.Get("/anything");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+  // Well past the 200ms deadline but nowhere near a blocking-forever hang.
+  EXPECT_LT(SecondsSince(start), 5.0);
+
+  // The failed socket was torn down; the client recovers by reconnecting
+  // (and times out again — the server is still wedged, but as a fresh,
+  // correctly-classified error rather than a desynced stream).
+  Result<HttpClientResponse> again = client.Get("/anything");
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// One front end + a caller-supplied handler; admission control is purely a
+// front-end concern, so these tests don't need the full service.
+struct FrontEnd {
+  FrontEnd(bool reactor, HttpHandler handler, double rate_limit_rps,
+           double rate_limit_burst, int queue_deadline_ms, int num_threads) {
+    if (reactor) {
+      ReactorServerOptions options;
+      options.num_threads = num_threads;
+      options.rate_limit_rps = rate_limit_rps;
+      options.rate_limit_burst = rate_limit_burst;
+      options.queue_deadline_ms = queue_deadline_ms;
+      reactor_server = std::make_unique<ReactorServer>(std::move(options),
+                                                       std::move(handler));
+      EXPECT_TRUE(reactor_server->Start().ok());
+      port = reactor_server->port();
+    } else {
+      HttpServerOptions options;
+      options.num_threads = num_threads;
+      options.rate_limit_rps = rate_limit_rps;
+      options.rate_limit_burst = rate_limit_burst;
+      options.queue_deadline_ms = queue_deadline_ms;
+      http_server = std::make_unique<HttpServer>(std::move(options),
+                                                 std::move(handler));
+      EXPECT_TRUE(http_server->Start().ok());
+      port = http_server->port();
+    }
+  }
+
+  ~FrontEnd() {
+    if (reactor_server != nullptr) reactor_server->Stop();
+    if (http_server != nullptr) http_server->Stop();
+  }
+
+  int64_t rate_limited() const {
+    return reactor_server != nullptr ? reactor_server->requests_rate_limited()
+                                     : http_server->requests_rate_limited();
+  }
+  int64_t shed() const {
+    return reactor_server != nullptr ? reactor_server->requests_shed()
+                                     : http_server->requests_shed();
+  }
+
+  std::unique_ptr<HttpServer> http_server;
+  std::unique_ptr<ReactorServer> reactor_server;
+  int port = 0;
+};
+
+HttpHandler OkHandler() {
+  return [](const HttpRequest&) { return HttpResponse::Json(200, "{\"ok\":true}"); };
+}
+
+TEST(AdmissionTest, RateLimitReturns429WithRetryAfterOnBothFrontEnds) {
+  for (bool reactor : {false, true}) {
+    SCOPED_TRACE(reactor ? "reactor" : "threaded");
+    // A refill rate of ~0 makes the test deterministic: exactly `burst`
+    // requests are admitted, ever.
+    FrontEnd server(reactor, OkHandler(), /*rate_limit_rps=*/0.0001,
+                    /*rate_limit_burst=*/2.0, /*queue_deadline_ms=*/0,
+                    /*num_threads=*/2);
+    HttpClient client("127.0.0.1", server.port);
+
+    for (int i = 0; i < 2; ++i) {
+      Result<HttpClientResponse> admitted = client.Post("/api/op", "{}");
+      ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+      EXPECT_EQ(admitted->status, 200);
+    }
+    Result<HttpClientResponse> limited = client.Post("/api/op", "{}");
+    ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+    EXPECT_EQ(limited->status, 429);
+    EXPECT_NE(limited->body.find("\"code\":\"RATE_LIMITED\""), std::string::npos)
+        << limited->body;
+    EXPECT_NE(limited->body.find("\"http\":429"), std::string::npos);
+    const std::string* retry_after = limited->FindHeader("retry-after");
+    ASSERT_NE(retry_after, nullptr);
+    EXPECT_GE(std::stol(*retry_after), 1);
+
+    // The rejection is a normal response on a healthy connection: the same
+    // client keeps talking, and the health/metrics routes stay exempt no
+    // matter how drained the bucket is.
+    for (int i = 0; i < 3; ++i) {
+      Result<HttpClientResponse> health = client.Get("/healthz");
+      ASSERT_TRUE(health.ok()) << health.status().ToString();
+      EXPECT_EQ(health->status, 200);
+      Result<HttpClientResponse> metrics = client.Get("/metricsz");
+      ASSERT_TRUE(metrics.ok());
+      // The bare front end has no /metricsz handler (the service provides
+      // it); exempt means "reached the handler", i.e. NOT 429.
+      EXPECT_NE(metrics->status, 429);
+    }
+    EXPECT_EQ(server.rate_limited(), 1);
+    EXPECT_EQ(server.shed(), 0);
+  }
+}
+
+HttpHandler SlowPathHandler() {
+  return [](const HttpRequest& request) {
+    if (request.path == "/slow") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    return HttpResponse::Json(200, "{\"ok\":true}");
+  };
+}
+
+TEST(AdmissionTest, QueueDeadlineShedsBehindABusyWorkerOnBothFrontEnds) {
+  for (bool reactor : {false, true}) {
+    SCOPED_TRACE(reactor ? "reactor" : "threaded");
+    // One worker + a 1ms deadline: anything that arrives while /slow holds
+    // the worker has waited too long by the time the worker frees up.
+    FrontEnd server(reactor, SlowPathHandler(), /*rate_limit_rps=*/0.0,
+                    /*rate_limit_burst=*/0.0, /*queue_deadline_ms=*/1,
+                    /*num_threads=*/1);
+
+    std::thread slow([port = server.port] {
+      HttpClient client("127.0.0.1", port);
+      Result<HttpClientResponse> response = client.Get("/slow");
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->status, 200);
+    });
+    // Give /slow time to occupy the worker before the victim arrives.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    HttpClient victim("127.0.0.1", server.port);
+    Result<HttpClientResponse> shed = victim.Get("/fast");
+    slow.join();
+    ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+    EXPECT_EQ(shed->status, 503);
+    EXPECT_NE(shed->body.find("\"code\":\"OVERLOADED\""), std::string::npos)
+        << shed->body;
+    EXPECT_GE(server.shed(), 1);
+    EXPECT_EQ(server.rate_limited(), 0);
+
+    // With the worker idle again the same client is served normally — on
+    // the reactor the 503 never even closed the connection (per-request
+    // shedding), on the threaded front end the client reconnects.
+    Result<HttpClientResponse> after = victim.Get("/fast");
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(after->status, 200);
+  }
+}
+
+TEST(AdmissionTest, DeadlineExceededMapsTo504OnTheWire) {
+  ServiceOptions options;
+  options.enable_debug_status_route = true;
+  ReptileService service(std::move(options));
+  HttpServerOptions server_options;
+  server_options.num_threads = 1;
+  HttpServer server(server_options, [&service](const HttpRequest& request) {
+    return service.Handle(request);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client("127.0.0.1", server.port());
+  Result<HttpClientResponse> response = client.Post(
+      "/v1/_debug/status",
+      R"({"code":"DEADLINE_EXCEEDED","message":"engine budget spent"})");
+  server.Stop();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 504);
+  EXPECT_NE(response->body.find("\"code\":\"DEADLINE_EXCEEDED\""), std::string::npos)
+      << response->body;
+  EXPECT_NE(response->body.find("\"http\":504"), std::string::npos);
+}
+
+TEST(AdmissionTest, MetricszExportsRateLimitAndShedCounters) {
+  // The serve_main wiring in miniature: the service's /metricsz pulls the
+  // front end's StatsJson through the transport hook, so the new counters
+  // surface as reptile_transport_* gauges.
+  std::function<std::string()> transport_stats;
+  ServiceOptions service_options;
+  service_options.transport_stats_json = [&transport_stats] {
+    return transport_stats ? transport_stats() : std::string("null");
+  };
+  ReptileService service(std::move(service_options));
+
+  HttpServerOptions server_options;
+  server_options.num_threads = 2;
+  server_options.rate_limit_rps = 0.0001;
+  server_options.rate_limit_burst = 1.0;
+  HttpServer server(server_options, [&service](const HttpRequest& request) {
+    return service.Handle(request);
+  });
+  transport_stats = [&server] { return server.StatsJson(); };
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client("127.0.0.1", server.port());
+  Result<HttpClientResponse> admitted = client.Post("/api/op", "{}");
+  ASSERT_TRUE(admitted.ok());
+  Result<HttpClientResponse> limited = client.Post("/api/op", "{}");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->status, 429);
+
+  Result<HttpClientResponse> metrics = client.Get("/metricsz");
+  server.Stop();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("reptile_transport_requests_rate_limited 1"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(metrics->body.find("reptile_transport_requests_shed 0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace reptile
