@@ -1,0 +1,291 @@
+// The incremental-version contract in numbers: for the SAME arrival event —
+// delta rows land while a pinned analyst keeps working and a fresh analyst
+// probes the new head — how much work does the versioned system perform
+// versus the no-versioning counterfactual (throw the dataset away, rebuild
+// from the concatenated CSV, everyone starts cold)? Emitted as
+// BENCH_incremental.json; scripts/check.sh gates on the structural fields,
+// never on timings, so the stage is safe on a 1-CPU CI runner.
+//
+// The traffic is identical in both worlds (that is what makes the
+// comparison honest): a pinned POPULATION — one analyst at the shallow
+// state (time committed) and one drilled a level into geo — re-runs its
+// full 8-complaint batches after the event, and one fresh analyst probes
+// the new head with 4 complaints at the deep state. Only the system
+// differs:
+//
+//   cold        — one PreparedDataset from the concatenated CSV; every
+//                 session pays from zero: each pinned analyst refits its
+//                 state's models and every (hierarchy, depth) f-tree the
+//                 workload touches is rebuilt.
+//   incremental — AppendRowsCsv builds version 2 sharing the parent's
+//                 caches; the pinned analysts' entries and models are all
+//                 still resident (0 builds, 0 fits), so the event's only
+//                 work is the head probe's own state — and its only f-tree
+//                 miss is the (geo, 2) entry the delta actually dirtied.
+//
+// Hard assertions (exit 1 on violation):
+//   * append performs strictly fewer f-tree builds AND model fits;
+//   * zero rebuilds outside the dirtied subtrees (builds <= invalidated);
+//   * the probe's responses over version 2 are byte-identical to the cold
+//     rebuild's, and the pinned analyst's bytes do not change across the
+//     append.
+//
+// Usage: incremental_append [output.json]  (default ./BENCH_incremental.json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "datagen/panel_gen.h"
+#include "reptile/reptile.h"
+#include "sim/oracle.h"
+#include "version/append.h"
+
+namespace reptile {
+namespace {
+
+Dataset MakePanel() {
+  PanelSpec spec;
+  spec.districts = 8;
+  spec.villages_per_district = 6;
+  spec.years = 8;
+  spec.rows_per_group = 4;
+  return MakeSeverityPanel(spec);
+}
+
+// Three delta rows: existing districts and years, NEW villages — so the geo
+// hierarchy dirties at depth 2 only and time stays fully clean.
+const char kDeltaCsv[] =
+    "district,village,year,severity\n"
+    "d0,d0_x,y0,1.5\n"
+    "d1,d1_x,y1,2.75\n"
+    "d2,d2_x,y2,3.5\n";
+
+// The delta's data rows alone, for building the concatenated cold CSV.
+std::string DeltaRows() {
+  std::string delta = kDeltaCsv;
+  return delta.substr(delta.find('\n') + 1);
+}
+
+DatasetHandle PrepareOrDie(Dataset dataset) {
+  Result<DatasetHandle> handle = PreparedDataset::Prepare(std::move(dataset));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", handle.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(handle).value();
+}
+
+DatasetHandle PrepareFromCsvOrDie(const std::string& csv) {
+  CsvSpec spec;
+  spec.dimension_columns = {"district", "village", "year"};
+  spec.measure_columns = {"severity"};
+  CsvStreamParser parser(spec, "bench csv");
+  parser.Feed(csv);
+  Result<Table> table = parser.Finish();
+  if (!table.ok()) {
+    std::fprintf(stderr, "csv parse failed: %s\n", table.status().ToString().c_str());
+    std::exit(1);
+  }
+  Result<Dataset> dataset = Dataset::Make(
+      std::move(table).value(), {{"geo", {"district", "village"}}, {"time", {"year"}}});
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset make failed: %s\n", dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  return PrepareOrDie(std::move(dataset).value());
+}
+
+// Shallow analyst state: time committed, geo at the root.
+Session OpenShallowOrDie(const DatasetHandle& handle) {
+  Result<Session> session = Session::Open(handle);
+  if (!session.ok() || !session->Commit("time").ok()) {
+    std::fprintf(stderr, "session open failed\n");
+    std::exit(1);
+  }
+  return std::move(session).value();
+}
+
+// Deep analyst state: time committed, geo drilled one level — probes at
+// this state exercise the depth-2 geo subtree, exactly the one the delta
+// dirties.
+Session OpenDeepOrDie(const DatasetHandle& handle) {
+  Session session = OpenShallowOrDie(handle);
+  if (!session.Commit("geo").ok()) {
+    std::fprintf(stderr, "geo commit failed\n");
+    std::exit(1);
+  }
+  return session;
+}
+
+std::vector<ComplaintSpec> FullBatch() {
+  std::vector<ComplaintSpec> complaints;
+  for (int y = 0; y < 8; ++y) {
+    complaints.push_back(
+        ComplaintSpec::TooHigh("std", "severity").Where("year", "y" + std::to_string(y)));
+  }
+  return complaints;
+}
+
+std::vector<ComplaintSpec> Probe() {
+  std::vector<ComplaintSpec> full = FullBatch();
+  return {full.begin(), full.begin() + 4};
+}
+
+void RecommendAllOrDie(Session& session, const std::vector<ComplaintSpec>& complaints) {
+  Result<BatchExploreResponse> batch =
+      session.RecommendAll(std::span<const ComplaintSpec>(complaints));
+  if (!batch.ok()) {
+    std::fprintf(stderr, "recommend failed: %s\n", batch.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// A recommend response with the scheduling-dependent timing fields zeroed —
+// the same transform the serving tier's zero_timings option applies, so the
+// remaining bytes are fully deterministic and comparable.
+std::string ZeroTimedJson(Session& session, const ComplaintSpec& complaint) {
+  Result<ExploreResponse> response = session.Recommend(complaint);
+  if (!response.ok()) {
+    std::fprintf(stderr, "recommend failed: %s\n", response.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (HierarchyResponse& candidate : response->candidates) {
+    candidate.train_seconds = 0.0;
+    candidate.total_seconds = 0.0;
+  }
+  return response->ToJson();
+}
+
+int Run(const char* output_path) {
+  const std::vector<ComplaintSpec> full = FullBatch();
+  const std::vector<ComplaintSpec> probe = Probe();
+
+  // ===== Incremental world ==================================================
+  Dataset panel = MakePanel();
+  const size_t base_rows = panel.table().num_rows();
+  DatasetHandle v1 = PrepareOrDie(std::move(panel));
+  Session pinned_shallow = OpenShallowOrDie(v1);
+  Session pinned_deep = OpenDeepOrDie(v1);
+  RecommendAllOrDie(pinned_shallow, full);  // fully warms v1's aggregates and
+  RecommendAllOrDie(pinned_deep, full);     // models at both analyst states
+  const std::string pinned_before = ZeroTimedJson(pinned_deep, full[0]);
+
+  // The event begins here: every build and fit from this point on is the
+  // price of absorbing the delta.
+  const int64_t builds_before = v1->cache_misses();
+  const int64_t fits_before = v1->model_cache_fits();
+
+  Result<AppendResult> appended = AppendRowsCsv(v1, kDeltaCsv, "bench delta");
+  if (!appended.ok()) {
+    std::fprintf(stderr, "append failed: %s\n", appended.status().ToString().c_str());
+    std::exit(1);
+  }
+  const DatasetHandle& v2 = appended->child;
+
+  // The pinned analysts keep working on v1 — nothing was flushed, so these
+  // re-runs must hit everywhere.
+  RecommendAllOrDie(pinned_shallow, full);
+  RecommendAllOrDie(pinned_deep, full);
+  // The fresh analyst probes version 2 at the deep state.
+  Session head = OpenDeepOrDie(v2);
+  RecommendAllOrDie(head, probe);
+
+  // v1 and v2 share the cache objects, so deltas on v1's counters cover both.
+  const int64_t builds_append = v1->cache_misses() - builds_before;
+  const int64_t fits_append = v1->model_cache_fits() - fits_before;
+  const int64_t rebuilds_outside_dirty =
+      builds_append > appended->invalidated_entries
+          ? builds_append - appended->invalidated_entries
+          : 0;
+
+  // ===== Cold world (no-versioning counterfactual) ==========================
+  // The append throws the old dataset away: every analyst restarts on a
+  // from-scratch build of the concatenated CSV and replays the same traffic.
+  DatasetHandle cold = PrepareFromCsvOrDie(RenderTableCsv(v1->table()) + DeltaRows());
+  Session cold_shallow = OpenShallowOrDie(cold);
+  Session cold_deep = OpenDeepOrDie(cold);
+  RecommendAllOrDie(cold_shallow, full);
+  RecommendAllOrDie(cold_deep, full);
+  Session cold_head = OpenDeepOrDie(cold);
+  RecommendAllOrDie(cold_head, probe);
+  const int64_t builds_cold = cold->cache_misses();
+  const int64_t fits_cold = cold->model_cache_fits();
+
+  // ===== Byte identity ======================================================
+  // The probe over incrementally-built v2 must render the exact bytes the
+  // cold rebuild renders, and the pinned analyst's bytes must not have moved.
+  bool byte_identical = true;
+  for (const ComplaintSpec& complaint : probe) {
+    if (ZeroTimedJson(head, complaint) != ZeroTimedJson(cold_head, complaint)) {
+      byte_identical = false;
+    }
+  }
+  const bool pinned_stable = ZeroTimedJson(pinned_deep, full[0]) == pinned_before;
+
+  const bool strictly_fewer = builds_append < builds_cold && fits_append < fits_cold;
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"incremental_append\",\"base_rows\":%zu,\"delta_rows\":3,"
+      "\"ftree_builds_cold\":%lld,\"ftree_builds_append\":%lld,"
+      "\"model_fits_cold\":%lld,\"model_fits_append\":%lld,"
+      "\"invalidated_entries\":%lld,\"shared_entries\":%lld,"
+      "\"rebuilds_outside_dirty\":%lld,"
+      "\"append_strictly_fewer\":%s,\"byte_identical\":%s,\"pinned_stable\":%s}\n",
+      base_rows, static_cast<long long>(builds_cold),
+      static_cast<long long>(builds_append), static_cast<long long>(fits_cold),
+      static_cast<long long>(fits_append),
+      static_cast<long long>(appended->invalidated_entries),
+      static_cast<long long>(appended->shared_entries),
+      static_cast<long long>(rebuilds_outside_dirty),
+      strictly_fewer ? "true" : "false", byte_identical ? "true" : "false",
+      pinned_stable ? "true" : "false");
+
+  std::ofstream out(output_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", output_path);
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fputs(json, stdout);
+
+  if (fits_cold <= 0 || builds_cold <= 0) {
+    std::fprintf(stderr, "FAIL: the cold world did no work — the bench measured nothing\n");
+    return 1;
+  }
+  if (!strictly_fewer) {
+    std::fprintf(stderr,
+                 "FAIL: append did not beat the cold rebuild (builds %lld vs %lld, "
+                 "fits %lld vs %lld)\n",
+                 static_cast<long long>(builds_append),
+                 static_cast<long long>(builds_cold),
+                 static_cast<long long>(fits_append),
+                 static_cast<long long>(fits_cold));
+    return 1;
+  }
+  if (rebuilds_outside_dirty != 0) {
+    std::fprintf(stderr, "FAIL: %lld rebuilds landed outside the dirtied subtrees\n",
+                 static_cast<long long>(rebuilds_outside_dirty));
+    return 1;
+  }
+  if (!byte_identical || !pinned_stable) {
+    std::fprintf(stderr, "FAIL: byte identity broke (probe %s, pinned %s)\n",
+                 byte_identical ? "ok" : "diverged", pinned_stable ? "ok" : "moved");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace reptile
+
+int main(int argc, char** argv) {
+  const char* output = argc > 1 ? argv[1] : "BENCH_incremental.json";
+  return reptile::Run(output);
+}

@@ -95,6 +95,24 @@ if [[ -x "$BUILD_DIR/bench/obs_overhead" ]]; then
   echo "--- observability bench passed"
 fi
 
+if [[ -x "$BUILD_DIR/bench/incremental_append" ]]; then
+  echo "--- incremental-append bench: append must beat the cold rebuild"
+  # Emits BENCH_incremental.json (f-tree builds and model fits for absorbing
+  # a delta via the version chain vs a cold rebuild of the concatenated CSV,
+  # plus the dirty-subtree accounting) and exits non-zero when the append is
+  # not strictly cheaper, a rebuild lands outside the dirtied subtrees, or
+  # any response byte diverges; the greps double-check the recorded contract
+  # — structural fields only, never timings (CI machines are slow and
+  # shared).
+  "$BUILD_DIR/bench/incremental_append" "$BUILD_DIR/BENCH_incremental.json"
+  require_bench_json "$BUILD_DIR/BENCH_incremental.json"
+  grep -q '"append_strictly_fewer":true' "$BUILD_DIR/BENCH_incremental.json"
+  grep -q '"rebuilds_outside_dirty":0' "$BUILD_DIR/BENCH_incremental.json"
+  grep -q '"byte_identical":true' "$BUILD_DIR/BENCH_incremental.json"
+  grep -q '"pinned_stable":true' "$BUILD_DIR/BENCH_incremental.json"
+  echo "--- incremental-append bench passed"
+fi
+
 if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   echo "--- server smoke: reptile_serve --demo on an ephemeral port"
   SERVE_LOG="$(mktemp)"
@@ -146,6 +164,56 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   curl -fsS -X DELETE "http://127.0.0.1:$PORT/v1/sessions/$SID" | grep '"deleted"' >/dev/null
   [[ "$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/v1/sessions/$SID")" == "404" ]]
 
+  echo "--- server smoke: append lifecycle (pin v1, append v2, both answer, delete)"
+  # Pin a session to version 1 BEFORE the append so the ancestor stays live.
+  PIN_SID="$(curl -fsS -X POST "http://127.0.0.1:$PORT/v1/sessions" \
+      -d '{"dataset":"up@v1","committed":{"time":1}}' \
+    | sed -n 's/.*"session":"\([^"]*\)".*/\1/p')"
+  [[ -n "$PIN_SID" ]] || { echo "pinned session create returned no id"; exit 1; }
+  # Inline-JSON append: one new district row becomes version 2 of the chain.
+  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/datasets/up/rows" \
+      -d '{"csv":"d,y,m\nd3,y0,7\n"}' | grep '"dataset_version":2' >/dev/null
+  # Both versions answer: the head recommend reads v2, the pinned session
+  # stays on v1 — the X-Dataset-Version header names the version each used.
+  curl -fsS -D - -X POST "http://127.0.0.1:$PORT/v1/recommend" \
+      -d '{"dataset":"up","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
+    | grep -i '^x-dataset-version: 2' >/dev/null
+  curl -fsS -D - -X POST "http://127.0.0.1:$PORT/v1/recommend" \
+      -d '{"session":"'"$PIN_SID"'","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
+    | grep -i '^x-dataset-version: 1' >/dev/null
+  # /healthz tracks the chain: head 2 with both versions live while pinned.
+  curl -fsS "http://127.0.0.1:$PORT/healthz" \
+    | grep '"dataset":"up","head":2,"live":\[1,2\]' >/dev/null
+  # Schema-changing appends are 400s naming the exact offending column.
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "http://127.0.0.1:$PORT/v1/datasets/up/rows" \
+        -d '{"csv":"d,y,m,extra\nd0,y0,1,2\n"}')" == "400" ]]
+  curl -s -X POST "http://127.0.0.1:$PORT/v1/datasets/up/rows" \
+      -d '{"csv":"d,y,m,extra\nd0,y0,1,2\n"}' \
+    | grep "unknown column 'extra'" >/dev/null
+  # Unpin, append again: the GC retires v1 AND v2 (nothing pins them now),
+  # and the retirements surface on /healthz and /metricsz.
+  curl -fsS -X DELETE "http://127.0.0.1:$PORT/v1/sessions/$PIN_SID" | grep '"deleted"' >/dev/null
+  curl -fsS -X POST "http://127.0.0.1:$PORT/v1/datasets/up/rows" \
+      -d '{"csv":"d,y,m\nd3,y1,8\n"}' | grep '"dataset_version":3' >/dev/null
+  curl -fsS "http://127.0.0.1:$PORT/healthz" \
+    | grep '"dataset":"up","head":3,"live":\[3\]' >/dev/null
+  curl -fsS "http://127.0.0.1:$PORT/healthz" | grep '"versions_gc":2' >/dev/null
+  curl -fsS "http://127.0.0.1:$PORT/metricsz" \
+    | grep -E 'reptile_dataset_head_version\{dataset="up"\} 3' >/dev/null
+  curl -fsS "http://127.0.0.1:$PORT/metricsz" \
+    | grep -E 'reptile_versions_gc_total [1-9]' >/dev/null
+  curl -fsS "http://127.0.0.1:$PORT/metricsz" \
+    | grep -E 'reptile_cache_invalidations_total [1-9]' >/dev/null
+  # DELETE drops the WHOLE chain: head and pinned spellings both 404 after.
+  curl -fsS -X DELETE "http://127.0.0.1:$PORT/v1/datasets/up" | grep '"deleted"' >/dev/null
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "http://127.0.0.1:$PORT/v1/recommend" \
+        -d '{"dataset":"up","complaint":{"aggregate":"count"}}')" == "404" ]]
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "http://127.0.0.1:$PORT/v1/recommend" \
+        -d '{"dataset":"up@v3","complaint":{"aggregate":"count"}}')" == "404" ]]
+
   kill -TERM "$SERVE_PID"
   wait "$SERVE_PID"   # exits 0 on a clean shutdown; set -e fails otherwise
   trap - EXIT
@@ -184,6 +252,37 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   # counters only this front end produces.
   curl -fsS "http://127.0.0.1:$RPORT/metricsz" \
     | grep 'reptile_transport_requests_dispatched' >/dev/null
+
+  echo "--- reactor smoke: streamed append lifecycle on the event-driven front end"
+  # Pin a session to version 1, then append a raw text/csv body streamed
+  # straight into the parser. Appends are mutations: 401 without the token.
+  RPIN="$(curl -fsS -X POST -H 'Authorization: Bearer smoke-tok' \
+      "http://127.0.0.1:$RPORT/v1/sessions" -d '{"dataset":"s","committed":{"time":1}}' \
+    | sed -n 's/.*"session":"\([^"]*\)".*/\1/p')"
+  [[ -n "$RPIN" ]] || { echo "reactor pinned session create returned no id"; exit 1; }
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -H 'Content-Type: text/csv' --data-binary $'d,y,m\nd2,y0,9\n' \
+        "http://127.0.0.1:$RPORT/v1/datasets/s/rows")" == "401" ]]
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -H 'Authorization: Bearer smoke-tok' -H 'Content-Type: text/csv' \
+        --data-binary $'d,y,m\nd2,y0,9\n' \
+        "http://127.0.0.1:$RPORT/v1/datasets/s/rows")" == "201" ]]
+  # Both versions answer here too: pinned session on v1, head on v2.
+  curl -fsS -D - -X POST "http://127.0.0.1:$RPORT/v1/recommend" \
+      -d '{"session":"'"$RPIN"'","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
+    | grep -i '^x-dataset-version: 1' >/dev/null
+  curl -fsS -D - -X POST "http://127.0.0.1:$RPORT/v1/recommend" \
+      -d '{"dataset":"s","complaint":{"aggregate":"mean","measure":"m","where":[{"column":"y","value":"y0"}]}}' \
+    | grep -i '^x-dataset-version: 2' >/dev/null
+  curl -fsS "http://127.0.0.1:$RPORT/healthz" \
+    | grep '"dataset":"s","head":2,"live":\[1,2\]' >/dev/null
+  # DELETE drops the chain and every session over it, pinned ones included.
+  curl -fsS -X DELETE -H 'Authorization: Bearer smoke-tok' \
+      "http://127.0.0.1:$RPORT/v1/datasets/s" | grep '"deleted"' >/dev/null
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$RPORT/v1/sessions/$RPIN")" == "404" ]]
+  [[ "$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        "http://127.0.0.1:$RPORT/v1/recommend" \
+        -d '{"dataset":"s@v2","complaint":{"aggregate":"count"}}')" == "404" ]]
   kill -TERM "$REACTOR_PID"
   wait "$REACTOR_PID"
   trap - EXIT
@@ -228,6 +327,18 @@ if [[ "${REPTILE_SKIP_SMOKE:-0}" != "1" ]]; then
   grep -q '"timeouts":0' "$BUILD_DIR/BENCH_workload_steady.json"
   grep -q '"p50_ms":' "$BUILD_DIR/BENCH_workload_steady.json"
   grep -q '"p999_ms":' "$BUILD_DIR/BENCH_workload_steady.json"
+
+  echo "--- loadgen: churn appends mid-run with pinned analysts, byte-validated"
+  # Same unthrottled server (per-scenario dataset names never collide): a
+  # feeder appends v2 and v3 mid-run while analysts stay pinned to @v1, and
+  # every response — pinned and head alike — must match the oracle's bytes.
+  "$BUILD_DIR/reptile_loadgen" --port "$LPORT" --scenario churn --seed 42 \
+    --out "$BUILD_DIR/BENCH_workload_churn.json"
+  require_bench_json "$BUILD_DIR/BENCH_workload_churn.json"
+  grep -q '"scenario":"churn"' "$BUILD_DIR/BENCH_workload_churn.json"
+  grep -q '"mismatches":0' "$BUILD_DIR/BENCH_workload_churn.json"
+  grep -q '"failures":0' "$BUILD_DIR/BENCH_workload_churn.json"
+  grep -q '"timeouts":0' "$BUILD_DIR/BENCH_workload_churn.json"
   kill -TERM "$STEADY_PID"
   wait "$STEADY_PID"
   trap - EXIT

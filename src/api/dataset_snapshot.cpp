@@ -38,13 +38,23 @@ std::string DictSection(const ValueDict& dict) {
   return w.TakeBytes();
 }
 
-std::string FTreesSection(const SharedAggregateCache& cache) {
+std::string FTreesSection(const PreparedDataset& dataset) {
+  // Version chains share one cache object, so the walk filters to the keys
+  // THIS version reads: entries whose epoch matches the dataset's epoch
+  // table. The wire form stays (hierarchy, depth) — a restore re-prepares
+  // the dataset as version 1 of a fresh chain (all-1 epochs; lineage is NOT
+  // persisted), so the epoch component would be meaningless on disk.
   ByteWriter w;
-  auto items = cache.Items();
-  w.U32(static_cast<uint32_t>(items.size()));
-  for (const auto& [key, entry] : items) {
-    w.I32(key.first);
-    w.I32(key.second);
+  std::vector<std::pair<SharedAggregateCache::Key, HierarchyAggregatesPtr>> persisted;
+  for (auto& item : dataset.cache().Items()) {
+    const auto& [epoch, hierarchy, depth] = item.first;
+    if (epoch != dataset.epochs().at(hierarchy, depth)) continue;
+    persisted.push_back(std::move(item));
+  }
+  w.U32(static_cast<uint32_t>(persisted.size()));
+  for (const auto& [key, entry] : persisted) {
+    w.I32(std::get<1>(key));
+    w.I32(std::get<2>(key));
     const FTree& tree = *entry->tree;
     w.U32(static_cast<uint32_t>(tree.depth()));
     for (int l = 0; l < tree.depth(); ++l) {
@@ -55,15 +65,30 @@ std::string FTreesSection(const SharedAggregateCache& cache) {
   return w.TakeBytes();
 }
 
-std::string ModelsSection(const SharedFittedModelCache& cache) {
+std::string ModelsSection(const PreparedDataset& dataset) {
+  // Same filter for fitted models: keep only this version's keys. Version 1
+  // keys have no "|v:" component; an appended head's keys end in
+  // "|v:<version>", which is STRIPPED on write so the restored dataset —
+  // version 1 again — finds them warm under its own spelling.
+  const std::string version_suffix =
+      dataset.version_token().empty() ? std::string() : "|v:" + dataset.version_token();
   ByteWriter w;
   std::vector<std::pair<std::string, FittedModelPtr>> persisted;
-  for (auto& [key, model] : cache.CompletedEntries()) {
+  for (auto& [key, model] : dataset.model_cache().CompletedEntries()) {
     // '#'-prefixed feature partitions are process-unique (custom features
     // have no content identity): no future process can ever compute such a
     // key, so persisting the entry would be dead weight.
     if (!key.empty() && key[0] == '#') continue;
-    persisted.emplace_back(key, std::move(model));
+    size_t v = key.rfind("|v:");
+    if (version_suffix.empty()) {
+      if (v != std::string::npos) continue;  // another version's fits
+      persisted.emplace_back(key, std::move(model));
+    } else {
+      if (v == std::string::npos || key.compare(v, std::string::npos, version_suffix) != 0) {
+        continue;
+      }
+      persisted.emplace_back(key.substr(0, v), std::move(model));
+    }
   }
   w.U32(static_cast<uint32_t>(persisted.size()));
   for (const auto& [key, model] : persisted) {
@@ -168,8 +193,8 @@ Status SavePreparedDataset(const PreparedDataset& dataset, const std::string& pa
     }
     writer.AddSection("col:" + std::to_string(c), w.TakeBytes());
   }
-  writer.AddSection("ftrees", FTreesSection(dataset.cache()));
-  writer.AddSection("models", ModelsSection(dataset.model_cache()));
+  writer.AddSection("ftrees", FTreesSection(dataset));
+  writer.AddSection("models", ModelsSection(dataset));
   return writer.WriteFile(path);
 }
 

@@ -29,6 +29,14 @@
 // and per-section CRCs; this layer re-validates structure (dictionary code
 // ranges, column lengths, f-tree invariants, key coordinates) and returns
 // kParseError instead of undefined behavior on anything inconsistent.
+//
+// Version chains (version/append.h): snapshotting an appended head persists
+// the FLATTENED dataset — its table already contains every ancestor's rows,
+// and the cache walks filter to the head's own entries (its epoch view of
+// the aggregate cache; its "|v:"-suffixed model keys, suffix stripped on
+// write). Version LINEAGE is deliberately not persisted: a restore
+// re-prepares the data as version 1 of a fresh chain, byte-identical in
+// every response, with retired ancestors unrecoverable by design.
 
 #ifndef REPTILE_API_DATASET_SNAPSHOT_H_
 #define REPTILE_API_DATASET_SNAPSHOT_H_

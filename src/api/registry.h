@@ -19,10 +19,20 @@
 // depths, registered auxiliaries, random-effect exclusions. Committing a
 // drill-down copies nothing — it bumps the session's depth vector while the
 // aggregates stay shared ("copy-on-drill").
+//
+// Incremental versions (version/append.h): appending rows produces a NEW
+// immutable PreparedDataset — version K+1, parent-linked by construction —
+// that shares the parent's two cache objects and carries an AggregateEpochs
+// table marking which (hierarchy, depth) subtrees the delta dirtied. The
+// registry keys each name to a VERSION CHAIN: "name" resolves to the head,
+// "name@vK" pins a specific live version, and AppendVersion() retires
+// unpinned non-head ancestors (their handles' only reference is the chain
+// itself) so the byte budget pays only for versions someone can still read.
 
 #ifndef REPTILE_API_REGISTRY_H_
 #define REPTILE_API_REGISTRY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -38,6 +48,7 @@ namespace reptile {
 
 class SharedAggregateCache;    // factor/agg_cache.h (internal)
 class SharedFittedModelCache;  // factor/model_cache.h (internal)
+struct AggregateEpochs;        // factor/agg_cache.h (internal)
 
 class PreparedDataset;
 using DatasetHandle = std::shared_ptr<const PreparedDataset>;
@@ -48,9 +59,19 @@ using DatasetHandle = std::shared_ptr<const PreparedDataset>;
 /// synchronized (the cache).
 class PreparedDataset {
  public:
-  /// Validates and wraps `dataset`. InvalidArgument when the dataset has no
-  /// hierarchy to drill into or no rows.
+  /// Validates and wraps `dataset` as version 1 of a fresh chain (own caches,
+  /// all-1 epochs). InvalidArgument when the dataset has no hierarchy to
+  /// drill into or no rows.
   static Result<DatasetHandle> Prepare(Dataset dataset);
+
+  /// Wraps `dataset` as version `version` == parent->version() + 1 of the
+  /// parent's chain. The child SHARES the parent's aggregate and model cache
+  /// objects; `epochs` says, per (hierarchy, depth), which entries it reads
+  /// at the parent's epoch (structurally shared) versus its own version id
+  /// (dirtied by the append — see AggregateEpochs). Same validation as
+  /// Prepare, plus the version-succession check.
+  static Result<DatasetHandle> PrepareVersion(const DatasetHandle& parent, Dataset dataset,
+                                              int64_t version, AggregateEpochs epochs);
 
   ~PreparedDataset();
 
@@ -68,6 +89,16 @@ class PreparedDataset {
   /// opened over this dataset consults it before training, so warm sessions
   /// perform zero fits. Internally synchronized, like cache().
   SharedFittedModelCache& model_cache() const { return *model_cache_; }
+
+  /// This dataset's version within its chain (1 for a fresh Prepare).
+  int64_t version() const { return version_; }
+
+  /// Per-(hierarchy, depth) dirty epochs for the shared aggregate cache.
+  const AggregateEpochs& epochs() const;
+
+  /// Fitted-model cache-key component: "" for version 1 (so v1 keys keep the
+  /// historical spelling snapshots persist), the decimal version otherwise.
+  std::string version_token() const;
 
   /// Cache observability for tests, benchmarks and capacity monitoring.
   int64_t cache_entries() const;
@@ -92,15 +123,27 @@ class PreparedDataset {
 
  private:
   explicit PreparedDataset(Dataset dataset);
+  PreparedDataset(Dataset dataset, const PreparedDataset& parent, int64_t version,
+                  AggregateEpochs epochs);
 
   Dataset dataset_;
   std::shared_ptr<SharedAggregateCache> cache_;
   std::shared_ptr<SharedFittedModelCache> model_cache_;
+  int64_t version_ = 1;
+  std::shared_ptr<const AggregateEpochs> epochs_;
 };
 
-/// A thread-safe, name-keyed table of prepared datasets. Handles returned by
-/// Add/Find are independent of the registry's lifetime: Remove() only drops
-/// the name — sessions holding the handle keep the dataset alive.
+/// One registered name's version state, for /healthz.
+struct DatasetVersionSummary {
+  std::string name;
+  int64_t head = 1;
+  std::vector<int64_t> live;  // ascending version ids still resolvable
+};
+
+/// A thread-safe, name-keyed table of prepared dataset version chains.
+/// Handles returned by Add/Find are independent of the registry's lifetime:
+/// Remove() only drops the name — sessions holding a handle keep their
+/// version alive.
 class DatasetRegistry {
  public:
   DatasetRegistry() = default;
@@ -116,23 +159,68 @@ class DatasetRegistry {
   /// PreparedDataset across registries or with direct sessions).
   Result<DatasetHandle> AddPrepared(std::string name, DatasetHandle dataset);
 
-  /// NotFound when no dataset carries the name.
+  /// Resolves a name to a handle. A plain name resolves to its chain's HEAD
+  /// version; "name@vK" pins live version K exactly (a dataset literally
+  /// registered under a name containing "@v" still wins — exact match is
+  /// tried first). NotFound for unknown names and for versions already
+  /// retired by GC.
   Result<DatasetHandle> Find(const std::string& name) const;
 
-  /// Drops the name from the registry; live handles are unaffected.
-  /// NotFound when the name is not registered.
+  /// Registers `child` (built by PreparedDataset::PrepareVersion /
+  /// version/append.h) as the new head of `name`'s chain, then retires every
+  /// non-head ancestor no session pins any more. `invalidated_entries` — the
+  /// count of (hierarchy, depth) cache entries the append dirtied — feeds the
+  /// cache_invalidations() counter. Returns the number of versions retired.
+  /// NotFound for an unknown name; FailedPrecondition when `child` does not
+  /// succeed the current head (a concurrent append won the race).
+  Result<int64_t> AppendVersion(const std::string& name, DatasetHandle child,
+                                int64_t invalidated_entries);
+
+  /// Re-runs the unpinned-ancestor sweep for `name` and returns how many
+  /// versions it retired (0 when nothing is collectible; idempotent). Needed
+  /// because AppendVersion's inline GC runs while the caller still holds
+  /// handles it is about to drop — e.g. the serving tier swaps its default
+  /// session off the parent only AFTER publishing the child, so the parent
+  /// only becomes collectible once that swap completes. NotFound for an
+  /// unknown name.
+  Result<int64_t> CollectGarbage(const std::string& name);
+
+  /// Drops the name — the WHOLE version chain — from the registry; live
+  /// handles are unaffected. NotFound when the name is not registered.
   Status Remove(const std::string& name);
 
   bool Contains(const std::string& name) const;
 
-  /// Registered names, sorted.
+  /// Registered names (base names, not "@vK" forms), sorted.
   std::vector<std::string> names() const;
+
+  /// Per-name version-chain state, sorted by name — /healthz's "versions".
+  std::vector<DatasetVersionSummary> VersionSummaries() const;
+
+  /// Monotonic counters: versions retired by AppendVersion's GC, and cache
+  /// entries invalidated (dirtied) across every append.
+  int64_t versions_gc() const { return versions_gc_.load(std::memory_order_relaxed); }
+  int64_t cache_invalidations() const {
+    return cache_invalidations_.load(std::memory_order_relaxed);
+  }
 
   int64_t size() const;
 
  private:
+  /// One name's live versions. Invariant: non-empty; head is the largest key.
+  struct Chain {
+    std::map<int64_t, DatasetHandle> versions;
+    int64_t head = 1;
+  };
+
+  /// Retires unpinned non-head versions of `chain` (caller holds mu_
+  /// exclusively) and bumps versions_gc_. Returns the count retired.
+  int64_t GcChainLocked(Chain& chain);
+
   mutable std::shared_mutex mu_;
-  std::map<std::string, DatasetHandle> datasets_;
+  std::map<std::string, Chain> chains_;
+  std::atomic<int64_t> versions_gc_{0};
+  std::atomic<int64_t> cache_invalidations_{0};
 };
 
 }  // namespace reptile

@@ -105,12 +105,14 @@ const HierarchyRecommendation& Recommendation::best() const {
 
 Engine::Engine(const Dataset* dataset, SharedAggregateCache* shared_cache,
                SharedFittedModelCache* model_cache, std::shared_ptr<const void> owner,
-               EngineOptions options)
+               EngineOptions options, const AggregateEpochs* epochs,
+               std::string version_token)
     : owner_(std::move(owner)),
       dataset_(dataset),
       model_cache_(model_cache),
       options_(options),
-      drill_state_(dataset, options.drill_mode, shared_cache) {
+      drill_state_(dataset, options.drill_mode, shared_cache, epochs),
+      version_token_(std::move(version_token)) {
   REPTILE_CHECK(dataset != nullptr);
   REPTILE_CHECK_GE(options_.num_threads, 0);
 }
@@ -508,6 +510,9 @@ std::string Engine::FitCacheKey(const ModelSpec& spec, int hierarchy, int measur
   key += "|m" + std::to_string(measure_column);
   key += "|p";
   key += AggFnName(primitive);
+  // Version component last, and only for appended versions (v1's token is
+  // empty), so v1 keys — the spelling snapshots persist — stay unchanged.
+  if (!version_token_.empty()) key += "|v:" + version_token_;
   return key;
 }
 

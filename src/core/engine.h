@@ -222,9 +222,19 @@ class Engine {
   /// kStatic/kDynamic modes fall back to a private cache — their eviction is
   /// the point of those policies); the model cache is consulted whenever the
   /// effective ModelSpec has fit_cache on. Either cache may be null.
+  ///
+  /// Version plumbing (incremental dataset versions, api/registry.h):
+  /// `epochs` (borrowed via owner; nullptr = all-1s, the unversioned
+  /// default) selects which version's entries this engine addresses in the
+  /// shared aggregate cache, and `version_token` (empty for v1) is appended
+  /// to every fitted-model cache key — an appended version's group
+  /// statistics include the new rows, so its fits must never collide with
+  /// its ancestors' in the shared cache the whole chain reads.
   Engine(const Dataset* dataset, SharedAggregateCache* shared_cache,
          SharedFittedModelCache* model_cache, std::shared_ptr<const void> owner,
-         EngineOptions options = EngineOptions());
+         EngineOptions options = EngineOptions(),
+         const AggregateEpochs* epochs = nullptr,
+         std::string version_token = std::string());
 
   ~Engine();
 
@@ -358,6 +368,9 @@ class Engine {
   // fallback for custom features (opaque std::functions have no content
   // identity), never shared and never persisted.
   std::string feature_token_;
+  // Dataset-version component of every fitted-model cache key ("" for v1 —
+  // legacy keys and persisted snapshots stay valid); see the shared ctor.
+  std::string version_token_;
   std::vector<AuxiliarySpec> auxiliaries_;
   std::vector<CustomFeatureSpec> custom_features_;
   std::vector<std::string> z_exclusions_;

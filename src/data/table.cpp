@@ -133,6 +133,44 @@ Status Table::FinishColumnLoad() {
   return Status::Ok();
 }
 
+Status Table::AppendRows(const Table& delta) {
+  // Validate the full schema up front so a failed append leaves the table
+  // untouched — the serving tier maps these errors to HTTP 400.
+  std::vector<int> delta_column(names_.size(), -1);
+  for (int c = 0; c < num_columns(); ++c) {
+    std::optional<int> dc = delta.FindColumn(names_[c]);
+    if (!dc.has_value()) {
+      return Status::InvalidArgument("appended rows are missing column '" + names_[c] + "'");
+    }
+    if (delta.is_dimension(*dc) != is_dimension_[c]) {
+      return Status::InvalidArgument(
+          std::string("appended column '") + names_[c] + "' is a " +
+          (delta.is_dimension(*dc) ? "dimension" : "measure") +
+          " but the dataset column is a " + (is_dimension_[c] ? "dimension" : "measure"));
+    }
+    delta_column[c] = *dc;
+  }
+  for (int dc = 0; dc < delta.num_columns(); ++dc) {
+    if (!FindColumn(delta.column_name(dc)).has_value()) {
+      return Status::InvalidArgument("appended rows carry unknown column '" +
+                                     delta.column_name(dc) + "'");
+    }
+  }
+  for (size_t row = 0; row < delta.num_rows(); ++row) {
+    for (int c = 0; c < num_columns(); ++c) {
+      int dc = delta_column[c];
+      if (is_dimension_[c]) {
+        DimColumn& dim = dims_[storage_index_[c]];
+        dim.codes.push_back(dim.dict.GetOrAdd(delta.dict(dc).name(delta.dim_codes(dc)[row])));
+      } else {
+        measures_[storage_index_[c]].push_back(delta.measure(dc)[row]);
+      }
+    }
+  }
+  num_rows_ += delta.num_rows();
+  return Status::Ok();
+}
+
 bool Table::Matches(const RowFilter& filter, size_t row) const {
   for (const auto& [column, code] : filter.equals) {
     if (dim_codes(column)[row] != code) return false;

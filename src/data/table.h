@@ -74,6 +74,17 @@ class Table {
   Status SetMeasureColumnData(int column, std::vector<double> values);
   Status FinishColumnLoad();
 
+  /// Appends every row of `delta` to this table, matching columns BY NAME —
+  /// the delta's column order may differ (CSV loads columns in header
+  /// order). Dimension values are re-encoded through this table's
+  /// dictionaries (GetOrAdd), so existing values keep their codes and new
+  /// values take the next codes in first-appearance order — exactly the
+  /// assignment a from-scratch load of the concatenated data would produce.
+  /// InvalidArgument naming the offending column when the delta's schema
+  /// differs (missing column, extra column, dimension/measure kind
+  /// mismatch); a failed append leaves this table untouched.
+  Status AppendRows(const Table& delta);
+
   /// True when the row passes the filter.
   bool Matches(const RowFilter& filter, size_t row) const;
 

@@ -2,6 +2,15 @@
 
 namespace reptile {
 
+AggregateEpochs MakeUniformEpochs(const std::vector<int>& max_depths, int64_t epoch) {
+  AggregateEpochs epochs;
+  epochs.dirtied.reserve(max_depths.size());
+  for (int depth : max_depths) {
+    epochs.dirtied.emplace_back(static_cast<size_t>(depth), epoch);
+  }
+  return epochs;
+}
+
 size_t ApproxHierarchyAggregatesBytes(const HierarchyAggregates& aggregates) {
   size_t total = sizeof(HierarchyAggregates) + 64;  // map/list node overhead
   if (aggregates.tree != nullptr) total += aggregates.tree->ApproxBytes();
@@ -9,15 +18,16 @@ size_t ApproxHierarchyAggregatesBytes(const HierarchyAggregates& aggregates) {
   return total;
 }
 
-HierarchyAggregatesPtr SharedAggregateCache::Find(int hierarchy, int depth) const {
-  return cache_.Find(std::make_pair(hierarchy, depth));
+HierarchyAggregatesPtr SharedAggregateCache::Find(int64_t epoch, int hierarchy,
+                                                  int depth) const {
+  return cache_.Find(Key(epoch, hierarchy, depth));
 }
 
-HierarchyAggregatesPtr SharedAggregateCache::Insert(int hierarchy, int depth,
+HierarchyAggregatesPtr SharedAggregateCache::Insert(int64_t epoch, int hierarchy, int depth,
                                                     HierarchyAggregates built) {
   size_t bytes = ApproxHierarchyAggregatesBytes(built);
   auto entry = std::make_shared<const HierarchyAggregates>(std::move(built));
-  return cache_.Insert(std::make_pair(hierarchy, depth), std::move(entry), bytes);
+  return cache_.Insert(Key(epoch, hierarchy, depth), std::move(entry), bytes);
 }
 
 }  // namespace reptile

@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -45,6 +46,26 @@
 #include "factor/ftree.h"
 
 namespace reptile {
+
+/// Per-dataset-version dirty-epoch table for the shared aggregate cache:
+/// dirtied[h][d-1] is the dataset version that last changed hierarchy h's
+/// distinct depth-d path prefixes. An incremental append keeps a clean
+/// (h, d)'s epoch equal to the parent version's, so parent and child address
+/// the very same cache entry (structural sharing through key identity); a
+/// dirtied (h, d) gets the child version as its epoch, which invalidates the
+/// stale entry for the child without flushing anything the parent's pinned
+/// sessions still read. A freshly prepared (v1) dataset is all-1s.
+struct AggregateEpochs {
+  std::vector<std::vector<int64_t>> dirtied;  // [hierarchy][depth-1]
+
+  int64_t at(int hierarchy, int depth) const {
+    return dirtied[static_cast<size_t>(hierarchy)][static_cast<size_t>(depth - 1)];
+  }
+};
+
+/// Uniform epoch table (`epoch` at every (h, d)): `max_depths[h]` is
+/// hierarchy h's attribute count.
+AggregateEpochs MakeUniformEpochs(const std::vector<int>& max_depths, int64_t epoch);
 
 /// A hierarchy's f-tree and local aggregates at one depth (moved here from
 /// factor/drilldown.h so both the shared cache and the per-session state can
@@ -61,6 +82,13 @@ size_t ApproxHierarchyAggregatesBytes(const HierarchyAggregates& aggregates);
 
 class SharedAggregateCache {
  public:
+  /// Cache key: (dirty epoch, hierarchy, depth). The epoch component is the
+  /// dataset version that last dirtied the (hierarchy, depth) — see
+  /// AggregateEpochs. Version chains share one cache object, so clean
+  /// entries collide (shared) across versions and dirty ones diverge
+  /// (invalidated) with no explicit flush.
+  using Key = std::tuple<int64_t, int, int>;
+
   SharedAggregateCache() = default;
 
   SharedAggregateCache(const SharedAggregateCache&) = delete;
@@ -69,13 +97,23 @@ class SharedAggregateCache {
   /// The resident entry (touched most-recently-used), or nullptr. The
   /// returned shared_ptr keeps the entry alive across eviction. Counts one
   /// hit or miss.
-  HierarchyAggregatesPtr Find(int hierarchy, int depth) const;
+  HierarchyAggregatesPtr Find(int64_t epoch, int hierarchy, int depth) const;
 
   /// Insert-once: returns the resident entry — the one just built when this
   /// call inserted it, or the previously inserted (deterministically
   /// identical) entry when another session won the race. May evict
   /// least-recently-used entries when a byte budget is set.
-  HierarchyAggregatesPtr Insert(int hierarchy, int depth, HierarchyAggregates built);
+  HierarchyAggregatesPtr Insert(int64_t epoch, int hierarchy, int depth,
+                                HierarchyAggregates built);
+
+  /// Epoch-1 conveniences: the whole cache when only one (v1) version ever
+  /// exists — unversioned tests and tools.
+  HierarchyAggregatesPtr Find(int hierarchy, int depth) const {
+    return Find(1, hierarchy, depth);
+  }
+  HierarchyAggregatesPtr Insert(int hierarchy, int depth, HierarchyAggregates built) {
+    return Insert(1, hierarchy, depth, std::move(built));
+  }
 
   /// LRU byte budget; 0 (the default) = unlimited. Shrinking evicts
   /// immediately.
@@ -90,16 +128,16 @@ class SharedAggregateCache {
   int64_t evictions() const { return cache_.evictions(); }
 
   /// Keys currently cached, sorted — for introspection, tests, snapshots.
-  std::vector<std::pair<int, int>> Keys() const { return cache_.Keys(); }
+  std::vector<Key> Keys() const { return cache_.Keys(); }
 
   /// Resident entries, sorted by key — the snapshot-save walk.
-  std::vector<std::pair<std::pair<int, int>, HierarchyAggregatesPtr>> Items() const {
+  std::vector<std::pair<Key, HierarchyAggregatesPtr>> Items() const {
     return cache_.Items();
   }
 
  private:
   // mutable: Find() is logically const but touches LRU recency.
-  mutable LruByteCache<std::pair<int, int>, HierarchyAggregates> cache_;
+  mutable LruByteCache<Key, HierarchyAggregates> cache_;
 };
 
 }  // namespace reptile

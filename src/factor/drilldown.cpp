@@ -9,8 +9,9 @@
 namespace reptile {
 
 DrillDownState::DrillDownState(const Dataset* dataset, Mode mode,
-                               SharedAggregateCache* shared_cache)
-    : dataset_(dataset), mode_(mode), shared_cache_(shared_cache) {
+                               SharedAggregateCache* shared_cache,
+                               const AggregateEpochs* epochs)
+    : dataset_(dataset), mode_(mode), shared_cache_(shared_cache), epochs_(epochs) {
   REPTILE_CHECK(dataset != nullptr);
   committed_depth_.assign(dataset->num_hierarchies(), 0);
   invocation_build_seconds_.assign(dataset->num_hierarchies(), 0.0);
@@ -67,14 +68,15 @@ const HierarchyAggregates& DrillDownState::Get(int hierarchy, int depth) {
   auto it = held_.find(key);
   if (it != held_.end()) return *it->second;
   if (SharedAggregateCache* shared = SharedCache()) {
-    if (HierarchyAggregatesPtr entry = shared->Find(hierarchy, depth)) {
+    if (HierarchyAggregatesPtr entry = shared->Find(EpochOf(hierarchy, depth), hierarchy, depth)) {
       return Pin(key, std::move(entry));
     }
     Timer timer;
     HierarchyAggregates built = Build(hierarchy, depth);
     invocation_build_seconds_[hierarchy] += timer.Seconds();
     ++total_builds_;  // this session did the work, even if it loses the insert race
-    return Pin(key, shared->Insert(hierarchy, depth, std::move(built)));
+    return Pin(key, shared->Insert(EpochOf(hierarchy, depth), hierarchy, depth,
+                                   std::move(built)));
   }
   Timer timer;
   HierarchyAggregates built = Build(hierarchy, depth);
@@ -97,7 +99,8 @@ std::map<std::pair<int, int>, double> DrillDownState::Prefetch(
     REPTILE_CHECK(key.second >= 1 && key.second <= max_depth(key.first));
     if (held_.find(key) != held_.end()) return true;
     if (shared == nullptr) return false;
-    if (HierarchyAggregatesPtr entry = shared->Find(key.first, key.second)) {
+    if (HierarchyAggregatesPtr entry =
+            shared->Find(EpochOf(key.first, key.second), key.first, key.second)) {
       Pin(key, std::move(entry));
       return true;
     }
@@ -129,7 +132,8 @@ std::map<std::pair<int, int>, double> DrillDownState::Prefetch(
     ++total_builds_;
     if (shared != nullptr) {
       Pin(missing[i],
-          shared->Insert(missing[i].first, missing[i].second, std::move(built[i].aggregates)));
+          shared->Insert(EpochOf(missing[i].first, missing[i].second), missing[i].first,
+                         missing[i].second, std::move(built[i].aggregates)));
     } else {
       Pin(missing[i],
           std::make_shared<const HierarchyAggregates>(std::move(built[i].aggregates)));

@@ -59,9 +59,14 @@ class DrillDownState {
   /// `shared_cache` may be nullptr (fully private state, the pre-registry
   /// behavior). A non-null shared cache is borrowed — the caller (Engine via
   /// its DatasetHandle) must keep it alive — and is only consulted under
-  /// kCacheDynamic; the evicting policies stay private by design.
+  /// kCacheDynamic; the evicting policies stay private by design. `epochs`
+  /// (also borrowed, may be nullptr = every epoch 1) selects which dataset
+  /// version's entries this state reads in the shared cache: clean
+  /// (hierarchy, depth) keys coincide with the parent version's, dirty ones
+  /// carry this version's id (see AggregateEpochs).
   DrillDownState(const Dataset* dataset, Mode mode,
-                 SharedAggregateCache* shared_cache = nullptr);
+                 SharedAggregateCache* shared_cache = nullptr,
+                 const AggregateEpochs* epochs = nullptr);
 
   /// Committed drill depth of a hierarchy (0 = not drilled yet).
   int depth(int hierarchy) const { return committed_depth_[hierarchy]; }
@@ -124,9 +129,15 @@ class DrillDownState {
   /// Pins `entry` under `key` and returns the resident reference.
   const HierarchyAggregates& Pin(std::pair<int, int> key, HierarchyAggregatesPtr entry);
 
+  /// The epoch the shared cache is keyed with for (hierarchy, depth).
+  int64_t EpochOf(int hierarchy, int depth) const {
+    return epochs_ == nullptr ? 1 : epochs_->at(hierarchy, depth);
+  }
+
   const Dataset* dataset_;
   Mode mode_;
   SharedAggregateCache* shared_cache_;  // borrowed; may be nullptr
+  const AggregateEpochs* epochs_;       // borrowed; may be nullptr (all 1s)
   std::vector<int> committed_depth_;
   // Private modes: the session cache. Shared mode: the per-invocation pin
   // set keeping shared entries alive across LRU eviction (see file comment).

@@ -202,6 +202,25 @@ int64_t FTree::LeafIndex(const int32_t* path, int length) const {
   return node;
 }
 
+int FTree::MatchedPrefixDepth(const int32_t* path, int length) const {
+  REPTILE_CHECK_EQ(length, depth());
+  int64_t begin = 0;
+  int64_t end = levels_[0].size();
+  for (int l = 0; l < depth(); ++l) {
+    const Level& level = levels_[l];
+    auto first = level.value.begin() + begin;
+    auto last = level.value.begin() + end;
+    auto it = std::lower_bound(first, last, path[l]);
+    if (it == last || *it != path[l]) return l;
+    int64_t node = begin + (it - first);
+    if (l + 1 < depth()) {
+      begin = level.first_child[node];
+      end = begin + level.num_children[node];
+    }
+  }
+  return depth();
+}
+
 std::vector<int32_t> FTree::LeafPath(int64_t leaf) const {
   std::vector<int32_t> path(depth());
   int64_t node = leaf;

@@ -74,6 +74,13 @@ class FTree {
   /// Leaf index of the given root-to-leaf path of codes, or -1 when absent.
   int64_t LeafIndex(const int32_t* path, int length) const;
 
+  /// Longest prefix of `path` (length <= depth()) present in this tree, as a
+  /// count of matched levels: depth() when the whole path is a known leaf, 0
+  /// when even path[0] is absent. The incremental-append planner uses this to
+  /// find the shallowest level a delta row dirties — a row matched to m
+  /// levels introduces new distinct prefixes of every length > m.
+  int MatchedPrefixDepth(const int32_t* path, int length) const;
+
   /// Value codes along the path from the root to leaf `leaf`.
   std::vector<int32_t> LeafPath(int64_t leaf) const;
 

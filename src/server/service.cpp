@@ -16,6 +16,8 @@
 #include "obs/request_ring.h"
 #include "obs/trace.h"
 #include "server/json.h"
+#include "version/append.h"
+#include "version/version.h"
 
 namespace reptile {
 namespace {
@@ -353,30 +355,38 @@ HttpResponse UnauthorizedResponse() {
   return response;
 }
 
-/// True when `path` is "/v1/datasets/{name}/snapshot" with a non-empty name;
-/// fills `name` on a match. The one dataset sub-route, so a plain suffix
-/// check suffices.
-bool ParseSnapshotRoute(const std::string& path, std::string* name) {
+/// True when `path` is "/v1/datasets/{name}<suffix>" with a non-empty name;
+/// fills `name` on a match. A plain suffix check suffices for the two
+/// dataset sub-routes.
+bool ParseDatasetSubroute(const std::string& path, std::string_view suffix,
+                          std::string* name) {
   constexpr std::string_view kPrefix = "/v1/datasets/";
-  constexpr std::string_view kSuffix = "/snapshot";
-  if (path.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (path.size() <= kPrefix.size() + suffix.size()) return false;
   if (std::string_view(path).substr(0, kPrefix.size()) != kPrefix) return false;
-  if (std::string_view(path).substr(path.size() - kSuffix.size()) != kSuffix) return false;
-  *name = path.substr(kPrefix.size(), path.size() - kPrefix.size() - kSuffix.size());
+  if (std::string_view(path).substr(path.size() - suffix.size()) != suffix) return false;
+  *name = path.substr(kPrefix.size(), path.size() - kPrefix.size() - suffix.size());
   return !name->empty();
 }
 
+bool ParseSnapshotRoute(const std::string& path, std::string* name) {
+  return ParseDatasetSubroute(path, "/snapshot", name);
+}
+
+bool ParseRowsRoute(const std::string& path, std::string* name) {
+  return ParseDatasetSubroute(path, "/rows", name);
+}
+
 /// True for routes that change server state: dataset create/delete/snapshot,
-/// session create/delete, commit. Reads and /healthz stay token-free so
-/// probes and dashboards need no credentials. Snapshot writes count as
-/// mutating — they create server-side files.
+/// row appends, session create/delete, commit. Reads and /healthz stay
+/// token-free so probes and dashboards need no credentials. Snapshot writes
+/// count as mutating — they create server-side files.
 bool IsMutatingRoute(const std::string& method, const std::string& path) {
   if (method == "POST") {
     if (path == "/v1/datasets" || path == "/v1/sessions" || path == "/v1/commit") {
       return true;
     }
     std::string name;
-    return ParseSnapshotRoute(path, &name);
+    return ParseSnapshotRoute(path, &name) || ParseRowsRoute(path, &name);
   }
   if (method == "DELETE") {
     return path.rfind("/v1/datasets/", 0) == 0 || path.rfind("/v1/sessions/", 0) == 0;
@@ -523,6 +533,37 @@ class DatasetUploadSink final : public HttpBodySink {
   std::vector<std::string> commits_;
 };
 
+/// Streamed POST /v1/datasets/{name}/rows body consumer. Unlike the upload
+/// sink, the chunks are accumulated: the append path validates the header
+/// and runs the dirty-subtree analysis against the parent over the complete
+/// delta, and append deltas are small next to the datasets they extend.
+/// Finish() runs the same AppendToDataset core as the JSON form.
+class DatasetAppendSink final : public HttpBodySink {
+ public:
+  DatasetAppendSink(ReptileService* service, std::string name)
+      : service_(service), name_(std::move(name)) {}
+
+  bool Append(std::string_view chunk) override {
+    body_.append(chunk.data(), chunk.size());
+    return true;
+  }
+
+  HttpResponse Finish(bool complete) override {
+    if (!complete) {
+      return ReptileService::ErrorResponse(Status::InvalidArgument(
+          "the connection closed before the declared csv body was received"));
+    }
+    Result<std::string> response = service_->AppendToDataset(name_, body_, "csv body");
+    if (!response.ok()) return ReptileService::ErrorResponse(response.status());
+    return HttpResponse::Json(201, std::move(response).value());
+  }
+
+ private:
+  ReptileService* service_;
+  std::string name_;
+  std::string body_;
+};
+
 ReptileService::ReptileService(ServiceOptions options)
     : ReptileService(std::make_shared<DatasetRegistry>(), std::move(options)) {}
 
@@ -647,7 +688,8 @@ Status ReptileService::InstallPrepared(const std::string& name, DatasetHandle ha
   // Assign (not emplace): when a name is re-registered after RemoveDataset
   // raced with direct registry() use, a stale default session must be
   // replaced, never silently kept serving the old dataset.
-  sessions_[id] = std::make_shared<SessionEntry>(id, name, /*is_default=*/true,
+  sessions_[id] = std::make_shared<SessionEntry>(id, name, (*registered)->version(),
+                                                 /*is_default=*/true,
                                                  std::move(session).value(), NowNs());
   return Status::Ok();
 }
@@ -684,6 +726,19 @@ Result<ReptileService::EntryPtr> ReptileService::CreateSessionEntry(
   if (!session.ok()) return session.status();
   Status restored = session->RestoreCommitted(committed);
   if (!restored.ok()) return restored;
+  // The entry stores the chain's BASE name (a "@vK" pin stripped): the
+  // RemoveDataset sweep matches sessions by chain name, and a session pinned
+  // to any version must die with its chain. The pin itself survives in the
+  // handle — and in dataset_version below.
+  std::string base = dataset;
+  if (!registry_->Contains(dataset)) {
+    std::string parsed_base;
+    int64_t pinned = 0;
+    if (ParseVersionedName(dataset, &parsed_base, &pinned) &&
+        registry_->Contains(parsed_base)) {
+      base = parsed_base;
+    }
+  }
   std::unique_lock<std::shared_mutex> lock(mu_);
   // Re-check under the lock, by HANDLE IDENTITY not name: RemoveDataset
   // sweeps sessions_ while holding mu_, so a dataset deleted (or deleted and
@@ -706,7 +761,8 @@ Result<ReptileService::EntryPtr> ReptileService::CreateSessionEntry(
     }
   }
   std::string id = "s-" + std::to_string(next_session_++);
-  EntryPtr entry = std::make_shared<SessionEntry>(id, dataset, /*is_default=*/false,
+  EntryPtr entry = std::make_shared<SessionEntry>(id, std::move(base), (*handle)->version(),
+                                                  /*is_default=*/false,
                                                   std::move(session).value(), NowNs());
   sessions_.emplace(std::move(id), entry);
   return entry;
@@ -824,6 +880,7 @@ std::string ReptileService::SessionSnapshotJson(SessionEntry& entry) {
   }
   std::string out = "{\"session\":" + JsonQuote(entry.id) +
                     ",\"dataset\":" + JsonQuote(entry.dataset) +
+                    ",\"dataset_version\":" + std::to_string(entry.dataset_version) +
                     ",\"default\":" + (entry.is_default ? "true" : "false") +
                     ",\"committed\":{";
   bool first = true;
@@ -843,7 +900,11 @@ bool ReptileService::CheckAuth(const HttpRequest& request) const {
 }
 
 std::unique_ptr<HttpBodySink> ReptileService::StartStreamingBody(const HttpRequest& head) {
-  if (head.method != "POST" || head.path != "/v1/datasets") return nullptr;
+  if (head.method != "POST") return nullptr;
+  std::string append_name;
+  const bool is_upload = head.path == "/v1/datasets";
+  const bool is_append = !is_upload && ParseRowsRoute(head.path, &append_name);
+  if (!is_upload && !is_append) return nullptr;
   const std::string* content_type = head.FindHeader("content-type");
   if (content_type == nullptr) return nullptr;
   constexpr std::string_view kCsv = "text/csv";
@@ -868,6 +929,17 @@ std::unique_ptr<HttpBodySink> ReptileService::StartStreamingBody(const HttpReque
   auto reject = [](Status status) {
     return std::make_unique<RejectingSink>(ErrorResponse(status));
   };
+
+  if (is_append) {
+    // No query parameters: the dataset already defines the schema and the
+    // separator, so anything here is caller confusion worth rejecting.
+    if (!head.query.empty()) {
+      return reject(Status::InvalidArgument(
+          "a streamed append takes no query parameters (the dataset already defines "
+          "its columns and separator)"));
+    }
+    return std::make_unique<DatasetAppendSink>(this, std::move(append_name));
+  }
 
   std::string name;
   std::string separator = ",";
@@ -1053,6 +1125,11 @@ HttpResponse ReptileService::HandleInternal(const HttpRequest& request,
       if (request.method == "POST") return HandleDatasetSnapshot(snapshot_name, request.body);
       return MethodNotAllowed("POST");
     }
+    std::string rows_name;
+    if (ParseRowsRoute(path, &rows_name)) {
+      if (request.method == "POST") return HandleDatasetAppend(rows_name, request.body);
+      return MethodNotAllowed("POST");
+    }
     std::string name = path.substr(kDatasetPrefix.size());
     if (request.method == "DELETE") return HandleDatasetDelete(name);
     return MethodNotAllowed("DELETE");
@@ -1126,10 +1203,29 @@ HttpResponse ReptileService::HandleHealthz() {
   int64_t uptime = std::chrono::duration_cast<std::chrono::seconds>(
                        std::chrono::steady_clock::now() - start_time_)
                        .count();
+  std::string versions = "[";
+  {
+    bool first = true;
+    for (const DatasetVersionSummary& summary : registry_->VersionSummaries()) {
+      if (!first) versions += ',';
+      first = false;
+      versions += "{\"dataset\":" + JsonQuote(summary.name) +
+                  ",\"head\":" + std::to_string(summary.head) + ",\"live\":[";
+      for (size_t i = 0; i < summary.live.size(); ++i) {
+        if (i > 0) versions += ',';
+        versions += std::to_string(summary.live[i]);
+      }
+      versions += "]}";
+    }
+    versions += "]";
+  }
   std::string body =
       "{\"status\":\"ok\",\"datasets\":" + std::to_string(registry_->size()) +
       ",\"sessions\":" + std::to_string(sessions) +
       ",\"sessions_evicted\":" + std::to_string(sessions_evicted_.load()) +
+      ",\"versions\":" + versions +
+      ",\"versions_gc\":" + std::to_string(registry_->versions_gc()) +
+      ",\"cache_invalidations\":" + std::to_string(registry_->cache_invalidations()) +
       ",\"aggregate_cache\":{\"entries\":" + std::to_string(t.agg_entries) +
       ",\"hits\":" + std::to_string(t.agg_hits) +
       ",\"misses\":" + std::to_string(t.agg_misses) +
@@ -1163,6 +1259,38 @@ void AppendPromSeries(std::string* out, const std::string& name, const char* hel
   *out += "# TYPE " + name + " ";
   *out += type;
   *out += "\n" + name + " " + std::to_string(value) + "\n";
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string PromLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// The labeled variant: one HELP/TYPE header, then one sample per
+/// (label value, sample) pair under the given label key.
+void AppendPromSeries(std::string* out, const std::string& name, const char* help,
+                      const char* type, const char* label_key,
+                      const std::vector<std::pair<std::string, int64_t>>& samples) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " ";
+  *out += type;
+  *out += "\n";
+  for (const auto& [label, value] : samples) {
+    *out += name + "{" + label_key + "=\"" + PromLabelEscape(label) + "\"} " +
+            std::to_string(value) + "\n";
+  }
 }
 
 }  // namespace
@@ -1218,6 +1346,28 @@ HttpResponse ReptileService::HandleMetricsz() {
   AppendPromSeries(&body, "reptile_model_cache_evictions",
                    "Model-cache evictions summed over live datasets", "gauge",
                    t.model_evictions);
+
+  // Version-chain state: live version count and head id per chain, plus the
+  // registry-wide GC / dirty-subtree invalidation counters.
+  {
+    std::vector<std::pair<std::string, int64_t>> live_counts, heads;
+    for (const DatasetVersionSummary& summary : registry_->VersionSummaries()) {
+      live_counts.emplace_back(summary.name, static_cast<int64_t>(summary.live.size()));
+      heads.emplace_back(summary.name, summary.head);
+    }
+    AppendPromSeries(&body, "reptile_dataset_versions",
+                     "Live (pinned or head) versions per dataset chain", "gauge",
+                     "dataset", live_counts);
+    AppendPromSeries(&body, "reptile_dataset_head_version",
+                     "Head version id per dataset chain", "gauge", "dataset", heads);
+  }
+  AppendPromSeries(&body, "reptile_versions_gc_total",
+                   "Unpinned ancestor versions retired by the version GC", "counter",
+                   registry_->versions_gc());
+  AppendPromSeries(&body, "reptile_cache_invalidations_total",
+                   "Aggregate-cache (hierarchy, depth) entries invalidated by "
+                   "dirty-subtree appends",
+                   "counter", registry_->cache_invalidations());
 
   // Front-end transport counters (reactor: connections, backpressure trips,
   // ...), re-exported from the same hook /healthz uses. Top-level integers
@@ -1511,6 +1661,101 @@ HttpResponse ReptileService::HandleDatasetDelete(const std::string& name) {
   return HttpResponse::Json(200, "{\"deleted\":" + JsonQuote(name) + "}");
 }
 
+Result<std::string> ReptileService::AppendToDataset(const std::string& name,
+                                                    const std::string& csv_text,
+                                                    const std::string& origin) {
+  // One append at a time per service: the registry would reject the loser of
+  // a head race with FailedPrecondition, but that 409 would be an artifact of
+  // server-internal timing — serializing turns two racing clients into a
+  // clean v2-then-v3 succession. Taken OUTSIDE mu_, never inside.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+
+  // Appends address the CHAIN, so only its base name is accepted: a pinned
+  // "name@vK" alias names an immutable version, not something appendable.
+  if (!registry_->Contains(name)) {
+    std::string base;
+    int64_t pinned = 0;
+    if (ParseVersionedName(name, &base, &pinned) && registry_->Contains(base)) {
+      return Status::InvalidArgument(
+          "appends go to the dataset's base name '" + base +
+          "' (its head); the pinned alias '" + name + "' names an immutable version");
+    }
+    return Status::NotFound("no dataset named '" + name + "' is loaded on this server");
+  }
+  Result<DatasetHandle> head = registry_->Find(name);
+  if (!head.ok()) return head.status();
+
+  Result<AppendResult> appended = AppendRowsCsv(*head, csv_text, origin);
+  if (!appended.ok()) return appended.status();
+  const DatasetHandle& child = appended->child;
+  if (options_.cache_budget_bytes > 0) {
+    // The shared caches carry the parent's budget already; this keeps the
+    // child's view consistent if the service options changed since.
+    child->SetCacheBudgetBytes(options_.cache_budget_bytes);
+  }
+
+  // The replacement default session is opened BEFORE mu_ (engine construction
+  // is not free); its committed depths are restored under the lock, where the
+  // old default can no longer advance them.
+  Result<Session> fresh = Session::Open(child, options_.session_defaults);
+  if (!fresh.ok()) return fresh.status();
+
+  const std::string id = DefaultSessionId(name);
+  {
+    // One critical section publishes the new head AND moves the default
+    // session onto it — no observer sees the chain advanced but the alias
+    // serving the old version (the same atomicity InstallPrepared gives
+    // dataset creation). Named sessions are deliberately untouched: they
+    // stay pinned to the version they opened.
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Result<int64_t> retired =
+        registry_->AppendVersion(name, child, appended->invalidated_entries);
+    if (!retired.ok()) return retired.status();
+    auto it = sessions_.find(id);
+    if (it != sessions_.end() && it->second->is_default) {
+      std::map<std::string, int> committed;
+      {
+        std::lock_guard<std::mutex> session_lock(it->second->mu);
+        committed = it->second->session.CommittedDepths();
+      }
+      Status restored = fresh->RestoreCommitted(committed);
+      if (!restored.ok()) return restored;  // unreachable: hierarchies are append-invariant
+      sessions_[id] = std::make_shared<SessionEntry>(id, name, child->version(),
+                                                     /*is_default=*/true,
+                                                     std::move(fresh).value(), NowNs());
+    }
+    // AppendVersion's inline GC ran while the OLD default session (and this
+    // frame's head handle) still pinned the parent, so the parent survived
+    // it. Both references are gone now — drop ours and re-sweep so an
+    // unpinned parent retires at THIS append instead of lingering until the
+    // next one.
+    (*head).reset();
+    (void)registry_->CollectGarbage(name);  // NotFound impossible: name checked above
+  }
+
+  return "{\"dataset\":" + JsonQuote(name) +
+         ",\"dataset_version\":" + std::to_string(child->version()) +
+         ",\"rows\":" + std::to_string(appended->total_rows) +
+         ",\"appended\":" + std::to_string(appended->appended_rows) +
+         ",\"session\":" + JsonQuote(id) + "}";
+}
+
+HttpResponse ReptileService::HandleDatasetAppend(const std::string& name,
+                                                 const std::string& body) {
+  Result<JsonValue> parsed = ParseJson(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->is_object()) {
+    return ErrorResponse(WrongType("request body", "an object", *parsed));
+  }
+  Status known = CheckKnownKeys(*parsed, "request body", {"csv"});
+  if (!known.ok()) return ErrorResponse(known);
+  Result<std::string> csv = StringField(*parsed, "request body", "csv", true);
+  if (!csv.ok()) return ErrorResponse(csv.status());
+  Result<std::string> response = AppendToDataset(name, *csv, "inline csv");
+  if (!response.ok()) return ErrorResponse(response.status());
+  return HttpResponse::Json(201, std::move(response).value());
+}
+
 HttpResponse ReptileService::HandleSessionList() {
   EvictIdleSessions();
   std::vector<EntryPtr> entries;
@@ -1653,19 +1898,26 @@ HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch
       ScopedSpan serialize_span(trace, "serialize");
       pieces = response->ToJsonPieces();
     }
+    // The version rides a header, NEVER the body: recommend/view bodies are
+    // exact ToJson() bytes, and the differential tests compare status + body
+    // only — extra headers are free.
+    const std::string version = std::to_string((*entry)->dataset_version);
     size_t total = 0;
     for (const std::string& piece : pieces) total += piece.size();
     if (total < options_.stream_threshold_bytes) {
       std::string body;
       body.reserve(total);
       for (const std::string& piece : pieces) body += piece;
-      return HttpResponse::Json(200, std::move(body));
+      HttpResponse ok = HttpResponse::Json(200, std::move(body));
+      ok.extra_headers.emplace_back("X-Dataset-Version", version);
+      return ok;
     }
     // Large batch: hand the front end a pull stream over the pieces instead
     // of one giant buffer — chunked on the wire for HTTP/1.1, reassembling
     // to exactly the buffered bytes (ToJsonPieces() concatenates to
     // ToJson()).
     HttpResponse streamed;
+    streamed.extra_headers.emplace_back("X-Dataset-Version", version);
     auto state = std::make_shared<std::pair<std::vector<std::string>, size_t>>(
         std::move(pieces), 0);
     streamed.body_stream = [state](std::string* piece) {
@@ -1686,7 +1938,10 @@ HttpResponse ReptileService::HandleRecommend(const std::string& body, bool batch
     ScopedSpan serialize_span(trace, "serialize");
     json = response->ToJson();
   }
-  return HttpResponse::Json(200, std::move(json));
+  HttpResponse ok = HttpResponse::Json(200, std::move(json));
+  ok.extra_headers.emplace_back("X-Dataset-Version",
+                                std::to_string((*entry)->dataset_version));
+  return ok;
 }
 
 HttpResponse ReptileService::HandleView(const std::string& body) {
@@ -1731,7 +1986,10 @@ HttpResponse ReptileService::HandleView(const std::string& body) {
     return (*entry)->session.View(view);
   }();
   if (!response.ok()) return ErrorResponse(response.status());
-  return HttpResponse::Json(200, response->ToJson());
+  HttpResponse ok = HttpResponse::Json(200, response->ToJson());
+  ok.extra_headers.emplace_back("X-Dataset-Version",
+                                std::to_string((*entry)->dataset_version));
+  return ok;
 }
 
 HttpResponse ReptileService::HandleCommit(const std::string& body) {
@@ -1759,7 +2017,10 @@ HttpResponse ReptileService::HandleCommit(const std::string& body) {
                          ",\"depth\":" + std::to_string(depth.ok() ? *depth : -1) +
                          ",\"can_drill\":" +
                          ((can_drill.ok() && *can_drill) ? "true" : "false") + "}";
-  return HttpResponse::Json(200, std::move(response));
+  HttpResponse ok = HttpResponse::Json(200, std::move(response));
+  ok.extra_headers.emplace_back("X-Dataset-Version",
+                                std::to_string((*entry)->dataset_version));
+  return ok;
 }
 
 HttpResponse ReptileService::HandleDebugStatus(const std::string& body) {

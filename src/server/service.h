@@ -9,7 +9,11 @@
 //                              totals summed over every LIVE dataset — each
 //                              dataset's counters are monotonic, but deleting
 //                              a dataset drops its contribution, so treat the
-//                              sums as a gauge, not a monotonic counter
+//                              sums as a gauge, not a monotonic counter.
+//                              Version-chain state rides along: a "versions"
+//                              array (per dataset: head id + live version
+//                              ids) plus the registry's versions_gc /
+//                              cache_invalidations counters
 //   GET    /metricsz           Prometheus text exposition (version 0.0.4):
 //                              request-latency and per-stage histograms, the
 //                              cache/session/transport counters, and the
@@ -29,9 +33,27 @@
 //                              raw CSV, STREAMED through CsvStreamParser
 //                              (never materialized), and the typing rides the
 //                              query string — see StartStreamingBody()
-//   DELETE /v1/datasets/{name} drop the dataset and every session over it
+//   DELETE /v1/datasets/{name} drop the dataset — the WHOLE version chain —
+//                              and every session over any of its versions
 //                              (in-flight requests finish; the prepared
 //                              dataset is freed when the last handle drops)
+//   POST   /v1/datasets/{name}/rows
+//                              append rows: {"csv": "..."} (inline, same
+//                              separator conventions as upload) or a raw
+//                              text/csv body. The header must carry exactly
+//                              the dataset's columns — schema or hierarchy
+//                              changes are 400 naming the column. Produces
+//                              an immutable new version ("name@v2", ...)
+//                              that structurally shares unchanged columns,
+//                              dictionary prefixes, f-tree subtrees and
+//                              (hierarchy, depth) aggregates with its parent
+//                              (version/append.h); the default session moves
+//                              to the new head (committed depths preserved),
+//                              while named sessions stay PINNED to the
+//                              version they opened. Unpinned ancestors are
+//                              garbage-collected. 201 body:
+//                              {"dataset","dataset_version","rows",
+//                               "appended","session"}
 //   GET    /v1/sessions        all live sessions (id, dataset, drill state)
 //   POST   /v1/sessions        open a per-client session over a named dataset:
 //                              {"dataset","committed"?,"options"?} -> the
@@ -265,8 +287,14 @@ class ReptileService {
   HttpResponse Handle(const HttpRequest& request);
 
   /// Streaming-upload hook for the front ends (HttpServerOptions /
-  /// ReactorServerOptions::stream_factory). Engages only for
-  /// POST /v1/datasets with a text/csv Content-Type: the body is raw CSV,
+  /// ReactorServerOptions::stream_factory). Engages for two text/csv POSTs:
+  ///
+  /// POST /v1/datasets/{name}/rows — the body is the raw CSV of the appended
+  /// rows (header line included); no query parameters are accepted (the
+  /// dataset already defines the schema and separator). The chunks are
+  /// accumulated and run through the same append path as the JSON form.
+  ///
+  /// POST /v1/datasets — the body is raw CSV,
   /// fed chunk by chunk through CsvStreamParser (never materialized), and
   /// the dataset typing rides the query string, percent-decoded:
   ///   name=NAME&dimensions=a,b[&measures=x,y][&hierarchy=geo:country,city]
@@ -298,20 +326,23 @@ class ReptileService {
   const DatasetRegistry& registry() const { return *registry_; }
 
  private:
-  friend class DatasetUploadSink;  // the StartStreamingBody sink (service.cpp)
+  friend class DatasetUploadSink;  // the StartStreamingBody sinks (service.cpp)
+  friend class DatasetAppendSink;
 
   struct SessionEntry {
-    SessionEntry(std::string id, std::string dataset, bool is_default, Session s,
-                 int64_t now_ns)
+    SessionEntry(std::string id, std::string dataset, int64_t dataset_version,
+                 bool is_default, Session s, int64_t now_ns)
         : id(std::move(id)),
           dataset(std::move(dataset)),
+          dataset_version(dataset_version),
           is_default(is_default),
           session(std::move(s)),
           last_used_ns(now_ns) {}
 
     const std::string id;
-    const std::string dataset;    // registry name
-    const bool is_default;        // alias target: never evicted, not deletable
+    const std::string dataset;           // registry BASE name (no "@vK")
+    const int64_t dataset_version;       // chain version this session is pinned to
+    const bool is_default;    // alias target: never evicted, not deletable
     std::mutex mu;                // serializes calls into this session
     Session session;
     std::atomic<int64_t> last_used_ns;  // steady-clock ns; TTL bookkeeping
@@ -356,6 +387,17 @@ class ReptileService {
   Status InstallPrepared(const std::string& name, DatasetHandle handle,
                          const std::vector<std::string>& commits);
 
+  /// The append core shared by the JSON route and the streamed-CSV sink:
+  /// serializes appends behind append_mu_, builds the child version
+  /// structurally sharing the head (version/append.h), publishes it through
+  /// DatasetRegistry::AppendVersion, and moves the dataset's DEFAULT session
+  /// to the new head (committed depths preserved — named sessions stay
+  /// pinned). Returns the 201 response body. `name` must be the chain's base
+  /// name: appending through a pinned "name@vK" alias is NotFound.
+  Result<std::string> AppendToDataset(const std::string& name,
+                                      const std::string& csv_text,
+                                      const std::string& origin);
+
   /// Confines a client-supplied relative path to the configured dataset
   /// root (rejecting absolute paths, ".." components, and symlink escapes)
   /// and returns the resolved absolute path. `field` names the JSON field
@@ -378,6 +420,7 @@ class ReptileService {
   HttpResponse HandleDatasetList();
   HttpResponse HandleDatasetCreate(const std::string& body);
   HttpResponse HandleDatasetDelete(const std::string& name);
+  HttpResponse HandleDatasetAppend(const std::string& name, const std::string& body);
   HttpResponse HandleDatasetSnapshot(const std::string& name, const std::string& body);
   HttpResponse HandleSessionList();
   HttpResponse HandleSessionCreate(const std::string& body);
@@ -401,6 +444,12 @@ class ReptileService {
   uint64_t next_session_ = 1;
   std::atomic<int64_t> sessions_evicted_{0};
   std::atomic<int64_t> last_sweep_ns_{0};  // throttles EvictIdleSessions
+
+  // Serializes appends per service (taken OUTSIDE mu_, never inside): the
+  // registry rejects out-of-order successions (FailedPrecondition), but
+  // serializing here turns two racing clients into clean v2-then-v3 instead
+  // of surfacing a 409 for an internal race the client cannot reason about.
+  std::mutex append_mu_;
 
   // Observability state. The registry is per-service (two services in one
   // process — e.g. the differential test stacks — must not share request

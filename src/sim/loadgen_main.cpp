@@ -16,7 +16,9 @@
 // Flags:
 //   --port N            server port (required unless --dump-schedule)
 //   --host H            server host (default 127.0.0.1)
-//   --scenario S        steady | burst | both (default both)
+//   --scenario S        steady | burst | churn | both (default both; churn —
+//                       appends mid-run with analysts pinned to @v1 — is
+//                       opt-in only)
 //   --seed N            schedule seed (default 42); same seed, same bytes
 //   --duration-s S      override the scenario's arrival window (default 0 =
 //                       scenario default)
@@ -73,7 +75,7 @@ struct Args {
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port N [--host H] [--scenario steady|burst|both] "
+               "usage: %s --port N [--host H] [--scenario steady|burst|churn|both] "
                "[--seed N] [--duration-s S] [--workers N] [--timeout-ms N] "
                "[--keep-alive] [--out PATH] [--dump-schedule PATH] "
                "[--expect-overload]\n",
@@ -99,8 +101,9 @@ Args ParseArgs(int argc, char** argv) {
     } else if (flag == "--scenario") {
       args.scenario = value_of(i);
       if (args.scenario != "steady" && args.scenario != "burst" &&
-          args.scenario != "both") {
-        std::fprintf(stderr, "--scenario wants steady|burst|both, got '%s'\n",
+          args.scenario != "churn" && args.scenario != "both") {
+        std::fprintf(stderr,
+                     "--scenario wants steady|burst|churn|both, got '%s'\n",
                      args.scenario.c_str());
         Usage(argv[0]);
       }
@@ -139,6 +142,12 @@ std::vector<ScenarioSpec> SelectScenarios(const Args& args) {
   }
   if (args.scenario == "burst" || args.scenario == "both") {
     specs.push_back(BurstScenario());
+  }
+  // churn is opt-in only ("both" predates it, and its steady+burst contract
+  // is what check.sh's existing stages assert): analysts pinned to @v1 while
+  // a feeder appends v2 and v3 mid-run, every byte still oracle-validated.
+  if (args.scenario == "churn") {
+    specs.push_back(ChurnScenario());
   }
   for (ScenarioSpec& spec : specs) {
     if (args.duration_s > 0.0) spec.arrival_window_seconds = args.duration_s;

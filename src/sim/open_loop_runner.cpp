@@ -104,7 +104,8 @@ void WorkerLoop(const RunnerOptions& options, const WorkloadOracle& oracle,
     }
 
     const SimOp& op = schedule[index].op;
-    std::string path = Substitute(op.path, "@SID@", state.sid);
+    std::string path = Substitute(
+        Substitute(op.path, "@SID@", state.sid), "@DS@", oracle.dataset_name());
     std::string body = Substitute(
         Substitute(op.body, "@SID@", state.sid), "@DS@", oracle.dataset_name());
     lock.unlock();
@@ -131,7 +132,8 @@ void WorkerLoop(const RunnerOptions& options, const WorkloadOracle& oracle,
     if (now > replay->last_completion) replay->last_completion = now;
     const bool mutates = op.kind == SimOpKind::kSessionCreate ||
                          op.kind == SimOpKind::kCommit ||
-                         op.kind == SimOpKind::kSessionDelete;
+                         op.kind == SimOpKind::kSessionDelete ||
+                         op.kind == SimOpKind::kAppend;
     if (!response.ok()) {
       if (response.status().code() == StatusCode::kDeadlineExceeded) {
         ++replay->timeouts;

@@ -7,6 +7,7 @@
 #include "api/response.h"
 #include "common/check.h"
 #include "common/json_util.h"
+#include "data/csv.h"
 
 namespace reptile {
 namespace {
@@ -19,6 +20,27 @@ void ZeroCandidateTimings(ExploreResponse* response) {
     candidate.train_seconds = 0.0;
     candidate.total_seconds = 0.0;
   }
+}
+
+// Cold-builds a severity-panel replica from `csv` — the oracle's answer to
+// an append is a from-scratch prepare of the concatenated CSV, never an
+// incremental build, so any byte the server's structural sharing changed
+// would surface as a mismatch.
+DatasetHandle BuildReplicaFromCsv(const std::string& csv) {
+  CsvSpec spec;
+  spec.dimension_columns = {"district", "village", "year"};
+  spec.measure_columns = {"severity"};
+  CsvStreamParser parser(spec, "oracle replica csv");
+  REPTILE_CHECK(parser.Feed(csv));
+  Result<Table> table = parser.Finish();
+  REPTILE_CHECK(table.ok()) << table.status().ToString();
+  Result<Dataset> dataset = Dataset::Make(
+      std::move(table).value(),
+      {{"geo", {"district", "village"}}, {"time", {"year"}}});
+  REPTILE_CHECK(dataset.ok()) << dataset.status().ToString();
+  Result<DatasetHandle> handle = PreparedDataset::Prepare(std::move(dataset).value());
+  REPTILE_CHECK(handle.ok()) << handle.status().ToString();
+  return std::move(handle).value();
 }
 
 }  // namespace
@@ -49,7 +71,8 @@ std::string RenderTableCsv(const Table& table) {
 
 WorkloadOracle::WorkloadOracle(SimDatasetSpec spec) : spec_(std::move(spec)) {
   Dataset dataset = MakeSeverityPanel(spec_.panel);
-  std::string csv = RenderTableCsv(dataset.table());
+  csv_ = RenderTableCsv(dataset.table());
+  const std::string& csv = csv_;
   size_t rows = dataset.table().num_rows();
 
   upload_body_ = "{\"name\":" + JsonQuote(spec_.name) + ",\"csv\":" + JsonQuote(csv) +
@@ -66,7 +89,7 @@ WorkloadOracle::WorkloadOracle(SimDatasetSpec spec) : spec_(std::move(spec)) {
   Result<DatasetHandle> handle = PreparedDataset::Prepare(std::move(dataset));
   REPTILE_CHECK(handle.ok()) << "oracle dataset failed to prepare: "
                              << handle.status().ToString();
-  handle_ = std::move(handle).value();
+  version_handles_[1] = std::move(handle).value();
 }
 
 std::string WorkloadOracle::delete_response() const {
@@ -76,9 +99,10 @@ std::string WorkloadOracle::delete_response() const {
 std::string WorkloadOracle::SnapshotJson(int session_index) const {
   auto it = sessions_.find(session_index);
   REPTILE_CHECK(it != sessions_.end());
-  std::map<std::string, int> committed = it->second.CommittedDepths();
+  std::map<std::string, int> committed = it->second.session.CommittedDepths();
   std::string out =
       "{\"session\":\"@SID@\",\"dataset\":" + JsonQuote(spec_.name) +
+      ",\"dataset_version\":" + std::to_string(it->second.dataset_version) +
       ",\"default\":false,\"committed\":{";
   bool first = true;
   for (const auto& [name, depth] : committed) {
@@ -105,14 +129,21 @@ std::vector<ExpectedResponse> WorkloadOracle::ExpectedResponses(
         size_t pos = op.body.find("\"top_k\":");
         REPTILE_CHECK(pos != std::string::npos);
         options.TopK(std::atoi(op.body.c_str() + pos + 8));
-        Result<Session> session = Session::Open(handle_, options);
+        // A pinned create opens the pinned version's replica; a plain one
+        // opens whatever the head is at this point of the replay.
+        const int64_t pin = op.pin_version > 0 ? op.pin_version : head_version_;
+        auto handle_it = version_handles_.find(pin);
+        REPTILE_CHECK(handle_it != version_handles_.end())
+            << "oracle has no replica for version " << pin;
+        Result<Session> session = Session::Open(handle_it->second, options);
         REPTILE_CHECK(session.ok())
             << "oracle session open failed: " << session.status().ToString();
         Status restored = session->RestoreCommitted({{"time", 1}});
         REPTILE_CHECK(restored.ok())
             << "oracle restore failed: " << restored.ToString();
         sessions_.erase(op.session_index);
-        sessions_.emplace(op.session_index, std::move(session).value());
+        sessions_.emplace(op.session_index,
+                          OracleSession{std::move(session).value(), pin});
         out.status = 201;
         out.body = SnapshotJson(op.session_index);
         break;
@@ -120,7 +151,7 @@ std::vector<ExpectedResponse> WorkloadOracle::ExpectedResponses(
       case SimOpKind::kRecommend: {
         auto it = sessions_.find(op.session_index);
         REPTILE_CHECK(it != sessions_.end());
-        Result<ExploreResponse> response = it->second.Recommend(op.complaint);
+        Result<ExploreResponse> response = it->second.session.Recommend(op.complaint);
         REPTILE_CHECK(response.ok()) << "oracle recommend failed ("
                                      << op.complaint.Describe()
                                      << "): " << response.status().ToString();
@@ -132,7 +163,7 @@ std::vector<ExpectedResponse> WorkloadOracle::ExpectedResponses(
       case SimOpKind::kView: {
         auto it = sessions_.find(op.session_index);
         REPTILE_CHECK(it != sessions_.end());
-        Result<ViewResponse> response = it->second.View(op.view);
+        Result<ViewResponse> response = it->second.session.View(op.view);
         REPTILE_CHECK(response.ok())
             << "oracle view failed: " << response.status().ToString();
         out.status = 200;
@@ -142,11 +173,11 @@ std::vector<ExpectedResponse> WorkloadOracle::ExpectedResponses(
       case SimOpKind::kCommit: {
         auto it = sessions_.find(op.session_index);
         REPTILE_CHECK(it != sessions_.end());
-        Status committed = it->second.Commit(op.hierarchy);
+        Status committed = it->second.session.Commit(op.hierarchy);
         REPTILE_CHECK(committed.ok())
             << "oracle commit failed: " << committed.ToString();
-        Result<int> depth = it->second.DrillDepth(op.hierarchy);
-        Result<bool> can_drill = it->second.CanDrill(op.hierarchy);
+        Result<int> depth = it->second.session.DrillDepth(op.hierarchy);
+        Result<bool> can_drill = it->second.session.CanDrill(op.hierarchy);
         out.status = 200;
         out.body = "{\"hierarchy\":" + JsonQuote(op.hierarchy) +
                    ",\"depth\":" + std::to_string(depth.ok() ? *depth : -1) +
@@ -163,6 +194,23 @@ std::vector<ExpectedResponse> WorkloadOracle::ExpectedResponses(
         out.status = 200;
         out.body = "{\"deleted\":\"@SID@\"}";
         sessions_.erase(op.session_index);
+        break;
+      }
+      case SimOpKind::kAppend: {
+        size_t header_end = op.append_csv.find('\n');
+        REPTILE_CHECK(header_end != std::string::npos)
+            << "append op wants header + data rows";
+        const size_t prev_rows = version_handles_.at(head_version_)->table().num_rows();
+        csv_ += op.append_csv.substr(header_end + 1);
+        ++head_version_;
+        version_handles_[head_version_] = BuildReplicaFromCsv(csv_);
+        const size_t total_rows = version_handles_.at(head_version_)->table().num_rows();
+        out.status = 201;
+        out.body = "{\"dataset\":" + JsonQuote(spec_.name) +
+                   ",\"dataset_version\":" + std::to_string(head_version_) +
+                   ",\"rows\":" + std::to_string(total_rows) +
+                   ",\"appended\":" + std::to_string(total_rows - prev_rows) +
+                   ",\"session\":" + JsonQuote("default:" + spec_.name) + "}";
         break;
       }
     }

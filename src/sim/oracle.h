@@ -66,15 +66,30 @@ class WorkloadOracle {
   std::vector<ExpectedResponse> ExpectedResponses(const std::vector<ScheduledOp>& schedule);
 
  private:
+  /// One simulated session's local replica plus the dataset version it is
+  /// pinned to (1 until a scenario appends; session-snapshot bodies echo it).
+  struct OracleSession {
+    Session session;
+    int64_t dataset_version = 1;
+  };
+
   std::string SnapshotJson(int session_index) const;
 
   SimDatasetSpec spec_;
-  DatasetHandle handle_;
   std::string upload_body_;
   std::string upload_response_;
   // Per-simulated-session local replicas, keyed by session index; their
   // committed depths mirror the server sessions op for op.
-  std::map<int, Session> sessions_;
+  std::map<int, OracleSession> sessions_;
+  // Version replicas: version id -> prepared dataset. The oracle replays a
+  // kAppend as a COLD build of the concatenated CSV (csv_ accumulates the
+  // delta rows) — which is exactly what makes it an oracle for the server's
+  // incremental path: if structural sharing ever changed a byte, the replica
+  // and the server would disagree. The oracle never retires a version (it
+  // has no byte budget), so pinned creates always find their replica.
+  std::map<int64_t, DatasetHandle> version_handles_;
+  int64_t head_version_ = 1;
+  std::string csv_;  // CSV of the head version (upload + every delta so far)
 };
 
 /// Renders `table` as CSV text (header row, ',' separator) that parses back

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/json_util.h"
+#include "version/version.h"
 
 namespace reptile {
 namespace {
@@ -123,6 +124,8 @@ const char* SimOpKindName(SimOpKind kind) {
       return "session_get";
     case SimOpKind::kSessionDelete:
       return "session_delete";
+    case SimOpKind::kAppend:
+      return "append";
   }
   return "unknown";
 }
@@ -147,8 +150,18 @@ SessionChain BuildSessionChain(const Rng& root, int session_index,
   create.kind = SimOpKind::kSessionCreate;
   create.method = "POST";
   create.path = "/v1/sessions";
-  create.body = "{\"dataset\":\"@DS@\",\"committed\":{\"time\":1},\"options\":{\"top_k\":" +
+  create.body = "{\"dataset\":" + JsonQuote(params.dataset_ref) +
+                ",\"committed\":{\"time\":1},\"options\":{\"top_k\":" +
                 std::to_string(params.top_k) + "}}";
+  {
+    // A pinned "@DS@@vK" reference tells the oracle which version replica to
+    // open; a plain "@DS@" leaves pin_version 0 (head).
+    std::string base;
+    int64_t pinned = 0;
+    if (ParseVersionedName(params.dataset_ref, &base, &pinned)) {
+      create.pin_version = pinned;
+    }
+  }
   push(std::move(create));
 
   int num_ops = static_cast<int>(length.UniformInt(params.min_ops, params.max_ops));
@@ -214,6 +227,81 @@ SessionChain BuildSessionChain(const Rng& root, int session_index,
   finish.path = "/v1/sessions/@SID@";
   push(std::move(finish));
 
+  return chain;
+}
+
+SessionChain BuildFeederChain(const FeederParams& params) {
+  REPTILE_CHECK(params.appends >= 1) << "the feeder exists to append";
+  REPTILE_CHECK(params.window_ns > 0) << "feeder wants a positive window";
+
+  SessionChain chain;
+  // Offsets must stay strictly increasing even under a shrunken window
+  // (tests override the span): the schedule sorts by time, and the runner
+  // replays a session's ops in schedule order.
+  int64_t floor_ns = 0;
+  auto push = [&](SimOp op, int64_t at_ns) {
+    if (at_ns < floor_ns) at_ns = floor_ns;
+    floor_ns = at_ns + 1;
+    op.session_index = 0;
+    chain.ops.push_back(std::move(op));
+    chain.offsets_ns.push_back(at_ns);
+  };
+  auto make_create = [&](int64_t pin) {
+    SimOp create;
+    create.kind = SimOpKind::kSessionCreate;
+    create.method = "POST";
+    create.path = "/v1/sessions";
+    create.body = "{\"dataset\":" + JsonQuote("@DS@@v" + std::to_string(pin)) +
+                  ",\"committed\":{\"time\":1},\"options\":{\"top_k\":" +
+                  std::to_string(params.top_k) + "}}";
+    create.pin_version = pin;
+    return create;
+  };
+
+  // The guard: pins v1 from t=0. Its position at the head of session 0's
+  // queue also guarantees it COMPLETES before the first append fires (the
+  // runner serializes a session's ops), so v1 can never be collected while
+  // analysts pinned to it are still arriving.
+  push(make_create(1), 0);
+
+  for (int k = 1; k <= params.appends; ++k) {
+    const int64_t at_ns =
+        params.window_ns * static_cast<int64_t>(k) / (params.appends + 1);
+    // Delta rows reuse existing districts and years but introduce NEW
+    // villages ("d0_a1" — the panel's own villages are "d0_v0".."): geo
+    // dirties at depth 2 only and time stays fully clean, the exact shape
+    // the structural-sharing accounting is designed for.
+    SimOp append;
+    append.kind = SimOpKind::kAppend;
+    append.method = "POST";
+    append.path = "/v1/datasets/@DS@/rows";
+    append.append_csv = "district,village,year,severity\n"
+                        "d0,d0_a" + std::to_string(k) + ",y0,1.25\n"
+                        "d1,d1_a" + std::to_string(k) + ",y1,2.5\n";
+    append.body = "{\"csv\":" + JsonQuote(append.append_csv) + "}";
+    push(std::move(append), at_ns);
+
+    // Touch the new head right away: open over the pinned new version,
+    // recommend once (byte-validated), tear the session down. The fixed
+    // complaint keeps the feeder Rng-free.
+    push(make_create(k + 1), at_ns + 1000000);
+    SimOp probe;
+    probe.kind = SimOpKind::kRecommend;
+    probe.method = "POST";
+    probe.path = "/v1/recommend";
+    probe.complaint.aggregate = "sum";
+    probe.complaint.measure = "severity";
+    probe.complaint.direction = "too_high";
+    probe.body = "{\"session\":\"@SID@\",\"complaint\":" +
+                 RenderComplaintJson(probe.complaint) +
+                 ",\"options\":{\"zero_timings\":true}}";
+    push(std::move(probe), at_ns + 2000000);
+    SimOp finish;
+    finish.kind = SimOpKind::kSessionDelete;
+    finish.method = "DELETE";
+    finish.path = "/v1/sessions/@SID@";
+    push(std::move(finish), at_ns + 3000000);
+  }
   return chain;
 }
 

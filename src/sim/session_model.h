@@ -35,6 +35,7 @@ enum class SimOpKind {
   kCommit,         // POST /v1/commit
   kSessionGet,     // GET /v1/sessions/@SID@ (the snapshot read)
   kSessionDelete,  // DELETE /v1/sessions/@SID@
+  kAppend,         // POST /v1/datasets/@DS@/rows (the churn feeder's writes)
 };
 
 const char* SimOpKindName(SimOpKind kind);
@@ -54,6 +55,8 @@ struct SimOp {
   ComplaintSpec complaint;  // kRecommend
   ViewRequest view;         // kView
   std::string hierarchy;    // kCommit
+  std::string append_csv;   // kAppend: the raw delta CSV the body carries quoted
+  int64_t pin_version = 0;  // kSessionCreate: chain version the create pins; 0 = head
 };
 
 /// Shape of one simulated analyst session over the severity panel
@@ -73,6 +76,10 @@ struct SessionModelParams {
   // the overload scenario 0 (stateless inside the session).
   int max_commits = 1;
   int top_k = 5;  // session option, mirrored by the oracle
+  // Dataset reference the session-create body names: "@DS@" opens the chain
+  // head; a pinned alias like "@DS@@v1" pins every analyst to that version —
+  // the churn scenario uses it to prove appends never move a live session.
+  std::string dataset_ref = "@DS@";
   // Panel extents the generators draw values from (must match the
   // SimDatasetSpec actually uploaded — sim/oracle.h).
   int districts = 8;
@@ -91,6 +98,22 @@ struct SessionChain {
 /// of `root`. Deterministic in (root seed, session_index, params).
 SessionChain BuildSessionChain(const Rng& root, int session_index,
                                const SessionModelParams& params);
+
+/// The churn scenario's single writer (always session index 0). Fully
+/// deterministic — no Rng at all, so adding the feeder never re-seeds an
+/// analyst's streams.
+struct FeederParams {
+  int appends = 2;             // versions created beyond v1
+  int64_t window_ns = 2000000000;  // appends spread evenly across this span
+  int top_k = 5;               // session option for the feeder's own sessions
+};
+
+/// Builds the feeder chain: a guard session pinned to "@DS@@v1" at offset 0
+/// (it holds v1 live for the whole run so pinned analysts never race GC),
+/// then per append k: POST the delta rows, open a session over the new head
+/// "@DS@@v<k+1>", recommend once (zero_timings), and delete that session.
+/// The guard is never explicitly deleted — dataset teardown sweeps it.
+SessionChain BuildFeederChain(const FeederParams& params);
 
 }  // namespace reptile
 

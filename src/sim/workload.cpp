@@ -46,6 +46,24 @@ ScenarioSpec BurstScenario() {
   return spec;
 }
 
+ScenarioSpec ChurnScenario() {
+  ScenarioSpec spec;
+  spec.name = "churn";
+  spec.arrivals = ScenarioSpec::Arrivals::kPoisson;
+  spec.poisson_rate_per_second = 4.0;
+  spec.arrival_window_seconds = 2.0;
+  spec.session.min_ops = 2;
+  spec.session.max_ops = 4;
+  spec.session.mean_think_seconds = 0.15;
+  spec.session.max_commits = 1;
+  // Every analyst pins version 1 explicitly: the run proves appends move the
+  // head without moving anyone's session. The feeder itself probes each new
+  // head with its own short-lived sessions.
+  spec.session.dataset_ref = "@DS@@v1";
+  spec.feeder_appends = 2;
+  return spec;
+}
+
 std::vector<ScheduledOp> BuildSchedule(const ScenarioSpec& spec, uint64_t seed) {
   REPTILE_CHECK(spec.arrival_window_seconds > 0.0)
       << "scenario wants a positive arrival window";
@@ -63,6 +81,20 @@ std::vector<ScheduledOp> BuildSchedule(const ScenarioSpec& spec, uint64_t seed) 
       static_cast<int64_t>(spec.arrival_window_seconds * 1e9);
   SimEventQueue<SimOp> queue;
   int session_index = 0;
+  if (spec.feeder_appends > 0) {
+    // Session 0 is the deterministic append feeder; it draws no Rng streams,
+    // so analyst chains (index >= 1) keep their usual sub-streams and adding
+    // the feeder never re-times anyone.
+    FeederParams feeder;
+    feeder.appends = spec.feeder_appends;
+    feeder.window_ns = window_ns;
+    feeder.top_k = spec.session.top_k;
+    SessionChain chain = BuildFeederChain(feeder);
+    for (size_t i = 0; i < chain.ops.size(); ++i) {
+      queue.Push(chain.offsets_ns[i], std::move(chain.ops[i]));
+    }
+    session_index = 1;
+  }
   for (;;) {
     if (spec.max_sessions > 0 && session_index >= spec.max_sessions) break;
     int64_t arrival_ns = arrivals->NextNs();

@@ -46,6 +46,10 @@ struct ScenarioSpec {
   double arrival_window_seconds = 2.0;
   int max_sessions = 0;  // hard cap on arrivals; 0 = window only
   SessionModelParams session;
+  // When > 0, session index 0 becomes the append FEEDER (BuildFeederChain):
+  // it pins v1 at t=0 and then creates this many new dataset versions spread
+  // across the arrival window; analyst sessions start at index 1.
+  int feeder_appends = 0;
   // Shape of the dataset the scenario uploads and runs against. Must cover
   // the values the session model draws (districts >= session.districts,
   // years >= session.years); extra villages/rows only raise per-request
@@ -63,6 +67,13 @@ ScenarioSpec SteadyScenario();
 /// time. Run against --rate-limit-rps / --queue-deadline-ms it must provoke
 /// 429s and 503 sheds (scripts/check.sh asserts the counters moved).
 ScenarioSpec BurstScenario();
+
+/// The live-data scenario: a feeder (session 0) appends rows mid-run,
+/// advancing the dataset through v1 -> v2 -> v3, while every analyst session
+/// stays PINNED to "@DS@@v1" — their responses must remain byte-identical to
+/// the oracle's v1 replica across the appends, and the feeder's probes of
+/// each new head must match a cold rebuild of the concatenated CSV.
+ScenarioSpec ChurnScenario();
 
 /// Expands the scenario into the globally ordered schedule. Deterministic
 /// in (spec, seed); `seed` feeds every sub-stream (arrivals draw streams

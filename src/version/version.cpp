@@ -1,0 +1,27 @@
+#include "version/version.h"
+
+namespace reptile {
+
+bool ParseVersionedName(const std::string& name, std::string* base, int64_t* version) {
+  size_t at = name.rfind("@v");
+  if (at == std::string::npos || at == 0) return false;
+  size_t digits_begin = at + 2;
+  size_t digits = name.size() - digits_begin;
+  if (digits == 0 || digits > 18) return false;  // 18 digits always fits int64_t
+  int64_t value = 0;
+  for (size_t i = digits_begin; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (value < 1) return false;
+  *base = name.substr(0, at);
+  *version = value;
+  return true;
+}
+
+std::string FormatVersionedName(const std::string& base, int64_t version) {
+  return base + "@v" + std::to_string(version);
+}
+
+}  // namespace reptile

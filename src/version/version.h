@@ -1,0 +1,29 @@
+// Dataset version naming: "name@vK".
+//
+// A version chain (api/registry.h) registers one BASE name; individual live
+// versions are addressed by suffixing "@v" plus the 1-based version id —
+// "sales@v3". The plain base name always means the chain head. Parsing is a
+// pure string operation with no registry knowledge, so the registry, the
+// HTTP service, and the workload oracle all agree on the spelling; the
+// registry still tries an exact-name lookup FIRST, so a dataset whose real
+// name happens to contain "@v" keeps working.
+
+#ifndef REPTILE_VERSION_VERSION_H_
+#define REPTILE_VERSION_VERSION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace reptile {
+
+/// True when `name` has the form "<base>@v<digits>" with a non-empty base
+/// and a version in [1, 10^18); fills `base` and `version`. The LAST "@v"
+/// wins, so "a@v2@v3" parses as base "a@v2", version 3.
+bool ParseVersionedName(const std::string& name, std::string* base, int64_t* version);
+
+/// "<base>@v<version>".
+std::string FormatVersionedName(const std::string& base, int64_t version);
+
+}  // namespace reptile
+
+#endif  // REPTILE_VERSION_VERSION_H_

@@ -96,9 +96,10 @@ TEST(DatasetRegistry, SessionsShareAggregatesAndStayByteIdentical) {
   const SharedAggregateCache& cache = (*handle)->cache();
   const int64_t entries_after_cold = cache.entries();
   ASSERT_GT(entries_after_cold, 0);
-  std::map<std::pair<int, int>, HierarchyAggregatesPtr> cold_entries;
-  for (const std::pair<int, int>& key : cache.Keys()) {
-    cold_entries[key] = cache.Find(key.first, key.second);
+  std::map<SharedAggregateCache::Key, HierarchyAggregatesPtr> cold_entries;
+  for (const SharedAggregateCache::Key& key : cache.Keys()) {
+    const auto& [epoch, hierarchy, depth] = key;
+    cold_entries[key] = cache.Find(epoch, hierarchy, depth);
   }
 
   // A second session at the same drill state: identical bytes, ZERO builds
@@ -112,8 +113,9 @@ TEST(DatasetRegistry, SessionsShareAggregatesAndStayByteIdentical) {
   EXPECT_EQ(warm->aggregate_builds(), 0);
   EXPECT_EQ(cache.entries(), entries_after_cold);
   for (const auto& [key, entry] : cold_entries) {
-    EXPECT_EQ(cache.Find(key.first, key.second).get(), entry.get())
-        << "aggregate (" << key.first << ", " << key.second << ") was rebuilt or moved";
+    const auto& [epoch, hierarchy, depth] = key;
+    EXPECT_EQ(cache.Find(epoch, hierarchy, depth).get(), entry.get())
+        << "aggregate (" << hierarchy << ", " << depth << ") was rebuilt or moved";
   }
 
   // The warm session trains NOTHING: beyond the aggregate/f-tree layer, the

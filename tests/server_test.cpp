@@ -566,7 +566,7 @@ TEST_F(ServerTest, DatasetUploadAndFullSessionLifecycle) {
   ASSERT_TRUE(created.ok()) << created.status().ToString();
   EXPECT_EQ(created->status, 201) << created->body;
   EXPECT_EQ(created->body,
-            R"({"session":"s-1","dataset":"sales","default":false,"committed":{"geo":0,"time":1}})");
+            R"({"session":"s-1","dataset":"sales","dataset_version":1,"default":false,"committed":{"geo":0,"time":1}})");
 
   // Recommend: via the session id.
   const std::string complaint =
@@ -589,11 +589,11 @@ TEST_F(ServerTest, DatasetUploadAndFullSessionLifecycle) {
   Result<HttpClientResponse> snapshot = client.Get("/v1/sessions/s-1");
   ASSERT_TRUE(snapshot.ok());
   EXPECT_EQ(snapshot->body,
-            R"({"session":"s-1","dataset":"sales","default":false,"committed":{"geo":1,"time":1}})");
+            R"({"session":"s-1","dataset":"sales","dataset_version":1,"default":false,"committed":{"geo":1,"time":1}})");
   Result<HttpClientResponse> default_snapshot = client.Get("/v1/sessions/default:sales");
   ASSERT_TRUE(default_snapshot.ok());
   EXPECT_EQ(default_snapshot->body,
-            R"({"session":"default:sales","dataset":"sales","default":true,"committed":{"geo":0,"time":1}})");
+            R"({"session":"default:sales","dataset":"sales","dataset_version":1,"default":true,"committed":{"geo":0,"time":1}})");
 
   // Restore: the snapshot's committed map opens a second session at the same
   // drill state; its recommendations are byte-identical to the first's.

@@ -178,7 +178,7 @@ TEST(SessionModelTest, MaxCommitsZeroMeansNoCommits) {
 // --- Schedules --------------------------------------------------------------
 
 TEST(WorkloadTest, SameSeedByteIdenticalScheduleDump) {
-  for (const ScenarioSpec& spec : {SteadyScenario(), BurstScenario()}) {
+  for (const ScenarioSpec& spec : {SteadyScenario(), BurstScenario(), ChurnScenario()}) {
     std::vector<ScheduledOp> a = BuildSchedule(spec, 42);
     std::vector<ScheduledOp> b = BuildSchedule(spec, 42);
     ASSERT_FALSE(a.empty());
@@ -211,6 +211,45 @@ TEST(WorkloadTest, ScheduleGloballyOrderedAndPerSessionInChainOrder) {
     EXPECT_EQ(std::count(kinds.begin(), kinds.end(), SimOpKind::kSessionCreate), 1);
     EXPECT_EQ(std::count(kinds.begin(), kinds.end(), SimOpKind::kSessionDelete), 1);
   }
+}
+
+TEST(WorkloadTest, ChurnScheduleInterleavesFeederWritesWithPinnedAnalysts) {
+  ScenarioSpec spec = ChurnScenario();
+  std::vector<ScheduledOp> schedule = BuildSchedule(spec, 42);
+  ASSERT_FALSE(schedule.empty());
+
+  int appends = 0;
+  std::vector<int64_t> feeder_pins;
+  bool analyst_seen = false;
+  for (const ScheduledOp& item : schedule) {
+    const SimOp& op = item.op;
+    if (op.kind == SimOpKind::kAppend) {
+      ++appends;
+      EXPECT_EQ(op.session_index, 0);
+      EXPECT_EQ(op.method, "POST");
+      EXPECT_EQ(op.path, "/v1/datasets/@DS@/rows");
+      EXPECT_NE(op.body.find("\"csv\":"), std::string::npos);
+      EXPECT_NE(op.append_csv.find("district,village,year,severity\n"),
+                std::string::npos);
+    } else if (op.kind == SimOpKind::kSessionCreate) {
+      if (op.session_index == 0) {
+        feeder_pins.push_back(op.pin_version);
+      } else {
+        analyst_seen = true;
+        // Every analyst pins version 1 — the isolation half of the scenario.
+        EXPECT_EQ(op.pin_version, 1);
+        EXPECT_NE(op.body.find("\"dataset\":\"@DS@@v1\""), std::string::npos);
+      }
+    }
+  }
+  EXPECT_EQ(appends, spec.feeder_appends);
+  // The feeder pins v1 (the guard), then each new head as it creates it.
+  ASSERT_EQ(feeder_pins.size(), static_cast<size_t>(1 + spec.feeder_appends));
+  EXPECT_EQ(feeder_pins[0], 1);
+  for (int k = 1; k <= spec.feeder_appends; ++k) {
+    EXPECT_EQ(feeder_pins[static_cast<size_t>(k)], k + 1);
+  }
+  EXPECT_TRUE(analyst_seen);
 }
 
 TEST(WorkloadTest, BurstScenarioRespectsSessionCap) {
@@ -366,6 +405,50 @@ TEST(OpenLoopTest, SteadyScenarioValidatesEveryByteInProcess) {
   EXPECT_NE(json.find("\"p50_ms\":"), std::string::npos);
   EXPECT_NE(json.find("\"p999_ms\":"), std::string::npos);
   EXPECT_NE(json.find("\"mismatches\":0"), std::string::npos);
+}
+
+TEST(OpenLoopTest, ChurnScenarioAppendsMidRunAndStillValidatesEveryByte) {
+  ReptileService service{ServiceOptions()};
+  HttpServerOptions options;
+  options.num_threads = 4;
+  HttpServer server(options, [&service](const HttpRequest& request) {
+    return service.Handle(request);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  ScenarioSpec spec = ChurnScenario();
+  spec.arrival_window_seconds = 0.6;  // shrinks the feeder spacing too
+  const uint64_t seed = 9;
+  std::vector<ScheduledOp> schedule = BuildSchedule(spec, seed);
+  ASSERT_FALSE(schedule.empty());
+  int appends = 0;
+  for (const ScheduledOp& item : schedule) {
+    if (item.op.kind == SimOpKind::kAppend) ++appends;
+  }
+  ASSERT_EQ(appends, spec.feeder_appends);
+
+  SimDatasetSpec dataset;
+  dataset.name = "sim_churn_test";
+  dataset.panel = spec.panel;
+  WorkloadOracle oracle(dataset);
+  std::vector<ExpectedResponse> expected = oracle.ExpectedResponses(schedule);
+
+  RunnerOptions runner;
+  runner.port = server.port();
+  runner.workers = 4;
+  ScenarioReport report = RunOpenLoop(runner, oracle, schedule, expected);
+  server.Stop();
+
+  // The hard part of this replay: two appends land mid-run, yet every
+  // response — pinned-@v1 analysts AND the feeder's probes of v2/v3 — must
+  // match the oracle byte for byte. A flushy cache, a moved session, or any
+  // incremental-vs-cold build divergence all surface here as mismatches.
+  EXPECT_EQ(report.sent, static_cast<int64_t>(schedule.size()));
+  EXPECT_EQ(report.ok, report.sent);
+  EXPECT_EQ(report.mismatches, 0);
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_EQ(report.timeouts, 0);
+  EXPECT_EQ(report.skipped, 0);
 }
 
 }  // namespace
